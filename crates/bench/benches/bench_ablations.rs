@@ -1,0 +1,97 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out.
+//!
+//! These are comparative *measurements* (printed through Criterion's
+//! timing of the underlying evaluation) over model variants:
+//!
+//! * topology family at equal mean degree — PLOD power-law vs
+//!   Erdős–Rényi vs random-regular — showing how degree spread shapes
+//!   analysis cost (flood fan-out) on top of the load-spread results in
+//!   the integration tests;
+//! * redundancy factor k = 1, 2, 3 — the paper stops at 2 because
+//!   connections grow as k²; the bench exposes the evaluation cost and
+//!   the integration tests the load effect;
+//! * query-model universe size — the match-cache makes per-instance
+//!   analysis nearly independent of `num_classes`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sp_graph::generate::{erdos_renyi, plod, random_regular, PlodConfig};
+use sp_model::analysis::{analyze, AnalysisOptions};
+use sp_model::config::Config;
+use sp_model::instance::NetworkInstance;
+use sp_model::query_model::{QueryModel, QueryModelConfig};
+use sp_stats::SpRng;
+
+fn bench_topology_families(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_topology");
+    group.sample_size(15);
+    let n = 2000;
+    let d = 6.0;
+    group.bench_function("plod", |b| {
+        let mut rng = SpRng::seed_from_u64(3);
+        b.iter(|| plod(n, PlodConfig::with_mean(d), &mut rng));
+    });
+    group.bench_function("erdos_renyi", |b| {
+        let mut rng = SpRng::seed_from_u64(3);
+        b.iter(|| erdos_renyi(n, d, &mut rng));
+    });
+    group.bench_function("random_regular", |b| {
+        let mut rng = SpRng::seed_from_u64(3);
+        b.iter(|| random_regular(n, d as usize, &mut rng));
+    });
+    group.finish();
+}
+
+fn bench_redundancy_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_redundancy_k");
+    group.sample_size(10);
+    for k in [1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let cfg = Config {
+                graph_size: 1000,
+                cluster_size: 10,
+                redundancy_k: k,
+                ..Config::default()
+            };
+            let mut rng = SpRng::seed_from_u64(4);
+            let inst = NetworkInstance::generate(&cfg, &mut rng).unwrap();
+            let model = QueryModel::from_config(&cfg.query_model);
+            b.iter(|| analyze(&inst, &model, &AnalysisOptions::default(), &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_query_universe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_query_classes");
+    group.sample_size(10);
+    for classes in [256usize, 1024, 4096] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(classes),
+            &classes,
+            |b, &classes| {
+                let cfg = Config {
+                    graph_size: 1000,
+                    cluster_size: 10,
+                    query_model: QueryModelConfig {
+                        num_classes: classes,
+                        ..Default::default()
+                    },
+                    ..Config::default()
+                };
+                let mut rng = SpRng::seed_from_u64(5);
+                let inst = NetworkInstance::generate(&cfg, &mut rng).unwrap();
+                let model = QueryModel::from_config(&cfg.query_model);
+                b.iter(|| analyze(&inst, &model, &AnalysisOptions::default(), &mut rng));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_topology_families,
+    bench_redundancy_k,
+    bench_query_universe
+);
+criterion_main!(benches);

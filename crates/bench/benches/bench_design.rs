@@ -1,0 +1,51 @@
+//! Benchmarks for the design toolkit: EPL prediction and the full
+//! Figure 10 procedure at a reduced scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sp_design::epl::{recommended_ttl, EplPredictor};
+use sp_design::procedure::{design, DesignConstraints, DesignGoals, EvalOptions};
+use sp_model::config::Config;
+use sp_model::load::Load;
+
+fn bench_epl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("epl");
+    group.sample_size(10);
+    group.bench_function("measure_table_3x2_n500", |b| {
+        b.iter(|| EplPredictor::measure(&[3.1, 10.0, 20.0], &[50, 200], 500, 10, 1))
+    });
+    group.bench_function("recommended_ttl", |b| {
+        b.iter(|| recommended_ttl(std::hint::black_box(18.0), std::hint::black_box(300)))
+    });
+    group.finish();
+}
+
+fn bench_procedure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("procedure");
+    group.sample_size(10);
+    group.bench_function("design_2000_users", |b| {
+        let goals = DesignGoals {
+            num_users: 2000,
+            desired_reach_peers: 500,
+        };
+        let constraints = DesignConstraints {
+            max_sp_load: Load {
+                in_bw: 100_000.0,
+                out_bw: 100_000.0,
+                proc: 10e6,
+            },
+            max_connections: 100.0,
+            allow_redundancy: false,
+        };
+        let eval = EvalOptions {
+            trials: 1,
+            max_sources: 100,
+            seed: 1,
+            max_ttl: 6,
+        };
+        b.iter(|| design(&goals, &constraints, &Config::default(), &eval).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_epl, bench_procedure);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Micro-benchmarks for the topology substrate: generation and
+//! TTL-bounded flooding, the inner loops of every figure sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sp_graph::generate::{complete, erdos_renyi, plod, PlodConfig};
+use sp_graph::traverse::{flood, message_counts};
+use sp_stats::SpRng;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate");
+    group.sample_size(20);
+    for &n in &[1000usize, 4000] {
+        group.bench_with_input(BenchmarkId::new("plod_3.1", n), &n, |b, &n| {
+            let mut rng = SpRng::seed_from_u64(1);
+            b.iter(|| plod(n, PlodConfig::with_mean(3.1), &mut rng));
+        });
+        group.bench_with_input(BenchmarkId::new("erdos_renyi_3.1", n), &n, |b, &n| {
+            let mut rng = SpRng::seed_from_u64(1);
+            b.iter(|| erdos_renyi(n, 3.1, &mut rng));
+        });
+    }
+    group.bench_function("complete_500", |b| b.iter(|| complete(500)));
+    group.finish();
+}
+
+fn bench_flooding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flood");
+    group.sample_size(30);
+    let mut rng = SpRng::seed_from_u64(2);
+    let g = plod(4000, PlodConfig::with_mean(3.1), &mut rng);
+    for &ttl in &[3u16, 7] {
+        group.bench_with_input(BenchmarkId::new("bfs_ttl", ttl), &ttl, |b, &ttl| {
+            let mut src = 0u32;
+            b.iter(|| {
+                src = (src + 17) % g.num_nodes() as u32;
+                flood(&g, src, ttl)
+            });
+        });
+    }
+    group.bench_function("message_counts_ttl7", |b| {
+        let f = flood(&g, 0, 7);
+        b.iter(|| message_counts(&g, &f));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators, bench_flooding);
+criterion_main!(benches);

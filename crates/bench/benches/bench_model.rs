@@ -1,0 +1,95 @@
+//! Benchmarks for the analysis pipeline: query-model evaluation,
+//! instance generation, and the full per-instance mean-value analysis
+//! (the cost of one trial of any figure).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sp_model::analysis::{analyze, AnalysisOptions};
+use sp_model::config::{Config, GraphType};
+use sp_model::instance::NetworkInstance;
+use sp_model::query_model::{MatchCache, QueryModel};
+use sp_stats::SpRng;
+
+fn bench_query_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_model");
+    let model = QueryModel::paper_default();
+    group.bench_function("prob_no_match_1k_files", |b| {
+        b.iter(|| model.prob_no_match(std::hint::black_box(1000)))
+    });
+    group.bench_function("match_cache_hit", |b| {
+        let mut cache = MatchCache::new();
+        cache.prob_no_match(&model, 1000);
+        b.iter(|| cache.prob_no_match(&model, std::hint::black_box(1000)))
+    });
+    group.bench_function("build_calibrated_model", |b| {
+        b.iter(QueryModel::paper_default)
+    });
+    group.finish();
+}
+
+fn bench_instance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("instance");
+    group.sample_size(20);
+    for &n in &[1000usize, 5000] {
+        group.bench_with_input(BenchmarkId::new("generate", n), &n, |b, &n| {
+            let cfg = Config {
+                graph_size: n,
+                cluster_size: 10,
+                ..Config::default()
+            };
+            let mut rng = SpRng::seed_from_u64(1);
+            b.iter(|| NetworkInstance::generate(&cfg, &mut rng).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analyze");
+    group.sample_size(10);
+    let cases = [
+        ("power_n1000_c10_ttl7", Config {
+            graph_size: 1000,
+            cluster_size: 10,
+            ..Config::default()
+        }),
+        ("strong_n1000_c10_ttl1", Config {
+            graph_size: 1000,
+            cluster_size: 10,
+            graph_type: GraphType::StronglyConnected,
+            ttl: 1,
+            ..Config::default()
+        }),
+        ("power_n1000_c10_red", Config {
+            graph_size: 1000,
+            cluster_size: 10,
+            redundancy_k: 2,
+            ..Config::default()
+        }),
+    ];
+    for (name, cfg) in cases {
+        group.bench_function(name, |b| {
+            let mut rng = SpRng::seed_from_u64(2);
+            let inst = NetworkInstance::generate(&cfg, &mut rng).unwrap();
+            let model = QueryModel::from_config(&cfg.query_model);
+            b.iter(|| analyze(&inst, &model, &AnalysisOptions::default(), &mut rng));
+        });
+    }
+    group.bench_function("power_n1000_sampled_100_sources", |b| {
+        let cfg = Config {
+            graph_size: 1000,
+            cluster_size: 10,
+            ..Config::default()
+        };
+        let mut rng = SpRng::seed_from_u64(2);
+        let inst = NetworkInstance::generate(&cfg, &mut rng).unwrap();
+        let model = QueryModel::from_config(&cfg.query_model);
+        let opts = AnalysisOptions {
+            max_sources: Some(100),
+        };
+        b.iter(|| analyze(&inst, &model, &opts, &mut rng));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_model, bench_instance, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Ablation (extension): file-count tail sensitivity of rule #1.
+
+use sp_bench::{banner, fidelity, scaled};
+use sp_core::experiments::ablations;
+
+fn main() {
+    banner(
+        "Ablation: population tail",
+        "rule #1 holds under log-normal and bounded-Pareto file counts",
+    );
+    let n = scaled(10_000);
+    let sizes: Vec<usize> = [1usize, 10, 50, 200, 1000]
+        .into_iter()
+        .filter(|&c| c <= n)
+        .collect();
+    let data = ablations::population_tail_sensitivity(n, &sizes, &fidelity());
+    println!("{}", data.render());
+    println!(
+        "Expected shape: both tails show aggregate load falling and\n\
+         individual super-peer load rising with cluster size — the rules of\n\
+         thumb do not hinge on the synthesized tail family (DESIGN.md §4)."
+    );
+}

@@ -1,0 +1,21 @@
+//! Figure 7: super-peer outgoing bandwidth by number of neighbors, for
+//! average outdegree 3.1 vs 10.
+
+use sp_bench::{banner, fidelity, scaled};
+use sp_core::experiments::outdegree_hist;
+
+fn main() {
+    banner("Figure 7", "load by outdegree: sparse topologies concentrate load");
+    let data = outdegree_hist::run(
+        scaled(10_000),
+        20,
+        &outdegree_hist::paper_outdegrees(),
+        &fidelity(),
+    );
+    println!("{}", data.render_fig7());
+    println!(
+        "Expected shape: at average outdegree 3.1, load climbs steeply with\n\
+         degree (hubs overloaded); at 10, every super-peer sits in one\n\
+         moderate band."
+    );
+}

@@ -1,0 +1,26 @@
+//! Figure 11: aggregate load of today's Gnutella vs the redesigned
+//! topology (with and without redundancy).
+
+use sp_bench::{banner, fidelity, scaled};
+use sp_core::experiments::redesign;
+
+fn main() {
+    banner("Figure 11", "the redesign cuts every aggregate load by >=79%");
+    let users = scaled(20_000);
+    let data = redesign::run(
+        users,
+        (users * 3) / 20,
+        &redesign::paper_constraints(),
+        &fidelity(),
+    )
+    .expect("paper scenario is feasible");
+    println!("{}", data.render_design_log());
+    println!("{}", data.render_fig11());
+    println!(
+        "Expected shape: the new topology improves every load column by an\n\
+         order of magnitude-ish while EPL drops to ~2; redundancy barely\n\
+         moves the aggregates. (Our connected PLOD overlay reaches further\n\
+         at TTL 7 than the fragmented 2001 network, so 'Today' is even\n\
+         costlier here than in the paper — see EXPERIMENTS.md.)"
+    );
+}

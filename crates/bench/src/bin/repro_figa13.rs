@@ -1,0 +1,23 @@
+//! Figure A-13: aggregate bandwidth vs cluster size at the low query
+//! rate (queries : joins ≈ 1).
+
+use sp_bench::{banner, fidelity, scaled};
+use sp_core::experiments::cluster_sweep;
+
+fn main() {
+    banner("Figure A-13", "join-heavy workloads flatten the cluster-size savings");
+    let n = scaled(10_000);
+    let data = cluster_sweep::run(
+        n,
+        &cluster_sweep::full_range_cluster_sizes(n),
+        &cluster_sweep::paper_systems(),
+        Some(cluster_sweep::LOW_QUERY_RATE),
+        &fidelity(),
+    );
+    println!("{}", data.render_fig4());
+    println!(
+        "Expected shape: aggregate load still falls with cluster size, but\n\
+         much less steeply than Figure 4, and redundancy now *costs*\n\
+         noticeably (joins double, and they dominate)."
+    );
+}

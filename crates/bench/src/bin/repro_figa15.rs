@@ -1,0 +1,21 @@
+//! Figure A-15: the caveat to rule #3 — outdegree 100 loses to
+//! outdegree 50 once EPL stops improving.
+
+use sp_bench::{banner, fidelity, scaled};
+use sp_core::experiments::rules;
+
+fn main() {
+    banner("Figure A-15", "past the knee, more neighbors only add redundant copies");
+    let n = scaled(10_000);
+    let sizes: Vec<usize> = [1usize, 5, 10, 20, 40, 60, 80, 100]
+        .into_iter()
+        .filter(|&c| c * 10 <= n)
+        .collect();
+    let data = rules::fig_a15(n, &sizes, &[50.0, 100.0], &fidelity());
+    println!("{}", data.render());
+    println!(
+        "Expected shape: the outdegree-100 curve sits strictly above the\n\
+         outdegree-50 curve at every cluster size — EPL is the same, the\n\
+         extra edges only carry dropped duplicates."
+    );
+}

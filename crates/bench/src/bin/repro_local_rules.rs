@@ -1,0 +1,26 @@
+//! Section 5.3: local decisions reorganize a badly configured network.
+
+use sp_bench::{banner, fidelity, scaled, scaled_duration};
+use sp_core::experiments::dynamics;
+use sp_core::Load;
+
+fn main() {
+    banner("Local rules", "adaptive reorganization (Section 5.3)");
+    // Start with oversized clusters and a tight per-partner budget.
+    let report = dynamics::adaptive_experiment(
+        scaled(2_000),
+        50,
+        Load {
+            in_bw: 1e5,
+            out_bw: 1e5,
+            proc: 1e7,
+        },
+        scaled_duration(7200.0),
+        fidelity().seed,
+    );
+    println!("{}", dynamics::render_adaptive(&report));
+    println!(
+        "Expected shape: cluster count grows (splits/promotions) until\n\
+         partner load fits the limit; TTLs shrink toward the useful radius."
+    );
+}

@@ -1,0 +1,34 @@
+//! Extension: routing protocol is orthogonal to super-peer design
+//! (Section 2). Bounded-fanout forwarding vs Gnutella flooding on the
+//! same super-peer network.
+
+use sp_bench::{banner, fidelity, scaled, scaled_duration};
+use sp_core::model::config::Config;
+use sp_core::sim::scenario::routing;
+
+fn main() {
+    banner(
+        "Routing ablation",
+        "bounded fanout vs flooding on the same super-peer overlay",
+    );
+    let cfg = Config {
+        graph_size: scaled(2_000),
+        cluster_size: 10,
+        avg_outdegree: 8.0,
+        ttl: 5,
+        ..Config::default()
+    };
+    println!("fanout   SP bw (bps)      results/query");
+    for fanout in [2usize, 4, 6] {
+        let c = routing(&cfg, fanout, scaled_duration(3600.0), fidelity().seed);
+        println!(
+            "{fanout:>6}   {:>12.3e}   {:>8.1}   (flood: {:.3e} bps, {:.1} results)",
+            c.sp_bw_subset, c.results_subset, c.sp_bw_flood, c.results_flood
+        );
+    }
+    println!(
+        "\nExpected shape: lower fanout trades results for load along a smooth\n\
+         frontier; the super-peer structure (clients shielded, partners\n\
+         loaded) is unchanged — routing and super-peer design are orthogonal."
+    );
+}

@@ -1,0 +1,15 @@
+//! Rule #2 numerics: redundancy's individual-vs-aggregate tradeoff at
+//! the paper's anchor point (strong overlay, cluster size 100).
+
+use sp_bench::{banner, fidelity, scaled};
+use sp_core::experiments::rules;
+
+fn main() {
+    banner("Rule #2", "super-peer redundancy is good");
+    let data = rules::rule2(scaled(10_000), 100, &fidelity());
+    println!("{}", data.render());
+    println!(
+        "Paper anchors: aggregate bandwidth +~2.5%, individual partner\n\
+         bandwidth -~48%, aggregate processing +~17%, individual -~41%."
+    );
+}

@@ -1,0 +1,13 @@
+//! Rule #4 numerics: one wasted TTL hop at full reach costs real
+//! bandwidth (paper: 19% of aggregate incoming bandwidth at
+//! outdegree 20, TTL 4 vs 3).
+
+use sp_bench::{banner, fidelity, scaled};
+use sp_core::experiments::rules;
+
+fn main() {
+    banner("Rule #4", "minimize TTL");
+    let n = scaled(10_000);
+    let data = rules::rule4(n, 10, 20.0, (3, 4), &fidelity());
+    println!("{}", data.render());
+}

@@ -1,0 +1,389 @@
+//! The `spnet` subcommands.
+
+use sp_core::design::procedure::EvalOptions;
+use sp_core::design::{design, DesignConstraints, DesignGoals};
+use sp_core::experiments::{cluster_sweep, epl_table, Fidelity};
+use sp_core::model::config::{Config, GraphType};
+use sp_core::report::{ci, sci, Table};
+use sp_core::sim::scenario::{reliability, steady_state};
+use sp_core::{Load, NetworkBuilder};
+
+use crate::args::{ArgError, Args};
+
+/// Builds a [`Config`] from the shared topology options.
+fn config_from(args: &Args) -> Result<Config, ArgError> {
+    let mut b = NetworkBuilder::new()
+        .users(args.get_or("users", 10_000usize)?)
+        .cluster_size(args.get_or("cluster", 10usize)?)
+        .avg_outdegree(args.get_or("outdegree", 3.1f64)?)
+        .ttl(args.get_or("ttl", 7u16)?)
+        .query_rate(args.get_or("query-rate", 9.26e-3f64)?);
+    if args.flag("redundancy") {
+        b = b.redundancy(true);
+    }
+    if let Some(k) = args.get("k") {
+        let k: usize = k
+            .parse()
+            .map_err(|_| ArgError(format!("--k: cannot parse {k:?}")))?;
+        b = b.redundancy_k(k);
+    }
+    if args.flag("strong") {
+        b = b.strongly_connected();
+    }
+    let mut cfg = b.config();
+    if let Some(family) = args.get("graph") {
+        cfg.graph_type = match family {
+            "power-law" | "plod" => GraphType::PowerLaw,
+            "strong" | "complete" => GraphType::StronglyConnected,
+            "erdos-renyi" | "er" => GraphType::ErdosRenyi,
+            "regular" => GraphType::RandomRegular,
+            other => {
+                return Err(ArgError(format!(
+                    "--graph: unknown family {other:?} (power-law, strong, erdos-renyi, regular)"
+                )))
+            }
+        };
+    }
+    cfg.validate()
+        .map_err(|e| ArgError(format!("invalid configuration: {e}")))?;
+    Ok(cfg)
+}
+
+const TOPOLOGY_OPTS: &[&str] = &[
+    "users",
+    "cluster",
+    "outdegree",
+    "ttl",
+    "query-rate",
+    "redundancy",
+    "k",
+    "strong",
+    "graph",
+];
+
+fn with_common<'a>(extra: &'a [&'a str]) -> Vec<&'a str> {
+    TOPOLOGY_OPTS.iter().chain(extra.iter()).copied().collect()
+}
+
+/// `spnet evaluate` — mean-value analysis of one configuration.
+pub fn evaluate(args: &Args) -> Result<String, ArgError> {
+    args.ensure_known(&with_common(&["trials", "seed", "sources"]))?;
+    let cfg = config_from(args)?;
+    let trials = args.get_or("trials", 5usize)?;
+    let seed = args.get_or("seed", 42u64)?;
+    let sources = args.get_or("sources", 0usize)?;
+    let builder = NetworkBuilder::from_config(cfg.clone());
+    let s = if sources > 0 {
+        builder.evaluate_sampled(trials, seed, sources)
+    } else {
+        builder.evaluate(trials, seed)
+    };
+    let mut t = Table::new(vec!["Metric", "Mean ± 95% CI"]);
+    t.row(vec!["aggregate in bw (bps)".into(), ci(&s.agg_in_bw)]);
+    t.row(vec!["aggregate out bw (bps)".into(), ci(&s.agg_out_bw)]);
+    t.row(vec!["aggregate proc (Hz)".into(), ci(&s.agg_proc)]);
+    t.row(vec!["super-peer in bw (bps)".into(), ci(&s.sp_in_bw)]);
+    t.row(vec!["super-peer out bw (bps)".into(), ci(&s.sp_out_bw)]);
+    t.row(vec!["super-peer proc (Hz)".into(), ci(&s.sp_proc)]);
+    t.row(vec!["client in bw (bps)".into(), ci(&s.client_in_bw)]);
+    t.row(vec!["client out bw (bps)".into(), ci(&s.client_out_bw)]);
+    t.row(vec!["results per query".into(), ci(&s.results)]);
+    t.row(vec!["expected path length".into(), ci(&s.epl)]);
+    t.row(vec!["reach (clusters)".into(), ci(&s.reach_clusters)]);
+    Ok(format!(
+        "configuration: {} users, cluster {}, k {}, outdegree {}, TTL {}\n\n{}",
+        cfg.graph_size,
+        cfg.cluster_size,
+        cfg.redundancy_k,
+        cfg.avg_outdegree,
+        cfg.ttl,
+        t.render()
+    ))
+}
+
+/// `spnet design` — the Figure 10 global design procedure.
+pub fn design_cmd(args: &Args) -> Result<String, ArgError> {
+    args.ensure_known(&with_common(&[
+        "reach",
+        "max-up",
+        "max-down",
+        "max-proc",
+        "max-conns",
+        "allow-redundancy",
+        "seed",
+    ]))?;
+    let users = args.get_or("users", 10_000usize)?;
+    let goals = DesignGoals {
+        num_users: users,
+        desired_reach_peers: args.get_or("reach", users / 4)?,
+    };
+    let constraints = DesignConstraints {
+        max_sp_load: Load {
+            in_bw: args.get_or("max-down", 100_000.0f64)?,
+            out_bw: args.get_or("max-up", 100_000.0f64)?,
+            proc: args.get_or("max-proc", 10e6f64)?,
+        },
+        max_connections: args.get_or("max-conns", 100.0f64)?,
+        allow_redundancy: args.flag("allow-redundancy"),
+    };
+    let eval = EvalOptions {
+        seed: args.get_or("seed", 42u64)?,
+        ..Default::default()
+    };
+    match design(&goals, &constraints, &Config::default(), &eval) {
+        Ok(out) => {
+            let mut s = String::from("design-procedure log:\n");
+            for step in &out.steps {
+                s.push_str("  - ");
+                s.push_str(&step.description);
+                s.push('\n');
+            }
+            s.push_str(&format!(
+                "\nrecommended: cluster {}, outdegree {:.0}, TTL {}, k {}\n\
+                 achieved reach: {:.0} peers\n\
+                 super-peer load: in {} bps, out {} bps, proc {} Hz\n",
+                out.config.cluster_size,
+                out.config.avg_outdegree,
+                out.config.ttl,
+                out.config.redundancy_k,
+                out.achieved_reach_peers,
+                sci(out.evaluation.sp_in_bw.mean),
+                sci(out.evaluation.sp_out_bw.mean),
+                sci(out.evaluation.sp_proc.mean),
+            ));
+            Ok(s)
+        }
+        Err(e) => Err(ArgError(format!("design failed: {e}"))),
+    }
+}
+
+/// `spnet simulate` — event-driven steady state (or reliability
+/// comparison with `--reliability`).
+pub fn simulate(args: &Args) -> Result<String, ArgError> {
+    args.ensure_known(&with_common(&[
+        "duration",
+        "seed",
+        "lifespan",
+        "reliability",
+    ]))?;
+    let mut cfg = config_from(args)?;
+    if let Some(lifespan) = args.get("lifespan") {
+        cfg.population.lifespan_mean_secs = lifespan
+            .parse()
+            .map_err(|_| ArgError(format!("--lifespan: cannot parse {lifespan:?}")))?;
+    }
+    let duration = args.get_or("duration", 3600.0f64)?;
+    let seed = args.get_or("seed", 42u64)?;
+    if args.flag("reliability") {
+        let c = reliability(&cfg, duration, seed);
+        let mut t = Table::new(vec!["Metric", "k = 1", "k = 2"]);
+        t.row(vec![
+            "availability".into(),
+            format!("{:.4}", c.availability_k1),
+            format!("{:.4}", c.availability_k2),
+        ]);
+        t.row(vec![
+            "cluster failures".into(),
+            c.failures_k1.to_string(),
+            c.failures_k2.to_string(),
+        ]);
+        t.row(vec![
+            "mean downtime (s)".into(),
+            format!("{:.1}", c.downtime_k1),
+            format!("{:.1}", c.downtime_k2),
+        ]);
+        return Ok(t.render());
+    }
+    let r = steady_state(&cfg, duration, seed);
+    let mut t = Table::new(vec!["Metric", "Value"]);
+    t.row(vec!["queries simulated".into(), r.queries.to_string()]);
+    t.row(vec![
+        "results per query".into(),
+        format!("{:.1}", r.results_per_query),
+    ]);
+    t.row(vec!["super-peer load".into(), r.sp_load.to_string()]);
+    t.row(vec!["client load".into(), r.client_load.to_string()]);
+    t.row(vec![
+        "availability".into(),
+        format!("{:.4}", r.availability),
+    ]);
+    t.row(vec![
+        "cluster failures".into(),
+        r.cluster_failures.to_string(),
+    ]);
+    Ok(t.render())
+}
+
+/// `spnet sweep` — cluster-size sweep of one system.
+pub fn sweep(args: &Args) -> Result<String, ArgError> {
+    args.ensure_known(&with_common(&["clusters", "trials", "seed", "sources"]))?;
+    let cfg = config_from(args)?;
+    let sizes = args.get_list_or("clusters", &[1usize, 10, 100, 1000])?;
+    let fid = Fidelity {
+        trials: args.get_or("trials", 3usize)?,
+        seed: args.get_or("seed", 42u64)?,
+        max_sources: Some(args.get_or("sources", 800usize)?),
+    };
+    let spec = cluster_sweep::SystemSpec {
+        label: "system".into(),
+        graph_type: cfg.graph_type,
+        redundancy: cfg.redundancy_k > 1,
+        ttl: cfg.ttl,
+        avg_outdegree: cfg.avg_outdegree,
+    };
+    let data = cluster_sweep::run(cfg.graph_size, &sizes, &[spec], None, &fid);
+    let mut t = Table::new(vec![
+        "ClusterSize",
+        "Agg bw (bps)",
+        "SP in (bps)",
+        "SP out (bps)",
+        "SP proc (Hz)",
+        "Results",
+    ]);
+    for (i, &cs) in data.cluster_sizes.iter().enumerate() {
+        let s = &data.cell(i, 0).summary;
+        t.row(vec![
+            cs.to_string(),
+            sci(s.agg_total_bw.mean),
+            sci(s.sp_in_bw.mean),
+            sci(s.sp_out_bw.mean),
+            sci(s.sp_proc.mean),
+            format!("{:.0}", s.results.mean),
+        ]);
+    }
+    Ok(t.render())
+}
+
+/// `spnet epl` — the Figure 9 lookup table.
+pub fn epl(args: &Args) -> Result<String, ArgError> {
+    args.ensure_known(&["outdegrees", "reaches", "nodes", "samples", "seed"])?;
+    let outdegrees = args.get_list_or("outdegrees", &[3.1f64, 10.0, 20.0, 40.0])?;
+    let reaches = args.get_list_or("reaches", &[50usize, 200, 500])?;
+    let nodes = args.get_or("nodes", 1000usize)?;
+    let samples = args.get_or("samples", 40usize)?;
+    let seed = args.get_or("seed", 42u64)?;
+    let data = epl_table::run(&outdegrees, &reaches, nodes, samples, seed);
+    Ok(format!(
+        "{}\n{}",
+        data.render_fig9(),
+        data.render_appendix_f()
+    ))
+}
+
+/// Top-level help text.
+pub fn help() -> String {
+    "spnet — design and evaluate super-peer networks\n\
+     (Yang & Garcia-Molina, 'Designing a Super-Peer Network', ICDE 2003)\n\n\
+     USAGE: spnet <command> [options]\n\n\
+     COMMANDS:\n\
+       evaluate   mean-value load analysis of one configuration\n\
+       design     run the global design procedure under load constraints\n\
+       simulate   event-driven simulation (add --reliability for the k=1 vs k=2 comparison)\n\
+       sweep      cluster-size sweep of one system\n\
+       epl        expected-path-length lookup table (Figure 9)\n\
+       help       this text\n\n\
+     TOPOLOGY OPTIONS (evaluate/design/simulate/sweep):\n\
+       --users N          total peers            (default 10000)\n\
+       --cluster N        peers per cluster      (default 10)\n\
+       --outdegree D      mean overlay degree    (default 3.1)\n\
+       --ttl T            query TTL              (default 7)\n\
+       --redundancy       2-redundant super-peers\n\
+       --k K              arbitrary redundancy factor\n\
+       --strong           strongly connected overlay\n\
+       --graph FAMILY     power-law | strong | erdos-renyi | regular\n\
+       --query-rate R     queries per user per second (default 9.26e-3)\n\n\
+     EXAMPLES:\n\
+       spnet evaluate --users 10000 --cluster 10 --redundancy\n\
+       spnet design --users 20000 --reach 3000 --max-up 100000 --max-conns 100\n\
+       spnet simulate --users 1000 --lifespan 600 --reliability\n\
+       spnet sweep --users 5000 --strong --ttl 1 --clusters 1,10,100,1000\n\
+       spnet epl --outdegrees 3.1,10,20 --reaches 100,500\n"
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(words: &[&str]) -> Args {
+        Args::parse(words.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn evaluate_renders_table() {
+        let out = evaluate(&args(&[
+            "--users", "300", "--cluster", "10", "--ttl", "3", "--trials", "1", "--sources",
+            "50",
+        ]))
+        .unwrap();
+        assert!(out.contains("results per query"));
+        assert!(out.contains("super-peer out bw"));
+    }
+
+    #[test]
+    fn evaluate_rejects_unknown_option() {
+        let err = evaluate(&args(&["--userz", "300"])).unwrap_err();
+        assert!(err.0.contains("userz"));
+    }
+
+    #[test]
+    fn config_respects_graph_family() {
+        let cfg = config_from(&args(&["--graph", "regular", "--users", "500"])).unwrap();
+        assert_eq!(cfg.graph_type, GraphType::RandomRegular);
+        assert!(config_from(&args(&["--graph", "nonsense"])).is_err());
+    }
+
+    #[test]
+    fn design_small_scenario() {
+        let out = design_cmd(&args(&[
+            "--users", "1000", "--reach", "250", "--max-up", "150000", "--max-down", "150000",
+            "--max-proc", "15000000", "--max-conns", "100",
+        ]))
+        .unwrap();
+        assert!(out.contains("recommended"));
+        assert!(out.contains("TTL"));
+    }
+
+    #[test]
+    fn simulate_produces_counts() {
+        let out = simulate(&args(&[
+            "--users", "100", "--cluster", "10", "--duration", "300",
+        ]))
+        .unwrap();
+        assert!(out.contains("queries simulated"));
+    }
+
+    #[test]
+    fn sweep_lists_all_sizes() {
+        let out = sweep(&args(&[
+            "--users", "400", "--clusters", "5,40", "--trials", "1", "--sources", "40", "--ttl",
+            "3",
+        ]))
+        .unwrap();
+        assert!(out.lines().count() >= 4);
+    }
+
+    #[test]
+    fn epl_table_renders() {
+        let out = epl(&args(&[
+            "--outdegrees",
+            "5,10",
+            "--reaches",
+            "30",
+            "--nodes",
+            "200",
+            "--samples",
+            "5",
+        ]))
+        .unwrap();
+        assert!(out.contains("Figure 9"));
+    }
+
+    #[test]
+    fn help_mentions_every_command() {
+        let h = help();
+        for cmd in ["evaluate", "design", "simulate", "sweep", "epl"] {
+            assert!(h.contains(cmd), "help missing {cmd}");
+        }
+    }
+}

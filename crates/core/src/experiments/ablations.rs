@@ -1,0 +1,359 @@
+//! Ablations beyond the paper's evaluation: generalized k-redundancy,
+//! overlay-family comparison, and population tail sensitivity.
+//!
+//! The paper motivates each of these but stops short of evaluating
+//! them:
+//!
+//! * **k > 2 redundancy** — "because the number of open connections
+//!   increases so quickly as k increases, in this paper we will only
+//!   consider the case where k = 2" (Section 3.2). The sweep here
+//!   quantifies that wall: individual load keeps falling ~1/k while
+//!   connections grow ~k·d and join traffic grows ~k.
+//! * **Overlay family** — Figures 7 and 12 blame the power law's degree
+//!   *spread* for load concentration. Holding mean degree fixed and
+//!   swapping PLOD for Erdős–Rényi (Poisson spread) and random-regular
+//!   (no spread) isolates that claim.
+//! * **File-count tail** — the synthesized Saroiu-style population uses
+//!   a log-normal; re-running rule #1 under a bounded Pareto checks the
+//!   rules of thumb don't hinge on the tail family (DESIGN.md §4).
+
+use sp_model::config::{Config, GraphType};
+use sp_model::population::{FileTail, PopulationModel};
+use sp_model::trials::{run_trials, TrialOptions, TrialSummary};
+
+use super::Fidelity;
+use crate::report::{sci, Table};
+
+fn evaluate(cfg: &Config, fid: &Fidelity) -> TrialSummary {
+    run_trials(
+        cfg,
+        &TrialOptions {
+            trials: fid.trials,
+            seed: fid.seed,
+            max_sources: fid.max_sources,
+            threads: 0,
+        },
+    )
+}
+
+// ---------------------------------------------------------------------
+// k-redundancy sweep
+// ---------------------------------------------------------------------
+
+/// One k of the redundancy sweep.
+#[derive(Debug, Clone)]
+pub struct KPoint {
+    /// Partners per virtual super-peer.
+    pub k: usize,
+    /// Evaluation.
+    pub summary: TrialSummary,
+    /// Open connections per partner (clients + k per neighbor +
+    /// co-partners), computed from the configuration means.
+    pub connections_per_partner: f64,
+}
+
+/// The sweep result.
+#[derive(Debug, Clone)]
+pub struct KSweepData {
+    /// Points in k order.
+    pub points: Vec<KPoint>,
+    /// Cluster size used.
+    pub cluster_size: usize,
+}
+
+impl KSweepData {
+    /// Renders the tradeoff table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec![
+            "k",
+            "SP bw (bps)",
+            "SP proc (Hz)",
+            "Agg bw (bps)",
+            "Agg proc (Hz)",
+            "Conns/partner",
+        ]);
+        for p in &self.points {
+            t.row(vec![
+                p.k.to_string(),
+                sci(p.summary.sp_total_bw.mean),
+                sci(p.summary.sp_proc.mean),
+                sci(p.summary.agg_total_bw.mean),
+                sci(p.summary.agg_proc.mean),
+                format!("{:.0}", p.connections_per_partner),
+            ]);
+        }
+        format!(
+            "Ablation — k-redundancy beyond the paper's k = 2 (cluster size {})\n{}",
+            self.cluster_size,
+            t.render()
+        )
+    }
+}
+
+/// Sweeps the redundancy factor.
+pub fn redundancy_k_sweep(
+    graph_size: usize,
+    cluster_size: usize,
+    ks: &[usize],
+    fid: &Fidelity,
+) -> KSweepData {
+    let points = ks
+        .iter()
+        .filter(|&&k| k >= 1 && k <= cluster_size)
+        .map(|&k| {
+            let cfg = Config {
+                graph_size,
+                cluster_size,
+                redundancy_k: k,
+                ..Config::default()
+            };
+            let summary = evaluate(&cfg, fid);
+            let kf = k as f64;
+            let connections_per_partner =
+                cfg.mean_clients() + kf * summary.mean_outdegree + (kf - 1.0);
+            KPoint {
+                k,
+                summary,
+                connections_per_partner,
+            }
+        })
+        .collect();
+    KSweepData {
+        points,
+        cluster_size,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Overlay-family comparison
+// ---------------------------------------------------------------------
+
+/// One overlay family's evaluation.
+#[derive(Debug, Clone)]
+pub struct FamilyPoint {
+    /// Family label.
+    pub label: String,
+    /// Evaluation.
+    pub summary: TrialSummary,
+    /// Max/mean ratio of per-outdegree mean super-peer loads — the
+    /// load-concentration measure of Figure 7.
+    pub load_spread: f64,
+}
+
+/// The comparison result.
+#[derive(Debug, Clone)]
+pub struct FamilyData {
+    /// One point per family.
+    pub points: Vec<FamilyPoint>,
+    /// Mean degree used everywhere.
+    pub mean_degree: f64,
+}
+
+impl FamilyData {
+    /// Renders the comparison table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec![
+            "Overlay",
+            "Agg bw (bps)",
+            "SP bw (bps)",
+            "EPL",
+            "Results",
+            "Load spread (max/mean)",
+        ]);
+        for p in &self.points {
+            t.row(vec![
+                p.label.clone(),
+                sci(p.summary.agg_total_bw.mean),
+                sci(p.summary.sp_total_bw.mean),
+                format!("{:.2}", p.summary.epl.mean),
+                format!("{:.0}", p.summary.results.mean),
+                format!("{:.2}", p.load_spread),
+            ]);
+        }
+        format!(
+            "Ablation — overlay family at equal mean degree {}\n{}",
+            self.mean_degree,
+            t.render()
+        )
+    }
+}
+
+/// Compares PLOD, Erdős–Rényi, and random-regular overlays at one mean
+/// degree.
+pub fn overlay_family_comparison(
+    graph_size: usize,
+    cluster_size: usize,
+    mean_degree: f64,
+    ttl: u16,
+    fid: &Fidelity,
+) -> FamilyData {
+    let families = [
+        ("PowerLaw (PLOD)", GraphType::PowerLaw),
+        ("ErdosRenyi", GraphType::ErdosRenyi),
+        ("RandomRegular", GraphType::RandomRegular),
+    ];
+    let points = families
+        .iter()
+        .map(|(label, family)| {
+            let cfg = Config {
+                graph_size,
+                cluster_size,
+                graph_type: *family,
+                avg_outdegree: mean_degree,
+                ttl,
+                ..Config::default()
+            };
+            let summary = evaluate(&cfg, fid);
+            let means: Vec<f64> = summary
+                .sp_out_bw_by_outdegree
+                .iter()
+                .map(|(_, s)| s.mean())
+                .collect();
+            let max = means.iter().cloned().fold(f64::MIN, f64::max);
+            let mean = means.iter().sum::<f64>() / means.len().max(1) as f64;
+            FamilyPoint {
+                label: label.to_string(),
+                summary,
+                load_spread: if mean > 0.0 { max / mean } else { 0.0 },
+            }
+        })
+        .collect();
+    FamilyData {
+        points,
+        mean_degree,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Population tail sensitivity
+// ---------------------------------------------------------------------
+
+/// Rule #1's cluster-size tradeoff under two file-count tails.
+#[derive(Debug, Clone)]
+pub struct TailData {
+    /// Cluster sizes compared.
+    pub cluster_sizes: Vec<usize>,
+    /// (tail label, per-cluster-size summaries).
+    pub series: Vec<(String, Vec<TrialSummary>)>,
+}
+
+impl TailData {
+    /// Renders aggregate and individual load per tail.
+    pub fn render(&self) -> String {
+        let mut headers = vec!["ClusterSize".to_string()];
+        for (label, _) in &self.series {
+            headers.push(format!("{label} agg bw"));
+            headers.push(format!("{label} SP bw"));
+        }
+        let mut t = Table::new(headers);
+        for (i, &cs) in self.cluster_sizes.iter().enumerate() {
+            let mut row = vec![cs.to_string()];
+            for (_, summaries) in &self.series {
+                row.push(sci(summaries[i].agg_total_bw.mean));
+                row.push(sci(summaries[i].sp_total_bw.mean));
+            }
+            t.row(row);
+        }
+        format!(
+            "Ablation — rule #1 under log-normal vs bounded-Pareto file tails\n{}",
+            t.render()
+        )
+    }
+}
+
+/// Runs the tail-sensitivity ablation. The Pareto parameters are chosen
+/// to roughly match the log-normal's mean (~165 files per sharing
+/// peer) so only the tail shape differs.
+pub fn population_tail_sensitivity(
+    graph_size: usize,
+    cluster_sizes: &[usize],
+    fid: &Fidelity,
+) -> TailData {
+    let tails = [
+        ("LogNormal".to_string(), FileTail::LogNormal),
+        (
+            "Pareto".to_string(),
+            FileTail::BoundedPareto {
+                alpha: 1.06,
+                max_files: 50_000.0,
+            },
+        ),
+    ];
+    let series = tails
+        .iter()
+        .map(|(label, tail)| {
+            let summaries = cluster_sizes
+                .iter()
+                .map(|&cs| {
+                    let cfg = Config {
+                        graph_size,
+                        cluster_size: cs,
+                        population: PopulationModel {
+                            file_tail: *tail,
+                            ..Default::default()
+                        },
+                        ..Config::default()
+                    };
+                    evaluate(&cfg, fid)
+                })
+                .collect();
+            (label.clone(), summaries)
+        })
+        .collect();
+    TailData {
+        cluster_sizes: cluster_sizes.to_vec(),
+        series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_sweep_tradeoffs() {
+        let d = redundancy_k_sweep(600, 12, &[1, 2, 3], &Fidelity::quick());
+        assert_eq!(d.points.len(), 3);
+        // Individual load falls with k…
+        assert!(d.points[2].summary.sp_total_bw.mean < d.points[0].summary.sp_total_bw.mean);
+        // …while connections grow.
+        assert!(d.points[2].connections_per_partner > d.points[0].connections_per_partner);
+        assert!(d.render().contains("k-redundancy"));
+    }
+
+    #[test]
+    fn k_sweep_filters_invalid_k() {
+        let d = redundancy_k_sweep(200, 4, &[1, 2, 9], &Fidelity::quick());
+        assert_eq!(d.points.len(), 2, "k=9 > cluster size must be dropped");
+    }
+
+    #[test]
+    fn overlay_families_spread_ordering() {
+        let d = overlay_family_comparison(800, 10, 6.0, 5, &Fidelity::quick());
+        assert_eq!(d.points.len(), 3);
+        // Degree spread concentrates load: PLOD ≥ regular.
+        let plod = d.points[0].load_spread;
+        let regular = d.points[2].load_spread;
+        assert!(
+            plod >= regular * 0.9,
+            "plod spread {plod} vs regular {regular}"
+        );
+        assert!(d.render().contains("ErdosRenyi"));
+    }
+
+    #[test]
+    fn tail_sensitivity_preserves_rule1() {
+        let d = population_tail_sensitivity(600, &[5, 60], &Fidelity::quick());
+        for (label, summaries) in &d.series {
+            assert!(
+                summaries[1].agg_total_bw.mean < summaries[0].agg_total_bw.mean,
+                "{label}: rule 1 aggregate direction lost"
+            );
+            assert!(
+                summaries[1].sp_total_bw.mean > summaries[0].sp_total_bw.mean,
+                "{label}: rule 1 individual direction lost"
+            );
+        }
+        assert!(d.render().contains("Pareto"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Expected path length vs outdegree and reach — Figure 9 and
+//! Appendix F.
+//!
+//! Figure 9 is the designer's lookup table for rule #4: pick the
+//! desired reach, read off the EPL for the topology's average
+//! outdegree, round up to get the TTL. Appendix F adds the analytic
+//! approximation `log_d(reach)` — exact on trees, approximate (and
+//! usually below the measurement) on cyclic overlays — which this
+//! experiment tabulates next to the measured values.
+
+use sp_design::epl::{ttl_for_epl, EplPredictor};
+use sp_graph::metrics::epl_tree_approximation;
+
+use crate::report::Table;
+
+/// The measured table plus the analytic comparison.
+#[derive(Debug, Clone)]
+pub struct EplData {
+    /// Measured EPL grid.
+    pub predictor: EplPredictor,
+    /// Overlay size used for the measurement.
+    pub overlay_nodes: usize,
+}
+
+impl EplData {
+    /// Figure 9: measured EPL per (reach, outdegree).
+    pub fn render_fig9(&self) -> String {
+        let mut headers = vec!["Reach\\Outdeg".to_string()];
+        for d in self.predictor.outdegrees() {
+            headers.push(format!("{d}"));
+        }
+        let mut t = Table::new(headers);
+        for (ri, &r) in self.predictor.reaches().iter().enumerate() {
+            let mut row = vec![r.to_string()];
+            for di in 0..self.predictor.outdegrees().len() {
+                row.push(match self.predictor.at(ri, di) {
+                    Some(e) => format!("{e:.2}"),
+                    None => "—".to_string(),
+                });
+            }
+            t.row(row);
+        }
+        format!(
+            "Figure 9 — measured EPL vs average outdegree, per desired reach \
+             ({} overlay nodes)\n{}",
+            self.overlay_nodes,
+            t.render()
+        )
+    }
+
+    /// Appendix F: measured EPL vs the `log_d(reach)` bound, with the
+    /// recommended TTL.
+    pub fn render_appendix_f(&self) -> String {
+        let mut t = Table::new(vec![
+            "Outdegree",
+            "Reach",
+            "Measured EPL",
+            "log_d(reach)",
+            "Recommended TTL",
+        ]);
+        for (ri, &r) in self.predictor.reaches().iter().enumerate() {
+            for (di, &d) in self.predictor.outdegrees().iter().enumerate() {
+                let Some(measured) = self.predictor.at(ri, di) else {
+                    continue;
+                };
+                let approx = epl_tree_approximation(d, r as f64)
+                    .map(|a| format!("{a:.2}"))
+                    .unwrap_or_else(|| "—".into());
+                t.row(vec![
+                    format!("{d}"),
+                    r.to_string(),
+                    format!("{measured:.2}"),
+                    approx,
+                    ttl_for_epl(measured).to_string(),
+                ]);
+            }
+        }
+        format!(
+            "Appendix F — measured EPL vs the log_d(reach) approximation\n{}",
+            t.render()
+        )
+    }
+}
+
+/// Measures the Figure 9 grid.
+pub fn run(
+    outdegrees: &[f64],
+    reaches: &[usize],
+    overlay_nodes: usize,
+    samples: usize,
+    seed: u64,
+) -> EplData {
+    EplData {
+        predictor: EplPredictor::measure(outdegrees, reaches, overlay_nodes, samples, seed),
+        overlay_nodes,
+    }
+}
+
+/// The paper's Figure 9 grids.
+pub fn paper_outdegrees() -> Vec<f64> {
+    vec![3.1, 5.0, 10.0, 20.0, 40.0, 60.0, 80.0]
+}
+
+/// The paper's Figure 9 reach curves.
+pub fn paper_reaches() -> Vec<usize> {
+    vec![20, 50, 100, 200, 500, 1000]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure9_shape() {
+        let data = run(&[3.1, 10.0, 20.0], &[50, 200], 800, 15, 3);
+        // EPL falls with outdegree, grows with reach.
+        let e = |ri, di| data.predictor.at(ri, di).unwrap();
+        assert!(e(0, 2) < e(0, 0));
+        assert!(e(1, 0) > e(0, 0));
+        let rendered = data.render_fig9();
+        assert!(rendered.contains("Figure 9"));
+        assert!(rendered.contains("3.1"));
+    }
+
+    #[test]
+    fn appendix_f_lists_ttls() {
+        let data = run(&[10.0], &[100], 500, 10, 1);
+        let s = data.render_appendix_f();
+        assert!(s.contains("Recommended TTL"));
+        assert!(s.contains("log_d(reach)"));
+        // At least one data row beyond the header and separator.
+        assert!(s.lines().count() >= 4);
+    }
+}

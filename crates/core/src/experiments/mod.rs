@@ -1,0 +1,68 @@
+//! Runnable reproductions of every table and figure in the paper's
+//! evaluation (Section 5 and the appendices).
+//!
+//! Each submodule packages one experiment: a typed `run` function that
+//! produces the figure's data series, and `render_*` methods that print
+//! the same rows the paper reports. The `sp-bench` crate exposes one
+//! binary per experiment (`repro_fig04`, `repro_fig11`, …), and
+//! EXPERIMENTS.md records paper-versus-measured shape checks.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`cluster_sweep`] | Figures 4, 5, 6 (and A-13/A-14 at a low query rate) |
+//! | [`outdegree_hist`] | Figures 7 and 8 |
+//! | [`epl_table`] | Figure 9 and Appendix F |
+//! | [`redesign`] | Figures 11 and 12 (the Section 5.2 walk-through) |
+//! | [`rules`] | Rule #2/#3/#4 numerics, Appendix D Table 2, Figure A-15 |
+//! | [`dynamics`] | Section 3.2 reliability claim, Section 5.3 adaptation |
+//! | [`ablations`] | Extensions: k > 2 redundancy, overlay families, file-tail sensitivity |
+
+pub mod ablations;
+pub mod cluster_sweep;
+pub mod dynamics;
+pub mod epl_table;
+pub mod outdegree_hist;
+pub mod redesign;
+pub mod rules;
+
+/// Evaluation fidelity: how many trials, how much source sampling.
+///
+/// The paper-scale runs (`standard`) average several instances of
+/// 10 000–20 000-peer networks; tests and smoke runs use `quick` with
+/// scaled-down networks.
+#[derive(Debug, Clone, Copy)]
+pub struct Fidelity {
+    /// Instances per configuration.
+    pub trials: usize,
+    /// Root RNG seed.
+    pub seed: u64,
+    /// Cap on flooded source clusters per instance (`None` = exact).
+    pub max_sources: Option<usize>,
+}
+
+impl Fidelity {
+    /// Paper-scale fidelity (several trials, sampled sources — the
+    /// sampling error is far below the instance-to-instance CI width).
+    pub fn standard() -> Self {
+        Fidelity {
+            trials: 3,
+            seed: 0x5EED_2003,
+            max_sources: Some(1200),
+        }
+    }
+
+    /// Fast fidelity for tests and smoke runs.
+    pub fn quick() -> Self {
+        Fidelity {
+            trials: 1,
+            seed: 0x5EED_2003,
+            max_sources: Some(150),
+        }
+    }
+}
+
+impl Default for Fidelity {
+    fn default() -> Self {
+        Fidelity::standard()
+    }
+}

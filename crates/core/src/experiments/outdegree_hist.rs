@@ -1,0 +1,172 @@
+//! Outdegree histograms — Figures 7 and 8.
+//!
+//! Rule #3's evidence: in a power-law overlay with average outdegree
+//! 3.1, the few high-degree super-peers carry extreme load while
+//! low-degree ones see fewer results; at average outdegree 10 every
+//! super-peer's load lands in a moderate band *and* everyone receives
+//! nearly full results. The figures plot, per outdegree, the mean ± one
+//! standard deviation of (7) individual outgoing bandwidth and (8)
+//! expected results per query.
+
+use sp_model::config::Config;
+use sp_model::trials::{run_trials, TrialOptions};
+use sp_stats::GroupedStats;
+
+use super::Fidelity;
+use crate::report::{sci, Table};
+
+/// Histogram data for one topology.
+#[derive(Debug, Clone)]
+pub struct HistogramSeries {
+    /// Average outdegree of the topology.
+    pub avg_outdegree: f64,
+    /// Super-peer outgoing bandwidth by outdegree (Figure 7).
+    pub out_bw_by_outdegree: GroupedStats,
+    /// Results per query by source outdegree (Figure 8).
+    pub results_by_outdegree: GroupedStats,
+}
+
+/// Both topologies of Figures 7/8.
+#[derive(Debug, Clone)]
+pub struct HistogramData {
+    /// One series per average outdegree (3.1 and 10 in the paper).
+    pub series: Vec<HistogramSeries>,
+    /// Cluster size used (20 in the paper).
+    pub cluster_size: usize,
+}
+
+impl HistogramData {
+    fn render(&self, title: &str, pick: impl Fn(&HistogramSeries) -> &GroupedStats) -> String {
+        let mut out = String::from(title);
+        out.push('\n');
+        for s in &self.series {
+            out.push_str(&format!("\n  average outdegree {}\n", s.avg_outdegree));
+            let mut t = Table::new(vec!["Outdegree", "Mean", "StdDev", "SuperPeers"]);
+            for (deg, stats) in pick(s).iter() {
+                t.row(vec![
+                    deg.to_string(),
+                    sci(stats.mean()),
+                    sci(stats.std_dev()),
+                    stats.count().to_string(),
+                ]);
+            }
+            for line in t.render().lines() {
+                out.push_str("  ");
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Figure 7: outgoing bandwidth per outdegree.
+    pub fn render_fig7(&self) -> String {
+        self.render(
+            "Figure 7 — super-peer outgoing bandwidth (bps) by number of neighbors",
+            |s| &s.out_bw_by_outdegree,
+        )
+    }
+
+    /// Figure 8: results per query per outdegree.
+    pub fn render_fig8(&self) -> String {
+        self.render(
+            "Figure 8 — expected results per query by number of neighbors",
+            |s| &s.results_by_outdegree,
+        )
+    }
+}
+
+/// Runs the Figures 7/8 experiment.
+pub fn run(
+    graph_size: usize,
+    cluster_size: usize,
+    outdegrees: &[f64],
+    fid: &Fidelity,
+) -> HistogramData {
+    let series = outdegrees
+        .iter()
+        .map(|&d| {
+            let cfg = Config {
+                graph_size,
+                cluster_size,
+                avg_outdegree: d,
+                ttl: 7,
+                ..Config::default()
+            };
+            let summary = run_trials(
+                &cfg,
+                &TrialOptions {
+                    trials: fid.trials,
+                    seed: fid.seed,
+                    max_sources: fid.max_sources,
+                    threads: 0,
+                },
+            );
+            HistogramSeries {
+                avg_outdegree: d,
+                out_bw_by_outdegree: summary.sp_out_bw_by_outdegree,
+                results_by_outdegree: summary.results_by_outdegree,
+            }
+        })
+        .collect();
+    HistogramData {
+        series,
+        cluster_size,
+    }
+}
+
+/// The paper's pair of topologies (average outdegree 3.1 and 10).
+pub fn paper_outdegrees() -> Vec<f64> {
+    vec![3.1, 10.0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> HistogramData {
+        run(800, 20, &paper_outdegrees(), &Fidelity::quick())
+    }
+
+    #[test]
+    fn results_grow_with_outdegree_within_sparse_topology() {
+        // In the 3.1 topology, low-degree super-peers see fewer results
+        // than high-degree ones (Figure 8's core point).
+        let d = data();
+        let s = &d.series[0].results_by_outdegree;
+        let keys: Vec<u64> = s.keys().collect();
+        let lo = s.get(*keys.first().unwrap()).unwrap().mean();
+        let hi = s.get(*keys.last().unwrap()).unwrap().mean();
+        assert!(hi > lo, "results: deg {lo} !< {hi}");
+    }
+
+    #[test]
+    fn dense_topology_has_narrower_spread() {
+        // "the loads of all peers in the second topology remain in the
+        // same moderate range": relative spread of per-degree means is
+        // smaller at outdegree 10.
+        let d = data();
+        let spread = |g: &GroupedStats| {
+            let means: Vec<f64> = g.iter().map(|(_, s)| s.mean()).collect();
+            let max = means.iter().cloned().fold(f64::MIN, f64::max);
+            let min = means.iter().cloned().fold(f64::MAX, f64::min);
+            max / min.max(1e-9)
+        };
+        let sparse = spread(&d.series[0].out_bw_by_outdegree);
+        let dense = spread(&d.series[1].out_bw_by_outdegree);
+        assert!(
+            dense < sparse,
+            "load spread dense {dense} !< sparse {sparse}"
+        );
+    }
+
+    #[test]
+    fn renderers_list_degrees() {
+        let d = data();
+        let f7 = d.render_fig7();
+        let f8 = d.render_fig8();
+        assert!(f7.contains("average outdegree 3.1"));
+        assert!(f7.contains("average outdegree 10"));
+        assert!(f8.contains("Outdegree"));
+    }
+}

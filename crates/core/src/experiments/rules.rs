@@ -1,0 +1,383 @@
+//! Numeric rule-of-thumb checks — rule #2, rule #3 (with Appendix D's
+//! Table 2 and Appendix E's Figure A-15), and rule #4.
+//!
+//! These reproduce the specific percentages the paper quotes in
+//! Section 5.1: redundancy's "+2.5% aggregate, −48% individual",
+//! rule #3's "31% aggregate bandwidth improvement" and the unilateral
+//! outdegree-increase penalty, and rule #4's "19% less aggregate
+//! incoming bandwidth" from trimming one wasted TTL hop.
+
+use sp_model::config::{Config, GraphType};
+use sp_model::trials::{run_trials, TrialOptions, TrialSummary};
+
+use super::Fidelity;
+use crate::report::{pct_change, sci, Table};
+
+fn evaluate(cfg: &Config, fid: &Fidelity) -> TrialSummary {
+    run_trials(
+        cfg,
+        &TrialOptions {
+            trials: fid.trials,
+            seed: fid.seed,
+            max_sources: fid.max_sources,
+            threads: 0,
+        },
+    )
+}
+
+// ---------------------------------------------------------------------
+// Rule #2 — super-peer redundancy is good.
+// ---------------------------------------------------------------------
+
+/// Rule #2 numbers: the strongly connected system at one cluster size,
+/// with and without redundancy.
+#[derive(Debug, Clone)]
+pub struct Rule2Data {
+    /// Cluster size compared (paper: 100).
+    pub cluster_size: usize,
+    /// Without redundancy.
+    pub plain: TrialSummary,
+    /// With 2-redundancy.
+    pub redundant: TrialSummary,
+}
+
+impl Rule2Data {
+    /// Renders the paper's headline percentages.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec!["Metric", "Plain", "2-Redundant", "Change"]);
+        let rows: Vec<(&str, f64, f64)> = vec![
+            (
+                "aggregate bandwidth (bps)",
+                self.plain.agg_total_bw.mean,
+                self.redundant.agg_total_bw.mean,
+            ),
+            (
+                "individual SP bandwidth (bps)",
+                self.plain.sp_total_bw.mean,
+                self.redundant.sp_total_bw.mean,
+            ),
+            (
+                "aggregate processing (Hz)",
+                self.plain.agg_proc.mean,
+                self.redundant.agg_proc.mean,
+            ),
+            (
+                "individual SP processing (Hz)",
+                self.plain.sp_proc.mean,
+                self.redundant.sp_proc.mean,
+            ),
+        ];
+        for (name, plain, red) in rows {
+            t.row(vec![
+                name.to_string(),
+                sci(plain),
+                sci(red),
+                pct_change(red, plain),
+            ]);
+        }
+        format!(
+            "Rule #2 — super-peer redundancy (strongly connected, cluster size {})\n{}",
+            self.cluster_size,
+            t.render()
+        )
+    }
+}
+
+/// Runs the rule #2 comparison (paper: strong topology, cluster 100).
+pub fn rule2(graph_size: usize, cluster_size: usize, fid: &Fidelity) -> Rule2Data {
+    let base = Config {
+        graph_type: GraphType::StronglyConnected,
+        graph_size,
+        cluster_size,
+        ttl: 1,
+        ..Config::default()
+    };
+    Rule2Data {
+        cluster_size,
+        plain: evaluate(&base, fid),
+        redundant: evaluate(&base.clone().with_redundancy(true), fid),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule #3 — maximize outdegree (Appendix D Table 2 + unilateral caveat).
+// ---------------------------------------------------------------------
+
+/// Rule #3 numbers: two power-law topologies at different average
+/// outdegrees.
+#[derive(Debug, Clone)]
+pub struct Rule3Data {
+    /// Cluster size compared (paper Appendix D: 100).
+    pub cluster_size: usize,
+    /// Lower average outdegree (3.1) evaluation.
+    pub sparse: TrialSummary,
+    /// Higher average outdegree (10) evaluation.
+    pub dense: TrialSummary,
+    /// The two outdegrees.
+    pub outdegrees: (f64, f64),
+}
+
+impl Rule3Data {
+    /// Appendix D Table 2: aggregate loads for both topologies.
+    pub fn render_table_d2(&self) -> String {
+        let mut t = Table::new(vec![
+            "Avg outdegree",
+            "In bw (bps)",
+            "Out bw (bps)",
+            "Proc (Hz)",
+            "EPL",
+        ]);
+        for (d, s) in [
+            (self.outdegrees.0, &self.sparse),
+            (self.outdegrees.1, &self.dense),
+        ] {
+            t.row(vec![
+                format!("{d}"),
+                sci(s.agg_in_bw.mean),
+                sci(s.agg_out_bw.mean),
+                sci(s.agg_proc.mean),
+                format!("{:.2}", s.epl.mean),
+            ]);
+        }
+        format!(
+            "Appendix D Table 2 — aggregate load vs average outdegree (cluster size {})\n{}",
+            self.cluster_size,
+            t.render()
+        )
+    }
+
+    /// Rule #3 headline: aggregate bandwidth and EPL improvements.
+    pub fn render_summary(&self) -> String {
+        format!(
+            "Rule #3 — raising average outdegree {} → {}:\n  aggregate bandwidth: {}\n  \
+             aggregate processing: {}\n  EPL: {:.2} → {:.2}\n",
+            self.outdegrees.0,
+            self.outdegrees.1,
+            pct_change(self.dense.agg_total_bw.mean, self.sparse.agg_total_bw.mean),
+            pct_change(self.dense.agg_proc.mean, self.sparse.agg_proc.mean),
+            self.sparse.epl.mean,
+            self.dense.epl.mean,
+        )
+    }
+
+    /// The unilateral caveat: a lone super-peer that raises its own
+    /// outdegree in the sparse topology takes on far more load, read
+    /// off the by-outdegree histograms.
+    pub fn render_unilateral(&self) -> String {
+        let sparse = &self.sparse.sp_out_bw_by_outdegree;
+        let keys: Vec<u64> = sparse.keys().collect();
+        let Some(&low_deg) = keys.iter().find(|&&k| sparse.get(k).is_some()) else {
+            return "no histogram data".into();
+        };
+        let high_deg = *keys.last().expect("nonempty");
+        let low = sparse.get(low_deg).map(|s| s.mean()).unwrap_or(0.0);
+        let high = sparse.get(high_deg).map(|s| s.mean()).unwrap_or(0.0);
+        format!(
+            "Unilateral increase in the sparse topology: outdegree {low_deg} carries \
+             {} bps; outdegree {high_deg} carries {} bps ({}) — increasing outdegree \
+             only pays off when everyone does it.\n",
+            sci(low),
+            sci(high),
+            pct_change(high, low)
+        )
+    }
+}
+
+/// Runs the rule #3 comparison.
+pub fn rule3(
+    graph_size: usize,
+    cluster_size: usize,
+    outdegrees: (f64, f64),
+    fid: &Fidelity,
+) -> Rule3Data {
+    let mk = |d: f64| Config {
+        graph_size,
+        cluster_size,
+        avg_outdegree: d,
+        ttl: 7,
+        ..Config::default()
+    };
+    Rule3Data {
+        cluster_size,
+        sparse: evaluate(&mk(outdegrees.0), fid),
+        dense: evaluate(&mk(outdegrees.1), fid),
+        outdegrees,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule #4 — minimize TTL.
+// ---------------------------------------------------------------------
+
+/// Rule #4 numbers: the same full-reach topology at two TTLs.
+#[derive(Debug, Clone)]
+pub struct Rule4Data {
+    /// Minimal full-reach TTL evaluation.
+    pub tight: TrialSummary,
+    /// One-hop-too-many evaluation.
+    pub loose: TrialSummary,
+    /// The TTL pair.
+    pub ttls: (u16, u16),
+}
+
+impl Rule4Data {
+    /// Renders the waste of the extra hop.
+    pub fn render(&self) -> String {
+        format!(
+            "Rule #4 — TTL {} vs {} at full reach (reach {:.0} vs {:.0} clusters):\n  \
+             aggregate incoming bandwidth: {} vs {} ({} from trimming the wasted hop)\n",
+            self.ttls.1,
+            self.ttls.0,
+            self.loose.reach_clusters.mean,
+            self.tight.reach_clusters.mean,
+            sci(self.loose.agg_in_bw.mean),
+            sci(self.tight.agg_in_bw.mean),
+            pct_change(self.tight.agg_in_bw.mean, self.loose.agg_in_bw.mean),
+        )
+    }
+}
+
+/// Runs the rule #4 comparison (paper: outdegree 20, TTL 4 → 3).
+pub fn rule4(
+    graph_size: usize,
+    cluster_size: usize,
+    avg_outdegree: f64,
+    ttls: (u16, u16),
+    fid: &Fidelity,
+) -> Rule4Data {
+    let mk = |ttl: u16| Config {
+        graph_size,
+        cluster_size,
+        avg_outdegree,
+        ttl,
+        ..Config::default()
+    };
+    Rule4Data {
+        tight: evaluate(&mk(ttls.0), fid),
+        loose: evaluate(&mk(ttls.1), fid),
+        ttls,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Appendix E — Figure A-15: outdegree can be too large.
+// ---------------------------------------------------------------------
+
+/// Figure A-15 data: individual super-peer load for two large
+/// outdegrees across cluster sizes at TTL 2.
+#[derive(Debug, Clone)]
+pub struct FigA15Data {
+    /// Cluster sizes on the x axis.
+    pub cluster_sizes: Vec<usize>,
+    /// (outdegree, per-cluster-size summaries).
+    pub series: Vec<(f64, Vec<TrialSummary>)>,
+}
+
+impl FigA15Data {
+    /// Renders individual outgoing bandwidth per cluster size.
+    pub fn render(&self) -> String {
+        let mut headers = vec!["ClusterSize".to_string()];
+        for (d, _) in &self.series {
+            headers.push(format!("Outdeg {d}"));
+        }
+        let mut t = Table::new(headers);
+        for (i, &cs) in self.cluster_sizes.iter().enumerate() {
+            let mut row = vec![cs.to_string()];
+            for (_, summaries) in &self.series {
+                row.push(sci(summaries[i].sp_out_bw.mean));
+            }
+            t.row(row);
+        }
+        format!(
+            "Figure A-15 — individual super-peer outgoing bandwidth (bps), TTL 2\n{}",
+            t.render()
+        )
+    }
+}
+
+/// Runs the Appendix E experiment.
+pub fn fig_a15(
+    graph_size: usize,
+    cluster_sizes: &[usize],
+    outdegrees: &[f64],
+    fid: &Fidelity,
+) -> FigA15Data {
+    let series = outdegrees
+        .iter()
+        .map(|&d| {
+            let summaries = cluster_sizes
+                .iter()
+                .map(|&cs| {
+                    evaluate(
+                        &Config {
+                            graph_size,
+                            cluster_size: cs,
+                            avg_outdegree: d,
+                            ttl: 2,
+                            ..Config::default()
+                        },
+                        fid,
+                    )
+                })
+                .collect();
+            (d, summaries)
+        })
+        .collect();
+    FigA15Data {
+        cluster_sizes: cluster_sizes.to_vec(),
+        series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule2_directions() {
+        let d = rule2(800, 40, &Fidelity::quick());
+        // Individual load drops sharply; aggregate bandwidth barely
+        // moves.
+        assert!(d.redundant.sp_total_bw.mean < 0.8 * d.plain.sp_total_bw.mean);
+        let agg_rel = (d.redundant.agg_total_bw.mean - d.plain.agg_total_bw.mean).abs()
+            / d.plain.agg_total_bw.mean;
+        assert!(agg_rel < 0.2, "aggregate moved {agg_rel}");
+        assert!(d.render().contains("Rule #2"));
+    }
+
+    #[test]
+    fn rule3_dense_wins_on_epl() {
+        let d = rule3(800, 20, (3.1, 10.0), &Fidelity::quick());
+        assert!(d.dense.epl.mean < d.sparse.epl.mean);
+        assert!(d.render_table_d2().contains("Appendix D"));
+        assert!(d.render_summary().contains("EPL"));
+        assert!(d.render_unilateral().contains("outdegree"));
+    }
+
+    #[test]
+    fn rule4_extra_ttl_costs_bandwidth() {
+        // Outdegree 10 on 80 clusters: TTL 3 already reaches everyone.
+        let d = rule4(800, 10, 10.0, (3, 6), &Fidelity::quick());
+        assert!(
+            (d.tight.reach_clusters.mean - d.loose.reach_clusters.mean).abs() < 2.0,
+            "reach differs: {} vs {}",
+            d.tight.reach_clusters.mean,
+            d.loose.reach_clusters.mean
+        );
+        assert!(d.tight.agg_in_bw.mean < d.loose.agg_in_bw.mean);
+        assert!(d.render().contains("Rule #4"));
+    }
+
+    #[test]
+    fn fig_a15_larger_outdegree_hurts_at_same_epl() {
+        // With TTL 2 and reach saturating either way, outdegree 40
+        // floods more redundant copies than outdegree 20.
+        let d = fig_a15(600, &[5, 20], &[20.0, 40.0], &Fidelity::quick());
+        for i in 0..2 {
+            let lo = d.series[0].1[i].sp_out_bw.mean;
+            let hi = d.series[1].1[i].sp_out_bw.mean;
+            assert!(hi > lo, "cs idx {i}: outdeg 40 load {hi} !> outdeg 20 {lo}");
+        }
+        assert!(d.render().contains("A-15"));
+    }
+}

@@ -1,0 +1,343 @@
+//! TTL-bounded BFS flooding.
+//!
+//! The paper's baseline search (Section 3.1) is Gnutella flooding: the
+//! source sends the query to all neighbors; every node that receives a
+//! *new* query decrements the TTL and, if it is still positive,
+//! forwards the query to all neighbors except the one it arrived from.
+//! Copies that arrive at a node which has already seen the query are
+//! **dropped — but they still consumed bandwidth and processing on both
+//! endpoints**. Counting those redundant transmissions is what makes
+//! rule #4 ("minimize TTL") and the Appendix E caveat ("outdegree can
+//! be too large") quantitative, so [`flood`] reports them exactly.
+//!
+//! Responses travel the reverse path of the query, i.e. up the BFS
+//! predecessor tree (Section 4.1, Step 2); [`FloodResult`] exposes the
+//! tree and a deepest-first accumulation helper so response traffic can
+//! be charged to every intermediate hop in O(n).
+
+use crate::graph::{Graph, NodeId};
+
+/// Depth marker for unreached nodes.
+pub const UNREACHED: u16 = u16::MAX;
+
+/// Result of flooding a query from one source with a TTL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FloodResult {
+    /// The query source.
+    pub source: NodeId,
+    /// The TTL the flood was run with.
+    pub ttl: u16,
+    /// BFS visit order; `order[0] == source`. Contains exactly the
+    /// reached nodes, in nondecreasing depth.
+    pub order: Vec<NodeId>,
+    /// `depth[v]` is the hop count of `v` from the source
+    /// ([`UNREACHED`] if not reached within the TTL).
+    pub depth: Vec<u16>,
+    /// BFS predecessor: the neighbor the first copy arrived from.
+    /// `parent[source] == source`; unreached nodes also map to
+    /// themselves.
+    pub parent: Vec<NodeId>,
+}
+
+impl FloodResult {
+    /// Number of nodes that processed the query — the paper's *reach*
+    /// (includes the source, which processes its own query over its
+    /// index).
+    pub fn reach(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether `v` received the query.
+    pub fn is_reached(&self, v: NodeId) -> bool {
+        self.depth[v as usize] != UNREACHED
+    }
+
+    /// Whether `v` forwarded the query: it was reached with remaining
+    /// TTL (`depth < ttl`).
+    pub fn forwards(&self, v: NodeId) -> bool {
+        self.depth[v as usize] < self.ttl
+    }
+
+    /// Mean depth of reached nodes other than the source.
+    ///
+    /// When every reached super-peer returns one response, this is the
+    /// expected path length (EPL) of responses. Returns 0.0 when the
+    /// source reached nobody.
+    pub fn mean_depth(&self) -> f64 {
+        if self.order.len() <= 1 {
+            return 0.0;
+        }
+        let sum: u64 = self.order[1..]
+            .iter()
+            .map(|&v| self.depth[v as usize] as u64)
+            .sum();
+        sum as f64 / (self.order.len() - 1) as f64
+    }
+
+    /// Accumulates per-node values up the predecessor tree, deepest
+    /// first: after the call, `values[v]` holds the sum of the initial
+    /// values over `v`'s whole BFS subtree (including `v` itself).
+    ///
+    /// This is how response traffic is charged to intermediaries in
+    /// O(n): seed `values[T]` with the response bytes node `T`
+    /// originates; afterwards the bytes *forwarded through* `v` are
+    /// `values[v] - own(v)` and the bytes arriving at the source are
+    /// `values[source] - own(source)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the graph size the flood
+    /// was computed on.
+    pub fn accumulate_up(&self, values: &mut [f64]) {
+        assert_eq!(
+            values.len(),
+            self.depth.len(),
+            "values slice must cover every node"
+        );
+        for &v in self.order.iter().rev() {
+            if v != self.source {
+                values[self.parent[v as usize] as usize] += values[v as usize];
+            }
+        }
+    }
+}
+
+/// Floods a query from `source` with the given `ttl` (Gnutella
+/// semantics: `ttl` is the maximum hop count, so `ttl = 1` reaches the
+/// direct neighbors).
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn flood(g: &Graph, source: NodeId, ttl: u16) -> FloodResult {
+    let n = g.num_nodes();
+    assert!((source as usize) < n, "source {source} out of range");
+    let mut depth = vec![UNREACHED; n];
+    let mut parent: Vec<NodeId> = (0..n as NodeId).collect();
+    let mut order = Vec::with_capacity(64);
+
+    depth[source as usize] = 0;
+    order.push(source);
+    let mut head = 0usize;
+    while head < order.len() {
+        let v = order[head];
+        head += 1;
+        let d = depth[v as usize];
+        if d >= ttl || d + 1 >= UNREACHED {
+            // Node received the query with TTL exhausted; it processes
+            // but does not forward. (The second guard keeps depths from
+            // colliding with the UNREACHED sentinel on pathological
+            // graphs with eccentricity >= u16::MAX.)
+            continue;
+        }
+        for &u in g.neighbors(v) {
+            if depth[u as usize] == UNREACHED {
+                depth[u as usize] = d + 1;
+                parent[u as usize] = v;
+                order.push(u);
+            }
+        }
+    }
+    FloodResult {
+        source,
+        ttl,
+        order,
+        depth,
+        parent,
+    }
+}
+
+/// Per-node query-message transmission counts for one flood, including
+/// redundant copies that arrive over cycle edges and are dropped.
+///
+/// Forwarding rules (Section 3.1): the source transmits to all its
+/// neighbors; any other forwarding node transmits to all neighbors
+/// *except* its BFS parent (the connection the first copy arrived on).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MessageCounts {
+    /// Query messages sent by each node.
+    pub sent: Vec<u32>,
+    /// Query messages received by each node (first copies + dropped
+    /// redundant copies).
+    pub recv: Vec<u32>,
+}
+
+impl MessageCounts {
+    /// Total transmissions (= total receptions).
+    pub fn total(&self) -> u64 {
+        self.sent.iter().map(|&s| s as u64).sum()
+    }
+
+    /// Redundant receptions at `v`: copies beyond the first. The source
+    /// never "receives" a first copy, so all its receptions are
+    /// redundant.
+    pub fn redundant_recv(&self, v: NodeId, flood: &FloodResult) -> u32 {
+        let r = self.recv[v as usize];
+        if v == flood.source || !flood.is_reached(v) {
+            r
+        } else {
+            r.saturating_sub(1)
+        }
+    }
+}
+
+/// Computes [`MessageCounts`] for a flood on `g`.
+pub fn message_counts(g: &Graph, flood: &FloodResult) -> MessageCounts {
+    let n = g.num_nodes();
+    let mut sent = vec![0u32; n];
+    let mut recv = vec![0u32; n];
+    for &v in &flood.order {
+        if !flood.forwards(v) {
+            continue;
+        }
+        let vi = v as usize;
+        let deg = g.degree(v) as u32;
+        if v == flood.source {
+            sent[vi] = deg;
+            for &u in g.neighbors(v) {
+                recv[u as usize] += 1;
+            }
+        } else {
+            // Everything except the parent edge.
+            sent[vi] = deg.saturating_sub(1);
+            let p = flood.parent[vi];
+            for &u in g.neighbors(v) {
+                if u != p {
+                    recv[u as usize] += 1;
+                }
+            }
+        }
+    }
+    MessageCounts { sent, recv }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    /// 0 - 1 - 2 - 3 path.
+    fn path4() -> Graph {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 3);
+        b.build()
+    }
+
+    /// Triangle 0-1-2 plus pendant 3 on node 2.
+    fn triangle_pendant() -> Graph {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 2);
+        b.add_edge(2, 3);
+        b.build()
+    }
+
+    #[test]
+    fn flood_depths_on_path() {
+        let g = path4();
+        let f = flood(&g, 0, 2);
+        assert_eq!(f.depth, vec![0, 1, 2, UNREACHED]);
+        assert_eq!(f.reach(), 3);
+        assert!(!f.is_reached(3));
+        assert_eq!(f.parent[2], 1);
+        assert_eq!(f.parent[0], 0);
+    }
+
+    #[test]
+    fn flood_ttl_zero_reaches_only_source() {
+        let g = path4();
+        let f = flood(&g, 1, 0);
+        assert_eq!(f.reach(), 1);
+        assert_eq!(f.order, vec![1]);
+    }
+
+    #[test]
+    fn flood_full_reach_on_connected_graph() {
+        let g = triangle_pendant();
+        let f = flood(&g, 0, 10);
+        assert_eq!(f.reach(), 4);
+        assert_eq!(f.depth[3], 2);
+    }
+
+    #[test]
+    fn mean_depth_on_path() {
+        let g = path4();
+        let f = flood(&g, 0, 3);
+        // depths 1, 2, 3 → mean 2.
+        assert!((f.mean_depth() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_depth_isolated_source_is_zero() {
+        let g = Graph::empty(3);
+        let f = flood(&g, 0, 5);
+        assert_eq!(f.mean_depth(), 0.0);
+    }
+
+    #[test]
+    fn accumulate_up_sums_subtrees() {
+        let g = path4();
+        let f = flood(&g, 0, 3);
+        let mut vals = vec![1.0; 4];
+        f.accumulate_up(&mut vals);
+        // Node 3's subtree = {3}; node 2's = {2,3}; node 1's = {1,2,3};
+        // node 0's = all four.
+        assert_eq!(vals, vec![4.0, 3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn message_counts_on_triangle() {
+        // Triangle 0-1-2, flood from 0 with ttl 2.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 2);
+        let g = b.build();
+        let f = flood(&g, 0, 2);
+        let mc = message_counts(&g, &f);
+        // Source sends to 1 and 2. Each of 1, 2 (depth 1 < ttl 2)
+        // forwards to its non-parent neighbor — the cycle edge — so
+        // nodes 1 and 2 each send 1 redundant copy to each other.
+        assert_eq!(mc.sent[0], 2);
+        assert_eq!(mc.sent[1], 1);
+        assert_eq!(mc.sent[2], 1);
+        assert_eq!(mc.recv[0], 0);
+        assert_eq!(mc.recv[1], 2); // first copy + redundant from 2
+        assert_eq!(mc.recv[2], 2);
+        assert_eq!(mc.total(), 4);
+        assert_eq!(mc.redundant_recv(1, &f), 1);
+        assert_eq!(mc.redundant_recv(0, &f), 0);
+    }
+
+    #[test]
+    fn message_counts_ttl_one_no_redundancy_on_tree() {
+        let g = path4();
+        let f = flood(&g, 1, 1);
+        let mc = message_counts(&g, &f);
+        assert_eq!(mc.sent[1], 2);
+        assert_eq!(mc.recv[0], 1);
+        assert_eq!(mc.recv[2], 1);
+        assert_eq!(mc.total(), 2);
+        assert_eq!(mc.redundant_recv(0, &f), 0);
+    }
+
+    #[test]
+    fn leaf_at_ttl_does_not_forward() {
+        let g = path4();
+        let f = flood(&g, 0, 2);
+        // Node 2 is at depth 2 == ttl: processes but must not forward.
+        assert!(!f.forwards(2));
+        let mc = message_counts(&g, &f);
+        assert_eq!(mc.sent[2], 0);
+        assert_eq!(mc.recv[3], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn flood_bad_source_panics() {
+        flood(&Graph::empty(1), 5, 1);
+    }
+}

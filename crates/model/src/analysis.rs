@@ -1,0 +1,654 @@
+//! Mean-value load analysis (Steps 2 and 3 of the paper's
+//! methodology).
+//!
+//! For one network instance `I` the engine computes, for every peer
+//! `T`, the expected load `E[M_T | I]` of Equation (1): the sum over
+//! all action sources `S` of action cost × action rate, for the three
+//! macro-actions (query, join, update), along three resources. It also
+//! computes the expected results per query `E[R_S | I]` of Equation (2)
+//! and the expected path length (EPL) of responses.
+//!
+//! # How queries are charged
+//!
+//! For each source cluster `i` the engine floods the overlay
+//! (`Topology::flood`, which also counts redundant transmissions over
+//! cycle edges) and charges, per query:
+//!
+//! 1. **Query propagation** — every transmission costs the sending
+//!    cluster an outgoing query message and the receiving cluster an
+//!    incoming one (plus packet-multiplex processing on both ends);
+//!    redundant copies are received and dropped but still paid for.
+//! 2. **Query processing** — every reached cluster probes its index:
+//!    `14 + 0.1·E[N_T]` units.
+//! 3. **Responses** — every reached cluster `T` responds with
+//!    probability `p_T = P(N_T ≥ 1)`; the expected message
+//!    (`p_T`-weighted fixed overhead + `28·E[K_T]` address bytes +
+//!    `76·E[N_T]` result bytes) travels up the BFS predecessor tree,
+//!    charging every intermediate cluster. The per-tree-node subtree
+//!    sums are computed in one deepest-first pass
+//!    ([`sp_graph::FloodResult::accumulate_up`]), so a whole source's
+//!    response accounting is O(reach) instead of O(reach × depth).
+//! 4. **Cluster-local legs** — for client-submitted queries, the
+//!    client→super-peer submission and the super-peer→client delivery
+//!    of every response.
+//!
+//! All clients of one cluster are exchangeable, and all `k` partners of
+//! a virtual super-peer split the cluster's query work evenly
+//! (round-robin, Section 3.2), so the engine floods **once per
+//! cluster** and scales by user counts and rates — the inner loop is
+//! O(n + m) per source cluster, O(n·(n+m)) per instance.
+//!
+//! Join and update loads are charged directly from each peer's own
+//! rate (join rate = 1/lifespan; Table 1 update rate) to itself and its
+//! cluster's partners; with redundancy each partner receives a full
+//! copy of metadata and updates (this is the "aggregate cost of a
+//! client join is k times greater" of Section 3.2).
+
+use sp_stats::{GroupedStats, OnlineStats, SpRng};
+
+use crate::costs::{BITS_PER_BYTE, UNIT_CYCLES};
+use crate::instance::{NetworkInstance, Role};
+use crate::load::Load;
+use crate::query_model::{MatchCache, QueryModel};
+
+/// Options controlling one analysis pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnalysisOptions {
+    /// If set and smaller than the number of clusters, only this many
+    /// (randomly chosen) source clusters are flooded and all per-query
+    /// charges are scaled by `n / sample` — an unbiased estimator of
+    /// the **aggregate and per-role-mean** metrics that cuts the O(n²)
+    /// source loop for large sweeps. Per-peer outputs (`loads`,
+    /// `sp_max`, rank curves) are distorted under sampling — clients of
+    /// unsampled clusters miss their query traffic entirely — so use
+    /// `None` (exact) for anything that reads individual peers, as the
+    /// Figure 12 experiment does.
+    pub max_sources: Option<usize>,
+}
+
+/// Per-instance scalar metrics (the quantities the paper's figures
+/// average over trials).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstanceMetrics {
+    /// Aggregate load: the sum over **all** peers (Equation 4).
+    pub aggregate: Load,
+    /// Mean load over super-peer partners (Equation 3 with Q = the
+    /// partners).
+    pub sp_mean: Load,
+    /// Component-wise maximum partner load.
+    pub sp_max: Load,
+    /// Mean load over clients.
+    pub client_mean: Load,
+    /// Expected results per query, averaged over users (Equation 2).
+    pub results_per_query: f64,
+    /// Expected path length of responses (super-peer hops), weighted by
+    /// expected response messages.
+    pub epl: f64,
+    /// Mean number of clusters reached per query (incl. the source).
+    pub mean_reach_clusters: f64,
+    /// Clusters in the instance.
+    pub num_clusters: usize,
+    /// Total peers.
+    pub num_peers: usize,
+    /// Super-peer partner peers.
+    pub num_partners: usize,
+    /// Client peers.
+    pub num_clients: usize,
+    /// Realized mean outdegree of the overlay.
+    pub mean_outdegree: f64,
+}
+
+/// Full analysis output: per-peer loads plus summary metrics.
+#[derive(Debug, Clone)]
+pub struct AnalysisResult {
+    /// Per-peer expected load, indexed by `PeerId`.
+    pub loads: Vec<Load>,
+    /// Scalar summary metrics.
+    pub metrics: InstanceMetrics,
+    /// Partner outgoing bandwidth grouped by cluster outdegree — the
+    /// Figure 7 histogram.
+    pub sp_out_bw_by_outdegree: GroupedStats,
+    /// Results per query grouped by source-cluster outdegree — the
+    /// Figure 8 histogram.
+    pub results_by_outdegree: GroupedStats,
+}
+
+impl AnalysisResult {
+    /// Outgoing-bandwidth loads of every peer, for Figure 12 rank
+    /// curves.
+    pub fn out_bw_loads(&self) -> Vec<f64> {
+        self.loads.iter().map(|l| l.out_bw).collect()
+    }
+}
+
+/// Analyzes one instance. See the module docs for the charging rules.
+///
+/// `rng` is only used when `opts.max_sources` triggers source
+/// sampling.
+pub fn analyze(
+    inst: &NetworkInstance,
+    model: &QueryModel,
+    opts: &AnalysisOptions,
+    rng: &mut SpRng,
+) -> AnalysisResult {
+    let n = inst.num_clusters();
+    let k = inst.config.redundancy_k;
+    let kf = k as f64;
+    let cm = &inst.config.costs;
+    let qr = inst.config.query_rate;
+    let ur = inst.config.update_rate;
+    let ttl = inst.config.ttl;
+
+    // ---- Per-cluster precomputation -------------------------------
+    let mut cache = MatchCache::new();
+    let mut x_tot = vec![0.0f64; n];
+    let mut n_results = vec![0.0f64; n]; // E[N_T]
+    let mut p_respond = vec![0.0f64; n]; // P(N_T >= 1)
+    let mut resp_b = vec![0.0f64; n]; // expected response bytes
+    let mut resp_su = vec![0.0f64; n]; // expected send units
+    let mut resp_ru = vec![0.0f64; n]; // expected recv units
+    let mut users = vec![0.0f64; n]; // clients + partners
+    let mut partner_conn = vec![0.0f64; n];
+    for i in 0..n {
+        let files = inst.cluster_files(i) as f64;
+        x_tot[i] = files;
+        n_results[i] = model.expected_results(files);
+        let p = cache.prob_some_match(model, inst.cluster_files(i).min(u64::from(u32::MAX)) as u32);
+        p_respond[i] = p;
+        let k_addrs =
+            cache.expected_responding_collections(model, inst.cluster_member_files(i));
+        let nr = n_results[i];
+        resp_b[i] = cm.expected_response_bytes(p, k_addrs, nr);
+        resp_su[i] = cm.expected_send_response_units(p, k_addrs, nr);
+        resp_ru[i] = cm.expected_recv_response_units(p, k_addrs, nr);
+        let cluster = &inst.clusters[i];
+        users[i] = (cluster.clients.len() + cluster.partners.len()) as f64;
+        partner_conn[i] = inst.connections(cluster.partners[0]);
+    }
+    let client_conn = kf;
+
+    // ---- Accumulators ----------------------------------------------
+    // Cluster-level partner charges, split /k over partners at the end.
+    let mut sp_in = vec![0.0f64; n];
+    let mut sp_out = vec![0.0f64; n];
+    let mut sp_units = vec![0.0f64; n];
+    // Per-client charges (each client of cluster i pays these).
+    let mut cl_in = vec![0.0f64; n];
+    let mut cl_out = vec![0.0f64; n];
+    let mut cl_units = vec![0.0f64; n];
+
+    // Response-accumulation scratch, cleared per source via the BFS
+    // order.
+    let mut rb = vec![0.0f64; n];
+    let mut su = vec![0.0f64; n];
+    let mut ru = vec![0.0f64; n];
+    let mut msgs = vec![0.0f64; n];
+
+    let mut results_stats = OnlineStats::new();
+    let mut results_weight = 0.0f64;
+    let mut results_weighted_sum = 0.0f64;
+    let mut epl_num = 0.0f64;
+    let mut epl_den = 0.0f64;
+    let mut reach_stats = OnlineStats::new();
+    let mut results_by_outdeg = GroupedStats::new();
+
+    // ---- Source selection ------------------------------------------
+    let all_sources: Vec<u32>;
+    let (sources, src_weight): (&[u32], f64) = match opts.max_sources {
+        Some(s) if s > 0 && s < n => {
+            all_sources = rng
+                .sample_distinct(n, s)
+                .into_iter()
+                .map(|x| x as u32)
+                .collect();
+            (&all_sources, n as f64 / s as f64)
+        }
+        _ => {
+            all_sources = (0..n as u32).collect();
+            (&all_sources, 1.0)
+        }
+    };
+
+    let qbytes = cm.query_bytes();
+    let send_q = cm.send_query_units();
+    let recv_q = cm.recv_query_units();
+
+    // ---- Query charges, one flood per source cluster ---------------
+    for &i in sources {
+        let iu = i as usize;
+        let (fl, mc) = inst.topology.flood(i, ttl);
+        let num_clients = inst.clusters[iu].clients.len() as f64;
+        // Queries per second originating in cluster i (scaled if
+        // sources are sampled).
+        let w_all = users[iu] * qr * src_weight;
+        let w_client_total = num_clients * qr * src_weight;
+
+        // 1. Query propagation (including redundant copies).
+        for v in 0..n {
+            let s = mc.sent[v] as f64;
+            if s > 0.0 {
+                sp_out[v] += w_all * s * qbytes;
+                sp_units[v] += w_all * s * (send_q + cm.multiplex_units(partner_conn[v]));
+            }
+            let r = mc.recv[v] as f64;
+            if r > 0.0 {
+                sp_in[v] += w_all * r * qbytes;
+                sp_units[v] += w_all * r * (recv_q + cm.multiplex_units(partner_conn[v]));
+            }
+        }
+
+        // 2. Index probe at every reached cluster.
+        for &t in &fl.order {
+            sp_units[t as usize] += w_all * cm.process_query_units(n_results[t as usize]);
+        }
+
+        // 3. Responses up the predecessor tree.
+        for &t in &fl.order {
+            let tu = t as usize;
+            rb[tu] = resp_b[tu];
+            su[tu] = resp_su[tu];
+            ru[tu] = resp_ru[tu];
+            msgs[tu] = p_respond[tu];
+        }
+        fl.accumulate_up(&mut rb);
+        fl.accumulate_up(&mut su);
+        fl.accumulate_up(&mut ru);
+        fl.accumulate_up(&mut msgs);
+        for &v in &fl.order {
+            let vu = v as usize;
+            let mux = cm.multiplex_units(partner_conn[vu]);
+            if v != i {
+                // v forwards its whole subtree's responses to its
+                // parent (incl. its own response).
+                sp_out[vu] += w_all * rb[vu];
+                sp_units[vu] += w_all * (su[vu] + mux * msgs[vu]);
+            }
+            // v receives its children's subtrees.
+            let in_b = rb[vu] - resp_b[vu];
+            if in_b > 0.0 {
+                sp_in[vu] += w_all * in_b;
+                sp_units[vu] += w_all * ((ru[vu] - resp_ru[vu]) + mux * (msgs[vu] - p_respond[vu]));
+            }
+        }
+
+        // 4. Cluster-local legs for client-submitted queries. rb[i] is
+        // now the total expected response bytes of the whole reach
+        // (own cluster included), msgs[i] the total response messages.
+        if num_clients > 0.0 {
+            let cw = qr * src_weight; // per client
+            cl_out[iu] += cw * qbytes;
+            cl_units[iu] += cw * (send_q + cm.multiplex_units(client_conn));
+            cl_in[iu] += cw * rb[iu];
+            cl_units[iu] += cw * (ru[iu] + cm.multiplex_units(client_conn) * msgs[iu]);
+
+            let mux = cm.multiplex_units(partner_conn[iu]);
+            sp_in[iu] += w_client_total * qbytes;
+            sp_units[iu] += w_client_total * (recv_q + mux);
+            sp_out[iu] += w_client_total * rb[iu];
+            sp_units[iu] += w_client_total * (su[iu] + mux * msgs[iu]);
+        }
+
+        // Results, EPL, reach.
+        let total_results: f64 = fl.order.iter().map(|&t| n_results[t as usize]).sum();
+        results_stats.push(total_results);
+        results_weighted_sum += users[iu] * total_results;
+        results_weight += users[iu];
+        results_by_outdeg.push(inst.topology.degree(i) as u64, total_results);
+        for &t in &fl.order {
+            if t != i {
+                let tu = t as usize;
+                epl_num += users[iu] * p_respond[tu] * fl.depth[tu] as f64;
+                epl_den += users[iu] * p_respond[tu];
+            }
+        }
+        reach_stats.push(fl.reach() as f64);
+
+        // Clear scratch (only reached indices were written).
+        for &t in &fl.order {
+            let tu = t as usize;
+            rb[tu] = 0.0;
+            su[tu] = 0.0;
+            ru[tu] = 0.0;
+            msgs[tu] = 0.0;
+        }
+    }
+
+    // ---- Join and update charges (exact, per peer) ------------------
+    // Direct per-peer extras (own-rate costs that differ per peer).
+    let num_peers = inst.num_peers();
+    let peer_in = vec![0.0f64; num_peers];
+    let mut peer_out = vec![0.0f64; num_peers];
+    let mut peer_units = vec![0.0f64; num_peers];
+
+    for i in 0..n {
+        let cluster = &inst.clusters[i];
+        let mux_p = cm.multiplex_units(partner_conn[i]);
+        let mux_c = cm.multiplex_units(client_conn);
+        for &c in &cluster.clients {
+            let peer = &inst.peers[c as usize];
+            let x = peer.files as f64;
+            let jr = 1.0 / peer.lifespan_secs;
+            // Join: metadata to every partner.
+            peer_out[c as usize] += jr * kf * cm.join_bytes(x);
+            peer_units[c as usize] += jr * kf * (cm.send_join_units(x) + mux_c);
+            sp_in[i] += jr * kf * cm.join_bytes(x);
+            sp_units[i] +=
+                jr * kf * (cm.recv_join_units(x) + cm.process_join_units(x) + mux_p);
+            // Updates: one per partner per update.
+            peer_out[c as usize] += ur * kf * cm.update_bytes();
+            peer_units[c as usize] += ur * kf * (cm.send_update_units() + mux_c);
+            sp_in[i] += ur * kf * cm.update_bytes();
+            sp_units[i] +=
+                ur * kf * (cm.recv_update_units() + cm.process_update_units() + mux_p);
+        }
+        for &p in &cluster.partners {
+            let peer = &inst.peers[p as usize];
+            let x = peer.files as f64;
+            let jr = 1.0 / peer.lifespan_secs;
+            // A (re)joining partner indexes its own collection.
+            peer_units[p as usize] += jr * cm.process_join_units(x);
+            // Its own updates hit its own index.
+            peer_units[p as usize] += ur * cm.process_update_units();
+            if k > 1 {
+                let co = kf - 1.0;
+                // Share own collection metadata with co-partners.
+                peer_out[p as usize] += jr * co * cm.join_bytes(x);
+                peer_units[p as usize] += jr * co * (cm.send_join_units(x) + mux_p);
+                sp_in[i] += jr * co * cm.join_bytes(x);
+                sp_units[i] +=
+                    jr * co * (cm.recv_join_units(x) + cm.process_join_units(x) + mux_p);
+                // Propagate own updates to co-partners.
+                peer_out[p as usize] += ur * co * cm.update_bytes();
+                peer_units[p as usize] += ur * co * (cm.send_update_units() + mux_p);
+                sp_in[i] += ur * co * cm.update_bytes();
+                sp_units[i] +=
+                    ur * co * (cm.recv_update_units() + cm.process_update_units() + mux_p);
+            }
+        }
+    }
+
+    // ---- Distribute cluster-level charges and convert units ---------
+    let mut loads = vec![Load::ZERO; num_peers];
+    for i in 0..n {
+        let cluster = &inst.clusters[i];
+        let share = 1.0 / kf;
+        for &p in &cluster.partners {
+            let pu = p as usize;
+            loads[pu].in_bw = (peer_in[pu] + sp_in[i] * share) * BITS_PER_BYTE;
+            loads[pu].out_bw = (peer_out[pu] + sp_out[i] * share) * BITS_PER_BYTE;
+            loads[pu].proc = (peer_units[pu] + sp_units[i] * share) * UNIT_CYCLES;
+        }
+        for &c in &cluster.clients {
+            let cu = c as usize;
+            loads[cu].in_bw = (peer_in[cu] + cl_in[i]) * BITS_PER_BYTE;
+            loads[cu].out_bw = (peer_out[cu] + cl_out[i]) * BITS_PER_BYTE;
+            loads[cu].proc = (peer_units[cu] + cl_units[i]) * UNIT_CYCLES;
+        }
+    }
+
+    // ---- Summaries ---------------------------------------------------
+    let mut aggregate = Load::ZERO;
+    let mut sp_sum = Load::ZERO;
+    let mut sp_max = Load::ZERO;
+    let mut client_sum = Load::ZERO;
+    let mut num_partners = 0usize;
+    let mut num_clients = 0usize;
+    let mut sp_out_bw_by_outdeg = GroupedStats::new();
+    for (idx, l) in loads.iter().enumerate() {
+        aggregate += *l;
+        match inst.peers[idx].role {
+            Role::Partner { cluster } => {
+                sp_sum += *l;
+                sp_max = sp_max.max(l);
+                num_partners += 1;
+                sp_out_bw_by_outdeg.push(inst.topology.degree(cluster) as u64, l.out_bw);
+            }
+            Role::Client { .. } => {
+                client_sum += *l;
+                num_clients += 1;
+            }
+        }
+    }
+    let metrics = InstanceMetrics {
+        aggregate,
+        sp_mean: sp_sum.scaled(1.0 / num_partners.max(1) as f64),
+        sp_max,
+        client_mean: client_sum.scaled(1.0 / num_clients.max(1) as f64),
+        results_per_query: if results_weight > 0.0 {
+            results_weighted_sum / results_weight
+        } else {
+            results_stats.mean()
+        },
+        epl: if epl_den > 0.0 { epl_num / epl_den } else { 0.0 },
+        mean_reach_clusters: reach_stats.mean(),
+        num_clusters: n,
+        num_peers,
+        num_partners,
+        num_clients,
+        mean_outdegree: inst.topology.mean_degree(),
+    };
+    AnalysisResult {
+        loads,
+        metrics,
+        sp_out_bw_by_outdegree: sp_out_bw_by_outdeg,
+        results_by_outdegree: results_by_outdeg,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Config, GraphType};
+
+    fn analyze_config(cfg: &Config, seed: u64) -> AnalysisResult {
+        let mut rng = SpRng::seed_from_u64(seed);
+        let inst = NetworkInstance::generate(cfg, &mut rng).unwrap();
+        let model = QueryModel::from_config(&cfg.query_model);
+        analyze(&inst, &model, &AnalysisOptions::default(), &mut rng)
+    }
+
+    fn strong_cfg(graph_size: usize, cluster: usize) -> Config {
+        Config {
+            graph_type: GraphType::StronglyConnected,
+            graph_size,
+            cluster_size: cluster,
+            ttl: 1,
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn bandwidth_is_conserved() {
+        // Every byte sent is a byte received somewhere: aggregate
+        // incoming == aggregate outgoing bandwidth.
+        for cfg in [
+            strong_cfg(200, 10),
+            Config {
+                graph_size: 300,
+                cluster_size: 10,
+                ..Config::default()
+            },
+            Config {
+                graph_size: 300,
+                cluster_size: 10,
+                ..Config::default()
+            }
+            .with_redundancy(true),
+        ] {
+            let r = analyze_config(&cfg, 42);
+            let rel = (r.metrics.aggregate.in_bw - r.metrics.aggregate.out_bw).abs()
+                / r.metrics.aggregate.in_bw;
+            assert!(
+                rel < 1e-9,
+                "in {} vs out {}",
+                r.metrics.aggregate.in_bw,
+                r.metrics.aggregate.out_bw
+            );
+        }
+    }
+
+    #[test]
+    fn strong_ttl1_reaches_everyone_and_epl_is_one() {
+        let r = analyze_config(&strong_cfg(200, 10), 1);
+        assert!((r.metrics.mean_reach_clusters - 20.0).abs() < 1e-9);
+        assert!((r.metrics.epl - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn super_peers_carry_far_more_load_than_clients() {
+        let r = analyze_config(&strong_cfg(400, 20), 2);
+        assert!(
+            r.metrics.sp_mean.total_bw() > 20.0 * r.metrics.client_mean.total_bw(),
+            "sp {} vs client {}",
+            r.metrics.sp_mean.total_bw(),
+            r.metrics.client_mean.total_bw()
+        );
+        assert!(r.metrics.sp_mean.proc > r.metrics.client_mean.proc);
+    }
+
+    #[test]
+    fn results_match_query_model_linearity() {
+        // With full reach, expected results per query = match_rate ×
+        // total files in the network, independent of clustering.
+        let cfg = strong_cfg(300, 10);
+        let mut rng = SpRng::seed_from_u64(7);
+        let inst = NetworkInstance::generate(&cfg, &mut rng).unwrap();
+        let model = QueryModel::from_config(&cfg.query_model);
+        let total_files: f64 = (0..inst.num_clusters())
+            .map(|i| inst.cluster_files(i) as f64)
+            .sum();
+        let r = analyze(&inst, &model, &AnalysisOptions::default(), &mut rng);
+        let expect = model.expected_results(total_files);
+        assert!(
+            (r.metrics.results_per_query - expect).abs() / expect < 1e-9,
+            "{} vs {expect}",
+            r.metrics.results_per_query
+        );
+    }
+
+    #[test]
+    fn rule_1_cluster_size_tradeoff_on_strong_network() {
+        // Rule of thumb #1: larger clusters lower aggregate load but
+        // raise individual super-peer load.
+        let small = analyze_config(&strong_cfg(1000, 5), 3);
+        let large = analyze_config(&strong_cfg(1000, 50), 3);
+        assert!(
+            large.metrics.aggregate.total_bw() < small.metrics.aggregate.total_bw(),
+            "aggregate: large {} vs small {}",
+            large.metrics.aggregate.total_bw(),
+            small.metrics.aggregate.total_bw()
+        );
+        assert!(
+            large.metrics.sp_mean.total_bw() > small.metrics.sp_mean.total_bw(),
+            "individual: large {} vs small {}",
+            large.metrics.sp_mean.total_bw(),
+            small.metrics.sp_mean.total_bw()
+        );
+    }
+
+    #[test]
+    fn rule_2_redundancy_halves_individual_sp_bandwidth() {
+        let base = strong_cfg(1000, 20);
+        let plain = analyze_config(&base, 4);
+        let red = analyze_config(&base.clone().with_redundancy(true), 4);
+        // Individual partner bandwidth drops sharply (paper: ~48% at
+        // cluster 100; direction is what matters here).
+        assert!(
+            red.metrics.sp_mean.total_bw() < 0.75 * plain.metrics.sp_mean.total_bw(),
+            "red {} vs plain {}",
+            red.metrics.sp_mean.total_bw(),
+            plain.metrics.sp_mean.total_bw()
+        );
+        // Aggregate bandwidth barely moves (paper: +2.5%).
+        let rel = (red.metrics.aggregate.total_bw() - plain.metrics.aggregate.total_bw())
+            / plain.metrics.aggregate.total_bw();
+        assert!(rel.abs() < 0.15, "aggregate moved {rel}");
+    }
+
+    #[test]
+    fn sampled_sources_approximate_full_analysis() {
+        let cfg = Config {
+            graph_size: 600,
+            cluster_size: 10,
+            ..Config::default()
+        };
+        let mut rng = SpRng::seed_from_u64(9);
+        let inst = NetworkInstance::generate(&cfg, &mut rng).unwrap();
+        let model = QueryModel::from_config(&cfg.query_model);
+        let full = analyze(&inst, &model, &AnalysisOptions::default(), &mut rng);
+        let sampled = analyze(
+            &inst,
+            &model,
+            &AnalysisOptions {
+                max_sources: Some(30),
+            },
+            &mut rng,
+        );
+        let rel = (sampled.metrics.aggregate.total_bw() - full.metrics.aggregate.total_bw())
+            / full.metrics.aggregate.total_bw();
+        assert!(rel.abs() < 0.25, "sampled aggregate off by {rel}");
+    }
+
+    #[test]
+    fn ttl_zero_means_local_results_only() {
+        let cfg = Config {
+            ttl: 0,
+            graph_size: 100,
+            cluster_size: 10,
+            ..Config::default()
+        };
+        let r = analyze_config(&cfg, 5);
+        assert!((r.metrics.mean_reach_clusters - 1.0).abs() < 1e-9);
+        assert_eq!(r.metrics.epl, 0.0);
+        // Results come only from the own cluster: far fewer than the
+        // full network's.
+        assert!(r.metrics.results_per_query < 5.0);
+    }
+
+    #[test]
+    fn pure_network_all_loads_on_super_peers() {
+        let cfg = Config {
+            graph_size: 100,
+            cluster_size: 1,
+            ..Config::default()
+        };
+        let r = analyze_config(&cfg, 6);
+        assert_eq!(r.metrics.num_clients, 0);
+        assert_eq!(r.metrics.num_partners, 100);
+        assert!(r.metrics.aggregate.total_bw() > 0.0);
+    }
+
+    #[test]
+    fn redundant_queries_make_higher_ttl_cost_more_at_full_reach() {
+        // Rule #4: once reach saturates, extra TTL only adds redundant
+        // transmissions.
+        let lo = analyze_config(
+            &Config {
+                graph_size: 400,
+                cluster_size: 10,
+                avg_outdegree: 10.0,
+                ttl: 3,
+                ..Config::default()
+            },
+            8,
+        );
+        let hi = analyze_config(
+            &Config {
+                graph_size: 400,
+                cluster_size: 10,
+                avg_outdegree: 10.0,
+                ttl: 7,
+                ..Config::default()
+            },
+            8,
+        );
+        assert!((lo.metrics.mean_reach_clusters - 40.0).abs() < 1.0);
+        assert!((hi.metrics.mean_reach_clusters - 40.0).abs() < 1.0);
+        assert!(
+            hi.metrics.aggregate.total_bw() > lo.metrics.aggregate.total_bw(),
+            "ttl 7 {} not above ttl 3 {}",
+            hi.metrics.aggregate.total_bw(),
+            lo.metrics.aggregate.total_bw()
+        );
+    }
+}

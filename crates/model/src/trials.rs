@@ -1,0 +1,344 @@
+//! Repeated trials (Step 4 of the paper's methodology).
+//!
+//! "We run analysis over several instances of a configuration and
+//! average E[M|I] over these trials … We also calculate 95% confidence
+//! intervals." Trials are embarrassingly parallel, so they are fanned
+//! out over scoped threads; every trial derives its own RNG split, so
+//! results are identical regardless of thread count.
+
+use crossbeam::thread;
+use sp_stats::{ConfidenceInterval, GroupedStats, OnlineStats, SpRng};
+
+use crate::analysis::{analyze, AnalysisOptions, InstanceMetrics};
+use crate::config::Config;
+use crate::instance::NetworkInstance;
+use crate::query_model::QueryModel;
+
+/// Options for a trial run.
+#[derive(Debug, Clone, Copy)]
+pub struct TrialOptions {
+    /// Number of instances to generate and analyze.
+    pub trials: usize,
+    /// Root seed; trial `t` uses the RNG split `seed → t`.
+    pub seed: u64,
+    /// Per-analysis source sampling (see
+    /// [`AnalysisOptions::max_sources`]).
+    pub max_sources: Option<usize>,
+    /// Worker threads; 0 = one per available core (capped at the trial
+    /// count).
+    pub threads: usize,
+}
+
+impl Default for TrialOptions {
+    fn default() -> Self {
+        TrialOptions {
+            trials: 5,
+            seed: 0xC0FFEE,
+            max_sources: None,
+            threads: 0,
+        }
+    }
+}
+
+/// Mean ± 95% CI for every headline metric, over the trials.
+#[derive(Debug, Clone)]
+pub struct TrialSummary {
+    /// Aggregate incoming bandwidth (bps) over all peers.
+    pub agg_in_bw: ConfidenceInterval,
+    /// Aggregate outgoing bandwidth (bps).
+    pub agg_out_bw: ConfidenceInterval,
+    /// Aggregate processing (Hz).
+    pub agg_proc: ConfidenceInterval,
+    /// Aggregate total (in+out) bandwidth (bps) — the Figure 4 metric.
+    pub agg_total_bw: ConfidenceInterval,
+    /// Individual super-peer incoming bandwidth (bps) — Figure 5.
+    pub sp_in_bw: ConfidenceInterval,
+    /// Individual super-peer outgoing bandwidth (bps).
+    pub sp_out_bw: ConfidenceInterval,
+    /// Individual super-peer processing (Hz) — Figure 6.
+    pub sp_proc: ConfidenceInterval,
+    /// Individual super-peer total bandwidth (bps).
+    pub sp_total_bw: ConfidenceInterval,
+    /// Mean client incoming bandwidth (bps).
+    pub client_in_bw: ConfidenceInterval,
+    /// Mean client outgoing bandwidth (bps).
+    pub client_out_bw: ConfidenceInterval,
+    /// Mean client processing (Hz).
+    pub client_proc: ConfidenceInterval,
+    /// Mean client total bandwidth (bps).
+    pub client_total_bw: ConfidenceInterval,
+    /// Expected results per query — Figure 8 / Figure 11.
+    pub results: ConfidenceInterval,
+    /// Expected path length of responses — Figure 9 / Figure 11.
+    pub epl: ConfidenceInterval,
+    /// Mean reached clusters per query.
+    pub reach_clusters: ConfidenceInterval,
+    /// Partner outgoing bandwidth by outdegree, merged over trials
+    /// (Figure 7).
+    pub sp_out_bw_by_outdegree: GroupedStats,
+    /// Results per query by source outdegree, merged over trials
+    /// (Figure 8).
+    pub results_by_outdegree: GroupedStats,
+    /// Mean realized overlay outdegree.
+    pub mean_outdegree: f64,
+    /// Mean peers per instance.
+    pub mean_peers: f64,
+}
+
+/// Per-trial reduction state.
+#[derive(Default)]
+struct Reduction {
+    agg_in: OnlineStats,
+    agg_out: OnlineStats,
+    agg_proc: OnlineStats,
+    agg_total: OnlineStats,
+    sp_in: OnlineStats,
+    sp_out: OnlineStats,
+    sp_proc: OnlineStats,
+    sp_total: OnlineStats,
+    cl_in: OnlineStats,
+    cl_out: OnlineStats,
+    cl_proc: OnlineStats,
+    cl_total: OnlineStats,
+    results: OnlineStats,
+    epl: OnlineStats,
+    reach: OnlineStats,
+    outdeg: OnlineStats,
+    peers: OnlineStats,
+    by_outdeg_bw: GroupedStats,
+    by_outdeg_results: GroupedStats,
+}
+
+impl Reduction {
+    fn push(&mut self, m: &InstanceMetrics, bw: &GroupedStats, res: &GroupedStats) {
+        self.agg_in.push(m.aggregate.in_bw);
+        self.agg_out.push(m.aggregate.out_bw);
+        self.agg_proc.push(m.aggregate.proc);
+        self.agg_total.push(m.aggregate.total_bw());
+        self.sp_in.push(m.sp_mean.in_bw);
+        self.sp_out.push(m.sp_mean.out_bw);
+        self.sp_proc.push(m.sp_mean.proc);
+        self.sp_total.push(m.sp_mean.total_bw());
+        self.cl_in.push(m.client_mean.in_bw);
+        self.cl_out.push(m.client_mean.out_bw);
+        self.cl_proc.push(m.client_mean.proc);
+        self.cl_total.push(m.client_mean.total_bw());
+        self.results.push(m.results_per_query);
+        self.epl.push(m.epl);
+        self.reach.push(m.mean_reach_clusters);
+        self.outdeg.push(m.mean_outdegree);
+        self.peers.push(m.num_peers as f64);
+        self.by_outdeg_bw.merge(bw);
+        self.by_outdeg_results.merge(res);
+    }
+
+    fn merge(&mut self, other: &Reduction) {
+        self.agg_in.merge(&other.agg_in);
+        self.agg_out.merge(&other.agg_out);
+        self.agg_proc.merge(&other.agg_proc);
+        self.agg_total.merge(&other.agg_total);
+        self.sp_in.merge(&other.sp_in);
+        self.sp_out.merge(&other.sp_out);
+        self.sp_proc.merge(&other.sp_proc);
+        self.sp_total.merge(&other.sp_total);
+        self.cl_in.merge(&other.cl_in);
+        self.cl_out.merge(&other.cl_out);
+        self.cl_proc.merge(&other.cl_proc);
+        self.cl_total.merge(&other.cl_total);
+        self.results.merge(&other.results);
+        self.epl.merge(&other.epl);
+        self.reach.merge(&other.reach);
+        self.outdeg.merge(&other.outdeg);
+        self.peers.merge(&other.peers);
+        self.by_outdeg_bw.merge(&other.by_outdeg_bw);
+        self.by_outdeg_results.merge(&other.by_outdeg_results);
+    }
+
+    fn finish(self) -> TrialSummary {
+        TrialSummary {
+            agg_in_bw: self.agg_in.ci95(),
+            agg_out_bw: self.agg_out.ci95(),
+            agg_proc: self.agg_proc.ci95(),
+            agg_total_bw: self.agg_total.ci95(),
+            sp_in_bw: self.sp_in.ci95(),
+            sp_out_bw: self.sp_out.ci95(),
+            sp_proc: self.sp_proc.ci95(),
+            sp_total_bw: self.sp_total.ci95(),
+            client_in_bw: self.cl_in.ci95(),
+            client_out_bw: self.cl_out.ci95(),
+            client_proc: self.cl_proc.ci95(),
+            client_total_bw: self.cl_total.ci95(),
+            results: self.results.ci95(),
+            epl: self.epl.ci95(),
+            reach_clusters: self.reach.ci95(),
+            sp_out_bw_by_outdegree: self.by_outdeg_bw,
+            results_by_outdegree: self.by_outdeg_results,
+            mean_outdegree: self.outdeg.mean(),
+            mean_peers: self.peers.mean(),
+        }
+    }
+}
+
+/// Runs `opts.trials` independent instances of `config` and summarizes.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or `opts.trials == 0`.
+pub fn run_trials(config: &Config, opts: &TrialOptions) -> TrialSummary {
+    config.validate().expect("invalid configuration");
+    assert!(opts.trials > 0, "need at least one trial");
+
+    let model = QueryModel::from_config(&config.query_model);
+    let root = SpRng::seed_from_u64(opts.seed);
+    let threads = if opts.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        opts.threads
+    }
+    .min(opts.trials)
+    .max(1);
+
+    let run_trial = |t: usize| -> Reduction {
+        let mut rng = root.split(t as u64);
+        let inst = NetworkInstance::generate(config, &mut rng).expect("validated config");
+        let result = analyze(
+            &inst,
+            &model,
+            &AnalysisOptions {
+                max_sources: opts.max_sources,
+            },
+            &mut rng,
+        );
+        let mut red = Reduction::default();
+        red.push(
+            &result.metrics,
+            &result.sp_out_bw_by_outdegree,
+            &result.results_by_outdegree,
+        );
+        red
+    };
+
+    if threads == 1 {
+        let mut total = Reduction::default();
+        for t in 0..opts.trials {
+            total.merge(&run_trial(t));
+        }
+        return total.finish();
+    }
+
+    let reductions = thread::scope(|scope| {
+        let run_trial = &run_trial;
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                scope.spawn(move |_| {
+                    let mut local = Reduction::default();
+                    let mut t = w;
+                    while t < opts.trials {
+                        local.merge(&run_trial(t));
+                        t += threads;
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("trial worker panicked"))
+            .collect::<Vec<_>>()
+    })
+    .expect("thread scope failed");
+
+    let mut total = Reduction::default();
+    for r in &reductions {
+        total.merge(r);
+    }
+    total.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GraphType;
+
+    fn tiny() -> Config {
+        Config {
+            graph_size: 200,
+            cluster_size: 10,
+            graph_type: GraphType::StronglyConnected,
+            ttl: 1,
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn summary_has_cis_over_trials() {
+        let s = run_trials(
+            &tiny(),
+            &TrialOptions {
+                trials: 4,
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(s.agg_total_bw.count, 4);
+        assert!(s.agg_total_bw.mean > 0.0);
+        assert!(s.agg_total_bw.half_width >= 0.0);
+        assert!(s.sp_total_bw.mean > s.client_total_bw.mean);
+        assert!((s.reach_clusters.mean - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed_and_independent_of_threads() {
+        let opts1 = TrialOptions {
+            trials: 4,
+            seed: 99,
+            threads: 1,
+            ..Default::default()
+        };
+        let opts4 = TrialOptions {
+            threads: 4,
+            ..opts1
+        };
+        let a = run_trials(&tiny(), &opts1);
+        let b = run_trials(&tiny(), &opts4);
+        // Means are identical up to merge-order float reassociation.
+        let rel = (a.agg_total_bw.mean - b.agg_total_bw.mean).abs() / a.agg_total_bw.mean;
+        assert!(rel < 1e-12, "thread count changed results: {rel}");
+        assert!((a.results.mean - b.results.mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn different_seeds_vary_results() {
+        let a = run_trials(
+            &tiny(),
+            &TrialOptions {
+                trials: 2,
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        let b = run_trials(
+            &tiny(),
+            &TrialOptions {
+                trials: 2,
+                seed: 2,
+                ..Default::default()
+            },
+        );
+        assert_ne!(a.agg_total_bw.mean, b.agg_total_bw.mean);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_panics() {
+        run_trials(
+            &tiny(),
+            &TrialOptions {
+                trials: 0,
+                ..Default::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Per-peer traffic counters.
+//!
+//! The simulator charges every message to its endpoints exactly as the
+//! analytic cost model does (bytes + processing units + packet
+//! multiplex); counters keep both a cumulative total (for whole-run
+//! mean rates) and a resettable window (for the adaptive scenario's
+//! "recent load" view).
+
+use sp_model::costs::{BITS_PER_BYTE, UNIT_CYCLES};
+use sp_model::load::Load;
+
+/// Cumulative and windowed traffic counters for one peer.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LoadCounters {
+    /// Total bytes received since the peer joined.
+    pub in_bytes: f64,
+    /// Total bytes sent.
+    pub out_bytes: f64,
+    /// Total processing units spent.
+    pub units: f64,
+    window_in: f64,
+    window_out: f64,
+    window_units: f64,
+}
+
+impl LoadCounters {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges received traffic.
+    pub fn recv(&mut self, bytes: f64, units: f64) {
+        self.in_bytes += bytes;
+        self.window_in += bytes;
+        self.units += units;
+        self.window_units += units;
+    }
+
+    /// Charges sent traffic.
+    pub fn send(&mut self, bytes: f64, units: f64) {
+        self.out_bytes += bytes;
+        self.window_out += bytes;
+        self.units += units;
+        self.window_units += units;
+    }
+
+    /// Charges pure processing (no bandwidth).
+    pub fn work(&mut self, units: f64) {
+        self.units += units;
+        self.window_units += units;
+    }
+
+    /// Mean load rate over a duration (bps / bps / Hz).
+    ///
+    /// Returns zero for non-positive durations.
+    pub fn mean_rate(&self, duration_secs: f64) -> Load {
+        if duration_secs <= 0.0 {
+            return Load::ZERO;
+        }
+        Load {
+            in_bw: self.in_bytes * BITS_PER_BYTE / duration_secs,
+            out_bw: self.out_bytes * BITS_PER_BYTE / duration_secs,
+            proc: self.units * UNIT_CYCLES / duration_secs,
+        }
+    }
+
+    /// Drains the window counters, returning the load rate over the
+    /// window length.
+    pub fn take_window(&mut self, window_secs: f64) -> Load {
+        let load = if window_secs <= 0.0 {
+            Load::ZERO
+        } else {
+            Load {
+                in_bw: self.window_in * BITS_PER_BYTE / window_secs,
+                out_bw: self.window_out * BITS_PER_BYTE / window_secs,
+                proc: self.window_units * UNIT_CYCLES / window_secs,
+            }
+        };
+        self.window_in = 0.0;
+        self.window_out = 0.0;
+        self.window_units = 0.0;
+        load
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        let mut c = LoadCounters::new();
+        c.recv(100.0, 1.0);
+        c.send(50.0, 0.5);
+        c.work(2.0);
+        assert_eq!(c.in_bytes, 100.0);
+        assert_eq!(c.out_bytes, 50.0);
+        assert_eq!(c.units, 3.5);
+    }
+
+    #[test]
+    fn mean_rate_converts_units() {
+        let mut c = LoadCounters::new();
+        c.recv(1000.0, 0.0);
+        c.work(10.0);
+        let rate = c.mean_rate(10.0);
+        assert_eq!(rate.in_bw, 800.0); // 1000 B / 10 s × 8
+        assert_eq!(rate.proc, 7200.0); // 10 units / 10 s × 7200
+        assert_eq!(c.mean_rate(0.0), Load::ZERO);
+    }
+
+    #[test]
+    fn window_drains_independently() {
+        let mut c = LoadCounters::new();
+        c.send(80.0, 0.0);
+        let w = c.take_window(8.0);
+        assert_eq!(w.out_bw, 80.0); // 80 B / 8 s × 8 bits
+        // Window cleared; cumulative untouched.
+        assert_eq!(c.take_window(8.0), Load::ZERO);
+        assert_eq!(c.out_bytes, 80.0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Event queue: a time-ordered heap with stable FIFO tie-breaking.
+//!
+//! Events reference peers and clusters by slot id plus a *generation*
+//! counter; slots are reused after churn, so a handler first checks the
+//! generation and silently drops stale events (e.g. a query scheduled
+//! for a peer that has since left).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Simulated time, in seconds.
+pub type SimTime = f64;
+
+/// Peer slot id.
+pub type PeerId = u32;
+
+/// Cluster slot id.
+pub type ClusterId = u32;
+
+/// Everything that can happen in the simulated network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// A brand-new peer arrives (attributes sampled at handling time).
+    PeerJoin,
+    /// A peer's session ends.
+    PeerLeave {
+        /// The departing peer.
+        peer: PeerId,
+        /// Generation guard.
+        generation: u32,
+    },
+    /// A peer submits a query.
+    Query {
+        /// The querying peer.
+        peer: PeerId,
+        /// Generation guard.
+        generation: u32,
+    },
+    /// A peer updates its collection.
+    Update {
+        /// The updating peer.
+        peer: PeerId,
+        /// Generation guard.
+        generation: u32,
+    },
+    /// An orphaned client retries connecting to the network.
+    ClientRejoin {
+        /// The orphaned peer.
+        peer: PeerId,
+        /// Generation guard.
+        generation: u32,
+        /// When the client lost its super-peer (for downtime
+        /// accounting).
+        orphaned_at: SimTime,
+    },
+    /// A cluster that lost a partner tries to recruit a replacement
+    /// from its clients.
+    RecruitPartner {
+        /// The recruiting cluster.
+        cluster: ClusterId,
+        /// Generation guard.
+        generation: u32,
+    },
+    /// A super-peer evaluates the Section 5.3 local rules.
+    AdaptTick {
+        /// The adapting cluster.
+        cluster: ClusterId,
+        /// Generation guard.
+        generation: u32,
+    },
+    /// Periodic metrics sampling.
+    Sample,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Scheduled {
+    time: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering: BinaryHeap is a max-heap, we want the
+        // earliest event first; ties break FIFO by sequence number.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Time-ordered event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is NaN.
+    pub fn schedule(&mut self, time: SimTime, event: Event) {
+        assert!(!time.is_nan(), "cannot schedule at NaN");
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// Pops the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|s| (s.time, s.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, Event::Sample);
+        q.schedule(1.0, Event::PeerJoin);
+        q.schedule(3.0, Event::Sample);
+        let times: Vec<f64> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        assert_eq!(times, vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(2.0, Event::PeerJoin);
+        q.schedule(
+            2.0,
+            Event::PeerLeave {
+                peer: 7,
+                generation: 0,
+            },
+        );
+        assert_eq!(q.pop().unwrap().1, Event::PeerJoin);
+        assert!(matches!(q.pop().unwrap().1, Event::PeerLeave { peer: 7, .. }));
+    }
+
+    #[test]
+    fn len_tracks_contents() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(1.0, Event::Sample);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_time_panics() {
+        EventQueue::new().schedule(f64::NAN, Event::Sample);
+    }
+}

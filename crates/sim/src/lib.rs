@@ -1,0 +1,41 @@
+//! # sp-sim
+//!
+//! Discrete-event simulator for super-peer networks, complementing the
+//! mean-value analysis of `sp-model` with the *dynamic* phenomena the
+//! paper argues about but cannot capture analytically:
+//!
+//! * **Churn and failover** (Section 3.2): peers join and leave with
+//!   heavy-tailed lifespans; when a lone super-peer dies its clients
+//!   are orphaned until they find a new cluster, while a k-redundant
+//!   virtual super-peer keeps serving as long as one partner survives
+//!   and recruits replacements from its clients. The
+//!   [`scenario::reliability`] experiment quantifies the availability
+//!   gap the paper asserts ("the probability that all partners fail
+//!   before any failed partner can be replaced is much lower").
+//! * **Steady-state validation**: [`scenario::steady_state`] measures
+//!   per-role loads from actual simulated message traffic (same Table 2
+//!   cost model) and is compared against the analytic engine in the
+//!   integration tests.
+//! * **Local adaptation** (Section 5.3): [`scenario::adaptive`] gives
+//!   every super-peer a load limit and lets it follow the
+//!   `sp-design::local_rules` advisor — accept clients, promote
+//!   partners, split, coalesce, grow outdegree, shrink TTL — and
+//!   tracks whether the network converges to an efficient,
+//!   non-overloaded configuration.
+//!
+//! The simulator is deterministic given a seed, single-threaded, and
+//! processes hundreds of thousands of events per second; the scenarios
+//! in the benches simulate hours of network time for thousands of
+//! peers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counters;
+pub mod engine;
+pub mod events;
+pub mod network;
+pub mod scenario;
+
+pub use engine::{ForwardPolicy, SimOptions, Simulation};
+pub use scenario::{adaptive, reliability, steady_state, AdaptOptions, SimReport};

@@ -1,0 +1,286 @@
+//! Packaged experiments over the simulation engine.
+//!
+//! * [`steady_state`] — measure per-role loads from real message
+//!   traffic under churn; used to validate the mean-value analysis.
+//! * [`reliability`] — the Section 3.2 redundancy claim: client
+//!   availability and downtime with k = 1 versus k = 2 virtual
+//!   super-peers under identical churn.
+//! * [`adaptive`] — the Section 5.3 local rules in action: start from a
+//!   deliberately bad configuration and watch the network reorganize.
+
+use serde::{Deserialize, Serialize};
+
+use sp_model::config::Config;
+use sp_model::load::Load;
+use sp_stats::OnlineStats;
+
+use crate::engine::{AdaptSettings, ForwardPolicy, RawMetrics, SimOptions, Simulation, TimelinePoint};
+
+/// Adaptive-scenario options (re-exported engine settings).
+pub type AdaptOptions = AdaptSettings;
+
+/// Condensed report of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Mean partner load rate (bps/bps/Hz).
+    pub sp_load: Load,
+    /// Mean client load rate.
+    pub client_load: Load,
+    /// Mean results per query.
+    pub results_per_query: f64,
+    /// Queries simulated.
+    pub queries: u64,
+    /// Cluster failures (every partner gone).
+    pub cluster_failures: u64,
+    /// Client orphanings.
+    pub orphan_events: u64,
+    /// Client availability in [0, 1].
+    pub availability: f64,
+    /// Mean downtime per orphaning, seconds (0 if none).
+    pub mean_downtime_secs: f64,
+    /// Local-rule actions applied.
+    pub adapt_actions: u64,
+    /// Periodic samples of network shape.
+    pub timeline: Vec<TimelinePoint>,
+}
+
+impl SimReport {
+    fn from_raw(m: RawMetrics) -> Self {
+        let mean = |s: &OnlineStats| s.mean();
+        SimReport {
+            sp_load: Load {
+                in_bw: mean(&m.sp_in),
+                out_bw: mean(&m.sp_out),
+                proc: mean(&m.sp_proc),
+            },
+            client_load: Load {
+                in_bw: mean(&m.client_in),
+                out_bw: mean(&m.client_out),
+                proc: mean(&m.client_proc),
+            },
+            results_per_query: m.results.mean(),
+            queries: m.queries,
+            cluster_failures: m.cluster_failures,
+            orphan_events: m.orphan_events,
+            availability: m.availability(),
+            mean_downtime_secs: m.downtime.mean(),
+            adapt_actions: m.adapt_actions,
+            timeline: m.timeline,
+        }
+    }
+}
+
+/// Runs the plain steady-state scenario.
+pub fn steady_state(config: &Config, duration_secs: f64, seed: u64) -> SimReport {
+    let mut sim = Simulation::new(
+        config,
+        SimOptions {
+            duration_secs,
+            seed,
+            ..Default::default()
+        },
+    );
+    SimReport::from_raw(sim.run())
+}
+
+/// Reliability comparison: the same configuration and churn, with and
+/// without 2-redundancy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReliabilityComparison {
+    /// Availability with a single super-peer per cluster.
+    pub availability_k1: f64,
+    /// Availability with 2-redundant virtual super-peers.
+    pub availability_k2: f64,
+    /// Cluster failures with k = 1.
+    pub failures_k1: u64,
+    /// Cluster failures with k = 2.
+    pub failures_k2: u64,
+    /// Mean client downtime per orphaning with k = 1, seconds.
+    pub downtime_k1: f64,
+    /// Mean client downtime per orphaning with k = 2, seconds.
+    pub downtime_k2: f64,
+}
+
+/// Runs the Section 3.2 reliability experiment.
+pub fn reliability(config: &Config, duration_secs: f64, seed: u64) -> ReliabilityComparison {
+    let run = |cfg: &Config| {
+        let mut sim = Simulation::new(
+            cfg,
+            SimOptions {
+                duration_secs,
+                seed,
+                ..Default::default()
+            },
+        );
+        SimReport::from_raw(sim.run())
+    };
+    let k1 = run(&config.clone().with_redundancy(false));
+    let k2 = run(&config.clone().with_redundancy(true));
+    ReliabilityComparison {
+        availability_k1: k1.availability,
+        availability_k2: k2.availability,
+        failures_k1: k1.cluster_failures,
+        failures_k2: k2.cluster_failures,
+        downtime_k1: k1.mean_downtime_secs,
+        downtime_k2: k2.mean_downtime_secs,
+    }
+}
+
+/// Flooding vs bounded-fanout forwarding on the same network: the
+/// routing protocol is orthogonal to the super-peer design (Section 2),
+/// trading reach/results for load.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoutingComparison {
+    /// Results per query under full flooding.
+    pub results_flood: f64,
+    /// Results per query under bounded fanout.
+    pub results_subset: f64,
+    /// Mean super-peer total bandwidth under full flooding (bps).
+    pub sp_bw_flood: f64,
+    /// Mean super-peer total bandwidth under bounded fanout (bps).
+    pub sp_bw_subset: f64,
+    /// The fanout compared.
+    pub fanout: usize,
+}
+
+/// Runs the routing-policy comparison.
+pub fn routing(config: &Config, fanout: usize, duration_secs: f64, seed: u64) -> RoutingComparison {
+    let run = |policy: ForwardPolicy| {
+        let mut sim = Simulation::new(
+            config,
+            SimOptions {
+                duration_secs,
+                seed,
+                forward_policy: policy,
+                ..Default::default()
+            },
+        );
+        SimReport::from_raw(sim.run())
+    };
+    let flood = run(ForwardPolicy::FloodAll);
+    let subset = run(ForwardPolicy::RandomSubset { fanout });
+    RoutingComparison {
+        results_flood: flood.results_per_query,
+        results_subset: subset.results_per_query,
+        sp_bw_flood: flood.sp_load.total_bw(),
+        sp_bw_subset: subset.sp_load.total_bw(),
+        fanout,
+    }
+}
+
+/// Runs the Section 5.3 adaptive scenario.
+pub fn adaptive(
+    config: &Config,
+    duration_secs: f64,
+    seed: u64,
+    adapt: AdaptOptions,
+) -> SimReport {
+    let mut sim = Simulation::new(
+        config,
+        SimOptions {
+            duration_secs,
+            seed,
+            adapt: Some(adapt),
+            ..Default::default()
+        },
+    );
+    SimReport::from_raw(sim.run())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_model::population::PopulationModel;
+
+    fn churny_config() -> Config {
+        Config {
+            graph_size: 120,
+            cluster_size: 12,
+            population: PopulationModel {
+                lifespan_mean_secs: 400.0,
+                ..Default::default()
+            },
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn steady_state_produces_traffic() {
+        let r = steady_state(
+            &Config {
+                graph_size: 100,
+                cluster_size: 10,
+                ..Config::default()
+            },
+            600.0,
+            1,
+        );
+        assert!(r.queries > 100);
+        assert!(r.sp_load.proc > r.client_load.proc);
+        assert!(r.results_per_query > 0.0);
+    }
+
+    #[test]
+    fn reliability_favors_redundancy() {
+        let c = reliability(&churny_config(), 2400.0, 7);
+        assert!(
+            c.availability_k2 > c.availability_k1,
+            "k2 {} vs k1 {}",
+            c.availability_k2,
+            c.availability_k1
+        );
+        assert!(c.failures_k2 < c.failures_k1);
+    }
+
+    #[test]
+    fn bounded_fanout_trades_results_for_load() {
+        let cfg = Config {
+            graph_size: 300,
+            cluster_size: 10,
+            avg_outdegree: 8.0,
+            ttl: 4,
+            ..Config::default()
+        };
+        let c = routing(&cfg, 2, 900.0, 9);
+        assert!(
+            c.sp_bw_subset < c.sp_bw_flood,
+            "subset bw {} !< flood {}",
+            c.sp_bw_subset,
+            c.sp_bw_flood
+        );
+        assert!(
+            c.results_subset < c.results_flood,
+            "subset results {} !< flood {}",
+            c.results_subset,
+            c.results_flood
+        );
+        assert!(c.results_subset > 0.0);
+    }
+
+    #[test]
+    fn adaptive_reduces_overload_pressure() {
+        // A deliberately over-clustered start (few, large clusters) with
+        // a tight limit: the rules should split clusters / promote
+        // partners, changing the cluster count over time.
+        let cfg = Config {
+            graph_size: 150,
+            cluster_size: 50,
+            ..Config::default()
+        };
+        let r = adaptive(
+            &cfg,
+            2400.0,
+            3,
+            AdaptOptions {
+                interval_secs: 120.0,
+                limit: Load {
+                    in_bw: 2e5,
+                    out_bw: 2e5,
+                    proc: 2e7,
+                },
+            },
+        );
+        assert!(r.adapt_actions > 0);
+        assert!(!r.timeline.is_empty());
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for the simulator's mutable network state:
+//! arbitrary operation sequences must never violate the structural
+//! invariants (membership symmetry, edge symmetry, cached file counts,
+//! alive-list consistency).
+
+use proptest::prelude::*;
+use sp_sim::network::SimNetwork;
+use sp_stats::SpRng;
+
+/// Operations the fuzzer may apply.
+#[derive(Debug, Clone)]
+enum Op {
+    AddSuperPeer { files: u32 },
+    AddClient { files: u32, cluster_pick: u32 },
+    AddEdge { a: u32, b: u32 },
+    RemoveClient { pick: u32 },
+    PromoteClient { cluster_pick: u32 },
+    FailCluster { cluster_pick: u32 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..500).prop_map(|files| Op::AddSuperPeer { files }),
+        (0u32..500, any::<u32>()).prop_map(|(files, cluster_pick)| Op::AddClient {
+            files,
+            cluster_pick
+        }),
+        (any::<u32>(), any::<u32>()).prop_map(|(a, b)| Op::AddEdge { a, b }),
+        any::<u32>().prop_map(|pick| Op::RemoveClient { pick }),
+        any::<u32>().prop_map(|cluster_pick| Op::PromoteClient { cluster_pick }),
+        any::<u32>().prop_map(|cluster_pick| Op::FailCluster { cluster_pick }),
+    ]
+}
+
+/// Applies an op, keeping local shadow lists of live ids.
+fn apply(
+    net: &mut SimNetwork,
+    op: &Op,
+    clusters: &mut Vec<u32>,
+    clients: &mut Vec<u32>,
+    rng: &mut SpRng,
+) {
+    match *op {
+        Op::AddSuperPeer { files } => {
+            let p = net.add_peer(files, 0.0);
+            let c = net.add_cluster(p, 7);
+            clusters.push(c);
+        }
+        Op::AddClient { files, cluster_pick } => {
+            if clusters.is_empty() {
+                return;
+            }
+            let c = clusters[cluster_pick as usize % clusters.len()];
+            let p = net.add_peer(files, 0.0);
+            net.attach_client(p, c);
+            clients.push(p);
+        }
+        Op::AddEdge { a, b } => {
+            if clusters.len() < 2 {
+                return;
+            }
+            let a = clusters[a as usize % clusters.len()];
+            let b = clusters[b as usize % clusters.len()];
+            net.add_edge(a, b);
+        }
+        Op::RemoveClient { pick } => {
+            if clients.is_empty() {
+                return;
+            }
+            let idx = pick as usize % clients.len();
+            let p = clients.swap_remove(idx);
+            net.detach_client(p);
+            net.remove_peer(p);
+        }
+        Op::PromoteClient { cluster_pick } => {
+            if clusters.is_empty() {
+                return;
+            }
+            let c = clusters[cluster_pick as usize % clusters.len()];
+            if let Some(promoted) = net.promote_client(c, rng) {
+                clients.retain(|&x| x != promoted);
+            }
+        }
+        Op::FailCluster { cluster_pick } => {
+            if clusters.is_empty() {
+                return;
+            }
+            let idx = cluster_pick as usize % clusters.len();
+            let c = clusters.swap_remove(idx);
+            // Detach everyone, then dissolve.
+            let (ps, cls) = {
+                let cl = net.clusters[c as usize].as_ref().unwrap();
+                (cl.partners.clone(), cl.clients.clone())
+            };
+            for p in ps {
+                net.detach_partner(p);
+                net.remove_peer(p);
+            }
+            for p in cls {
+                net.detach_client(p);
+                net.remove_peer(p);
+                clients.retain(|&x| x != p);
+            }
+            net.remove_cluster(c);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Invariants hold after every step of any operation sequence.
+    #[test]
+    fn network_invariants_under_random_ops(
+        ops in prop::collection::vec(arb_op(), 1..120),
+        seed in any::<u64>(),
+    ) {
+        let mut net = SimNetwork::new();
+        let mut rng = SpRng::seed_from_u64(seed);
+        let mut clusters = Vec::new();
+        let mut clients = Vec::new();
+        for op in &ops {
+            apply(&mut net, op, &mut clusters, &mut clients, &mut rng);
+            if let Err(e) = net.check_invariants() {
+                prop_assert!(false, "invariant broken after {:?}: {e}", op);
+            }
+        }
+        prop_assert_eq!(net.num_alive_clusters(), clusters.len());
+    }
+
+    /// The engine end-to-end: any small configuration simulates without
+    /// panicking and leaves a consistent network.
+    #[test]
+    fn engine_runs_any_small_config(
+        cluster_size in 1usize..20,
+        redundancy in prop::bool::ANY,
+        ttl in 1u16..6,
+        seed in any::<u64>(),
+    ) {
+        use sp_model::config::Config;
+        use sp_sim::engine::{SimOptions, Simulation};
+        let mut cfg = Config {
+            graph_size: 120,
+            cluster_size,
+            ttl,
+            ..Config::default()
+        };
+        if redundancy && cluster_size >= 2 {
+            cfg.redundancy_k = 2;
+        }
+        let mut sim = Simulation::new(&cfg, SimOptions {
+            duration_secs: 200.0,
+            seed,
+            ..Default::default()
+        });
+        let metrics = sim.run();
+        prop_assert!(sim.net.check_invariants().is_ok());
+        prop_assert!(metrics.availability() >= 0.0 && metrics.availability() <= 1.0);
+    }
+}

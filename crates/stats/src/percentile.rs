@@ -1,0 +1,158 @@
+//! Quantiles and load-rank curves.
+//!
+//! Figure 12 of the paper plots the outgoing-bandwidth load of *every*
+//! node in a topology, ranked in decreasing order, to compare the load
+//! spread of today's Gnutella against the redesigned topology ("the
+//! lowest 90% of loads are one to two orders of magnitude lower…").
+//! [`rank_curve`] produces exactly that curve; [`quantile`] answers the
+//! percentile statements in the text (the 90th-percentile "neck", the
+//! top .1% heaviest loads).
+
+/// Linear-interpolation quantile (type 7, the R/NumPy default) of a
+/// data set. `q` is in `[0, 1]`.
+///
+/// The input slice does not need to be sorted; a sorted copy is made.
+/// Returns `None` for an empty slice or a `q` outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use sp_stats::quantile;
+///
+/// let data = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(quantile(&data, 0.5), Some(2.5));
+/// assert_eq!(quantile(&data, 0.0), Some(1.0));
+/// assert_eq!(quantile(&data, 1.0), Some(4.0));
+/// ```
+pub fn quantile(data: &[f64], q: f64) -> Option<f64> {
+    if data.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    Some(quantile_sorted(&sorted, q))
+}
+
+/// [`quantile`] over data that is already sorted ascending; avoids the
+/// copy when computing many quantiles of one data set.
+///
+/// # Panics
+///
+/// Panics if `data` is empty or `q` is outside `[0, 1]`.
+pub fn quantile_sorted(data: &[f64], q: f64) -> f64 {
+    assert!(!data.is_empty(), "quantile of empty data");
+    assert!((0.0..=1.0).contains(&q), "q must be in [0,1]");
+    let pos = q * (data.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        data[lo]
+    } else {
+        let frac = pos - lo as f64;
+        data[lo] * (1.0 - frac) + data[hi] * frac
+    }
+}
+
+/// Sorts loads in *decreasing* order — the Figure 12 rank curve.
+///
+/// Element `i` of the result is the `(i+1)`-th heaviest load; plotting
+/// it against its index reproduces the paper's "rank (in decreasing
+/// required load)" axis.
+pub fn rank_curve(loads: &[f64]) -> Vec<f64> {
+    let mut sorted = loads.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("NaN in rank_curve input"));
+    sorted
+}
+
+/// Summary of a rank curve at the percentile landmarks the paper's
+/// Figure 12 discussion uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankSummary {
+    /// Heaviest single load.
+    pub max: f64,
+    /// Load at the top 0.1% rank (paper: "the top .1% heaviest loads").
+    pub top_0_1_pct: f64,
+    /// Load at the 90th percentile from the top (the "neck").
+    pub top_10_pct: f64,
+    /// Median load.
+    pub median: f64,
+    /// Lightest load.
+    pub min: f64,
+}
+
+impl RankSummary {
+    /// Computes the landmarks from raw (unsorted) loads.
+    ///
+    /// Returns `None` for an empty input.
+    pub fn from_loads(loads: &[f64]) -> Option<Self> {
+        if loads.is_empty() {
+            return None;
+        }
+        let mut sorted = loads.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in loads"));
+        Some(RankSummary {
+            max: *sorted.last().expect("nonempty"),
+            top_0_1_pct: quantile_sorted(&sorted, 0.999),
+            top_10_pct: quantile_sorted(&sorted, 0.90),
+            median: quantile_sorted(&sorted, 0.5),
+            min: sorted[0],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_basics() {
+        let data = [3.0, 1.0, 2.0];
+        assert_eq!(quantile(&data, 0.5), Some(2.0));
+        assert_eq!(quantile(&data, 0.0), Some(1.0));
+        assert_eq!(quantile(&data, 1.0), Some(3.0));
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let data = [0.0, 10.0];
+        assert_eq!(quantile(&data, 0.25), Some(2.5));
+        assert_eq!(quantile(&data, 0.75), Some(7.5));
+    }
+
+    #[test]
+    fn quantile_rejects_bad_input() {
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(quantile(&[1.0], 1.5), None);
+        assert_eq!(quantile(&[1.0], -0.1), None);
+    }
+
+    #[test]
+    fn single_element_quantiles() {
+        let data = [7.0];
+        for q in [0.0, 0.3, 0.5, 1.0] {
+            assert_eq!(quantile(&data, q), Some(7.0));
+        }
+    }
+
+    #[test]
+    fn rank_curve_is_decreasing() {
+        let curve = rank_curve(&[5.0, 1.0, 9.0, 3.0]);
+        assert_eq!(curve, vec![9.0, 5.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn rank_summary_landmarks() {
+        let loads: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        let s = RankSummary::from_loads(&loads).unwrap();
+        assert_eq!(s.max, 1000.0);
+        assert_eq!(s.min, 1.0);
+        assert!((s.median - 500.5).abs() < 1e-9);
+        assert!(s.top_10_pct > 899.0 && s.top_10_pct < 902.0);
+        assert!(s.top_0_1_pct > 998.0);
+    }
+
+    #[test]
+    fn rank_summary_empty_is_none() {
+        assert!(RankSummary::from_loads(&[]).is_none());
+    }
+}

@@ -1,0 +1,36 @@
+//! The paper's Section 5.2 walk-through: redesign 2001-era Gnutella
+//! with the global design procedure (Figure 10) and compare against
+//! the measured topology (Figures 11 and 12).
+//!
+//! ```text
+//! cargo run --release --example gnutella_redesign
+//! ```
+
+use sp_core::experiments::{redesign, Fidelity};
+
+fn main() {
+    // 20 000 users (the paper's mid-range estimate of the 2001 network),
+    // desired reach 3000 peers, the paper's per-super-peer limits:
+    // 100 Kbps each way, 10 MHz, 100 open connections.
+    let constraints = redesign::paper_constraints();
+    println!("Running the Figure 10 design procedure for 20 000 users…\n");
+    let data = redesign::run(20_000, 3000, &constraints, &Fidelity::standard())
+        .expect("the paper's scenario is feasible");
+
+    println!("{}", data.render_design_log());
+    println!("{}", data.render_fig11());
+    println!("{}", data.render_fig12());
+
+    let today = &data.topologies[0];
+    let new = &data.topologies[1];
+    println!(
+        "The redesigned topology (cluster {}, outdegree {:.0}, TTL {}) cuts aggregate \
+         bandwidth by {:.0}% and shortens response paths from {:.1} to {:.1} hops.",
+        new.config.cluster_size,
+        new.config.avg_outdegree,
+        new.config.ttl,
+        (1.0 - new.summary.agg_total_bw.mean / today.summary.agg_total_bw.mean) * 100.0,
+        today.summary.epl.mean,
+        new.summary.epl.mean,
+    );
+}

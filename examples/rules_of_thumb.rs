@@ -1,0 +1,44 @@
+//! All four rules of thumb (Section 5.1) demonstrated on one page.
+//!
+//! ```text
+//! cargo run --release --example rules_of_thumb
+//! ```
+
+use sp_core::experiments::{cluster_sweep, rules, Fidelity};
+
+fn main() {
+    let fid = Fidelity {
+        trials: 2,
+        seed: 7,
+        max_sources: Some(400),
+    };
+    let n = 5000;
+
+    // Rule #1: cluster size trades aggregate for individual load.
+    println!("=== Rule #1: increasing cluster size ===");
+    let sweep = cluster_sweep::run(
+        n,
+        &[1, 10, 50, 200, 1000],
+        &cluster_sweep::paper_systems()[..1],
+        None,
+        &fid,
+    );
+    println!("{}", sweep.render_fig4());
+    println!("{}", sweep.render_fig5());
+
+    // Rule #2: super-peer redundancy is good.
+    println!("=== Rule #2: super-peer redundancy ===");
+    println!("{}", rules::rule2(n, 50, &fid).render());
+
+    // Rule #3: maximize outdegree (if everyone participates). The
+    // aggregate win needs meaty per-cluster responses, so compare at
+    // cluster size 100 as the paper's Appendix D does.
+    println!("=== Rule #3: maximize outdegree ===");
+    let r3 = rules::rule3(n, 100, (3.1, 10.0), &fid);
+    println!("{}", r3.render_summary());
+    println!("{}", r3.render_unilateral());
+
+    // Rule #4: minimize TTL.
+    println!("=== Rule #4: minimize TTL ===");
+    println!("{}", rules::rule4(n, 10, 10.0, (3, 6), &fid).render());
+}

@@ -1,0 +1,250 @@
+//! Quantitative shape checks against the paper's Section 5 claims, at
+//! a scale that runs in seconds. Absolute numbers differ (our substrate
+//! is a reconstruction), but who wins, roughly by how much, and where
+//! the crossovers fall must match — these tests pin that.
+
+use sp_core::experiments::{cluster_sweep, rules, Fidelity};
+use sp_core::model::config::{Config, GraphType};
+use sp_core::model::trials::{run_trials, TrialOptions};
+
+fn fid() -> Fidelity {
+    Fidelity {
+        trials: 2,
+        seed: 0xABCD,
+        max_sources: Some(250),
+    }
+}
+
+fn eval(cfg: &Config) -> sp_core::TrialSummary {
+    run_trials(
+        cfg,
+        &TrialOptions {
+            trials: 2,
+            seed: 0xABCD,
+            max_sources: Some(250),
+            threads: 0,
+        },
+    )
+}
+
+/// Rule #1 and the Figure 4 knee: aggregate load falls steeply at small
+/// clusters, then flattens — the marginal saving per doubling shrinks
+/// by an order of magnitude across the sweep.
+#[test]
+fn fig4_knee_exists() {
+    let n = 2000;
+    let sizes = [1usize, 4, 16, 64, 256, 1000];
+    let sweep = cluster_sweep::run(
+        n,
+        &sizes,
+        &cluster_sweep::paper_systems()[..1], // strong, TTL 1
+        None,
+        &fid(),
+    );
+    let agg: Vec<f64> = (0..sizes.len())
+        .map(|i| sweep.cell(i, 0).summary.agg_total_bw.mean)
+        .collect();
+    // Monotone-ish decrease overall…
+    assert!(agg[1] < agg[0] && agg[2] < agg[1]);
+    // …with early savings dominating late savings (the knee).
+    let early_saving = agg[0] - agg[2]; // cluster 1 → 16
+    let late_saving = (agg[3] - agg[5]).max(0.0); // cluster 64 → 1000
+    assert!(
+        early_saving > 4.0 * late_saving,
+        "no knee: early {early_saving} vs late {late_saving}"
+    );
+}
+
+/// The Figure 5 exception: super-peer incoming bandwidth peaks near
+/// cluster = N/2 and *drops* at cluster = N (the f(1−f) effect), while
+/// outgoing bandwidth keeps rising.
+#[test]
+fn fig5_single_cluster_incoming_dip() {
+    let n = 2000;
+    let mk = |cs: usize| Config {
+        graph_type: GraphType::StronglyConnected,
+        graph_size: n,
+        cluster_size: cs,
+        ttl: 1,
+        ..Config::default()
+    };
+    let half = eval(&mk(n / 2));
+    let full = eval(&mk(n));
+    assert!(
+        full.sp_in_bw.mean < 0.5 * half.sp_in_bw.mean,
+        "no dip: full {} vs half {}",
+        full.sp_in_bw.mean,
+        half.sp_in_bw.mean
+    );
+    assert!(
+        full.sp_out_bw.mean > half.sp_out_bw.mean,
+        "outgoing should keep rising"
+    );
+}
+
+/// The Figure 6 upturn: for the strongly connected overlay, individual
+/// processing load at cluster size 1 exceeds the mid-range minimum
+/// (connection overhead dominates).
+#[test]
+fn fig6_processing_u_shape() {
+    let n = 2000;
+    let mk = |cs: usize| Config {
+        graph_type: GraphType::StronglyConnected,
+        graph_size: n,
+        cluster_size: cs,
+        ttl: 1,
+        ..Config::default()
+    };
+    let tiny = eval(&mk(1));
+    let mid = eval(&mk(50));
+    let big = eval(&mk(500));
+    assert!(
+        tiny.sp_proc.mean > 1.5 * mid.sp_proc.mean,
+        "no upturn: cs1 {} vs cs50 {}",
+        tiny.sp_proc.mean,
+        mid.sp_proc.mean
+    );
+    assert!(big.sp_proc.mean > mid.sp_proc.mean, "right side of the U");
+}
+
+/// Rule #2 magnitudes: at the paper's anchor (strong, cluster 100 —
+/// scaled down here), redundancy cuts individual partner bandwidth
+/// roughly in half while moving aggregate bandwidth by only a few
+/// percent; individual processing drops while aggregate processing
+/// rises.
+#[test]
+fn rule2_magnitudes() {
+    let d = rules::rule2(2000, 100, &fid());
+    let ind_change =
+        (d.redundant.sp_total_bw.mean - d.plain.sp_total_bw.mean) / d.plain.sp_total_bw.mean;
+    assert!(
+        (-0.65..=-0.30).contains(&ind_change),
+        "individual bandwidth change {ind_change} (paper ≈ −0.48)"
+    );
+    // At this reduced scale joins are ~6% of traffic (vs ~1% at the
+    // paper's 10 000 peers), so redundancy's doubled join cost shows up
+    // more: the paper's +2.5% becomes up to ~+15% here. The headline
+    // claim is that aggregate bandwidth moves *a little* while
+    // individual load halves.
+    let agg_change =
+        (d.redundant.agg_total_bw.mean - d.plain.agg_total_bw.mean) / d.plain.agg_total_bw.mean;
+    assert!(
+        (-0.05..0.20).contains(&agg_change),
+        "aggregate bandwidth change {agg_change} (paper ≈ +0.025 at full scale)"
+    );
+    assert!(
+        d.redundant.sp_proc.mean < d.plain.sp_proc.mean,
+        "individual processing must drop"
+    );
+    assert!(
+        d.redundant.agg_proc.mean > d.plain.agg_proc.mean,
+        "aggregate processing must rise (twice the partners)"
+    );
+}
+
+/// Rule #3: denser overlays lower aggregate bandwidth and shorten EPL
+/// (paper: 31% bandwidth, EPL 5.4 → 3). The paper's Appendix D runs
+/// this at cluster size 100 — with smaller clusters per-cluster result
+/// payloads are so small that redundant query copies dominate and the
+/// dense overlay loses (exactly the Appendix E caveat).
+#[test]
+fn rule3_magnitudes() {
+    let d = rules::rule3(2000, 100, (3.1, 10.0), &fid());
+    assert!(
+        d.dense.agg_total_bw.mean < d.sparse.agg_total_bw.mean,
+        "dense {} !< sparse {}",
+        d.dense.agg_total_bw.mean,
+        d.sparse.agg_total_bw.mean
+    );
+    assert!(
+        d.sparse.epl.mean - d.dense.epl.mean > 1.0,
+        "EPL drop too small: {} → {}",
+        d.sparse.epl.mean,
+        d.dense.epl.mean
+    );
+}
+
+/// Rule #4: at full reach, every extra TTL hop costs aggregate
+/// bandwidth (paper: 19% for TTL 4 → 3 at outdegree 20).
+#[test]
+fn rule4_magnitude() {
+    // 200 clusters at outdegree 20: TTL 3 already reaches everyone.
+    let d = rules::rule4(2000, 10, 20.0, (3, 5), &fid());
+    // Same reach…
+    assert!(
+        (d.tight.reach_clusters.mean - d.loose.reach_clusters.mean).abs()
+            < 0.05 * d.loose.reach_clusters.mean
+    );
+    // …but the loose TTL pays measurably more incoming bandwidth from
+    // dropped duplicate queries (paper: 19% at its 1000-cluster scale;
+    // the redundant-edge count shrinks with the overlay, so expect a
+    // smaller but solid effect at 200 clusters).
+    let waste = (d.loose.agg_in_bw.mean - d.tight.agg_in_bw.mean) / d.loose.agg_in_bw.mean;
+    assert!(waste > 0.05, "waste only {waste}");
+}
+
+/// Appendix C: with queries:joins ≈ 1, redundancy's aggregate cost is
+/// visibly larger than at the default rate (joins are duplicated k×).
+#[test]
+fn appendix_c_redundancy_join_sensitivity() {
+    let base = Config {
+        graph_type: GraphType::StronglyConnected,
+        graph_size: 1500,
+        cluster_size: 50,
+        ttl: 1,
+        ..Config::default()
+    };
+    let penalty = |query_rate: f64| {
+        let mut cfg = base.clone();
+        cfg.query_rate = query_rate;
+        let plain = eval(&cfg);
+        let red = eval(&cfg.clone().with_redundancy(true));
+        (red.agg_total_bw.mean - plain.agg_total_bw.mean) / plain.agg_total_bw.mean
+    };
+    let at_default = penalty(9.26e-3);
+    let at_low = penalty(cluster_sweep::LOW_QUERY_RATE);
+    assert!(
+        at_low > at_default + 0.03,
+        "join-heavy penalty {at_low} not above default {at_default}"
+    );
+}
+
+/// Appendix C (Figure A-14): at the low query rate, individual incoming
+/// bandwidth is maximal at cluster = N (joins dominate), reversing the
+/// Figure 5 dip.
+#[test]
+fn fig_a14_peak_moves_to_full_cluster() {
+    let n = 1500;
+    let mk = |cs: usize, qr: f64| {
+        let mut c = Config {
+            graph_type: GraphType::StronglyConnected,
+            graph_size: n,
+            cluster_size: cs,
+            ttl: 1,
+            ..Config::default()
+        };
+        c.query_rate = qr;
+        c
+    };
+    let low = cluster_sweep::LOW_QUERY_RATE;
+    let half = eval(&mk(n / 2, low));
+    let full = eval(&mk(n, low));
+    assert!(
+        full.sp_in_bw.mean > half.sp_in_bw.mean,
+        "A-14: full {} !> half {}",
+        full.sp_in_bw.mean,
+        half.sp_in_bw.mean
+    );
+}
+
+/// Appendix E (Figure A-15): once reach saturates at TTL 2, outdegree
+/// 2d loses to outdegree d on individual load.
+#[test]
+fn fig_a15_too_much_outdegree_hurts() {
+    let d = rules::fig_a15(1500, &[10, 30], &[25.0, 50.0], &fid());
+    for (i, _) in d.cluster_sizes.iter().enumerate() {
+        let lo = d.series[0].1[i].sp_out_bw.mean;
+        let hi = d.series[1].1[i].sp_out_bw.mean;
+        assert!(hi > lo, "cs idx {i}: {hi} !> {lo}");
+    }
+}

@@ -1,0 +1,137 @@
+//! Cross-validation: the discrete-event simulator and the mean-value
+//! analysis implement the same protocol and cost model through
+//! completely different code paths, so their steady-state answers must
+//! agree. The simulator adds churn (the analysis assumes a stable
+//! population) and samples results instead of taking expectations, so
+//! agreement is checked within generous-but-meaningful factors.
+
+use sp_core::model::config::Config;
+use sp_core::model::population::PopulationModel;
+use sp_core::model::trials::{run_trials, TrialOptions};
+use sp_core::sim::scenario::steady_state;
+
+/// Long sessions → low churn → the simulator should track the analytic
+/// predictions closely.
+fn low_churn_config() -> Config {
+    Config {
+        graph_size: 600,
+        cluster_size: 10,
+        avg_outdegree: 3.1,
+        ttl: 5,
+        population: PopulationModel {
+            // Sessions far longer than the simulated window: churn off.
+            lifespan_mean_secs: 1e7,
+            lifespan_sigma: 0.1,
+            ..Default::default()
+        },
+        ..Config::default()
+    }
+}
+
+#[test]
+fn results_per_query_agree() {
+    let cfg = low_churn_config();
+    let analytic = run_trials(
+        &cfg,
+        &TrialOptions {
+            trials: 2,
+            seed: 5,
+            max_sources: None,
+            threads: 0,
+        },
+    );
+    let sim = steady_state(&cfg, 3600.0, 5);
+    assert!(sim.queries > 1000, "only {} queries simulated", sim.queries);
+    let ratio = sim.results_per_query / analytic.results.mean;
+    assert!(
+        (0.6..1.6).contains(&ratio),
+        "results: sim {} vs analytic {} (ratio {ratio})",
+        sim.results_per_query,
+        analytic.results.mean
+    );
+}
+
+#[test]
+fn super_peer_loads_agree() {
+    let cfg = low_churn_config();
+    let analytic = run_trials(
+        &cfg,
+        &TrialOptions {
+            trials: 2,
+            seed: 7,
+            max_sources: None,
+            threads: 0,
+        },
+    );
+    let sim = steady_state(&cfg, 3600.0, 7);
+    for (name, s, a) in [
+        ("sp out bw", sim.sp_load.out_bw, analytic.sp_out_bw.mean),
+        ("sp in bw", sim.sp_load.in_bw, analytic.sp_in_bw.mean),
+        ("sp proc", sim.sp_load.proc, analytic.sp_proc.mean),
+    ] {
+        let ratio = s / a;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "{name}: sim {s} vs analytic {a} (ratio {ratio})"
+        );
+    }
+}
+
+#[test]
+fn client_loads_agree() {
+    let cfg = low_churn_config();
+    let analytic = run_trials(
+        &cfg,
+        &TrialOptions {
+            trials: 2,
+            seed: 9,
+            max_sources: None,
+            threads: 0,
+        },
+    );
+    let sim = steady_state(&cfg, 3600.0, 9);
+    let ratio = sim.client_load.in_bw / analytic.client_in_bw.mean;
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "client in bw: sim {} vs analytic {} (ratio {ratio})",
+        sim.client_load.in_bw,
+        analytic.client_in_bw.mean
+    );
+}
+
+#[test]
+fn redundancy_effect_agrees_between_engines() {
+    // Both engines must show the rule #2 direction: redundancy lowers
+    // individual super-peer bandwidth.
+    let cfg = low_churn_config();
+    let red = cfg.clone().with_redundancy(true);
+
+    let a_plain = run_trials(
+        &cfg,
+        &TrialOptions {
+            trials: 2,
+            seed: 3,
+            max_sources: None,
+            threads: 0,
+        },
+    );
+    let a_red = run_trials(
+        &red,
+        &TrialOptions {
+            trials: 2,
+            seed: 3,
+            max_sources: None,
+            threads: 0,
+        },
+    );
+    assert!(a_red.sp_total_bw.mean < a_plain.sp_total_bw.mean);
+
+    let s_plain = steady_state(&cfg, 2400.0, 4);
+    let s_red = steady_state(&red, 2400.0, 4);
+    assert!(
+        s_red.sp_load.total_bw() < s_plain.sp_load.total_bw(),
+        "sim: red {} !< plain {}",
+        s_red.sp_load.total_bw(),
+        s_plain.sp_load.total_bw()
+    );
+}
