@@ -1,0 +1,71 @@
+//! Head-to-head benchmark of the two analysis engines at sweep scale:
+//! power-law overlay, 10 000 clusters, TTL 7, full source loop — the
+//! per-instance cost that dominates every figure reproduction.
+//!
+//! Cases:
+//!
+//! * `reference` — the original implementation: three fresh n-sized
+//!   vectors per source and an O(n) charging scan;
+//! * `fast_1_thread` — reusable epoch-stamped scratch + O(reach)
+//!   charging, single worker (the pure algorithmic win);
+//! * `fast_all_cores` — the same plus source-level parallelism across
+//!   one shard-worker per core.
+//!
+//! Set `BENCH_ENGINE_QUICK=1` to shrink to 1 000 clusters for a smoke
+//! run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sp_model::analysis::{analyze, AnalysisOptions, Engine};
+use sp_model::config::Config;
+use sp_model::instance::NetworkInstance;
+use sp_model::query_model::QueryModel;
+use sp_stats::SpRng;
+
+fn bench_engines(c: &mut Criterion) {
+    let quick = std::env::var("BENCH_ENGINE_QUICK")
+        .map(|v| v != "0")
+        .unwrap_or(false);
+    // Defaults are the paper's Table 1: power-law at outdegree 3.1,
+    // TTL 7; 100 000 users at cluster size 10 = 10 000 clusters.
+    let cfg = Config {
+        graph_size: if quick { 10_000 } else { 100_000 },
+        cluster_size: 10,
+        ttl: 7,
+        ..Config::default()
+    };
+    let mut rng = SpRng::seed_from_u64(42);
+    let inst = NetworkInstance::generate(&cfg, &mut rng).unwrap();
+    let model = QueryModel::from_config(&cfg.query_model);
+
+    let mut group = c.benchmark_group(if quick {
+        "engine_1k_clusters_ttl7_full"
+    } else {
+        "engine_10k_clusters_ttl7_full"
+    });
+    group.sample_size(if quick { 10 } else { 2 });
+
+    let cases = [
+        (
+            "reference",
+            AnalysisOptions {
+                engine: Engine::Reference,
+                ..AnalysisOptions::default()
+            },
+        ),
+        (
+            "fast_1_thread",
+            AnalysisOptions {
+                threads: 1,
+                ..AnalysisOptions::default()
+            },
+        ),
+        ("fast_all_cores", AnalysisOptions::default()),
+    ];
+    for (name, opts) in cases {
+        group.bench_function(name, |b| b.iter(|| analyze(&inst, &model, &opts, &mut rng)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -47,24 +47,33 @@ fn bench_analysis(c: &mut Criterion) {
     let mut group = c.benchmark_group("analyze");
     group.sample_size(10);
     let cases = [
-        ("power_n1000_c10_ttl7", Config {
-            graph_size: 1000,
-            cluster_size: 10,
-            ..Config::default()
-        }),
-        ("strong_n1000_c10_ttl1", Config {
-            graph_size: 1000,
-            cluster_size: 10,
-            graph_type: GraphType::StronglyConnected,
-            ttl: 1,
-            ..Config::default()
-        }),
-        ("power_n1000_c10_red", Config {
-            graph_size: 1000,
-            cluster_size: 10,
-            redundancy_k: 2,
-            ..Config::default()
-        }),
+        (
+            "power_n1000_c10_ttl7",
+            Config {
+                graph_size: 1000,
+                cluster_size: 10,
+                ..Config::default()
+            },
+        ),
+        (
+            "strong_n1000_c10_ttl1",
+            Config {
+                graph_size: 1000,
+                cluster_size: 10,
+                graph_type: GraphType::StronglyConnected,
+                ttl: 1,
+                ..Config::default()
+            },
+        ),
+        (
+            "power_n1000_c10_red",
+            Config {
+                graph_size: 1000,
+                cluster_size: 10,
+                redundancy_k: 2,
+                ..Config::default()
+            },
+        ),
     ];
     for (name, cfg) in cases {
         group.bench_function(name, |b| {
@@ -85,6 +94,7 @@ fn bench_analysis(c: &mut Criterion) {
         let model = QueryModel::from_config(&cfg.query_model);
         let opts = AnalysisOptions {
             max_sources: Some(100),
+            ..AnalysisOptions::default()
         };
         b.iter(|| analyze(&inst, &model, &opts, &mut rng));
     });

@@ -8,8 +8,7 @@ fn main() {
         "Ablation: overlay family",
         "degree spread, not mean degree, concentrates load",
     );
-    let data =
-        ablations::overlay_family_comparison(scaled(10_000), 10, 6.0, 5, &fidelity());
+    let data = ablations::overlay_family_comparison(scaled(10_000), 10, 6.0, 5, &fidelity());
     println!("{}", data.render());
     println!(
         "Expected shape: aggregate load and results are similar across\n\

@@ -1,0 +1,206 @@
+//! Performance trajectory for the analysis engine.
+//!
+//! Times one full `analyze` pass — power-law overlay, 10 000 clusters
+//! (100 000 users at cluster size 10), TTL 7, full source loop — under
+//! the Reference engine (the original implementation) and the Fast
+//! engine (reusable flood scratch, O(reach) charging, source-parallel
+//! shards), verifies they agree, counts heap allocations in the flood
+//! path, and emits `repro_out/BENCH_analyze.json` so future changes
+//! have a baseline to compare against.
+//!
+//! `REPRO_QUICK=1` shrinks to 1 000 clusters; `SP_THREADS` caps the
+//! Fast engine's worker budget; `REPRO_OUT` overrides the output
+//! directory.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use sp_bench::{banner, quick_mode, threads};
+use sp_graph::FloodScratch;
+use sp_model::analysis::{analyze, AnalysisOptions, AnalysisResult, Engine};
+use sp_model::config::Config;
+use sp_model::instance::NetworkInstance;
+use sp_model::query_model::QueryModel;
+use sp_stats::SpRng;
+
+/// Counts every heap allocation so the zero-allocation claim for the
+/// flood path is measured, not asserted.
+struct CountingAlloc;
+
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOC_COUNT.load(Ordering::Relaxed)
+}
+
+/// Peak resident set size (VmHWM) in kB from /proc, if available.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+fn timed(result_slot: &mut Option<AnalysisResult>, f: impl FnOnce() -> AnalysisResult) -> f64 {
+    let t = Instant::now();
+    *result_slot = Some(f());
+    t.elapsed().as_secs_f64()
+}
+
+fn rel(a: f64, b: f64) -> f64 {
+    (a - b).abs() / a.abs().max(b.abs()).max(f64::MIN_POSITIVE)
+}
+
+fn main() {
+    banner(
+        "Engine benchmark",
+        "analysis wall time, allocations, and peak RSS",
+    );
+    let cfg = Config {
+        graph_size: if quick_mode() { 10_000 } else { 100_000 },
+        cluster_size: 10,
+        ttl: 7,
+        ..Config::default()
+    };
+    let n_clusters = cfg.num_clusters();
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+
+    let mut rng = SpRng::seed_from_u64(42);
+    let t = Instant::now();
+    let inst = NetworkInstance::generate(&cfg, &mut rng).unwrap();
+    let gen_s = t.elapsed().as_secs_f64();
+    let model = QueryModel::from_config(&cfg.query_model);
+    println!("generated {n_clusters} clusters in {gen_s:.2} s\n");
+
+    // Flood-path allocation count: after one warm flood sizes the
+    // scratch, further sources must allocate nothing.
+    let mut scratch = FloodScratch::new();
+    inst.topology.flood_into(&mut scratch, 0, cfg.ttl);
+    let sources_measured = (n_clusters - 1).min(1000) as u64;
+    let before = allocs();
+    for src in 1..=sources_measured {
+        inst.topology.flood_into(&mut scratch, src as u32, cfg.ttl);
+    }
+    let flood_allocs = allocs() - before;
+    println!(
+        "flood path: {flood_allocs} heap allocations across {sources_measured} sources \
+         (scratch reuse)"
+    );
+
+    // Wall times. One run each: at this scale a run is seconds long and
+    // the engines are deterministic, so run-to-run noise is small
+    // relative to the gap being measured.
+    let mut reference = None;
+    let reference_s = timed(&mut reference, || {
+        analyze(
+            &inst,
+            &model,
+            &AnalysisOptions {
+                engine: Engine::Reference,
+                ..AnalysisOptions::default()
+            },
+            &mut rng,
+        )
+    });
+    println!("reference engine:      {reference_s:>8.3} s");
+
+    let mut fast_one = None;
+    let before = allocs();
+    let fast_1_thread_s = timed(&mut fast_one, || {
+        analyze(
+            &inst,
+            &model,
+            &AnalysisOptions {
+                threads: 1,
+                ..AnalysisOptions::default()
+            },
+            &mut rng,
+        )
+    });
+    let fast_total_allocs = allocs() - before;
+    println!("fast engine, 1 thread: {fast_1_thread_s:>8.3} s  ({fast_total_allocs} allocations for all {n_clusters} sources)");
+
+    let mut fast_all = None;
+    let fast_s = timed(&mut fast_all, || {
+        analyze(
+            &inst,
+            &model,
+            &AnalysisOptions {
+                threads: threads(),
+                ..AnalysisOptions::default()
+            },
+            &mut rng,
+        )
+    });
+    println!("fast engine, {cores} core(s): {fast_s:>8.3} s");
+
+    // The engines must agree before a speedup means anything.
+    let (r, f1, fa) = (
+        reference.unwrap().metrics,
+        fast_one.unwrap().metrics,
+        fast_all.unwrap().metrics,
+    );
+    for (name, x) in [("fast(1)", &f1), ("fast(all)", &fa)] {
+        assert!(
+            rel(r.aggregate.in_bw, x.aggregate.in_bw) <= 1e-12
+                && rel(r.aggregate.proc, x.aggregate.proc) <= 1e-12
+                && rel(r.results_per_query, x.results_per_query) <= 1e-12,
+            "{name} disagrees with reference"
+        );
+    }
+
+    let speedup = reference_s / fast_s;
+    let speedup_1t = reference_s / fast_1_thread_s;
+    println!(
+        "\nspeedup vs reference: {speedup:.2}x on {cores} core(s), {speedup_1t:.2}x single-threaded"
+    );
+
+    let peak_kb = peak_rss_kb();
+    let json = format!(
+        "{{\n  \"bench\": \"analyze_power_law_ttl7_full_sources\",\n  \"mode\": \"{mode}\",\n  \"graph_size\": {gs},\n  \"clusters\": {nc},\n  \"ttl\": {ttl},\n  \"cores\": {cores},\n  \"generate_wall_s\": {gen:.4},\n  \"reference_wall_s\": {refs:.4},\n  \"fast_1_thread_wall_s\": {f1:.4},\n  \"fast_wall_s\": {fs:.4},\n  \"speedup_vs_reference\": {sp:.3},\n  \"speedup_vs_reference_1_thread\": {sp1:.3},\n  \"flood_allocs_per_source\": {fa},\n  \"flood_sources_measured\": {fsm},\n  \"fast_total_allocs\": {fta},\n  \"peak_rss_kb\": {rss}\n}}\n",
+        mode = if quick_mode() { "quick" } else { "paper" },
+        gs = cfg.graph_size,
+        nc = n_clusters,
+        ttl = cfg.ttl,
+        cores = cores,
+        gen = gen_s,
+        refs = reference_s,
+        f1 = fast_1_thread_s,
+        fs = fast_s,
+        sp = speedup,
+        sp1 = speedup_1t,
+        fa = flood_allocs as f64 / sources_measured as f64,
+        fsm = sources_measured,
+        fta = fast_total_allocs,
+        rss = peak_kb.map_or("null".to_string(), |k| k.to_string()),
+    );
+    let out_dir = std::env::var("REPRO_OUT").unwrap_or_else(|_| "repro_out".to_string());
+    std::fs::create_dir_all(&out_dir).unwrap();
+    let path = format!("{out_dir}/BENCH_analyze.json");
+    std::fs::write(&path, &json).unwrap();
+    println!("\nwrote {path}:\n{json}");
+}

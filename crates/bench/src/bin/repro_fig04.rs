@@ -5,7 +5,10 @@ use sp_bench::{banner, fidelity, scaled};
 use sp_core::experiments::cluster_sweep;
 
 fn main() {
-    banner("Figure 4", "aggregate load decreases with cluster size (knee and all)");
+    banner(
+        "Figure 4",
+        "aggregate load decreases with cluster size (knee and all)",
+    );
     let n = scaled(10_000);
     let data = cluster_sweep::run(
         n,

@@ -5,7 +5,10 @@ use sp_bench::{banner, fidelity, scaled};
 use sp_core::experiments::outdegree_hist;
 
 fn main() {
-    banner("Figure 7", "load by outdegree: sparse topologies concentrate load");
+    banner(
+        "Figure 7",
+        "load by outdegree: sparse topologies concentrate load",
+    );
     let data = outdegree_hist::run(
         scaled(10_000),
         20,

@@ -4,7 +4,10 @@ use sp_bench::{banner, fidelity, scaled};
 use sp_core::experiments::outdegree_hist;
 
 fn main() {
-    banner("Figure 8", "low-degree super-peers in sparse overlays see fewer results");
+    banner(
+        "Figure 8",
+        "low-degree super-peers in sparse overlays see fewer results",
+    );
     let data = outdegree_hist::run(
         scaled(10_000),
         20,

@@ -5,7 +5,10 @@ use sp_bench::{banner, fidelity, scaled};
 use sp_core::experiments::redesign;
 
 fn main() {
-    banner("Figure 11", "the redesign cuts every aggregate load by >=79%");
+    banner(
+        "Figure 11",
+        "the redesign cuts every aggregate load by >=79%",
+    );
     let users = scaled(20_000);
     let data = redesign::run(
         users,

@@ -5,7 +5,10 @@ use sp_bench::{banner, fidelity, scaled};
 use sp_core::experiments::redesign;
 
 fn main() {
-    banner("Figure 12", "the redesign lowers the whole load distribution");
+    banner(
+        "Figure 12",
+        "the redesign lowers the whole load distribution",
+    );
     let users = scaled(20_000);
     let data = redesign::run(
         users,

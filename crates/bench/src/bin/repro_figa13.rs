@@ -5,7 +5,10 @@ use sp_bench::{banner, fidelity, scaled};
 use sp_core::experiments::cluster_sweep;
 
 fn main() {
-    banner("Figure A-13", "join-heavy workloads flatten the cluster-size savings");
+    banner(
+        "Figure A-13",
+        "join-heavy workloads flatten the cluster-size savings",
+    );
     let n = scaled(10_000);
     let data = cluster_sweep::run(
         n,

@@ -5,7 +5,10 @@ use sp_bench::{banner, fidelity, scaled};
 use sp_core::experiments::cluster_sweep;
 
 fn main() {
-    banner("Figure A-14", "with joins dominant, the single-cluster dip disappears");
+    banner(
+        "Figure A-14",
+        "with joins dominant, the single-cluster dip disappears",
+    );
     let n = scaled(10_000);
     let fid = fidelity();
     let data = cluster_sweep::run(

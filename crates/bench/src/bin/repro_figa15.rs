@@ -5,7 +5,10 @@ use sp_bench::{banner, fidelity, scaled};
 use sp_core::experiments::rules;
 
 fn main() {
-    banner("Figure A-15", "past the knee, more neighbors only add redundant copies");
+    banner(
+        "Figure A-15",
+        "past the knee, more neighbors only add redundant copies",
+    );
     let n = scaled(10_000);
     let sizes: Vec<usize> = [1usize, 5, 10, 20, 40, 60, 80, 100]
         .into_iter()

@@ -1,17 +1,29 @@
 //! Shared plumbing for the reproduction binaries.
 //!
-//! Every `repro_*` binary reads two environment variables so the whole
-//! suite can be smoke-tested quickly or run at paper scale:
+//! Every `repro_*` binary reads three environment variables so the
+//! whole suite can be smoke-tested quickly or run at paper scale:
 //!
 //! * `REPRO_QUICK=1` — shrink networks and trial counts (~seconds per
 //!   figure instead of minutes);
-//! * `REPRO_SEED=<u64>` — override the root seed.
+//! * `REPRO_SEED=<u64>` — override the root seed;
+//! * `SP_THREADS=<n>` — cap the worker-thread budget (default: one
+//!   worker per core; never changes the reported numbers).
 
 use sp_core::experiments::Fidelity;
 
 /// Whether quick mode is requested.
 pub fn quick_mode() -> bool {
-    std::env::var("REPRO_QUICK").map(|v| v != "0").unwrap_or(false)
+    std::env::var("REPRO_QUICK")
+        .map(|v| v != "0")
+        .unwrap_or(false)
+}
+
+/// The worker-thread budget from `SP_THREADS` (0 = one per core).
+pub fn threads() -> usize {
+    std::env::var("SP_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
 }
 
 /// The evaluation fidelity for the current mode.
@@ -26,6 +38,7 @@ pub fn fidelity() -> Fidelity {
             f.seed = seed;
         }
     }
+    f.threads = threads();
     f
 }
 

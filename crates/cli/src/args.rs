@@ -73,9 +73,9 @@ impl Args {
     pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
         match self.get(name) {
             None => Ok(default),
-            Some(raw) => raw.parse().map_err(|_| {
-                ArgError(format!("--{name}: cannot parse {raw:?}"))
-            }),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| ArgError(format!("--{name}: cannot parse {raw:?}"))),
         }
     }
 

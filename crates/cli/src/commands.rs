@@ -4,11 +4,27 @@ use sp_core::design::procedure::EvalOptions;
 use sp_core::design::{design, DesignConstraints, DesignGoals};
 use sp_core::experiments::{cluster_sweep, epl_table, Fidelity};
 use sp_core::model::config::{Config, GraphType};
+use sp_core::model::trials::TrialOptions;
 use sp_core::report::{ci, sci, Table};
 use sp_core::sim::scenario::{reliability, steady_state};
 use sp_core::{Load, NetworkBuilder};
 
 use crate::args::{ArgError, Args};
+
+/// Resolves the worker-thread budget: `--threads N` wins, then the
+/// `SP_THREADS` environment variable, then 0 (one worker per core).
+/// The budget only controls parallelism — never the reported numbers.
+fn threads_from(args: &Args) -> Result<usize, ArgError> {
+    if let Some(t) = args.get("threads") {
+        return t
+            .parse()
+            .map_err(|_| ArgError(format!("--threads: cannot parse {t:?}")));
+    }
+    Ok(std::env::var("SP_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0))
+}
 
 /// Builds a [`Config`] from the shared topology options.
 fn config_from(args: &Args) -> Result<Config, ArgError> {
@@ -67,17 +83,18 @@ fn with_common<'a>(extra: &'a [&'a str]) -> Vec<&'a str> {
 
 /// `spnet evaluate` — mean-value analysis of one configuration.
 pub fn evaluate(args: &Args) -> Result<String, ArgError> {
-    args.ensure_known(&with_common(&["trials", "seed", "sources"]))?;
+    args.ensure_known(&with_common(&["trials", "seed", "sources", "threads"]))?;
     let cfg = config_from(args)?;
     let trials = args.get_or("trials", 5usize)?;
     let seed = args.get_or("seed", 42u64)?;
     let sources = args.get_or("sources", 0usize)?;
     let builder = NetworkBuilder::from_config(cfg.clone());
-    let s = if sources > 0 {
-        builder.evaluate_sampled(trials, seed, sources)
-    } else {
-        builder.evaluate(trials, seed)
-    };
+    let s = builder.evaluate_with(&TrialOptions {
+        trials,
+        seed,
+        max_sources: (sources > 0).then_some(sources),
+        threads: threads_from(args)?,
+    });
     let mut t = Table::new(vec!["Metric", "Mean ± 95% CI"]);
     t.row(vec!["aggregate in bw (bps)".into(), ci(&s.agg_in_bw)]);
     t.row(vec!["aggregate out bw (bps)".into(), ci(&s.agg_out_bw)]);
@@ -216,13 +233,16 @@ pub fn simulate(args: &Args) -> Result<String, ArgError> {
 
 /// `spnet sweep` — cluster-size sweep of one system.
 pub fn sweep(args: &Args) -> Result<String, ArgError> {
-    args.ensure_known(&with_common(&["clusters", "trials", "seed", "sources"]))?;
+    args.ensure_known(&with_common(&[
+        "clusters", "trials", "seed", "sources", "threads",
+    ]))?;
     let cfg = config_from(args)?;
     let sizes = args.get_list_or("clusters", &[1usize, 10, 100, 1000])?;
     let fid = Fidelity {
         trials: args.get_or("trials", 3usize)?,
         seed: args.get_or("seed", 42u64)?,
         max_sources: Some(args.get_or("sources", 800usize)?),
+        threads: threads_from(args)?,
     };
     let spec = cluster_sweep::SystemSpec {
         label: "system".into(),
@@ -291,7 +311,10 @@ pub fn help() -> String {
        --k K              arbitrary redundancy factor\n\
        --strong           strongly connected overlay\n\
        --graph FAMILY     power-law | strong | erdos-renyi | regular\n\
-       --query-rate R     queries per user per second (default 9.26e-3)\n\n\
+       --query-rate R     queries per user per second (default 9.26e-3)\n\
+       --threads N        worker-thread budget for evaluate/sweep\n\
+                          (default: SP_THREADS env or one per core;\n\
+                          never changes the reported numbers)\n\n\
      EXAMPLES:\n\
        spnet evaluate --users 10000 --cluster 10 --redundancy\n\
        spnet design --users 20000 --reach 3000 --max-up 100000 --max-conns 100\n\
@@ -312,7 +335,15 @@ mod tests {
     #[test]
     fn evaluate_renders_table() {
         let out = evaluate(&args(&[
-            "--users", "300", "--cluster", "10", "--ttl", "3", "--trials", "1", "--sources",
+            "--users",
+            "300",
+            "--cluster",
+            "10",
+            "--ttl",
+            "3",
+            "--trials",
+            "1",
+            "--sources",
             "50",
         ]))
         .unwrap();
@@ -336,8 +367,18 @@ mod tests {
     #[test]
     fn design_small_scenario() {
         let out = design_cmd(&args(&[
-            "--users", "1000", "--reach", "250", "--max-up", "150000", "--max-down", "150000",
-            "--max-proc", "15000000", "--max-conns", "100",
+            "--users",
+            "1000",
+            "--reach",
+            "250",
+            "--max-up",
+            "150000",
+            "--max-down",
+            "150000",
+            "--max-proc",
+            "15000000",
+            "--max-conns",
+            "100",
         ]))
         .unwrap();
         assert!(out.contains("recommended"));
@@ -347,7 +388,12 @@ mod tests {
     #[test]
     fn simulate_produces_counts() {
         let out = simulate(&args(&[
-            "--users", "100", "--cluster", "10", "--duration", "300",
+            "--users",
+            "100",
+            "--cluster",
+            "10",
+            "--duration",
+            "300",
         ]))
         .unwrap();
         assert!(out.contains("queries simulated"));
@@ -356,7 +402,15 @@ mod tests {
     #[test]
     fn sweep_lists_all_sizes() {
         let out = sweep(&args(&[
-            "--users", "400", "--clusters", "5,40", "--trials", "1", "--sources", "40", "--ttl",
+            "--users",
+            "400",
+            "--clusters",
+            "5,40",
+            "--trials",
+            "1",
+            "--sources",
+            "40",
+            "--ttl",
             "3",
         ]))
         .unwrap();

@@ -1,0 +1,25 @@
+//! Vendored offline stub of `serde`.
+//!
+//! The build container cannot reach a crates registry, so the real
+//! `serde` is unavailable. The repository currently uses serde only as
+//! derive annotations on model types (no runtime serialization), so
+//! marker traits plus the no-op derives in `serde_derive` are enough to
+//! keep every annotation compiling. Point the workspace dependency back
+//! at crates.io to upgrade in place.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+/// Stand-in for the `serde::de` module.
+pub mod de {
+    /// Marker stand-in for `serde::de::DeserializeOwned`, blanket
+    /// implemented exactly like the real one.
+    pub trait DeserializeOwned {}
+    impl<T> DeserializeOwned for T where T: for<'de> super::Deserialize<'de> {}
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

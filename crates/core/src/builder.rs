@@ -95,6 +95,16 @@ impl NetworkBuilder {
         self.config.clone()
     }
 
+    /// Runs the mean-value analysis with full [`TrialOptions`] control
+    /// (source sampling, worker-thread budget).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration.
+    pub fn evaluate_with(&self, opts: &TrialOptions) -> TrialSummary {
+        run_trials(&self.config, opts)
+    }
+
     /// Runs the mean-value analysis over `trials` instances.
     ///
     /// # Panics
@@ -114,12 +124,7 @@ impl NetworkBuilder {
     /// Like [`evaluate`](Self::evaluate) but sampling at most
     /// `max_sources` source clusters per instance — much faster on
     /// large networks, unbiased for aggregate metrics.
-    pub fn evaluate_sampled(
-        &self,
-        trials: usize,
-        seed: u64,
-        max_sources: usize,
-    ) -> TrialSummary {
+    pub fn evaluate_sampled(&self, trials: usize, seed: u64, max_sources: usize) -> TrialSummary {
         run_trials(
             &self.config,
             &TrialOptions {

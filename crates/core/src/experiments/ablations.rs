@@ -21,17 +21,17 @@ use sp_model::config::{Config, GraphType};
 use sp_model::population::{FileTail, PopulationModel};
 use sp_model::trials::{run_trials, TrialOptions, TrialSummary};
 
-use super::Fidelity;
+use super::{run_cells, Fidelity};
 use crate::report::{sci, Table};
 
-fn evaluate(cfg: &Config, fid: &Fidelity) -> TrialSummary {
+fn evaluate(cfg: &Config, fid: &Fidelity, threads: usize) -> TrialSummary {
     run_trials(
         cfg,
         &TrialOptions {
             trials: fid.trials,
             seed: fid.seed,
             max_sources: fid.max_sources,
-            threads: 0,
+            threads,
         },
     )
 }
@@ -97,27 +97,28 @@ pub fn redundancy_k_sweep(
     ks: &[usize],
     fid: &Fidelity,
 ) -> KSweepData {
-    let points = ks
+    let valid: Vec<usize> = ks
         .iter()
-        .filter(|&&k| k >= 1 && k <= cluster_size)
-        .map(|&k| {
-            let cfg = Config {
-                graph_size,
-                cluster_size,
-                redundancy_k: k,
-                ..Config::default()
-            };
-            let summary = evaluate(&cfg, fid);
-            let kf = k as f64;
-            let connections_per_partner =
-                cfg.mean_clients() + kf * summary.mean_outdegree + (kf - 1.0);
-            KPoint {
-                k,
-                summary,
-                connections_per_partner,
-            }
-        })
+        .copied()
+        .filter(|&k| k >= 1 && k <= cluster_size)
         .collect();
+    let points = run_cells(valid.len(), fid.threads, |idx, inner| {
+        let k = valid[idx];
+        let cfg = Config {
+            graph_size,
+            cluster_size,
+            redundancy_k: k,
+            ..Config::default()
+        };
+        let summary = evaluate(&cfg, fid, inner);
+        let kf = k as f64;
+        let connections_per_partner = cfg.mean_clients() + kf * summary.mean_outdegree + (kf - 1.0);
+        KPoint {
+            k,
+            summary,
+            connections_per_partner,
+        }
+    });
     KSweepData {
         points,
         cluster_size,
@@ -192,32 +193,30 @@ pub fn overlay_family_comparison(
         ("ErdosRenyi", GraphType::ErdosRenyi),
         ("RandomRegular", GraphType::RandomRegular),
     ];
-    let points = families
-        .iter()
-        .map(|(label, family)| {
-            let cfg = Config {
-                graph_size,
-                cluster_size,
-                graph_type: *family,
-                avg_outdegree: mean_degree,
-                ttl,
-                ..Config::default()
-            };
-            let summary = evaluate(&cfg, fid);
-            let means: Vec<f64> = summary
-                .sp_out_bw_by_outdegree
-                .iter()
-                .map(|(_, s)| s.mean())
-                .collect();
-            let max = means.iter().cloned().fold(f64::MIN, f64::max);
-            let mean = means.iter().sum::<f64>() / means.len().max(1) as f64;
-            FamilyPoint {
-                label: label.to_string(),
-                summary,
-                load_spread: if mean > 0.0 { max / mean } else { 0.0 },
-            }
-        })
-        .collect();
+    let points = run_cells(families.len(), fid.threads, |idx, inner| {
+        let (label, family) = families[idx];
+        let cfg = Config {
+            graph_size,
+            cluster_size,
+            graph_type: family,
+            avg_outdegree: mean_degree,
+            ttl,
+            ..Config::default()
+        };
+        let summary = evaluate(&cfg, fid, inner);
+        let means: Vec<f64> = summary
+            .sp_out_bw_by_outdegree
+            .iter()
+            .map(|(_, s)| s.mean())
+            .collect();
+        let max = means.iter().cloned().fold(f64::MIN, f64::max);
+        let mean = means.iter().sum::<f64>() / means.len().max(1) as f64;
+        FamilyPoint {
+            label: label.to_string(),
+            summary,
+            load_spread: if mean > 0.0 { max / mean } else { 0.0 },
+        }
+    });
     FamilyData {
         points,
         mean_degree,
@@ -279,27 +278,28 @@ pub fn population_tail_sensitivity(
             },
         ),
     ];
-    let series = tails
-        .iter()
-        .map(|(label, tail)| {
-            let summaries = cluster_sizes
-                .iter()
-                .map(|&cs| {
-                    let cfg = Config {
-                        graph_size,
-                        cluster_size: cs,
-                        population: PopulationModel {
-                            file_tail: *tail,
-                            ..Default::default()
-                        },
-                        ..Config::default()
-                    };
-                    evaluate(&cfg, fid)
-                })
-                .collect();
-            (label.clone(), summaries)
-        })
-        .collect();
+    // Flatten the (tail × cluster size) grid into independent cells,
+    // then regroup per tail.
+    let n_cs = cluster_sizes.len();
+    let mut flat = run_cells(tails.len() * n_cs, fid.threads, |idx, inner| {
+        let (_, tail) = &tails[idx / n_cs];
+        let cfg = Config {
+            graph_size,
+            cluster_size: cluster_sizes[idx % n_cs],
+            population: PopulationModel {
+                file_tail: *tail,
+                ..Default::default()
+            },
+            ..Config::default()
+        };
+        evaluate(&cfg, fid, inner)
+    });
+    let mut series = Vec::with_capacity(tails.len());
+    for (label, _) in &tails {
+        let rest = flat.split_off(n_cs);
+        series.push((label.clone(), flat));
+        flat = rest;
+    }
     TailData {
         cluster_sizes: cluster_sizes.to_vec(),
         series,

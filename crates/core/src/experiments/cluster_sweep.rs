@@ -11,7 +11,7 @@
 use sp_model::config::{Config, GraphType};
 use sp_model::trials::{run_trials, TrialOptions, TrialSummary};
 
-use super::Fidelity;
+use super::{run_cells, Fidelity};
 use crate::report::{sci, Table};
 
 /// One of the sweep's systems.
@@ -151,6 +151,12 @@ impl SweepData {
 
 /// Runs the sweep. `query_rate` overrides Table 1's rate (Appendix C
 /// uses 9.26 × 10⁻⁴ so queries:joins ≈ 1).
+///
+/// The (cluster size × system) cells are independent, so they are
+/// fanned over a bounded worker pool ([`run_cells`]) within
+/// `fid.threads`; whatever budget multiple is left over parallelizes
+/// each cell's trials and source loops. Cell order — and every
+/// reported number — is independent of the thread count.
 pub fn run(
     graph_size: usize,
     cluster_sizes: &[usize],
@@ -158,52 +164,56 @@ pub fn run(
     query_rate: Option<f64>,
     fid: &Fidelity,
 ) -> SweepData {
-    let mut cells = Vec::with_capacity(cluster_sizes.len() * systems.len());
-    for &cs in cluster_sizes {
-        for spec in systems {
-            let mut cfg = Config {
-                graph_type: spec.graph_type,
-                graph_size,
-                cluster_size: cs,
-                avg_outdegree: spec.avg_outdegree,
-                ttl: spec.ttl,
-                ..Config::default()
-            };
-            if let Some(qr) = query_rate {
-                cfg.query_rate = qr;
-            }
-            // Redundancy requires room for two partners.
-            if spec.redundancy && cs >= 2 {
-                cfg.redundancy_k = 2;
-            }
-            // Large clusters mean few clusters, so one N(c, 0.2c) draw
-            // swings the whole population by ±20% — and those instances
-            // are by far the cheapest to analyze. Buy the variance back
-            // with more trials.
-            let n_clusters = (graph_size / cs).max(1);
-            let trial_boost = if n_clusters < 20 {
-                6
-            } else if n_clusters < 100 {
-                3
-            } else {
-                1
-            };
-            let summary = run_trials(
-                &cfg,
-                &TrialOptions {
-                    trials: fid.trials * trial_boost,
-                    seed: fid.seed,
-                    max_sources: fid.max_sources,
-                    threads: 0,
-                },
-            );
-            cells.push(SweepCell {
-                cluster_size: cs,
-                system: spec.label.clone(),
-                summary,
-            });
+    // Row-major (cluster size, system) grid, evaluated as independent
+    // cells.
+    let specs: Vec<(usize, &SystemSpec)> = cluster_sizes
+        .iter()
+        .flat_map(|&cs| systems.iter().map(move |spec| (cs, spec)))
+        .collect();
+    let cells = run_cells(specs.len(), fid.threads, |idx, inner| {
+        let (cs, spec) = specs[idx];
+        let mut cfg = Config {
+            graph_type: spec.graph_type,
+            graph_size,
+            cluster_size: cs,
+            avg_outdegree: spec.avg_outdegree,
+            ttl: spec.ttl,
+            ..Config::default()
+        };
+        if let Some(qr) = query_rate {
+            cfg.query_rate = qr;
         }
-    }
+        // Redundancy requires room for two partners.
+        if spec.redundancy && cs >= 2 {
+            cfg.redundancy_k = 2;
+        }
+        // Large clusters mean few clusters, so one N(c, 0.2c) draw
+        // swings the whole population by ±20% — and those instances
+        // are by far the cheapest to analyze. Buy the variance back
+        // with more trials.
+        let n_clusters = (graph_size / cs).max(1);
+        let trial_boost = if n_clusters < 20 {
+            6
+        } else if n_clusters < 100 {
+            3
+        } else {
+            1
+        };
+        let summary = run_trials(
+            &cfg,
+            &TrialOptions {
+                trials: fid.trials * trial_boost,
+                seed: fid.seed,
+                max_sources: fid.max_sources,
+                threads: inner,
+            },
+        );
+        SweepCell {
+            cluster_size: cs,
+            system: spec.label.clone(),
+            summary,
+        }
+    });
     SweepData {
         cluster_sizes: cluster_sizes.to_vec(),
         systems: systems.iter().map(|s| s.label.clone()).collect(),

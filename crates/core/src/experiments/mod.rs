@@ -38,6 +38,12 @@ pub struct Fidelity {
     pub seed: u64,
     /// Cap on flooded source clusters per instance (`None` = exact).
     pub max_sources: Option<usize>,
+    /// Total worker-thread budget for the whole experiment (`0` = one
+    /// per available core). [`run_cells`] splits it between sweep
+    /// cells, trials, and analysis source shards so the three levels
+    /// of parallelism never oversubscribe the machine. Has no effect
+    /// on the reported numbers.
+    pub threads: usize,
 }
 
 impl Fidelity {
@@ -48,6 +54,7 @@ impl Fidelity {
             trials: 3,
             seed: 0x5EED_2003,
             max_sources: Some(1200),
+            threads: 0,
         }
     }
 
@@ -57,7 +64,14 @@ impl Fidelity {
             trials: 1,
             seed: 0x5EED_2003,
             max_sources: Some(150),
+            threads: 0,
         }
+    }
+
+    /// Returns the fidelity with a different thread budget.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
@@ -65,4 +79,62 @@ impl Default for Fidelity {
     fn default() -> Self {
         Fidelity::standard()
     }
+}
+
+/// Fans `n_cells` independent evaluations over a bounded worker pool
+/// and returns their results **in cell order**.
+///
+/// `budget` is the total worker-thread budget (`0` = one per available
+/// core). Up to `min(budget, n_cells)` cells run concurrently, and
+/// each invocation of `run(cell_index, inner_budget)` receives the
+/// leftover multiple `budget / outer` as its own inner thread budget
+/// (to hand to [`sp_model::trials::TrialOptions::threads`]), so
+/// `outer × inner` never exceeds the budget. The output order — and,
+/// because every cell is evaluated independently from its own seed,
+/// every reported number — is independent of the thread count.
+pub fn run_cells<O, F>(n_cells: usize, budget: usize, run: F) -> Vec<O>
+where
+    O: Send,
+    F: Fn(usize, usize) -> O + Sync,
+{
+    let budget = if budget == 0 {
+        std::thread::available_parallelism().map_or(1, |v| v.get())
+    } else {
+        budget
+    }
+    .max(1);
+    let outer = budget.min(n_cells).max(1);
+    let inner = (budget / outer).max(1);
+    if outer == 1 {
+        return (0..n_cells).map(|c| run(c, inner)).collect();
+    }
+
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<O>> = (0..n_cells).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..outer)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut done = Vec::new();
+                    loop {
+                        let c = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if c >= n_cells {
+                            break;
+                        }
+                        done.push((c, run(c, inner)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for h in handles {
+            for (c, o) in h.join().expect("sweep cell worker panicked") {
+                slots[c] = Some(o);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every cell evaluated exactly once"))
+        .collect()
 }

@@ -12,7 +12,7 @@ use sp_model::config::Config;
 use sp_model::trials::{run_trials, TrialOptions};
 use sp_stats::GroupedStats;
 
-use super::Fidelity;
+use super::{run_cells, Fidelity};
 use crate::report::{sci, Table};
 
 /// Histogram data for one topology.
@@ -83,32 +83,30 @@ pub fn run(
     outdegrees: &[f64],
     fid: &Fidelity,
 ) -> HistogramData {
-    let series = outdegrees
-        .iter()
-        .map(|&d| {
-            let cfg = Config {
-                graph_size,
-                cluster_size,
-                avg_outdegree: d,
-                ttl: 7,
-                ..Config::default()
-            };
-            let summary = run_trials(
-                &cfg,
-                &TrialOptions {
-                    trials: fid.trials,
-                    seed: fid.seed,
-                    max_sources: fid.max_sources,
-                    threads: 0,
-                },
-            );
-            HistogramSeries {
-                avg_outdegree: d,
-                out_bw_by_outdegree: summary.sp_out_bw_by_outdegree,
-                results_by_outdegree: summary.results_by_outdegree,
-            }
-        })
-        .collect();
+    let series = run_cells(outdegrees.len(), fid.threads, |idx, inner| {
+        let d = outdegrees[idx];
+        let cfg = Config {
+            graph_size,
+            cluster_size,
+            avg_outdegree: d,
+            ttl: 7,
+            ..Config::default()
+        };
+        let summary = run_trials(
+            &cfg,
+            &TrialOptions {
+                trials: fid.trials,
+                seed: fid.seed,
+                max_sources: fid.max_sources,
+                threads: inner,
+            },
+        );
+        HistogramSeries {
+            avg_outdegree: d,
+            out_bw_by_outdegree: summary.sp_out_bw_by_outdegree,
+            results_by_outdegree: summary.results_by_outdegree,
+        }
+    });
     HistogramData {
         series,
         cluster_size,

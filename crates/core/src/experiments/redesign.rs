@@ -182,7 +182,7 @@ pub fn run(
                 trials: fid.trials,
                 seed: fid.seed,
                 max_sources: fid.max_sources,
-                threads: 0,
+                threads: fid.threads,
             },
         )
     };

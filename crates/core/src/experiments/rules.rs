@@ -10,19 +10,30 @@
 use sp_model::config::{Config, GraphType};
 use sp_model::trials::{run_trials, TrialOptions, TrialSummary};
 
-use super::Fidelity;
+use super::{run_cells, Fidelity};
 use crate::report::{pct_change, sci, Table};
 
-fn evaluate(cfg: &Config, fid: &Fidelity) -> TrialSummary {
+fn evaluate(cfg: &Config, fid: &Fidelity, threads: usize) -> TrialSummary {
     run_trials(
         cfg,
         &TrialOptions {
             trials: fid.trials,
             seed: fid.seed,
             max_sources: fid.max_sources,
-            threads: 0,
+            threads,
         },
     )
+}
+
+/// Evaluates a pair of configurations as two parallel cells.
+fn evaluate_pair(a: Config, b: Config, fid: &Fidelity) -> (TrialSummary, TrialSummary) {
+    let cfgs = [a, b];
+    let mut out = run_cells(2, fid.threads, |idx, inner| {
+        evaluate(&cfgs[idx], fid, inner)
+    });
+    let second = out.pop().expect("two cells");
+    let first = out.pop().expect("two cells");
+    (first, second)
 }
 
 // ---------------------------------------------------------------------
@@ -92,10 +103,11 @@ pub fn rule2(graph_size: usize, cluster_size: usize, fid: &Fidelity) -> Rule2Dat
         ttl: 1,
         ..Config::default()
     };
+    let (plain, redundant) = evaluate_pair(base.clone(), base.with_redundancy(true), fid);
     Rule2Data {
         cluster_size,
-        plain: evaluate(&base, fid),
-        redundant: evaluate(&base.clone().with_redundancy(true), fid),
+        plain,
+        redundant,
     }
 }
 
@@ -197,10 +209,11 @@ pub fn rule3(
         ttl: 7,
         ..Config::default()
     };
+    let (sparse, dense) = evaluate_pair(mk(outdegrees.0), mk(outdegrees.1), fid);
     Rule3Data {
         cluster_size,
-        sparse: evaluate(&mk(outdegrees.0), fid),
-        dense: evaluate(&mk(outdegrees.1), fid),
+        sparse,
+        dense,
         outdegrees,
     }
 }
@@ -252,11 +265,8 @@ pub fn rule4(
         ttl,
         ..Config::default()
     };
-    Rule4Data {
-        tight: evaluate(&mk(ttls.0), fid),
-        loose: evaluate(&mk(ttls.1), fid),
-        ttls,
-    }
+    let (tight, loose) = evaluate_pair(mk(ttls.0), mk(ttls.1), fid);
+    Rule4Data { tight, loose, ttls }
 }
 
 // ---------------------------------------------------------------------
@@ -302,27 +312,28 @@ pub fn fig_a15(
     outdegrees: &[f64],
     fid: &Fidelity,
 ) -> FigA15Data {
-    let series = outdegrees
-        .iter()
-        .map(|&d| {
-            let summaries = cluster_sizes
-                .iter()
-                .map(|&cs| {
-                    evaluate(
-                        &Config {
-                            graph_size,
-                            cluster_size: cs,
-                            avg_outdegree: d,
-                            ttl: 2,
-                            ..Config::default()
-                        },
-                        fid,
-                    )
-                })
-                .collect();
-            (d, summaries)
-        })
-        .collect();
+    // Flatten the (outdegree × cluster size) grid into independent
+    // cells, then regroup per outdegree.
+    let n_cs = cluster_sizes.len();
+    let mut flat = run_cells(outdegrees.len() * n_cs, fid.threads, |idx, inner| {
+        evaluate(
+            &Config {
+                graph_size,
+                cluster_size: cluster_sizes[idx % n_cs],
+                avg_outdegree: outdegrees[idx / n_cs],
+                ttl: 2,
+                ..Config::default()
+            },
+            fid,
+            inner,
+        )
+    });
+    let mut series = Vec::with_capacity(outdegrees.len());
+    for &d in outdegrees {
+        let rest = flat.split_off(n_cs);
+        series.push((d, flat));
+        flat = rest;
+    }
     FigA15Data {
         cluster_sizes: cluster_sizes.to_vec(),
         series,

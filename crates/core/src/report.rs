@@ -75,7 +75,10 @@ impl Table {
                 }
                 let pad = w - cell.chars().count();
                 // Right-align numeric-looking cells, left-align text.
-                if cell.chars().next().map(|c| c.is_ascii_digit() || c == '-' || c == '+')
+                if cell
+                    .chars()
+                    .next()
+                    .map(|c| c.is_ascii_digit() || c == '-' || c == '+')
                     == Some(true)
                 {
                     line.push_str(&" ".repeat(pad));
@@ -90,7 +93,9 @@ impl Table {
         let mut out = String::new();
         out.push_str(&render_row(&self.headers, &widths));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)),
+        );
         out.push('\n');
         for r in &self.rows {
             out.push_str(&render_row(r, &widths));

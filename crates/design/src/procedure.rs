@@ -85,7 +85,10 @@ impl std::fmt::Display for DesignError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DesignError::Infeasible => {
-                write!(f, "no configuration satisfies the constraints at any considered reach")
+                write!(
+                    f,
+                    "no configuration satisfies the constraints at any considered reach"
+                )
             }
             DesignError::BadGoals => write!(f, "goals must have positive users and reach"),
         }
@@ -187,7 +190,9 @@ pub fn design(
         if reduction > 0 {
             reach = (reach * 3 / 4).max(1);
             steps.push(DesignStep {
-                description: format!("individual load unattainable; decreasing reach to {reach} peers"),
+                description: format!(
+                    "individual load unattainable; decreasing reach to {reach} peers"
+                ),
             });
         }
         for redundancy in [false, true] {
@@ -197,9 +202,9 @@ pub fn design(
             let k = if redundancy { 2 } else { 1 };
             // Step 2: TTL starts at 1 (most bandwidth-efficient).
             for ttl in 1..=eval.max_ttl {
-                if let Some(outcome) = try_ttl(
-                    goals, constraints, base, eval, reach, ttl, k, &mut steps,
-                ) {
+                if let Some(outcome) =
+                    try_ttl(goals, constraints, base, eval, reach, ttl, k, &mut steps)
+                {
                     return Ok(outcome);
                 }
             }
@@ -299,8 +304,15 @@ fn try_ttl(
         });
         // Step 5: shrink the outdegree while reach (and hence EPL)
         // holds.
-        let (cfg, summary, achieved) =
-            refine_outdegree(cfg, summary, achieved, reach_peers, constraints, eval, steps);
+        let (cfg, summary, achieved) = refine_outdegree(
+            cfg,
+            summary,
+            achieved,
+            reach_peers,
+            constraints,
+            eval,
+            steps,
+        );
         return Some(DesignOutcome {
             achieved_reach_peers: achieved,
             config: cfg,
@@ -417,21 +429,36 @@ mod tests {
             num_users: 20_000,
             desired_reach_peers: 3000,
         };
-        let out = design(&goals, &paper_constraints(), &Config::default(), &quick_eval())
-            .expect("feasible");
+        let out = design(
+            &goals,
+            &paper_constraints(),
+            &Config::default(),
+            &quick_eval(),
+        )
+        .expect("feasible");
         assert!(
             (2..=4).contains(&out.config.ttl),
             "ttl {} not small",
             out.config.ttl
         );
-        assert!(out.config.cluster_size >= 2, "clusters collapsed to pure network");
+        assert!(
+            out.config.cluster_size >= 2,
+            "clusters collapsed to pure network"
+        );
         let load = Load {
             in_bw: out.evaluation.sp_in_bw.mean,
             out_bw: out.evaluation.sp_out_bw.mean,
             proc: out.evaluation.sp_proc.mean,
         };
-        assert!(load.fits_within(&paper_constraints().max_sp_load), "load {load}");
-        assert!(out.achieved_reach_peers >= 2000.0, "reach {}", out.achieved_reach_peers);
+        assert!(
+            load.fits_within(&paper_constraints().max_sp_load),
+            "load {load}"
+        );
+        assert!(
+            out.achieved_reach_peers >= 2000.0,
+            "reach {}",
+            out.achieved_reach_peers
+        );
         assert!(!out.steps.is_empty());
     }
 

@@ -105,11 +105,10 @@ pub fn erdos_renyi(n: usize, mean_degree: f64, rng: &mut SpRng) -> Graph {
 fn pair_from_index(idx: u64, n: u64) -> (u64, u64) {
     // Row a starts at offset a*n - a*(a+1)/2 - a ... solve by scanning
     // from an analytic estimate to stay O(1).
-    let mut a = ((2.0 * n as f64 - 1.0
-        - ((2.0 * n as f64 - 1.0).powi(2) - 8.0 * idx as f64).sqrt())
-        / 2.0)
-        .floor()
-        .max(0.0) as u64;
+    let mut a =
+        ((2.0 * n as f64 - 1.0 - ((2.0 * n as f64 - 1.0).powi(2) - 8.0 * idx as f64).sqrt()) / 2.0)
+            .floor()
+            .max(0.0) as u64;
     // Row a covers indices [start(a), start(a) + (n - a - 1)), with
     // start(a) = Σ_{k<a} (n - 1 - k) = a(n-1) - a(a-1)/2.
     let start = |a: u64| a * (n - 1) - a * a.saturating_sub(1) / 2;
@@ -281,9 +280,10 @@ fn wire_stubs(n: usize, degrees: &[usize], rng: &mut SpRng) -> Graph {
     let mut b = GraphBuilder::with_edge_capacity(n, stubs.len() / 2);
     let mut leftovers: Vec<NodeId> = Vec::new();
 
-    let take_pair = |a: NodeId, c: NodeId,
-                         b: &mut GraphBuilder,
-                         seen: &mut HashSet<(NodeId, NodeId)>|
+    let take_pair = |a: NodeId,
+                     c: NodeId,
+                     b: &mut GraphBuilder,
+                     seen: &mut HashSet<(NodeId, NodeId)>|
      -> bool {
         if a == c {
             return false;
@@ -437,11 +437,7 @@ mod tests {
     fn plod_hits_target_mean_degree() {
         let mut rng = SpRng::seed_from_u64(7);
         for target in [3.1f64, 10.0, 20.0] {
-            let g = plod(
-                2000,
-                PlodConfig::with_mean(target),
-                &mut rng,
-            );
+            let g = plod(2000, PlodConfig::with_mean(target), &mut rng);
             let mean = g.mean_degree();
             let rel = (mean - target).abs() / target;
             assert!(rel < 0.10, "target {target}: mean {mean} off by {rel}");
@@ -453,11 +449,7 @@ mod tests {
     #[test]
     fn plod_degrees_are_heavy_tailed() {
         let mut rng = SpRng::seed_from_u64(11);
-        let g = plod(
-            3000,
-            PlodConfig::with_mean(3.1),
-            &mut rng,
-        );
+        let g = plod(3000, PlodConfig::with_mean(3.1), &mut rng);
         let stats = degree_stats(&g);
         // A power law with mean ~3 has a spread-out tail up to the
         // connection cap (3× mean by default), unlike a regular graph.
@@ -474,11 +466,7 @@ mod tests {
     #[test]
     fn plod_single_node() {
         let mut rng = SpRng::seed_from_u64(0);
-        let g = plod(
-            1,
-            PlodConfig::with_mean(0.5),
-            &mut rng,
-        );
+        let g = plod(1, PlodConfig::with_mean(0.5), &mut rng);
         assert_eq!(g.num_nodes(), 1);
         assert_eq!(g.num_edges(), 0);
     }
@@ -494,10 +482,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "mean degree")]
     fn plod_rejects_unreachable_mean() {
-        plod(
-            5,
-            PlodConfig::with_mean(10.0),
-            &mut SpRng::seed_from_u64(0),
-        );
+        plod(5, PlodConfig::with_mean(10.0), &mut SpRng::seed_from_u64(0));
     }
 }

@@ -28,7 +28,9 @@
 //!   that reports depths, the BFS predecessor tree, and the per-node
 //!   count of *redundant* query transmissions (copies that arrive over
 //!   cycle edges and are dropped) — the quantity behind the paper's
-//!   rule #4 ("minimize TTL") and the Appendix E caveat to rule #3;
+//!   rule #4 ("minimize TTL") and the Appendix E caveat to rule #3 —
+//!   plus [`traverse::FloodScratch`], the allocation-free reusable
+//!   variant that powers the O(reach) analysis engine;
 //! * [`metrics`] — connected components, degree statistics, reach and
 //!   expected-path-length measurement (Figure 9, Appendix F).
 
@@ -41,4 +43,4 @@ pub mod metrics;
 pub mod traverse;
 
 pub use graph::{Graph, GraphBuilder, NodeId};
-pub use traverse::{flood, FloodResult};
+pub use traverse::{flood, FloodResult, FloodScratch};

@@ -230,16 +230,8 @@ mod tests {
         // The core of rule #3: higher average outdegree → lower EPL for
         // the same desired reach.
         let mut rng = SpRng::seed_from_u64(17);
-        let g_low = plod(
-            2000,
-            PlodConfig::with_mean(3.1),
-            &mut rng,
-        );
-        let g_high = plod(
-            2000,
-            PlodConfig::with_mean(10.0),
-            &mut rng,
-        );
+        let g_low = plod(2000, PlodConfig::with_mean(3.1), &mut rng);
+        let g_high = plod(2000, PlodConfig::with_mean(10.0), &mut rng);
         let epl_low = mean_epl_for_reach(&g_low, 500, 30, &mut rng).unwrap();
         let epl_high = mean_epl_for_reach(&g_high, 500, 30, &mut rng).unwrap();
         assert!(

@@ -123,7 +123,7 @@ pub fn flood(g: &Graph, source: NodeId, ttl: u16) -> FloodResult {
         let v = order[head];
         head += 1;
         let d = depth[v as usize];
-        if d >= ttl || d + 1 >= UNREACHED {
+        if d >= ttl || d + 1 == UNREACHED {
             // Node received the query with TTL exhausted; it processes
             // but does not forward. (The second guard keeps depths from
             // colliding with the UNREACHED sentinel on pathological
@@ -177,6 +177,257 @@ impl MessageCounts {
             r
         } else {
             r.saturating_sub(1)
+        }
+    }
+}
+
+/// Reusable, allocation-free flood state: one BFS + message-count pass
+/// writes into epoch-stamped arrays instead of fresh vectors, so a
+/// sweep that floods from every source cluster allocates **nothing**
+/// per source after the first call.
+///
+/// Compared to [`flood`] + [`message_counts`] (which this type matches
+/// exactly — see the equivalence tests), a scratch flood also exposes
+/// the *touched-node list* ([`FloodScratch::order`]): per-node outputs
+/// (`depth`, `sent`, `recv`, `parent`) are only valid at indices that
+/// appear in `order`, which is precisely the set with any nonzero
+/// count. Callers iterate `order` instead of `0..n`, turning O(n)
+/// per-source post-processing into O(reach).
+///
+/// # Examples
+///
+/// ```
+/// use sp_graph::{GraphBuilder, FloodScratch};
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1);
+/// b.add_edge(1, 2);
+/// let g = b.build();
+/// let mut scratch = FloodScratch::new();
+/// scratch.flood(&g, 0, 2);
+/// assert_eq!(scratch.order(), &[0, 1, 2]);
+/// assert_eq!(scratch.depth(2), 2);
+/// scratch.flood(&g, 2, 1); // reuses the same buffers
+/// assert_eq!(scratch.reach(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FloodScratch {
+    /// Current epoch; a node's per-node slots are valid iff its stamp
+    /// matches.
+    epoch: u32,
+    stamp: Vec<u32>,
+    depth: Vec<u16>,
+    parent: Vec<NodeId>,
+    sent: Vec<u32>,
+    recv: Vec<u32>,
+    order: Vec<NodeId>,
+    source: NodeId,
+    ttl: u16,
+}
+
+impl FloodScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a new flood epoch over `n` nodes, resizing buffers if the
+    /// graph grew and invalidating all per-node slots in O(1).
+    fn begin(&mut self, n: usize, source: NodeId, ttl: u16) {
+        assert!((source as usize) < n, "source {source} out of range");
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.depth.resize(n, UNREACHED);
+            self.parent.resize(n, 0);
+            self.sent.resize(n, 0);
+            self.recv.resize(n, 0);
+            // Reach is at most n, so reserving here keeps every later
+            // flood on this graph allocation-free.
+            self.order.clear();
+            self.order.reserve(n);
+        }
+        self.epoch = match self.epoch.checked_add(1) {
+            Some(e) => e,
+            None => {
+                // Epoch wrapped: hard-reset stamps once every 2^32
+                // floods.
+                self.stamp.fill(0);
+                1
+            }
+        };
+        self.order.clear();
+        self.source = source;
+        self.ttl = ttl;
+    }
+
+    /// First touch of `v` this epoch: zero its slots.
+    #[inline]
+    fn touch(&mut self, v: NodeId) {
+        let vi = v as usize;
+        if self.stamp[vi] != self.epoch {
+            self.stamp[vi] = self.epoch;
+            self.depth[vi] = UNREACHED;
+            self.parent[vi] = v;
+            self.sent[vi] = 0;
+            self.recv[vi] = 0;
+        }
+    }
+
+    /// Floods a query from `source` with `ttl` over `g`, computing BFS
+    /// depths, predecessors, and per-node query-transmission counts
+    /// (including redundant copies over cycle edges) in a single pass.
+    ///
+    /// Equivalent to [`flood`] followed by [`message_counts`], without
+    /// the three O(n) allocations per source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    pub fn flood(&mut self, g: &Graph, source: NodeId, ttl: u16) {
+        self.begin(g.num_nodes(), source, ttl);
+        self.touch(source);
+        self.depth[source as usize] = 0;
+        self.order.push(source);
+        let mut head = 0usize;
+        while head < self.order.len() {
+            let v = self.order[head];
+            head += 1;
+            let vi = v as usize;
+            let d = self.depth[vi];
+            if d >= ttl || d + 1 == UNREACHED {
+                // TTL exhausted: the node processes but does not
+                // forward (second guard: keep depths clear of the
+                // UNREACHED sentinel on pathological graphs).
+                continue;
+            }
+            // Forwarding rules (Section 3.1): the source transmits to
+            // every neighbor, everyone else to every neighbor except
+            // its BFS parent.
+            let deg = g.degree(v) as u32;
+            self.sent[vi] = if v == source {
+                deg
+            } else {
+                deg.saturating_sub(1)
+            };
+            let parent = self.parent[vi];
+            for &u in g.neighbors(v) {
+                if v != source && u == parent {
+                    continue;
+                }
+                self.touch(u);
+                self.recv[u as usize] += 1;
+                if self.depth[u as usize] == UNREACHED {
+                    self.depth[u as usize] = d + 1;
+                    self.parent[u as usize] = v;
+                    self.order.push(u);
+                }
+            }
+        }
+    }
+
+    /// Fills the scratch with the closed-form flood over the complete
+    /// graph `K_n` (used by symbolic strongly-connected topologies):
+    /// every non-source node sits at depth 1, and with `ttl >= 2` each
+    /// depth-1 node echoes `n − 2` redundant copies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    pub fn flood_complete(&mut self, n: usize, source: NodeId, ttl: u16) {
+        self.begin(n, source, ttl);
+        self.touch(source);
+        self.depth[source as usize] = 0;
+        self.order.push(source);
+        if ttl >= 1 && n > 1 {
+            self.sent[source as usize] = (n - 1) as u32;
+            let echo = if ttl >= 2 { (n - 2) as u32 } else { 0 };
+            for v in 0..n as NodeId {
+                if v == source {
+                    continue;
+                }
+                self.touch(v);
+                self.depth[v as usize] = 1;
+                self.parent[v as usize] = source;
+                self.recv[v as usize] = 1 + echo;
+                self.sent[v as usize] = echo;
+                self.order.push(v);
+            }
+        }
+    }
+
+    /// The query source of the current epoch.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// The TTL of the current epoch.
+    pub fn ttl(&self) -> u16 {
+        self.ttl
+    }
+
+    /// BFS visit order: exactly the reached nodes, in nondecreasing
+    /// depth, starting with the source. This is also the complete set
+    /// of nodes with valid (nonzero-able) `depth`/`sent`/`recv` slots.
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// Number of reached nodes (the paper's *reach*, incl. the source).
+    pub fn reach(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Hop count of `v`. Only meaningful for nodes in [`Self::order`].
+    #[inline]
+    pub fn depth(&self, v: NodeId) -> u16 {
+        self.depth[v as usize]
+    }
+
+    /// BFS predecessor of `v`. Only meaningful for reached nodes.
+    #[inline]
+    pub fn parent(&self, v: NodeId) -> NodeId {
+        self.parent[v as usize]
+    }
+
+    /// Query messages sent by `v`. Only meaningful for reached nodes.
+    #[inline]
+    pub fn sent(&self, v: NodeId) -> u32 {
+        self.sent[v as usize]
+    }
+
+    /// Query messages received by `v` (first + redundant copies). Only
+    /// meaningful for reached nodes.
+    #[inline]
+    pub fn recv(&self, v: NodeId) -> u32 {
+        self.recv[v as usize]
+    }
+
+    /// Mean depth of reached nodes other than the source (0.0 if the
+    /// source reached nobody) — see [`FloodResult::mean_depth`].
+    pub fn mean_depth(&self) -> f64 {
+        if self.order.len() <= 1 {
+            return 0.0;
+        }
+        let sum: u64 = self.order[1..]
+            .iter()
+            .map(|&v| self.depth[v as usize] as u64)
+            .sum();
+        sum as f64 / (self.order.len() - 1) as f64
+    }
+
+    /// Accumulates per-node values up the predecessor tree, deepest
+    /// first — see [`FloodResult::accumulate_up`]. Only indices in
+    /// [`Self::order`] are read or written, so `values` may carry stale
+    /// entries for unreached nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is shorter than the flooded graph.
+    pub fn accumulate_up(&self, values: &mut [f64]) {
+        for &v in self.order.iter().rev() {
+            if v != self.source {
+                values[self.parent[v as usize] as usize] += values[v as usize];
+            }
         }
     }
 }
@@ -339,5 +590,117 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn flood_bad_source_panics() {
         flood(&Graph::empty(1), 5, 1);
+    }
+
+    /// Deterministic pseudo-random simple graph for equivalence tests.
+    fn scrambled_graph(n: usize, edges: usize, seed: u64) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        let mut state = seed | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..edges {
+            let a = (next() % n as u64) as NodeId;
+            let c = (next() % n as u64) as NodeId;
+            b.add_edge(a, c);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn scratch_matches_allocating_flood_across_sources_and_ttls() {
+        let mut scratch = FloodScratch::new();
+        for seed in [3u64, 17, 99] {
+            let g = scrambled_graph(60, 140, seed);
+            for ttl in [0u16, 1, 2, 4, 9] {
+                for src in 0..g.num_nodes() as NodeId {
+                    let f = flood(&g, src, ttl);
+                    let mc = message_counts(&g, &f);
+                    // The scratch is deliberately reused across every
+                    // (graph, source, ttl) combination.
+                    scratch.flood(&g, src, ttl);
+                    assert_eq!(scratch.order(), &f.order[..], "order src={src} ttl={ttl}");
+                    assert_eq!(scratch.reach(), f.reach());
+                    assert_eq!(scratch.mean_depth(), f.mean_depth());
+                    for &v in &f.order {
+                        assert_eq!(scratch.depth(v), f.depth[v as usize]);
+                        assert_eq!(scratch.parent(v), f.parent[v as usize]);
+                        assert_eq!(scratch.sent(v), mc.sent[v as usize]);
+                        assert_eq!(scratch.recv(v), mc.recv[v as usize]);
+                    }
+                    // Conversely every nonzero count is on a reached
+                    // node, so iterating `order` loses nothing.
+                    for v in 0..g.num_nodes() as NodeId {
+                        if !f.is_reached(v) {
+                            assert_eq!(mc.sent[v as usize], 0);
+                            assert_eq!(mc.recv[v as usize], 0);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_accumulate_matches_flood_result() {
+        let g = scrambled_graph(40, 90, 7);
+        let mut scratch = FloodScratch::new();
+        for src in [0u32, 5, 21] {
+            let f = flood(&g, src, 3);
+            scratch.flood(&g, src, 3);
+            let mut a = vec![1.0; g.num_nodes()];
+            let mut b = a.clone();
+            f.accumulate_up(&mut a);
+            scratch.accumulate_up(&mut b);
+            for &v in &f.order {
+                assert_eq!(a[v as usize], b[v as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_grows_with_larger_graphs() {
+        let mut scratch = FloodScratch::new();
+        scratch.flood(&path4(), 0, 3);
+        assert_eq!(scratch.reach(), 4);
+        let big = scrambled_graph(100, 300, 11);
+        scratch.flood(&big, 42, 5);
+        assert!(scratch.reach() > 4);
+        // Shrinking back down must not leak state from the big epoch.
+        scratch.flood(&path4(), 3, 1);
+        assert_eq!(scratch.order(), &[3, 2]);
+        assert_eq!(scratch.sent(3), 1);
+        assert_eq!(scratch.recv(2), 1);
+    }
+
+    #[test]
+    fn scratch_complete_matches_triangle() {
+        // K_3 via the closed form vs the explicit triangle.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 2);
+        let g = b.build();
+        let mut explicit = FloodScratch::new();
+        let mut closed = FloodScratch::new();
+        for ttl in 0u16..4 {
+            explicit.flood(&g, 1, ttl);
+            closed.flood_complete(3, 1, ttl);
+            assert_eq!(explicit.reach(), closed.reach(), "ttl {ttl}");
+            for &v in explicit.order() {
+                assert_eq!(explicit.depth(v), closed.depth(v));
+                assert_eq!(explicit.sent(v), closed.sent(v));
+                assert_eq!(explicit.recv(v), closed.recv(v));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn scratch_bad_source_panics() {
+        FloodScratch::new().flood(&Graph::empty(2), 9, 1);
     }
 }

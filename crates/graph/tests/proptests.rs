@@ -9,14 +9,18 @@ use sp_stats::SpRng;
 
 /// Builds an arbitrary simple graph from a node count and edge seeds.
 fn arb_graph() -> impl Strategy<Value = Graph> {
-    (2usize..40, prop::collection::vec((0u32..40, 0u32..40), 0..120)).prop_map(|(n, pairs)| {
-        let mut b = GraphBuilder::new(n);
-        for (a, c) in pairs {
-            let (a, c) = (a % n as u32, c % n as u32);
-            b.add_edge(a, c);
-        }
-        b.build()
-    })
+    (
+        2usize..40,
+        prop::collection::vec((0u32..40, 0u32..40), 0..120),
+    )
+        .prop_map(|(n, pairs)| {
+            let mut b = GraphBuilder::new(n);
+            for (a, c) in pairs {
+                let (a, c) = (a % n as u32, c % n as u32);
+                b.add_edge(a, c);
+            }
+            b.build()
+        })
 }
 
 proptest! {

@@ -11,8 +11,8 @@
 //! # How queries are charged
 //!
 //! For each source cluster `i` the engine floods the overlay
-//! (`Topology::flood`, which also counts redundant transmissions over
-//! cycle edges) and charges, per query:
+//! (counting redundant transmissions over cycle edges) and charges,
+//! per query:
 //!
 //! 1. **Query propagation** — every transmission costs the sending
 //!    cluster an outgoing query message and the receiving cluster an
@@ -26,8 +26,9 @@
 //!    `76·E[N_T]` result bytes) travels up the BFS predecessor tree,
 //!    charging every intermediate cluster. The per-tree-node subtree
 //!    sums are computed in one deepest-first pass
-//!    ([`sp_graph::FloodResult::accumulate_up`]), so a whole source's
-//!    response accounting is O(reach) instead of O(reach × depth).
+//!    ([`sp_graph::traverse::FloodScratch::accumulate_up`]), so a whole
+//!    source's response accounting is O(reach) instead of
+//!    O(reach × depth).
 //! 4. **Cluster-local legs** — for client-submitted queries, the
 //!    client→super-peer submission and the super-peer→client delivery
 //!    of every response.
@@ -35,8 +36,28 @@
 //! All clients of one cluster are exchangeable, and all `k` partners of
 //! a virtual super-peer split the cluster's query work evenly
 //! (round-robin, Section 3.2), so the engine floods **once per
-//! cluster** and scales by user counts and rates — the inner loop is
-//! O(n + m) per source cluster, O(n·(n+m)) per instance.
+//! cluster** and scales by user counts and rates.
+//!
+//! # Engines
+//!
+//! Two interchangeable implementations of the query-charging loop are
+//! provided (selected by [`AnalysisOptions::engine`]):
+//!
+//! * [`Engine::Fast`] (default) — floods into a reusable
+//!   [`sp_graph::FloodScratch`] (zero per-source heap allocation) and
+//!   charges propagation by iterating the flood's **touched list**,
+//!   making one source O(reach + local edges) instead of O(n). The
+//!   source loop is split into a **fixed number of shards**
+//!   ([`AnalysisOptions::shards`], independent of the thread count)
+//!   that are processed by up to [`AnalysisOptions::threads`] scoped
+//!   worker threads, each with its own scratch and accumulators.
+//!   Shard accumulators are merged in shard order, so the result is
+//!   **bitwise identical for any thread count**; changing the shard
+//!   count only reassociates floating-point sums (≤ 1e-12 relative).
+//! * [`Engine::Reference`] — the original single-threaded,
+//!   allocate-per-source implementation with the O(n) propagation
+//!   scan. Kept as the correctness oracle and benchmark baseline; with
+//!   `shards: 1` the Fast engine reproduces it bitwise.
 //!
 //! Join and update loads are charged directly from each peer's own
 //! rate (join rate = 1/lifespan; Table 1 update rate) to itself and its
@@ -44,12 +65,32 @@
 //! copy of metadata and updates (this is the "aggregate cost of a
 //! client join is k times greater" of Section 3.2).
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use sp_graph::FloodScratch;
 use sp_stats::{GroupedStats, OnlineStats, SpRng};
 
 use crate::costs::{BITS_PER_BYTE, UNIT_CYCLES};
 use crate::instance::{NetworkInstance, Role};
 use crate::load::Load;
 use crate::query_model::{MatchCache, QueryModel};
+
+/// Default number of source shards for [`Engine::Fast`]. Fixed (not
+/// derived from the thread count) so that results are bitwise
+/// reproducible on any machine; large enough to keep 32 cores busy
+/// with good load balance.
+pub const DEFAULT_SHARDS: usize = 32;
+
+/// Which query-charging implementation [`analyze`] runs. See the
+/// module docs for the contract between the two.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Engine {
+    /// Allocation-free, source-parallel O(total-reach) engine.
+    #[default]
+    Fast,
+    /// Original sequential O(n per source) engine (oracle/baseline).
+    Reference,
+}
 
 /// Options controlling one analysis pass.
 #[derive(Debug, Clone, Copy, Default)]
@@ -64,6 +105,19 @@ pub struct AnalysisOptions {
     /// `None` (exact) for anything that reads individual peers, as the
     /// Figure 12 experiment does.
     pub max_sources: Option<usize>,
+    /// Worker threads for the source loop (Fast engine only).
+    /// `0` = all available cores. Has **no effect on the numbers**:
+    /// results are bitwise identical for every value.
+    pub threads: usize,
+    /// Number of source shards (Fast engine only). `0` =
+    /// [`DEFAULT_SHARDS`]. Part of the determinism contract: the same
+    /// shard count gives bitwise-identical results at any thread
+    /// count; different shard counts agree to ≤ 1e-12 relative
+    /// (float-sum reassociation only). `1` reproduces the Reference
+    /// engine bitwise.
+    pub shards: usize,
+    /// Which charging implementation to run.
+    pub engine: Engine,
 }
 
 /// Per-instance scalar metrics (the quantities the paper's figures
@@ -121,6 +175,444 @@ impl AnalysisResult {
     }
 }
 
+/// Per-cluster tables precomputed once per instance and shared
+/// (read-only) by all source-loop workers.
+struct ClusterTables {
+    n_results: Vec<f64>, // E[N_T]
+    p_respond: Vec<f64>, // P(N_T >= 1)
+    resp_b: Vec<f64>,    // expected response bytes
+    resp_su: Vec<f64>,   // expected send units
+    resp_ru: Vec<f64>,   // expected recv units
+    users: Vec<f64>,     // clients + partners
+    partner_conn: Vec<f64>,
+}
+
+/// Everything the query-charging loop accumulates. One per shard in
+/// the Fast engine; merged in fixed shard order.
+struct QueryCharges {
+    // Cluster-level partner charges, split /k over partners at the end.
+    sp_in: Vec<f64>,
+    sp_out: Vec<f64>,
+    sp_units: Vec<f64>,
+    // Per-client charges (each client of cluster i pays these).
+    cl_in: Vec<f64>,
+    cl_out: Vec<f64>,
+    cl_units: Vec<f64>,
+    results_stats: OnlineStats,
+    results_weight: f64,
+    results_weighted_sum: f64,
+    epl_num: f64,
+    epl_den: f64,
+    reach_stats: OnlineStats,
+    results_by_outdeg: GroupedStats,
+}
+
+impl QueryCharges {
+    fn new(n: usize) -> Self {
+        QueryCharges {
+            sp_in: vec![0.0; n],
+            sp_out: vec![0.0; n],
+            sp_units: vec![0.0; n],
+            cl_in: vec![0.0; n],
+            cl_out: vec![0.0; n],
+            cl_units: vec![0.0; n],
+            results_stats: OnlineStats::new(),
+            results_weight: 0.0,
+            results_weighted_sum: 0.0,
+            epl_num: 0.0,
+            epl_den: 0.0,
+            reach_stats: OnlineStats::new(),
+            results_by_outdeg: GroupedStats::new(),
+        }
+    }
+
+    fn merge(&mut self, other: &QueryCharges) {
+        for (a, b) in self.sp_in.iter_mut().zip(&other.sp_in) {
+            *a += b;
+        }
+        for (a, b) in self.sp_out.iter_mut().zip(&other.sp_out) {
+            *a += b;
+        }
+        for (a, b) in self.sp_units.iter_mut().zip(&other.sp_units) {
+            *a += b;
+        }
+        for (a, b) in self.cl_in.iter_mut().zip(&other.cl_in) {
+            *a += b;
+        }
+        for (a, b) in self.cl_out.iter_mut().zip(&other.cl_out) {
+            *a += b;
+        }
+        for (a, b) in self.cl_units.iter_mut().zip(&other.cl_units) {
+            *a += b;
+        }
+        self.results_stats.merge(&other.results_stats);
+        self.results_weight += other.results_weight;
+        self.results_weighted_sum += other.results_weighted_sum;
+        self.epl_num += other.epl_num;
+        self.epl_den += other.epl_den;
+        self.reach_stats.merge(&other.reach_stats);
+        self.results_by_outdeg.merge(&other.results_by_outdeg);
+    }
+}
+
+/// Reusable per-worker buffers: the flood scratch plus the four
+/// response-accumulation arrays. Allocated once per worker thread,
+/// reused for every source — the flood path performs **zero heap
+/// allocation per source**.
+struct WorkerScratch {
+    flood: FloodScratch,
+    rb: Vec<f64>,
+    su: Vec<f64>,
+    ru: Vec<f64>,
+    msgs: Vec<f64>,
+}
+
+impl WorkerScratch {
+    fn new(n: usize) -> Self {
+        WorkerScratch {
+            flood: FloodScratch::new(),
+            rb: vec![0.0; n],
+            su: vec![0.0; n],
+            ru: vec![0.0; n],
+            msgs: vec![0.0; n],
+        }
+    }
+}
+
+/// Charges one shard of sources into `acc` using the allocation-free
+/// scratch flood. Per-index charge order matches the Reference engine
+/// exactly, so a single-shard run is bitwise identical to it.
+fn charge_shard(
+    inst: &NetworkInstance,
+    t: &ClusterTables,
+    sources: &[u32],
+    src_weight: f64,
+    ws: &mut WorkerScratch,
+    acc: &mut QueryCharges,
+) {
+    let cm = &inst.config.costs;
+    let qr = inst.config.query_rate;
+    let ttl = inst.config.ttl;
+    let client_conn = inst.config.redundancy_k as f64;
+    let qbytes = cm.query_bytes();
+    let send_q = cm.send_query_units();
+    let recv_q = cm.recv_query_units();
+
+    for &i in sources {
+        let iu = i as usize;
+        inst.topology.flood_into(&mut ws.flood, i, ttl);
+        let fs = &ws.flood;
+        let num_clients = inst.clusters[iu].clients.len() as f64;
+        // Queries per second originating in cluster i (scaled if
+        // sources are sampled).
+        let w_all = t.users[iu] * qr * src_weight;
+        let w_client_total = num_clients * qr * src_weight;
+
+        // 1+2. Query propagation and index probes — O(reach), not
+        // O(n): a cluster with zero sent and received copies was not
+        // reached, contributes nothing, and is not on the touched
+        // list.
+        for &v in fs.order() {
+            let vu = v as usize;
+            let s = fs.sent(v) as f64;
+            if s > 0.0 {
+                acc.sp_out[vu] += w_all * s * qbytes;
+                acc.sp_units[vu] += w_all * s * (send_q + cm.multiplex_units(t.partner_conn[vu]));
+            }
+            let r = fs.recv(v) as f64;
+            if r > 0.0 {
+                acc.sp_in[vu] += w_all * r * qbytes;
+                acc.sp_units[vu] += w_all * r * (recv_q + cm.multiplex_units(t.partner_conn[vu]));
+            }
+        }
+        for &v in fs.order() {
+            acc.sp_units[v as usize] += w_all * cm.process_query_units(t.n_results[v as usize]);
+        }
+
+        // 3. Responses up the predecessor tree.
+        for &v in fs.order() {
+            let vu = v as usize;
+            ws.rb[vu] = t.resp_b[vu];
+            ws.su[vu] = t.resp_su[vu];
+            ws.ru[vu] = t.resp_ru[vu];
+            ws.msgs[vu] = t.p_respond[vu];
+        }
+        fs.accumulate_up(&mut ws.rb);
+        fs.accumulate_up(&mut ws.su);
+        fs.accumulate_up(&mut ws.ru);
+        fs.accumulate_up(&mut ws.msgs);
+        for &v in fs.order() {
+            let vu = v as usize;
+            let mux = cm.multiplex_units(t.partner_conn[vu]);
+            if v != i {
+                // v forwards its whole subtree's responses to its
+                // parent (incl. its own response).
+                acc.sp_out[vu] += w_all * ws.rb[vu];
+                acc.sp_units[vu] += w_all * (ws.su[vu] + mux * ws.msgs[vu]);
+            }
+            // v receives its children's subtrees.
+            let in_b = ws.rb[vu] - t.resp_b[vu];
+            if in_b > 0.0 {
+                acc.sp_in[vu] += w_all * in_b;
+                acc.sp_units[vu] +=
+                    w_all * ((ws.ru[vu] - t.resp_ru[vu]) + mux * (ws.msgs[vu] - t.p_respond[vu]));
+            }
+        }
+
+        // 4. Cluster-local legs for client-submitted queries. rb[i] is
+        // now the total expected response bytes of the whole reach
+        // (own cluster included), msgs[i] the total response messages.
+        if num_clients > 0.0 {
+            let cw = qr * src_weight; // per client
+            acc.cl_out[iu] += cw * qbytes;
+            acc.cl_units[iu] += cw * (send_q + cm.multiplex_units(client_conn));
+            acc.cl_in[iu] += cw * ws.rb[iu];
+            acc.cl_units[iu] += cw * (ws.ru[iu] + cm.multiplex_units(client_conn) * ws.msgs[iu]);
+
+            let mux = cm.multiplex_units(t.partner_conn[iu]);
+            acc.sp_in[iu] += w_client_total * qbytes;
+            acc.sp_units[iu] += w_client_total * (recv_q + mux);
+            acc.sp_out[iu] += w_client_total * ws.rb[iu];
+            acc.sp_units[iu] += w_client_total * (ws.su[iu] + mux * ws.msgs[iu]);
+        }
+
+        // Results, EPL, reach.
+        let total_results: f64 = fs.order().iter().map(|&v| t.n_results[v as usize]).sum();
+        acc.results_stats.push(total_results);
+        acc.results_weighted_sum += t.users[iu] * total_results;
+        acc.results_weight += t.users[iu];
+        acc.results_by_outdeg
+            .push(inst.topology.degree(i) as u64, total_results);
+        for &v in fs.order() {
+            if v != i {
+                let vu = v as usize;
+                acc.epl_num += t.users[iu] * t.p_respond[vu] * fs.depth(v) as f64;
+                acc.epl_den += t.users[iu] * t.p_respond[vu];
+            }
+        }
+        acc.reach_stats.push(fs.reach() as f64);
+
+        // Clear scratch (only reached indices were written).
+        for &v in fs.order() {
+            let vu = v as usize;
+            ws.rb[vu] = 0.0;
+            ws.su[vu] = 0.0;
+            ws.ru[vu] = 0.0;
+            ws.msgs[vu] = 0.0;
+        }
+    }
+}
+
+/// Fast engine: shard the source list, fan shards over scoped worker
+/// threads, merge per-shard accumulators in shard order.
+fn charge_queries_fast(
+    inst: &NetworkInstance,
+    t: &ClusterTables,
+    sources: &[u32],
+    src_weight: f64,
+    opts: &AnalysisOptions,
+) -> QueryCharges {
+    let n = inst.num_clusters();
+    let shards = if opts.shards > 0 {
+        opts.shards
+    } else {
+        DEFAULT_SHARDS
+    }
+    .min(sources.len().max(1));
+    let threads = if opts.threads > 0 {
+        opts.threads
+    } else {
+        std::thread::available_parallelism().map_or(1, |v| v.get())
+    }
+    .min(shards)
+    .max(1);
+
+    // Contiguous shard ranges covering the source list.
+    let per = sources.len() / shards;
+    let extra = sources.len() % shards;
+    let mut ranges = Vec::with_capacity(shards);
+    let mut start = 0usize;
+    for s in 0..shards {
+        let len = per + usize::from(s < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+
+    let mut total = QueryCharges::new(n);
+    if threads == 1 {
+        // Same shard-by-shard accumulation as the parallel path, so
+        // the numbers are bitwise identical at every thread count.
+        let mut ws = WorkerScratch::new(n);
+        for r in ranges {
+            let mut acc = QueryCharges::new(n);
+            charge_shard(inst, t, &sources[r], src_weight, &mut ws, &mut acc);
+            total.merge(&acc);
+        }
+        return total;
+    }
+
+    let mut slots: Vec<Option<QueryCharges>> = (0..shards).map(|_| None).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut ws = WorkerScratch::new(n);
+                    let mut done: Vec<(usize, QueryCharges)> = Vec::new();
+                    loop {
+                        let s = next.fetch_add(1, Ordering::Relaxed);
+                        if s >= shards {
+                            break;
+                        }
+                        let mut acc = QueryCharges::new(n);
+                        charge_shard(
+                            inst,
+                            t,
+                            &sources[ranges[s].clone()],
+                            src_weight,
+                            &mut ws,
+                            &mut acc,
+                        );
+                        done.push((s, acc));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for h in handles {
+            for (s, acc) in h.join().expect("analysis worker panicked") {
+                slots[s] = Some(acc);
+            }
+        }
+    });
+    for acc in slots {
+        total.merge(&acc.expect("every shard charged exactly once"));
+    }
+    total
+}
+
+/// Reference engine: the original sequential implementation — one
+/// fresh allocation set per source and an O(n) propagation scan. Kept
+/// verbatim as the oracle the Fast engine is tested against and the
+/// baseline the benchmarks measure speedup from.
+fn charge_queries_reference(
+    inst: &NetworkInstance,
+    t: &ClusterTables,
+    sources: &[u32],
+    src_weight: f64,
+) -> QueryCharges {
+    let n = inst.num_clusters();
+    let cm = &inst.config.costs;
+    let qr = inst.config.query_rate;
+    let ttl = inst.config.ttl;
+    let client_conn = inst.config.redundancy_k as f64;
+    let qbytes = cm.query_bytes();
+    let send_q = cm.send_query_units();
+    let recv_q = cm.recv_query_units();
+
+    let mut acc = QueryCharges::new(n);
+    // Response-accumulation scratch, cleared per source via the BFS
+    // order.
+    let mut rb = vec![0.0f64; n];
+    let mut su = vec![0.0f64; n];
+    let mut ru = vec![0.0f64; n];
+    let mut msgs = vec![0.0f64; n];
+
+    for &i in sources {
+        let iu = i as usize;
+        let (fl, mc) = inst.topology.flood(i, ttl);
+        let num_clients = inst.clusters[iu].clients.len() as f64;
+        let w_all = t.users[iu] * qr * src_weight;
+        let w_client_total = num_clients * qr * src_weight;
+
+        // 1. Query propagation (including redundant copies).
+        for v in 0..n {
+            let s = mc.sent[v] as f64;
+            if s > 0.0 {
+                acc.sp_out[v] += w_all * s * qbytes;
+                acc.sp_units[v] += w_all * s * (send_q + cm.multiplex_units(t.partner_conn[v]));
+            }
+            let r = mc.recv[v] as f64;
+            if r > 0.0 {
+                acc.sp_in[v] += w_all * r * qbytes;
+                acc.sp_units[v] += w_all * r * (recv_q + cm.multiplex_units(t.partner_conn[v]));
+            }
+        }
+
+        // 2. Index probe at every reached cluster.
+        for &v in &fl.order {
+            acc.sp_units[v as usize] += w_all * cm.process_query_units(t.n_results[v as usize]);
+        }
+
+        // 3. Responses up the predecessor tree.
+        for &v in &fl.order {
+            let vu = v as usize;
+            rb[vu] = t.resp_b[vu];
+            su[vu] = t.resp_su[vu];
+            ru[vu] = t.resp_ru[vu];
+            msgs[vu] = t.p_respond[vu];
+        }
+        fl.accumulate_up(&mut rb);
+        fl.accumulate_up(&mut su);
+        fl.accumulate_up(&mut ru);
+        fl.accumulate_up(&mut msgs);
+        for &v in &fl.order {
+            let vu = v as usize;
+            let mux = cm.multiplex_units(t.partner_conn[vu]);
+            if v != i {
+                acc.sp_out[vu] += w_all * rb[vu];
+                acc.sp_units[vu] += w_all * (su[vu] + mux * msgs[vu]);
+            }
+            let in_b = rb[vu] - t.resp_b[vu];
+            if in_b > 0.0 {
+                acc.sp_in[vu] += w_all * in_b;
+                acc.sp_units[vu] +=
+                    w_all * ((ru[vu] - t.resp_ru[vu]) + mux * (msgs[vu] - t.p_respond[vu]));
+            }
+        }
+
+        // 4. Cluster-local legs for client-submitted queries.
+        if num_clients > 0.0 {
+            let cw = qr * src_weight; // per client
+            acc.cl_out[iu] += cw * qbytes;
+            acc.cl_units[iu] += cw * (send_q + cm.multiplex_units(client_conn));
+            acc.cl_in[iu] += cw * rb[iu];
+            acc.cl_units[iu] += cw * (ru[iu] + cm.multiplex_units(client_conn) * msgs[iu]);
+
+            let mux = cm.multiplex_units(t.partner_conn[iu]);
+            acc.sp_in[iu] += w_client_total * qbytes;
+            acc.sp_units[iu] += w_client_total * (recv_q + mux);
+            acc.sp_out[iu] += w_client_total * rb[iu];
+            acc.sp_units[iu] += w_client_total * (su[iu] + mux * msgs[iu]);
+        }
+
+        // Results, EPL, reach.
+        let total_results: f64 = fl.order.iter().map(|&v| t.n_results[v as usize]).sum();
+        acc.results_stats.push(total_results);
+        acc.results_weighted_sum += t.users[iu] * total_results;
+        acc.results_weight += t.users[iu];
+        acc.results_by_outdeg
+            .push(inst.topology.degree(i) as u64, total_results);
+        for &v in &fl.order {
+            if v != i {
+                let vu = v as usize;
+                acc.epl_num += t.users[iu] * t.p_respond[vu] * fl.depth[vu] as f64;
+                acc.epl_den += t.users[iu] * t.p_respond[vu];
+            }
+        }
+        acc.reach_stats.push(fl.reach() as f64);
+
+        for &v in &fl.order {
+            let vu = v as usize;
+            rb[vu] = 0.0;
+            su[vu] = 0.0;
+            ru[vu] = 0.0;
+            msgs[vu] = 0.0;
+        }
+    }
+    acc
+}
+
 /// Analyzes one instance. See the module docs for the charging rules.
 ///
 /// `rng` is only used when `opts.max_sources` triggers source
@@ -135,62 +627,34 @@ pub fn analyze(
     let k = inst.config.redundancy_k;
     let kf = k as f64;
     let cm = &inst.config.costs;
-    let qr = inst.config.query_rate;
     let ur = inst.config.update_rate;
-    let ttl = inst.config.ttl;
 
     // ---- Per-cluster precomputation -------------------------------
     let mut cache = MatchCache::new();
-    let mut x_tot = vec![0.0f64; n];
-    let mut n_results = vec![0.0f64; n]; // E[N_T]
-    let mut p_respond = vec![0.0f64; n]; // P(N_T >= 1)
-    let mut resp_b = vec![0.0f64; n]; // expected response bytes
-    let mut resp_su = vec![0.0f64; n]; // expected send units
-    let mut resp_ru = vec![0.0f64; n]; // expected recv units
-    let mut users = vec![0.0f64; n]; // clients + partners
-    let mut partner_conn = vec![0.0f64; n];
+    let mut tables = ClusterTables {
+        n_results: vec![0.0; n],
+        p_respond: vec![0.0; n],
+        resp_b: vec![0.0; n],
+        resp_su: vec![0.0; n],
+        resp_ru: vec![0.0; n],
+        users: vec![0.0; n],
+        partner_conn: vec![0.0; n],
+    };
     for i in 0..n {
         let files = inst.cluster_files(i) as f64;
-        x_tot[i] = files;
-        n_results[i] = model.expected_results(files);
+        tables.n_results[i] = model.expected_results(files);
         let p = cache.prob_some_match(model, inst.cluster_files(i).min(u64::from(u32::MAX)) as u32);
-        p_respond[i] = p;
-        let k_addrs =
-            cache.expected_responding_collections(model, inst.cluster_member_files(i));
-        let nr = n_results[i];
-        resp_b[i] = cm.expected_response_bytes(p, k_addrs, nr);
-        resp_su[i] = cm.expected_send_response_units(p, k_addrs, nr);
-        resp_ru[i] = cm.expected_recv_response_units(p, k_addrs, nr);
+        tables.p_respond[i] = p;
+        let k_addrs = cache.expected_responding_collections(model, inst.cluster_member_files(i));
+        let nr = tables.n_results[i];
+        tables.resp_b[i] = cm.expected_response_bytes(p, k_addrs, nr);
+        tables.resp_su[i] = cm.expected_send_response_units(p, k_addrs, nr);
+        tables.resp_ru[i] = cm.expected_recv_response_units(p, k_addrs, nr);
         let cluster = &inst.clusters[i];
-        users[i] = (cluster.clients.len() + cluster.partners.len()) as f64;
-        partner_conn[i] = inst.connections(cluster.partners[0]);
+        tables.users[i] = (cluster.clients.len() + cluster.partners.len()) as f64;
+        tables.partner_conn[i] = inst.connections(cluster.partners[0]);
     }
     let client_conn = kf;
-
-    // ---- Accumulators ----------------------------------------------
-    // Cluster-level partner charges, split /k over partners at the end.
-    let mut sp_in = vec![0.0f64; n];
-    let mut sp_out = vec![0.0f64; n];
-    let mut sp_units = vec![0.0f64; n];
-    // Per-client charges (each client of cluster i pays these).
-    let mut cl_in = vec![0.0f64; n];
-    let mut cl_out = vec![0.0f64; n];
-    let mut cl_units = vec![0.0f64; n];
-
-    // Response-accumulation scratch, cleared per source via the BFS
-    // order.
-    let mut rb = vec![0.0f64; n];
-    let mut su = vec![0.0f64; n];
-    let mut ru = vec![0.0f64; n];
-    let mut msgs = vec![0.0f64; n];
-
-    let mut results_stats = OnlineStats::new();
-    let mut results_weight = 0.0f64;
-    let mut results_weighted_sum = 0.0f64;
-    let mut epl_num = 0.0f64;
-    let mut epl_den = 0.0f64;
-    let mut reach_stats = OnlineStats::new();
-    let mut results_by_outdeg = GroupedStats::new();
 
     // ---- Source selection ------------------------------------------
     let all_sources: Vec<u32>;
@@ -209,120 +673,39 @@ pub fn analyze(
         }
     };
 
-    let qbytes = cm.query_bytes();
-    let send_q = cm.send_query_units();
-    let recv_q = cm.recv_query_units();
-
     // ---- Query charges, one flood per source cluster ---------------
-    for &i in sources {
-        let iu = i as usize;
-        let (fl, mc) = inst.topology.flood(i, ttl);
-        let num_clients = inst.clusters[iu].clients.len() as f64;
-        // Queries per second originating in cluster i (scaled if
-        // sources are sampled).
-        let w_all = users[iu] * qr * src_weight;
-        let w_client_total = num_clients * qr * src_weight;
-
-        // 1. Query propagation (including redundant copies).
-        for v in 0..n {
-            let s = mc.sent[v] as f64;
-            if s > 0.0 {
-                sp_out[v] += w_all * s * qbytes;
-                sp_units[v] += w_all * s * (send_q + cm.multiplex_units(partner_conn[v]));
-            }
-            let r = mc.recv[v] as f64;
-            if r > 0.0 {
-                sp_in[v] += w_all * r * qbytes;
-                sp_units[v] += w_all * r * (recv_q + cm.multiplex_units(partner_conn[v]));
-            }
-        }
-
-        // 2. Index probe at every reached cluster.
-        for &t in &fl.order {
-            sp_units[t as usize] += w_all * cm.process_query_units(n_results[t as usize]);
-        }
-
-        // 3. Responses up the predecessor tree.
-        for &t in &fl.order {
-            let tu = t as usize;
-            rb[tu] = resp_b[tu];
-            su[tu] = resp_su[tu];
-            ru[tu] = resp_ru[tu];
-            msgs[tu] = p_respond[tu];
-        }
-        fl.accumulate_up(&mut rb);
-        fl.accumulate_up(&mut su);
-        fl.accumulate_up(&mut ru);
-        fl.accumulate_up(&mut msgs);
-        for &v in &fl.order {
-            let vu = v as usize;
-            let mux = cm.multiplex_units(partner_conn[vu]);
-            if v != i {
-                // v forwards its whole subtree's responses to its
-                // parent (incl. its own response).
-                sp_out[vu] += w_all * rb[vu];
-                sp_units[vu] += w_all * (su[vu] + mux * msgs[vu]);
-            }
-            // v receives its children's subtrees.
-            let in_b = rb[vu] - resp_b[vu];
-            if in_b > 0.0 {
-                sp_in[vu] += w_all * in_b;
-                sp_units[vu] += w_all * ((ru[vu] - resp_ru[vu]) + mux * (msgs[vu] - p_respond[vu]));
-            }
-        }
-
-        // 4. Cluster-local legs for client-submitted queries. rb[i] is
-        // now the total expected response bytes of the whole reach
-        // (own cluster included), msgs[i] the total response messages.
-        if num_clients > 0.0 {
-            let cw = qr * src_weight; // per client
-            cl_out[iu] += cw * qbytes;
-            cl_units[iu] += cw * (send_q + cm.multiplex_units(client_conn));
-            cl_in[iu] += cw * rb[iu];
-            cl_units[iu] += cw * (ru[iu] + cm.multiplex_units(client_conn) * msgs[iu]);
-
-            let mux = cm.multiplex_units(partner_conn[iu]);
-            sp_in[iu] += w_client_total * qbytes;
-            sp_units[iu] += w_client_total * (recv_q + mux);
-            sp_out[iu] += w_client_total * rb[iu];
-            sp_units[iu] += w_client_total * (su[iu] + mux * msgs[iu]);
-        }
-
-        // Results, EPL, reach.
-        let total_results: f64 = fl.order.iter().map(|&t| n_results[t as usize]).sum();
-        results_stats.push(total_results);
-        results_weighted_sum += users[iu] * total_results;
-        results_weight += users[iu];
-        results_by_outdeg.push(inst.topology.degree(i) as u64, total_results);
-        for &t in &fl.order {
-            if t != i {
-                let tu = t as usize;
-                epl_num += users[iu] * p_respond[tu] * fl.depth[tu] as f64;
-                epl_den += users[iu] * p_respond[tu];
-            }
-        }
-        reach_stats.push(fl.reach() as f64);
-
-        // Clear scratch (only reached indices were written).
-        for &t in &fl.order {
-            let tu = t as usize;
-            rb[tu] = 0.0;
-            su[tu] = 0.0;
-            ru[tu] = 0.0;
-            msgs[tu] = 0.0;
-        }
-    }
+    let q = match opts.engine {
+        Engine::Fast => charge_queries_fast(inst, &tables, sources, src_weight, opts),
+        Engine::Reference => charge_queries_reference(inst, &tables, sources, src_weight),
+    };
+    let QueryCharges {
+        mut sp_in,
+        sp_out,
+        mut sp_units,
+        cl_in,
+        cl_out,
+        cl_units,
+        results_stats,
+        results_weight,
+        results_weighted_sum,
+        epl_num,
+        epl_den,
+        reach_stats,
+        results_by_outdeg,
+    } = q;
 
     // ---- Join and update charges (exact, per peer) ------------------
     // Direct per-peer extras (own-rate costs that differ per peer).
+    // Peers only *send* on their own behalf — everything a peer
+    // receives is already charged through the cluster-level
+    // accumulators — so there is no per-peer incoming buffer.
     let num_peers = inst.num_peers();
-    let peer_in = vec![0.0f64; num_peers];
     let mut peer_out = vec![0.0f64; num_peers];
     let mut peer_units = vec![0.0f64; num_peers];
 
     for i in 0..n {
         let cluster = &inst.clusters[i];
-        let mux_p = cm.multiplex_units(partner_conn[i]);
+        let mux_p = cm.multiplex_units(tables.partner_conn[i]);
         let mux_c = cm.multiplex_units(client_conn);
         for &c in &cluster.clients {
             let peer = &inst.peers[c as usize];
@@ -332,14 +715,12 @@ pub fn analyze(
             peer_out[c as usize] += jr * kf * cm.join_bytes(x);
             peer_units[c as usize] += jr * kf * (cm.send_join_units(x) + mux_c);
             sp_in[i] += jr * kf * cm.join_bytes(x);
-            sp_units[i] +=
-                jr * kf * (cm.recv_join_units(x) + cm.process_join_units(x) + mux_p);
+            sp_units[i] += jr * kf * (cm.recv_join_units(x) + cm.process_join_units(x) + mux_p);
             // Updates: one per partner per update.
             peer_out[c as usize] += ur * kf * cm.update_bytes();
             peer_units[c as usize] += ur * kf * (cm.send_update_units() + mux_c);
             sp_in[i] += ur * kf * cm.update_bytes();
-            sp_units[i] +=
-                ur * kf * (cm.recv_update_units() + cm.process_update_units() + mux_p);
+            sp_units[i] += ur * kf * (cm.recv_update_units() + cm.process_update_units() + mux_p);
         }
         for &p in &cluster.partners {
             let peer = &inst.peers[p as usize];
@@ -355,8 +736,7 @@ pub fn analyze(
                 peer_out[p as usize] += jr * co * cm.join_bytes(x);
                 peer_units[p as usize] += jr * co * (cm.send_join_units(x) + mux_p);
                 sp_in[i] += jr * co * cm.join_bytes(x);
-                sp_units[i] +=
-                    jr * co * (cm.recv_join_units(x) + cm.process_join_units(x) + mux_p);
+                sp_units[i] += jr * co * (cm.recv_join_units(x) + cm.process_join_units(x) + mux_p);
                 // Propagate own updates to co-partners.
                 peer_out[p as usize] += ur * co * cm.update_bytes();
                 peer_units[p as usize] += ur * co * (cm.send_update_units() + mux_p);
@@ -374,13 +754,13 @@ pub fn analyze(
         let share = 1.0 / kf;
         for &p in &cluster.partners {
             let pu = p as usize;
-            loads[pu].in_bw = (peer_in[pu] + sp_in[i] * share) * BITS_PER_BYTE;
+            loads[pu].in_bw = sp_in[i] * share * BITS_PER_BYTE;
             loads[pu].out_bw = (peer_out[pu] + sp_out[i] * share) * BITS_PER_BYTE;
             loads[pu].proc = (peer_units[pu] + sp_units[i] * share) * UNIT_CYCLES;
         }
         for &c in &cluster.clients {
             let cu = c as usize;
-            loads[cu].in_bw = (peer_in[cu] + cl_in[i]) * BITS_PER_BYTE;
+            loads[cu].in_bw = cl_in[i] * BITS_PER_BYTE;
             loads[cu].out_bw = (peer_out[cu] + cl_out[i]) * BITS_PER_BYTE;
             loads[cu].proc = (peer_units[cu] + cl_units[i]) * UNIT_CYCLES;
         }
@@ -419,7 +799,11 @@ pub fn analyze(
         } else {
             results_stats.mean()
         },
-        epl: if epl_den > 0.0 { epl_num / epl_den } else { 0.0 },
+        epl: if epl_den > 0.0 {
+            epl_num / epl_den
+        } else {
+            0.0
+        },
         mean_reach_clusters: reach_stats.mean(),
         num_clusters: n,
         num_peers,
@@ -581,6 +965,7 @@ mod tests {
             &model,
             &AnalysisOptions {
                 max_sources: Some(30),
+                ..AnalysisOptions::default()
             },
             &mut rng,
         );
@@ -650,5 +1035,33 @@ mod tests {
             hi.metrics.aggregate.total_bw(),
             lo.metrics.aggregate.total_bw()
         );
+    }
+
+    #[test]
+    fn reference_engine_matches_fast_engine() {
+        // The in-crate smoke check; the full matrix lives in
+        // tests/engine_determinism.rs.
+        let cfg = Config {
+            graph_size: 300,
+            cluster_size: 10,
+            ..Config::default()
+        };
+        let mut rng = SpRng::seed_from_u64(11);
+        let inst = NetworkInstance::generate(&cfg, &mut rng).unwrap();
+        let model = QueryModel::from_config(&cfg.query_model);
+        let fast = analyze(&inst, &model, &AnalysisOptions::default(), &mut rng);
+        let reference = analyze(
+            &inst,
+            &model,
+            &AnalysisOptions {
+                engine: Engine::Reference,
+                ..AnalysisOptions::default()
+            },
+            &mut rng,
+        );
+        let rel = (fast.metrics.aggregate.total_bw() - reference.metrics.aggregate.total_bw())
+            .abs()
+            / reference.metrics.aggregate.total_bw();
+        assert!(rel < 1e-12, "engines disagree: rel {rel}");
     }
 }

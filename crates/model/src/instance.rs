@@ -10,7 +10,7 @@
 use serde::{Deserialize, Serialize};
 
 use sp_graph::generate::{plod, PlodConfig};
-use sp_graph::traverse::{flood, message_counts, FloodResult, MessageCounts};
+use sp_graph::traverse::{flood, message_counts, FloodResult, FloodScratch, MessageCounts};
 use sp_graph::{Graph, NodeId};
 use sp_stats::dist::Sampler;
 use sp_stats::{SpRng, TruncatedDiscreteNormal};
@@ -121,6 +121,9 @@ impl Topology {
     /// Floods a query from `src` with `ttl`, returning the BFS result
     /// and the per-cluster query-transmission counts (including
     /// redundant copies).
+    ///
+    /// Allocates three n-sized vectors per call; the analysis hot loop
+    /// uses [`Topology::flood_into`] instead.
     pub fn flood(&self, src: NodeId, ttl: u16) -> (FloodResult, MessageCounts) {
         match self {
             Topology::Explicit(g) => {
@@ -129,6 +132,17 @@ impl Topology {
                 (f, mc)
             }
             Topology::Complete { n } => flood_complete(*n, src, ttl),
+        }
+    }
+
+    /// Allocation-free variant of [`Topology::flood`]: floods into a
+    /// reusable [`FloodScratch`] (closed form for the symbolic complete
+    /// topology). Produces exactly the same depths, parents, and
+    /// message counts.
+    pub fn flood_into(&self, scratch: &mut FloodScratch, src: NodeId, ttl: u16) {
+        match self {
+            Topology::Explicit(g) => scratch.flood(g, src, ttl),
+            Topology::Complete { n } => scratch.flood_complete(*n, src, ttl),
         }
     }
 }
@@ -206,9 +220,7 @@ impl NetworkInstance {
             family => {
                 let mean = config.avg_outdegree.min((n - 1) as f64).max(1.0);
                 let graph = match family {
-                    crate::config::GraphType::PowerLaw => {
-                        plod(n, PlodConfig::with_mean(mean), rng)
-                    }
+                    crate::config::GraphType::PowerLaw => plod(n, PlodConfig::with_mean(mean), rng),
                     crate::config::GraphType::ErdosRenyi => {
                         sp_graph::generate::erdos_renyi(n, mean, rng)
                     }
@@ -222,8 +234,8 @@ impl NetworkInstance {
         };
 
         let mean_clients = config.mean_clients();
-        let client_dist = (mean_clients > 0.0)
-            .then(|| TruncatedDiscreteNormal::cluster_size(mean_clients));
+        let client_dist =
+            (mean_clients > 0.0).then(|| TruncatedDiscreteNormal::cluster_size(mean_clients));
 
         let mut peers = Vec::with_capacity(config.graph_size + n * k);
         let mut clusters = Vec::with_capacity(n);

@@ -57,7 +57,7 @@ pub mod population;
 pub mod query_model;
 pub mod trials;
 
-pub use analysis::{analyze, AnalysisResult};
+pub use analysis::{analyze, AnalysisOptions, AnalysisResult, Engine, InstanceMetrics};
 pub use config::{Config, GraphType};
 pub use instance::{NetworkInstance, Role};
 pub use load::Load;

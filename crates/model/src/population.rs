@@ -159,7 +159,12 @@ mod tests {
             s.push(p.sample_files(&mut rng) as f64);
         }
         let rel = (s.mean() - p.mean_files()).abs() / p.mean_files();
-        assert!(rel < 0.03, "sample mean {} vs analytic {}", s.mean(), p.mean_files());
+        assert!(
+            rel < 0.03,
+            "sample mean {} vs analytic {}",
+            s.mean(),
+            p.mean_files()
+        );
     }
 
     #[test]
@@ -189,7 +194,12 @@ mod tests {
             s.push(p.sample_files(&mut rng) as f64);
         }
         let rel = (s.mean() - p.mean_files()).abs() / p.mean_files();
-        assert!(rel < 0.05, "sample mean {} vs analytic {}", s.mean(), p.mean_files());
+        assert!(
+            rel < 0.05,
+            "sample mean {} vs analytic {}",
+            s.mean(),
+            p.mean_files()
+        );
         // Heavy tail: the max sample is far above the mean.
         assert!(s.max() > 20.0 * s.mean());
     }

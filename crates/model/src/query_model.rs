@@ -249,7 +249,11 @@ mod tests {
         let m = QueryModel::paper_default();
         let target = QueryModelConfig::default().match_per_file;
         let rel = (m.match_rate() - target).abs() / target;
-        assert!(rel < 1e-6, "match rate {} vs target {target}", m.match_rate());
+        assert!(
+            rel < 1e-6,
+            "match rate {} vs target {target}",
+            m.match_rate()
+        );
     }
 
     #[test]
@@ -326,10 +330,7 @@ mod tests {
         let m = QueryModel::paper_default();
         let mut rng = SpRng::seed_from_u64(5);
         let n = 20_000;
-        let top = (0..n)
-            .filter(|_| m.sample_query(&mut rng) < 10)
-            .count() as f64
-            / n as f64;
+        let top = (0..n).filter(|_| m.sample_query(&mut rng) < 10).count() as f64 / n as f64;
         let expect: f64 = (0..10).map(|j| m.popularity(j)).sum();
         assert!((top - expect).abs() < 0.02, "top-10 mass {top} vs {expect}");
     }

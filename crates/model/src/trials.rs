@@ -5,8 +5,14 @@
 //! intervals." Trials are embarrassingly parallel, so they are fanned
 //! out over scoped threads; every trial derives its own RNG split, so
 //! results are identical regardless of thread count.
+//!
+//! A trial run owns a **thread budget** ([`TrialOptions::threads`]):
+//! trials claim up to `budget` outer workers, and whatever multiple of
+//! the budget is left over is handed to each analysis pass as
+//! source-level parallelism ([`AnalysisOptions::threads`]). A 5-trial
+//! run on 16 cores therefore runs 5 trial workers × 3 source workers
+//! instead of leaving 11 cores idle, and never oversubscribes.
 
-use crossbeam::thread;
 use sp_stats::{ConfidenceInterval, GroupedStats, OnlineStats, SpRng};
 
 use crate::analysis::{analyze, AnalysisOptions, InstanceMetrics};
@@ -24,8 +30,9 @@ pub struct TrialOptions {
     /// Per-analysis source sampling (see
     /// [`AnalysisOptions::max_sources`]).
     pub max_sources: Option<usize>,
-    /// Worker threads; 0 = one per available core (capped at the trial
-    /// count).
+    /// Total worker-thread budget for this run; 0 = one per available
+    /// core. Split between trial-level and source-level parallelism so
+    /// `outer × inner ≤ budget`.
     pub threads: usize,
 }
 
@@ -190,15 +197,19 @@ pub fn run_trials(config: &Config, opts: &TrialOptions) -> TrialSummary {
 
     let model = QueryModel::from_config(&config.query_model);
     let root = SpRng::seed_from_u64(opts.seed);
-    let threads = if opts.threads == 0 {
+    let budget = if opts.threads == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
     } else {
         opts.threads
     }
-    .min(opts.trials)
     .max(1);
+    // Trials claim outer workers first (they are perfectly independent);
+    // the remaining budget multiple parallelizes each trial's source
+    // loop. outer × inner never exceeds the budget.
+    let outer = budget.min(opts.trials);
+    let inner = (budget / outer).max(1);
 
     let run_trial = |t: usize| -> Reduction {
         let mut rng = root.split(t as u64);
@@ -208,6 +219,8 @@ pub fn run_trials(config: &Config, opts: &TrialOptions) -> TrialSummary {
             &model,
             &AnalysisOptions {
                 max_sources: opts.max_sources,
+                threads: inner,
+                ..AnalysisOptions::default()
             },
             &mut rng,
         );
@@ -220,7 +233,7 @@ pub fn run_trials(config: &Config, opts: &TrialOptions) -> TrialSummary {
         red
     };
 
-    if threads == 1 {
+    if outer == 1 {
         let mut total = Reduction::default();
         for t in 0..opts.trials {
             total.merge(&run_trial(t));
@@ -228,16 +241,16 @@ pub fn run_trials(config: &Config, opts: &TrialOptions) -> TrialSummary {
         return total.finish();
     }
 
-    let reductions = thread::scope(|scope| {
+    let reductions = std::thread::scope(|scope| {
         let run_trial = &run_trial;
-        let handles: Vec<_> = (0..threads)
+        let handles: Vec<_> = (0..outer)
             .map(|w| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut local = Reduction::default();
                     let mut t = w;
                     while t < opts.trials {
                         local.merge(&run_trial(t));
-                        t += threads;
+                        t += outer;
                     }
                     local
                 })
@@ -247,8 +260,7 @@ pub fn run_trials(config: &Config, opts: &TrialOptions) -> TrialSummary {
             .into_iter()
             .map(|h| h.join().expect("trial worker panicked"))
             .collect::<Vec<_>>()
-    })
-    .expect("thread scope failed");
+    });
 
     let mut total = Reduction::default();
     for r in &reductions {

@@ -9,12 +9,12 @@ use sp_stats::SpRng;
 
 fn arb_config() -> impl Strategy<Value = Config> {
     (
-        50usize..400,                    // graph size
-        1usize..30,                      // cluster size
-        prop::bool::ANY,                 // redundancy
-        prop::bool::ANY,                 // strong vs power-law
-        1u16..6,                         // ttl
-        2u32..12,                        // avg outdegree (x1.0)
+        50usize..400,    // graph size
+        1usize..30,      // cluster size
+        prop::bool::ANY, // redundancy
+        prop::bool::ANY, // strong vs power-law
+        1u16..6,         // ttl
+        2u32..12,        // avg outdegree (x1.0)
     )
         .prop_map(|(gs, cs, red, strong, ttl, deg)| {
             let cs = cs.min(gs);

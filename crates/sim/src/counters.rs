@@ -116,7 +116,7 @@ mod tests {
         c.send(80.0, 0.0);
         let w = c.take_window(8.0);
         assert_eq!(w.out_bw, 80.0); // 80 B / 8 s × 8 bits
-        // Window cleared; cumulative untouched.
+                                    // Window cleared; cumulative untouched.
         assert_eq!(c.take_window(8.0), Load::ZERO);
         assert_eq!(c.out_bytes, 80.0);
     }

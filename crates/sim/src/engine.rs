@@ -202,8 +202,7 @@ impl Simulation {
     /// Panics if the configuration is invalid.
     pub fn new(config: &Config, opts: SimOptions) -> Self {
         let mut rng = SpRng::seed_from_u64(opts.seed);
-        let inst =
-            NetworkInstance::generate(config, &mut rng).expect("invalid configuration");
+        let inst = NetworkInstance::generate(config, &mut rng).expect("invalid configuration");
         let model = QueryModel::from_config(&config.query_model);
         let mut sim = Simulation {
             net: SimNetwork::new(),
@@ -249,9 +248,7 @@ impl Simulation {
                 let info = &inst.peers[extra as usize];
                 let q = self.net.add_peer(info.files, 0.0);
                 self.net.attach_client(q, c);
-                self.net
-                    .promote_specific(c, q)
-                    .expect("just attached");
+                self.net.promote_specific(c, q).expect("just attached");
                 self.schedule_peer_events(q, info.lifespan_secs);
             }
             for &cl in &cluster.clients {
@@ -419,9 +416,7 @@ impl Simulation {
         let lifespan = self.config.population.sample_lifespan(&mut self.rng);
         let target_clusters = self.config.num_clusters();
         let peer = self.net.add_peer(files, self.now);
-        if self.net.num_alive_clusters() < target_clusters
-            || self.net.num_alive_clusters() == 0
-        {
+        if self.net.num_alive_clusters() < target_clusters || self.net.num_alive_clusters() == 0 {
             // Become a new super-peer: index own collection, wire into
             // the overlay at the suggested outdegree.
             let c = self.net.add_cluster(peer, self.config.ttl);
@@ -898,10 +893,7 @@ impl Simulation {
         // than the nominal interval.
         let (partners, window_secs): (Vec<PeerId>, f64) = {
             let c = self.net.clusters[cluster as usize].as_ref().expect("alive");
-            (
-                c.partners.clone(),
-                (self.now - c.last_adapt_at).max(1e-9),
-            )
+            (c.partners.clone(), (self.now - c.last_adapt_at).max(1e-9))
         };
         let mut load = Load::ZERO;
         for &p in &partners {
@@ -998,8 +990,7 @@ impl Simulation {
             cl.last_adapt_at = self.now;
         }
         if let Some(p) = self.net.peer_mut(lead) {
-            p.counters
-                .work(self.config.costs.process_join_units(files));
+            p.counters.work(self.config.costs.process_join_units(files));
         }
         self.net.add_edge(new_cluster, cluster);
         // Inherit one neighbor to stay searchable.
@@ -1046,13 +1037,10 @@ impl Simulation {
     fn coalesce_cluster(&mut self, cluster: ClusterId) {
         let target = {
             let c = self.net.clusters[cluster as usize].as_ref().expect("alive");
-            c.neighbors
-                .first()
-                .copied()
-                .or_else(|| {
-                    // No neighbor: any other live cluster.
-                    self.net.alive_clusters().find(|&x| x != cluster)
-                })
+            c.neighbors.first().copied().or_else(|| {
+                // No neighbor: any other live cluster.
+                self.net.alive_clusters().find(|&x| x != cluster)
+            })
         };
         let Some(target) = target else {
             return; // last cluster standing cannot dissolve
@@ -1358,7 +1346,11 @@ mod tests {
             },
         );
         let m = sim.run();
-        assert!(m.timeline.len() >= 6, "timeline {} points", m.timeline.len());
+        assert!(
+            m.timeline.len() >= 6,
+            "timeline {} points",
+            m.timeline.len()
+        );
         assert!(m.timeline[0].clusters > 0);
     }
 }

@@ -168,7 +168,10 @@ mod tests {
             },
         );
         assert_eq!(q.pop().unwrap().1, Event::PeerJoin);
-        assert!(matches!(q.pop().unwrap().1, Event::PeerLeave { peer: 7, .. }));
+        assert!(matches!(
+            q.pop().unwrap().1,
+            Event::PeerLeave { peer: 7, .. }
+        ));
     }
 
     #[test]

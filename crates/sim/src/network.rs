@@ -130,7 +130,9 @@ impl SimNetwork {
     ///
     /// Panics if the slot is already free.
     pub fn remove_peer(&mut self, id: PeerId) -> SimPeer {
-        let peer = self.peers[id as usize].take().expect("peer already removed");
+        let peer = self.peers[id as usize]
+            .take()
+            .expect("peer already removed");
         self.peer_generations[id as usize] = self.peer_generations[id as usize].wrapping_add(1);
         self.free_peers.push(id);
         peer
@@ -187,7 +189,9 @@ impl SimNetwork {
             last_adapt_at: 0.0,
         });
         {
-            let p = self.peers[partner as usize].as_mut().expect("partner alive");
+            let p = self.peers[partner as usize]
+                .as_mut()
+                .expect("partner alive");
             p.cluster = Some(id);
             p.is_partner = true;
         }

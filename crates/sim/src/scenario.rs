@@ -14,7 +14,9 @@ use sp_model::config::Config;
 use sp_model::load::Load;
 use sp_stats::OnlineStats;
 
-use crate::engine::{AdaptSettings, ForwardPolicy, RawMetrics, SimOptions, Simulation, TimelinePoint};
+use crate::engine::{
+    AdaptSettings, ForwardPolicy, RawMetrics, SimOptions, Simulation, TimelinePoint,
+};
 
 /// Adaptive-scenario options (re-exported engine settings).
 pub type AdaptOptions = AdaptSettings;
@@ -169,12 +171,7 @@ pub fn routing(config: &Config, fanout: usize, duration_secs: f64, seed: u64) ->
 }
 
 /// Runs the Section 5.3 adaptive scenario.
-pub fn adaptive(
-    config: &Config,
-    duration_secs: f64,
-    seed: u64,
-    adapt: AdaptOptions,
-) -> SimReport {
+pub fn adaptive(config: &Config, duration_secs: f64, seed: u64, adapt: AdaptOptions) -> SimReport {
     let mut sim = Simulation::new(
         config,
         SimOptions {

@@ -46,7 +46,10 @@ fn apply(
             let c = net.add_cluster(p, 7);
             clusters.push(c);
         }
-        Op::AddClient { files, cluster_pick } => {
+        Op::AddClient {
+            files,
+            cluster_pick,
+        } => {
             if clusters.is_empty() {
                 return;
             }

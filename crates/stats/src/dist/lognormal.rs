@@ -30,7 +30,10 @@ impl LogNormal {
     /// Panics if `sigma < 0` or either parameter is non-finite.
     pub fn new(mu: f64, sigma: f64) -> Self {
         assert!(mu.is_finite(), "mu must be finite");
-        assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be finite and >= 0");
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "sigma must be finite and >= 0"
+        );
         LogNormal { mu, sigma }
     }
 

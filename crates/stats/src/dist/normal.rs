@@ -145,7 +145,11 @@ mod tests {
             stats.push(Normal::standard(&mut rng));
         }
         assert!(stats.mean().abs() < 0.01, "mean {}", stats.mean());
-        assert!((stats.std_dev() - 1.0).abs() < 0.01, "std {}", stats.std_dev());
+        assert!(
+            (stats.std_dev() - 1.0).abs() < 0.01,
+            "std {}",
+            stats.std_dev()
+        );
     }
 
     #[test]
@@ -171,7 +175,11 @@ mod tests {
             stats.push(d.sample(&mut rng) as f64);
         }
         assert!((stats.mean() - 10.0).abs() < 0.1, "mean {}", stats.mean());
-        assert!((stats.std_dev() - 2.0).abs() < 0.1, "std {}", stats.std_dev());
+        assert!(
+            (stats.std_dev() - 2.0).abs() < 0.1,
+            "std {}",
+            stats.std_dev()
+        );
     }
 
     #[test]

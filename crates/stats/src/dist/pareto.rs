@@ -104,7 +104,12 @@ mod tests {
             stats.push(d.sample(&mut rng));
         }
         let rel = (stats.mean() - d.mean()).abs() / d.mean();
-        assert!(rel < 0.03, "sample mean {} vs analytic {}", stats.mean(), d.mean());
+        assert!(
+            rel < 0.03,
+            "sample mean {} vs analytic {}",
+            stats.mean(),
+            d.mean()
+        );
     }
 
     #[test]

@@ -36,9 +36,7 @@ impl Zipf {
             exponent.is_finite() && exponent >= 0.0,
             "exponent must be finite and >= 0"
         );
-        let mut pmf: Vec<f64> = (0..n)
-            .map(|j| ((j + 1) as f64).powf(-exponent))
-            .collect();
+        let mut pmf: Vec<f64> = (0..n).map(|j| ((j + 1) as f64).powf(-exponent)).collect();
         let norm: f64 = pmf.iter().sum();
         for p in &mut pmf {
             *p /= norm;
@@ -87,11 +85,7 @@ impl Zipf {
     /// Expected value of an arbitrary function of rank,
     /// `Σ_j g(j)·f(j)` — the workhorse of the Appendix B query model.
     pub fn expect<F: FnMut(usize) -> f64>(&self, mut f: F) -> f64 {
-        self.pmf
-            .iter()
-            .enumerate()
-            .map(|(j, &p)| p * f(j))
-            .sum()
+        self.pmf.iter().enumerate().map(|(j, &p)| p * f(j)).sum()
     }
 }
 

@@ -38,7 +38,6 @@ fn main() {
     println!("  super-peer bandwidth : {}", redundant.sp_total_bw);
     println!(
         "  change vs plain      : {:+.1}%",
-        (redundant.sp_total_bw.mean - summary.sp_total_bw.mean) / summary.sp_total_bw.mean
-            * 100.0
+        (redundant.sp_total_bw.mean - summary.sp_total_bw.mean) / summary.sp_total_bw.mean * 100.0
     );
 }

@@ -11,6 +11,7 @@ fn main() {
         trials: 2,
         seed: 7,
         max_sources: Some(400),
+        threads: 0,
     };
     let n = 5000;
 

@@ -109,15 +109,19 @@ fn every_experiment_runs_and_renders_at_small_scale() {
 
 #[test]
 fn redesign_pipeline_small_scale() {
-    let data = redesign::run(1500, 400, &redesign::paper_constraints(), &Fidelity::quick())
-        .expect("feasible");
+    let data = redesign::run(
+        1500,
+        400,
+        &redesign::paper_constraints(),
+        &Fidelity::quick(),
+    )
+    .expect("feasible");
     assert_eq!(data.topologies.len(), 3);
     assert!(data.render_fig11().contains("Today"));
     assert!(data.render_fig12().contains("Median"));
     // The designed network must beat today's aggregate bandwidth.
     assert!(
-        data.topologies[1].summary.agg_total_bw.mean
-            < data.topologies[0].summary.agg_total_bw.mean
+        data.topologies[1].summary.agg_total_bw.mean < data.topologies[0].summary.agg_total_bw.mean
     );
 }
 

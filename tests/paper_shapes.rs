@@ -12,6 +12,7 @@ fn fid() -> Fidelity {
         trials: 2,
         seed: 0xABCD,
         max_sources: Some(250),
+        threads: 0,
     }
 }
 
