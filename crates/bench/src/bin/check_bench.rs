@@ -1,0 +1,301 @@
+//! CI perf-regression gate.
+//!
+//! Compares freshly generated `BENCH_*.json` files against the
+//! checked-in baselines and fails (exit 1) when a watched metric
+//! regresses by more than the tolerance:
+//!
+//! ```text
+//! check_bench [baseline_dir] [fresh_dir]     # defaults: repro_out repro_fresh
+//! ```
+//!
+//! The tolerance is relative (default 0.25, i.e. 25 %) and can be set
+//! via `CHECK_BENCH_TOL`. It is deliberately loose: CI runners are
+//! noisy shared machines, and the gate is meant to catch structural
+//! regressions (a lost optimization, an accidental O(n²)), not 5 %
+//! jitter.
+//!
+//! Baselines are recorded in `paper` mode while CI smoke runs use
+//! `REPRO_QUICK=1`, so the two sides may disagree on workload size.
+//! When modes differ, only mode-independent *ratio* metrics (e.g.
+//! `speedup_vs_reference`) are compared; absolute wall times and event
+//! counts are checked only between runs of the same mode.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+/// One parsed flat-JSON benchmark report.
+#[derive(Debug, Default)]
+struct Report {
+    strings: HashMap<String, String>,
+    numbers: HashMap<String, f64>,
+}
+
+/// Parses the flat one-level JSON objects `repro_bench` emits.
+///
+/// Only the subset used by the reports is supported: one `"key":
+/// value` pair per line, values either quoted strings or numbers.
+fn parse_flat_json(text: &str) -> Report {
+    let mut report = Report::default();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix('"') else {
+            continue;
+        };
+        let Some((key, value)) = rest.split_once("\":") else {
+            continue;
+        };
+        let value = value.trim();
+        if let Some(s) = value.strip_prefix('"') {
+            report
+                .strings
+                .insert(key.to_string(), s.trim_end_matches('"').to_string());
+        } else if let Ok(n) = value.parse::<f64>() {
+            report.numbers.insert(key.to_string(), n);
+        }
+    }
+    report
+}
+
+/// Direction of a watched metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Direction {
+    /// Larger is better (throughput, speedup).
+    HigherBetter,
+    /// Smaller is better (wall time, allocations).
+    LowerBetter,
+}
+
+/// A watched metric in one benchmark report.
+struct Rule {
+    field: &'static str,
+    direction: Direction,
+    /// Comparable across workload sizes (ratios, per-source counts).
+    /// Mode-dependent metrics are skipped when baseline and fresh runs
+    /// used different modes.
+    mode_independent: bool,
+}
+
+const SIM_RULES: &[Rule] = &[
+    Rule {
+        field: "speedup_vs_reference",
+        direction: Direction::HigherBetter,
+        mode_independent: true,
+    },
+    Rule {
+        field: "events_per_sec_fast",
+        direction: Direction::HigherBetter,
+        mode_independent: false,
+    },
+    Rule {
+        field: "fast_wall_s",
+        direction: Direction::LowerBetter,
+        mode_independent: false,
+    },
+];
+
+const ANALYZE_RULES: &[Rule] = &[
+    Rule {
+        field: "speedup_vs_reference_1_thread",
+        direction: Direction::HigherBetter,
+        mode_independent: true,
+    },
+    Rule {
+        field: "flood_allocs_per_source",
+        direction: Direction::LowerBetter,
+        mode_independent: true,
+    },
+    Rule {
+        field: "fast_wall_s",
+        direction: Direction::LowerBetter,
+        mode_independent: false,
+    },
+];
+
+/// Checks one metric; returns an error line on regression.
+fn check_rule(rule: &Rule, baseline: f64, fresh: f64, tol: f64) -> Result<String, String> {
+    // For LowerBetter metrics near zero (e.g. zero allocations) a
+    // purely relative bound would forbid any increase at all; allow an
+    // absolute slack of 1 unit alongside the relative one.
+    let ok = match rule.direction {
+        Direction::HigherBetter => fresh >= baseline * (1.0 - tol),
+        Direction::LowerBetter => fresh <= (baseline * (1.0 + tol)).max(baseline + 1.0),
+    };
+    let line = format!(
+        "{}: baseline {baseline} -> fresh {fresh} (tol {tol})",
+        rule.field
+    );
+    if ok {
+        Ok(line)
+    } else {
+        Err(line)
+    }
+}
+
+/// Compares one report pair; returns the number of failures.
+fn check_report(name: &str, baseline: &Report, fresh: &Report, tol: f64) -> u32 {
+    let b_mode = baseline.strings.get("mode");
+    let f_mode = fresh.strings.get("mode");
+    let same_mode = b_mode == f_mode;
+    if !same_mode {
+        println!(
+            "{name}: baseline mode {:?} vs fresh mode {:?} — comparing mode-independent metrics only",
+            b_mode, f_mode
+        );
+    }
+    let rules = match baseline.strings.get("bench").map(String::as_str) {
+        Some(b) if b.starts_with("sim_") => SIM_RULES,
+        Some(b) if b.starts_with("analyze_") => ANALYZE_RULES,
+        other => {
+            println!("{name}: FAIL unknown bench id {other:?}");
+            return 1;
+        }
+    };
+    let mut failures = 0;
+    for rule in rules {
+        if !same_mode && !rule.mode_independent {
+            continue;
+        }
+        let (Some(&b), Some(&f)) = (
+            baseline.numbers.get(rule.field),
+            fresh.numbers.get(rule.field),
+        ) else {
+            // A baseline generated before a metric existed should not
+            // fail the gate; the field starts being enforced when the
+            // baseline is regenerated.
+            println!("{name}: SKIP {} (missing on one side)", rule.field);
+            continue;
+        };
+        match check_rule(rule, b, f, tol) {
+            Ok(line) => println!("{name}: OK   {line}"),
+            Err(line) => {
+                println!("{name}: FAIL {line}");
+                failures += 1;
+            }
+        }
+    }
+    failures
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let baseline_dir = args.next().unwrap_or_else(|| "repro_out".to_string());
+    let fresh_dir = args.next().unwrap_or_else(|| "repro_fresh".to_string());
+    let tol: f64 = std::env::var("CHECK_BENCH_TOL")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.25);
+
+    let mut failures = 0;
+    let mut compared = 0;
+    for name in ["BENCH_sim.json", "BENCH_analyze.json"] {
+        let b_path = format!("{baseline_dir}/{name}");
+        let f_path = format!("{fresh_dir}/{name}");
+        let Ok(b_text) = std::fs::read_to_string(&b_path) else {
+            println!("{name}: SKIP (no baseline at {b_path})");
+            continue;
+        };
+        let Ok(f_text) = std::fs::read_to_string(&f_path) else {
+            println!("{name}: FAIL (baseline exists but no fresh report at {f_path})");
+            failures += 1;
+            continue;
+        };
+        compared += 1;
+        failures += check_report(
+            name,
+            &parse_flat_json(&b_text),
+            &parse_flat_json(&f_text),
+            tol,
+        );
+    }
+    if compared == 0 {
+        println!("check_bench: FAIL — no benchmark reports compared");
+        return ExitCode::FAILURE;
+    }
+    if failures > 0 {
+        println!("check_bench: FAIL ({failures} regressed metrics)");
+        ExitCode::FAILURE
+    } else {
+        println!("check_bench: PASS ({compared} reports within tolerance {tol})");
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SIM_PAPER: &str = r#"{
+  "bench": "sim_standard_churn_flood",
+  "mode": "paper",
+  "events_delivered": 100445,
+  "fast_wall_s": 1.9,
+  "events_per_sec_fast": 52866.0,
+  "speedup_vs_reference": 2.15
+}"#;
+
+    fn sim_quick(speedup: f64) -> String {
+        format!(
+            r#"{{
+  "bench": "sim_standard_churn_flood",
+  "mode": "quick",
+  "events_delivered": 8121,
+  "fast_wall_s": 0.04,
+  "events_per_sec_fast": 203025.0,
+  "speedup_vs_reference": {speedup}
+}}"#
+        )
+    }
+
+    #[test]
+    fn parses_flat_json() {
+        let r = parse_flat_json(SIM_PAPER);
+        assert_eq!(
+            r.strings.get("bench").map(String::as_str),
+            Some("sim_standard_churn_flood")
+        );
+        assert_eq!(r.numbers.get("speedup_vs_reference"), Some(&2.15));
+        assert_eq!(r.numbers.get("events_delivered"), Some(&100445.0));
+    }
+
+    #[test]
+    fn same_mode_checks_absolute_metrics() {
+        let base = parse_flat_json(SIM_PAPER);
+        // 10× slower wall: caught even though the ratio held.
+        let fresh =
+            parse_flat_json(&SIM_PAPER.replace("\"fast_wall_s\": 1.9", "\"fast_wall_s\": 19.0"));
+        assert_eq!(check_report("sim", &base, &fresh, 0.25), 1);
+        // Identical run: clean.
+        assert_eq!(check_report("sim", &base, &base, 0.25), 0);
+    }
+
+    #[test]
+    fn mode_mismatch_compares_only_ratios() {
+        let base = parse_flat_json(SIM_PAPER);
+        // Quick-mode wall times and event counts differ wildly from
+        // the paper baseline; only the speedup ratio is compared.
+        let ok = parse_flat_json(&sim_quick(1.9));
+        assert_eq!(check_report("sim", &base, &ok, 0.25), 0);
+        let regressed = parse_flat_json(&sim_quick(1.2));
+        assert_eq!(check_report("sim", &base, &regressed, 0.25), 1);
+    }
+
+    #[test]
+    fn tolerance_is_relative_and_directional() {
+        let rule = &SIM_RULES[0]; // speedup, higher better
+        assert!(check_rule(rule, 2.0, 1.6, 0.25).is_ok());
+        assert!(check_rule(rule, 2.0, 1.4, 0.25).is_err());
+        // Improvements never fail.
+        assert!(check_rule(rule, 2.0, 4.0, 0.25).is_ok());
+        let rule = &SIM_RULES[2]; // wall, lower better
+        assert!(check_rule(rule, 2.0, 2.4, 0.25).is_ok());
+        assert!(check_rule(rule, 2.0, 3.5, 0.25).is_err());
+    }
+
+    #[test]
+    fn zero_baselines_get_absolute_slack() {
+        let rule = &ANALYZE_RULES[1]; // allocs per source, lower better
+        assert!(check_rule(rule, 0.0, 0.0, 0.25).is_ok());
+        assert!(check_rule(rule, 0.0, 1.0, 0.25).is_ok());
+        assert!(check_rule(rule, 0.0, 2.0, 0.25).is_err());
+    }
+}

@@ -1,15 +1,34 @@
-//! Performance trajectory for the analysis engine.
+//! Performance trajectory for the analysis and simulation engines.
 //!
-//! Times one full `analyze` pass — power-law overlay, 10 000 clusters
-//! (100 000 users at cluster size 10), TTL 7, full source loop — under
-//! the Reference engine (the original implementation) and the Fast
-//! engine (reusable flood scratch, O(reach) charging, source-parallel
-//! shards), verifies they agree, counts heap allocations in the flood
-//! path, and emits `repro_out/BENCH_analyze.json` so future changes
-//! have a baseline to compare against.
+//! Two sections, each with a Reference implementation (the original)
+//! and a Fast implementation, verified to agree before any speedup is
+//! reported:
 //!
-//! `REPRO_QUICK=1` shrinks to 1 000 clusters; `SP_THREADS` caps the
-//! Fast engine's worker budget; `REPRO_OUT` overrides the output
+//! 1. **Simulator** — a standard churn workload (default population,
+//!    cluster size 10, flooding) run under
+//!    `sp_sim::ReferenceSimulation` (binary-heap queue, per-event
+//!    allocations) and `sp_sim::Simulation` (indexed queue with
+//!    O(log n) cancellation, pooled scratch, cached connection counts).
+//!    The engines must produce bitwise-identical metrics. Emits
+//!    `repro_out/BENCH_sim.json` with events/sec, wall time,
+//!    allocations, and peak RSS.
+//! 2. **Analysis** — one full `analyze` pass — power-law overlay,
+//!    10 000 clusters (100 000 users at cluster size 10), TTL 7, full
+//!    source loop — under the Reference engine and the Fast engine
+//!    (reusable flood scratch, O(reach) charging, source-parallel
+//!    shards), with flood-path allocation counts. Emits
+//!    `repro_out/BENCH_analyze.json`.
+//!
+//! Peak RSS (`VmHWM`) is a monotonic process-wide high-water mark, so
+//! it is snapshotted *per section*, smallest footprint first: the sim
+//! section's snapshot covers startup + simulation only, and the
+//! analysis section's snapshots are taken right after each engine runs
+//! (the analysis instance dominates the footprint by then). Each
+//! `BENCH_*.json` therefore reports numbers attributable to its own
+//! section.
+//!
+//! `REPRO_QUICK=1` shrinks both workloads; `SP_THREADS` caps the Fast
+//! analysis engine's worker budget; `REPRO_OUT` overrides the output
 //! directory.
 
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -22,10 +41,11 @@ use sp_model::analysis::{analyze, AnalysisOptions, AnalysisResult, Engine};
 use sp_model::config::Config;
 use sp_model::instance::NetworkInstance;
 use sp_model::query_model::QueryModel;
+use sp_sim::{ReferenceSimulation, SimOptions, Simulation};
 use sp_stats::SpRng;
 
-/// Counts every heap allocation so the zero-allocation claim for the
-/// flood path is measured, not asserted.
+/// Counts every heap allocation so the zero-allocation claims for the
+/// flood path and the simulator hot loop are measured, not asserted.
 struct CountingAlloc;
 
 static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
@@ -59,10 +79,15 @@ fn allocs() -> u64 {
 }
 
 /// Peak resident set size (VmHWM) in kB from /proc, if available.
+/// Monotonic over the process lifetime — snapshot it per section.
 fn peak_rss_kb() -> Option<u64> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
     let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
     line.split_whitespace().nth(1)?.parse().ok()
+}
+
+fn rss_json(kb: Option<u64>) -> String {
+    kb.map_or("null".to_string(), |k| k.to_string())
 }
 
 fn timed(result_slot: &mut Option<AnalysisResult>, f: impl FnOnce() -> AnalysisResult) -> f64 {
@@ -75,11 +100,136 @@ fn rel(a: f64, b: f64) -> f64 {
     (a - b).abs() / a.abs().max(b.abs()).max(f64::MIN_POSITIVE)
 }
 
-fn main() {
-    banner(
-        "Engine benchmark",
-        "analysis wall time, allocations, and peak RSS",
+fn out_dir() -> String {
+    std::env::var("REPRO_OUT").unwrap_or_else(|_| "repro_out".to_string())
+}
+
+fn write_json(name: &str, json: &str) {
+    let dir = out_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = format!("{dir}/{name}");
+    std::fs::write(&path, json).unwrap();
+    println!("\nwrote {path}:\n{json}");
+}
+
+/// The standard churn workload: defaults (heavy-tailed lifespans with a
+/// 1080 s mean, flooding, no adaptation), cluster size 10.
+fn sim_section() {
+    let cfg = Config {
+        graph_size: if quick_mode() { 1000 } else { 4000 },
+        cluster_size: 10,
+        ..Config::default()
+    };
+    let duration_secs = if quick_mode() { 600.0 } else { 1800.0 };
+    let opts = SimOptions {
+        duration_secs,
+        seed: 42,
+        ..Default::default()
+    };
+    println!(
+        "-- simulator: standard churn workload, {} peers, {duration_secs} simulated s --",
+        cfg.graph_size
     );
+
+    // Wall-clock noise on a shared machine easily exceeds the gap being
+    // measured (the quick workload runs in tens of milliseconds), so
+    // each engine runs `reps` times and the best wall is recorded — the
+    // same protocol for both engines, so the ratio stays honest. The
+    // engines are deterministic, so every repetition must reproduce the
+    // first repetition's metrics exactly; anything else is a bug.
+    let reps: usize = std::env::var("REPRO_SIM_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&r| r >= 1)
+        .unwrap_or(5);
+
+    // Repetitions are interleaved (reference, fast, reference, fast,
+    // ...) so a machine-load drift during the section cannot
+    // systematically favor one engine over the other.
+    let mut reference_s = f64::INFINITY;
+    let mut reference_metrics = None;
+    let mut delivered = 0;
+    let mut fast_s = f64::INFINITY;
+    let mut fast_metrics = None;
+    let mut fast_allocs = 0;
+    let mut fast = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let mut reference = ReferenceSimulation::new(&cfg, opts);
+        let metrics = reference.run();
+        let wall = t.elapsed().as_secs_f64();
+        reference_s = reference_s.min(wall);
+        delivered = reference.events_delivered();
+        match &reference_metrics {
+            None => reference_metrics = Some(metrics),
+            Some(prev) => assert_eq!(prev, &metrics, "reference engine is not reproducible"),
+        }
+
+        let before = allocs();
+        let t = Instant::now();
+        let mut sim = Simulation::new(&cfg, opts);
+        let metrics = sim.run();
+        let wall = t.elapsed().as_secs_f64();
+        fast_allocs = allocs() - before;
+        fast_s = fast_s.min(wall);
+        match &fast_metrics {
+            None => fast_metrics = Some(metrics),
+            Some(prev) => assert_eq!(prev, &metrics, "fast engine is not reproducible"),
+        }
+        fast = Some(sim);
+    }
+    let reference_metrics = reference_metrics.expect("reps >= 1");
+    let eps_reference = delivered as f64 / reference_s;
+    println!(
+        "reference engine: {reference_s:>8.3} s best of {reps}  ({delivered} events, {eps_reference:.0} events/s)"
+    );
+    let fast_metrics = fast_metrics.expect("reps >= 1");
+    let fast = fast.expect("reps >= 1");
+    let eps_fast = fast.events_delivered() as f64 / fast_s;
+    println!(
+        "fast engine:      {fast_s:>8.3} s best of {reps}  ({} events, {eps_fast:.0} events/s, {fast_allocs} allocations)",
+        fast.events_delivered()
+    );
+
+    // The engines must agree — bitwise — before a speedup means anything.
+    assert_eq!(
+        reference_metrics, fast_metrics,
+        "sim engines diverged on the benchmark workload"
+    );
+    assert_eq!(delivered, fast.events_delivered());
+
+    let speedup = reference_s / fast_s;
+    let obs = fast.observability();
+    println!(
+        "speedup vs reference: {speedup:.2}x  (queue high water {}, {} cancelled, {} stale)",
+        obs.queue_high_water, obs.cancelled, obs.stale
+    );
+
+    // Snapshot *before* the analysis section allocates its much larger
+    // instance, so this number is attributable to the simulator.
+    let rss = peak_rss_kb();
+    let json = format!(
+        "{{\n  \"bench\": \"sim_standard_churn_flood\",\n  \"mode\": \"{mode}\",\n  \"graph_size\": {gs},\n  \"duration_secs\": {dur},\n  \"seed\": {seed},\n  \"events_delivered\": {ev},\n  \"events_cancelled\": {cancelled},\n  \"events_stale\": {stale},\n  \"queue_high_water\": {hw},\n  \"reference_wall_s\": {refs:.4},\n  \"fast_wall_s\": {fs:.4},\n  \"events_per_sec_reference\": {epr:.1},\n  \"events_per_sec_fast\": {epf:.1},\n  \"speedup_vs_reference\": {sp:.3},\n  \"fast_run_allocs\": {fa},\n  \"peak_rss_kb\": {rss}\n}}\n",
+        mode = if quick_mode() { "quick" } else { "paper" },
+        gs = cfg.graph_size,
+        dur = duration_secs,
+        seed = opts.seed,
+        ev = delivered,
+        cancelled = obs.cancelled,
+        stale = obs.stale,
+        hw = obs.queue_high_water,
+        refs = reference_s,
+        fs = fast_s,
+        epr = eps_reference,
+        epf = eps_fast,
+        sp = speedup,
+        fa = fast_allocs,
+        rss = rss_json(rss),
+    );
+    write_json("BENCH_sim.json", &json);
+}
+
+fn analyze_section() {
     let cfg = Config {
         graph_size: if quick_mode() { 10_000 } else { 100_000 },
         cluster_size: 10,
@@ -94,7 +244,7 @@ fn main() {
     let inst = NetworkInstance::generate(&cfg, &mut rng).unwrap();
     let gen_s = t.elapsed().as_secs_f64();
     let model = QueryModel::from_config(&cfg.query_model);
-    println!("generated {n_clusters} clusters in {gen_s:.2} s\n");
+    println!("-- analysis: generated {n_clusters} clusters in {gen_s:.2} s --\n");
 
     // Flood-path allocation count: after one warm flood sizes the
     // scratch, further sources must allocate nothing.
@@ -126,6 +276,8 @@ fn main() {
             &mut rng,
         )
     });
+    // Attributable: the fast engine has not run yet.
+    let rss_after_reference = peak_rss_kb();
     println!("reference engine:      {reference_s:>8.3} s");
 
     let mut fast_one = None;
@@ -156,6 +308,7 @@ fn main() {
             &mut rng,
         )
     });
+    let rss_after_fast = peak_rss_kb();
     println!("fast engine, {cores} core(s): {fast_s:>8.3} s");
 
     // The engines must agree before a speedup means anything.
@@ -179,9 +332,8 @@ fn main() {
         "\nspeedup vs reference: {speedup:.2}x on {cores} core(s), {speedup_1t:.2}x single-threaded"
     );
 
-    let peak_kb = peak_rss_kb();
     let json = format!(
-        "{{\n  \"bench\": \"analyze_power_law_ttl7_full_sources\",\n  \"mode\": \"{mode}\",\n  \"graph_size\": {gs},\n  \"clusters\": {nc},\n  \"ttl\": {ttl},\n  \"cores\": {cores},\n  \"generate_wall_s\": {gen:.4},\n  \"reference_wall_s\": {refs:.4},\n  \"fast_1_thread_wall_s\": {f1:.4},\n  \"fast_wall_s\": {fs:.4},\n  \"speedup_vs_reference\": {sp:.3},\n  \"speedup_vs_reference_1_thread\": {sp1:.3},\n  \"flood_allocs_per_source\": {fa},\n  \"flood_sources_measured\": {fsm},\n  \"fast_total_allocs\": {fta},\n  \"peak_rss_kb\": {rss}\n}}\n",
+        "{{\n  \"bench\": \"analyze_power_law_ttl7_full_sources\",\n  \"mode\": \"{mode}\",\n  \"graph_size\": {gs},\n  \"clusters\": {nc},\n  \"ttl\": {ttl},\n  \"cores\": {cores},\n  \"generate_wall_s\": {gen:.4},\n  \"reference_wall_s\": {refs:.4},\n  \"fast_1_thread_wall_s\": {f1:.4},\n  \"fast_wall_s\": {fs:.4},\n  \"speedup_vs_reference\": {sp:.3},\n  \"speedup_vs_reference_1_thread\": {sp1:.3},\n  \"flood_allocs_per_source\": {fa},\n  \"flood_sources_measured\": {fsm},\n  \"fast_total_allocs\": {fta},\n  \"peak_rss_kb_reference\": {rss_ref},\n  \"peak_rss_kb\": {rss}\n}}\n",
         mode = if quick_mode() { "quick" } else { "paper" },
         gs = cfg.graph_size,
         nc = n_clusters,
@@ -196,11 +348,20 @@ fn main() {
         fa = flood_allocs as f64 / sources_measured as f64,
         fsm = sources_measured,
         fta = fast_total_allocs,
-        rss = peak_kb.map_or("null".to_string(), |k| k.to_string()),
+        rss_ref = rss_json(rss_after_reference),
+        rss = rss_json(rss_after_fast),
     );
-    let out_dir = std::env::var("REPRO_OUT").unwrap_or_else(|_| "repro_out".to_string());
-    std::fs::create_dir_all(&out_dir).unwrap();
-    let path = format!("{out_dir}/BENCH_analyze.json");
-    std::fs::write(&path, &json).unwrap();
-    println!("\nwrote {path}:\n{json}");
+    write_json("BENCH_analyze.json", &json);
+}
+
+fn main() {
+    banner(
+        "Engine benchmarks",
+        "simulator + analysis wall time, allocations, and peak RSS",
+    );
+    // Smallest footprint first: VmHWM is monotonic, so the simulator's
+    // RSS snapshot must be taken before the analysis instance exists.
+    sim_section();
+    println!();
+    analyze_section();
 }

@@ -6,7 +6,10 @@ use sp_core::experiments::{cluster_sweep, epl_table, Fidelity};
 use sp_core::model::config::{Config, GraphType};
 use sp_core::model::trials::TrialOptions;
 use sp_core::report::{ci, sci, Table};
-use sp_core::sim::scenario::{reliability, steady_state};
+use sp_core::sim::engine::{SimOptions, Simulation};
+use sp_core::sim::scenario::{
+    reliability, steady_state, steady_trials, SimReport, SimTrialOptions,
+};
 use sp_core::{Load, NetworkBuilder};
 
 use crate::args::{ArgError, Args};
@@ -176,12 +179,21 @@ pub fn design_cmd(args: &Args) -> Result<String, ArgError> {
 
 /// `spnet simulate` — event-driven steady state (or reliability
 /// comparison with `--reliability`).
+///
+/// `--trials N` (N > 1) fans independent trials out over `--threads`
+/// workers and reports mean ± 95% CI; results are bitwise identical at
+/// any thread count. `--metrics-json PATH` runs a single profiled
+/// trial and writes the engine's run manifest (event counts, queue
+/// high water, per-event-kind wall histograms) as JSON.
 pub fn simulate(args: &Args) -> Result<String, ArgError> {
     args.ensure_known(&with_common(&[
         "duration",
         "seed",
         "lifespan",
         "reliability",
+        "trials",
+        "threads",
+        "metrics-json",
     ]))?;
     let mut cfg = config_from(args)?;
     if let Some(lifespan) = args.get("lifespan") {
@@ -191,7 +203,26 @@ pub fn simulate(args: &Args) -> Result<String, ArgError> {
     }
     let duration = args.get_or("duration", 3600.0f64)?;
     let seed = args.get_or("seed", 42u64)?;
+    let trials = args.get_or("trials", 1usize)?;
+    if trials == 0 {
+        return Err(ArgError("--trials: need at least one trial".into()));
+    }
+    let metrics_json = args.get("metrics-json");
     if args.flag("reliability") {
+        if metrics_json.is_some() {
+            return Err(ArgError(
+                "--metrics-json describes a single steady-state run; \
+                 it cannot be combined with --reliability"
+                    .into(),
+            ));
+        }
+        if trials > 1 {
+            return Err(ArgError(
+                "--trials is only supported for the steady-state scenario \
+                 (drop --reliability)"
+                    .into(),
+            ));
+        }
         let c = reliability(&cfg, duration, seed);
         let mut t = Table::new(vec!["Metric", "k = 1", "k = 2"]);
         t.row(vec![
@@ -211,7 +242,49 @@ pub fn simulate(args: &Args) -> Result<String, ArgError> {
         ]);
         return Ok(t.render());
     }
-    let r = steady_state(&cfg, duration, seed);
+    if trials > 1 {
+        if metrics_json.is_some() {
+            return Err(ArgError(
+                "--metrics-json describes a single run; use --trials 1".into(),
+            ));
+        }
+        let s = steady_trials(
+            &cfg,
+            duration,
+            &SimTrialOptions {
+                trials,
+                seed,
+                threads: threads_from(args)?,
+            },
+        );
+        let mut t = Table::new(vec!["Metric", "Mean ± 95% CI"]);
+        t.row(vec!["availability".into(), ci(&s.availability)]);
+        t.row(vec!["results per query".into(), ci(&s.results_per_query)]);
+        t.row(vec!["super-peer total bw (bps)".into(), ci(&s.sp_total_bw)]);
+        return Ok(format!("{trials} trials\n\n{}", t.render()));
+    }
+    let r = if let Some(path) = metrics_json {
+        // Drive the engine directly so the run manifest (event counts,
+        // queue high water, wall histograms) can be captured alongside
+        // the standard report.
+        let mut sim = Simulation::new(
+            &cfg,
+            SimOptions {
+                duration_secs: duration,
+                seed,
+                profile: true,
+                ..Default::default()
+            },
+        );
+        let start = std::time::Instant::now();
+        let raw = sim.run();
+        let manifest = sim.manifest(start.elapsed().as_secs_f64());
+        std::fs::write(path, manifest.to_json())
+            .map_err(|e| ArgError(format!("--metrics-json: cannot write {path:?}: {e}")))?;
+        SimReport::from_raw(raw)
+    } else {
+        steady_state(&cfg, duration, seed)
+    };
     let mut t = Table::new(vec!["Metric", "Value"]);
     t.row(vec!["queries simulated".into(), r.queries.to_string()]);
     t.row(vec![
@@ -312,13 +385,24 @@ pub fn help() -> String {
        --strong           strongly connected overlay\n\
        --graph FAMILY     power-law | strong | erdos-renyi | regular\n\
        --query-rate R     queries per user per second (default 9.26e-3)\n\
-       --threads N        worker-thread budget for evaluate/sweep\n\
+       --threads N        worker-thread budget for evaluate/sweep/simulate\n\
                           (default: SP_THREADS env or one per core;\n\
                           never changes the reported numbers)\n\n\
+     SIMULATE OPTIONS:\n\
+       --duration S       simulated seconds          (default 3600)\n\
+       --trials N         independent trials; N > 1 reports mean ± 95% CI,\n\
+                          sharded over --threads workers with bitwise-\n\
+                          identical results at any thread count\n\
+       --metrics-json P   write the engine run manifest (event counts,\n\
+                          queue high water, per-event wall histograms) to P\n\
+       --lifespan S       mean peer lifespan, seconds\n\
+       --reliability      k=1 vs k=2 availability comparison\n\n\
      EXAMPLES:\n\
        spnet evaluate --users 10000 --cluster 10 --redundancy\n\
        spnet design --users 20000 --reach 3000 --max-up 100000 --max-conns 100\n\
        spnet simulate --users 1000 --lifespan 600 --reliability\n\
+       spnet simulate --users 1000 --trials 8 --threads 4\n\
+       spnet simulate --users 1000 --metrics-json run_manifest.json\n\
        spnet sweep --users 5000 --strong --ttl 1 --clusters 1,10,100,1000\n\
        spnet epl --outdegrees 3.1,10,20 --reaches 100,500\n"
         .to_string()
@@ -397,6 +481,91 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("queries simulated"));
+    }
+
+    #[test]
+    fn simulate_trials_reports_ci() {
+        let out = simulate(&args(&[
+            "--users",
+            "100",
+            "--cluster",
+            "10",
+            "--duration",
+            "300",
+            "--trials",
+            "3",
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("3 trials"));
+        assert!(out.contains("availability"));
+        assert!(out.contains("±"));
+    }
+
+    #[test]
+    fn simulate_trials_identical_across_thread_counts() {
+        let base = &[
+            "--users",
+            "100",
+            "--cluster",
+            "10",
+            "--duration",
+            "300",
+            "--trials",
+            "4",
+        ];
+        let one = simulate(&args(&[base as &[_], &["--threads", "1"]].concat())).unwrap();
+        let four = simulate(&args(&[base as &[_], &["--threads", "4"]].concat())).unwrap();
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn simulate_writes_metrics_json() {
+        let path = std::env::temp_dir().join("spnet_cli_manifest_test.json");
+        let path_str = path.to_str().unwrap();
+        let out = simulate(&args(&[
+            "--users",
+            "100",
+            "--cluster",
+            "10",
+            "--duration",
+            "300",
+            "--metrics-json",
+            path_str,
+        ]))
+        .unwrap();
+        assert!(out.contains("queries simulated"));
+        let json = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(json.contains("\"events_delivered\""));
+        assert!(json.contains("\"wall_ns_by_kind\""));
+        assert!(json.contains("\"profiled\": true"));
+    }
+
+    #[test]
+    fn simulate_rejects_conflicting_options() {
+        let err = simulate(&args(&[
+            "--users",
+            "100",
+            "--reliability",
+            "--metrics-json",
+            "x.json",
+        ]))
+        .unwrap_err();
+        assert!(err.0.contains("--reliability"));
+        let err = simulate(&args(&["--users", "100", "--trials", "0"])).unwrap_err();
+        assert!(err.0.contains("trials"));
+        let err = simulate(&args(&[
+            "--users",
+            "100",
+            "--trials",
+            "2",
+            "--metrics-json",
+            "x.json",
+        ]))
+        .unwrap_err();
+        assert!(err.0.contains("single run"));
     }
 
     #[test]

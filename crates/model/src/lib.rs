@@ -63,4 +63,6 @@ pub use instance::{NetworkInstance, Role};
 pub use load::Load;
 pub use population::PopulationModel;
 pub use query_model::QueryModel;
-pub use trials::{run_trials, TrialOptions, TrialSummary};
+pub use trials::{
+    resolve_thread_budget, run_trials, split_thread_budget, TrialOptions, TrialSummary,
+};

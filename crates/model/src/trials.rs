@@ -186,6 +186,37 @@ impl Reduction {
     }
 }
 
+/// Resolves a requested thread count into a concrete budget: `0` means
+/// one worker per available core, anything else is taken as-is
+/// (clamped to at least 1).
+///
+/// Shared by every trial runner in the workspace (`run_trials` here,
+/// `sp_sim::scenario::run_sim_trials`) so "how many threads does
+/// `--threads 0` mean" has exactly one answer.
+pub fn resolve_thread_budget(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+    .max(1)
+}
+
+/// Splits a thread budget between `jobs` perfectly independent outer
+/// workers and per-job inner parallelism, returning `(outer, inner)`.
+///
+/// Outer workers are claimed first (independent jobs scale best); the
+/// leftover multiple of the budget goes to each job's inner loop.
+/// `outer × inner` never exceeds the budget, and both are at least 1.
+pub fn split_thread_budget(budget: usize, jobs: usize) -> (usize, usize) {
+    let budget = budget.max(1);
+    let outer = budget.min(jobs.max(1));
+    let inner = (budget / outer).max(1);
+    (outer, inner)
+}
+
 /// Runs `opts.trials` independent instances of `config` and summarizes.
 ///
 /// # Panics
@@ -197,19 +228,11 @@ pub fn run_trials(config: &Config, opts: &TrialOptions) -> TrialSummary {
 
     let model = QueryModel::from_config(&config.query_model);
     let root = SpRng::seed_from_u64(opts.seed);
-    let budget = if opts.threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        opts.threads
-    }
-    .max(1);
+    let budget = resolve_thread_budget(opts.threads);
     // Trials claim outer workers first (they are perfectly independent);
     // the remaining budget multiple parallelizes each trial's source
     // loop. outer × inner never exceeds the budget.
-    let outer = budget.min(opts.trials);
-    let inner = (budget / outer).max(1);
+    let (outer, inner) = split_thread_budget(budget, opts.trials);
 
     let run_trial = |t: usize| -> Reduction {
         let mut rng = root.split(t as u64);
@@ -340,6 +363,24 @@ mod tests {
             },
         );
         assert_ne!(a.agg_total_bw.mean, b.agg_total_bw.mean);
+    }
+
+    #[test]
+    fn thread_budget_cascade_properties() {
+        assert!(resolve_thread_budget(0) >= 1);
+        assert_eq!(resolve_thread_budget(3), 3);
+        // Budget splits: outer×inner ≤ budget, both ≥ 1.
+        for budget in 1..=32 {
+            for jobs in 0..=10 {
+                let (outer, inner) = split_thread_budget(budget, jobs);
+                assert!(outer >= 1 && inner >= 1);
+                assert!(outer * inner <= budget, "{budget} {jobs}");
+                assert!(outer <= jobs.max(1));
+            }
+        }
+        assert_eq!(split_thread_budget(16, 5), (5, 3));
+        assert_eq!(split_thread_budget(4, 8), (4, 1));
+        assert_eq!(split_thread_budget(0, 4), (1, 1));
     }
 
     #[test]

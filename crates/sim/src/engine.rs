@@ -24,16 +24,41 @@
 //!   survives, the cluster fails and every client is orphaned until its
 //!   own rediscovery timer fires — the quantity behind the
 //!   reliability experiment.
+//!
+//! # Performance mechanics
+//!
+//! This engine and [`ReferenceSimulation`](crate::reference) implement
+//! the *same simulator* — identical behavior, RNG consumption, and
+//! [`RawMetrics`] on every seed (enforced by `tests/sim_determinism.rs`)
+//! — but this one is built for throughput:
+//!
+//! * the [`IndexedEventQueue`] cancels a departed peer's pending
+//!   query/update/rejoin timers in O(log n) instead of leaving
+//!   tombstones to churn through the heap;
+//! * per-peer [`EventHandle`] slots and per-cluster adapt-tick handles
+//!   make cancel/reschedule O(1) lookups;
+//! * member lists are iterated through pooled scratch buffers instead
+//!   of per-event `Vec` clones;
+//! * connection counts come from the network's incrementally maintained
+//!   `neighbor_partner_links` cache (O(1) per message instead of
+//!   O(degree)), snapshotted once per flood.
+//!
+//! Every shortcut is exact — integer-derived values, identical
+//! iteration order, untouched RNG call sites — so the determinism
+//! contract is bitwise, not approximate.
+
+use std::time::Instant;
 
 use sp_design::local_rules::{advise, LocalAction, LocalView};
 use sp_model::config::Config;
 use sp_model::instance::{NetworkInstance, Topology};
 use sp_model::load::Load;
 use sp_model::query_model::QueryModel;
-use sp_stats::dist::Sampler;
-use sp_stats::{OnlineStats, Poisson, SpRng};
+use sp_stats::dist::Normal;
+use sp_stats::{OnlineStats, SpRng};
 
-use crate::events::{ClusterId, Event, EventQueue, PeerId, SimTime};
+use crate::events::{ClusterId, Event, EventHandle, IndexedEventQueue, PeerId, SimTime};
+use crate::metrics::{EventKind, RunManifest, SimMetrics};
 use crate::network::SimNetwork;
 
 /// How a cluster forwards a query to its neighbors.
@@ -87,6 +112,9 @@ pub struct SimOptions {
     pub adapt: Option<AdaptSettings>,
     /// Query forwarding policy.
     pub forward_policy: ForwardPolicy,
+    /// Record per-event-type wall-time histograms (two `Instant::now`
+    /// calls per event — leave off for throughput benchmarks).
+    pub profile: bool,
 }
 
 impl Default for SimOptions {
@@ -100,6 +128,7 @@ impl Default for SimOptions {
             sample_interval_secs: 120.0,
             adapt: None,
             forward_policy: ForwardPolicy::FloodAll,
+            profile: false,
         }
     }
 }
@@ -122,7 +151,10 @@ pub struct TimelinePoint {
 }
 
 /// Raw metrics accumulated during a run.
-#[derive(Debug, Clone, Default)]
+///
+/// Derives `PartialEq` so the determinism tests can assert bitwise
+/// agreement between engines and across thread counts.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RawMetrics {
     /// Per-partner load rates (sampled when a peer exits or at the end).
     pub sp_in: OnlineStats,
@@ -173,23 +205,76 @@ impl RawMetrics {
 pub struct Simulation {
     /// Mutable network state (public for scenario inspection).
     pub net: SimNetwork,
-    queue: EventQueue,
+    queue: IndexedEventQueue,
     rng: SpRng,
     now: SimTime,
+
     config: Config,
     model: QueryModel,
     opts: SimOptions,
     metrics: RawMetrics,
+    obs: SimMetrics,
+    // Per-peer-slot handles for the (at most one) outstanding timer of
+    // each kind, cancelled when the peer departs so the queue never
+    // accumulates tombstones.
+    leave_h: Vec<EventHandle>,
+    query_h: Vec<EventHandle>,
+    update_h: Vec<EventHandle>,
+    rejoin_h: Vec<EventHandle>,
+    // Per-cluster-slot handle of the outstanding adapt tick.
+    adapt_h: Vec<EventHandle>,
+    // Pooled member-list scratch (replaces per-event Vec clones).
+    // `scratch_partners` is used by the attach/update charging paths,
+    // `scratch_clients` by fail/split mover lists, `scratch_members`
+    // by coalesce partner lists and the adapt-tick partner walk (the
+    // latter returns it to the pool *before* applying a local action,
+    // which may itself coalesce).
+    scratch_partners: Vec<PeerId>,
+    scratch_clients: Vec<PeerId>,
+    scratch_members: Vec<PeerId>,
     // BFS scratch over cluster slots.
-    stamp: Vec<u32>,
     stamp_cur: u32,
     bfs_parent: Vec<ClusterId>,
     bfs_depth: Vec<u16>,
     bfs_order: Vec<ClusterId>,
-    /// Every query transmission of the current flood, including
-    /// duplicates dropped at the receiver.
-    bfs_tx: Vec<(ClusterId, ClusterId)>,
     bfs_candidates: Vec<ClusterId>,
+    /// Per-cluster flood scratch (visit stamp + discovery-time
+    /// snapshot), indexed by cluster slot; see [`FloodSlot`].
+    flood: Vec<FloodSlot>,
+}
+
+/// Per-cluster flood scratch, merged into a single record so the hot
+/// transmission and probe loops pay one bounds check and touch one
+/// cache line per cluster instead of indexing seven parallel arrays.
+///
+/// Snapshot fields are written at discovery and are exact for the
+/// whole event: membership, files, and the overlay cannot change
+/// mid-query, so the values equal the reference engine's per-use
+/// recomputation.
+#[derive(Clone, Copy, Default)]
+struct FloodSlot {
+    /// Visit stamp (equals `Simulation::stamp_cur` when visited by the
+    /// current flood).
+    stamp: u32,
+    /// Partner count at discovery: clusters with a single partner (the
+    /// k = 1 common case) resolve round-robin picks from this record
+    /// instead of dereferencing the cluster per transmission.
+    len: u32,
+    /// First partner at discovery (the round-robin pick while
+    /// `len == 1`).
+    partner: PeerId,
+    /// Deferred rr-cursor advances for k = 1 clusters, flushed once at
+    /// the end of each query (rr is never *read* while a cluster has a
+    /// single partner, so batching the writes is exact).
+    bump: u32,
+    /// `recv_query_units + mux × conns` for the current query,
+    /// computed once at discovery (clusters average more than two
+    /// incoming copies per flood).
+    recv_units: f64,
+    /// Partner connection count at discovery.
+    conns: f64,
+    /// Indexed file total at discovery.
+    files: u64,
 }
 
 impl Simulation {
@@ -206,20 +291,28 @@ impl Simulation {
         let model = QueryModel::from_config(&config.query_model);
         let mut sim = Simulation {
             net: SimNetwork::new(),
-            queue: EventQueue::new(),
+            queue: IndexedEventQueue::new(),
             rng,
             now: 0.0,
             config: config.clone(),
             model,
             opts,
             metrics: RawMetrics::default(),
-            stamp: Vec::new(),
+            obs: SimMetrics::default(),
+            leave_h: Vec::new(),
+            query_h: Vec::new(),
+            update_h: Vec::new(),
+            rejoin_h: Vec::new(),
+            adapt_h: Vec::new(),
+            scratch_partners: Vec::new(),
+            scratch_clients: Vec::new(),
+            scratch_members: Vec::new(),
             stamp_cur: 0,
             bfs_parent: Vec::new(),
             bfs_depth: Vec::new(),
             bfs_order: Vec::new(),
-            bfs_tx: Vec::new(),
             bfs_candidates: Vec::new(),
+            flood: Vec::new(),
         };
         sim.bootstrap(&inst);
         sim
@@ -235,6 +328,68 @@ impl Simulation {
         &self.metrics
     }
 
+    /// Engine observability counters (event rates, cancellations,
+    /// queue depth, optional wall-time histograms).
+    pub fn observability(&self) -> &SimMetrics {
+        &self.obs
+    }
+
+    /// Events dispatched so far, excluding generation-stale tombstones
+    /// and cancelled entries — the number comparable across engine
+    /// implementations.
+    pub fn events_delivered(&self) -> u64 {
+        self.obs.delivered_total()
+    }
+
+    /// Builds the structured run manifest, given the measured
+    /// wall-clock time of the run.
+    pub fn manifest(&self, wall_secs: f64) -> RunManifest {
+        RunManifest {
+            seed: self.opts.seed,
+            duration_secs: self.opts.duration_secs,
+            graph_size: self.config.graph_size,
+            cluster_size: self.config.cluster_size,
+            redundancy_k: self.config.redundancy_k,
+            wall_secs,
+            metrics: self.obs.clone(),
+        }
+    }
+
+    // ---- handle-slot bookkeeping ----
+
+    /// Grows the per-peer handle slots to cover `peer`, resetting the
+    /// slot (it may be recycled from a departed peer).
+    fn reset_peer_handles(&mut self, peer: PeerId) {
+        let need = peer as usize + 1;
+        if self.leave_h.len() < need {
+            self.leave_h.resize(need, EventHandle::NULL);
+            self.query_h.resize(need, EventHandle::NULL);
+            self.update_h.resize(need, EventHandle::NULL);
+            self.rejoin_h.resize(need, EventHandle::NULL);
+        }
+        self.leave_h[peer as usize] = EventHandle::NULL;
+        self.query_h[peer as usize] = EventHandle::NULL;
+        self.update_h[peer as usize] = EventHandle::NULL;
+        self.rejoin_h[peer as usize] = EventHandle::NULL;
+    }
+
+    /// Grows the per-cluster adapt-handle slots to cover `cluster`.
+    fn reset_cluster_handles(&mut self, cluster: ClusterId) {
+        let need = cluster as usize + 1;
+        if self.adapt_h.len() < need {
+            self.adapt_h.resize(need, EventHandle::NULL);
+        }
+        self.adapt_h[cluster as usize] = EventHandle::NULL;
+    }
+
+    /// Cancels a stored handle (no-op on NULL/stale/fired handles) and
+    /// counts the cancellation.
+    fn cancel_handle(&mut self, handle: EventHandle) {
+        if self.queue.cancel(handle) {
+            self.obs.cancelled += 1;
+        }
+    }
+
     fn bootstrap(&mut self, inst: &NetworkInstance) {
         // Mirror clusters and membership.
         let mut cluster_ids = Vec::with_capacity(inst.num_clusters());
@@ -243,6 +398,7 @@ impl Simulation {
             let lead_peer = &inst.peers[lead as usize];
             let p = self.net.add_peer(lead_peer.files, 0.0);
             let c = self.net.add_cluster(p, inst.config.ttl);
+            self.reset_cluster_handles(c);
             self.schedule_peer_events(p, lead_peer.lifespan_secs);
             for &extra in &cluster.partners[1..] {
                 let info = &inst.peers[extra as usize];
@@ -283,13 +439,14 @@ impl Simulation {
             for (i, &c) in cluster_ids.iter().enumerate() {
                 // Stagger ticks so clusters don't adapt in lockstep.
                 let offset = adapt.interval_secs * (1.0 + i as f64 / cluster_ids.len() as f64);
-                self.queue.schedule(
+                let h = self.queue.schedule(
                     offset,
                     Event::AdaptTick {
                         cluster: c,
                         generation: 0,
                     },
                 );
+                self.adapt_h[c as usize] = h;
             }
         }
         let _ = inst; // roles fully mirrored
@@ -297,17 +454,24 @@ impl Simulation {
 
     fn schedule_peer_events(&mut self, peer: PeerId, lifespan: f64) {
         let generation = self.net.peer_generation(peer);
-        self.queue
+        self.reset_peer_handles(peer);
+        let h = self
+            .queue
             .schedule(self.now + lifespan, Event::PeerLeave { peer, generation });
+        self.leave_h[peer as usize] = h;
         if self.config.query_rate > 0.0 {
             let dt = self.exp_delay(self.config.query_rate);
-            self.queue
+            let h = self
+                .queue
                 .schedule(self.now + dt, Event::Query { peer, generation });
+            self.query_h[peer as usize] = h;
         }
         if self.config.update_rate > 0.0 {
             let dt = self.exp_delay(self.config.update_rate);
-            self.queue
+            let h = self
+                .queue
                 .schedule(self.now + dt, Event::Update { peer, generation });
+            self.update_h[peer as usize] = h;
         }
     }
 
@@ -327,10 +491,51 @@ impl Simulation {
         }
         self.now = self.opts.duration_secs;
         self.finalize();
+        self.obs.queue_high_water = self.queue.high_water();
+        self.obs.profiled = self.opts.profile;
         std::mem::take(&mut self.metrics)
     }
 
     fn dispatch(&mut self, event: Event) {
+        // Generation guard: an event for a recycled or dead slot is a
+        // tombstone and must not run (nor count as delivered). The
+        // indexed queue cancels most of these before they fire; the
+        // ones that remain (e.g. recruit timers of a failed cluster)
+        // are dropped here, exactly like the reference engine does.
+        match event {
+            Event::PeerLeave { peer, generation }
+            | Event::Query { peer, generation }
+            | Event::Update { peer, generation }
+            | Event::ClientRejoin {
+                peer, generation, ..
+            } => {
+                if self.net.peer(peer, generation).is_none() {
+                    self.obs.stale += 1;
+                    return;
+                }
+            }
+            Event::RecruitPartner {
+                cluster,
+                generation,
+            }
+            | Event::AdaptTick {
+                cluster,
+                generation,
+            } => {
+                if self.net.cluster(cluster, generation).is_none() {
+                    self.obs.stale += 1;
+                    return;
+                }
+            }
+            Event::PeerJoin | Event::Sample => {}
+        }
+        let kind = EventKind::of(&event);
+        self.obs.record_delivered(kind);
+        let start = if self.opts.profile {
+            Some(Instant::now())
+        } else {
+            None
+        };
         match event {
             Event::PeerJoin => self.on_join(),
             Event::PeerLeave { peer, generation } => self.on_leave(peer, generation),
@@ -351,25 +556,22 @@ impl Simulation {
             } => self.on_adapt(cluster, generation),
             Event::Sample => self.on_sample(),
         }
+        if let Some(start) = start {
+            self.obs.wall[kind as usize].record(start.elapsed().as_nanos() as u64);
+        }
     }
 
     // ---- connection counting ----
 
+    /// Open connections per partner of `cluster` — O(1) via the
+    /// network's incrementally maintained neighbor-link cache. Exactly
+    /// equal to the reference engine's O(degree) recomputation: the
+    /// cache is an integer, so the f64 conversion is identical.
     fn partner_connections(&self, cluster: ClusterId) -> f64 {
-        let c = self.net.clusters[cluster as usize]
+        self.net.clusters[cluster as usize]
             .as_ref()
-            .expect("cluster alive");
-        let neighbor_links: usize = c
-            .neighbors
-            .iter()
-            .map(|&nb| {
-                self.net.clusters[nb as usize]
-                    .as_ref()
-                    .map(|n| n.partners.len())
-                    .unwrap_or(0)
-            })
-            .sum();
-        c.partner_connections(neighbor_links)
+            .expect("cluster alive")
+            .partner_connections_cached()
     }
 
     fn client_connections(&self, cluster: ClusterId) -> f64 {
@@ -393,20 +595,17 @@ impl Simulation {
         to_conns: f64,
     ) {
         let mux = self.config.costs.multiplex_per_connection;
-        if let Some(p) = self.net.peer_mut(from) {
-            p.counters.send(bytes, send_units + mux * from_conns);
+        if self.net.peer_mut(from).is_some() {
+            self.net.counters[from as usize].send(bytes, send_units + mux * from_conns);
         }
-        if let Some(p) = self.net.peer_mut(to) {
-            p.counters.recv(bytes, recv_units + mux * to_conns);
+        if self.net.peer_mut(to).is_some() {
+            self.net.counters[to as usize].recv(bytes, recv_units + mux * to_conns);
         }
     }
 
     /// Picks the next round-robin partner of a cluster.
     fn rr_partner(&mut self, cluster: ClusterId) -> PeerId {
-        let c = self.net.cluster_mut(cluster).expect("cluster alive");
-        let idx = c.rr % c.partners.len();
-        c.rr = c.rr.wrapping_add(1);
-        c.partners[idx]
+        rr_partner_net(&mut self.net, cluster)
     }
 
     // ---- event handlers ----
@@ -420,12 +619,13 @@ impl Simulation {
             // Become a new super-peer: index own collection, wire into
             // the overlay at the suggested outdegree.
             let c = self.net.add_cluster(peer, self.config.ttl);
+            self.reset_cluster_handles(c);
             if let Some(cl) = self.net.cluster_mut(c) {
                 cl.last_adapt_at = self.now;
             }
-            if let Some(p) = self.net.peer_mut(peer) {
+            if self.net.peer_mut(peer).is_some() {
                 let units = self.config.costs.process_join_units(files as f64);
-                p.counters.work(units);
+                self.net.counters[peer as usize].work(units);
             }
             let want = self.config.avg_outdegree.round().max(1.0) as usize;
             let mut wired = 0;
@@ -457,13 +657,14 @@ impl Simulation {
                 );
             }
             if let Some(adapt) = self.opts.adapt {
-                self.queue.schedule(
+                let h = self.queue.schedule(
                     self.now + adapt.interval_secs,
                     Event::AdaptTick {
                         cluster: c,
                         generation,
                     },
                 );
+                self.adapt_h[c as usize] = h;
             }
         } else {
             let c = self
@@ -503,14 +704,17 @@ impl Simulation {
             .expect("peer alive")
             .files as f64;
         let cm = self.config.costs;
-        let partners: Vec<PeerId> = self.net.clusters[c as usize]
-            .as_ref()
-            .expect("cluster alive")
-            .partners
-            .clone();
+        let mut partners = std::mem::take(&mut self.scratch_partners);
+        partners.clear();
+        partners.extend_from_slice(
+            &self.net.clusters[c as usize]
+                .as_ref()
+                .expect("cluster alive")
+                .partners,
+        );
         let p_conns = self.partner_connections(c);
         let c_conns = self.client_connections(c);
-        for partner in partners {
+        for &partner in &partners {
             self.charge_pair(
                 peer,
                 partner,
@@ -520,10 +724,11 @@ impl Simulation {
                 c_conns,
                 p_conns,
             );
-            if let Some(p) = self.net.peer_mut(partner) {
-                p.counters.work(cm.process_join_units(files));
+            if self.net.peer_mut(partner).is_some() {
+                self.net.counters[partner as usize].work(cm.process_join_units(files));
             }
         }
+        self.scratch_partners = partners;
     }
 
     fn on_leave(&mut self, peer: PeerId, generation: u32) {
@@ -570,9 +775,19 @@ impl Simulation {
         }
 
         let exited = self.net.remove_peer(peer);
+        // The departed peer's other timers (query/update/rejoin) would
+        // pop as tombstones; cancel them instead. The leave timer
+        // itself just fired, so its cancel is a no-op.
+        self.cancel_handle(self.query_h[peer as usize]);
+        self.cancel_handle(self.update_h[peer as usize]);
+        self.cancel_handle(self.rejoin_h[peer as usize]);
+        self.query_h[peer as usize] = EventHandle::NULL;
+        self.update_h[peer as usize] = EventHandle::NULL;
+        self.rejoin_h[peer as usize] = EventHandle::NULL;
+        self.leave_h[peer as usize] = EventHandle::NULL;
         let alive_for = self.now - exited.joined_at;
         if alive_for > 1.0 {
-            let rate = exited.counters.mean_rate(alive_for);
+            let rate = self.net.counters[peer as usize].mean_rate(alive_for);
             // Attribute by the role the peer held when it left —
             // detach_partner has already cleared `exited.is_partner`,
             // so the captured value is the truthful one.
@@ -594,12 +809,15 @@ impl Simulation {
     /// All partners died: orphan every client and dissolve the cluster.
     fn fail_cluster(&mut self, c: ClusterId) {
         self.metrics.cluster_failures += 1;
-        let clients: Vec<PeerId> = self.net.clusters[c as usize]
-            .as_ref()
-            .expect("cluster alive")
-            .clients
-            .clone();
-        for client in clients {
+        let mut clients = std::mem::take(&mut self.scratch_clients);
+        clients.clear();
+        clients.extend_from_slice(
+            &self.net.clusters[c as usize]
+                .as_ref()
+                .expect("cluster alive")
+                .clients,
+        );
+        for &client in &clients {
             let attached_at = self.net.peers[client as usize]
                 .as_ref()
                 .expect("client alive")
@@ -612,7 +830,7 @@ impl Simulation {
             self.metrics.orphan_events += 1;
             let generation = self.net.peer_generation(client);
             let dt = self.exp_delay(1.0 / self.opts.rejoin_mean_secs.max(1e-9));
-            self.queue.schedule(
+            let h = self.queue.schedule(
                 self.now + dt,
                 Event::ClientRejoin {
                     peer: client,
@@ -620,7 +838,11 @@ impl Simulation {
                     orphaned_at: self.now,
                 },
             );
+            self.rejoin_h[client as usize] = h;
         }
+        self.scratch_clients = clients;
+        self.cancel_handle(self.adapt_h[c as usize]);
+        self.adapt_h[c as usize] = EventHandle::NULL;
         self.net.remove_cluster(c);
     }
 
@@ -635,11 +857,12 @@ impl Simulation {
             Some(c) => {
                 self.metrics.client_disconnected_secs += self.now - orphaned_at;
                 self.metrics.downtime.push(self.now - orphaned_at);
+                self.rejoin_h[peer as usize] = EventHandle::NULL;
                 self.attach_and_charge_join(peer, c);
             }
             None => {
                 let dt = self.exp_delay(1.0 / self.opts.rejoin_mean_secs.max(1e-9));
-                self.queue.schedule(
+                let h = self.queue.schedule(
                     self.now + dt,
                     Event::ClientRejoin {
                         peer,
@@ -647,6 +870,7 @@ impl Simulation {
                         orphaned_at,
                     },
                 );
+                self.rejoin_h[peer as usize] = h;
             }
         }
     }
@@ -717,13 +941,15 @@ impl Simulation {
                     p_conns,
                     p_conns,
                 );
-                if let Some(p) = self.net.peer_mut(new_partner) {
-                    p.counters.work(cm.process_join_units(total_files));
+                if self.net.peer_mut(new_partner).is_some() {
+                    self.net.counters[new_partner as usize]
+                        .work(cm.process_join_units(total_files));
                 }
             }
             None => {
-                if let Some(p) = self.net.peer_mut(new_partner) {
-                    p.counters.work(cm.process_join_units(total_files));
+                if self.net.peer_mut(new_partner).is_some() {
+                    self.net.counters[new_partner as usize]
+                        .work(cm.process_join_units(total_files));
                 }
             }
         }
@@ -737,8 +963,10 @@ impl Simulation {
         let is_partner = info.is_partner;
         // Always reschedule the next query first.
         let dt = self.exp_delay(self.config.query_rate);
-        self.queue
+        let h = self
+            .queue
             .schedule(self.now + dt, Event::Query { peer, generation });
+        self.query_h[peer as usize] = h;
         let Some(sc) = source_cluster else {
             return; // orphaned client cannot search
         };
@@ -760,65 +988,156 @@ impl Simulation {
         };
         let _ = entry_partner;
 
-        // Flood over the cluster overlay.
+        // Flood over the cluster overlay, charging every transmission
+        // inline as it is discovered (see `flood_and_charge` for why
+        // that is exactly equivalent to the reference engine's
+        // record-then-replay).
         let ttl = self.net.clusters[sc as usize].as_ref().expect("alive").ttl;
-        self.flood_bfs(sc, ttl);
-
-        // Charge every recorded transmission (first copies and dropped
-        // duplicates alike — both consume bandwidth and processing).
-        let txs = std::mem::take(&mut self.bfs_tx);
-        for &(v, u) in &txs {
-            let sender = self.rr_partner(v);
-            let receiver = self.rr_partner(u);
-            let v_conns = self.partner_connections(v);
-            let u_conns = self.partner_connections(u);
-            self.charge_pair(sender, receiver, qbytes, send_q, recv_q, v_conns, u_conns);
-        }
-        self.bfs_tx = txs;
+        self.flood_and_charge(sc, ttl, qbytes, send_q, recv_q);
+        let order = std::mem::take(&mut self.bfs_order);
 
         // Process queries, sample results, route responses.
-        let order = std::mem::take(&mut self.bfs_order);
+        let f_j = self.model.selection_power(j);
+        // Most probes yield zero results; hoist that cost out of the
+        // loop (same function, same input — bitwise identical).
+        let probe_units_zero = cm.process_query_units(0.0);
+        let mux = cm.multiplex_per_connection;
         let mut total_results = 0u64;
         let mut deepest_response = 0u16;
-        for &v in &order {
-            let vu = v as usize;
-            let depth = self.bfs_depth[vu];
-            // Index probe + sampled results.
-            let x_tot = self.net.clusters[vu].as_ref().expect("alive").total_files;
-            let lambda = self.model.expected_matches_for(j, x_tot as f64);
-            let results = Poisson::new(lambda).sample(&mut self.rng);
-            let probe_units = cm.process_query_units(results as f64);
-            let prober = self.rr_partner(v);
-            if let Some(p) = self.net.peer_mut(prober) {
-                p.counters.work(probe_units);
+        {
+            // Same disjoint-borrow split as `flood_and_charge`: the
+            // probe loop reads the per-flood snapshot arrays (file
+            // totals, first partners) instead of dereferencing each
+            // cluster again, and defers k = 1 rr advances to the flush
+            // below.
+            let Simulation {
+                net,
+                rng,
+                opts,
+                bfs_parent,
+                bfs_depth,
+                flood,
+                ..
+            } = self;
+            // Window accumulators are only observed by adapt ticks;
+            // skip them when adaptation is off (see `LoadCounters`).
+            let windows = opts.adapt.is_some();
+            for &v in &order {
+                let vu = v as usize;
+                // Index probe + sampled results. The Poisson draw
+                // replicates `Poisson::sample` exactly — same
+                // branches, same RNG call sites — skipping the
+                // cross-crate constructor + trait call on the hottest
+                // loop of the simulation.
+                let fs = &mut flood[vu];
+                let lambda = f_j * fs.files as f64;
+                let results = if lambda == 0.0 {
+                    0
+                } else if lambda < 30.0 {
+                    // Knuth's product method, verbatim from `Poisson`.
+                    let limit = (-lambda).exp();
+                    let mut product = rng.unit_f64();
+                    let mut count = 0u64;
+                    while product > limit {
+                        product *= rng.unit_f64();
+                        count += 1;
+                    }
+                    count
+                } else {
+                    let x = lambda + lambda.sqrt() * Normal::standard(rng);
+                    x.round().max(0.0) as u64
+                };
+                let prober = if fs.len == 1 {
+                    fs.bump += 1;
+                    fs.partner
+                } else {
+                    rr_partner_net(net, v)
+                };
+                let probe_units = if results == 0 {
+                    probe_units_zero
+                } else {
+                    cm.process_query_units(results as f64)
+                };
+                let pc = &mut net.counters[prober as usize];
+                if windows {
+                    pc.work(probe_units);
+                } else {
+                    pc.work_unwindowed(probe_units);
+                }
+                total_results += results;
+                if results == 0 {
+                    continue;
+                }
+                deepest_response = deepest_response.max(bfs_depth[vu]);
+                // Response travels the reverse path to the source.
+                let members = net.clusters[vu].as_ref().expect("alive").size() as u64;
+                let addrs = results.min(members) as f64;
+                let rbytes = cm.response_bytes(addrs, results as f64);
+                let r_send = cm.send_response_units(addrs, results as f64);
+                let r_recv = cm.recv_response_units(addrs, results as f64);
+                // The response retraces flood edges, so every cluster
+                // on the walk is in this flood's snapshot: resolve the
+                // k = 1 partners from the slots (deferring the rr
+                // advance) exactly like the probe above. Responses
+                // outnumber flood transmissions on this workload, so
+                // skipping the per-hop cluster dereferences matters.
+                let mut hop = v;
+                while hop != sc {
+                    let parent = bfs_parent[hop as usize];
+                    let fh = &mut flood[hop as usize];
+                    let s_conns = fh.conns;
+                    let sender = if fh.len == 1 {
+                        fh.bump += 1;
+                        fh.partner
+                    } else {
+                        rr_partner_net(net, hop)
+                    };
+                    let fp = &mut flood[parent as usize];
+                    let r_conns = fp.conns;
+                    let receiver = if fp.len == 1 {
+                        fp.bump += 1;
+                        fp.partner
+                    } else {
+                        rr_partner_net(net, parent)
+                    };
+                    charge_pair_net(
+                        net, sender, receiver, rbytes, r_send, r_recv, s_conns, r_conns, mux,
+                    );
+                    hop = parent;
+                }
+                // Deliver to a client source. The source cluster's
+                // partner count doubles as the client's connection
+                // count (one link per partner).
+                if !is_partner {
+                    let fsc = &mut flood[sc as usize];
+                    let p_conns = fsc.conns;
+                    let c_conns = f64::from(fsc.len);
+                    let partner = if fsc.len == 1 {
+                        fsc.bump += 1;
+                        fsc.partner
+                    } else {
+                        rr_partner_net(net, sc)
+                    };
+                    charge_pair_net(
+                        net, partner, peer, rbytes, r_send, r_recv, p_conns, c_conns, mux,
+                    );
+                }
             }
-            total_results += results;
-            if results == 0 {
-                continue;
-            }
-            deepest_response = deepest_response.max(depth);
-            // Response travels the reverse path to the source.
-            let members = self.net.clusters[vu].as_ref().expect("alive").size() as u64;
-            let addrs = results.min(members) as f64;
-            let rbytes = cm.response_bytes(addrs, results as f64);
-            let r_send = cm.send_response_units(addrs, results as f64);
-            let r_recv = cm.recv_response_units(addrs, results as f64);
-            let mut hop = v;
-            while hop != sc {
-                let parent = self.bfs_parent[hop as usize];
-                let sender = self.rr_partner(hop);
-                let receiver = self.rr_partner(parent);
-                let s_conns = self.partner_connections(hop);
-                let r_conns = self.partner_connections(parent);
-                self.charge_pair(sender, receiver, rbytes, r_send, r_recv, s_conns, r_conns);
-                hop = parent;
-            }
-            // Deliver to a client source.
-            if !is_partner {
-                let partner = self.rr_partner(sc);
-                let p_conns = self.partner_connections(sc);
-                let c_conns = self.client_connections(sc);
-                self.charge_pair(partner, peer, rbytes, r_send, r_recv, p_conns, c_conns);
+            // Flush the rr advances deferred by the flood and the
+            // probe loop: one cluster write per visited cluster
+            // instead of one per transmission. Exact because partner
+            // lists cannot change mid-event, a k = 1 cluster's rr
+            // cursor is never read while its bump is pending, and the
+            // direct rr increments of the response path commute with
+            // the pending additions.
+            for &v in &order {
+                let vu = v as usize;
+                let bump = flood[vu].bump;
+                if bump != 0 {
+                    flood[vu].bump = 0;
+                    let c = net.clusters[vu].as_mut().expect("cluster alive");
+                    c.rr = c.rr.wrapping_add(bump as usize);
+                }
             }
         }
         if let Some(c) = self.net.cluster_mut(sc) {
@@ -836,21 +1155,26 @@ impl Simulation {
         let cluster = info.cluster;
         let is_partner = info.is_partner;
         let dt = self.exp_delay(self.config.update_rate);
-        self.queue
+        let h = self
+            .queue
             .schedule(self.now + dt, Event::Update { peer, generation });
+        self.update_h[peer as usize] = h;
         let Some(c) = cluster else { return };
         let cm = self.config.costs;
-        let partners: Vec<PeerId> = self.net.clusters[c as usize]
-            .as_ref()
-            .expect("alive")
-            .partners
-            .clone();
+        let mut partners = std::mem::take(&mut self.scratch_partners);
+        partners.clear();
+        partners.extend_from_slice(
+            &self.net.clusters[c as usize]
+                .as_ref()
+                .expect("alive")
+                .partners,
+        );
         let p_conns = self.partner_connections(c);
         if is_partner {
-            if let Some(p) = self.net.peer_mut(peer) {
-                p.counters.work(cm.process_update_units());
+            if self.net.peer_mut(peer).is_some() {
+                self.net.counters[peer as usize].work(cm.process_update_units());
             }
-            for other in partners.into_iter().filter(|&p| p != peer) {
+            for &other in partners.iter().filter(|&&p| p != peer) {
                 self.charge_pair(
                     peer,
                     other,
@@ -860,13 +1184,13 @@ impl Simulation {
                     p_conns,
                     p_conns,
                 );
-                if let Some(p) = self.net.peer_mut(other) {
-                    p.counters.work(cm.process_update_units());
+                if self.net.peer_mut(other).is_some() {
+                    self.net.counters[other as usize].work(cm.process_update_units());
                 }
             }
         } else {
             let c_conns = self.client_connections(c);
-            for partner in partners {
+            for &partner in &partners {
                 self.charge_pair(
                     peer,
                     partner,
@@ -876,11 +1200,12 @@ impl Simulation {
                     c_conns,
                     p_conns,
                 );
-                if let Some(p) = self.net.peer_mut(partner) {
-                    p.counters.work(cm.process_update_units());
+                if self.net.peer_mut(partner).is_some() {
+                    self.net.counters[partner as usize].work(cm.process_update_units());
                 }
             }
         }
+        self.scratch_partners = partners;
     }
 
     fn on_adapt(&mut self, cluster: ClusterId, generation: u32) {
@@ -891,17 +1216,24 @@ impl Simulation {
         // Average the partners' window loads over the *measured* window
         // length — ticks are staggered, so the first window is longer
         // than the nominal interval.
-        let (partners, window_secs): (Vec<PeerId>, f64) = {
+        let mut partners = std::mem::take(&mut self.scratch_members);
+        partners.clear();
+        let window_secs = {
             let c = self.net.clusters[cluster as usize].as_ref().expect("alive");
-            (c.partners.clone(), (self.now - c.last_adapt_at).max(1e-9))
+            partners.extend_from_slice(&c.partners);
+            (self.now - c.last_adapt_at).max(1e-9)
         };
         let mut load = Load::ZERO;
         for &p in &partners {
-            if let Some(peer) = self.net.peer_mut(p) {
-                load += peer.counters.take_window(window_secs);
+            if self.net.peer_mut(p).is_some() {
+                load += self.net.counters[p as usize].take_window(window_secs);
             }
         }
         load = load.scaled(1.0 / partners.len().max(1) as f64);
+        // Give the scratch back before applying an action: coalesce
+        // re-uses it for the dissolved cluster's partner list.
+        partners.clear();
+        self.scratch_members = partners;
         let view = {
             let c = self.net.clusters[cluster as usize].as_ref().expect("alive");
             LocalView {
@@ -925,13 +1257,14 @@ impl Simulation {
             c.max_response_hop = 0;
             c.last_adapt_at = self.now;
             let generation = c.generation;
-            self.queue.schedule(
+            let h = self.queue.schedule(
                 self.now + adapt.interval_secs,
                 Event::AdaptTick {
                     cluster,
                     generation,
                 },
             );
+            self.adapt_h[cluster as usize] = h;
         }
     }
 
@@ -965,16 +1298,20 @@ impl Simulation {
     /// Splits half the clients into a fresh cluster led by a promoted
     /// client.
     fn split_cluster(&mut self, cluster: ClusterId) {
-        let movers: Vec<PeerId> = {
+        let mut movers = std::mem::take(&mut self.scratch_clients);
+        movers.clear();
+        {
             let Some(c) = self.net.cluster_mut(cluster) else {
+                self.scratch_clients = movers;
                 return;
             };
             if c.clients.len() < 2 {
+                self.scratch_clients = movers;
                 return;
             }
             let half = c.clients.len() / 2;
-            c.clients[..half].to_vec()
-        };
+            movers.extend_from_slice(&c.clients[..half]);
+        }
         // The first mover leads the new cluster.
         let lead = movers[0];
         self.credit_client_time(lead);
@@ -986,11 +1323,12 @@ impl Simulation {
                 .expect("alive")
                 .ttl
         });
+        self.reset_cluster_handles(new_cluster);
         if let Some(cl) = self.net.cluster_mut(new_cluster) {
             cl.last_adapt_at = self.now;
         }
-        if let Some(p) = self.net.peer_mut(lead) {
-            p.counters.work(self.config.costs.process_join_units(files));
+        if self.net.peer_mut(lead).is_some() {
+            self.net.counters[lead as usize].work(self.config.costs.process_join_units(files));
         }
         self.net.add_edge(new_cluster, cluster);
         // Inherit one neighbor to stay searchable.
@@ -1002,11 +1340,12 @@ impl Simulation {
         {
             self.net.add_edge(new_cluster, nb);
         }
-        for mover in movers.into_iter().skip(1) {
+        for &mover in movers.iter().skip(1) {
             self.credit_client_time(mover);
             self.net.detach_client(mover);
             self.attach_and_charge_join(mover, new_cluster);
         }
+        self.scratch_clients = movers;
         let generation = self.net.clusters[new_cluster as usize]
             .as_ref()
             .expect("alive")
@@ -1022,13 +1361,14 @@ impl Simulation {
             );
         }
         if let Some(adapt) = self.opts.adapt {
-            self.queue.schedule(
+            let h = self.queue.schedule(
                 self.now + adapt.interval_secs,
                 Event::AdaptTick {
                     cluster: new_cluster,
                     generation,
                 },
             );
+            self.adapt_h[new_cluster as usize] = h;
         }
     }
 
@@ -1045,19 +1385,28 @@ impl Simulation {
         let Some(target) = target else {
             return; // last cluster standing cannot dissolve
         };
-        let (clients, partners): (Vec<PeerId>, Vec<PeerId>) = {
+        let mut clients = std::mem::take(&mut self.scratch_clients);
+        let mut partners = std::mem::take(&mut self.scratch_members);
+        clients.clear();
+        partners.clear();
+        {
             let c = self.net.clusters[cluster as usize].as_ref().expect("alive");
-            (c.clients.clone(), c.partners.clone())
-        };
-        for cl in clients {
+            clients.extend_from_slice(&c.clients);
+            partners.extend_from_slice(&c.partners);
+        }
+        for &cl in &clients {
             self.credit_client_time(cl);
             self.net.detach_client(cl);
             self.attach_and_charge_join(cl, target);
         }
-        for p in partners {
+        for &p in &partners {
             self.net.detach_partner(p);
             self.attach_and_charge_join(p, target);
         }
+        self.scratch_clients = clients;
+        self.scratch_members = partners;
+        self.cancel_handle(self.adapt_h[cluster as usize]);
+        self.adapt_h[cluster as usize] = EventHandle::NULL;
         self.net.remove_cluster(cluster);
     }
 
@@ -1105,7 +1454,7 @@ impl Simulation {
             };
             let alive_for = self.now - peer.joined_at;
             if alive_for > 1.0 {
-                let rate = peer.counters.mean_rate(alive_for);
+                let rate = self.net.counters[slot].mean_rate(alive_for);
                 if peer.is_partner {
                     self.metrics.sp_in.push(rate.in_bw);
                     self.metrics.sp_out.push(rate.out_bw);
@@ -1126,73 +1475,251 @@ impl Simulation {
         }
     }
 
-    /// TTL-bounded BFS over live clusters into the scratch arrays;
-    /// fills `bfs_order`, `bfs_depth`, `bfs_parent`, and records every
-    /// query transmission (including duplicates that the receiver will
-    /// drop) in `bfs_tx`, honoring the configured forwarding policy.
-    fn flood_bfs(&mut self, src: ClusterId, ttl: u16) {
+    /// TTL-bounded BFS over live clusters that charges every query
+    /// transmission inline as it is discovered (first copies and
+    /// dropped duplicates alike — both consume bandwidth and
+    /// processing), honoring the configured forwarding policy. Fills
+    /// `bfs_order`, `bfs_depth`, `bfs_parent`, and snapshots each
+    /// visited cluster's partner connection count into `flood_conns` at
+    /// discovery time.
+    ///
+    /// Merging traversal and charging is *exact*, not approximate: the
+    /// reference engine records the transmission list during its flood
+    /// and replays it afterwards, so the transmission sequence is the
+    /// discovery sequence either way. Charging mutates only load
+    /// counters and round-robin cursors — which the traversal never
+    /// reads — and draws no randomness, so the RandomSubset RNG draws,
+    /// the round-robin cursor walks, and every per-peer float
+    /// accumulation happen in the reference engine's order. Connection
+    /// counts are constant for the whole event (nothing joins, leaves,
+    /// or rewires mid-query), so the discovery-time snapshot equals the
+    /// reference engine's post-flood recomputation.
+    fn flood_and_charge(
+        &mut self,
+        src: ClusterId,
+        ttl: u16,
+        qbytes: f64,
+        send_q: f64,
+        recv_q: f64,
+    ) {
         let n = self.net.clusters.len();
-        if self.stamp.len() < n {
-            self.stamp.resize(n, 0);
+        if self.flood.len() < n {
+            self.flood.resize(n, FloodSlot::default());
             self.bfs_parent.resize(n, 0);
             self.bfs_depth.resize(n, 0);
         }
-        self.stamp_cur = self.stamp_cur.wrapping_add(1);
-        if self.stamp_cur == 0 {
-            self.stamp.fill(0);
-            self.stamp_cur = 1;
+        // Split `self` into disjoint field borrows so the hot loop
+        // works on locals: with `&mut self` method calls inside the
+        // loop the compiler would have to re-load every array pointer
+        // and the stamp around each call to allow for aliasing.
+        let Simulation {
+            net,
+            rng,
+            config,
+            opts,
+            stamp_cur,
+            bfs_parent,
+            bfs_depth,
+            bfs_order,
+            bfs_candidates: candidates,
+            flood,
+            ..
+        } = self;
+        let mux = config.costs.multiplex_per_connection;
+        // Window accumulators are only observed by adapt ticks; skip
+        // them when adaptation is off (see `LoadCounters`).
+        let windows = opts.adapt.is_some();
+        *stamp_cur = stamp_cur.wrapping_add(1);
+        if *stamp_cur == 0 {
+            for slot in flood.iter_mut() {
+                slot.stamp = 0;
+            }
+            *stamp_cur = 1;
         }
-        self.bfs_order.clear();
-        self.bfs_tx.clear();
-        self.stamp[src as usize] = self.stamp_cur;
-        self.bfs_depth[src as usize] = 0;
-        self.bfs_parent[src as usize] = src;
-        self.bfs_order.push(src);
+        let cur = *stamp_cur;
+        bfs_order.clear();
+        bfs_depth[src as usize] = 0;
+        bfs_parent[src as usize] = src;
+        let fsrc = &mut flood[src as usize];
+        fsrc.stamp = cur;
+        flood_snapshot_into(net, fsrc, recv_q, mux, src);
+        bfs_order.push(src);
         let mut head = 0;
-        while head < self.bfs_order.len() {
-            let v = self.bfs_order[head];
+        while head < bfs_order.len() {
+            let v = bfs_order[head];
             head += 1;
-            let d = self.bfs_depth[v as usize];
+            let vu = v as usize;
+            let d = bfs_depth[vu];
             if d >= ttl {
                 continue;
             }
-            let Some(c) = self.net.clusters[v as usize].as_ref() else {
+            let Some(cv) = net.clusters[vu].as_mut() else {
                 continue;
             };
-            // Candidate targets: all neighbors except the arrival link.
-            let parent = self.bfs_parent[v as usize];
-            let mut candidates = std::mem::take(&mut self.bfs_candidates);
-            candidates.clear();
-            candidates.extend(
-                c.neighbors
-                    .iter()
-                    .copied()
-                    .filter(|&u| v == src || u != parent),
-            );
-            // Apply the forwarding policy.
-            if let ForwardPolicy::RandomSubset { fanout } = self.opts.forward_policy {
+            // Move v's neighbor list out (pointer swap, no copy) so it
+            // can be iterated while charging mutates the network;
+            // restored at the end of this turn. Nothing below reads
+            // v's (empty) neighbor list: charging touches partner
+            // lists, counters, and the cached link counts only.
+            let neighbors = std::mem::take(&mut cv.neighbors);
+            let parent = bfs_parent[vu];
+            // Apply the forwarding policy. Flooding iterates the
+            // neighbor list directly, skipping the arrival link
+            // inline; bounded fanout needs a mutable selection buffer
+            // (partial Fisher–Yates: the first `fanout` entries become
+            // a uniform sample).
+            let mut fanout_sel = false;
+            if let ForwardPolicy::RandomSubset { fanout } = opts.forward_policy {
+                candidates.clear();
+                candidates.extend(
+                    neighbors
+                        .iter()
+                        .copied()
+                        .filter(|&u| v == src || u != parent),
+                );
                 if candidates.len() > fanout {
-                    // Partial Fisher–Yates: the first `fanout` entries
-                    // become a uniform sample.
                     for i in 0..fanout {
-                        let j = i + self.rng.index(candidates.len() - i);
+                        let j = i + rng.index(candidates.len() - i);
                         candidates.swap(i, j);
                     }
                     candidates.truncate(fanout);
                 }
+                fanout_sel = true;
             }
-            for &u in &candidates {
-                self.bfs_tx.push((v, u));
-                if self.stamp[u as usize] != self.stamp_cur {
-                    self.stamp[u as usize] = self.stamp_cur;
-                    self.bfs_depth[u as usize] = d + 1;
-                    self.bfs_parent[u as usize] = v;
-                    self.bfs_order.push(u);
+            let skip_parent = !fanout_sel && v != src;
+            let targets: &[ClusterId] = if fanout_sel { candidates } else { &neighbors };
+            // Charge receivers first, then all of v's sends. This
+            // reorders only operations on *distinct* clusters/peers
+            // relative to the reference's per-candidate interleaving:
+            // each cluster's rr-cursor calls and each peer's counter
+            // adds keep their original relative order (the overlay has
+            // no self-loops, so u != v and the receiving partner is
+            // never the sending partner), and no RNG is involved — so
+            // the result is bitwise identical while letting the sender
+            // side hoist its cluster and peer lookups out of the loop.
+            let v_conns = flood[vu].conns;
+            let mut n_sent = 0usize;
+            for &u in targets {
+                if skip_parent && u == parent {
+                    continue;
+                }
+                n_sent += 1;
+                let uu = u as usize;
+                let fs = &mut flood[uu];
+                if fs.stamp != cur {
+                    fs.stamp = cur;
+                    bfs_depth[uu] = d + 1;
+                    bfs_parent[uu] = v;
+                    flood_snapshot_into(net, fs, recv_q, mux, u);
+                    bfs_order.push(u);
+                }
+                let receiver = if fs.len == 1 {
+                    fs.bump += 1;
+                    fs.partner
+                } else {
+                    rr_partner_net(net, u)
+                };
+                // Receivers are partners of alive clusters, so the
+                // slot is live: charge the dense counter directly.
+                // (`recv_q + mux * conns` was computed once at
+                // discovery; clusters average >2 incoming copies.)
+                let units = fs.recv_units;
+                let rc = &mut net.counters[receiver as usize];
+                if windows {
+                    rc.recv(qbytes, units);
+                } else {
+                    rc.recv_unwindowed(qbytes, units);
                 }
             }
-            self.bfs_candidates = candidates;
+            let send_units = send_q + mux * v_conns;
+            let fv = &mut flood[vu];
+            if fv.len == 1 {
+                // Common k = 1 case: every send leaves the same peer,
+                // so resolve it once and advance rr in bulk.
+                let sender = fv.partner;
+                fv.bump += n_sent as u32;
+                let sc = &mut net.counters[sender as usize];
+                if windows {
+                    for _ in 0..n_sent {
+                        sc.send(qbytes, send_units);
+                    }
+                } else {
+                    for _ in 0..n_sent {
+                        sc.send_unwindowed(qbytes, send_units);
+                    }
+                }
+            } else {
+                for _ in 0..n_sent {
+                    let sender = rr_partner_net(net, v);
+                    let sc = &mut net.counters[sender as usize];
+                    if windows {
+                        sc.send(qbytes, send_units);
+                    } else {
+                        sc.send_unwindowed(qbytes, send_units);
+                    }
+                }
+            }
+            net.clusters[vu].as_mut().expect("cluster alive").neighbors = neighbors;
         }
+        // Deferred rr advances stay pending in `rr_bump` until the
+        // caller's flush at the end of the query event (the probe loop
+        // adds its own bumps first); nothing reads a k = 1 cluster's
+        // rr cursor in between.
     }
+}
+
+/// Free-function core of [`Simulation::rr_partner`], callable while
+/// the caller holds disjoint borrows of other `Simulation` fields.
+#[inline]
+fn rr_partner_net(net: &mut SimNetwork, cluster: ClusterId) -> PeerId {
+    let c = net.cluster_mut(cluster).expect("cluster alive");
+    // k = 1 clusters are the common case on the query hot path:
+    // skip the division (rr % 1 == 0).
+    let len = c.partners.len();
+    let idx = if len == 1 { 0 } else { c.rr % len };
+    c.rr = c.rr.wrapping_add(1);
+    c.partners[idx]
+}
+
+/// Records a cluster's partner-connection count, first partner, and
+/// partner count into the per-flood snapshot arrays (one cluster
+/// dereference at discovery instead of one per transmission).
+#[inline]
+fn flood_snapshot_into(
+    net: &SimNetwork,
+    slot: &mut FloodSlot,
+    recv_q: f64,
+    mux: f64,
+    u: ClusterId,
+) {
+    let c = net.clusters[u as usize].as_ref().expect("cluster alive");
+    let cc = c.partner_connections_cached();
+    slot.conns = cc;
+    slot.len = c.partners.len() as u32;
+    slot.partner = c.partners[0];
+    slot.files = c.total_files;
+    slot.recv_units = recv_q + mux * cc;
+}
+
+/// Free-function core of [`Simulation::charge_pair`], callable while
+/// the caller holds disjoint borrows of other `Simulation` fields.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn charge_pair_net(
+    net: &mut SimNetwork,
+    from: PeerId,
+    to: PeerId,
+    bytes: f64,
+    send_units: f64,
+    recv_units: f64,
+    from_conns: f64,
+    to_conns: f64,
+    mux: f64,
+) {
+    // Both endpoints are members of alive clusters on every call
+    // path, so the slots are live and the check can be skipped.
+    net.counters[from as usize].send(bytes, send_units + mux * from_conns);
+    net.counters[to as usize].recv(bytes, recv_units + mux * to_conns);
 }
 
 #[cfg(test)]
@@ -1352,5 +1879,66 @@ mod tests {
             m.timeline.len()
         );
         assert!(m.timeline[0].clusters > 0);
+    }
+
+    #[test]
+    fn churn_cancels_timers_instead_of_leaving_tombstones() {
+        let cfg = Config {
+            graph_size: 100,
+            cluster_size: 10,
+            population: sp_model::population::PopulationModel {
+                lifespan_mean_secs: 300.0,
+                ..Default::default()
+            },
+            ..Config::default()
+        };
+        let mut sim = Simulation::new(
+            &cfg,
+            SimOptions {
+                duration_secs: 1800.0,
+                seed: 6,
+                ..Default::default()
+            },
+        );
+        sim.run();
+        let obs = sim.observability();
+        assert!(obs.cancelled > 0, "churn should cancel pending timers");
+        // The only tombstones left are recruit timers of failed
+        // clusters (deliberately not slot-mapped: several can be
+        // legitimately outstanding per cluster). Under this much churn
+        // they must be a small minority of all popped events.
+        assert!(
+            obs.stale < obs.delivered_total() / 10,
+            "stale {} vs delivered {}",
+            obs.stale,
+            obs.delivered_total()
+        );
+        assert!(obs.queue_high_water > 0);
+        assert!(sim.events_delivered() == obs.delivered_total());
+    }
+
+    #[test]
+    fn profiling_populates_wall_histograms() {
+        let cfg = small_config();
+        let mut sim = Simulation::new(
+            &cfg,
+            SimOptions {
+                duration_secs: 300.0,
+                seed: 7,
+                profile: true,
+                ..Default::default()
+            },
+        );
+        sim.run();
+        let obs = sim.observability();
+        assert!(obs.profiled);
+        assert_eq!(
+            obs.wall[EventKind::Query as usize].count(),
+            obs.delivered_of(EventKind::Query)
+        );
+        assert!(obs.wall[EventKind::Query as usize].mean_ns() > 0.0);
+        let manifest = sim.manifest(1.0);
+        assert!(manifest.to_json().contains("\"profiled\": true"));
+        assert!(manifest.events_per_sec() > 0.0);
     }
 }

@@ -1,4 +1,26 @@
-//! Event queue: a time-ordered heap with stable FIFO tie-breaking.
+//! Event queues: time-ordered heaps with stable FIFO tie-breaking.
+//!
+//! Two implementations share one ordering contract (earliest time
+//! first, ties broken by schedule order):
+//!
+//! * [`BinaryEventQueue`] — the original `std::collections::BinaryHeap`
+//!   wrapper. It cannot cancel: events for peers that have since left
+//!   stay in the heap as *tombstones* until their time comes up, and
+//!   are dropped at dispatch by a generation check. Kept as the
+//!   baseline for the [`reference`](crate::reference) engine and the
+//!   queue-equivalence tests.
+//! * [`IndexedEventQueue`] — an indexed binary heap over a slab of
+//!   event entries. [`schedule`](IndexedEventQueue::schedule) returns
+//!   an [`EventHandle`] that can later
+//!   [`cancel`](IndexedEventQueue::cancel) the event in O(log n), so
+//!   churn removes a departed peer's pending events instead of leaving
+//!   tombstones. Handles are generation-guarded: cancelling an event
+//!   that already fired (or whose slab slot was reused) is a safe
+//!   no-op, never a double-delivery or a misfire.
+//!
+//! Both queues pop in exactly the same order for the same schedule
+//! sequence (enforced by `tests/queue_equivalence.rs`), which is what
+//! lets the fast engine reproduce the reference engine bit for bit.
 //!
 //! Events reference peers and clusters by slot id plus a *generation*
 //! counter; slots are reused after churn, so a handler first checks the
@@ -101,14 +123,15 @@ impl Ord for Scheduled {
     }
 }
 
-/// Time-ordered event queue.
+/// Time-ordered event queue without cancellation (the original
+/// implementation; see the module docs for the trade-off).
 #[derive(Debug, Default)]
-pub struct EventQueue {
+pub struct BinaryEventQueue {
     heap: BinaryHeap<Scheduled>,
     seq: u64,
 }
 
-impl EventQueue {
+impl BinaryEventQueue {
     /// Creates an empty queue.
     pub fn new() -> Self {
         Self::default()
@@ -142,13 +165,232 @@ impl EventQueue {
     }
 }
 
+/// Handle to a scheduled event in an [`IndexedEventQueue`].
+///
+/// Generation-guarded: once the event fires or is cancelled, the
+/// handle goes stale and further [`cancel`](IndexedEventQueue::cancel)
+/// calls through it are no-ops — even if the underlying slab slot has
+/// been reused for a different event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventHandle {
+    idx: u32,
+    generation: u32,
+}
+
+impl EventHandle {
+    /// The null handle: cancels to a no-op, compares unequal to any
+    /// live handle. Slot maps start out full of these.
+    pub const NULL: EventHandle = EventHandle {
+        idx: u32::MAX,
+        generation: 0,
+    };
+
+    /// Whether this is the null handle.
+    pub fn is_null(&self) -> bool {
+        self.idx == u32::MAX
+    }
+}
+
+impl Default for EventHandle {
+    fn default() -> Self {
+        EventHandle::NULL
+    }
+}
+
+/// One slab entry. `pos == FREE` marks a vacant slot awaiting reuse.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    time: SimTime,
+    seq: u64,
+    event: Event,
+    generation: u32,
+    pos: u32,
+}
+
+const FREE: u32 = u32::MAX;
+
+/// Indexed binary heap with O(log n) cancellation.
+///
+/// Entries live in a slab (recycled through a free list, so steady
+/// state allocates nothing); the heap stores slab indices and every
+/// entry tracks its heap position, so removal from the middle is a
+/// swap-with-last plus one sift. Pop order is identical to
+/// [`BinaryEventQueue`]: earliest time first, FIFO on ties.
+#[derive(Debug, Default)]
+pub struct IndexedEventQueue {
+    entries: Vec<Entry>,
+    free: Vec<u32>,
+    heap: Vec<u32>,
+    seq: u64,
+    high_water: usize,
+}
+
+impl IndexedEventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at absolute time `time`; the returned handle
+    /// can cancel it until it fires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is NaN.
+    pub fn schedule(&mut self, time: SimTime, event: Event) -> EventHandle {
+        assert!(!time.is_nan(), "cannot schedule at NaN");
+        let seq = self.seq;
+        self.seq += 1;
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                let e = &mut self.entries[idx as usize];
+                e.time = time;
+                e.seq = seq;
+                e.event = event;
+                idx
+            }
+            None => {
+                let idx = self.entries.len() as u32;
+                self.entries.push(Entry {
+                    time,
+                    seq,
+                    event,
+                    generation: 0,
+                    pos: FREE,
+                });
+                idx
+            }
+        };
+        let pos = self.heap.len() as u32;
+        self.heap.push(idx);
+        self.entries[idx as usize].pos = pos;
+        self.sift_up(pos as usize);
+        self.high_water = self.high_water.max(self.heap.len());
+        EventHandle {
+            idx,
+            generation: self.entries[idx as usize].generation,
+        }
+    }
+
+    /// Cancels a pending event. Returns whether anything was removed:
+    /// `false` for the null handle, an event that already fired, or a
+    /// handle from a previous occupant of a reused slot.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        if handle.is_null() {
+            return false;
+        }
+        let Some(e) = self.entries.get(handle.idx as usize) else {
+            return false;
+        };
+        if e.generation != handle.generation || e.pos == FREE {
+            return false;
+        }
+        let pos = e.pos as usize;
+        self.remove_at(pos);
+        self.release(handle.idx);
+        true
+    }
+
+    /// Pops the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let idx = self.heap[0];
+        self.remove_at(0);
+        let e = self.entries[idx as usize];
+        self.release(idx);
+        Some((e.time, e.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Largest number of simultaneously pending events ever observed.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    fn release(&mut self, idx: u32) {
+        let e = &mut self.entries[idx as usize];
+        e.pos = FREE;
+        e.generation = e.generation.wrapping_add(1);
+        self.free.push(idx);
+    }
+
+    /// Earlier-than comparison between heap slots.
+    #[inline]
+    fn before(&self, a: u32, b: u32) -> bool {
+        let (ea, eb) = (&self.entries[a as usize], &self.entries[b as usize]);
+        match ea.time.total_cmp(&eb.time) {
+            Ordering::Less => true,
+            Ordering::Greater => false,
+            Ordering::Equal => ea.seq < eb.seq,
+        }
+    }
+
+    fn remove_at(&mut self, pos: usize) {
+        let last = self.heap.len() - 1;
+        self.heap.swap(pos, last);
+        self.entries[self.heap[pos] as usize].pos = pos as u32;
+        self.heap.pop();
+        if pos < self.heap.len() {
+            // The moved element may violate either direction.
+            let pos = self.sift_down(pos);
+            self.sift_up(pos);
+        }
+    }
+
+    fn sift_up(&mut self, mut pos: usize) -> usize {
+        while pos > 0 {
+            let parent = (pos - 1) / 2;
+            if self.before(self.heap[pos], self.heap[parent]) {
+                self.heap.swap(pos, parent);
+                self.entries[self.heap[pos] as usize].pos = pos as u32;
+                self.entries[self.heap[parent] as usize].pos = parent as u32;
+                pos = parent;
+            } else {
+                break;
+            }
+        }
+        pos
+    }
+
+    fn sift_down(&mut self, mut pos: usize) -> usize {
+        loop {
+            let (l, r) = (2 * pos + 1, 2 * pos + 2);
+            let mut best = pos;
+            if l < self.heap.len() && self.before(self.heap[l], self.heap[best]) {
+                best = l;
+            }
+            if r < self.heap.len() && self.before(self.heap[r], self.heap[best]) {
+                best = r;
+            }
+            if best == pos {
+                return pos;
+            }
+            self.heap.swap(pos, best);
+            self.entries[self.heap[pos] as usize].pos = pos as u32;
+            self.entries[self.heap[best] as usize].pos = best as u32;
+            pos = best;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn pops_in_time_order() {
-        let mut q = EventQueue::new();
+    fn binary_pops_in_time_order() {
+        let mut q = BinaryEventQueue::new();
         q.schedule(5.0, Event::Sample);
         q.schedule(1.0, Event::PeerJoin);
         q.schedule(3.0, Event::Sample);
@@ -157,8 +399,8 @@ mod tests {
     }
 
     #[test]
-    fn ties_break_fifo() {
-        let mut q = EventQueue::new();
+    fn binary_ties_break_fifo() {
+        let mut q = BinaryEventQueue::new();
         q.schedule(2.0, Event::PeerJoin);
         q.schedule(
             2.0,
@@ -175,8 +417,8 @@ mod tests {
     }
 
     #[test]
-    fn len_tracks_contents() {
-        let mut q = EventQueue::new();
+    fn binary_len_tracks_contents() {
+        let mut q = BinaryEventQueue::new();
         assert!(q.is_empty());
         q.schedule(1.0, Event::Sample);
         assert_eq!(q.len(), 1);
@@ -187,7 +429,90 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "NaN")]
-    fn nan_time_panics() {
-        EventQueue::new().schedule(f64::NAN, Event::Sample);
+    fn binary_nan_time_panics() {
+        BinaryEventQueue::new().schedule(f64::NAN, Event::Sample);
+    }
+
+    #[test]
+    fn indexed_pops_in_time_order() {
+        let mut q = IndexedEventQueue::new();
+        q.schedule(5.0, Event::Sample);
+        q.schedule(1.0, Event::PeerJoin);
+        q.schedule(3.0, Event::Sample);
+        let times: Vec<f64> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        assert_eq!(times, vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn indexed_ties_break_fifo() {
+        let mut q = IndexedEventQueue::new();
+        for peer in 0..8 {
+            q.schedule(
+                2.0,
+                Event::Query {
+                    peer,
+                    generation: 0,
+                },
+            );
+        }
+        for expect in 0..8 {
+            assert!(matches!(
+                q.pop().unwrap().1,
+                Event::Query { peer, .. } if peer == expect
+            ));
+        }
+    }
+
+    #[test]
+    fn indexed_cancel_removes_event() {
+        let mut q = IndexedEventQueue::new();
+        let a = q.schedule(1.0, Event::PeerJoin);
+        let b = q.schedule(2.0, Event::Sample);
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "second cancel is a no-op");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().1, Event::Sample);
+        assert!(!q.cancel(b), "cancel after fire is a no-op");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn indexed_stale_handle_never_cancels_reused_slot() {
+        let mut q = IndexedEventQueue::new();
+        let a = q.schedule(1.0, Event::PeerJoin);
+        q.pop();
+        // The slab slot is recycled for a fresh event.
+        let b = q.schedule(2.0, Event::Sample);
+        assert!(!q.cancel(a), "stale handle must not hit the new event");
+        assert_eq!(q.len(), 1);
+        assert!(q.cancel(b));
+    }
+
+    #[test]
+    fn indexed_null_handle_is_inert() {
+        let mut q = IndexedEventQueue::new();
+        assert!(EventHandle::NULL.is_null());
+        assert!(EventHandle::default().is_null());
+        assert!(!q.cancel(EventHandle::NULL));
+    }
+
+    #[test]
+    fn indexed_high_water_tracks_max_depth() {
+        let mut q = IndexedEventQueue::new();
+        q.schedule(1.0, Event::Sample);
+        q.schedule(2.0, Event::Sample);
+        q.pop();
+        q.schedule(3.0, Event::Sample);
+        assert_eq!(q.high_water(), 2);
+        q.schedule(4.0, Event::Sample);
+        q.schedule(5.0, Event::Sample);
+        // 1 remaining after the pop + 3 scheduled since = depth 4.
+        assert_eq!(q.high_water(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn indexed_nan_time_panics() {
+        IndexedEventQueue::new().schedule(f64::NAN, Event::Sample);
     }
 }

@@ -23,10 +23,22 @@
 //!   tracks whether the network converges to an efficient,
 //!   non-overloaded configuration.
 //!
-//! The simulator is deterministic given a seed, single-threaded, and
-//! processes hundreds of thousands of events per second; the scenarios
-//! in the benches simulate hours of network time for thousands of
-//! peers.
+//! Each simulation run is deterministic given a seed and runs on one
+//! thread; independent scenario *trials* shard across threads through
+//! the same thread-budget cascade as `sp_model::trials`, with per-trial
+//! RNG streams keeping the reduced results bitwise identical at any
+//! thread count (see [`scenario::run_sim_trials`]).
+//!
+//! Two engines implement the same simulator: [`engine::Simulation`]
+//! (indexed event queue with O(log n) churn cancellation, pooled
+//! scratch buffers, cached connection counts) and
+//! [`reference::ReferenceSimulation`] (the original implementation,
+//! kept as the behavioral oracle and performance baseline). They
+//! produce bitwise-identical [`engine::RawMetrics`] on every seed;
+//! `tests/sim_determinism.rs` enforces it. The [`metrics`] module adds
+//! engine observability: event-rate counters, queue high-water marks,
+//! optional per-event-type wall-time histograms, and a structured run
+//! manifest.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,8 +46,15 @@
 pub mod counters;
 pub mod engine;
 pub mod events;
+pub mod metrics;
 pub mod network;
+pub mod reference;
 pub mod scenario;
 
 pub use engine::{ForwardPolicy, SimOptions, Simulation};
-pub use scenario::{adaptive, reliability, steady_state, AdaptOptions, SimReport};
+pub use metrics::{EventKind, RunManifest, SimMetrics};
+pub use reference::ReferenceSimulation;
+pub use scenario::{
+    adaptive, adaptive_trials, reliability, reliability_trials, routing, routing_trials,
+    run_sim_trials, steady_state, steady_trials, AdaptOptions, SimReport, SimTrialOptions,
+};

@@ -21,8 +21,6 @@ pub struct SimPeer {
     pub cluster: Option<ClusterId>,
     /// Whether the peer is currently a super-peer partner.
     pub is_partner: bool,
-    /// Traffic counters.
-    pub counters: LoadCounters,
     /// When the peer joined the network.
     pub joined_at: SimTime,
     /// When the peer last attached to a cluster (for connected-time
@@ -56,6 +54,12 @@ pub struct SimCluster {
     /// time until the first tick). Ticks are staggered, so the window
     /// length varies and must be measured, not assumed.
     pub last_adapt_at: SimTime,
+    /// Cached `Σ |partners(nb)|` over this cluster's neighbors,
+    /// maintained incrementally by [`SimNetwork`] on every edge and
+    /// partner-set change. Connection counting is on the per-message
+    /// charging path, so recomputing the sum per message would make
+    /// query cost quadratic in overlay degree.
+    pub neighbor_partner_links: usize,
 }
 
 impl SimCluster {
@@ -72,6 +76,14 @@ impl SimCluster {
             + neighbor_partner_links as f64
             + (self.partners.len() as f64 - 1.0)
     }
+
+    /// [`partner_connections`](Self::partner_connections) using the
+    /// incrementally maintained neighbor-link cache — O(1) instead of
+    /// O(degree). Produces exactly the same value: the cache is an
+    /// integer sum, so no floating-point drift is possible.
+    pub fn partner_connections_cached(&self) -> f64 {
+        self.partner_connections(self.neighbor_partner_links)
+    }
 }
 
 /// The whole mutable network.
@@ -79,6 +91,15 @@ impl SimCluster {
 pub struct SimNetwork {
     /// Peer slots.
     pub peers: Vec<Option<SimPeer>>,
+    /// Traffic counters, parallel to `peers` and indexed by peer id.
+    ///
+    /// Kept out of [`SimPeer`] deliberately: charging is the hottest
+    /// path in the simulator, and a dense cache-line-aligned array
+    /// keeps a whole flood's charge set L1-resident instead of
+    /// scattering counters through the much larger peer slots. A freed
+    /// slot's counters stay readable (departure accounting) until
+    /// [`SimNetwork::add_peer`] recycles the slot and zeroes them.
+    pub counters: Vec<LoadCounters>,
     free_peers: Vec<PeerId>,
     peer_generations: Vec<u32>,
     /// Cluster slots.
@@ -107,17 +128,18 @@ impl SimNetwork {
             None => {
                 let id = self.peers.len() as PeerId;
                 self.peers.push(None);
+                self.counters.push(LoadCounters::new());
                 self.peer_generations.push(0);
                 id
             }
         };
         let generation = self.peer_generations[id as usize];
+        self.counters[id as usize] = LoadCounters::new();
         self.peers[id as usize] = Some(SimPeer {
             generation,
             files,
             cluster: None,
             is_partner: false,
-            counters: LoadCounters::new(),
             joined_at,
             attached_at: joined_at,
         });
@@ -187,6 +209,7 @@ impl SimNetwork {
             max_response_hop: 0,
             growth: 0,
             last_adapt_at: 0.0,
+            neighbor_partner_links: 0,
         });
         {
             let p = self.peers[partner as usize]
@@ -308,7 +331,30 @@ impl SimNetwork {
             .expect("cluster alive");
         c.partners.retain(|&x| x != peer);
         c.total_files -= files;
+        self.partner_count_changed(cluster, -1);
         cluster
+    }
+
+    /// Propagates a ±1 partner-count change of `cluster` into every
+    /// neighbor's `neighbor_partner_links` cache.
+    fn partner_count_changed(&mut self, cluster: ClusterId, delta: isize) {
+        let num_neighbors = self.clusters[cluster as usize]
+            .as_ref()
+            .expect("cluster alive")
+            .neighbors
+            .len();
+        for i in 0..num_neighbors {
+            let nb = self.clusters[cluster as usize]
+                .as_ref()
+                .expect("cluster alive")
+                .neighbors[i];
+            if let Some(n) = self.clusters[nb as usize].as_mut() {
+                n.neighbor_partner_links =
+                    n.neighbor_partner_links.checked_add_signed(delta).expect(
+                        "neighbor_partner_links underflow: cache out of sync with partner sets",
+                    );
+            }
+        }
     }
 
     /// Promotes a client of `cluster` to partner. Returns the promoted
@@ -324,6 +370,7 @@ impl SimNetwork {
             c.partners.push(peer);
             peer
         };
+        self.partner_count_changed(cluster, 1);
         let p = self.peers[peer as usize].as_mut().expect("client alive");
         p.is_partner = true;
         Some(peer)
@@ -338,6 +385,7 @@ impl SimNetwork {
             c.clients.swap_remove(idx);
             c.partners.push(peer);
         }
+        self.partner_count_changed(cluster, 1);
         let p = self.peers[peer as usize].as_mut().expect("client alive");
         p.is_partner = true;
         Some(peer)
@@ -359,16 +407,26 @@ impl SimNetwork {
         if self.clusters[b as usize].is_none() {
             return false;
         }
-        self.clusters[a as usize]
-            .as_mut()
+        let a_partners = self.clusters[a as usize]
+            .as_ref()
             .expect("checked")
-            .neighbors
-            .push(b);
-        self.clusters[b as usize]
-            .as_mut()
+            .partners
+            .len();
+        let b_partners = self.clusters[b as usize]
+            .as_ref()
             .expect("checked")
-            .neighbors
-            .push(a);
+            .partners
+            .len();
+        {
+            let ca = self.clusters[a as usize].as_mut().expect("checked");
+            ca.neighbors.push(b);
+            ca.neighbor_partner_links += b_partners;
+        }
+        {
+            let cb = self.clusters[b as usize].as_mut().expect("checked");
+            cb.neighbors.push(a);
+            cb.neighbor_partner_links += a_partners;
+        }
         true
     }
 
@@ -393,6 +451,7 @@ impl SimNetwork {
                     c.total_files
                 ));
             }
+            let mut neighbor_links = 0usize;
             for &nb in &c.neighbors {
                 let n = self.clusters[nb as usize]
                     .as_ref()
@@ -400,6 +459,13 @@ impl SimNetwork {
                 if !n.neighbors.contains(&(i as ClusterId)) {
                     return Err(format!("asymmetric edge {i} → {nb}"));
                 }
+                neighbor_links += n.partners.len();
+            }
+            if neighbor_links != c.neighbor_partner_links {
+                return Err(format!(
+                    "cluster {i}: cached neighbor partner links {} != actual {neighbor_links}",
+                    c.neighbor_partner_links
+                ));
             }
         }
         for (i, &pos) in self.alive_pos.iter().enumerate() {
@@ -494,6 +560,45 @@ mod tests {
         assert!(cluster.clients.is_empty());
         assert_eq!(cluster.total_files, 15);
         net.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn neighbor_partner_links_tracks_promotions_and_departures() {
+        let mut net = SimNetwork::new();
+        let mut r = rng();
+        let p1 = net.add_peer(1, 0.0);
+        let p2 = net.add_peer(1, 0.0);
+        let c1 = net.add_cluster(p1, 7);
+        let c2 = net.add_cluster(p2, 7);
+        net.add_edge(c1, c2);
+        let links = |net: &SimNetwork, c: ClusterId| {
+            net.clusters[c as usize]
+                .as_ref()
+                .unwrap()
+                .neighbor_partner_links
+        };
+        assert_eq!(links(&net, c1), 1);
+        assert_eq!(links(&net, c2), 1);
+
+        // Promoting a client of c2 raises c1's link count.
+        let cl = net.add_peer(1, 0.0);
+        net.attach_client(cl, c2);
+        assert_eq!(links(&net, c1), 1, "clients do not add partner links");
+        net.promote_client(c2, &mut r).unwrap();
+        assert_eq!(links(&net, c1), 2);
+        net.check_invariants().unwrap();
+
+        // A partner departure lowers it again.
+        net.detach_partner(cl);
+        assert_eq!(links(&net, c1), 1);
+        net.check_invariants().unwrap();
+
+        // Cached and recomputed connection counts agree.
+        let c = net.clusters[c1 as usize].as_ref().unwrap();
+        assert_eq!(
+            c.partner_connections_cached(),
+            c.partner_connections(links(&net, c1))
+        );
     }
 
     #[test]

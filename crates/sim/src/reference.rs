@@ -1,0 +1,1118 @@
+//! The pre-rework simulation engine, preserved verbatim.
+//!
+//! [`ReferenceSimulation`] is the original event loop: a
+//! [`BinaryEventQueue`] that accumulates tombstones for departed
+//! peers, a fresh `Vec` clone of the partner list on every join /
+//! update / adaptation event, and O(degree) connection counting on
+//! every charged transmission. It exists for two reasons:
+//!
+//! 1. **Equivalence testing** — the fast engine
+//!    ([`Simulation`](crate::engine::Simulation)) must produce
+//!    *bitwise identical* [`RawMetrics`] on every seed; the
+//!    determinism tests run both engines over a grid of
+//!    configurations and compare.
+//! 2. **Performance trajectory** — `repro_bench` times both engines
+//!    on the standard churn workload and records the events/sec ratio
+//!    in `repro_out/BENCH_sim.json`, so the speedup is measured
+//!    against the real baseline rather than asserted.
+//!
+//! Aside from the `events_delivered` counter (needed to report
+//! events/sec at all), nothing here should be "improved" — that is
+//! the point of the file. New behavior goes into `engine.rs`, and the
+//! equivalence tests decide whether it is still the same simulator.
+
+use sp_design::local_rules::{advise, LocalAction, LocalView};
+use sp_model::config::Config;
+use sp_model::instance::{NetworkInstance, Topology};
+use sp_model::load::Load;
+use sp_model::query_model::QueryModel;
+use sp_stats::dist::Sampler;
+use sp_stats::{Poisson, SpRng};
+
+use crate::engine::{ForwardPolicy, RawMetrics, SimOptions, TimelinePoint};
+use crate::events::{BinaryEventQueue, ClusterId, Event, PeerId, SimTime};
+use crate::network::SimNetwork;
+
+/// The original (pre-rework) simulation engine. Same behavior as
+/// [`Simulation`](crate::engine::Simulation), slower mechanics.
+pub struct ReferenceSimulation {
+    /// Mutable network state (public for scenario inspection).
+    pub net: SimNetwork,
+    queue: BinaryEventQueue,
+    rng: SpRng,
+    now: SimTime,
+    config: Config,
+    model: QueryModel,
+    opts: SimOptions,
+    metrics: RawMetrics,
+    delivered: u64,
+    // BFS scratch over cluster slots.
+    stamp: Vec<u32>,
+    stamp_cur: u32,
+    bfs_parent: Vec<ClusterId>,
+    bfs_depth: Vec<u16>,
+    bfs_order: Vec<ClusterId>,
+    /// Every query transmission of the current flood, including
+    /// duplicates dropped at the receiver.
+    bfs_tx: Vec<(ClusterId, ClusterId)>,
+    bfs_candidates: Vec<ClusterId>,
+}
+
+impl ReferenceSimulation {
+    /// Builds a simulation from a configuration: generates an
+    /// `sp-model` instance, mirrors it into mutable state, and
+    /// schedules every peer's initial events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: &Config, opts: SimOptions) -> Self {
+        let mut rng = SpRng::seed_from_u64(opts.seed);
+        let inst = NetworkInstance::generate(config, &mut rng).expect("invalid configuration");
+        let model = QueryModel::from_config(&config.query_model);
+        let mut sim = ReferenceSimulation {
+            net: SimNetwork::new(),
+            queue: BinaryEventQueue::new(),
+            rng,
+            now: 0.0,
+            config: config.clone(),
+            model,
+            opts,
+            metrics: RawMetrics::default(),
+            delivered: 0,
+            stamp: Vec::new(),
+            stamp_cur: 0,
+            bfs_parent: Vec::new(),
+            bfs_depth: Vec::new(),
+            bfs_order: Vec::new(),
+            bfs_tx: Vec::new(),
+            bfs_candidates: Vec::new(),
+        };
+        sim.bootstrap(&inst);
+        sim
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Accumulated metrics (mostly useful after [`run`](Self::run)).
+    pub fn metrics(&self) -> &RawMetrics {
+        &self.metrics
+    }
+
+    /// Events dispatched so far, *excluding* tombstones dropped by the
+    /// generation guard — the number comparable across engines.
+    pub fn events_delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    fn bootstrap(&mut self, inst: &NetworkInstance) {
+        // Mirror clusters and membership.
+        let mut cluster_ids = Vec::with_capacity(inst.num_clusters());
+        for cluster in &inst.clusters {
+            let lead = cluster.partners[0];
+            let lead_peer = &inst.peers[lead as usize];
+            let p = self.net.add_peer(lead_peer.files, 0.0);
+            let c = self.net.add_cluster(p, inst.config.ttl);
+            self.schedule_peer_events(p, lead_peer.lifespan_secs);
+            for &extra in &cluster.partners[1..] {
+                let info = &inst.peers[extra as usize];
+                let q = self.net.add_peer(info.files, 0.0);
+                self.net.attach_client(q, c);
+                self.net.promote_specific(c, q).expect("just attached");
+                self.schedule_peer_events(q, info.lifespan_secs);
+            }
+            for &cl in &cluster.clients {
+                let info = &inst.peers[cl as usize];
+                let q = self.net.add_peer(info.files, 0.0);
+                self.net.attach_client(q, c);
+                self.schedule_peer_events(q, info.lifespan_secs);
+            }
+            cluster_ids.push(c);
+        }
+        // Mirror overlay edges.
+        match &inst.topology {
+            Topology::Explicit(g) => {
+                for (a, b) in g.edges() {
+                    self.net
+                        .add_edge(cluster_ids[a as usize], cluster_ids[b as usize]);
+                }
+            }
+            Topology::Complete { n } => {
+                for a in 0..*n {
+                    for b in (a + 1)..*n {
+                        self.net.add_edge(cluster_ids[a], cluster_ids[b]);
+                    }
+                }
+            }
+        }
+        debug_assert!(self.net.check_invariants().is_ok());
+        // Periodic events.
+        self.queue
+            .schedule(self.opts.sample_interval_secs, Event::Sample);
+        if let Some(adapt) = self.opts.adapt {
+            for (i, &c) in cluster_ids.iter().enumerate() {
+                // Stagger ticks so clusters don't adapt in lockstep.
+                let offset = adapt.interval_secs * (1.0 + i as f64 / cluster_ids.len() as f64);
+                self.queue.schedule(
+                    offset,
+                    Event::AdaptTick {
+                        cluster: c,
+                        generation: 0,
+                    },
+                );
+            }
+        }
+        let _ = inst; // roles fully mirrored
+    }
+
+    fn schedule_peer_events(&mut self, peer: PeerId, lifespan: f64) {
+        let generation = self.net.peer_generation(peer);
+        self.queue
+            .schedule(self.now + lifespan, Event::PeerLeave { peer, generation });
+        if self.config.query_rate > 0.0 {
+            let dt = self.exp_delay(self.config.query_rate);
+            self.queue
+                .schedule(self.now + dt, Event::Query { peer, generation });
+        }
+        if self.config.update_rate > 0.0 {
+            let dt = self.exp_delay(self.config.update_rate);
+            self.queue
+                .schedule(self.now + dt, Event::Update { peer, generation });
+        }
+    }
+
+    fn exp_delay(&mut self, rate: f64) -> f64 {
+        debug_assert!(rate > 0.0);
+        -self.rng.unit_f64().max(f64::MIN_POSITIVE).ln() / rate
+    }
+
+    /// Runs until the configured duration, then finalizes accounting.
+    pub fn run(&mut self) -> RawMetrics {
+        while let Some((t, event)) = self.queue.pop() {
+            if t > self.opts.duration_secs {
+                break;
+            }
+            self.now = t;
+            self.dispatch(event);
+        }
+        self.now = self.opts.duration_secs;
+        self.finalize();
+        std::mem::take(&mut self.metrics)
+    }
+
+    fn dispatch(&mut self, event: Event) {
+        // Count only events that survive their generation guard, so
+        // the number is comparable with the tombstone-free engine.
+        match event {
+            Event::PeerLeave { peer, generation }
+            | Event::Query { peer, generation }
+            | Event::Update { peer, generation }
+            | Event::ClientRejoin {
+                peer, generation, ..
+            } => {
+                if self.net.peer(peer, generation).is_none() {
+                    return;
+                }
+            }
+            Event::RecruitPartner {
+                cluster,
+                generation,
+            }
+            | Event::AdaptTick {
+                cluster,
+                generation,
+            } => {
+                if self.net.cluster(cluster, generation).is_none() {
+                    return;
+                }
+            }
+            Event::PeerJoin | Event::Sample => {}
+        }
+        self.delivered += 1;
+        match event {
+            Event::PeerJoin => self.on_join(),
+            Event::PeerLeave { peer, generation } => self.on_leave(peer, generation),
+            Event::Query { peer, generation } => self.on_query(peer, generation),
+            Event::Update { peer, generation } => self.on_update(peer, generation),
+            Event::ClientRejoin {
+                peer,
+                generation,
+                orphaned_at,
+            } => self.on_rejoin(peer, generation, orphaned_at),
+            Event::RecruitPartner {
+                cluster,
+                generation,
+            } => self.on_recruit(cluster, generation),
+            Event::AdaptTick {
+                cluster,
+                generation,
+            } => self.on_adapt(cluster, generation),
+            Event::Sample => self.on_sample(),
+        }
+    }
+
+    // ---- connection counting ----
+
+    fn partner_connections(&self, cluster: ClusterId) -> f64 {
+        let c = self.net.clusters[cluster as usize]
+            .as_ref()
+            .expect("cluster alive");
+        let neighbor_links: usize = c
+            .neighbors
+            .iter()
+            .map(|&nb| {
+                self.net.clusters[nb as usize]
+                    .as_ref()
+                    .map(|n| n.partners.len())
+                    .unwrap_or(0)
+            })
+            .sum();
+        c.partner_connections(neighbor_links)
+    }
+
+    fn client_connections(&self, cluster: ClusterId) -> f64 {
+        self.net.clusters[cluster as usize]
+            .as_ref()
+            .map(|c| c.partners.len() as f64)
+            .unwrap_or(1.0)
+    }
+
+    // ---- message charging ----
+
+    #[allow(clippy::too_many_arguments)]
+    fn charge_pair(
+        &mut self,
+        from: PeerId,
+        to: PeerId,
+        bytes: f64,
+        send_units: f64,
+        recv_units: f64,
+        from_conns: f64,
+        to_conns: f64,
+    ) {
+        let mux = self.config.costs.multiplex_per_connection;
+        if self.net.peer_mut(from).is_some() {
+            self.net.counters[from as usize].send(bytes, send_units + mux * from_conns);
+        }
+        if self.net.peer_mut(to).is_some() {
+            self.net.counters[to as usize].recv(bytes, recv_units + mux * to_conns);
+        }
+    }
+
+    /// Picks the next round-robin partner of a cluster.
+    fn rr_partner(&mut self, cluster: ClusterId) -> PeerId {
+        let c = self.net.cluster_mut(cluster).expect("cluster alive");
+        let idx = c.rr % c.partners.len();
+        c.rr = c.rr.wrapping_add(1);
+        c.partners[idx]
+    }
+
+    // ---- event handlers ----
+
+    fn on_join(&mut self) {
+        let files = self.config.population.sample_files(&mut self.rng);
+        let lifespan = self.config.population.sample_lifespan(&mut self.rng);
+        let target_clusters = self.config.num_clusters();
+        let peer = self.net.add_peer(files, self.now);
+        if self.net.num_alive_clusters() < target_clusters || self.net.num_alive_clusters() == 0 {
+            // Become a new super-peer: index own collection, wire into
+            // the overlay at the suggested outdegree.
+            let c = self.net.add_cluster(peer, self.config.ttl);
+            if let Some(cl) = self.net.cluster_mut(c) {
+                cl.last_adapt_at = self.now;
+            }
+            if self.net.peer_mut(peer).is_some() {
+                let units = self.config.costs.process_join_units(files as f64);
+                self.net.counters[peer as usize].work(units);
+            }
+            let want = self.config.avg_outdegree.round().max(1.0) as usize;
+            let mut wired = 0;
+            let mut attempts = 0;
+            while wired < want && attempts < want * 4 {
+                attempts += 1;
+                if let Some(nb) = self.net.random_cluster(&mut self.rng) {
+                    if nb != c && self.net.add_edge(c, nb) {
+                        wired += 1;
+                    }
+                } else {
+                    break;
+                }
+            }
+            let generation = self.net.clusters[c as usize]
+                .as_ref()
+                .expect("new cluster")
+                .generation;
+            // A fresh cluster starts with a lone partner; under a
+            // redundancy policy it must recruit up to k like any
+            // cluster that lost a partner would.
+            if self.config.redundancy_k > 1 {
+                self.queue.schedule(
+                    self.now + self.opts.recruit_delay_secs,
+                    Event::RecruitPartner {
+                        cluster: c,
+                        generation,
+                    },
+                );
+            }
+            if let Some(adapt) = self.opts.adapt {
+                self.queue.schedule(
+                    self.now + adapt.interval_secs,
+                    Event::AdaptTick {
+                        cluster: c,
+                        generation,
+                    },
+                );
+            }
+        } else {
+            let c = self
+                .net
+                .random_cluster(&mut self.rng)
+                .expect("clusters exist");
+            self.attach_and_charge_join(peer, c);
+        }
+        self.schedule_peer_events(peer, lifespan);
+    }
+
+    /// Credits a peer's connected time as a client up to now and
+    /// restarts its attachment clock.
+    fn credit_client_time(&mut self, peer: PeerId) {
+        if let Some(p) = self.net.peer_mut(peer) {
+            if p.cluster.is_some() {
+                let attached_at = p.attached_at;
+                p.attached_at = self.now;
+                self.metrics.client_connected_secs += self.now - attached_at;
+            }
+        }
+    }
+
+    /// Attaches `peer` as a client of `c`, charging the join protocol
+    /// (metadata to every partner).
+    fn attach_and_charge_join(&mut self, peer: PeerId, c: ClusterId) {
+        self.net.attach_client(peer, c);
+        if let Some(p) = self.net.peer_mut(peer) {
+            p.attached_at = self.now;
+        }
+        let files = self.net.peers[peer as usize]
+            .as_ref()
+            .expect("peer alive")
+            .files as f64;
+        let cm = self.config.costs;
+        let partners: Vec<PeerId> = self.net.clusters[c as usize]
+            .as_ref()
+            .expect("cluster alive")
+            .partners
+            .clone();
+        let p_conns = self.partner_connections(c);
+        let c_conns = self.client_connections(c);
+        for partner in partners {
+            self.charge_pair(
+                peer,
+                partner,
+                cm.join_bytes(files),
+                cm.send_join_units(files),
+                cm.recv_join_units(files),
+                c_conns,
+                p_conns,
+            );
+            if self.net.peer_mut(partner).is_some() {
+                self.net.counters[partner as usize].work(cm.process_join_units(files));
+            }
+        }
+    }
+
+    fn on_leave(&mut self, peer: PeerId, generation: u32) {
+        if self.net.peer(peer, generation).is_none() {
+            return;
+        }
+        let info = self.net.peers[peer as usize].as_ref().expect("alive");
+        let is_partner = info.is_partner;
+        let attached = info.cluster;
+        let attached_at = info.attached_at;
+
+        if let Some(cluster) = attached {
+            if is_partner {
+                let c = self.net.detach_partner(peer);
+                let survivors = self.net.clusters[c as usize]
+                    .as_ref()
+                    .expect("cluster alive")
+                    .partners
+                    .len();
+                if survivors == 0 {
+                    self.fail_cluster(c);
+                } else if survivors < self.config.redundancy_k {
+                    let generation = self.net.clusters[c as usize]
+                        .as_ref()
+                        .expect("cluster alive")
+                        .generation;
+                    self.queue.schedule(
+                        self.now + self.opts.recruit_delay_secs,
+                        Event::RecruitPartner {
+                            cluster: c,
+                            generation,
+                        },
+                    );
+                }
+            } else {
+                self.metrics.client_connected_secs += self.now - attached_at;
+                self.net.detach_client(peer);
+            }
+            let _ = cluster;
+        } else if !is_partner {
+            // Left while orphaned: the whole orphan period counts as
+            // disconnected.
+            self.metrics.client_disconnected_secs += self.now - attached_at;
+        }
+
+        let exited = self.net.remove_peer(peer);
+        let alive_for = self.now - exited.joined_at;
+        if alive_for > 1.0 {
+            let rate = self.net.counters[peer as usize].mean_rate(alive_for);
+            if is_partner {
+                self.metrics.sp_in.push(rate.in_bw);
+                self.metrics.sp_out.push(rate.out_bw);
+                self.metrics.sp_proc.push(rate.proc);
+            } else {
+                self.metrics.client_in.push(rate.in_bw);
+                self.metrics.client_out.push(rate.out_bw);
+                self.metrics.client_proc.push(rate.proc);
+            }
+        }
+        // Stable population: a departure triggers a fresh arrival.
+        let dt = self.exp_delay(1.0 / self.opts.replenish_mean_secs.max(1e-9));
+        self.queue.schedule(self.now + dt, Event::PeerJoin);
+    }
+
+    /// All partners died: orphan every client and dissolve the cluster.
+    fn fail_cluster(&mut self, c: ClusterId) {
+        self.metrics.cluster_failures += 1;
+        let clients: Vec<PeerId> = self.net.clusters[c as usize]
+            .as_ref()
+            .expect("cluster alive")
+            .clients
+            .clone();
+        for client in clients {
+            let attached_at = self.net.peers[client as usize]
+                .as_ref()
+                .expect("client alive")
+                .attached_at;
+            self.metrics.client_connected_secs += self.now - attached_at;
+            self.net.detach_client(client);
+            if let Some(p) = self.net.peer_mut(client) {
+                p.attached_at = self.now; // start of the orphan period
+            }
+            self.metrics.orphan_events += 1;
+            let generation = self.net.peer_generation(client);
+            let dt = self.exp_delay(1.0 / self.opts.rejoin_mean_secs.max(1e-9));
+            self.queue.schedule(
+                self.now + dt,
+                Event::ClientRejoin {
+                    peer: client,
+                    generation,
+                    orphaned_at: self.now,
+                },
+            );
+        }
+        self.net.remove_cluster(c);
+    }
+
+    fn on_rejoin(&mut self, peer: PeerId, generation: u32, orphaned_at: SimTime) {
+        let Some(info) = self.net.peer(peer, generation) else {
+            return;
+        };
+        if info.cluster.is_some() {
+            return; // already re-homed (e.g. by an adaptive action)
+        }
+        match self.net.random_cluster(&mut self.rng) {
+            Some(c) => {
+                self.metrics.client_disconnected_secs += self.now - orphaned_at;
+                self.metrics.downtime.push(self.now - orphaned_at);
+                self.attach_and_charge_join(peer, c);
+            }
+            None => {
+                let dt = self.exp_delay(1.0 / self.opts.rejoin_mean_secs.max(1e-9));
+                self.queue.schedule(
+                    self.now + dt,
+                    Event::ClientRejoin {
+                        peer,
+                        generation,
+                        orphaned_at,
+                    },
+                );
+            }
+        }
+    }
+
+    fn on_recruit(&mut self, cluster: ClusterId, generation: u32) {
+        if self.net.cluster(cluster, generation).is_none() {
+            return;
+        }
+        let have = self.net.clusters[cluster as usize]
+            .as_ref()
+            .expect("alive")
+            .partners
+            .len();
+        if have >= self.config.redundancy_k {
+            return;
+        }
+        match self.net.promote_client(cluster, &mut self.rng) {
+            Some(new_partner) => {
+                self.credit_client_time(new_partner);
+                self.charge_index_transfer(cluster, new_partner);
+                // Still short (e.g. two partners died)? Keep recruiting.
+                let have = self.net.clusters[cluster as usize]
+                    .as_ref()
+                    .expect("alive")
+                    .partners
+                    .len();
+                if have < self.config.redundancy_k {
+                    self.queue.schedule(
+                        self.now + self.opts.recruit_delay_secs,
+                        Event::RecruitPartner {
+                            cluster,
+                            generation,
+                        },
+                    );
+                }
+            }
+            None => {
+                // No client to promote yet; retry later.
+                self.queue.schedule(
+                    self.now + self.opts.recruit_delay_secs,
+                    Event::RecruitPartner {
+                        cluster,
+                        generation,
+                    },
+                );
+            }
+        }
+    }
+
+    /// A freshly promoted partner downloads the full cluster index from
+    /// a co-partner (or rebuilds from its own collection if alone).
+    fn charge_index_transfer(&mut self, cluster: ClusterId, new_partner: PeerId) {
+        let cm = self.config.costs;
+        let (total_files, donor) = {
+            let c = self.net.clusters[cluster as usize].as_ref().expect("alive");
+            let donor = c.partners.iter().copied().find(|&p| p != new_partner);
+            (c.total_files as f64, donor)
+        };
+        let p_conns = self.partner_connections(cluster);
+        match donor {
+            Some(d) => {
+                self.charge_pair(
+                    d,
+                    new_partner,
+                    cm.join_bytes(total_files),
+                    cm.send_join_units(total_files),
+                    cm.recv_join_units(total_files),
+                    p_conns,
+                    p_conns,
+                );
+                if self.net.peer_mut(new_partner).is_some() {
+                    self.net.counters[new_partner as usize]
+                        .work(cm.process_join_units(total_files));
+                }
+            }
+            None => {
+                if self.net.peer_mut(new_partner).is_some() {
+                    self.net.counters[new_partner as usize]
+                        .work(cm.process_join_units(total_files));
+                }
+            }
+        }
+    }
+
+    fn on_query(&mut self, peer: PeerId, generation: u32) {
+        let Some(info) = self.net.peer(peer, generation) else {
+            return;
+        };
+        let source_cluster = info.cluster;
+        let is_partner = info.is_partner;
+        // Always reschedule the next query first.
+        let dt = self.exp_delay(self.config.query_rate);
+        self.queue
+            .schedule(self.now + dt, Event::Query { peer, generation });
+        let Some(sc) = source_cluster else {
+            return; // orphaned client cannot search
+        };
+
+        let cm = self.config.costs;
+        let j = self.model.sample_query(&mut self.rng);
+        let qbytes = cm.query_bytes();
+        let (send_q, recv_q) = (cm.send_query_units(), cm.recv_query_units());
+
+        // Client → super-peer submission.
+        let entry_partner = if is_partner {
+            peer
+        } else {
+            let partner = self.rr_partner(sc);
+            let c_conns = self.client_connections(sc);
+            let p_conns = self.partner_connections(sc);
+            self.charge_pair(peer, partner, qbytes, send_q, recv_q, c_conns, p_conns);
+            partner
+        };
+        let _ = entry_partner;
+
+        // Flood over the cluster overlay.
+        let ttl = self.net.clusters[sc as usize].as_ref().expect("alive").ttl;
+        self.flood_bfs(sc, ttl);
+
+        // Charge every recorded transmission (first copies and dropped
+        // duplicates alike — both consume bandwidth and processing).
+        let txs = std::mem::take(&mut self.bfs_tx);
+        for &(v, u) in &txs {
+            let sender = self.rr_partner(v);
+            let receiver = self.rr_partner(u);
+            let v_conns = self.partner_connections(v);
+            let u_conns = self.partner_connections(u);
+            self.charge_pair(sender, receiver, qbytes, send_q, recv_q, v_conns, u_conns);
+        }
+        self.bfs_tx = txs;
+
+        // Process queries, sample results, route responses.
+        let order = std::mem::take(&mut self.bfs_order);
+        let mut total_results = 0u64;
+        let mut deepest_response = 0u16;
+        for &v in &order {
+            let vu = v as usize;
+            let depth = self.bfs_depth[vu];
+            // Index probe + sampled results.
+            let x_tot = self.net.clusters[vu].as_ref().expect("alive").total_files;
+            let lambda = self.model.expected_matches_for(j, x_tot as f64);
+            let results = Poisson::new(lambda).sample(&mut self.rng);
+            let probe_units = cm.process_query_units(results as f64);
+            let prober = self.rr_partner(v);
+            if self.net.peer_mut(prober).is_some() {
+                self.net.counters[prober as usize].work(probe_units);
+            }
+            total_results += results;
+            if results == 0 {
+                continue;
+            }
+            deepest_response = deepest_response.max(depth);
+            // Response travels the reverse path to the source.
+            let members = self.net.clusters[vu].as_ref().expect("alive").size() as u64;
+            let addrs = results.min(members) as f64;
+            let rbytes = cm.response_bytes(addrs, results as f64);
+            let r_send = cm.send_response_units(addrs, results as f64);
+            let r_recv = cm.recv_response_units(addrs, results as f64);
+            let mut hop = v;
+            while hop != sc {
+                let parent = self.bfs_parent[hop as usize];
+                let sender = self.rr_partner(hop);
+                let receiver = self.rr_partner(parent);
+                let s_conns = self.partner_connections(hop);
+                let r_conns = self.partner_connections(parent);
+                self.charge_pair(sender, receiver, rbytes, r_send, r_recv, s_conns, r_conns);
+                hop = parent;
+            }
+            // Deliver to a client source.
+            if !is_partner {
+                let partner = self.rr_partner(sc);
+                let p_conns = self.partner_connections(sc);
+                let c_conns = self.client_connections(sc);
+                self.charge_pair(partner, peer, rbytes, r_send, r_recv, p_conns, c_conns);
+            }
+        }
+        if let Some(c) = self.net.cluster_mut(sc) {
+            c.max_response_hop = c.max_response_hop.max(deepest_response);
+        }
+        self.bfs_order = order;
+        self.metrics.queries += 1;
+        self.metrics.results.push(total_results as f64);
+    }
+
+    fn on_update(&mut self, peer: PeerId, generation: u32) {
+        let Some(info) = self.net.peer(peer, generation) else {
+            return;
+        };
+        let cluster = info.cluster;
+        let is_partner = info.is_partner;
+        let dt = self.exp_delay(self.config.update_rate);
+        self.queue
+            .schedule(self.now + dt, Event::Update { peer, generation });
+        let Some(c) = cluster else { return };
+        let cm = self.config.costs;
+        let partners: Vec<PeerId> = self.net.clusters[c as usize]
+            .as_ref()
+            .expect("alive")
+            .partners
+            .clone();
+        let p_conns = self.partner_connections(c);
+        if is_partner {
+            if self.net.peer_mut(peer).is_some() {
+                self.net.counters[peer as usize].work(cm.process_update_units());
+            }
+            for other in partners.into_iter().filter(|&p| p != peer) {
+                self.charge_pair(
+                    peer,
+                    other,
+                    cm.update_bytes(),
+                    cm.send_update_units(),
+                    cm.recv_update_units(),
+                    p_conns,
+                    p_conns,
+                );
+                if self.net.peer_mut(other).is_some() {
+                    self.net.counters[other as usize].work(cm.process_update_units());
+                }
+            }
+        } else {
+            let c_conns = self.client_connections(c);
+            for partner in partners {
+                self.charge_pair(
+                    peer,
+                    partner,
+                    cm.update_bytes(),
+                    cm.send_update_units(),
+                    cm.recv_update_units(),
+                    c_conns,
+                    p_conns,
+                );
+                if self.net.peer_mut(partner).is_some() {
+                    self.net.counters[partner as usize].work(cm.process_update_units());
+                }
+            }
+        }
+    }
+
+    fn on_adapt(&mut self, cluster: ClusterId, generation: u32) {
+        let Some(adapt) = self.opts.adapt else { return };
+        if self.net.cluster(cluster, generation).is_none() {
+            return;
+        }
+        // Average the partners' window loads over the *measured* window
+        // length — ticks are staggered, so the first window is longer
+        // than the nominal interval.
+        let (partners, window_secs): (Vec<PeerId>, f64) = {
+            let c = self.net.clusters[cluster as usize].as_ref().expect("alive");
+            (c.partners.clone(), (self.now - c.last_adapt_at).max(1e-9))
+        };
+        let mut load = Load::ZERO;
+        for &p in &partners {
+            if self.net.peer_mut(p).is_some() {
+                load += self.net.counters[p as usize].take_window(window_secs);
+            }
+        }
+        load = load.scaled(1.0 / partners.len().max(1) as f64);
+        let view = {
+            let c = self.net.clusters[cluster as usize].as_ref().expect("alive");
+            LocalView {
+                load,
+                limit: adapt.limit,
+                num_clients: c.clients.len(),
+                num_neighbors: c.neighbors.len(),
+                num_partners: c.partners.len(),
+                ttl: c.ttl,
+                max_response_hop: c.max_response_hop,
+                cluster_growing: c.growth > 0,
+            }
+        };
+        if let Some(&action) = advise(&view).first() {
+            self.apply_local_action(cluster, action);
+            self.metrics.adapt_actions += 1;
+        }
+        // Reset observation window.
+        if let Some(c) = self.net.cluster_mut(cluster) {
+            c.growth = 0;
+            c.max_response_hop = 0;
+            c.last_adapt_at = self.now;
+            let generation = c.generation;
+            self.queue.schedule(
+                self.now + adapt.interval_secs,
+                Event::AdaptTick {
+                    cluster,
+                    generation,
+                },
+            );
+        }
+    }
+
+    fn apply_local_action(&mut self, cluster: ClusterId, action: LocalAction) {
+        match action {
+            LocalAction::AcceptClients => {}
+            LocalAction::PromotePartner => {
+                if let Some(p) = self.net.promote_client(cluster, &mut self.rng) {
+                    self.credit_client_time(p);
+                    self.charge_index_transfer(cluster, p);
+                }
+            }
+            LocalAction::SplitCluster => self.split_cluster(cluster),
+            LocalAction::Coalesce => self.coalesce_cluster(cluster),
+            LocalAction::IncreaseOutdegree => {
+                if let Some(nb) = self.net.random_cluster(&mut self.rng) {
+                    self.net.add_edge(cluster, nb);
+                }
+            }
+            LocalAction::DecreaseTtl => {
+                if let Some(c) = self.net.cluster_mut(cluster) {
+                    if c.ttl > 1 {
+                        c.ttl -= 1;
+                    }
+                }
+            }
+            LocalAction::Resign => self.coalesce_cluster(cluster),
+        }
+    }
+
+    /// Splits half the clients into a fresh cluster led by a promoted
+    /// client.
+    fn split_cluster(&mut self, cluster: ClusterId) {
+        let movers: Vec<PeerId> = {
+            let Some(c) = self.net.cluster_mut(cluster) else {
+                return;
+            };
+            if c.clients.len() < 2 {
+                return;
+            }
+            let half = c.clients.len() / 2;
+            c.clients[..half].to_vec()
+        };
+        // The first mover leads the new cluster.
+        let lead = movers[0];
+        self.credit_client_time(lead);
+        self.net.detach_client(lead);
+        let files = self.net.peers[lead as usize].as_ref().expect("alive").files as f64;
+        let new_cluster = self.net.add_cluster(lead, {
+            self.net.clusters[cluster as usize]
+                .as_ref()
+                .expect("alive")
+                .ttl
+        });
+        if let Some(cl) = self.net.cluster_mut(new_cluster) {
+            cl.last_adapt_at = self.now;
+        }
+        if self.net.peer_mut(lead).is_some() {
+            self.net.counters[lead as usize].work(self.config.costs.process_join_units(files));
+        }
+        self.net.add_edge(new_cluster, cluster);
+        // Inherit one neighbor to stay searchable.
+        if let Some(&nb) = self.net.clusters[cluster as usize]
+            .as_ref()
+            .expect("alive")
+            .neighbors
+            .first()
+        {
+            self.net.add_edge(new_cluster, nb);
+        }
+        for mover in movers.into_iter().skip(1) {
+            self.credit_client_time(mover);
+            self.net.detach_client(mover);
+            self.attach_and_charge_join(mover, new_cluster);
+        }
+        let generation = self.net.clusters[new_cluster as usize]
+            .as_ref()
+            .expect("alive")
+            .generation;
+        // The offspring starts with a lone partner; recruit up to k.
+        if self.config.redundancy_k > 1 {
+            self.queue.schedule(
+                self.now + self.opts.recruit_delay_secs,
+                Event::RecruitPartner {
+                    cluster: new_cluster,
+                    generation,
+                },
+            );
+        }
+        if let Some(adapt) = self.opts.adapt {
+            self.queue.schedule(
+                self.now + adapt.interval_secs,
+                Event::AdaptTick {
+                    cluster: new_cluster,
+                    generation,
+                },
+            );
+        }
+    }
+
+    /// Dissolves the cluster into a neighbor (or any random cluster):
+    /// clients and partners all become clients elsewhere.
+    fn coalesce_cluster(&mut self, cluster: ClusterId) {
+        let target = {
+            let c = self.net.clusters[cluster as usize].as_ref().expect("alive");
+            c.neighbors.first().copied().or_else(|| {
+                // No neighbor: any other live cluster.
+                self.net.alive_clusters().find(|&x| x != cluster)
+            })
+        };
+        let Some(target) = target else {
+            return; // last cluster standing cannot dissolve
+        };
+        let (clients, partners): (Vec<PeerId>, Vec<PeerId>) = {
+            let c = self.net.clusters[cluster as usize].as_ref().expect("alive");
+            (c.clients.clone(), c.partners.clone())
+        };
+        for cl in clients {
+            self.credit_client_time(cl);
+            self.net.detach_client(cl);
+            self.attach_and_charge_join(cl, target);
+        }
+        for p in partners {
+            self.net.detach_partner(p);
+            self.attach_and_charge_join(p, target);
+        }
+        self.net.remove_cluster(cluster);
+    }
+
+    fn on_sample(&mut self) {
+        let clusters = self.net.num_alive_clusters();
+        let mut sizes = 0usize;
+        let mut ttl_sum = 0.0;
+        let mut deg_sum = 0.0;
+        for c in self.net.alive_clusters() {
+            let cl = self.net.clusters[c as usize].as_ref().expect("alive");
+            sizes += cl.size();
+            ttl_sum += cl.ttl as f64;
+            deg_sum += cl.neighbors.len() as f64;
+        }
+        let peers = self.net.peers.iter().filter(|p| p.is_some()).count();
+        self.metrics.timeline.push(TimelinePoint {
+            time: self.now,
+            clusters,
+            peers,
+            mean_cluster_size: if clusters > 0 {
+                sizes as f64 / clusters as f64
+            } else {
+                0.0
+            },
+            mean_ttl: if clusters > 0 {
+                ttl_sum / clusters as f64
+            } else {
+                0.0
+            },
+            mean_outdegree: if clusters > 0 {
+                deg_sum / clusters as f64
+            } else {
+                0.0
+            },
+        });
+        self.queue
+            .schedule(self.now + self.opts.sample_interval_secs, Event::Sample);
+    }
+
+    fn finalize(&mut self) {
+        // Account still-alive peers.
+        for slot in 0..self.net.peers.len() {
+            let Some(peer) = self.net.peers[slot].as_ref() else {
+                continue;
+            };
+            let alive_for = self.now - peer.joined_at;
+            if alive_for > 1.0 {
+                let rate = self.net.counters[slot].mean_rate(alive_for);
+                if peer.is_partner {
+                    self.metrics.sp_in.push(rate.in_bw);
+                    self.metrics.sp_out.push(rate.out_bw);
+                    self.metrics.sp_proc.push(rate.proc);
+                } else {
+                    self.metrics.client_in.push(rate.in_bw);
+                    self.metrics.client_out.push(rate.out_bw);
+                    self.metrics.client_proc.push(rate.proc);
+                }
+            }
+            if !peer.is_partner {
+                if peer.cluster.is_some() {
+                    self.metrics.client_connected_secs += self.now - peer.attached_at;
+                } else {
+                    self.metrics.client_disconnected_secs += self.now - peer.attached_at;
+                }
+            }
+        }
+    }
+
+    /// TTL-bounded BFS over live clusters into the scratch arrays;
+    /// fills `bfs_order`, `bfs_depth`, `bfs_parent`, and records every
+    /// query transmission (including duplicates that the receiver will
+    /// drop) in `bfs_tx`, honoring the configured forwarding policy.
+    fn flood_bfs(&mut self, src: ClusterId, ttl: u16) {
+        let n = self.net.clusters.len();
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.bfs_parent.resize(n, 0);
+            self.bfs_depth.resize(n, 0);
+        }
+        self.stamp_cur = self.stamp_cur.wrapping_add(1);
+        if self.stamp_cur == 0 {
+            self.stamp.fill(0);
+            self.stamp_cur = 1;
+        }
+        self.bfs_order.clear();
+        self.bfs_tx.clear();
+        self.stamp[src as usize] = self.stamp_cur;
+        self.bfs_depth[src as usize] = 0;
+        self.bfs_parent[src as usize] = src;
+        self.bfs_order.push(src);
+        let mut head = 0;
+        while head < self.bfs_order.len() {
+            let v = self.bfs_order[head];
+            head += 1;
+            let d = self.bfs_depth[v as usize];
+            if d >= ttl {
+                continue;
+            }
+            let Some(c) = self.net.clusters[v as usize].as_ref() else {
+                continue;
+            };
+            // Candidate targets: all neighbors except the arrival link.
+            let parent = self.bfs_parent[v as usize];
+            let mut candidates = std::mem::take(&mut self.bfs_candidates);
+            candidates.clear();
+            candidates.extend(
+                c.neighbors
+                    .iter()
+                    .copied()
+                    .filter(|&u| v == src || u != parent),
+            );
+            // Apply the forwarding policy.
+            if let ForwardPolicy::RandomSubset { fanout } = self.opts.forward_policy {
+                if candidates.len() > fanout {
+                    // Partial Fisher–Yates: the first `fanout` entries
+                    // become a uniform sample.
+                    for i in 0..fanout {
+                        let j = i + self.rng.index(candidates.len() - i);
+                        candidates.swap(i, j);
+                    }
+                    candidates.truncate(fanout);
+                }
+            }
+            for &u in &candidates {
+                self.bfs_tx.push((v, u));
+                if self.stamp[u as usize] != self.stamp_cur {
+                    self.stamp[u as usize] = self.stamp_cur;
+                    self.bfs_depth[u as usize] = d + 1;
+                    self.bfs_parent[u as usize] = v;
+                    self.bfs_order.push(u);
+                }
+            }
+            self.bfs_candidates = candidates;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_engine_runs_and_counts_events() {
+        let cfg = Config {
+            graph_size: 100,
+            cluster_size: 10,
+            ..Config::default()
+        };
+        let mut sim = ReferenceSimulation::new(
+            &cfg,
+            SimOptions {
+                duration_secs: 600.0,
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        let m = sim.run();
+        assert!(m.queries > 0);
+        assert!(sim.events_delivered() > m.queries);
+        sim.net.check_invariants().unwrap();
+    }
+}

@@ -7,12 +7,23 @@
 //!   super-peers under identical churn.
 //! * [`adaptive`] — the Section 5.3 local rules in action: start from a
 //!   deliberately bad configuration and watch the network reorganize.
+//!
+//! Every scenario also has a *sharded trials* variant
+//! ([`reliability_trials`], [`routing_trials`], [`adaptive_trials`],
+//! [`steady_trials`]) built on [`run_sim_trials`]: independent trials
+//! fan out over the same thread-budget cascade as
+//! `sp_model::run_trials`, each trial draws from its own RNG split,
+//! and per-trial results are collected *by trial index* before
+//! reduction — so the output is bitwise identical at any thread count
+//! (the `Engine::Fast` contract, enforced by
+//! `tests/sim_determinism.rs`).
 
 use serde::{Deserialize, Serialize};
 
 use sp_model::config::Config;
 use sp_model::load::Load;
-use sp_stats::OnlineStats;
+use sp_model::trials::{resolve_thread_budget, split_thread_budget};
+use sp_stats::{ConfidenceInterval, OnlineStats, SpRng};
 
 use crate::engine::{
     AdaptSettings, ForwardPolicy, RawMetrics, SimOptions, Simulation, TimelinePoint,
@@ -22,7 +33,7 @@ use crate::engine::{
 pub type AdaptOptions = AdaptSettings;
 
 /// Condensed report of one simulation run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Mean partner load rate (bps/bps/Hz).
     pub sp_load: Load,
@@ -47,7 +58,13 @@ pub struct SimReport {
 }
 
 impl SimReport {
-    fn from_raw(m: RawMetrics) -> Self {
+    /// Condenses raw engine metrics into the report shape.
+    ///
+    /// Public so callers that need both the report and the engine's
+    /// [`RunManifest`](crate::metrics::RunManifest) (e.g. `spnet
+    /// simulate --metrics-json`) can drive [`Simulation`] themselves
+    /// and still produce the standard summary.
+    pub fn from_raw(m: RawMetrics) -> Self {
         let mean = |s: &OnlineStats| s.mean();
         SimReport {
             sp_load: Load {
@@ -87,7 +104,7 @@ pub fn steady_state(config: &Config, duration_secs: f64, seed: u64) -> SimReport
 
 /// Reliability comparison: the same configuration and churn, with and
 /// without 2-redundancy.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ReliabilityComparison {
     /// Availability with a single super-peer per cluster.
     pub availability_k1: f64,
@@ -131,7 +148,7 @@ pub fn reliability(config: &Config, duration_secs: f64, seed: u64) -> Reliabilit
 /// Flooding vs bounded-fanout forwarding on the same network: the
 /// routing protocol is orthogonal to the super-peer design (Section 2),
 /// trading reach/results for load.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RoutingComparison {
     /// Results per query under full flooding.
     pub results_flood: f64,
@@ -182,6 +199,223 @@ pub fn adaptive(config: &Config, duration_secs: f64, seed: u64, adapt: AdaptOpti
         },
     );
     SimReport::from_raw(sim.run())
+}
+
+/// Options for a sharded simulation-trial run.
+#[derive(Debug, Clone, Copy)]
+pub struct SimTrialOptions {
+    /// Number of independent trials to simulate.
+    pub trials: usize,
+    /// Root seed; trial `t` simulates with the seed drawn from the RNG
+    /// split `seed → t`.
+    pub seed: u64,
+    /// Worker-thread budget; 0 = one per available core (resolved by
+    /// [`sp_model::trials::resolve_thread_budget`]).
+    pub threads: usize,
+}
+
+impl Default for SimTrialOptions {
+    fn default() -> Self {
+        SimTrialOptions {
+            trials: 5,
+            seed: 0xC0FFEE,
+            threads: 0,
+        }
+    }
+}
+
+/// Fans `opts.trials` independent trials out over scoped threads and
+/// returns their results **ordered by trial index**.
+///
+/// `run_one(seed, trial)` runs one trial: `seed` is drawn from the RNG
+/// split `opts.seed → trial`, so every trial has its own stream no
+/// matter which worker executes it. Workers stride over trial indices
+/// and tag each result with its index; results are placed back into
+/// index order before returning. Together these make the output bitwise
+/// identical at any thread count — the same contract as
+/// `sp_model::run_trials` and `Engine::Fast`.
+///
+/// The thread budget goes through [`split_thread_budget`] for
+/// consistency with the analysis cascade, but a simulation run is
+/// single-threaded, so only the outer (trial-level) share is used; the
+/// inner share is intentionally left idle rather than oversubscribing.
+///
+/// # Panics
+///
+/// Panics if `opts.trials == 0` or a trial panics.
+pub fn run_sim_trials<T, F>(opts: &SimTrialOptions, run_one: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64, usize) -> T + Sync,
+{
+    assert!(opts.trials > 0, "need at least one trial");
+    let root = SpRng::seed_from_u64(opts.seed);
+    let trial_seed = |t: usize| root.split(t as u64).next_raw();
+
+    let budget = resolve_thread_budget(opts.threads);
+    let (outer, _inner) = split_thread_budget(budget, opts.trials);
+
+    if outer == 1 {
+        return (0..opts.trials)
+            .map(|t| run_one(trial_seed(t), t))
+            .collect();
+    }
+
+    let tagged = std::thread::scope(|scope| {
+        let run_one = &run_one;
+        let trial_seed = &trial_seed;
+        let handles: Vec<_> = (0..outer)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    let mut t = w;
+                    while t < opts.trials {
+                        local.push((t, run_one(trial_seed(t), t)));
+                        t += outer;
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("trial worker panicked"))
+            .collect::<Vec<_>>()
+    });
+
+    let mut slots: Vec<Option<T>> = (0..opts.trials).map(|_| None).collect();
+    for (t, value) in tagged {
+        slots[t] = Some(value);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every trial index produced"))
+        .collect()
+}
+
+fn ci_of<I: IntoIterator<Item = f64>>(values: I) -> ConfidenceInterval {
+    let mut stats = OnlineStats::default();
+    for v in values {
+        stats.push(v);
+    }
+    stats.ci95()
+}
+
+/// Mean ± 95% CI over sharded [`steady_state`] trials.
+#[derive(Debug, Clone)]
+pub struct SteadyTrialSummary {
+    /// Client availability in [0, 1].
+    pub availability: ConfidenceInterval,
+    /// Mean results per query.
+    pub results_per_query: ConfidenceInterval,
+    /// Mean super-peer total bandwidth (bps).
+    pub sp_total_bw: ConfidenceInterval,
+    /// The full reports, ordered by trial index.
+    pub per_trial: Vec<SimReport>,
+}
+
+/// Runs sharded [`steady_state`] trials.
+pub fn steady_trials(
+    config: &Config,
+    duration_secs: f64,
+    opts: &SimTrialOptions,
+) -> SteadyTrialSummary {
+    let per_trial = run_sim_trials(opts, |seed, _| steady_state(config, duration_secs, seed));
+    SteadyTrialSummary {
+        availability: ci_of(per_trial.iter().map(|r| r.availability)),
+        results_per_query: ci_of(per_trial.iter().map(|r| r.results_per_query)),
+        sp_total_bw: ci_of(per_trial.iter().map(|r| r.sp_load.total_bw())),
+        per_trial,
+    }
+}
+
+/// Mean ± 95% CI over sharded [`reliability`] trials.
+#[derive(Debug, Clone)]
+pub struct ReliabilityTrialSummary {
+    /// Availability with a single super-peer per cluster.
+    pub availability_k1: ConfidenceInterval,
+    /// Availability with 2-redundant virtual super-peers.
+    pub availability_k2: ConfidenceInterval,
+    /// Mean downtime per orphaning with k = 1, seconds.
+    pub downtime_k1: ConfidenceInterval,
+    /// Mean downtime per orphaning with k = 2, seconds.
+    pub downtime_k2: ConfidenceInterval,
+    /// The full comparisons, ordered by trial index.
+    pub per_trial: Vec<ReliabilityComparison>,
+}
+
+/// Runs sharded [`reliability`] trials.
+pub fn reliability_trials(
+    config: &Config,
+    duration_secs: f64,
+    opts: &SimTrialOptions,
+) -> ReliabilityTrialSummary {
+    let per_trial = run_sim_trials(opts, |seed, _| reliability(config, duration_secs, seed));
+    ReliabilityTrialSummary {
+        availability_k1: ci_of(per_trial.iter().map(|c| c.availability_k1)),
+        availability_k2: ci_of(per_trial.iter().map(|c| c.availability_k2)),
+        downtime_k1: ci_of(per_trial.iter().map(|c| c.downtime_k1)),
+        downtime_k2: ci_of(per_trial.iter().map(|c| c.downtime_k2)),
+        per_trial,
+    }
+}
+
+/// Mean ± 95% CI over sharded [`routing`] trials.
+#[derive(Debug, Clone)]
+pub struct RoutingTrialSummary {
+    /// Results per query under full flooding.
+    pub results_flood: ConfidenceInterval,
+    /// Results per query under bounded fanout.
+    pub results_subset: ConfidenceInterval,
+    /// Mean super-peer total bandwidth under full flooding (bps).
+    pub sp_bw_flood: ConfidenceInterval,
+    /// Mean super-peer total bandwidth under bounded fanout (bps).
+    pub sp_bw_subset: ConfidenceInterval,
+    /// The full comparisons, ordered by trial index.
+    pub per_trial: Vec<RoutingComparison>,
+}
+
+/// Runs sharded [`routing`] trials.
+pub fn routing_trials(
+    config: &Config,
+    fanout: usize,
+    duration_secs: f64,
+    opts: &SimTrialOptions,
+) -> RoutingTrialSummary {
+    let per_trial = run_sim_trials(opts, |seed, _| routing(config, fanout, duration_secs, seed));
+    RoutingTrialSummary {
+        results_flood: ci_of(per_trial.iter().map(|c| c.results_flood)),
+        results_subset: ci_of(per_trial.iter().map(|c| c.results_subset)),
+        sp_bw_flood: ci_of(per_trial.iter().map(|c| c.sp_bw_flood)),
+        sp_bw_subset: ci_of(per_trial.iter().map(|c| c.sp_bw_subset)),
+        per_trial,
+    }
+}
+
+/// Mean ± 95% CI over sharded [`adaptive`] trials.
+#[derive(Debug, Clone)]
+pub struct AdaptiveTrialSummary {
+    /// Local-rule actions applied per trial.
+    pub adapt_actions: ConfidenceInterval,
+    /// Client availability in [0, 1].
+    pub availability: ConfidenceInterval,
+    /// The full reports, ordered by trial index.
+    pub per_trial: Vec<SimReport>,
+}
+
+/// Runs sharded [`adaptive`] trials.
+pub fn adaptive_trials(
+    config: &Config,
+    duration_secs: f64,
+    adapt: AdaptOptions,
+    opts: &SimTrialOptions,
+) -> AdaptiveTrialSummary {
+    let per_trial = run_sim_trials(opts, |seed, _| adaptive(config, duration_secs, seed, adapt));
+    AdaptiveTrialSummary {
+        adapt_actions: ci_of(per_trial.iter().map(|r| r.adapt_actions as f64)),
+        availability: ci_of(per_trial.iter().map(|r| r.availability)),
+        per_trial,
+    }
 }
 
 #[cfg(test)]
@@ -252,6 +486,60 @@ mod tests {
             c.results_flood
         );
         assert!(c.results_subset > 0.0);
+    }
+
+    #[test]
+    fn sim_trials_are_ordered_and_thread_invariant() {
+        let base = SimTrialOptions {
+            trials: 5,
+            seed: 42,
+            threads: 1,
+        };
+        let a = run_sim_trials(&base, |seed, t| (t, seed));
+        for (i, &(t, _)) in a.iter().enumerate() {
+            assert_eq!(i, t, "results must come back in trial order");
+        }
+        let seeds: std::collections::HashSet<u64> = a.iter().map(|&(_, s)| s).collect();
+        assert_eq!(seeds.len(), base.trials, "per-trial seeds must be distinct");
+        for threads in [2, 8] {
+            let b = run_sim_trials(&SimTrialOptions { threads, ..base }, |seed, t| (t, seed));
+            assert_eq!(a, b, "thread count changed trial results");
+        }
+    }
+
+    #[test]
+    fn steady_trials_reduce_with_cis_and_shard_deterministically() {
+        let cfg = Config {
+            graph_size: 60,
+            cluster_size: 10,
+            ..Config::default()
+        };
+        let opts = SimTrialOptions {
+            trials: 3,
+            seed: 5,
+            threads: 2,
+        };
+        let s = steady_trials(&cfg, 300.0, &opts);
+        assert_eq!(s.per_trial.len(), 3);
+        assert_eq!(s.availability.count, 3);
+        assert!(s.sp_total_bw.mean > 0.0);
+        let s1 = steady_trials(&cfg, 300.0, &SimTrialOptions { threads: 1, ..opts });
+        assert_eq!(
+            s.per_trial, s1.per_trial,
+            "sharded trials must be bitwise identical at any thread count"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_sim_trials_panics() {
+        run_sim_trials(
+            &SimTrialOptions {
+                trials: 0,
+                ..Default::default()
+            },
+            |seed, _| seed,
+        );
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! The fast engine's determinism contract, enforced end to end:
+//!
+//! 1. [`Simulation`] (indexed queue, pooled scratch, cached connection
+//!    counts) and [`ReferenceSimulation`] (original binary-heap
+//!    implementation) produce **bitwise identical** [`RawMetrics`] on
+//!    every configuration and seed — every optimization is exact.
+//! 2. Sharded trials reduce to bitwise-identical results at any thread
+//!    count, because each trial owns an RNG split and results are
+//!    collected by trial index.
+
+use sp_model::config::Config;
+use sp_model::load::Load;
+use sp_model::population::PopulationModel;
+use sp_sim::engine::{AdaptSettings, ForwardPolicy, SimOptions, Simulation};
+use sp_sim::reference::ReferenceSimulation;
+use sp_sim::scenario::{reliability_trials, steady_trials, SimTrialOptions};
+
+fn assert_engines_agree(label: &str, config: &Config, opts: SimOptions) {
+    let mut fast = Simulation::new(config, opts);
+    let fast_metrics = fast.run();
+    let mut reference = ReferenceSimulation::new(config, opts);
+    let reference_metrics = reference.run();
+    assert_eq!(
+        fast_metrics, reference_metrics,
+        "engines diverged on {label} (seed {})",
+        opts.seed
+    );
+    assert_eq!(
+        fast.events_delivered(),
+        reference.events_delivered(),
+        "delivered-event counts diverged on {label}",
+    );
+}
+
+#[test]
+fn engines_agree_on_steady_state() {
+    let config = Config {
+        graph_size: 100,
+        cluster_size: 10,
+        ..Config::default()
+    };
+    for seed in [1, 2, 3] {
+        assert_engines_agree(
+            "steady state",
+            &config,
+            SimOptions {
+                duration_secs: 900.0,
+                seed,
+                ..Default::default()
+            },
+        );
+    }
+}
+
+#[test]
+fn engines_agree_under_heavy_churn() {
+    for redundancy in [false, true] {
+        let config = Config {
+            graph_size: 120,
+            cluster_size: 12,
+            population: PopulationModel {
+                lifespan_mean_secs: 400.0,
+                ..Default::default()
+            },
+            ..Config::default()
+        }
+        .with_redundancy(redundancy);
+        assert_engines_agree(
+            if redundancy {
+                "churn with k=2 redundancy"
+            } else {
+                "churn with k=1"
+            },
+            &config,
+            SimOptions {
+                duration_secs: 1800.0,
+                seed: 7,
+                ..Default::default()
+            },
+        );
+    }
+}
+
+#[test]
+fn engines_agree_under_bounded_fanout() {
+    let config = Config {
+        graph_size: 200,
+        cluster_size: 10,
+        avg_outdegree: 8.0,
+        ttl: 4,
+        ..Config::default()
+    };
+    assert_engines_agree(
+        "random-subset forwarding",
+        &config,
+        SimOptions {
+            duration_secs: 900.0,
+            seed: 9,
+            forward_policy: ForwardPolicy::RandomSubset { fanout: 2 },
+            ..Default::default()
+        },
+    );
+}
+
+#[test]
+fn engines_agree_under_adaptation() {
+    let config = Config {
+        graph_size: 150,
+        cluster_size: 50,
+        ..Config::default()
+    };
+    assert_engines_agree(
+        "adaptive local rules",
+        &config,
+        SimOptions {
+            duration_secs: 1800.0,
+            seed: 3,
+            adapt: Some(AdaptSettings {
+                interval_secs: 120.0,
+                limit: Load {
+                    in_bw: 2e5,
+                    out_bw: 2e5,
+                    proc: 2e7,
+                },
+            }),
+            ..Default::default()
+        },
+    );
+}
+
+#[test]
+fn sharded_trials_are_bitwise_identical_across_thread_counts() {
+    let config = Config {
+        graph_size: 80,
+        cluster_size: 10,
+        ..Config::default()
+    };
+    let base = SimTrialOptions {
+        trials: 4,
+        seed: 11,
+        threads: 1,
+    };
+    let single = steady_trials(&config, 400.0, &base);
+    for threads in [2, 8] {
+        let sharded = steady_trials(&config, 400.0, &SimTrialOptions { threads, ..base });
+        assert_eq!(
+            single.per_trial, sharded.per_trial,
+            "steady trials diverged at {threads} threads"
+        );
+    }
+
+    let churny = Config {
+        graph_size: 80,
+        cluster_size: 10,
+        population: PopulationModel {
+            lifespan_mean_secs: 400.0,
+            ..Default::default()
+        },
+        ..Config::default()
+    };
+    let single = reliability_trials(&churny, 600.0, &base);
+    for threads in [2, 8] {
+        let sharded = reliability_trials(&churny, 600.0, &SimTrialOptions { threads, ..base });
+        assert_eq!(
+            single.per_trial, sharded.per_trial,
+            "reliability trials diverged at {threads} threads"
+        );
+    }
+}

@@ -4,7 +4,7 @@
 //! a single `u64` seed: the paper's figures are averages over repeated
 //! trials, and regenerating a figure must yield the same rows every
 //! time. [`SpRng`] wraps a fixed-algorithm generator (xoshiro256++
-//! seeded through SplitMix64) rather than [`rand::rngs::StdRng`] so the
+//! seeded through SplitMix64) rather than `rand::rngs::StdRng` so the
 //! stream is stable across `rand` versions, and adds *splitting*: each
 //! trial, node, or subsystem derives an independent child stream, so
 //! adding a sampling site in one module never perturbs the draws seen
