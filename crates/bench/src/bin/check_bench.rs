@@ -142,6 +142,9 @@ fn check_report(name: &str, baseline: &Report, fresh: &Report, tol: f64) -> u32 
             b_mode, f_mode
         );
     }
+    // `sim_*` covers both the plain churn workload and the fault-path
+    // crash-storm workload (`sim_crash_storm_faults`): both report the
+    // same engine speedup/throughput fields.
     let rules = match baseline.strings.get("bench").map(String::as_str) {
         Some(b) if b.starts_with("sim_") => SIM_RULES,
         Some(b) if b.starts_with("analyze_") => ANALYZE_RULES,
@@ -187,7 +190,7 @@ fn main() -> ExitCode {
 
     let mut failures = 0;
     let mut compared = 0;
-    for name in ["BENCH_sim.json", "BENCH_analyze.json"] {
+    for name in ["BENCH_sim.json", "BENCH_faults.json", "BENCH_analyze.json"] {
         let b_path = format!("{baseline_dir}/{name}");
         let f_path = format!("{fresh_dir}/{name}");
         let Ok(b_text) = std::fs::read_to_string(&b_path) else {
@@ -277,6 +280,18 @@ mod tests {
         assert_eq!(check_report("sim", &base, &ok, 0.25), 0);
         let regressed = parse_flat_json(&sim_quick(1.2));
         assert_eq!(check_report("sim", &base, &regressed, 0.25), 1);
+    }
+
+    #[test]
+    fn fault_reports_use_sim_rules() {
+        let storm = SIM_PAPER.replace("sim_standard_churn_flood", "sim_crash_storm_faults");
+        let base = parse_flat_json(&storm);
+        assert_eq!(check_report("faults", &base, &base, 0.25), 0);
+        let regressed = parse_flat_json(&storm.replace(
+            "\"speedup_vs_reference\": 2.15",
+            "\"speedup_vs_reference\": 1.0",
+        ));
+        assert_eq!(check_report("faults", &base, &regressed, 0.25), 1);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Performance trajectory for the analysis and simulation engines.
 //!
-//! Two sections, each with a Reference implementation (the original)
+//! Three sections, each with a Reference implementation (the original)
 //! and a Fast implementation, verified to agree before any speedup is
 //! reported:
 //!
@@ -12,7 +12,11 @@
 //!    The engines must produce bitwise-identical metrics. Emits
 //!    `repro_out/BENCH_sim.json` with events/sec, wall time,
 //!    allocations, and peak RSS.
-//! 2. **Analysis** — one full `analyze` pass — power-law overlay,
+//! 2. **Fault path** — the same churn workload with k = 2 redundancy
+//!    under the canonical crash-storm fault plan, so injection draws,
+//!    the retry/failover state machine, and orphan rejoins are on the
+//!    hot path. Emits `repro_out/BENCH_faults.json`.
+//! 3. **Analysis** — one full `analyze` pass — power-law overlay,
 //!    10 000 clusters (100 000 users at cluster size 10), TTL 7, full
 //!    source loop — under the Reference engine and the Fast engine
 //!    (reusable flood scratch, O(reach) charging, source-parallel
@@ -27,9 +31,10 @@
 //! `BENCH_*.json` therefore reports numbers attributable to its own
 //! section.
 //!
-//! `REPRO_QUICK=1` shrinks both workloads; `SP_THREADS` caps the Fast
+//! `REPRO_QUICK=1` shrinks every workload; `SP_THREADS` caps the Fast
 //! analysis engine's worker budget; `REPRO_OUT` overrides the output
-//! directory.
+//! directory; `REPRO_SECTIONS=sim,faults,analyze` selects a subset of
+//! sections (e.g. to regenerate one baseline).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -41,6 +46,7 @@ use sp_model::analysis::{analyze, AnalysisOptions, AnalysisResult, Engine};
 use sp_model::config::Config;
 use sp_model::instance::NetworkInstance;
 use sp_model::query_model::QueryModel;
+use sp_sim::scenario::crash_storm_plan;
 use sp_sim::{ReferenceSimulation, SimOptions, Simulation};
 use sp_stats::SpRng;
 
@@ -229,6 +235,125 @@ fn sim_section() {
     write_json("BENCH_sim.json", &json);
 }
 
+/// Fault-path workload: the canonical crash-storm plan (two waves each
+/// crashing a quarter of the live super-peers, inside a long
+/// message-loss window) on the churn workload with k = 2 redundancy,
+/// so the retry/failover and rejoin machinery is on the hot path.
+/// Engine agreement is asserted — bitwise, fault counters included —
+/// before the speedup is reported.
+fn faults_section() {
+    let cfg = Config {
+        graph_size: if quick_mode() { 1000 } else { 4000 },
+        cluster_size: 10,
+        ..Config::default()
+    }
+    .with_redundancy(true);
+    let duration_secs = if quick_mode() { 600.0 } else { 1800.0 };
+    let plan = crash_storm_plan(duration_secs);
+    let opts = SimOptions {
+        duration_secs,
+        seed: 42,
+        fault_seed: 42,
+        ..Default::default()
+    };
+    println!(
+        "-- fault path: crash-storm plan, {} peers (k = 2), {duration_secs} simulated s --",
+        cfg.graph_size
+    );
+
+    let reps: usize = std::env::var("REPRO_SIM_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&r| r >= 1)
+        .unwrap_or(5);
+
+    // Same interleaved best-of-reps protocol as the sim section.
+    let mut reference_s = f64::INFINITY;
+    let mut reference_metrics = None;
+    let mut delivered = 0;
+    let mut fast_s = f64::INFINITY;
+    let mut fast_metrics = None;
+    let mut fast_allocs = 0;
+    let mut fast = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let mut reference = ReferenceSimulation::with_faults(&cfg, opts, &plan);
+        let metrics = reference.run();
+        let wall = t.elapsed().as_secs_f64();
+        reference_s = reference_s.min(wall);
+        delivered = reference.events_delivered();
+        match &reference_metrics {
+            None => reference_metrics = Some(metrics),
+            Some(prev) => assert_eq!(prev, &metrics, "reference engine is not reproducible"),
+        }
+
+        let before = allocs();
+        let t = Instant::now();
+        let mut sim = Simulation::with_faults(&cfg, opts, &plan);
+        let metrics = sim.run();
+        let wall = t.elapsed().as_secs_f64();
+        fast_allocs = allocs() - before;
+        fast_s = fast_s.min(wall);
+        match &fast_metrics {
+            None => fast_metrics = Some(metrics),
+            Some(prev) => assert_eq!(prev, &metrics, "fast engine is not reproducible"),
+        }
+        fast = Some(sim);
+    }
+    let reference_metrics = reference_metrics.expect("reps >= 1");
+    let fast_metrics = fast_metrics.expect("reps >= 1");
+    let fast = fast.expect("reps >= 1");
+    assert_eq!(
+        reference_metrics, fast_metrics,
+        "sim engines diverged on the fault-path workload"
+    );
+    assert_eq!(delivered, fast.events_delivered());
+    let f = &fast_metrics.faults;
+    assert!(
+        f.conserved(),
+        "fault accounting leaked queries on the benchmark workload"
+    );
+
+    let eps_reference = delivered as f64 / reference_s;
+    let eps_fast = fast.events_delivered() as f64 / fast_s;
+    let speedup = reference_s / fast_s;
+    println!(
+        "reference engine: {reference_s:>8.3} s best of {reps}  ({delivered} events, {eps_reference:.0} events/s)"
+    );
+    println!(
+        "fast engine:      {fast_s:>8.3} s best of {reps}  ({} events, {eps_fast:.0} events/s, {fast_allocs} allocations)",
+        fast.events_delivered()
+    );
+    println!(
+        "speedup vs reference: {speedup:.2}x  ({} crashed, {} dropped, {} lost of {} issued)",
+        f.injected_crash, f.injected_drop, f.queries_lost, f.queries_issued
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"sim_crash_storm_faults\",\n  \"mode\": \"{mode}\",\n  \"graph_size\": {gs},\n  \"duration_secs\": {dur},\n  \"seed\": {seed},\n  \"fault_seed\": {fseed},\n  \"fault_plan_len\": {fpl},\n  \"events_delivered\": {ev},\n  \"reference_wall_s\": {refs:.4},\n  \"fast_wall_s\": {fs:.4},\n  \"events_per_sec_reference\": {epr:.1},\n  \"events_per_sec_fast\": {epf:.1},\n  \"speedup_vs_reference\": {sp:.3},\n  \"fast_run_allocs\": {fa},\n  \"queries_issued\": {qi},\n  \"queries_lost\": {ql},\n  \"recovered_retry\": {rr},\n  \"recovered_failover\": {rf},\n  \"injected_crash\": {ic},\n  \"injected_drop\": {id}\n}}\n",
+        mode = if quick_mode() { "quick" } else { "paper" },
+        gs = cfg.graph_size,
+        dur = duration_secs,
+        seed = opts.seed,
+        fseed = opts.fault_seed,
+        fpl = plan.faults.len(),
+        ev = delivered,
+        refs = reference_s,
+        fs = fast_s,
+        epr = eps_reference,
+        epf = eps_fast,
+        sp = speedup,
+        fa = fast_allocs,
+        qi = f.queries_issued,
+        ql = f.queries_lost,
+        rr = f.recovered_retry,
+        rf = f.recovered_failover,
+        ic = f.injected_crash,
+        id = f.injected_drop,
+    );
+    write_json("BENCH_faults.json", &json);
+}
+
 fn analyze_section() {
     let cfg = Config {
         graph_size: if quick_mode() { 10_000 } else { 100_000 },
@@ -354,6 +479,15 @@ fn analyze_section() {
     write_json("BENCH_analyze.json", &json);
 }
 
+/// Whether a section is selected by `REPRO_SECTIONS` (a comma list of
+/// `sim`, `faults`, `analyze`; unset = all).
+fn section_enabled(name: &str) -> bool {
+    match std::env::var("REPRO_SECTIONS") {
+        Ok(list) => list.split(',').any(|s| s.trim() == name),
+        Err(_) => true,
+    }
+}
+
 fn main() {
     banner(
         "Engine benchmarks",
@@ -361,7 +495,15 @@ fn main() {
     );
     // Smallest footprint first: VmHWM is monotonic, so the simulator's
     // RSS snapshot must be taken before the analysis instance exists.
-    sim_section();
-    println!();
-    analyze_section();
+    if section_enabled("sim") {
+        sim_section();
+        println!();
+    }
+    if section_enabled("faults") {
+        faults_section();
+        println!();
+    }
+    if section_enabled("analyze") {
+        analyze_section();
+    }
 }

@@ -40,12 +40,13 @@ impl Args {
                 if key.is_empty() {
                     return Err(ArgError("bare `--` is not a valid option".into()));
                 }
-                match iter.peek() {
-                    Some(next) if !next.starts_with("--") => {
-                        let value = iter.next().expect("peeked");
+                let takes_value = matches!(iter.peek(), Some(next) if !next.starts_with("--"));
+                if takes_value {
+                    if let Some(value) = iter.next() {
                         args.options.insert(key.to_string(), value);
                     }
-                    _ => args.flags.push(key.to_string()),
+                } else {
+                    args.flags.push(key.to_string());
                 }
             } else {
                 args.positional.push(tok);

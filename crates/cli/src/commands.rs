@@ -4,15 +4,17 @@ use sp_core::design::procedure::EvalOptions;
 use sp_core::design::{design, DesignConstraints, DesignGoals};
 use sp_core::experiments::{cluster_sweep, epl_table, Fidelity};
 use sp_core::model::config::{Config, GraphType};
+use sp_core::model::faults::FaultPlan;
 use sp_core::model::trials::TrialOptions;
 use sp_core::report::{ci, sci, Table};
 use sp_core::sim::engine::{SimOptions, Simulation};
 use sp_core::sim::scenario::{
-    reliability, steady_state, steady_trials, SimReport, SimTrialOptions,
+    crash_storm, crash_storm_trials, reliability, steady_trials, SimReport, SimTrialOptions,
 };
 use sp_core::{Load, NetworkBuilder};
 
 use crate::args::{ArgError, Args};
+use crate::error::CliError;
 
 /// Resolves the worker-thread budget: `--threads N` wins, then the
 /// `SP_THREADS` environment variable, then 0 (one worker per core).
@@ -85,7 +87,7 @@ fn with_common<'a>(extra: &'a [&'a str]) -> Vec<&'a str> {
 }
 
 /// `spnet evaluate` — mean-value analysis of one configuration.
-pub fn evaluate(args: &Args) -> Result<String, ArgError> {
+pub fn evaluate(args: &Args) -> Result<String, CliError> {
     args.ensure_known(&with_common(&["trials", "seed", "sources", "threads"]))?;
     let cfg = config_from(args)?;
     let trials = args.get_or("trials", 5usize)?;
@@ -122,7 +124,7 @@ pub fn evaluate(args: &Args) -> Result<String, ArgError> {
 }
 
 /// `spnet design` — the Figure 10 global design procedure.
-pub fn design_cmd(args: &Args) -> Result<String, ArgError> {
+pub fn design_cmd(args: &Args) -> Result<String, CliError> {
     args.ensure_known(&with_common(&[
         "reach",
         "max-up",
@@ -173,7 +175,7 @@ pub fn design_cmd(args: &Args) -> Result<String, ArgError> {
             ));
             Ok(s)
         }
-        Err(e) => Err(ArgError(format!("design failed: {e}"))),
+        Err(e) => Err(CliError::Runtime(format!("design failed: {e}"))),
     }
 }
 
@@ -185,7 +187,12 @@ pub fn design_cmd(args: &Args) -> Result<String, ArgError> {
 /// any thread count. `--metrics-json PATH` runs a single profiled
 /// trial and writes the engine's run manifest (event counts, queue
 /// high water, per-event-kind wall histograms) as JSON.
-pub fn simulate(args: &Args) -> Result<String, ArgError> {
+///
+/// `--faults PLAN.json` injects a [`FaultPlan`] into a single run;
+/// `--fault-seed` reseeds only the dedicated fault RNG stream.
+/// `--crash-storm` runs the canonical crash-storm plan against k = 1
+/// and k = 2 and compares lost queries and recovery paths.
+pub fn simulate(args: &Args) -> Result<String, CliError> {
     args.ensure_known(&with_common(&[
         "duration",
         "seed",
@@ -194,6 +201,9 @@ pub fn simulate(args: &Args) -> Result<String, ArgError> {
         "trials",
         "threads",
         "metrics-json",
+        "faults",
+        "fault-seed",
+        "crash-storm",
     ]))?;
     let mut cfg = config_from(args)?;
     if let Some(lifespan) = args.get("lifespan") {
@@ -205,22 +215,100 @@ pub fn simulate(args: &Args) -> Result<String, ArgError> {
     let seed = args.get_or("seed", 42u64)?;
     let trials = args.get_or("trials", 1usize)?;
     if trials == 0 {
-        return Err(ArgError("--trials: need at least one trial".into()));
+        return Err(CliError::Usage("--trials: need at least one trial".into()));
     }
     let metrics_json = args.get("metrics-json");
+    // The fault stream defaults to the run seed so `--seed` alone still
+    // names a fully reproducible faulted run.
+    let fault_seed = args.get_or("fault-seed", seed)?;
+    let plan = match args.get("faults") {
+        None => FaultPlan::default(),
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::Runtime(format!("--faults: cannot read {path:?}: {e}")))?;
+            FaultPlan::from_json(&text)
+                .map_err(|e| CliError::Runtime(format!("--faults: {path}: {e}")))?
+        }
+    };
+    if args.flag("crash-storm") {
+        if !plan.is_empty() {
+            return Err(CliError::Usage(
+                "--crash-storm runs its canonical built-in plan; drop --faults".into(),
+            ));
+        }
+        if args.flag("reliability") || metrics_json.is_some() {
+            return Err(CliError::Usage(
+                "--crash-storm cannot be combined with --reliability or --metrics-json".into(),
+            ));
+        }
+        if trials > 1 {
+            let s = crash_storm_trials(
+                &cfg,
+                duration,
+                &SimTrialOptions {
+                    trials,
+                    seed,
+                    threads: threads_from(args)?,
+                },
+            );
+            let mut t = Table::new(vec!["Metric", "k = 1", "k = 2"]);
+            t.row(vec!["queries lost".into(), ci(&s.lost_k1), ci(&s.lost_k2)]);
+            t.row(vec![
+                "availability".into(),
+                ci(&s.availability_k1),
+                ci(&s.availability_k2),
+            ]);
+            return Ok(format!("{trials} crash-storm trials\n\n{}", t.render()));
+        }
+        let c = crash_storm(&cfg, duration, seed, fault_seed);
+        let mut t = Table::new(vec!["Metric", "k = 1", "k = 2"]);
+        let count = |f: fn(&sp_core::sim::scenario::CrashStormReport) -> u64,
+                     t: &mut Table,
+                     label: &str| {
+            t.row(vec![
+                label.into(),
+                f(&c.k1).to_string(),
+                f(&c.k2).to_string(),
+            ]);
+        };
+        count(|r| r.queries_issued, &mut t, "queries issued");
+        count(|r| r.queries_lost, &mut t, "queries lost");
+        count(|r| r.recovered_retry, &mut t, "recovered by retry");
+        count(|r| r.recovered_failover, &mut t, "recovered by failover");
+        count(|r| r.injected_crash, &mut t, "super-peers crashed");
+        count(|r| r.cluster_failures, &mut t, "cluster failures");
+        count(|r| r.orphan_events, &mut t, "clients orphaned");
+        count(|r| r.orphan_gave_up, &mut t, "orphans gave up");
+        t.row(vec![
+            "availability".into(),
+            format!("{:.4}", c.k1.availability),
+            format!("{:.4}", c.k2.availability),
+        ]);
+        t.row(vec![
+            "mean reconnect (s)".into(),
+            format!("{:.1}", c.k1.mean_reconnect_secs),
+            format!("{:.1}", c.k2.mean_reconnect_secs),
+        ]);
+        return Ok(t.render());
+    }
     if args.flag("reliability") {
         if metrics_json.is_some() {
-            return Err(ArgError(
+            return Err(CliError::Usage(
                 "--metrics-json describes a single steady-state run; \
                  it cannot be combined with --reliability"
                     .into(),
             ));
         }
         if trials > 1 {
-            return Err(ArgError(
+            return Err(CliError::Usage(
                 "--trials is only supported for the steady-state scenario \
                  (drop --reliability)"
                     .into(),
+            ));
+        }
+        if !plan.is_empty() {
+            return Err(CliError::Usage(
+                "--reliability runs its own churn comparison; drop --faults".into(),
             ));
         }
         let c = reliability(&cfg, duration, seed);
@@ -244,8 +332,15 @@ pub fn simulate(args: &Args) -> Result<String, ArgError> {
     }
     if trials > 1 {
         if metrics_json.is_some() {
-            return Err(ArgError(
+            return Err(CliError::Usage(
                 "--metrics-json describes a single run; use --trials 1".into(),
+            ));
+        }
+        if !plan.is_empty() {
+            return Err(CliError::Usage(
+                "--faults describes a single run; use --trials 1 \
+                 (or --crash-storm --trials N for the built-in plan)"
+                    .into(),
             ));
         }
         let s = steady_trials(
@@ -263,28 +358,31 @@ pub fn simulate(args: &Args) -> Result<String, ArgError> {
         t.row(vec!["super-peer total bw (bps)".into(), ci(&s.sp_total_bw)]);
         return Ok(format!("{trials} trials\n\n{}", t.render()));
     }
-    let r = if let Some(path) = metrics_json {
-        // Drive the engine directly so the run manifest (event counts,
-        // queue high water, wall histograms) can be captured alongside
-        // the standard report.
-        let mut sim = Simulation::new(
-            &cfg,
-            SimOptions {
-                duration_secs: duration,
-                seed,
-                profile: true,
-                ..Default::default()
-            },
-        );
-        let start = std::time::Instant::now();
-        let raw = sim.run();
+    // Single run: drive the engine directly so the run manifest (event
+    // counts, queue high water, wall histograms, fault counters) can be
+    // captured alongside the standard report. An empty plan is bitwise
+    // inert, so the unfaulted path is unchanged.
+    let mut sim = Simulation::with_faults(
+        &cfg,
+        SimOptions {
+            duration_secs: duration,
+            seed,
+            fault_seed,
+            profile: metrics_json.is_some(),
+            ..Default::default()
+        },
+        &plan,
+    );
+    let start = std::time::Instant::now();
+    let raw = sim.run();
+    if let Some(path) = metrics_json {
         let manifest = sim.manifest(start.elapsed().as_secs_f64());
-        std::fs::write(path, manifest.to_json())
-            .map_err(|e| ArgError(format!("--metrics-json: cannot write {path:?}: {e}")))?;
-        SimReport::from_raw(raw)
-    } else {
-        steady_state(&cfg, duration, seed)
-    };
+        std::fs::write(path, manifest.to_json()).map_err(|e| {
+            CliError::Runtime(format!("--metrics-json: cannot write {path:?}: {e}"))
+        })?;
+    }
+    let fm = raw.faults.clone();
+    let r = SimReport::from_raw(raw);
     let mut t = Table::new(vec!["Metric", "Value"]);
     t.row(vec!["queries simulated".into(), r.queries.to_string()]);
     t.row(vec![
@@ -301,11 +399,42 @@ pub fn simulate(args: &Args) -> Result<String, ArgError> {
         "cluster failures".into(),
         r.cluster_failures.to_string(),
     ]);
+    if !plan.is_empty() {
+        t.row(vec!["queries issued".into(), fm.queries_issued.to_string()]);
+        t.row(vec!["queries lost".into(), fm.queries_lost.to_string()]);
+        t.row(vec![
+            "recovered by retry".into(),
+            fm.recovered_retry.to_string(),
+        ]);
+        t.row(vec![
+            "recovered by failover".into(),
+            fm.recovered_failover.to_string(),
+        ]);
+        t.row(vec![
+            "faults injected (crash/drop/delay/partition/flaky)".into(),
+            format!(
+                "{}/{}/{}/{}/{}",
+                fm.injected_crash,
+                fm.injected_drop,
+                fm.injected_delay,
+                fm.injected_partition_block,
+                fm.injected_flaky
+            ),
+        ]);
+        t.row(vec![
+            "orphans gave up".into(),
+            fm.orphan_gave_up.to_string(),
+        ]);
+        t.row(vec![
+            "mean reconnect (s)".into(),
+            format!("{:.1}", fm.reconnect.mean_secs()),
+        ]);
+    }
     Ok(t.render())
 }
 
 /// `spnet sweep` — cluster-size sweep of one system.
-pub fn sweep(args: &Args) -> Result<String, ArgError> {
+pub fn sweep(args: &Args) -> Result<String, CliError> {
     args.ensure_known(&with_common(&[
         "clusters", "trials", "seed", "sources", "threads",
     ]))?;
@@ -348,7 +477,7 @@ pub fn sweep(args: &Args) -> Result<String, ArgError> {
 }
 
 /// `spnet epl` — the Figure 9 lookup table.
-pub fn epl(args: &Args) -> Result<String, ArgError> {
+pub fn epl(args: &Args) -> Result<String, CliError> {
     args.ensure_known(&["outdegrees", "reaches", "nodes", "samples", "seed"])?;
     let outdegrees = args.get_list_or("outdegrees", &[3.1f64, 10.0, 20.0, 40.0])?;
     let reaches = args.get_list_or("reaches", &[50usize, 200, 500])?;
@@ -396,13 +525,22 @@ pub fn help() -> String {
        --metrics-json P   write the engine run manifest (event counts,\n\
                           queue high water, per-event wall histograms) to P\n\
        --lifespan S       mean peer lifespan, seconds\n\
-       --reliability      k=1 vs k=2 availability comparison\n\n\
+       --reliability      k=1 vs k=2 availability comparison\n\
+       --faults PLAN      inject the FaultPlan JSON at PLAN (crashes,\n\
+                          message loss/delay, partitions, flaky partners)\n\
+                          into a single run; adds recovery rows\n\
+       --fault-seed N     reseed only the fault RNG stream (default: --seed);\n\
+                          never perturbs the churn/query schedule\n\
+       --crash-storm      canonical crash-storm plan against k=1 vs k=2\n\
+                          (with --trials N: mean ± 95% CI over N storms)\n\n\
      EXAMPLES:\n\
        spnet evaluate --users 10000 --cluster 10 --redundancy\n\
        spnet design --users 20000 --reach 3000 --max-up 100000 --max-conns 100\n\
        spnet simulate --users 1000 --lifespan 600 --reliability\n\
        spnet simulate --users 1000 --trials 8 --threads 4\n\
        spnet simulate --users 1000 --metrics-json run_manifest.json\n\
+       spnet simulate --users 1000 --lifespan 600 --crash-storm --duration 2400\n\
+       spnet simulate --users 1000 --faults plan.json --metrics-json run.json\n\
        spnet sweep --users 5000 --strong --ttl 1 --clusters 1,10,100,1000\n\
        spnet epl --outdegrees 3.1,10,20 --reaches 100,500\n"
         .to_string()
@@ -438,7 +576,8 @@ mod tests {
     #[test]
     fn evaluate_rejects_unknown_option() {
         let err = evaluate(&args(&["--userz", "300"])).unwrap_err();
-        assert!(err.0.contains("userz"));
+        assert!(err.to_string().contains("userz"));
+        assert_eq!(err.exit_code(), 2);
     }
 
     #[test]
@@ -553,9 +692,9 @@ mod tests {
             "x.json",
         ]))
         .unwrap_err();
-        assert!(err.0.contains("--reliability"));
+        assert!(err.to_string().contains("--reliability"));
         let err = simulate(&args(&["--users", "100", "--trials", "0"])).unwrap_err();
-        assert!(err.0.contains("trials"));
+        assert!(err.to_string().contains("trials"));
         let err = simulate(&args(&[
             "--users",
             "100",
@@ -565,7 +704,164 @@ mod tests {
             "x.json",
         ]))
         .unwrap_err();
-        assert!(err.0.contains("single run"));
+        assert!(err.to_string().contains("single run"));
+        // All of the above are the caller's fault.
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    fn write_plan(name: &str, plan: &FaultPlan) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(name);
+        std::fs::write(&path, plan.to_json()).unwrap();
+        path
+    }
+
+    #[test]
+    fn simulate_faults_round_trip_into_manifest() {
+        use sp_core::model::faults::FaultSpec;
+        let plan = FaultPlan {
+            faults: vec![
+                FaultSpec::CrashCluster {
+                    at_secs: 100.0,
+                    cluster_index: 0,
+                },
+                FaultSpec::MessageLoss {
+                    from_secs: 50.0,
+                    until_secs: 500.0,
+                    drop_prob: 0.5,
+                },
+            ],
+            ..FaultPlan::default()
+        };
+        let plan_path = write_plan("spnet_cli_fault_plan_test.json", &plan);
+        let out_path = std::env::temp_dir().join("spnet_cli_fault_manifest_test.json");
+        let out = simulate(&args(&[
+            "--users",
+            "100",
+            "--cluster",
+            "10",
+            "--lifespan",
+            "500",
+            "--duration",
+            "600",
+            "--fault-seed",
+            "77",
+            "--faults",
+            plan_path.to_str().unwrap(),
+            "--metrics-json",
+            out_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("queries lost"));
+        assert!(out.contains("faults injected"));
+        let json = std::fs::read_to_string(&out_path).unwrap();
+        std::fs::remove_file(&plan_path).ok();
+        std::fs::remove_file(&out_path).ok();
+        // The manifest reflects the loaded plan and fault stream, and
+        // both plan entries actually injected something.
+        assert!(json.contains("\"fault_seed\": 77"));
+        assert!(json.contains(&format!("\"fault_plan_len\": {}", plan.faults.len())));
+        let count_after = |key: &str| -> u64 {
+            let tail = &json[json.find(key).unwrap() + key.len()..];
+            let digits: String = tail
+                .chars()
+                .skip_while(|c| !c.is_ascii_digit())
+                .take_while(char::is_ascii_digit)
+                .collect();
+            digits.parse().unwrap()
+        };
+        assert!(count_after("\"crash\":") > 0, "crash_cluster never fired");
+        assert!(count_after("\"drop\":") > 0, "message_loss never fired");
+    }
+
+    #[test]
+    fn simulate_fault_errors_are_runtime_and_one_line() {
+        let err = simulate(&args(&[
+            "--users",
+            "100",
+            "--faults",
+            "/nonexistent/spnet_plan.json",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+        assert!(!err.to_string().contains('\n'));
+        assert!(err.to_string().contains("--faults"));
+
+        let bad = std::env::temp_dir().join("spnet_cli_bad_plan_test.json");
+        std::fs::write(&bad, "{\"faults\": [").unwrap();
+        let err = simulate(&args(&[
+            "--users",
+            "100",
+            "--faults",
+            bad.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        std::fs::remove_file(&bad).ok();
+        assert_eq!(err.exit_code(), 1);
+        assert!(!err.to_string().contains('\n'));
+        assert!(err.to_string().contains("json parse error"));
+    }
+
+    #[test]
+    fn simulate_rejects_faults_with_trials_or_reliability() {
+        let plan_path = write_plan("spnet_cli_plan_conflict_test.json", &{
+            use sp_core::model::faults::FaultSpec;
+            FaultPlan {
+                faults: vec![FaultSpec::CrashFraction {
+                    at_secs: 10.0,
+                    fraction: 0.5,
+                }],
+                ..FaultPlan::default()
+            }
+        });
+        let plan = plan_path.to_str().unwrap();
+        let err = simulate(&args(&[
+            "--users", "100", "--faults", plan, "--trials", "2",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("--trials 1"));
+        let err = simulate(&args(&[
+            "--users",
+            "100",
+            "--faults",
+            plan,
+            "--reliability",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        let err = simulate(&args(&[
+            "--users",
+            "100",
+            "--faults",
+            plan,
+            "--crash-storm",
+        ]))
+        .unwrap_err();
+        std::fs::remove_file(&plan_path).ok();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("--crash-storm"));
+    }
+
+    #[test]
+    fn simulate_crash_storm_compares_redundancy() {
+        let out = simulate(&args(&[
+            "--users",
+            "120",
+            "--cluster",
+            "12",
+            "--lifespan",
+            "400",
+            "--duration",
+            "1200",
+            "--seed",
+            "7",
+            "--crash-storm",
+        ]))
+        .unwrap();
+        assert!(out.contains("k = 1"));
+        assert!(out.contains("k = 2"));
+        assert!(out.contains("queries lost"));
+        assert!(out.contains("recovered by failover"));
     }
 
     #[test]

@@ -1,0 +1,64 @@
+//! The CLI's error type and exit-code policy.
+//!
+//! Every failure surfaces as a single `error: …` line on stderr — no
+//! panics, no backtraces — with a conventional exit code: `2` for
+//! usage errors (unknown options, malformed flag values) and `1` for
+//! runtime failures (unreadable files, malformed plan JSON, a failed
+//! design procedure).
+
+use crate::args::ArgError;
+
+/// A CLI failure, split by whose fault it is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// The invocation was malformed (bad flag, unparseable value);
+    /// exits with code 2.
+    Usage(String),
+    /// The invocation was fine but the work failed (I/O, malformed
+    /// input file, infeasible design); exits with code 1.
+    Runtime(String),
+}
+
+impl CliError {
+    /// The process exit code this error maps to.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Runtime(_) => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) | CliError::Runtime(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Usage(e.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_follow_convention() {
+        assert_eq!(CliError::Usage("x".into()).exit_code(), 2);
+        assert_eq!(CliError::Runtime("x".into()).exit_code(), 1);
+    }
+
+    #[test]
+    fn arg_errors_are_usage_errors() {
+        let e: CliError = ArgError("bad flag".into()).into();
+        assert_eq!(e, CliError::Usage("bad flag".into()));
+        assert_eq!(e.to_string(), "bad flag");
+    }
+}

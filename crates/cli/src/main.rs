@@ -7,10 +7,12 @@
 
 mod args;
 mod commands;
+mod error;
 
 use std::process::ExitCode;
 
 use args::Args;
+use error::CliError;
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -18,7 +20,7 @@ fn main() -> ExitCode {
         Ok(p) => p,
         Err(e) => {
             eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(CliError::from(e).exit_code());
         }
     };
     let command = parsed
@@ -33,7 +35,7 @@ fn main() -> ExitCode {
         "sweep" => commands::sweep(&parsed),
         "epl" => commands::epl(&parsed),
         "help" | "--help" | "-h" => Ok(commands::help()),
-        other => Err(args::ArgError(format!(
+        other => Err(CliError::Usage(format!(
             "unknown command {other:?} — run `spnet help`"
         ))),
     };
@@ -54,7 +56,7 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }

@@ -51,6 +51,7 @@
 pub mod analysis;
 pub mod config;
 pub mod costs;
+pub mod faults;
 pub mod instance;
 pub mod load;
 pub mod population;
@@ -59,6 +60,7 @@ pub mod trials;
 
 pub use analysis::{analyze, AnalysisOptions, AnalysisResult, Engine, InstanceMetrics};
 pub use config::{Config, GraphType};
+pub use faults::{FaultPlan, FaultPlanError, FaultSpec, RetryPolicy};
 pub use instance::{NetworkInstance, Role};
 pub use load::Load;
 pub use population::PopulationModel;

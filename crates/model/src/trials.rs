@@ -217,6 +217,18 @@ pub fn split_thread_budget(budget: usize, jobs: usize) -> (usize, usize) {
     (outer, inner)
 }
 
+/// Renders a caught panic payload as a message (panics carry either a
+/// `&'static str` or a formatted `String`).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
 /// Runs `opts.trials` independent instances of `config` and summarizes.
 ///
 /// # Panics
@@ -268,20 +280,40 @@ pub fn run_trials(config: &Config, opts: &TrialOptions) -> TrialSummary {
         let run_trial = &run_trial;
         let handles: Vec<_> = (0..outer)
             .map(|w| {
-                scope.spawn(move || {
+                scope.spawn(move || -> Result<Reduction, String> {
                     let mut local = Reduction::default();
                     let mut t = w;
                     while t < opts.trials {
-                        local.merge(&run_trial(t));
+                        // Catch per-trial panics so the propagated
+                        // message names the failing trial and seed
+                        // instead of a bare worker-join failure.
+                        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            run_trial(t)
+                        })) {
+                            Ok(red) => local.merge(&red),
+                            Err(payload) => {
+                                return Err(format!(
+                                    "trial {t} (root seed {:#x}) panicked: {}",
+                                    opts.seed,
+                                    panic_message(payload.as_ref())
+                                ))
+                            }
+                        }
                         t += outer;
                     }
-                    local
+                    Ok(local)
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("trial worker panicked"))
+            .map(|h| match h.join() {
+                Ok(Ok(red)) => red,
+                Ok(Err(msg)) => panic!("{msg}"),
+                Err(payload) => {
+                    panic!("trial worker panicked: {}", panic_message(payload.as_ref()))
+                }
+            })
             .collect::<Vec<_>>()
     });
 
@@ -381,6 +413,13 @@ mod tests {
         assert_eq!(split_thread_budget(16, 5), (5, 3));
         assert_eq!(split_thread_budget(4, 8), (4, 1));
         assert_eq!(split_thread_budget(0, 4), (1, 1));
+    }
+
+    #[test]
+    fn panic_payloads_render_as_strings() {
+        assert_eq!(panic_message(&"boom"), "boom");
+        assert_eq!(panic_message(&String::from("kaboom")), "kaboom");
+        assert_eq!(panic_message(&42i32), "non-string panic payload");
     }
 
     #[test]

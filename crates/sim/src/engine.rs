@@ -57,7 +57,10 @@ use sp_model::query_model::QueryModel;
 use sp_stats::dist::Normal;
 use sp_stats::{OnlineStats, SpRng};
 
+use sp_model::faults::FaultPlan;
+
 use crate::events::{ClusterId, Event, EventHandle, IndexedEventQueue, PeerId, SimTime};
+use crate::faults::{FaultMetrics, FaultState, QueryOutcome, Submission};
 use crate::metrics::{EventKind, RunManifest, SimMetrics};
 use crate::network::SimNetwork;
 
@@ -112,6 +115,10 @@ pub struct SimOptions {
     pub adapt: Option<AdaptSettings>,
     /// Query forwarding policy.
     pub forward_policy: ForwardPolicy,
+    /// Seed of the *dedicated* fault-injection RNG stream (see
+    /// [`crate::faults`]). Ignored when no fault plan is supplied;
+    /// changing it never perturbs the main churn/query schedule.
+    pub fault_seed: u64,
     /// Record per-event-type wall-time histograms (two `Instant::now`
     /// calls per event — leave off for throughput benchmarks).
     pub profile: bool,
@@ -128,6 +135,7 @@ impl Default for SimOptions {
             sample_interval_secs: 120.0,
             adapt: None,
             forward_policy: ForwardPolicy::FloodAll,
+            fault_seed: 0,
             profile: false,
         }
     }
@@ -186,6 +194,10 @@ pub struct RawMetrics {
     pub timeline: Vec<TimelinePoint>,
     /// Local-rule actions applied (adaptive mode).
     pub adapt_actions: u64,
+    /// Fault-injection and recovery counters (all zero without a fault
+    /// plan). Part of `RawMetrics` so the engine-equivalence and
+    /// thread-invariance checks cover recovery accounting bitwise.
+    pub faults: FaultMetrics,
 }
 
 impl RawMetrics {
@@ -214,6 +226,11 @@ pub struct Simulation {
     opts: SimOptions,
     metrics: RawMetrics,
     obs: SimMetrics,
+    /// Fault-injection state machine (inert for an empty plan).
+    faults: FaultState,
+    /// Fault counters retained past `run`'s `mem::take` so the
+    /// post-run manifest can render the recovery section.
+    faults_final: FaultMetrics,
     // Per-peer-slot handles for the (at most one) outstanding timer of
     // each kind, cancelled when the peer departs so the queue never
     // accumulates tombstones.
@@ -286,6 +303,18 @@ impl Simulation {
     ///
     /// Panics if the configuration is invalid.
     pub fn new(config: &Config, opts: SimOptions) -> Self {
+        Self::with_faults(config, opts, &FaultPlan::default())
+    }
+
+    /// Builds a simulation that injects the given fault plan. The plan
+    /// drives a dedicated RNG stream seeded from `opts.fault_seed`, so
+    /// an empty plan is bitwise identical to [`Simulation::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration or the fault plan is invalid.
+    pub fn with_faults(config: &Config, opts: SimOptions, plan: &FaultPlan) -> Self {
+        plan.validate().expect("invalid fault plan");
         let mut rng = SpRng::seed_from_u64(opts.seed);
         let inst = NetworkInstance::generate(config, &mut rng).expect("invalid configuration");
         let model = QueryModel::from_config(&config.query_model);
@@ -299,6 +328,8 @@ impl Simulation {
             opts,
             metrics: RawMetrics::default(),
             obs: SimMetrics::default(),
+            faults: FaultState::new(plan.clone(), opts.fault_seed),
+            faults_final: FaultMetrics::default(),
             leave_h: Vec::new(),
             query_h: Vec::new(),
             update_h: Vec::new(),
@@ -352,6 +383,15 @@ impl Simulation {
             redundancy_k: self.config.redundancy_k,
             wall_secs,
             metrics: self.obs.clone(),
+            fault_seed: self.opts.fault_seed,
+            fault_plan_len: self.faults.plan().faults.len(),
+            faults: if self.faults_final == FaultMetrics::default() {
+                // `manifest` may be called mid-run (before the final
+                // `mem::take`): fall back to the live counters.
+                self.metrics.faults.clone()
+            } else {
+                self.faults_final.clone()
+            },
         }
     }
 
@@ -449,6 +489,12 @@ impl Simulation {
                 self.adapt_h[c as usize] = h;
             }
         }
+        // Compile the fault plan into first-class queue events (both
+        // engines schedule them at this exact bootstrap point, so the
+        // FIFO tie-break sequence numbers line up).
+        for (index, time, start) in self.faults.schedule() {
+            self.queue.schedule(time, Event::Fault { index, start });
+        }
         let _ = inst; // roles fully mirrored
     }
 
@@ -493,6 +539,7 @@ impl Simulation {
         self.finalize();
         self.obs.queue_high_water = self.queue.high_water();
         self.obs.profiled = self.opts.profile;
+        self.faults_final = self.metrics.faults.clone();
         std::mem::take(&mut self.metrics)
     }
 
@@ -527,7 +574,7 @@ impl Simulation {
                     return;
                 }
             }
-            Event::PeerJoin | Event::Sample => {}
+            Event::PeerJoin | Event::Sample | Event::Fault { .. } => {}
         }
         let kind = EventKind::of(&event);
         self.obs.record_delivered(kind);
@@ -545,7 +592,8 @@ impl Simulation {
                 peer,
                 generation,
                 orphaned_at,
-            } => self.on_rejoin(peer, generation, orphaned_at),
+                attempt,
+            } => self.on_rejoin(peer, generation, orphaned_at, attempt),
             Event::RecruitPartner {
                 cluster,
                 generation,
@@ -555,6 +603,7 @@ impl Simulation {
                 generation,
             } => self.on_adapt(cluster, generation),
             Event::Sample => self.on_sample(),
+            Event::Fault { index, start } => self.on_fault(index, start),
         }
         if let Some(start) = start {
             self.obs.wall[kind as usize].record(start.elapsed().as_nanos() as u64);
@@ -606,6 +655,39 @@ impl Simulation {
     /// Picks the next round-robin partner of a cluster.
     fn rr_partner(&mut self, cluster: ClusterId) -> PeerId {
         rr_partner_net(&mut self.net, cluster)
+    }
+
+    /// Charges the failed attempts of one submission sequence: a
+    /// dropped attempt costs the client its send (the packet left, the
+    /// partner never saw it); a flaked attempt reached the partner
+    /// (both endpoints pay) but produced no response. The per-counter
+    /// charge sequences are order-insensitive here — every client-side
+    /// charge in a sequence is the identical value — so batching drops
+    /// before flakes is bitwise exact.
+    #[allow(clippy::too_many_arguments)]
+    fn charge_submission_failures(
+        &mut self,
+        client: PeerId,
+        partner: PeerId,
+        drops: u32,
+        flakes: u32,
+        bytes: f64,
+        send_units: f64,
+        recv_units: f64,
+        c_conns: f64,
+        p_conns: f64,
+    ) {
+        let mux = self.config.costs.multiplex_per_connection;
+        for _ in 0..drops {
+            if self.net.peer_mut(client).is_some() {
+                self.net.counters[client as usize].send(bytes, send_units + mux * c_conns);
+            }
+        }
+        for _ in 0..flakes {
+            self.charge_pair(
+                client, partner, bytes, send_units, recv_units, c_conns, p_conns,
+            );
+        }
     }
 
     // ---- event handlers ----
@@ -836,6 +918,7 @@ impl Simulation {
                     peer: client,
                     generation,
                     orphaned_at: self.now,
+                    attempt: 1,
                 },
             );
             self.rejoin_h[client as usize] = h;
@@ -846,33 +929,80 @@ impl Simulation {
         self.net.remove_cluster(c);
     }
 
-    fn on_rejoin(&mut self, peer: PeerId, generation: u32, orphaned_at: SimTime) {
+    fn on_rejoin(&mut self, peer: PeerId, generation: u32, orphaned_at: SimTime, attempt: u32) {
         let Some(info) = self.net.peer(peer, generation) else {
             return;
         };
         if info.cluster.is_some() {
             return; // already re-homed (e.g. by an adaptive action)
         }
-        match self.net.random_cluster(&mut self.rng) {
-            Some(c) => {
-                self.metrics.client_disconnected_secs += self.now - orphaned_at;
-                self.metrics.downtime.push(self.now - orphaned_at);
+        // The connection protocol is a message exchange like any other:
+        // while a loss window is active, this attempt's handshake can
+        // be dropped in flight (fault stream, drawn after the discovery
+        // pick so the main RNG sequence is untouched).
+        let target = self.net.random_cluster(&mut self.rng);
+        let delivered =
+            target.is_some() && !(self.faults.drops_possible() && self.faults.draw_drop());
+        match target {
+            Some(c) if delivered => {
+                let downtime = self.now - orphaned_at;
+                self.metrics.client_disconnected_secs += downtime;
+                self.metrics.downtime.push(downtime);
+                self.metrics.faults.reconnect.record(downtime);
                 self.rejoin_h[peer as usize] = EventHandle::NULL;
                 self.attach_and_charge_join(peer, c);
             }
-            None => {
-                let dt = self.exp_delay(1.0 / self.opts.rejoin_mean_secs.max(1e-9));
-                let h = self.queue.schedule(
-                    self.now + dt,
-                    Event::ClientRejoin {
-                        peer,
-                        generation,
-                        orphaned_at,
-                    },
-                );
-                self.rejoin_h[peer as usize] = h;
+            _ => {
+                if target.is_some() {
+                    self.metrics.faults.injected_drop += 1;
+                }
+                if self
+                    .faults
+                    .rejoin_cap()
+                    .is_some_and(|cap| attempt >= cap.max(1))
+                {
+                    self.give_up_rejoin(peer, orphaned_at);
+                } else {
+                    let dt = self.exp_delay(1.0 / self.opts.rejoin_mean_secs.max(1e-9));
+                    let h = self.queue.schedule(
+                        self.now + dt,
+                        Event::ClientRejoin {
+                            peer,
+                            generation,
+                            orphaned_at,
+                            attempt: attempt + 1,
+                        },
+                    );
+                    self.rejoin_h[peer as usize] = h;
+                }
             }
         }
+    }
+
+    /// An orphaned client exhausted the fault plan's rejoin-attempt
+    /// cap: it departs for good, mirroring the orphaned-leave
+    /// accounting (and, like any departure, triggers a replenishing
+    /// arrival so the population stays stable).
+    fn give_up_rejoin(&mut self, peer: PeerId, orphaned_at: SimTime) {
+        self.metrics.client_disconnected_secs += self.now - orphaned_at;
+        self.metrics.faults.orphan_gave_up += 1;
+        let exited = self.net.remove_peer(peer);
+        self.cancel_handle(self.leave_h[peer as usize]);
+        self.cancel_handle(self.query_h[peer as usize]);
+        self.cancel_handle(self.update_h[peer as usize]);
+        self.leave_h[peer as usize] = EventHandle::NULL;
+        self.query_h[peer as usize] = EventHandle::NULL;
+        self.update_h[peer as usize] = EventHandle::NULL;
+        self.rejoin_h[peer as usize] = EventHandle::NULL;
+        let alive_for = self.now - exited.joined_at;
+        if alive_for > 1.0 {
+            let rate = self.net.counters[peer as usize].mean_rate(alive_for);
+            self.metrics.client_in.push(rate.in_bw);
+            self.metrics.client_out.push(rate.out_bw);
+            self.metrics.client_proc.push(rate.proc);
+        }
+        let dt = self.exp_delay(1.0 / self.opts.replenish_mean_secs.max(1e-9));
+        self.queue.schedule(self.now + dt, Event::PeerJoin);
     }
 
     fn on_recruit(&mut self, cluster: ClusterId, generation: u32) {
@@ -976,17 +1106,76 @@ impl Simulation {
         let qbytes = cm.query_bytes();
         let (send_q, recv_q) = (cm.send_query_units(), cm.recv_query_units());
 
-        // Client → super-peer submission.
-        let entry_partner = if is_partner {
-            peer
+        // Client → super-peer submission, driven through the fault
+        // plan's timeout/retry/failover state machine. Partner-sourced
+        // queries submit to themselves: always a draw-free direct hit.
+        if is_partner {
+            self.metrics.faults.record_submission(&Submission::DIRECT);
         } else {
-            let partner = self.rr_partner(sc);
+            let partners_len = self.net.clusters[sc as usize]
+                .as_ref()
+                .expect("alive")
+                .partners
+                .len();
+            let sub = self.faults.submit_query(partners_len);
+            let primary = self.rr_partner(sc);
             let c_conns = self.client_connections(sc);
             let p_conns = self.partner_connections(sc);
-            self.charge_pair(peer, partner, qbytes, send_q, recv_q, c_conns, p_conns);
-            partner
-        };
-        let _ = entry_partner;
+            self.charge_submission_failures(
+                peer,
+                primary,
+                sub.primary_drops,
+                sub.primary_flakes,
+                qbytes,
+                send_q,
+                recv_q,
+                c_conns,
+                p_conns,
+            );
+            let lost = match sub.outcome {
+                QueryOutcome::Direct | QueryOutcome::Retry => {
+                    self.charge_pair(peer, primary, qbytes, send_q, recv_q, c_conns, p_conns);
+                    false
+                }
+                QueryOutcome::Failover => {
+                    let failover = self.rr_partner(sc);
+                    self.charge_submission_failures(
+                        peer,
+                        failover,
+                        sub.failover_drops,
+                        sub.failover_flakes,
+                        qbytes,
+                        send_q,
+                        recv_q,
+                        c_conns,
+                        p_conns,
+                    );
+                    self.charge_pair(peer, failover, qbytes, send_q, recv_q, c_conns, p_conns);
+                    false
+                }
+                QueryOutcome::Lost => {
+                    if partners_len >= 2 {
+                        let failover = self.rr_partner(sc);
+                        self.charge_submission_failures(
+                            peer,
+                            failover,
+                            sub.failover_drops,
+                            sub.failover_flakes,
+                            qbytes,
+                            send_q,
+                            recv_q,
+                            c_conns,
+                            p_conns,
+                        );
+                    }
+                    true
+                }
+            };
+            self.metrics.faults.record_submission(&sub);
+            if lost {
+                return; // every attempt failed: the query never floods
+            }
+        }
 
         // Flood over the cluster overlay, charging every transmission
         // inline as it is discovered (see `flood_and_charge` for why
@@ -1446,6 +1635,37 @@ impl Simulation {
             .schedule(self.now + self.opts.sample_interval_secs, Event::Sample);
     }
 
+    /// Applies a fault-plan event. Crash faults resolve their victims
+    /// against the alive-cluster list (same iteration order in both
+    /// engines) and then force each victim partner through the normal
+    /// `on_leave` path, so recruitment, cluster failure, and orphaning
+    /// behave exactly like organic churn.
+    fn on_fault(&mut self, index: u32, start: bool) {
+        let alive: Vec<ClusterId> = self.net.alive_clusters().collect();
+        match self.faults.on_fault_event(index, start, &alive) {
+            crate::faults::FaultAction::None => {}
+            crate::faults::FaultAction::Crash(victims) => {
+                // Snapshot (peer, generation) pairs first: crashing one
+                // cluster's partners must not shift a later victim's
+                // membership mid-iteration.
+                let mut doomed: Vec<(PeerId, u32)> = Vec::new();
+                for &c in &victims {
+                    if let Some(cl) = self.net.clusters[c as usize].as_ref() {
+                        for &p in &cl.partners {
+                            doomed.push((p, self.net.peer_generation(p)));
+                        }
+                    }
+                }
+                for (p, generation) in doomed {
+                    if self.net.peer(p, generation).is_some() {
+                        self.metrics.faults.injected_crash += 1;
+                        self.on_leave(p, generation);
+                    }
+                }
+            }
+        }
+    }
+
     fn finalize(&mut self) {
         // Account still-alive peers.
         for slot in 0..self.net.peers.len() {
@@ -1517,6 +1737,8 @@ impl Simulation {
             rng,
             config,
             opts,
+            metrics,
+            faults,
             stamp_cur,
             bfs_parent,
             bfs_depth,
@@ -1525,6 +1747,11 @@ impl Simulation {
             flood,
             ..
         } = self;
+        // Hoisted fault-window flags: a fault-free flood takes none of
+        // the fault branches and makes no fault-stream draws.
+        let part_on = faults.partitions_possible();
+        let drop_on = faults.drops_possible();
+        let delay_on = faults.delays_possible();
         let mux = config.costs.multiplex_per_connection;
         // Window accumulators are only observed by adapt ticks; skip
         // them when adaptation is off (see `LoadCounters`).
@@ -1598,12 +1825,32 @@ impl Simulation {
             // the result is bitwise identical while letting the sender
             // side hoist its cluster and peer lookups out of the loop.
             let v_conns = flood[vu].conns;
+            let v_part = part_on && faults.is_partitioned(v);
             let mut n_sent = 0usize;
             for &u in targets {
                 if skip_parent && u == parent {
                     continue;
                 }
+                // Partitioned link: severed before anything is sent
+                // (no charge, no rr advance, no discovery).
+                if part_on && (v_part || faults.is_partitioned(u)) {
+                    metrics.faults.injected_partition_block += 1;
+                    continue;
+                }
                 n_sent += 1;
+                // Message loss: the copy left the sender (charged with
+                // the bulk send below) but never arrives — the target
+                // is neither charged nor discovered through this edge.
+                if drop_on && faults.draw_drop() {
+                    metrics.faults.injected_drop += 1;
+                    continue;
+                }
+                if delay_on {
+                    if let Some(extra) = faults.draw_delay() {
+                        metrics.faults.injected_delay += 1;
+                        metrics.faults.delay_added_secs += extra;
+                    }
+                }
                 let uu = u as usize;
                 let fs = &mut flood[uu];
                 if fs.stamp != cur {

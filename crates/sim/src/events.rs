@@ -74,6 +74,10 @@ pub enum Event {
         /// When the client lost its super-peer (for downtime
         /// accounting).
         orphaned_at: SimTime,
+        /// Connection-protocol attempts already made. When a fault
+        /// plan's retry policy caps rejoin attempts, exceeding the cap
+        /// makes the client give up for good.
+        attempt: u32,
     },
     /// A cluster that lost a partner tries to recruit a replacement
     /// from its clients.
@@ -92,6 +96,16 @@ pub enum Event {
     },
     /// Periodic metrics sampling.
     Sample,
+    /// A fault-plan entry takes effect (`start: true`) or a windowed
+    /// fault expires (`start: false`). `index` addresses the plan's
+    /// fault list; fault events carry no generation guard because the
+    /// plan outlives every peer.
+    Fault {
+        /// Index into the run's `FaultPlan::faults`.
+        index: u32,
+        /// Window start (or instantaneous injection) vs. window end.
+        start: bool,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]

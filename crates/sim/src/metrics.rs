@@ -13,6 +13,7 @@
 //! `repro_bench` uses for its `BENCH_*.json` artifacts.
 
 use crate::events::Event;
+use crate::faults::FaultMetrics;
 
 /// Discriminant of an [`Event`], used to index per-kind counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,10 +34,12 @@ pub enum EventKind {
     Adapt,
     /// A periodic timeline sample.
     Sample,
+    /// A fault-plan injection or window boundary.
+    Fault,
 }
 
 /// Number of distinct event kinds.
-pub const NUM_EVENT_KINDS: usize = 8;
+pub const NUM_EVENT_KINDS: usize = 9;
 
 impl EventKind {
     /// All kinds, in counter-index order.
@@ -49,6 +52,7 @@ impl EventKind {
         EventKind::Recruit,
         EventKind::Adapt,
         EventKind::Sample,
+        EventKind::Fault,
     ];
 
     /// The kind of an event.
@@ -62,6 +66,7 @@ impl EventKind {
             Event::RecruitPartner { .. } => EventKind::Recruit,
             Event::AdaptTick { .. } => EventKind::Adapt,
             Event::Sample => EventKind::Sample,
+            Event::Fault { .. } => EventKind::Fault,
         }
     }
 
@@ -76,6 +81,7 @@ impl EventKind {
             EventKind::Recruit => "recruit",
             EventKind::Adapt => "adapt",
             EventKind::Sample => "sample",
+            EventKind::Fault => "fault",
         }
     }
 }
@@ -214,6 +220,12 @@ pub struct RunManifest {
     pub wall_secs: f64,
     /// Engine counters.
     pub metrics: SimMetrics,
+    /// Seed of the dedicated fault-injection RNG stream.
+    pub fault_seed: u64,
+    /// Number of faults in the injected plan (0 without a plan).
+    pub fault_plan_len: usize,
+    /// Fault-injection and recovery counters.
+    pub faults: FaultMetrics,
 }
 
 impl RunManifest {
@@ -287,6 +299,51 @@ impl RunManifest {
                 h.max_ns()
             ));
         }
+        s.push_str("  },\n");
+        let f = &self.faults;
+        s.push_str(&format!("  \"fault_seed\": {},\n", self.fault_seed));
+        s.push_str(&format!("  \"fault_plan_len\": {},\n", self.fault_plan_len));
+        s.push_str("  \"faults\": {\n");
+        s.push_str("    \"injected\": {\n");
+        s.push_str(&format!("      \"crash\": {},\n", f.injected_crash));
+        s.push_str(&format!("      \"drop\": {},\n", f.injected_drop));
+        s.push_str(&format!("      \"delay\": {},\n", f.injected_delay));
+        s.push_str(&format!(
+            "      \"partition_block\": {},\n",
+            f.injected_partition_block
+        ));
+        s.push_str(&format!("      \"flaky\": {}\n", f.injected_flaky));
+        s.push_str("    },\n");
+        s.push_str(&format!("    \"queries_issued\": {},\n", f.queries_issued));
+        s.push_str(&format!(
+            "    \"answered_direct\": {},\n",
+            f.answered_direct
+        ));
+        s.push_str(&format!(
+            "    \"recovered_retry\": {},\n",
+            f.recovered_retry
+        ));
+        s.push_str(&format!(
+            "    \"recovered_failover\": {},\n",
+            f.recovered_failover
+        ));
+        s.push_str(&format!("    \"queries_lost\": {},\n", f.queries_lost));
+        s.push_str(&format!(
+            "    \"retry_wait_secs\": {:.6},\n",
+            f.retry_wait_secs
+        ));
+        s.push_str(&format!(
+            "    \"delay_added_secs\": {:.6},\n",
+            f.delay_added_secs
+        ));
+        s.push_str(&format!("    \"orphan_gave_up\": {},\n", f.orphan_gave_up));
+        s.push_str(&format!(
+            "    \"reconnect\": {{ \"count\": {}, \"mean_secs\": {:.3}, \"max_secs\": {:.3}, \"total_secs\": {:.3} }}\n",
+            f.reconnect.count(),
+            f.reconnect.mean_secs(),
+            f.reconnect.max_secs(),
+            f.reconnect.total_secs()
+        ));
         s.push_str("  }\n");
         s.push_str("}\n");
         s
@@ -317,6 +374,7 @@ mod tests {
                 peer: 0,
                 generation: 0,
                 orphaned_at: 0.0,
+                attempt: 0,
             },
             Event::RecruitPartner {
                 cluster: 0,
@@ -327,6 +385,10 @@ mod tests {
                 generation: 0,
             },
             Event::Sample,
+            Event::Fault {
+                index: 0,
+                start: true,
+            },
         ];
         let mut m = SimMetrics::default();
         for e in &samples {
@@ -364,6 +426,9 @@ mod tests {
             redundancy_k: 2,
             wall_secs: 0.5,
             metrics,
+            fault_seed: 0,
+            fault_plan_len: 0,
+            faults: FaultMetrics::default(),
         };
         let json = m.to_json();
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));

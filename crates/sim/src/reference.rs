@@ -23,6 +23,7 @@
 
 use sp_design::local_rules::{advise, LocalAction, LocalView};
 use sp_model::config::Config;
+use sp_model::faults::FaultPlan;
 use sp_model::instance::{NetworkInstance, Topology};
 use sp_model::load::Load;
 use sp_model::query_model::QueryModel;
@@ -31,6 +32,7 @@ use sp_stats::{Poisson, SpRng};
 
 use crate::engine::{ForwardPolicy, RawMetrics, SimOptions, TimelinePoint};
 use crate::events::{BinaryEventQueue, ClusterId, Event, PeerId, SimTime};
+use crate::faults::{FaultAction, FaultState, QueryOutcome, Submission};
 use crate::network::SimNetwork;
 
 /// The original (pre-rework) simulation engine. Same behavior as
@@ -46,6 +48,8 @@ pub struct ReferenceSimulation {
     opts: SimOptions,
     metrics: RawMetrics,
     delivered: u64,
+    /// Fault-injection state machine (inert for an empty plan).
+    faults: FaultState,
     // BFS scratch over cluster slots.
     stamp: Vec<u32>,
     stamp_cur: u32,
@@ -53,8 +57,9 @@ pub struct ReferenceSimulation {
     bfs_depth: Vec<u16>,
     bfs_order: Vec<ClusterId>,
     /// Every query transmission of the current flood, including
-    /// duplicates dropped at the receiver.
-    bfs_tx: Vec<(ClusterId, ClusterId)>,
+    /// duplicates dropped at the receiver. The flag marks copies lost
+    /// in flight (sender charged, receiver untouched).
+    bfs_tx: Vec<(ClusterId, ClusterId, bool)>,
     bfs_candidates: Vec<ClusterId>,
 }
 
@@ -67,6 +72,18 @@ impl ReferenceSimulation {
     ///
     /// Panics if the configuration is invalid.
     pub fn new(config: &Config, opts: SimOptions) -> Self {
+        Self::with_faults(config, opts, &FaultPlan::default())
+    }
+
+    /// Builds a simulation that injects the given fault plan; the
+    /// oracle counterpart of
+    /// [`Simulation::with_faults`](crate::engine::Simulation::with_faults).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration or the fault plan is invalid.
+    pub fn with_faults(config: &Config, opts: SimOptions, plan: &FaultPlan) -> Self {
+        plan.validate().expect("invalid fault plan");
         let mut rng = SpRng::seed_from_u64(opts.seed);
         let inst = NetworkInstance::generate(config, &mut rng).expect("invalid configuration");
         let model = QueryModel::from_config(&config.query_model);
@@ -80,6 +97,7 @@ impl ReferenceSimulation {
             opts,
             metrics: RawMetrics::default(),
             delivered: 0,
+            faults: FaultState::new(plan.clone(), opts.fault_seed),
             stamp: Vec::new(),
             stamp_cur: 0,
             bfs_parent: Vec::new(),
@@ -165,6 +183,12 @@ impl ReferenceSimulation {
                 );
             }
         }
+        // Compile the fault plan into first-class queue events (both
+        // engines schedule these at the same bootstrap point so
+        // same-time events keep identical FIFO order).
+        for (index, time, start) in self.faults.schedule() {
+            self.queue.schedule(time, Event::Fault { index, start });
+        }
         let _ = inst; // roles fully mirrored
     }
 
@@ -229,7 +253,7 @@ impl ReferenceSimulation {
                     return;
                 }
             }
-            Event::PeerJoin | Event::Sample => {}
+            Event::PeerJoin | Event::Sample | Event::Fault { .. } => {}
         }
         self.delivered += 1;
         match event {
@@ -241,7 +265,8 @@ impl ReferenceSimulation {
                 peer,
                 generation,
                 orphaned_at,
-            } => self.on_rejoin(peer, generation, orphaned_at),
+                attempt,
+            } => self.on_rejoin(peer, generation, orphaned_at, attempt),
             Event::RecruitPartner {
                 cluster,
                 generation,
@@ -251,6 +276,7 @@ impl ReferenceSimulation {
                 generation,
             } => self.on_adapt(cluster, generation),
             Event::Sample => self.on_sample(),
+            Event::Fault { index, start } => self.on_fault(index, start),
         }
     }
 
@@ -299,6 +325,36 @@ impl ReferenceSimulation {
         }
         if self.net.peer_mut(to).is_some() {
             self.net.counters[to as usize].recv(bytes, recv_units + mux * to_conns);
+        }
+    }
+
+    /// Charges the failed attempts of one submission sequence: a
+    /// dropped attempt costs the client its send (the packet left, the
+    /// partner never saw it); a flaked attempt reached the partner
+    /// (both endpoints pay) but produced no response.
+    #[allow(clippy::too_many_arguments)]
+    fn charge_submission_failures(
+        &mut self,
+        client: PeerId,
+        partner: PeerId,
+        drops: u32,
+        flakes: u32,
+        bytes: f64,
+        send_units: f64,
+        recv_units: f64,
+        c_conns: f64,
+        p_conns: f64,
+    ) {
+        let mux = self.config.costs.multiplex_per_connection;
+        for _ in 0..drops {
+            if self.net.peer_mut(client).is_some() {
+                self.net.counters[client as usize].send(bytes, send_units + mux * c_conns);
+            }
+        }
+        for _ in 0..flakes {
+            self.charge_pair(
+                client, partner, bytes, send_units, recv_units, c_conns, p_conns,
+            );
         }
     }
 
@@ -512,35 +568,107 @@ impl ReferenceSimulation {
                     peer: client,
                     generation,
                     orphaned_at: self.now,
+                    attempt: 1,
                 },
             );
         }
         self.net.remove_cluster(c);
     }
 
-    fn on_rejoin(&mut self, peer: PeerId, generation: u32, orphaned_at: SimTime) {
+    fn on_rejoin(&mut self, peer: PeerId, generation: u32, orphaned_at: SimTime, attempt: u32) {
         let Some(info) = self.net.peer(peer, generation) else {
             return;
         };
         if info.cluster.is_some() {
             return; // already re-homed (e.g. by an adaptive action)
         }
-        match self.net.random_cluster(&mut self.rng) {
-            Some(c) => {
-                self.metrics.client_disconnected_secs += self.now - orphaned_at;
-                self.metrics.downtime.push(self.now - orphaned_at);
+        // The connection protocol is a message exchange like any other:
+        // while a loss window is active, this attempt's handshake can
+        // be dropped in flight (fault stream, drawn after the discovery
+        // pick so the main RNG sequence is untouched).
+        let target = self.net.random_cluster(&mut self.rng);
+        let delivered =
+            target.is_some() && !(self.faults.drops_possible() && self.faults.draw_drop());
+        match target {
+            Some(c) if delivered => {
+                let downtime = self.now - orphaned_at;
+                self.metrics.client_disconnected_secs += downtime;
+                self.metrics.downtime.push(downtime);
+                self.metrics.faults.reconnect.record(downtime);
                 self.attach_and_charge_join(peer, c);
             }
-            None => {
-                let dt = self.exp_delay(1.0 / self.opts.rejoin_mean_secs.max(1e-9));
-                self.queue.schedule(
-                    self.now + dt,
-                    Event::ClientRejoin {
-                        peer,
-                        generation,
-                        orphaned_at,
-                    },
-                );
+            _ => {
+                if target.is_some() {
+                    self.metrics.faults.injected_drop += 1;
+                }
+                if self
+                    .faults
+                    .rejoin_cap()
+                    .is_some_and(|cap| attempt >= cap.max(1))
+                {
+                    self.give_up_rejoin(peer, orphaned_at);
+                } else {
+                    let dt = self.exp_delay(1.0 / self.opts.rejoin_mean_secs.max(1e-9));
+                    self.queue.schedule(
+                        self.now + dt,
+                        Event::ClientRejoin {
+                            peer,
+                            generation,
+                            orphaned_at,
+                            attempt: attempt + 1,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// An orphaned client exhausted the fault plan's rejoin-attempt
+    /// cap: it departs for good, mirroring the orphaned-leave
+    /// accounting (and, like any departure, triggers a replenishing
+    /// arrival so the population stays stable).
+    fn give_up_rejoin(&mut self, peer: PeerId, orphaned_at: SimTime) {
+        self.metrics.client_disconnected_secs += self.now - orphaned_at;
+        self.metrics.faults.orphan_gave_up += 1;
+        let exited = self.net.remove_peer(peer);
+        let alive_for = self.now - exited.joined_at;
+        if alive_for > 1.0 {
+            let rate = self.net.counters[peer as usize].mean_rate(alive_for);
+            self.metrics.client_in.push(rate.in_bw);
+            self.metrics.client_out.push(rate.out_bw);
+            self.metrics.client_proc.push(rate.proc);
+        }
+        let dt = self.exp_delay(1.0 / self.opts.replenish_mean_secs.max(1e-9));
+        self.queue.schedule(self.now + dt, Event::PeerJoin);
+    }
+
+    /// Applies a fault-plan event. Crash faults resolve their victims
+    /// against the alive-cluster list (same iteration order in both
+    /// engines) and then force each victim partner through the normal
+    /// `on_leave` path, so recruitment, cluster failure, and orphaning
+    /// behave exactly like organic churn.
+    fn on_fault(&mut self, index: u32, start: bool) {
+        let alive: Vec<ClusterId> = self.net.alive_clusters().collect();
+        match self.faults.on_fault_event(index, start, &alive) {
+            FaultAction::None => {}
+            FaultAction::Crash(victims) => {
+                // Snapshot (peer, generation) pairs first: crashing one
+                // cluster's partners must not shift a later victim's
+                // membership mid-iteration.
+                let mut doomed: Vec<(PeerId, u32)> = Vec::new();
+                for &c in &victims {
+                    if let Some(cl) = self.net.clusters[c as usize].as_ref() {
+                        for &p in &cl.partners {
+                            doomed.push((p, self.net.peer_generation(p)));
+                        }
+                    }
+                }
+                for (p, generation) in doomed {
+                    if self.net.peer(p, generation).is_some() {
+                        self.metrics.faults.injected_crash += 1;
+                        self.on_leave(p, generation);
+                    }
+                }
             }
         }
     }
@@ -644,17 +772,76 @@ impl ReferenceSimulation {
         let qbytes = cm.query_bytes();
         let (send_q, recv_q) = (cm.send_query_units(), cm.recv_query_units());
 
-        // Client → super-peer submission.
-        let entry_partner = if is_partner {
-            peer
+        // Client → super-peer submission, driven through the fault
+        // plan's timeout/retry/failover state machine. Partner-sourced
+        // queries submit to themselves: always a draw-free direct hit.
+        if is_partner {
+            self.metrics.faults.record_submission(&Submission::DIRECT);
         } else {
-            let partner = self.rr_partner(sc);
+            let partners_len = self.net.clusters[sc as usize]
+                .as_ref()
+                .expect("alive")
+                .partners
+                .len();
+            let sub = self.faults.submit_query(partners_len);
+            let primary = self.rr_partner(sc);
             let c_conns = self.client_connections(sc);
             let p_conns = self.partner_connections(sc);
-            self.charge_pair(peer, partner, qbytes, send_q, recv_q, c_conns, p_conns);
-            partner
-        };
-        let _ = entry_partner;
+            self.charge_submission_failures(
+                peer,
+                primary,
+                sub.primary_drops,
+                sub.primary_flakes,
+                qbytes,
+                send_q,
+                recv_q,
+                c_conns,
+                p_conns,
+            );
+            let lost = match sub.outcome {
+                QueryOutcome::Direct | QueryOutcome::Retry => {
+                    self.charge_pair(peer, primary, qbytes, send_q, recv_q, c_conns, p_conns);
+                    false
+                }
+                QueryOutcome::Failover => {
+                    let failover = self.rr_partner(sc);
+                    self.charge_submission_failures(
+                        peer,
+                        failover,
+                        sub.failover_drops,
+                        sub.failover_flakes,
+                        qbytes,
+                        send_q,
+                        recv_q,
+                        c_conns,
+                        p_conns,
+                    );
+                    self.charge_pair(peer, failover, qbytes, send_q, recv_q, c_conns, p_conns);
+                    false
+                }
+                QueryOutcome::Lost => {
+                    if partners_len >= 2 {
+                        let failover = self.rr_partner(sc);
+                        self.charge_submission_failures(
+                            peer,
+                            failover,
+                            sub.failover_drops,
+                            sub.failover_flakes,
+                            qbytes,
+                            send_q,
+                            recv_q,
+                            c_conns,
+                            p_conns,
+                        );
+                    }
+                    true
+                }
+            };
+            self.metrics.faults.record_submission(&sub);
+            if lost {
+                return; // every attempt failed: the query never floods
+            }
+        }
 
         // Flood over the cluster overlay.
         let ttl = self.net.clusters[sc as usize].as_ref().expect("alive").ttl;
@@ -662,11 +849,21 @@ impl ReferenceSimulation {
 
         // Charge every recorded transmission (first copies and dropped
         // duplicates alike — both consume bandwidth and processing).
+        // A copy lost in flight still charges the sender — the packet
+        // left — but the receiver neither pays nor advances its
+        // round-robin cursor.
         let txs = std::mem::take(&mut self.bfs_tx);
-        for &(v, u) in &txs {
+        let mux = self.config.costs.multiplex_per_connection;
+        for &(v, u, lost_in_flight) in &txs {
             let sender = self.rr_partner(v);
-            let receiver = self.rr_partner(u);
             let v_conns = self.partner_connections(v);
+            if lost_in_flight {
+                if self.net.peer_mut(sender).is_some() {
+                    self.net.counters[sender as usize].send(qbytes, send_q + mux * v_conns);
+                }
+                continue;
+            }
+            let receiver = self.rr_partner(u);
             let u_conns = self.partner_connections(u);
             self.charge_pair(sender, receiver, qbytes, send_q, recv_q, v_conns, u_conns);
         }
@@ -1044,6 +1241,11 @@ impl ReferenceSimulation {
         self.bfs_depth[src as usize] = 0;
         self.bfs_parent[src as usize] = src;
         self.bfs_order.push(src);
+        // Hoisted fault-window flags: a fault-free flood takes none of
+        // the fault branches and makes no fault-stream draws.
+        let part_on = self.faults.partitions_possible();
+        let drop_on = self.faults.drops_possible();
+        let delay_on = self.faults.delays_possible();
         let mut head = 0;
         while head < self.bfs_order.len() {
             let v = self.bfs_order[head];
@@ -1077,8 +1279,29 @@ impl ReferenceSimulation {
                     candidates.truncate(fanout);
                 }
             }
+            let v_part = part_on && self.faults.is_partitioned(v);
             for &u in &candidates {
-                self.bfs_tx.push((v, u));
+                // Partitioned link: severed before anything is sent
+                // (no charge, no rr advance, no discovery).
+                if part_on && (v_part || self.faults.is_partitioned(u)) {
+                    self.metrics.faults.injected_partition_block += 1;
+                    continue;
+                }
+                // Message loss: the copy left the sender (charged at
+                // replay) but never arrives — the target is neither
+                // charged nor discovered through this edge.
+                if drop_on && self.faults.draw_drop() {
+                    self.metrics.faults.injected_drop += 1;
+                    self.bfs_tx.push((v, u, true));
+                    continue;
+                }
+                if delay_on {
+                    if let Some(extra) = self.faults.draw_delay() {
+                        self.metrics.faults.injected_delay += 1;
+                        self.metrics.faults.delay_added_secs += extra;
+                    }
+                }
+                self.bfs_tx.push((v, u, false));
                 if self.stamp[u as usize] != self.stamp_cur {
                     self.stamp[u as usize] = self.stamp_cur;
                     self.bfs_depth[u as usize] = d + 1;

@@ -21,6 +21,7 @@
 use serde::{Deserialize, Serialize};
 
 use sp_model::config::Config;
+use sp_model::faults::{FaultPlan, FaultSpec};
 use sp_model::load::Load;
 use sp_model::trials::{resolve_thread_budget, split_thread_budget};
 use sp_stats::{ConfidenceInterval, OnlineStats, SpRng};
@@ -187,6 +188,111 @@ pub fn routing(config: &Config, fanout: usize, duration_secs: f64, seed: u64) ->
     }
 }
 
+/// The canonical crash-storm fault plan for a run of the given length:
+/// two waves each crashing a quarter of the live super-peers, inside a
+/// long message-loss window that stresses the submission retry path.
+pub fn crash_storm_plan(duration_secs: f64) -> FaultPlan {
+    FaultPlan {
+        faults: vec![
+            FaultSpec::CrashFraction {
+                at_secs: duration_secs * 0.25,
+                fraction: 0.25,
+            },
+            FaultSpec::CrashFraction {
+                at_secs: duration_secs * 0.5,
+                fraction: 0.25,
+            },
+            FaultSpec::MessageLoss {
+                from_secs: duration_secs * 0.2,
+                until_secs: duration_secs * 0.8,
+                drop_prob: 0.3,
+            },
+        ],
+        ..Default::default()
+    }
+}
+
+/// One arm of the crash-storm comparison (see [`crash_storm`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrashStormReport {
+    /// Queries that reached the submission path.
+    pub queries_issued: u64,
+    /// Queries that exhausted retry and failover.
+    pub queries_lost: u64,
+    /// Queries recovered by retrying the same partner.
+    pub recovered_retry: u64,
+    /// Queries recovered by failing over to the second partner.
+    pub recovered_failover: u64,
+    /// Super-peers crashed by the plan.
+    pub injected_crash: u64,
+    /// Cluster failures (every partner gone).
+    pub cluster_failures: u64,
+    /// Client orphanings.
+    pub orphan_events: u64,
+    /// Orphaned clients that exhausted the rejoin-attempt cap.
+    pub orphan_gave_up: u64,
+    /// Client availability in [0, 1].
+    pub availability: f64,
+    /// Mean time-to-reconnect for recovered orphans, seconds.
+    pub mean_reconnect_secs: f64,
+}
+
+impl CrashStormReport {
+    fn from_raw(m: &RawMetrics) -> Self {
+        CrashStormReport {
+            queries_issued: m.faults.queries_issued,
+            queries_lost: m.faults.queries_lost,
+            recovered_retry: m.faults.recovered_retry,
+            recovered_failover: m.faults.recovered_failover,
+            injected_crash: m.faults.injected_crash,
+            cluster_failures: m.cluster_failures,
+            orphan_events: m.orphan_events,
+            orphan_gave_up: m.faults.orphan_gave_up,
+            availability: m.availability(),
+            mean_reconnect_secs: m.faults.reconnect.mean_secs(),
+        }
+    }
+}
+
+/// Crash-storm comparison: the same fault plan against k = 1 and k = 2
+/// virtual super-peers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrashStormComparison {
+    /// Metrics with a single super-peer per cluster.
+    pub k1: CrashStormReport,
+    /// Metrics with 2-redundant virtual super-peers.
+    pub k2: CrashStormReport,
+}
+
+/// Runs the crash-storm reliability experiment: the
+/// [`crash_storm_plan`] under identical seeds against k = 1 and k = 2.
+/// Redundancy should strictly reduce lost queries — the failover leg of
+/// the retry state machine only exists with a second partner.
+pub fn crash_storm(
+    config: &Config,
+    duration_secs: f64,
+    seed: u64,
+    fault_seed: u64,
+) -> CrashStormComparison {
+    let plan = crash_storm_plan(duration_secs);
+    let run = |cfg: &Config| {
+        let mut sim = Simulation::with_faults(
+            cfg,
+            SimOptions {
+                duration_secs,
+                seed,
+                fault_seed,
+                ..Default::default()
+            },
+            &plan,
+        );
+        CrashStormReport::from_raw(&sim.run())
+    };
+    let k1 = run(&config.clone().with_redundancy(false));
+    let k2 = run(&config.clone().with_redundancy(true));
+    CrashStormComparison { k1, k2 }
+}
+
 /// Runs the Section 5.3 adaptive scenario.
 pub fn adaptive(config: &Config, duration_secs: f64, seed: u64, adapt: AdaptOptions) -> SimReport {
     let mut sim = Simulation::new(
@@ -267,20 +373,40 @@ where
         let handles: Vec<_> = (0..outer)
             .map(|w| {
                 scope.spawn(move || {
+                    // Wrap each trial so a panic carries *which* trial
+                    // (index and seed) died, not just a bare payload.
                     let mut local = Vec::new();
                     let mut t = w;
                     while t < opts.trials {
-                        local.push((t, run_one(trial_seed(t), t)));
+                        let seed = trial_seed(t);
+                        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            run_one(seed, t)
+                        })) {
+                            Ok(v) => local.push((t, v)),
+                            Err(payload) => {
+                                return Err(format!(
+                                    "trial {t} (seed {seed:#x}) panicked: {}",
+                                    panic_message(payload.as_ref())
+                                ))
+                            }
+                        }
                         t += outer;
                     }
-                    local
+                    Ok(local)
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("trial worker panicked"))
-            .collect::<Vec<_>>()
+        let mut tagged = Vec::new();
+        for h in handles {
+            match h.join() {
+                Ok(Ok(local)) => tagged.extend(local),
+                Ok(Err(msg)) => panic!("{msg}"),
+                Err(payload) => {
+                    panic!("trial worker panicked: {}", panic_message(payload.as_ref()))
+                }
+            }
+        }
+        tagged
     });
 
     let mut slots: Vec<Option<T>> = (0..opts.trials).map(|_| None).collect();
@@ -291,6 +417,16 @@ where
         .into_iter()
         .map(|s| s.expect("every trial index produced"))
         .collect()
+}
+
+/// Renders a panic payload for propagation: the common `&str` /
+/// `String` payloads verbatim, anything else a placeholder.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("opaque panic payload")
 }
 
 fn ci_of<I: IntoIterator<Item = f64>>(values: I) -> ConfidenceInterval {
@@ -356,6 +492,40 @@ pub fn reliability_trials(
         availability_k2: ci_of(per_trial.iter().map(|c| c.availability_k2)),
         downtime_k1: ci_of(per_trial.iter().map(|c| c.downtime_k1)),
         downtime_k2: ci_of(per_trial.iter().map(|c| c.downtime_k2)),
+        per_trial,
+    }
+}
+
+/// Mean ± 95% CI over sharded [`crash_storm`] trials.
+#[derive(Debug, Clone)]
+pub struct CrashStormTrialSummary {
+    /// Queries lost with a single super-peer per cluster.
+    pub lost_k1: ConfidenceInterval,
+    /// Queries lost with 2-redundant virtual super-peers.
+    pub lost_k2: ConfidenceInterval,
+    /// Availability with k = 1.
+    pub availability_k1: ConfidenceInterval,
+    /// Availability with k = 2.
+    pub availability_k2: ConfidenceInterval,
+    /// The full comparisons, ordered by trial index.
+    pub per_trial: Vec<CrashStormComparison>,
+}
+
+/// Runs sharded [`crash_storm`] trials (each trial's fault stream is
+/// seeded from its own trial seed).
+pub fn crash_storm_trials(
+    config: &Config,
+    duration_secs: f64,
+    opts: &SimTrialOptions,
+) -> CrashStormTrialSummary {
+    let per_trial = run_sim_trials(opts, |seed, _| {
+        crash_storm(config, duration_secs, seed, seed)
+    });
+    CrashStormTrialSummary {
+        lost_k1: ci_of(per_trial.iter().map(|c| c.k1.queries_lost as f64)),
+        lost_k2: ci_of(per_trial.iter().map(|c| c.k2.queries_lost as f64)),
+        availability_k1: ci_of(per_trial.iter().map(|c| c.k1.availability)),
+        availability_k2: ci_of(per_trial.iter().map(|c| c.k2.availability)),
         per_trial,
     }
 }
@@ -527,6 +697,42 @@ mod tests {
         assert_eq!(
             s.per_trial, s1.per_trial,
             "sharded trials must be bitwise identical at any thread count"
+        );
+    }
+
+    #[test]
+    fn crash_storm_redundancy_cuts_losses() {
+        let c = crash_storm(&churny_config(), 2400.0, 7, 7);
+        assert!(
+            c.k1.queries_lost > 0,
+            "the storm must actually lose queries"
+        );
+        assert!(
+            c.k2.queries_lost < c.k1.queries_lost,
+            "k2 lost {} !< k1 lost {}",
+            c.k2.queries_lost,
+            c.k1.queries_lost
+        );
+        assert!(c.k2.recovered_failover > 0, "k2 must exercise failover");
+        assert_eq!(c.k1.recovered_failover, 0, "k1 has no failover partner");
+        assert!(c.k1.injected_crash > 0 && c.k2.injected_crash > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "trial 1 (seed ")]
+    fn sim_trial_panics_carry_trial_and_seed() {
+        run_sim_trials(
+            &SimTrialOptions {
+                trials: 3,
+                seed: 42,
+                threads: 2,
+            },
+            |_, t| {
+                if t == 1 {
+                    panic!("boom");
+                }
+                t
+            },
         );
     }
 

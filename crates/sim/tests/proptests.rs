@@ -1,9 +1,12 @@
 //! Property-based tests for the simulator's mutable network state:
 //! arbitrary operation sequences must never violate the structural
 //! invariants (membership symmetry, edge symmetry, cached file counts,
-//! alive-list consistency).
+//! alive-list consistency) — and for the fault-injection layer:
+//! under *any* generated fault plan the fast and reference engines
+//! agree bitwise and the query-accounting conservation law holds.
 
 use proptest::prelude::*;
+use sp_model::faults::{FaultPlan, FaultSpec};
 use sp_sim::network::SimNetwork;
 use sp_stats::SpRng;
 
@@ -109,6 +112,55 @@ fn apply(
     }
 }
 
+/// One arbitrary fault inside a run of length `dur`. Windows are kept
+/// strictly ordered so the generated plan always validates.
+fn arb_fault(dur: f64) -> impl Strategy<Value = FaultSpec> {
+    prop_oneof![
+        (0.0..dur, 0usize..12).prop_map(|(at_secs, cluster_index)| FaultSpec::CrashCluster {
+            at_secs,
+            cluster_index,
+        }),
+        (0.0..dur, 0.05f64..0.5)
+            .prop_map(|(at_secs, fraction)| FaultSpec::CrashFraction { at_secs, fraction }),
+        (0.0..dur, 1.0..dur, 0.05f64..0.9).prop_map(|(from, len, drop_prob)| {
+            FaultSpec::MessageLoss {
+                from_secs: from,
+                until_secs: from + len,
+                drop_prob,
+            }
+        }),
+        (0.0..dur, 1.0..dur, 0.05f64..0.9, 0.1f64..30.0).prop_map(
+            |(from, len, delay_prob, delay_secs)| FaultSpec::MessageDelay {
+                from_secs: from,
+                until_secs: from + len,
+                delay_prob,
+                delay_secs,
+            }
+        ),
+        (0.0..dur, 1.0..dur, prop::collection::vec(0usize..16, 1..4)).prop_map(
+            |(from, len, clusters)| FaultSpec::Partition {
+                from_secs: from,
+                until_secs: from + len,
+                clusters,
+            }
+        ),
+        (0.0..dur, 1.0..dur, 0.05f64..0.9).prop_map(|(from, len, flake_prob)| {
+            FaultSpec::FlakyPartners {
+                from_secs: from,
+                until_secs: from + len,
+                flake_prob,
+            }
+        }),
+    ]
+}
+
+fn arb_plan(dur: f64) -> impl Strategy<Value = FaultPlan> {
+    prop::collection::vec(arb_fault(dur), 0..5).prop_map(|faults| FaultPlan {
+        faults,
+        ..Default::default()
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -159,5 +211,52 @@ proptest! {
         let metrics = sim.run();
         prop_assert!(sim.net.check_invariants().is_ok());
         prop_assert!(metrics.availability() >= 0.0 && metrics.availability() <= 1.0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Under any generated fault plan the fast and reference engines
+    /// produce bitwise-identical `RawMetrics`, and the recovery
+    /// accounting conserves: every issued query is counted exactly once
+    /// as direct, retry-recovered, failover-recovered, or lost, and the
+    /// engine's flooded-query counter is issued − lost.
+    #[test]
+    fn engines_agree_and_conserve_under_any_fault_plan(
+        plan in arb_plan(300.0),
+        redundancy in prop::bool::ANY,
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+    ) {
+        use sp_model::config::Config;
+        use sp_sim::engine::{SimOptions, Simulation};
+        use sp_sim::reference::ReferenceSimulation;
+        let cfg = Config {
+            graph_size: 100,
+            cluster_size: 10,
+            ..Config::default()
+        }
+        .with_redundancy(redundancy);
+        let opts = SimOptions {
+            duration_secs: 300.0,
+            seed,
+            fault_seed,
+            ..Default::default()
+        };
+        let mut fast = Simulation::with_faults(&cfg, opts, &plan);
+        let fast_metrics = fast.run();
+        let mut reference = ReferenceSimulation::with_faults(&cfg, opts, &plan);
+        let reference_metrics = reference.run();
+        prop_assert_eq!(&fast_metrics, &reference_metrics,
+            "engines diverged under plan {:?}", &plan);
+        prop_assert!(fast.net.check_invariants().is_ok());
+        prop_assert!(fast_metrics.faults.conserved(),
+            "conservation broken: {:?}", &fast_metrics.faults);
+        prop_assert_eq!(
+            fast_metrics.queries,
+            fast_metrics.faults.queries_issued - fast_metrics.faults.queries_lost,
+            "flooded queries must be issued minus lost"
+        );
     }
 }

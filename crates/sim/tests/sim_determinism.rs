@@ -9,16 +9,28 @@
 //!    collected by trial index.
 
 use sp_model::config::Config;
+use sp_model::faults::{FaultPlan, FaultSpec};
 use sp_model::load::Load;
 use sp_model::population::PopulationModel;
 use sp_sim::engine::{AdaptSettings, ForwardPolicy, SimOptions, Simulation};
 use sp_sim::reference::ReferenceSimulation;
-use sp_sim::scenario::{reliability_trials, steady_trials, SimTrialOptions};
+use sp_sim::scenario::{
+    crash_storm_plan, crash_storm_trials, reliability_trials, steady_trials, SimTrialOptions,
+};
 
 fn assert_engines_agree(label: &str, config: &Config, opts: SimOptions) {
-    let mut fast = Simulation::new(config, opts);
+    assert_engines_agree_with_faults(label, config, opts, &FaultPlan::default());
+}
+
+fn assert_engines_agree_with_faults(
+    label: &str,
+    config: &Config,
+    opts: SimOptions,
+    plan: &FaultPlan,
+) {
+    let mut fast = Simulation::with_faults(config, opts, plan);
     let fast_metrics = fast.run();
-    let mut reference = ReferenceSimulation::new(config, opts);
+    let mut reference = ReferenceSimulation::with_faults(config, opts, plan);
     let reference_metrics = reference.run();
     assert_eq!(
         fast_metrics, reference_metrics,
@@ -126,6 +138,123 @@ fn engines_agree_under_adaptation() {
             ..Default::default()
         },
     );
+}
+
+#[test]
+fn engines_agree_under_fault_plans() {
+    let churny = Config {
+        graph_size: 120,
+        cluster_size: 12,
+        population: PopulationModel {
+            lifespan_mean_secs: 400.0,
+            ..Default::default()
+        },
+        ..Config::default()
+    };
+    let windowed = FaultPlan {
+        faults: vec![
+            FaultSpec::MessageLoss {
+                from_secs: 200.0,
+                until_secs: 900.0,
+                drop_prob: 0.25,
+            },
+            FaultSpec::MessageDelay {
+                from_secs: 100.0,
+                until_secs: 1100.0,
+                delay_prob: 0.3,
+                delay_secs: 2.0,
+            },
+            FaultSpec::FlakyPartners {
+                from_secs: 300.0,
+                until_secs: 800.0,
+                flake_prob: 0.4,
+            },
+            FaultSpec::Partition {
+                from_secs: 400.0,
+                until_secs: 700.0,
+                clusters: vec![0, 3, 5],
+            },
+        ],
+        ..Default::default()
+    };
+    for redundancy in [false, true] {
+        let config = churny.clone().with_redundancy(redundancy);
+        for (label, plan) in [
+            ("crash storm", crash_storm_plan(1200.0)),
+            ("loss/delay/flaky/partition windows", windowed.clone()),
+        ] {
+            for fault_seed in [0, 99] {
+                assert_engines_agree_with_faults(
+                    label,
+                    &config,
+                    SimOptions {
+                        duration_secs: 1200.0,
+                        seed: 7,
+                        fault_seed,
+                        ..Default::default()
+                    },
+                    &plan,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_fault_plan_is_bitwise_inert() {
+    let config = Config {
+        graph_size: 100,
+        cluster_size: 10,
+        population: PopulationModel {
+            lifespan_mean_secs: 500.0,
+            ..Default::default()
+        },
+        ..Config::default()
+    };
+    let opts = SimOptions {
+        duration_secs: 900.0,
+        seed: 13,
+        ..Default::default()
+    };
+    let plain = Simulation::new(&config, opts).run();
+    // Any fault seed: with an empty plan the fault stream is never
+    // drawn from, so the run must be byte-for-byte the no-fault run.
+    let with_empty_plan = Simulation::with_faults(
+        &config,
+        SimOptions {
+            fault_seed: 0xDEAD,
+            ..opts
+        },
+        &FaultPlan::default(),
+    )
+    .run();
+    assert_eq!(plain, with_empty_plan, "an empty plan must change nothing");
+}
+
+#[test]
+fn crash_storm_trials_are_bitwise_identical_across_thread_counts() {
+    let churny = Config {
+        graph_size: 80,
+        cluster_size: 10,
+        population: PopulationModel {
+            lifespan_mean_secs: 400.0,
+            ..Default::default()
+        },
+        ..Config::default()
+    };
+    let base = SimTrialOptions {
+        trials: 4,
+        seed: 21,
+        threads: 1,
+    };
+    let single = crash_storm_trials(&churny, 600.0, &base);
+    for threads in [2, 8] {
+        let sharded = crash_storm_trials(&churny, 600.0, &SimTrialOptions { threads, ..base });
+        assert_eq!(
+            single.per_trial, sharded.per_trial,
+            "crash-storm trials diverged at {threads} threads"
+        );
+    }
 }
 
 #[test]
