@@ -56,21 +56,31 @@ struct CountingAlloc;
 
 static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: every method delegates verbatim to `System`, which upholds
+// the `GlobalAlloc` contract; the only addition is a relaxed atomic
+// counter bump, which cannot unwind, allocate, or alias the returned
+// memory. Layout/pointer validity obligations pass through unchanged.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller's `layout` obligations are forwarded to `System`.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
         System.alloc(layout)
     }
 
+    // SAFETY: `ptr`/`layout` were produced by the matching `System`
+    // call above, so handing them back satisfies its contract.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
 
+    // SAFETY: same pass-through as `dealloc`; `new_size` obligations
+    // are the caller's and are forwarded untouched.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)
     }
 
+    // SAFETY: caller's `layout` obligations are forwarded to `System`.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
         System.alloc_zeroed(layout)

@@ -492,6 +492,45 @@ pub fn epl(args: &Args) -> Result<String, CliError> {
     ))
 }
 
+/// `spnet lint` — the workspace determinism-and-safety static
+/// analysis (sp-lint), wired into the CLI so `spnet lint` at the
+/// repo root is the local mirror of the CI gate.
+///
+/// Findings at deny level are a *runtime* failure (exit 1): the
+/// invocation was fine, the tree is not. Configuration problems —
+/// unknown options, a malformed `lint.toml` — are usage errors
+/// (exit 2), matching the workspace exit-code convention.
+pub fn lint(args: &Args) -> Result<String, CliError> {
+    args.ensure_known(&["root", "config", "json", "warnings"])?;
+    let root = std::path::PathBuf::from(args.get("root").unwrap_or("."));
+    let cfg = match args.get("config") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::Usage(format!("--config: cannot read {path:?}: {e}")))?;
+            sp_lint::LintConfig::parse(&text).map_err(CliError::Usage)?
+        }
+        None => sp_lint::load_config(&root).map_err(CliError::Usage)?,
+    };
+    let report = sp_lint::lint_workspace(&root, &cfg)
+        .map_err(|e| CliError::Runtime(format!("lint failed: {e}")))?;
+    if let Some(path) = args.get("json") {
+        std::fs::write(path, report.render_json())
+            .map_err(|e| CliError::Runtime(format!("--json: cannot write {path:?}: {e}")))?;
+    }
+    let human = report.render_human(args.flag("warnings"));
+    if report.deny_count() > 0 {
+        // Findings go to stdout here (like --metrics-json writes its
+        // file); the error path stays a single `error: …` line per
+        // the workspace policy.
+        print!("{human}");
+        return Err(CliError::Runtime(format!(
+            "lint: {} deny-level finding(s)",
+            report.deny_count()
+        )));
+    }
+    Ok(human.trim_end().to_string())
+}
+
 /// Top-level help text.
 pub fn help() -> String {
     "spnet — design and evaluate super-peer networks\n\
@@ -503,6 +542,7 @@ pub fn help() -> String {
        simulate   event-driven simulation (add --reliability for the k=1 vs k=2 comparison)\n\
        sweep      cluster-size sweep of one system\n\
        epl        expected-path-length lookup table (Figure 9)\n\
+       lint       sp-lint determinism-and-safety static analysis (CI gate)\n\
        help       this text\n\n\
      TOPOLOGY OPTIONS (evaluate/design/simulate/sweep):\n\
        --users N          total peers            (default 10000)\n\
@@ -542,7 +582,13 @@ pub fn help() -> String {
        spnet simulate --users 1000 --lifespan 600 --crash-storm --duration 2400\n\
        spnet simulate --users 1000 --faults plan.json --metrics-json run.json\n\
        spnet sweep --users 5000 --strong --ttl 1 --clusters 1,10,100,1000\n\
-       spnet epl --outdegrees 3.1,10,20 --reaches 100,500\n"
+       spnet epl --outdegrees 3.1,10,20 --reaches 100,500\n\
+       spnet lint --json lint_report.json --warnings\n\n\
+     LINT OPTIONS:\n\
+       --root DIR         workspace root to scan          (default .)\n\
+       --config FILE      lint policy file                (default <root>/lint.toml)\n\
+       --json P           also write machine-readable findings to P\n\
+       --warnings         list warn-level findings (always counted)\n"
         .to_string()
 }
 
@@ -901,8 +947,41 @@ mod tests {
     #[test]
     fn help_mentions_every_command() {
         let h = help();
-        for cmd in ["evaluate", "design", "simulate", "sweep", "epl"] {
+        for cmd in ["evaluate", "design", "simulate", "sweep", "epl", "lint"] {
             assert!(h.contains(cmd), "help missing {cmd}");
         }
+    }
+
+    #[test]
+    fn lint_rejects_unknown_option() {
+        let err = lint(&args(&["--rootz", "."])).unwrap_err();
+        assert!(err.to_string().contains("rootz"));
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn lint_rejects_malformed_config() {
+        let dir = std::env::temp_dir().join("sp_cli_lint_cfg_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = dir.join("bad_lint.toml");
+        std::fs::write(&cfg, "[severity]\nD9 = \"deny\"\n").unwrap();
+        let err = lint(&args(&["--config", cfg.to_str().unwrap()])).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "config errors are usage errors: {err}");
+        assert!(err.to_string().contains("D9"));
+    }
+
+    #[test]
+    fn lint_clean_workspace_passes() {
+        // Run against the real workspace root (two levels above the
+        // sp-cli manifest) with the checked-in policy: this is the
+        // same invocation the CI gate performs.
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .unwrap()
+            .parent()
+            .unwrap();
+        let out = lint(&args(&["--root", root.to_str().unwrap()])).unwrap();
+        assert!(out.contains("sp-lint:"), "unexpected report: {out}");
+        assert!(out.contains("0 error(s)"), "unexpected report: {out}");
     }
 }

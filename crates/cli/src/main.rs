@@ -34,6 +34,7 @@ fn main() -> ExitCode {
         "simulate" => commands::simulate(&parsed),
         "sweep" => commands::sweep(&parsed),
         "epl" => commands::epl(&parsed),
+        "lint" => commands::lint(&parsed),
         "help" | "--help" | "-h" => Ok(commands::help()),
         other => Err(CliError::Usage(format!(
             "unknown command {other:?} — run `spnet help`"

@@ -37,10 +37,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod detset;
 pub mod generate;
 pub mod graph;
 pub mod metrics;
 pub mod traverse;
 
+pub use detset::PairSet;
 pub use graph::{Graph, GraphBuilder, NodeId};
 pub use traverse::{flood, FloodResult, FloodScratch};

@@ -1,0 +1,368 @@
+//! `lint.toml` — rule severities, rule parameters, and the allowlist
+//! baseline, parsed with a hand-rolled TOML-subset reader (the
+//! workspace has no TOML dependency and the offline `crates/compat`
+//! policy rules out adding one).
+//!
+//! The supported subset: `[table]` headers, `[[array_of_tables]]`
+//! headers, `key = "string"`, `key = ["a", "b"]`, `key = true|false`,
+//! comments, and blank lines. That covers the whole configuration
+//! surface; anything else is a hard error so a typo cannot silently
+//! disable a rule.
+//!
+//! Policy note: `[[allow]]` entries are the *baseline* — each MUST
+//! carry a non-empty `justification` string, and the self-lint test
+//! asserts there are none for the determinism rules D1–D3 in
+//! deterministic crates. The per-rule parameters (e.g. the D2
+//! observability-module allowlist) are rule *definition*, not
+//! baseline: they say where wall-clock reads are architecturally
+//! legal, not which known violations are tolerated.
+
+use crate::diag::Severity;
+
+/// One `[[allow]]` baseline entry.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Rule id the entry suppresses (`D1`…`F1`).
+    pub rule: String,
+    /// Repo-relative path prefix the entry covers (a file, or a
+    /// directory ending in `/`).
+    pub path: String,
+    /// Why the suppression is sound. Mandatory and non-empty.
+    pub justification: String,
+}
+
+/// Parsed lint configuration.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Crates under the bitwise-determinism contract (D1, F1, and the
+    /// `#![forbid(unsafe_code)]` audit of S1 apply here).
+    pub deterministic_crates: Vec<String>,
+    /// Crates where S2 (`unwrap`/`expect`) applies.
+    pub unwrap_crates: Vec<String>,
+    /// Per-rule severities, indexed by rule id.
+    pub severity: Vec<(String, Severity)>,
+    /// Severity for the `expect()` half of S2 (the `unwrap()` half
+    /// uses the S2 severity). Documented-invariant `expect`s are a
+    /// distinct, lower-risk class than `unwrap`, so they get their
+    /// own dial.
+    pub s2_expect: Severity,
+    /// Path prefixes where D2 wall-clock/env reads are legal (the
+    /// observability modules, benches, and the CLI).
+    pub d2_allow_paths: Vec<String>,
+    /// Baseline suppressions.
+    pub allow: Vec<AllowEntry>,
+}
+
+/// Every rule id, in report order.
+pub const RULE_IDS: [&str; 6] = ["D1", "D2", "D3", "S1", "S2", "F1"];
+
+impl Default for LintConfig {
+    /// The built-in policy, identical to the checked-in `lint.toml`
+    /// minus the baseline. Fixture tests run against this so they
+    /// exercise the rules, not the workspace baseline.
+    fn default() -> Self {
+        LintConfig {
+            deterministic_crates: ["sim", "model", "graph", "stats", "design", "core"]
+                .map(String::from)
+                .to_vec(),
+            unwrap_crates: ["sim", "model", "graph", "stats", "design", "core", "cli"]
+                .map(String::from)
+                .to_vec(),
+            severity: RULE_IDS
+                .iter()
+                .map(|r| (r.to_string(), Severity::Deny))
+                .collect(),
+            s2_expect: Severity::Warn,
+            d2_allow_paths: vec![
+                "crates/sim/src/metrics.rs".into(),
+                "crates/bench/".into(),
+                "crates/cli/".into(),
+                "crates/lint/".into(),
+            ],
+            allow: Vec::new(),
+        }
+    }
+}
+
+impl LintConfig {
+    /// Effective severity of a rule.
+    pub fn severity_of(&self, rule: &str) -> Severity {
+        self.severity
+            .iter()
+            .find(|(r, _)| r == rule)
+            .map(|&(_, s)| s)
+            .unwrap_or(Severity::Deny)
+    }
+
+    /// Whether `crate_name` is under the determinism contract.
+    pub fn is_deterministic(&self, crate_name: &str) -> bool {
+        self.deterministic_crates.iter().any(|c| c == crate_name)
+    }
+
+    /// Whether S2 applies to `crate_name`.
+    pub fn checks_unwrap(&self, crate_name: &str) -> bool {
+        self.unwrap_crates.iter().any(|c| c == crate_name)
+    }
+
+    /// Whether `path` is an allowlisted D2 observability location.
+    pub fn d2_allowed(&self, path: &str) -> bool {
+        self.d2_allow_paths
+            .iter()
+            .any(|p| path.starts_with(p.as_str()))
+    }
+
+    /// The `[[allow]]` entry suppressing `rule` at `path`, if any.
+    pub fn allow_entry(&self, rule: &str, path: &str) -> Option<&AllowEntry> {
+        self.allow
+            .iter()
+            .find(|a| a.rule == rule && path.starts_with(a.path.as_str()))
+    }
+
+    /// Baseline entries for a rule (used by the self-lint test to
+    /// assert the D1–D3 baseline is empty).
+    pub fn baseline_for(&self, rule: &str) -> Vec<&AllowEntry> {
+        self.allow.iter().filter(|a| a.rule == rule).collect()
+    }
+
+    /// Parses `lint.toml` text. Errors name the line.
+    pub fn parse(text: &str) -> Result<LintConfig, String> {
+        let mut cfg = LintConfig {
+            allow: Vec::new(),
+            ..LintConfig::default()
+        };
+        // Reset list-valued policy fields so the file is authoritative
+        // when it sets them; absent keys keep the defaults above.
+        let mut section = String::new();
+        let mut current_allow: Option<AllowEntry> = None;
+
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+                if name.trim() != "allow" {
+                    return Err(format!(
+                        "lint.toml:{lineno}: unknown array of tables [[{}]]",
+                        name.trim()
+                    ));
+                }
+                if let Some(entry) = current_allow.take() {
+                    cfg.push_allow(entry, lineno)?;
+                }
+                current_allow = Some(AllowEntry {
+                    rule: String::new(),
+                    path: String::new(),
+                    justification: String::new(),
+                });
+                section = "allow".into();
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                if let Some(entry) = current_allow.take() {
+                    cfg.push_allow(entry, lineno)?;
+                }
+                section = name.trim().to_string();
+                match section.as_str() {
+                    "lint" | "severity" | "rules.D2" | "rules.S2" => {}
+                    other => {
+                        return Err(format!("lint.toml:{lineno}: unknown table [{other}]"));
+                    }
+                }
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("lint.toml:{lineno}: expected `key = value`"))?;
+            let key = key.trim();
+            let value = value.trim();
+            match (section.as_str(), key) {
+                ("lint", "deterministic_crates") => {
+                    cfg.deterministic_crates = parse_string_array(value, lineno)?;
+                }
+                ("lint", "unwrap_crates") => {
+                    cfg.unwrap_crates = parse_string_array(value, lineno)?;
+                }
+                ("severity", rule) => {
+                    if !RULE_IDS.contains(&rule) {
+                        return Err(format!("lint.toml:{lineno}: unknown rule id {rule:?}"));
+                    }
+                    let sev = Severity::parse(&parse_string(value, lineno)?)
+                        .map_err(|e| format!("lint.toml:{lineno}: {e}"))?;
+                    if let Some(slot) = cfg.severity.iter_mut().find(|(r, _)| r == rule) {
+                        slot.1 = sev;
+                    }
+                }
+                ("rules.D2", "allow_paths") => {
+                    cfg.d2_allow_paths = parse_string_array(value, lineno)?;
+                }
+                ("rules.S2", "expect") => {
+                    cfg.s2_expect = Severity::parse(&parse_string(value, lineno)?)
+                        .map_err(|e| format!("lint.toml:{lineno}: {e}"))?;
+                }
+                ("allow", "rule") => {
+                    let entry = current_allow
+                        .as_mut()
+                        .ok_or_else(|| format!("lint.toml:{lineno}: key outside [[allow]]"))?;
+                    entry.rule = parse_string(value, lineno)?;
+                    if !RULE_IDS.contains(&entry.rule.as_str()) {
+                        return Err(format!(
+                            "lint.toml:{lineno}: unknown rule id {:?} in [[allow]]",
+                            entry.rule
+                        ));
+                    }
+                }
+                ("allow", "path") => {
+                    current_allow
+                        .as_mut()
+                        .ok_or_else(|| format!("lint.toml:{lineno}: key outside [[allow]]"))?
+                        .path = parse_string(value, lineno)?;
+                }
+                ("allow", "justification") => {
+                    current_allow
+                        .as_mut()
+                        .ok_or_else(|| format!("lint.toml:{lineno}: key outside [[allow]]"))?
+                        .justification = parse_string(value, lineno)?;
+                }
+                (sec, key) => {
+                    return Err(format!(
+                        "lint.toml:{lineno}: unknown key {key:?} in section [{sec}]"
+                    ));
+                }
+            }
+        }
+        if let Some(entry) = current_allow.take() {
+            let last = text.lines().count();
+            cfg.push_allow(entry, last)?;
+        }
+        Ok(cfg)
+    }
+
+    fn push_allow(&mut self, entry: AllowEntry, lineno: usize) -> Result<(), String> {
+        if entry.rule.is_empty() || entry.path.is_empty() {
+            return Err(format!(
+                "lint.toml:{lineno}: [[allow]] entry needs both `rule` and `path`"
+            ));
+        }
+        if entry.justification.trim().is_empty() {
+            return Err(format!(
+                "lint.toml:{lineno}: [[allow]] for {} at {} is missing a justification \
+                 (every baseline suppression must say why it is sound)",
+                entry.rule, entry.path
+            ));
+        }
+        self.allow.push(entry);
+        Ok(())
+    }
+}
+
+/// Strips a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_backslash => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    line
+}
+
+fn parse_string(value: &str, lineno: usize) -> Result<String, String> {
+    let inner = value
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| format!("lint.toml:{lineno}: expected a quoted string, got {value}"))?;
+    Ok(inner.replace("\\\"", "\"").replace("\\\\", "\\"))
+}
+
+fn parse_string_array(value: &str, lineno: usize) -> Result<Vec<String>, String> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| format!("lint.toml:{lineno}: expected an array, got {value}"))?;
+    inner
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| parse_string(s, lineno))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_shape() {
+        let cfg = LintConfig::parse(
+            r#"
+# comment
+[lint]
+deterministic_crates = ["sim", "model"] # trailing comment
+unwrap_crates = ["sim"]
+
+[severity]
+D1 = "deny"
+S2 = "warn"
+
+[rules.D2]
+allow_paths = ["crates/bench/"]
+
+[rules.S2]
+expect = "allow"
+
+[[allow]]
+rule = "S1"
+path = "crates/bench/src/bin/repro_bench.rs"
+justification = "GlobalAlloc impl, audited"
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.deterministic_crates, ["sim", "model"]);
+        assert_eq!(cfg.severity_of("S2"), Severity::Warn);
+        assert_eq!(cfg.severity_of("D1"), Severity::Deny);
+        assert_eq!(cfg.s2_expect, Severity::Allow);
+        assert!(cfg.d2_allowed("crates/bench/src/lib.rs"));
+        assert!(!cfg.d2_allowed("crates/sim/src/engine.rs"));
+        assert!(cfg
+            .allow_entry("S1", "crates/bench/src/bin/repro_bench.rs")
+            .is_some());
+        assert!(cfg.allow_entry("S1", "crates/sim/src/engine.rs").is_none());
+    }
+
+    #[test]
+    fn justification_is_mandatory() {
+        let err = LintConfig::parse(
+            "[[allow]]\nrule = \"S2\"\npath = \"crates/sim/\"\njustification = \"  \"\n",
+        )
+        .unwrap_err();
+        assert!(err.contains("justification"), "{err}");
+        let err =
+            LintConfig::parse("[[allow]]\nrule = \"S2\"\npath = \"crates/sim/\"\n").unwrap_err();
+        assert!(err.contains("justification"), "{err}");
+    }
+
+    #[test]
+    fn unknown_keys_and_rules_are_hard_errors() {
+        assert!(LintConfig::parse("[lint]\nbogus = \"x\"\n").is_err());
+        assert!(LintConfig::parse("[severity]\nZ9 = \"deny\"\n").is_err());
+        assert!(LintConfig::parse("[wat]\n").is_err());
+        assert!(LintConfig::parse("[[allow]]\nrule = \"Z9\"\npath = \"x\"\n").is_err());
+    }
+
+    #[test]
+    fn default_matches_rule_ids() {
+        let cfg = LintConfig::default();
+        for rule in RULE_IDS {
+            assert_eq!(cfg.severity_of(rule), Severity::Deny);
+        }
+        assert!(cfg.is_deterministic("sim"));
+        assert!(!cfg.is_deterministic("bench"));
+        assert!(cfg.checks_unwrap("cli"));
+    }
+}

@@ -1,0 +1,231 @@
+//! Finding and severity types plus the two report renderers (human
+//! and JSON). JSON is emitted by hand, consistent with the workspace
+//! policy of hand-rolled serialization over external dependencies
+//! (see `sp_sim::metrics::RunManifest::to_json`).
+
+use std::fmt;
+
+/// How a rule's findings are treated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Rule disabled: no finding is produced.
+    Allow,
+    /// Finding is reported but does not fail the run.
+    Warn,
+    /// Finding fails the run (non-zero exit, CI gate trips).
+    Deny,
+}
+
+impl Severity {
+    /// Parses a severity keyword as written in `lint.toml`.
+    pub fn parse(s: &str) -> Result<Severity, String> {
+        match s {
+            "allow" => Ok(Severity::Allow),
+            "warn" => Ok(Severity::Warn),
+            "deny" => Ok(Severity::Deny),
+            other => Err(format!(
+                "unknown severity {other:?} (expected allow | warn | deny)"
+            )),
+        }
+    }
+
+    /// Stable lower-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Allow => "allow",
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One diagnostic produced by a rule.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule id (`D1`…`F1`).
+    pub rule: &'static str,
+    /// Effective severity after configuration.
+    pub severity: Severity,
+    /// Repo-relative path of the offending file.
+    pub path: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it.
+    pub hint: &'static str,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}:{}: [{}] {}\n    fix: {}",
+            self.severity, self.path, self.line, self.rule, self.message, self.hint
+        )
+    }
+}
+
+/// A full lint run: findings plus suppression bookkeeping.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Findings at [`Severity::Warn`] or [`Severity::Deny`], in
+    /// (path, line) order.
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by `[[allow]]` entries, kept for the JSON
+    /// artifact so the baseline stays visible.
+    pub suppressed: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Deny-level findings (the ones that fail the run).
+    pub fn deny_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Deny)
+            .count()
+    }
+
+    /// Warn-level findings.
+    pub fn warn_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Warn)
+            .count()
+    }
+
+    /// Human-readable report. Deny findings are always listed;
+    /// warn findings are listed when `show_warnings` is set and
+    /// otherwise only counted, so a large advisory baseline (e.g.
+    /// documented-invariant `expect()`s) does not drown the signal.
+    pub fn render_human(&self, show_warnings: bool) -> String {
+        let mut s = String::new();
+        for f in &self.findings {
+            if f.severity == Severity::Deny || show_warnings {
+                s.push_str(&f.to_string());
+                s.push('\n');
+            }
+        }
+        s.push_str(&format!(
+            "sp-lint: {} file(s) scanned, {} error(s), {} warning(s), {} suppressed by lint.toml\n",
+            self.files_scanned,
+            self.deny_count(),
+            self.warn_count(),
+            self.suppressed.len()
+        ));
+        if self.warn_count() > 0 && !show_warnings {
+            s.push_str("(re-run with --warnings to list warn-level findings)\n");
+        }
+        s
+    }
+
+    /// Machine-readable report (stable shape, consumed by the CI
+    /// artifact and by tests).
+    pub fn render_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\n");
+        s.push_str("  \"version\": 1,\n");
+        s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        s.push_str(&format!("  \"errors\": {},\n", self.deny_count()));
+        s.push_str(&format!("  \"warnings\": {},\n", self.warn_count()));
+        render_finding_list(&mut s, "findings", &self.findings, ",");
+        render_finding_list(&mut s, "suppressed", &self.suppressed, "");
+        s.push_str("}\n");
+        s
+    }
+}
+
+fn render_finding_list(s: &mut String, key: &str, list: &[Finding], trailing: &str) {
+    s.push_str(&format!("  \"{key}\": [\n"));
+    for (i, f) in list.iter().enumerate() {
+        let sep = if i + 1 < list.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    {{ \"rule\": \"{}\", \"severity\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\", \"hint\": \"{}\" }}{sep}\n",
+            f.rule,
+            f.severity,
+            json_escape(&f.path),
+            f.line,
+            json_escape(&f.message),
+            json_escape(f.hint)
+        ));
+    }
+    s.push_str(&format!("  ]{trailing}\n"));
+}
+
+/// Escapes a string for inclusion in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, severity: Severity) -> Finding {
+        Finding {
+            rule,
+            severity,
+            path: "crates/sim/src/x.rs".into(),
+            line: 7,
+            message: "a \"quoted\" message".into(),
+            hint: "do the right thing",
+        }
+    }
+
+    #[test]
+    fn counts_split_by_severity() {
+        let r = Report {
+            findings: vec![finding("D1", Severity::Deny), finding("S2", Severity::Warn)],
+            suppressed: vec![finding("S2", Severity::Deny)],
+            files_scanned: 3,
+        };
+        assert_eq!(r.deny_count(), 1);
+        assert_eq!(r.warn_count(), 1);
+        let human = r.render_human(false);
+        assert!(human.contains("[D1]"));
+        assert!(!human.contains("[S2]"), "warn hidden without --warnings");
+        assert!(human.contains("1 error(s), 1 warning(s), 1 suppressed"));
+        assert!(r.render_human(true).contains("[S2]"));
+    }
+
+    #[test]
+    fn json_is_balanced_and_escaped() {
+        let r = Report {
+            findings: vec![finding("D2", Severity::Deny)],
+            suppressed: vec![],
+            files_scanned: 1,
+        };
+        let json = r.render_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"errors\": 1"));
+    }
+
+    #[test]
+    fn severity_round_trips() {
+        for s in [Severity::Allow, Severity::Warn, Severity::Deny] {
+            assert_eq!(Severity::parse(s.name()), Ok(s));
+        }
+        assert!(Severity::parse("fatal").is_err());
+    }
+}

@@ -1,0 +1,460 @@
+//! A minimal Rust lexer: just enough token structure for line-accurate
+//! pattern rules, with comments and string/char literals correctly
+//! delimited so that `"unwrap()"` inside a string or a doc example
+//! never triggers a finding.
+//!
+//! This is deliberately not a full Rust grammar. The rules in
+//! [`crate::rules`] only need four properties from the token stream:
+//!
+//! 1. identifiers are whole words (`unsafe_code` is one token, never a
+//!    match for the `unsafe` keyword);
+//! 2. comments survive as tokens (so `// SAFETY:` audits can see
+//!    them) but are skippable for code-pattern matching;
+//! 3. string/char/number literals are opaque single tokens;
+//! 4. every token knows its 1-based source line.
+
+/// What a token is. Punctuation is kept as single characters; rules
+/// match multi-character operators (`::`) as consecutive tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw `r#ident`).
+    Ident,
+    /// One punctuation character (`.`, `:`, `#`, `{`, …).
+    Punct(char),
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Lifetime (`'a`) — distinct from [`TokKind::Char`].
+    Lifetime,
+    /// `// …` comment (doc comments included), text preserved.
+    LineComment,
+    /// `/* … */` comment (nesting handled), text preserved.
+    BlockComment,
+}
+
+/// One lexed token with its 1-based starting line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Source text (identifier name, comment body, literal text).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is a comment (skipped by code-pattern rules).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// Whether this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// Lexes `src` into a token stream. The lexer never fails: malformed
+/// input (an unterminated string, say) degrades to a best-effort token
+/// ending at EOF, which is the right behavior for a linter that must
+/// not crash on code rustc itself will reject.
+pub fn tokenize(src: &str) -> Vec<Tok> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_cont(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(line),
+                '\'' => self.char_or_lifetime(line),
+                _ if c.is_ascii_digit() => self.number(line),
+                _ if is_ident_start(c) => self.word(line),
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct(c), c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::LineComment, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokKind::BlockComment, text, line);
+    }
+
+    /// Ordinary `"…"` string with escapes.
+    fn string(&mut self, line: u32) {
+        let mut text = String::new();
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            if c == '\\' {
+                text.push(c);
+                if let Some(e) = self.bump() {
+                    text.push(e);
+                }
+            } else if c == '"' {
+                break;
+            } else {
+                text.push(c);
+            }
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    /// Raw string `r"…"` / `r#"…"#` with `hashes` leading `#`s; the
+    /// caller has already consumed the prefix up to and including the
+    /// opening quote.
+    fn raw_string_body(&mut self, hashes: usize, line: u32) {
+        let mut text = String::new();
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                // A closing quote must be followed by `hashes` #s.
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        text.push(c);
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+            text.push(c);
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    /// `'a` lifetime, `'x'` char, or `'\n'` escaped char.
+    fn char_or_lifetime(&mut self, line: u32) {
+        self.bump(); // opening quote
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume until closing quote.
+                let mut text = String::new();
+                while let Some(c) = self.bump() {
+                    if c == '\\' {
+                        text.push(c);
+                        if let Some(e) = self.bump() {
+                            text.push(e);
+                        }
+                    } else if c == '\'' {
+                        break;
+                    } else {
+                        text.push(c);
+                    }
+                }
+                self.push(TokKind::Char, text, line);
+            }
+            Some(c) if is_ident_start(c) => {
+                // Could be 'a' (char) or 'a (lifetime): scan the
+                // identifier run and look for a closing quote.
+                let mut end = 0usize;
+                while self.peek(end).map(is_ident_cont).unwrap_or(false) {
+                    end += 1;
+                }
+                if self.peek(end) == Some('\'') {
+                    let mut text = String::new();
+                    for _ in 0..end {
+                        text.push(self.bump().unwrap_or('\0'));
+                    }
+                    self.bump(); // closing quote
+                    self.push(TokKind::Char, text, line);
+                } else {
+                    let mut text = String::new();
+                    for _ in 0..end {
+                        text.push(self.bump().unwrap_or('\0'));
+                    }
+                    self.push(TokKind::Lifetime, text, line);
+                }
+            }
+            Some(c) => {
+                // Degenerate literal like '@' (or stray quote at EOF).
+                let mut text = String::new();
+                text.push(c);
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.push(TokKind::Char, text, line);
+            }
+            None => self.push(TokKind::Char, String::new(), line),
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_cont(c) {
+                text.push(c);
+                self.bump();
+                // Exponent sign: `1e-3`, `2.5E+10`.
+                if (c == 'e' || c == 'E')
+                    && matches!(self.peek(0), Some('+') | Some('-'))
+                    && self.peek(1).map(|d| d.is_ascii_digit()).unwrap_or(false)
+                {
+                    text.push(self.bump().unwrap_or('\0'));
+                }
+            } else if c == '.' && self.peek(1).map(|d| d.is_ascii_digit()).unwrap_or(false) {
+                // Fractional part — but `1..5` (range) and `x.sum()`
+                // stay separate tokens because `.` is only consumed
+                // when a digit follows.
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Num, text, line);
+    }
+
+    /// Identifier, or a string prefix (`r"…"`, `b"…"`, `r#"…"#`,
+    /// `b'…'`, raw ident `r#ident`).
+    fn word(&mut self, line: u32) {
+        // Scan the identifier run without consuming, so prefixes can
+        // be re-interpreted.
+        let mut end = 0usize;
+        while self.peek(end).map(is_ident_cont).unwrap_or(false) {
+            end += 1;
+        }
+        let word: String = (0..end).filter_map(|i| self.peek(i)).collect();
+        let next = self.peek(end);
+        match (word.as_str(), next) {
+            ("r" | "b" | "br" | "rb", Some('"')) => {
+                for _ in 0..=end {
+                    self.bump(); // prefix + opening quote
+                }
+                if word.starts_with('r') || word.ends_with('r') {
+                    self.raw_string_body(0, line);
+                } else {
+                    // b"…" behaves like an ordinary string body.
+                    let mut text = String::new();
+                    while let Some(c) = self.bump() {
+                        if c == '\\' {
+                            text.push(c);
+                            if let Some(e) = self.bump() {
+                                text.push(e);
+                            }
+                        } else if c == '"' {
+                            break;
+                        } else {
+                            text.push(c);
+                        }
+                    }
+                    self.push(TokKind::Str, text, line);
+                }
+            }
+            ("r" | "br" | "rb", Some('#')) => {
+                // Count the #s; a quote after them means raw string,
+                // anything else means raw identifier `r#ident`.
+                let mut hashes = 0usize;
+                while self.peek(end + hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if self.peek(end + hashes) == Some('"') {
+                    for _ in 0..end + hashes + 1 {
+                        self.bump();
+                    }
+                    self.raw_string_body(hashes, line);
+                } else {
+                    // Raw identifier: consume `r#` then the word.
+                    for _ in 0..end + 1 {
+                        self.bump();
+                    }
+                    let mut text = String::new();
+                    while let Some(c) = self.peek(0) {
+                        if is_ident_cont(c) {
+                            text.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.push(TokKind::Ident, text, line);
+                }
+            }
+            ("b", Some('\'')) => {
+                self.bump(); // the `b`
+                self.char_or_lifetime(line);
+            }
+            _ => {
+                for _ in 0..end {
+                    self.bump();
+                }
+                self.push(TokKind::Ident, word, line);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let t = kinds("let x = a.unwrap();");
+        assert_eq!(t[0], (TokKind::Ident, "let".into()));
+        assert_eq!(t[3], (TokKind::Ident, "a".into()));
+        assert_eq!(t[4], (TokKind::Punct('.'), ".".into()));
+        assert_eq!(t[5], (TokKind::Ident, "unwrap".into()));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let t = kinds(r#"let s = "call .unwrap() here";"#);
+        assert!(t.iter().all(|(k, x)| *k != TokKind::Ident || x != "unwrap"));
+        assert!(t.iter().any(|(k, _)| *k == TokKind::Str));
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let t = kinds(r##"let s = r#"no "unwrap()" match"#; let r#fn = 1;"##);
+        assert!(t.iter().all(|(k, x)| *k != TokKind::Ident || x != "unwrap"));
+        assert!(t.iter().any(|(k, x)| *k == TokKind::Ident && x == "fn"));
+    }
+
+    #[test]
+    fn comments_are_tokens_with_text() {
+        let t = tokenize("// SAFETY: fine\nunsafe { }");
+        assert_eq!(t[0].kind, TokKind::LineComment);
+        assert!(t[0].text.contains("SAFETY:"));
+        assert_eq!(t[0].line, 1);
+        assert!(t[1].is_ident("unsafe"));
+        assert_eq!(t[1].line, 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let t = kinds("/* a /* b */ c */ x");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[1], (TokKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let t = kinds("fn f<'a>(x: &'a str) { let c = 'q'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = t.iter().filter(|(k, _)| *k == TokKind::Lifetime).collect();
+        let chars: Vec<_> = t.iter().filter(|(k, _)| *k == TokKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_method_calls() {
+        let t = kinds("let y = 2.0e-3; v.iter().sum::<f64>()");
+        assert!(t.iter().any(|(k, x)| *k == TokKind::Num && x == "2.0e-3"));
+        assert!(t.iter().any(|(k, x)| *k == TokKind::Ident && x == "sum"));
+    }
+
+    #[test]
+    fn unsafe_code_is_not_the_unsafe_keyword() {
+        let t = tokenize("#![forbid(unsafe_code)]");
+        assert!(t.iter().any(|tok| tok.is_ident("unsafe_code")));
+        assert!(!t.iter().any(|tok| tok.is_ident("unsafe")));
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_tokens() {
+        let t = tokenize("/* one\ntwo */\n\"a\nb\"\nx");
+        assert_eq!(t[0].line, 1);
+        assert_eq!(t[1].line, 3); // string starts on line 3
+        assert_eq!(t[2].line, 5); // x after the 2-line string
+    }
+}

@@ -1,0 +1,83 @@
+//! `sp-lint` — static enforcement of the workspace determinism-and-
+//! safety contract.
+//!
+//! The paper's evaluation (Sec. 6: means + 95% CIs over seeded runs)
+//! and this repo's perf gates both rest on one invariant: **fixed
+//! seed + plan ⇒ identical `RawMetrics`, at any `--threads` value**.
+//! PRs 1–3 enforce that at runtime (`sim_determinism`,
+//! `engine_determinism`, fault proptests). This crate enforces it at
+//! *analysis time*, before a hazard reaches a 30-minute repro run:
+//! the classes of source construct that have historically broken
+//! bitwise reproducibility are simply not allowed to exist in the
+//! deterministic crates.
+//!
+//! See [`rules`] for the rule table, [`config`] for `lint.toml`
+//! (severities, rule parameters, and the justification-carrying
+//! `[[allow]]` baseline), and DESIGN.md §13 for policy.
+//!
+//! The tool is self-contained — hand-rolled lexer, hand-rolled TOML
+//! subset, hand-rolled JSON — consistent with the offline
+//! `crates/compat` dependency policy: linting must work in the same
+//! registry-less environment the build does.
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+use std::path::Path;
+
+pub use config::{AllowEntry, LintConfig, RULE_IDS};
+pub use diag::{Finding, Report, Severity};
+pub use rules::{lint_source, FileContext};
+
+/// Lints every workspace file under `root`, applying the `[[allow]]`
+/// baseline from `cfg` (suppressed findings are kept on
+/// [`Report::suppressed`] so the baseline stays visible in the JSON
+/// artifact).
+pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> Result<Report, String> {
+    let files = walk::workspace_files(root)?;
+    let mut report = Report::default();
+    for file in &files {
+        let src = std::fs::read_to_string(&file.full_path)
+            .map_err(|e| format!("cannot read {}: {e}", file.full_path.display()))?;
+        for finding in lint_source(&src, &file.ctx, cfg) {
+            if cfg.allow_entry(finding.rule, &finding.path).is_some() {
+                report.suppressed.push(finding);
+            } else {
+                report.findings.push(finding);
+            }
+        }
+    }
+    report.files_scanned = files.len();
+    Ok(report)
+}
+
+/// Reads `lint.toml` from `root`, falling back to the built-in
+/// default policy when the file does not exist.
+pub fn load_config(root: &Path) -> Result<LintConfig, String> {
+    let path = root.join("lint.toml");
+    match std::fs::read_to_string(&path) {
+        Ok(text) => LintConfig::parse(&text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(LintConfig::default()),
+        Err(e) => Err(format!("cannot read {}: {e}", path.display())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_lint_runs_and_counts_files() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("workspace root");
+        let cfg = load_config(root).expect("lint.toml parses");
+        let report = lint_workspace(root, &cfg).expect("workspace lints");
+        assert!(report.files_scanned > 50, "walker found the workspace");
+    }
+}

@@ -1,0 +1,121 @@
+//! `sp_lint` — the standalone lint binary (CI entry point).
+//!
+//! ```text
+//! sp_lint [--root DIR] [--config FILE] [--json [FILE]] [--warnings]
+//! ```
+//!
+//! Exit codes follow the `spnet` convention: `0` clean (warnings are
+//! advisory), `1` at least one deny-level finding, `2` usage or
+//! configuration error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sp_lint::{lint_workspace, load_config, LintConfig};
+
+struct Options {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    json: Option<Option<PathBuf>>,
+    warnings: bool,
+}
+
+fn parse_args(raw: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        config: None,
+        json: None,
+        warnings: false,
+    };
+    let mut iter = raw.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--root" => {
+                let v = iter.next().ok_or("--root needs a directory")?;
+                opts.root = PathBuf::from(v);
+            }
+            "--config" => {
+                let v = iter.next().ok_or("--config needs a file")?;
+                opts.config = Some(PathBuf::from(v));
+            }
+            "--json" => {
+                // Optional value: `--json` prints to stdout,
+                // `--json report.json` writes the file.
+                let takes_value = iter
+                    .peek()
+                    .map(|next| !next.starts_with("--"))
+                    .unwrap_or(false);
+                opts.json = Some(if takes_value {
+                    iter.next().map(PathBuf::from)
+                } else {
+                    None
+                });
+            }
+            "--warnings" => opts.warnings = true,
+            "--help" | "-h" => {
+                println!(
+                    "sp_lint — workspace determinism-and-safety static analysis\n\n\
+                     USAGE: sp_lint [--root DIR] [--config FILE] [--json [FILE]] [--warnings]\n\n\
+                     OPTIONS:\n\
+                       --root DIR     workspace root to lint (default: .)\n\
+                       --config FILE  lint configuration (default: <root>/lint.toml)\n\
+                       --json [FILE]  machine-readable report to FILE (or stdout)\n\
+                       --warnings     list warn-level findings (always counted)\n\n\
+                     EXIT CODES: 0 clean, 1 deny-level findings, 2 usage/config error\n\
+                     RULES: D1 hash containers, D2 wall-clock/env reads, D3 unseeded RNG,\n\
+                            S1 unsafe hygiene, S2 unwrap/expect, F1 parallel float sums\n\
+                     (see DESIGN.md §13 for the contract and lint.toml for the baseline)"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option {other:?} (try --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+fn run(opts: &Options) -> Result<bool, String> {
+    let cfg: LintConfig = match &opts.config {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            LintConfig::parse(&text)?
+        }
+        None => load_config(&opts.root)?,
+    };
+    let report = lint_workspace(&opts.root, &cfg)?;
+    match &opts.json {
+        Some(Some(path)) => {
+            std::fs::write(path, report.render_json())
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            // Keep the human summary on stderr so a JSON-to-stdout
+            // pipeline stays parseable either way.
+            eprint!("{}", report.render_human(opts.warnings));
+        }
+        Some(None) => {
+            print!("{}", report.render_json());
+            eprint!("{}", report.render_human(opts.warnings));
+        }
+        None => print!("{}", report.render_human(opts.warnings)),
+    }
+    Ok(report.deny_count() == 0)
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&raw) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,714 @@
+//! The six rules of the static determinism-and-safety contract.
+//!
+//! | Rule | Class        | What it catches                                             |
+//! |------|--------------|-------------------------------------------------------------|
+//! | D1   | determinism  | default-hashed `HashMap`/`HashSet` in deterministic crates  |
+//! | D2   | determinism  | wall-clock / env reads outside observability modules        |
+//! | D3   | determinism  | unseeded RNG (`thread_rng`, `from_entropy`, `OsRng`)        |
+//! | S1   | safety       | `unsafe` without a `// SAFETY:` comment; deterministic      |
+//! |      |              | crates missing `#![forbid(unsafe_code)]`                    |
+//! | S2   | safety       | `unwrap()` / `expect()` outside `#[cfg(test)]`              |
+//! | F1   | determinism  | float `.sum::<f64>()` over a parallel iterator              |
+//!
+//! All rules operate on the token stream from [`crate::lexer`]; none
+//! need type information. That bounds what they can see — a
+//! `HashMap` smuggled through a type alias is invisible — but the
+//! contract these rules enforce is about what the *source* says, and
+//! the fixture corpus pins the exact behavior either way.
+
+use crate::config::LintConfig;
+use crate::diag::{Finding, Severity};
+use crate::lexer::{tokenize, Tok, TokKind};
+
+/// Where a file sits in the workspace; drives which rules apply.
+#[derive(Debug, Clone, Default)]
+pub struct FileContext {
+    /// Repo-relative path (`crates/sim/src/engine.rs`).
+    pub path: String,
+    /// Crate directory name under `crates/` (`sim`, `cli`, …).
+    pub crate_name: String,
+    /// Whether the file is test-only code (under `tests/`,
+    /// `benches/`, or `examples/`): S2 does not apply there.
+    pub is_test_file: bool,
+    /// Whether the file is a crate root (`src/lib.rs`): the S1
+    /// `#![forbid(unsafe_code)]` audit applies only there.
+    pub is_lib_root: bool,
+}
+
+/// Lints one source file. Returns raw findings (allowlist filtering
+/// happens in [`crate::lint_workspace`] so per-file callers — the
+/// fixture tests — see everything).
+pub fn lint_source(src: &str, ctx: &FileContext, cfg: &LintConfig) -> Vec<Finding> {
+    let toks = tokenize(src);
+    let tests = TestRegions::compute(&toks);
+    // Indices of non-comment tokens, for code-pattern matching.
+    let code: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
+    let mut out = Vec::new();
+
+    rule_d1(&toks, &code, &tests, ctx, cfg, &mut out);
+    rule_d2(&toks, &code, ctx, cfg, &mut out);
+    rule_d3(&toks, &code, ctx, cfg, &mut out);
+    rule_s1(&toks, &code, ctx, cfg, &mut out);
+    rule_s2(&toks, &code, &tests, ctx, cfg, &mut out);
+    rule_f1(&toks, &code, &tests, ctx, cfg, &mut out);
+
+    out.sort_by_key(|f| (f.line, f.rule));
+    out
+}
+
+/// Token-index ranges covered by `#[cfg(test)]` / `#[test]` items.
+struct TestRegions {
+    /// Sorted, non-overlapping (start, end) token-index ranges.
+    ranges: Vec<(usize, usize)>,
+}
+
+impl TestRegions {
+    fn compute(toks: &[Tok]) -> TestRegions {
+        let mut ranges: Vec<(usize, usize)> = Vec::new();
+        let mut open: Vec<(usize, usize)> = Vec::new(); // (start idx, depth)
+        let mut depth = 0usize;
+        let mut pending_test_attr = false;
+        let mut i = 0;
+        while i < toks.len() {
+            let t = &toks[i];
+            if t.is_comment() {
+                i += 1;
+                continue;
+            }
+            if t.is_punct('#') {
+                // `#[…]` outer attribute (`#![…]` inner attributes are
+                // skipped: they never mark a following item as test).
+                let mut j = i + 1;
+                while j < toks.len() && toks[j].is_comment() {
+                    j += 1;
+                }
+                if j < toks.len() && toks[j].is_punct('[') {
+                    let (end, is_test) = scan_attribute(toks, j);
+                    if is_test {
+                        pending_test_attr = true;
+                    }
+                    i = end;
+                    continue;
+                }
+            }
+            match t.kind {
+                TokKind::Punct(';') if open.is_empty() => {
+                    // `#[cfg(test)] use …;` — attribute without a body.
+                    pending_test_attr = false;
+                }
+                TokKind::Punct('{') => {
+                    if pending_test_attr {
+                        open.push((i, depth));
+                        pending_test_attr = false;
+                    }
+                    depth += 1;
+                }
+                TokKind::Punct('}') => {
+                    depth = depth.saturating_sub(1);
+                    if let Some(&(start, d)) = open.last() {
+                        if d == depth {
+                            open.pop();
+                            ranges.push((start, i));
+                        }
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        // An unterminated region (malformed input) extends to EOF.
+        for (start, _) in open {
+            ranges.push((start, toks.len()));
+        }
+        ranges.sort_unstable();
+        TestRegions { ranges }
+    }
+
+    fn contains(&self, tok_idx: usize) -> bool {
+        self.ranges
+            .iter()
+            .any(|&(s, e)| tok_idx >= s && tok_idx <= e)
+    }
+}
+
+/// Scans an attribute starting at the `[` token; returns the token
+/// index just past the closing `]` and whether the attribute marks
+/// test-only code (`#[test]`, `#[cfg(test)]`, `#[cfg(all(test, …))]`
+/// — but not `#[cfg(not(test))]`).
+fn scan_attribute(toks: &[Tok], open_bracket: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut idents: Vec<&str> = Vec::new();
+    let mut i = open_bracket;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                i += 1;
+                break;
+            }
+        } else if t.kind == TokKind::Ident {
+            idents.push(&t.text);
+        }
+        i += 1;
+    }
+    let has_test = idents.contains(&"test");
+    let negated = idents.contains(&"not");
+    let is_cfg = idents.first().map(|s| *s == "cfg").unwrap_or(false);
+    let is_bare_test = idents.len() == 1 && idents[0] == "test";
+    (i, has_test && !negated && (is_cfg || is_bare_test))
+}
+
+/// Looks up the `n`-th code token after position `k` in the `code`
+/// index list, if any.
+fn code_tok<'a>(toks: &'a [Tok], code: &[usize], k: usize, n: usize) -> Option<&'a Tok> {
+    code.get(k + n).map(|&i| &toks[i])
+}
+
+fn push(
+    out: &mut Vec<Finding>,
+    rule: &'static str,
+    severity: Severity,
+    ctx: &FileContext,
+    line: u32,
+    message: String,
+    hint: &'static str,
+) {
+    if severity == Severity::Allow {
+        return;
+    }
+    out.push(Finding {
+        rule,
+        severity,
+        path: ctx.path.clone(),
+        line,
+        message,
+        hint,
+    });
+}
+
+/// D1 — default-hashed containers in deterministic crates. Iteration
+/// order of `std::collections::HashMap`/`HashSet` varies run-to-run
+/// (SipHash keys are randomized per process), so any drain feeding
+/// metrics breaks bitwise reproducibility. The rule bans the types
+/// outright — including in `#[cfg(test)]` code, where order-dependent
+/// assertions become flaky — and the popular third-party spellings.
+fn rule_d1(
+    toks: &[Tok],
+    code: &[usize],
+    _tests: &TestRegions,
+    ctx: &FileContext,
+    cfg: &LintConfig,
+    out: &mut Vec<Finding>,
+) {
+    if !cfg.is_deterministic(&ctx.crate_name) {
+        return;
+    }
+    let severity = cfg.severity_of("D1");
+    const BANNED: [&str; 6] = [
+        "HashMap",
+        "HashSet",
+        "AHashMap",
+        "AHashSet",
+        "FxHashMap",
+        "FxHashSet",
+    ];
+    for (k, &i) in code.iter().enumerate() {
+        let t = &toks[i];
+        if t.kind == TokKind::Ident && BANNED.contains(&t.text.as_str()) {
+            // `HashMap::with_hasher` with an explicit deterministic
+            // hasher would be legal, but no call site needs it; keep
+            // the rule simple and absolute.
+            let _ = k;
+            push(
+                out,
+                "D1",
+                severity,
+                ctx,
+                t.line,
+                format!(
+                    "default-hashed `{}` in deterministic crate `{}`",
+                    t.text, ctx.crate_name
+                ),
+                "use BTreeMap/BTreeSet (or a sorted drain / a fixed-hash set like sp_graph::PairSet)",
+            );
+        }
+    }
+}
+
+/// D2 — wall-clock and environment reads. `Instant::now`,
+/// `SystemTime`, and `env::var` make output depend on when/where the
+/// process runs; they are only legal in the allowlisted observability
+/// set (`sp_sim::metrics`, bench binaries, the CLI).
+fn rule_d2(
+    toks: &[Tok],
+    code: &[usize],
+    ctx: &FileContext,
+    cfg: &LintConfig,
+    out: &mut Vec<Finding>,
+) {
+    if cfg.d2_allowed(&ctx.path) {
+        return;
+    }
+    let severity = cfg.severity_of("D2");
+    for (k, &i) in code.iter().enumerate() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let flagged = match t.text.as_str() {
+            // `Instant::now()` / `SystemTime::now()`.
+            "Instant" | "SystemTime" => {
+                let colons = code_tok(toks, code, k, 1)
+                    .map(|t| t.is_punct(':'))
+                    .unwrap_or(false)
+                    && code_tok(toks, code, k, 2)
+                        .map(|t| t.is_punct(':'))
+                        .unwrap_or(false);
+                let now = code_tok(toks, code, k, 3)
+                    .map(|t| t.is_ident("now"))
+                    .unwrap_or(false);
+                if t.text == "SystemTime" {
+                    // Any SystemTime use is wall-clock dependent.
+                    true
+                } else {
+                    colons && now
+                }
+            }
+            // `env::var(…)` / `env::var_os(…)` / `env::vars()`.
+            "env" => {
+                code_tok(toks, code, k, 1)
+                    .map(|t| t.is_punct(':'))
+                    .unwrap_or(false)
+                    && code_tok(toks, code, k, 2)
+                        .map(|t| t.is_punct(':'))
+                        .unwrap_or(false)
+                    && code_tok(toks, code, k, 3)
+                        .map(|t| matches!(t.text.as_str(), "var" | "var_os" | "vars"))
+                        .unwrap_or(false)
+            }
+            _ => false,
+        };
+        if flagged {
+            push(
+                out,
+                "D2",
+                severity,
+                ctx,
+                t.line,
+                format!(
+                    "wall-clock/environment read (`{}`) outside the observability allowlist",
+                    t.text
+                ),
+                "move the read into sp_sim::metrics / bench / CLI, or thread the value in as a parameter",
+            );
+        }
+    }
+}
+
+/// D3 — unseeded randomness, anywhere (tests included): `thread_rng`,
+/// `from_entropy`, and `OsRng` all pull operating-system entropy, so
+/// no run that touches them can ever be replayed.
+fn rule_d3(
+    toks: &[Tok],
+    code: &[usize],
+    ctx: &FileContext,
+    cfg: &LintConfig,
+    out: &mut Vec<Finding>,
+) {
+    let severity = cfg.severity_of("D3");
+    for &i in code {
+        let t = &toks[i];
+        if t.kind == TokKind::Ident
+            && matches!(t.text.as_str(), "thread_rng" | "from_entropy" | "OsRng")
+        {
+            push(
+                out,
+                "D3",
+                severity,
+                ctx,
+                t.line,
+                format!("unseeded RNG (`{}`)", t.text),
+                "derive every stream from the run seed (SpRng::seed_from_u64 + named substreams)",
+            );
+        }
+    }
+}
+
+/// S1 — unsafe hygiene. Every `unsafe` keyword must be announced by a
+/// `// SAFETY:` comment: on the same line, or in the contiguous
+/// comment block directly above (multi-line SAFETY paragraphs count).
+/// Deterministic crate roots must additionally carry
+/// `#![forbid(unsafe_code)]` so the audit cannot rot.
+fn rule_s1(
+    toks: &[Tok],
+    code: &[usize],
+    ctx: &FileContext,
+    cfg: &LintConfig,
+    out: &mut Vec<Finding>,
+) {
+    let severity = cfg.severity_of("S1");
+    // Per-line comment facts. A block comment spanning lines marks
+    // every line it covers.
+    let mut comment_lines = std::collections::BTreeSet::new();
+    let mut safety_lines = std::collections::BTreeSet::new();
+    for t in toks {
+        if !t.is_comment() {
+            continue;
+        }
+        let span = t.text.matches('\n').count() as u32;
+        for line in t.line..=t.line + span {
+            comment_lines.insert(line);
+        }
+        if t.text.contains("SAFETY:") {
+            safety_lines.insert(t.line);
+        }
+    }
+    for &i in code {
+        let t = &toks[i];
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        // Walk up through the contiguous comment block above the
+        // `unsafe` line; any SAFETY: marker in it (or on the line
+        // itself) documents the block.
+        let mut lo = t.line;
+        while lo > 1 && comment_lines.contains(&(lo - 1)) {
+            lo -= 1;
+        }
+        let documented = safety_lines.range(lo..=t.line).next().is_some();
+        if !documented {
+            push(
+                out,
+                "S1",
+                severity,
+                ctx,
+                t.line,
+                "`unsafe` without a `// SAFETY:` comment".to_string(),
+                "document the invariant that makes this sound in a `// SAFETY:` comment directly above",
+            );
+        }
+    }
+    if ctx.is_lib_root && cfg.is_deterministic(&ctx.crate_name) {
+        // `forbid ( unsafe_code` as consecutive code tokens.
+        let has_forbid = (0..code.len()).any(|k| {
+            toks[code[k]].is_ident("forbid")
+                && code_tok(toks, code, k, 1)
+                    .map(|t| t.is_punct('('))
+                    .unwrap_or(false)
+                && code_tok(toks, code, k, 2)
+                    .map(|t| t.is_ident("unsafe_code"))
+                    .unwrap_or(false)
+        });
+        if !has_forbid {
+            push(
+                out,
+                "S1",
+                severity,
+                ctx,
+                1,
+                format!(
+                    "deterministic crate `{}` is missing `#![forbid(unsafe_code)]` in its crate root",
+                    ctx.crate_name
+                ),
+                "add `#![forbid(unsafe_code)]` to src/lib.rs",
+            );
+        }
+    }
+}
+
+/// S2 — panic paths in library code. `unwrap()` outside `#[cfg(test)]`
+/// is denied; `expect("…")` carries its invariant in the message and
+/// gets a separately configurable (default: warn) severity, because
+/// converting hot-loop invariant checks to `Result` plumbing has a
+/// measured throughput cost (see DESIGN.md §13).
+fn rule_s2(
+    toks: &[Tok],
+    code: &[usize],
+    tests: &TestRegions,
+    ctx: &FileContext,
+    cfg: &LintConfig,
+    out: &mut Vec<Finding>,
+) {
+    if ctx.is_test_file || !cfg.checks_unwrap(&ctx.crate_name) {
+        return;
+    }
+    for (k, &i) in code.iter().enumerate() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || tests.contains(i) {
+            continue;
+        }
+        let preceded_by_dot = k > 0 && toks[code[k - 1]].is_punct('.');
+        if !preceded_by_dot {
+            continue;
+        }
+        match t.text.as_str() {
+            "unwrap"
+                if code_tok(toks, code, k, 1)
+                    .map(|t| t.is_punct('('))
+                    .unwrap_or(false)
+                    && code_tok(toks, code, k, 2)
+                        .map(|t| t.is_punct(')'))
+                        .unwrap_or(false) =>
+            {
+                push(
+                    out,
+                    "S2",
+                    cfg.severity_of("S2"),
+                    ctx,
+                    t.line,
+                    "`.unwrap()` in library code outside #[cfg(test)]".to_string(),
+                    "propagate with `?` (CliError in the CLI), or use expect(\"documented invariant\")",
+                );
+            }
+            "expect"
+                if code_tok(toks, code, k, 1)
+                    .map(|t| t.is_punct('('))
+                    .unwrap_or(false) =>
+            {
+                push(
+                    out,
+                    "S2",
+                    cfg.s2_expect,
+                    ctx,
+                    t.line,
+                    "`.expect()` in library code outside #[cfg(test)]".to_string(),
+                    "prefer Result propagation where the caller can recover; keep expect only for documented invariants",
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// F1 — order-sensitive float reductions. Float addition is not
+/// associative, so `.sum::<f64>()` over a parallel iterator produces
+/// run-dependent results. The rule flags a float `sum`/`product`
+/// turbofish in any statement that also mentions a rayon-style
+/// parallel-iterator constructor.
+fn rule_f1(
+    toks: &[Tok],
+    code: &[usize],
+    _tests: &TestRegions,
+    ctx: &FileContext,
+    cfg: &LintConfig,
+    out: &mut Vec<Finding>,
+) {
+    if !cfg.is_deterministic(&ctx.crate_name) {
+        return;
+    }
+    let severity = cfg.severity_of("F1");
+    for (k, &i) in code.iter().enumerate() {
+        let t = &toks[i];
+        let is_float_reduce = matches!(t.text.as_str(), "sum" | "product")
+            && t.kind == TokKind::Ident
+            && k > 0
+            && toks[code[k - 1]].is_punct('.')
+            && code_tok(toks, code, k, 1)
+                .map(|t| t.is_punct(':'))
+                .unwrap_or(false)
+            && code_tok(toks, code, k, 2)
+                .map(|t| t.is_punct(':'))
+                .unwrap_or(false)
+            && code_tok(toks, code, k, 3)
+                .map(|t| t.is_punct('<'))
+                .unwrap_or(false)
+            && code_tok(toks, code, k, 4)
+                .map(|t| matches!(t.text.as_str(), "f64" | "f32"))
+                .unwrap_or(false);
+        if !is_float_reduce {
+            continue;
+        }
+        // Scan backwards to the statement start (`;`, `{`, or `}`)
+        // looking for a parallel-iterator source.
+        let mut parallel = false;
+        for back in (0..k).rev() {
+            let b = &toks[code[back]];
+            if matches!(
+                b.kind,
+                TokKind::Punct(';') | TokKind::Punct('{') | TokKind::Punct('}')
+            ) {
+                break;
+            }
+            if b.kind == TokKind::Ident
+                && matches!(
+                    b.text.as_str(),
+                    "par_iter" | "into_par_iter" | "par_bridge" | "par_chunks"
+                )
+            {
+                parallel = true;
+                break;
+            }
+        }
+        if parallel {
+            push(
+                out,
+                "F1",
+                severity,
+                ctx,
+                t.line,
+                format!(
+                    "non-deterministic float `.{}::<…>()` over a parallel iterator",
+                    t.text
+                ),
+                "reduce per-shard into an ordered Vec, then fold sequentially in shard order",
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_det() -> FileContext {
+        FileContext {
+            path: "crates/sim/src/x.rs".into(),
+            crate_name: "sim".into(),
+            is_test_file: false,
+            is_lib_root: false,
+        }
+    }
+
+    fn run(src: &str, ctx: &FileContext) -> Vec<Finding> {
+        lint_source(src, ctx, &LintConfig::default())
+    }
+
+    #[test]
+    fn d1_flags_hash_containers_and_spares_btree() {
+        let f = run(
+            "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32>; }",
+            &ctx_det(),
+        );
+        assert!(f.iter().filter(|f| f.rule == "D1").count() >= 2);
+        let f = run(
+            "use std::collections::BTreeMap;\nfn f() { let m: BTreeMap<u32, u32>; }",
+            &ctx_det(),
+        );
+        assert!(f.iter().all(|f| f.rule != "D1"));
+    }
+
+    #[test]
+    fn d1_skips_non_deterministic_crates() {
+        let ctx = FileContext {
+            path: "crates/bench/src/x.rs".into(),
+            crate_name: "bench".into(),
+            ..FileContext::default()
+        };
+        let f = run("use std::collections::HashMap;", &ctx);
+        assert!(f.iter().all(|f| f.rule != "D1"));
+    }
+
+    #[test]
+    fn d2_flags_clock_and_env_outside_allowlist() {
+        let src = "fn f() { let t = Instant::now(); let v = std::env::var(\"X\"); }";
+        let f = run(src, &ctx_det());
+        assert_eq!(f.iter().filter(|f| f.rule == "D2").count(), 2);
+        // Allowlisted path: clean.
+        let ctx = FileContext {
+            path: "crates/sim/src/metrics.rs".into(),
+            crate_name: "sim".into(),
+            ..FileContext::default()
+        };
+        assert!(run(src, &ctx).iter().all(|f| f.rule != "D2"));
+    }
+
+    #[test]
+    fn d2_does_not_flag_instant_elapsed_or_durations() {
+        let f = run(
+            "fn f(t: Instant) -> u64 { t.elapsed().as_nanos() as u64 }",
+            &ctx_det(),
+        );
+        assert!(f.iter().all(|f| f.rule != "D2"));
+    }
+
+    #[test]
+    fn d3_flags_unseeded_rng_even_in_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n fn f() { let r = thread_rng(); }\n}";
+        let f = run(src, &ctx_det());
+        assert_eq!(f.iter().filter(|f| f.rule == "D3").count(), 1);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn s1_requires_safety_comment() {
+        let bad = "fn f() { unsafe { do_it() } }";
+        let f = run(bad, &ctx_det());
+        assert_eq!(f.iter().filter(|f| f.rule == "S1").count(), 1);
+        let good =
+            "fn f() {\n    // SAFETY: the buffer outlives the call.\n    unsafe { do_it() }\n}";
+        assert!(run(good, &ctx_det()).iter().all(|f| f.rule != "S1"));
+    }
+
+    #[test]
+    fn s1_audits_forbid_on_deterministic_lib_roots() {
+        let ctx = FileContext {
+            path: "crates/sim/src/lib.rs".into(),
+            crate_name: "sim".into(),
+            is_lib_root: true,
+            ..FileContext::default()
+        };
+        let f = run("pub mod x;", &ctx);
+        assert!(f
+            .iter()
+            .any(|f| f.rule == "S1" && f.message.contains("forbid")));
+        let f = run("#![forbid(unsafe_code)]\npub mod x;", &ctx);
+        assert!(f.iter().all(|f| f.rule != "S1"));
+    }
+
+    #[test]
+    fn s2_unwrap_deny_expect_warn_tests_exempt() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n\
+                   fn g(x: Option<u32>) -> u32 { x.expect(\"always set\") }\n\
+                   #[cfg(test)]\nmod tests { fn t(x: Option<u32>) -> u32 { x.unwrap() } }";
+        let f = run(src, &ctx_det());
+        let s2: Vec<_> = f.iter().filter(|f| f.rule == "S2").collect();
+        assert_eq!(s2.len(), 2);
+        assert_eq!(s2[0].severity, Severity::Deny);
+        assert_eq!(s2[0].line, 1);
+        assert_eq!(s2[1].severity, Severity::Warn);
+        assert_eq!(s2[1].line, 2);
+    }
+
+    #[test]
+    fn s2_spares_unwrap_or_variants_and_test_files() {
+        let f = run("fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }", &ctx_det());
+        assert!(f.iter().all(|f| f.rule != "S2"));
+        let ctx = FileContext {
+            path: "crates/sim/tests/t.rs".into(),
+            crate_name: "sim".into(),
+            is_test_file: true,
+            ..FileContext::default()
+        };
+        let f = run("fn f(x: Option<u32>) -> u32 { x.unwrap() }", &ctx);
+        assert!(f.iter().all(|f| f.rule != "S2"));
+    }
+
+    #[test]
+    fn f1_flags_parallel_float_sums_only() {
+        let bad = "fn f(v: &[f64]) -> f64 { v.par_iter().map(|x| x * 2.0).sum::<f64>() }";
+        let f = run(bad, &ctx_det());
+        assert_eq!(f.iter().filter(|f| f.rule == "F1").count(), 1);
+        let good = "fn f(v: &[f64]) -> f64 { v.iter().sum::<f64>() }";
+        assert!(run(good, &ctx_det()).iter().all(|f| f.rule != "F1"));
+        let intsum = "fn f(v: &[u64]) -> u64 { v.par_iter().sum::<u64>() }";
+        assert!(run(intsum, &ctx_det()).iter().all(|f| f.rule != "F1"));
+    }
+
+    #[test]
+    fn strings_and_comments_never_trigger() {
+        let src = "fn f() -> &'static str {\n\
+                   // HashMap, thread_rng, unsafe, .unwrap() — commentary only\n\
+                   \"HashMap thread_rng Instant::now .unwrap()\"\n}";
+        assert!(run(src, &ctx_det()).is_empty());
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nfn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        let f = run(src, &ctx_det());
+        assert_eq!(f.iter().filter(|f| f.rule == "S2").count(), 1);
+    }
+}

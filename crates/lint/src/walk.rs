@@ -1,0 +1,139 @@
+//! Workspace traversal: which files get linted, and what
+//! [`crate::rules::FileContext`] each one carries.
+//!
+//! Scope matches the determinism contract, not the filesystem:
+//! every `.rs` file under `crates/<name>/{src,tests,benches}` and the
+//! workspace-level `tests/` and `examples/` directories, excluding
+//!
+//! * `crates/compat/**` — vendored API stubs for offline builds; they
+//!   mirror external crates' source, which is not ours to lint;
+//! * `crates/lint/tests/fixtures/**` — known-bad corpus that exists
+//!   precisely to violate every rule.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::rules::FileContext;
+
+/// One file to lint.
+#[derive(Debug, Clone)]
+pub struct WorkspaceFile {
+    /// Absolute (or root-joined) path for reading.
+    pub full_path: PathBuf,
+    /// Context handed to the rules (repo-relative path inside).
+    pub ctx: FileContext,
+}
+
+/// Collects every lintable file under `root` (the workspace root),
+/// sorted by repo-relative path so reports and JSON artifacts are
+/// stable across filesystems.
+pub fn workspace_files(root: &Path) -> Result<Vec<WorkspaceFile>, String> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    let entries = fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read crates/: {e}"))?;
+        let crate_name = entry.file_name().to_string_lossy().to_string();
+        if crate_name == "compat" || !entry.path().is_dir() {
+            continue;
+        }
+        for sub in ["src", "tests", "benches"] {
+            let dir = entry.path().join(sub);
+            if dir.is_dir() {
+                collect_rs(&dir, root, &crate_name, sub != "src", &mut out)?;
+            }
+        }
+    }
+    // Workspace-level integration tests and examples: test-only code
+    // that still must honor the determinism rules (D1–D3).
+    for (dir, label) in [("tests", "workspace-tests"), ("examples", "examples")] {
+        let path = root.join(dir);
+        if path.is_dir() {
+            collect_rs(&path, root, label, true, &mut out)?;
+        }
+    }
+    out.sort_by(|a, b| a.ctx.path.cmp(&b.ctx.path));
+    Ok(out)
+}
+
+fn collect_rs(
+    dir: &Path,
+    root: &Path,
+    crate_name: &str,
+    is_test_file: bool,
+    out: &mut Vec<WorkspaceFile>,
+) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if path.is_dir() {
+            if rel == "crates/lint/tests/fixtures" {
+                continue;
+            }
+            collect_rs(&path, root, crate_name, is_test_file, out)?;
+        } else if path.extension().map(|e| e == "rs").unwrap_or(false) {
+            let is_lib_root = rel.ends_with("/src/lib.rs");
+            out.push(WorkspaceFile {
+                full_path: path.clone(),
+                ctx: FileContext {
+                    path: rel,
+                    crate_name: crate_name.to_string(),
+                    is_test_file,
+                    is_lib_root,
+                },
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repo_root() -> PathBuf {
+        // crates/lint -> crates -> workspace root
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .map(Path::to_path_buf)
+            .expect("lint crate lives two levels under the workspace root")
+    }
+
+    #[test]
+    fn walk_finds_known_files_and_skips_exclusions() {
+        let files = workspace_files(&repo_root()).unwrap();
+        let paths: Vec<&str> = files.iter().map(|f| f.ctx.path.as_str()).collect();
+        assert!(paths.contains(&"crates/sim/src/engine.rs"));
+        assert!(paths.contains(&"crates/lint/src/walk.rs"));
+        assert!(paths.iter().all(|p| !p.starts_with("crates/compat/")));
+        assert!(paths
+            .iter()
+            .all(|p| !p.starts_with("crates/lint/tests/fixtures/")));
+        // Sorted and de-duplicated.
+        let mut sorted = paths.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(paths, sorted);
+    }
+
+    #[test]
+    fn contexts_classify_tests_and_lib_roots() {
+        let files = workspace_files(&repo_root()).unwrap();
+        let by_path = |p: &str| files.iter().find(|f| f.ctx.path == p).unwrap();
+        let lib = by_path("crates/sim/src/lib.rs");
+        assert!(lib.ctx.is_lib_root && !lib.ctx.is_test_file);
+        assert_eq!(lib.ctx.crate_name, "sim");
+        let t = by_path("crates/sim/tests/sim_determinism.rs");
+        assert!(t.ctx.is_test_file && !t.ctx.is_lib_root);
+        let e2e = files.iter().find(|f| f.ctx.path == "tests/end_to_end.rs");
+        assert!(e2e.map(|f| f.ctx.is_test_file).unwrap_or(false));
+    }
+}

@@ -1,0 +1,108 @@
+//! Fixture corpus: every rule exercised in both directions.
+//!
+//! Each `fixtures/bad/<rule>.rs` file must be flagged by exactly the
+//! expected (rule, line) multiset, and each `fixtures/clean/<rule>.rs`
+//! — the compliant idiom for the same construct — must produce zero
+//! findings. Fixtures are linted under a synthetic deterministic-crate
+//! context (`crates/sim/src/<name>.rs`) with the built-in default
+//! policy, so the assertions pin rule behavior independent of the
+//! workspace baseline. The workspace walker skips `tests/fixtures/`,
+//! so the bad files never reach the real gate.
+
+use std::path::PathBuf;
+
+use sp_lint::{lint_source, FileContext, LintConfig, Severity};
+
+fn fixture(kind: &str, name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(kind)
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read fixture {}: {e}", path.display()))
+}
+
+fn lint_fixture(kind: &str, name: &str) -> Vec<sp_lint::Finding> {
+    let src = fixture(kind, name);
+    let ctx = FileContext {
+        path: format!("crates/sim/src/{name}"),
+        crate_name: "sim".to_string(),
+        is_test_file: false,
+        is_lib_root: false,
+    };
+    lint_source(&src, &ctx, &LintConfig::default())
+}
+
+/// Asserts the finding multiset is exactly `expected` (rule, line).
+fn assert_findings(name: &str, expected: &[(&str, u32)]) {
+    let got: Vec<(String, u32)> = lint_fixture("bad", name)
+        .iter()
+        .map(|f| (f.rule.to_string(), f.line))
+        .collect();
+    let want: Vec<(String, u32)> = expected.iter().map(|&(r, l)| (r.to_string(), l)).collect();
+    assert_eq!(got, want, "fixture bad/{name}: finding mismatch");
+}
+
+#[test]
+fn bad_fixtures_flag_expected_lines() {
+    assert_findings(
+        "d1.rs",
+        &[
+            ("D1", 4),
+            ("D1", 4),
+            ("D1", 6),
+            ("D1", 7),
+            ("D1", 9),
+            ("D1", 9),
+        ],
+    );
+    assert_findings("d2.rs", &[("D2", 6), ("D2", 11), ("D2", 18)]);
+    assert_findings("d3.rs", &[("D3", 6), ("D3", 11), ("D3", 18)]);
+    assert_findings("s1.rs", &[("S1", 7), ("S1", 14)]);
+    assert_findings("s2.rs", &[("S2", 7), ("S2", 11)]);
+    assert_findings("f1.rs", &[("F1", 9), ("F1", 16)]);
+}
+
+#[test]
+fn s2_fixture_severities_split_unwrap_deny_expect_warn() {
+    let findings = lint_fixture("bad", "s2.rs");
+    let unwrap = findings
+        .iter()
+        .find(|f| f.line == 7)
+        .expect("unwrap finding");
+    let expect = findings
+        .iter()
+        .find(|f| f.line == 11)
+        .expect("expect finding");
+    assert_eq!(unwrap.severity, Severity::Deny);
+    assert_eq!(expect.severity, Severity::Warn);
+}
+
+#[test]
+fn clean_fixtures_produce_zero_findings() {
+    for name in ["d1.rs", "d2.rs", "d3.rs", "s1.rs", "s2.rs", "f1.rs"] {
+        let findings = lint_fixture("clean", name);
+        assert!(
+            findings.is_empty(),
+            "fixture clean/{name} should be clean, got: {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn every_rule_is_exercised_in_both_directions() {
+    // Guards the corpus itself: if a rule id ever gains no fixture,
+    // this fails rather than silently losing coverage.
+    let mut rules_hit: Vec<&str> = Vec::new();
+    for name in ["d1.rs", "d2.rs", "d3.rs", "s1.rs", "s2.rs", "f1.rs"] {
+        for f in lint_fixture("bad", name) {
+            if !rules_hit.contains(&f.rule) {
+                rules_hit.push(f.rule);
+            }
+        }
+    }
+    rules_hit.sort_unstable();
+    let mut want: Vec<&str> = sp_lint::RULE_IDS.to_vec();
+    want.sort_unstable();
+    assert_eq!(rules_hit, want, "every rule must have a bad fixture");
+}

@@ -1,0 +1,14 @@
+//! D1 fixture: default-hashed collections in a deterministic crate.
+//! Expected findings: D1 at lines 4 (x2), 6, 7, 9 (x2).
+
+use std::collections::{HashMap, HashSet};
+
+pub fn build_index(keys: &[u32]) -> HashMap<u32, usize> {
+    let mut index = HashMap::new();
+    for (i, &k) in keys.iter().enumerate() {
+        let mut seen: HashSet<u32> = HashSet::new();
+        seen.insert(k);
+        index.insert(k, i);
+    }
+    index
+}

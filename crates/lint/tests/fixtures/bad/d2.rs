@@ -1,0 +1,22 @@
+//! D2 fixture: wall-clock and environment reads outside the
+//! observability allowlist.
+//! Expected findings: D2 at lines 6, 11, 18.
+
+pub fn elapsed_nanos() -> u128 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_nanos()
+}
+
+pub fn epoch_secs() -> u64 {
+    match std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+        Ok(d) => d.as_secs(),
+        Err(_) => 0,
+    }
+}
+
+pub fn threads() -> usize {
+    std::env::var("SP_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}

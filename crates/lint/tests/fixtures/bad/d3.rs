@@ -1,0 +1,21 @@
+//! D3 fixture: unseeded randomness. Flagged everywhere — even inside
+//! #[cfg(test)] — because an entropy-seeded run can never be replayed.
+//! Expected findings: D3 at lines 6, 11, 18.
+
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+pub fn fresh_stream() -> SmallRng {
+    SmallRng::from_entropy()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn uses_os_entropy() {
+        let mut rng = OsRng;
+        let _ = rng.next_u64();
+    }
+}

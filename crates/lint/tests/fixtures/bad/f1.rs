@@ -1,0 +1,17 @@
+//! F1 fixture: order-sensitive float reduction over a parallel
+//! iterator. Float addition is not associative, so the reduction
+//! order — and therefore the bits of the result — depends on thread
+//! scheduling. The finding anchors at the reduction call, not the
+//! par_iter source.
+//! Expected findings: F1 at lines 9, 16.
+
+pub fn total_bandwidth(loads: &[f64]) -> f64 {
+    loads.par_iter().map(|l| l * 8.0).sum::<f64>()
+}
+
+pub fn product_of(scales: &[f32]) -> f32 {
+    scales
+        .par_iter()
+        .copied()
+        .product::<f32>()
+}

@@ -1,0 +1,19 @@
+//! S1 fixture: `unsafe` without a SAFETY comment. The lib-root
+//! forbid(unsafe_code) audit is exercised separately (this fixture is
+//! linted as a non-root file).
+//! Expected findings: S1 at lines 7, 14.
+
+pub fn read_first(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) }
+}
+
+pub struct Wrapper(pub *const u8);
+
+// A comment directly above that is NOT a SAFETY comment does not
+// document the block.
+unsafe impl Send for Wrapper {}
+
+// SAFETY: the pointer is never dereferenced after construction; the
+// wrapper is only used as an opaque token, so sharing it across
+// threads cannot race.
+unsafe impl Sync for Wrapper {}

@@ -1,0 +1,21 @@
+//! S2 fixture: panic paths in library code. `.unwrap()` is denied;
+//! `.expect()` is reported at the configured (default warn) level.
+//! The #[cfg(test)] module at the bottom must NOT be flagged.
+//! Expected findings: S2 deny at line 7, S2 warn at line 11.
+
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn last(v: &[u32]) -> u32 {
+    *v.last().expect("caller guarantees a non-empty slice")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v = vec![1u32];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

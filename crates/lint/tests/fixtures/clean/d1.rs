@@ -1,0 +1,15 @@
+//! D1 clean fixture: ordered containers everywhere. BTreeMap/BTreeSet
+//! iterate in key order, so drains feeding metrics are reproducible.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn build_index(keys: &[u32]) -> BTreeMap<u32, usize> {
+    let mut index = BTreeMap::new();
+    let mut seen: BTreeSet<u32> = BTreeSet::new();
+    for (i, &k) in keys.iter().enumerate() {
+        if seen.insert(k) {
+            index.insert(k, i);
+        }
+    }
+    index
+}

@@ -1,0 +1,14 @@
+//! D2 clean fixture: no wall-clock or environment reads. Durations
+//! arrive as parameters (measured by an allowlisted observability
+//! module); consuming an `Instant` someone else captured is fine —
+//! only `Instant::now()` itself is a clock read.
+
+use std::time::{Duration, Instant};
+
+pub fn nanos_between(start: Instant, end: Instant) -> u128 {
+    end.duration_since(start).as_nanos()
+}
+
+pub fn budget_exhausted(spent: Duration, budget: Duration) -> bool {
+    spent >= budget
+}

@@ -1,0 +1,11 @@
+//! D3 clean fixture: every stream derives from the run seed. This is
+//! the workspace idiom — `seed_from_u64` plus named substreams — so a
+//! run is fully specified by (seed, plan).
+
+pub fn substream(seed: u64, label: &str) -> SpRng {
+    let mut h = seed;
+    for b in label.bytes() {
+        h = h.wrapping_mul(0x100000001b3).wrapping_add(b as u64);
+    }
+    SpRng::seed_from_u64(h)
+}

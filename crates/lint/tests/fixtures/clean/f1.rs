@@ -1,0 +1,21 @@
+//! F1 clean fixture: deterministic reductions. Sequential float sums
+//! are fine (fixed order), parallel integer sums are fine
+//! (associative), and the workspace idiom for parallel float work —
+//! reduce per-shard, then fold shard results in shard order — never
+//! calls a float turbofish reduction on a parallel iterator.
+
+pub fn sequential_sum(v: &[f64]) -> f64 {
+    v.iter().sum::<f64>()
+}
+
+pub fn parallel_count(v: &[u64]) -> u64 {
+    v.par_iter().map(|_| 1u64).sum::<u64>()
+}
+
+pub fn sharded_sum(shards: &[Vec<f64>]) -> f64 {
+    let partials: Vec<f64> = shards
+        .iter()
+        .map(|s| s.iter().sum::<f64>())
+        .collect();
+    partials.iter().sum::<f64>()
+}

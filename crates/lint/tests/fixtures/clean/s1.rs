@@ -1,0 +1,17 @@
+//! S1 clean fixture: every `unsafe` is announced by a SAFETY comment
+//! — same-line, directly above, or anywhere in the contiguous
+//! multi-line comment block above.
+
+pub fn read_first(v: &[u8]) -> u8 {
+    debug_assert!(!v.is_empty());
+    // SAFETY: the debug_assert above documents the non-empty
+    // invariant; callers are audited to pass at least one byte.
+    unsafe { *v.get_unchecked(0) }
+}
+
+pub struct Wrapper(pub *const u8);
+
+// SAFETY: the pointer is never dereferenced; Wrapper is an opaque
+// token, so moving or sharing it across threads cannot race.
+unsafe impl Send for Wrapper {}
+unsafe impl Sync for Wrapper {} // SAFETY: see the Send impl above.

@@ -1,0 +1,21 @@
+//! S2 clean fixture: fallible paths propagate instead of panicking.
+//! `unwrap_or` / `ok_or` / `?` never trip the rule, and `.unwrap()`
+//! inside #[cfg(test)] is exempt.
+
+pub fn first(v: &[u32]) -> Result<u32, String> {
+    v.first().copied().ok_or_else(|| "empty slice".to_string())
+}
+
+pub fn first_or_zero(v: &[u32]) -> u32 {
+    v.first().copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_in_tests_is_exempt() {
+        assert_eq!(first(&[7]).unwrap(), 7);
+    }
+}

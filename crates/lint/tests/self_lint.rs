@@ -1,0 +1,64 @@
+//! Workspace self-lint: the checked-in tree must satisfy its own
+//! static contract, and the determinism baseline must be empty.
+//!
+//! This is the same invocation CI performs (`sp_lint --json`), run as
+//! a test so `cargo test` alone catches a regression before the gate.
+
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root")
+}
+
+#[test]
+fn workspace_has_zero_deny_findings() {
+    let root = workspace_root();
+    let cfg = sp_lint::load_config(root).expect("lint.toml parses");
+    let report = sp_lint::lint_workspace(root, &cfg).expect("workspace lints");
+    let denies: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.severity == sp_lint::Severity::Deny)
+        .collect();
+    assert!(
+        denies.is_empty(),
+        "workspace must self-lint clean, got:\n{}",
+        report.render_human(false)
+    );
+}
+
+#[test]
+fn determinism_baseline_is_empty() {
+    // D1–D3 hazards get fixed, not suppressed: no [[allow]] entry may
+    // target a determinism rule. (S1/S2 suppressions are permitted in
+    // principle — with justification — but the current baseline is
+    // empty across all rules.)
+    let cfg = sp_lint::load_config(workspace_root()).expect("lint.toml parses");
+    for rule in ["D1", "D2", "D3"] {
+        let entries = cfg.baseline_for(rule);
+        assert!(
+            entries.is_empty(),
+            "determinism rule {rule} must have an empty baseline, got {entries:?}"
+        );
+    }
+}
+
+#[test]
+fn suppressed_findings_all_carry_justifications() {
+    // Structural invariant of the baseline mechanism: anything the
+    // workspace run suppresses maps to an [[allow]] entry whose
+    // justification parsed non-empty (config::push_allow enforces the
+    // non-empty half; this pins the mapping end-to-end).
+    let root = workspace_root();
+    let cfg = sp_lint::load_config(root).expect("lint.toml parses");
+    let report = sp_lint::lint_workspace(root, &cfg).expect("workspace lints");
+    for f in &report.suppressed {
+        let entry = cfg
+            .allow_entry(f.rule, &f.path)
+            .expect("suppressed finding must map to an allow entry");
+        assert!(!entry.justification.trim().is_empty());
+    }
+}

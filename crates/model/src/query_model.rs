@@ -26,7 +26,7 @@
 //! reached peer, which at ~124 files per peer gives
 //! `match ≈ 7.25 × 10⁻⁴` per file (DESIGN.md §4).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -202,10 +202,13 @@ impl QueryModel {
 /// Memo table for [`QueryModel::prob_no_match`], keyed by collection
 /// size. Instance analysis evaluates the same file counts thousands of
 /// times (cluster index sizes repeat across sources), so the cache
-/// turns an O(num_classes) evaluation into a hash probe.
+/// turns an O(num_classes) evaluation into a cheap probe. A `BTreeMap`
+/// rather than `HashMap` keeps the crate free of randomized-hash
+/// containers (sp-lint D1); the tree stays tiny (distinct index sizes),
+/// so the O(log n) probe is noise next to the O(num_classes) miss path.
 #[derive(Debug, Default)]
 pub struct MatchCache {
-    memo: HashMap<u32, f64>,
+    memo: BTreeMap<u32, f64>,
 }
 
 impl MatchCache {

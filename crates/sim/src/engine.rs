@@ -47,8 +47,6 @@
 //! iteration order, untouched RNG call sites — so the determinism
 //! contract is bitwise, not approximate.
 
-use std::time::Instant;
-
 use sp_design::local_rules::{advise, LocalAction, LocalView};
 use sp_model::config::Config;
 use sp_model::instance::{NetworkInstance, Topology};
@@ -61,7 +59,7 @@ use sp_model::faults::FaultPlan;
 
 use crate::events::{ClusterId, Event, EventHandle, IndexedEventQueue, PeerId, SimTime};
 use crate::faults::{FaultMetrics, FaultState, QueryOutcome, Submission};
-use crate::metrics::{EventKind, RunManifest, SimMetrics};
+use crate::metrics::{EventKind, ProfileTimer, RunManifest, SimMetrics};
 use crate::network::SimNetwork;
 
 /// How a cluster forwards a query to its neighbors.
@@ -578,11 +576,7 @@ impl Simulation {
         }
         let kind = EventKind::of(&event);
         self.obs.record_delivered(kind);
-        let start = if self.opts.profile {
-            Some(Instant::now())
-        } else {
-            None
-        };
+        let timer = ProfileTimer::start(self.opts.profile);
         match event {
             Event::PeerJoin => self.on_join(),
             Event::PeerLeave { peer, generation } => self.on_leave(peer, generation),
@@ -605,9 +599,7 @@ impl Simulation {
             Event::Sample => self.on_sample(),
             Event::Fault { index, start } => self.on_fault(index, start),
         }
-        if let Some(start) = start {
-            self.obs.wall[kind as usize].record(start.elapsed().as_nanos() as u64);
-        }
+        timer.record(&mut self.obs, kind);
     }
 
     // ---- connection counting ----

@@ -12,6 +12,8 @@
 //! [`RunManifest::to_json`] renders JSON by hand — the same approach
 //! `repro_bench` uses for its `BENCH_*.json` artifacts.
 
+use std::time::Instant;
+
 use crate::events::Event;
 use crate::faults::FaultMetrics;
 
@@ -159,6 +161,33 @@ impl WallHistogram {
             }
         }
         self.max_ns
+    }
+}
+
+/// An in-flight wall-time measurement for one event handler.
+///
+/// The wall-clock read lives *here*, not in the engine: this module is
+/// the sim crate's only member of the sp-lint D2 observability
+/// allowlist, so every `Instant::now` the simulator ever performs is
+/// auditable in one file. A disabled timer (profiling off) is a
+/// `None` and costs one branch.
+#[derive(Debug)]
+pub struct ProfileTimer(Option<Instant>);
+
+impl ProfileTimer {
+    /// Starts a measurement when `enabled`; otherwise an inert timer.
+    #[inline]
+    pub fn start(enabled: bool) -> ProfileTimer {
+        ProfileTimer(enabled.then(Instant::now))
+    }
+
+    /// Stops the timer and records the elapsed nanoseconds under
+    /// `kind`. Inert timers record nothing.
+    #[inline]
+    pub fn record(self, metrics: &mut SimMetrics, kind: EventKind) {
+        if let Some(start) = self.0 {
+            metrics.wall[kind as usize].record(start.elapsed().as_nanos() as u64);
+        }
     }
 }
 

@@ -669,7 +669,7 @@ mod tests {
         for (i, &(t, _)) in a.iter().enumerate() {
             assert_eq!(i, t, "results must come back in trial order");
         }
-        let seeds: std::collections::HashSet<u64> = a.iter().map(|&(_, s)| s).collect();
+        let seeds: std::collections::BTreeSet<u64> = a.iter().map(|&(_, s)| s).collect();
         assert_eq!(seeds.len(), base.trials, "per-trial seeds must be distinct");
         for threads in [2, 8] {
             let b = run_sim_trials(&SimTrialOptions { threads, ..base }, |seed, t| (t, seed));
