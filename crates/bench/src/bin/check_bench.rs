@@ -73,6 +73,9 @@ struct Rule {
     /// Mode-dependent metrics are skipped when baseline and fresh runs
     /// used different modes.
     mode_independent: bool,
+    /// Absolute floor the fresh value must clear regardless of the
+    /// baseline (correctness bars like "≥ 95 % reachable", not perf).
+    floor: Option<f64>,
 }
 
 const SIM_RULES: &[Rule] = &[
@@ -80,16 +83,19 @@ const SIM_RULES: &[Rule] = &[
         field: "speedup_vs_reference",
         direction: Direction::HigherBetter,
         mode_independent: true,
+        floor: None,
     },
     Rule {
         field: "events_per_sec_fast",
         direction: Direction::HigherBetter,
         mode_independent: false,
+        floor: None,
     },
     Rule {
         field: "fast_wall_s",
         direction: Direction::LowerBetter,
         mode_independent: false,
+        floor: None,
     },
 ];
 
@@ -98,16 +104,47 @@ const ANALYZE_RULES: &[Rule] = &[
         field: "speedup_vs_reference_1_thread",
         direction: Direction::HigherBetter,
         mode_independent: true,
+        floor: None,
     },
     Rule {
         field: "flood_allocs_per_source",
         direction: Direction::LowerBetter,
         mode_independent: true,
+        floor: None,
     },
     Rule {
         field: "fast_wall_s",
         direction: Direction::LowerBetter,
         mode_independent: false,
+        floor: None,
+    },
+];
+
+/// The self-healing report (`BENCH_repair.json`): behavioral bars, not
+/// perf. `min_reachable_promote_partner_k1` carries the headline
+/// acceptance floor (the repaired overlay keeps ≥ 95 % of peers
+/// reachable through the storm); `reachability_gain_k1` guards the
+/// separation from the no-repair baseline, so the gate also fails if
+/// the degraded run quietly stops degrading (i.e. the storm no longer
+/// stresses the overlay).
+const REPAIR_RULES: &[Rule] = &[
+    Rule {
+        field: "min_reachable_promote_partner_k1",
+        direction: Direction::HigherBetter,
+        mode_independent: true,
+        floor: Some(0.95),
+    },
+    Rule {
+        field: "min_reachable_promote_k1",
+        direction: Direction::HigherBetter,
+        mode_independent: true,
+        floor: None,
+    },
+    Rule {
+        field: "reachability_gain_k1",
+        direction: Direction::HigherBetter,
+        mode_independent: true,
+        floor: Some(0.1),
     },
 ];
 
@@ -116,14 +153,18 @@ fn check_rule(rule: &Rule, baseline: f64, fresh: f64, tol: f64) -> Result<String
     // For LowerBetter metrics near zero (e.g. zero allocations) a
     // purely relative bound would forbid any increase at all; allow an
     // absolute slack of 1 unit alongside the relative one.
-    let ok = match rule.direction {
+    let mut ok = match rule.direction {
         Direction::HigherBetter => fresh >= baseline * (1.0 - tol),
         Direction::LowerBetter => fresh <= (baseline * (1.0 + tol)).max(baseline + 1.0),
     };
-    let line = format!(
+    let mut line = format!(
         "{}: baseline {baseline} -> fresh {fresh} (tol {tol})",
         rule.field
     );
+    if let Some(floor) = rule.floor {
+        ok &= fresh >= floor;
+        line.push_str(&format!(" [floor {floor}]"));
+    }
     if ok {
         Ok(line)
     } else {
@@ -148,6 +189,7 @@ fn check_report(name: &str, baseline: &Report, fresh: &Report, tol: f64) -> u32 
     let rules = match baseline.strings.get("bench").map(String::as_str) {
         Some(b) if b.starts_with("sim_") => SIM_RULES,
         Some(b) if b.starts_with("analyze_") => ANALYZE_RULES,
+        Some(b) if b.starts_with("repair_") => REPAIR_RULES,
         other => {
             println!("{name}: FAIL unknown bench id {other:?}");
             return 1;
@@ -190,7 +232,12 @@ fn main() -> ExitCode {
 
     let mut failures = 0;
     let mut compared = 0;
-    for name in ["BENCH_sim.json", "BENCH_faults.json", "BENCH_analyze.json"] {
+    for name in [
+        "BENCH_sim.json",
+        "BENCH_faults.json",
+        "BENCH_repair.json",
+        "BENCH_analyze.json",
+    ] {
         let b_path = format!("{baseline_dir}/{name}");
         let f_path = format!("{fresh_dir}/{name}");
         let Ok(b_text) = std::fs::read_to_string(&b_path) else {
@@ -312,5 +359,40 @@ mod tests {
         assert!(check_rule(rule, 0.0, 0.0, 0.25).is_ok());
         assert!(check_rule(rule, 0.0, 1.0, 0.25).is_ok());
         assert!(check_rule(rule, 0.0, 2.0, 0.25).is_err());
+    }
+
+    const REPAIR_PAPER: &str = r#"{
+  "bench": "repair_crash_storm_reachability",
+  "mode": "paper",
+  "min_reachable_promote_partner_k1": 0.978,
+  "min_reachable_promote_k1": 0.978,
+  "reachability_gain_k1": 0.32
+}"#;
+
+    #[test]
+    fn repair_reports_use_repair_rules() {
+        let base = parse_flat_json(REPAIR_PAPER);
+        assert_eq!(check_report("repair", &base, &base, 0.25), 0);
+    }
+
+    #[test]
+    fn repair_floor_is_absolute_not_relative() {
+        let base = parse_flat_json(REPAIR_PAPER);
+        // 0.94 is within 25 % of the 0.978 baseline, but below the
+        // ≥ 0.95 acceptance floor: the relative tolerance must not
+        // rescue it.
+        let below_bar = parse_flat_json(&REPAIR_PAPER.replace(
+            "\"min_reachable_promote_partner_k1\": 0.978",
+            "\"min_reachable_promote_partner_k1\": 0.94",
+        ));
+        assert_eq!(check_report("repair", &base, &below_bar, 0.25), 1);
+        // A vanished separation (the baseline no longer degrades)
+        // fails the gain floor even though higher-better relative
+        // checks alone would also catch this large a drop.
+        let no_gain = parse_flat_json(&REPAIR_PAPER.replace(
+            "\"reachability_gain_k1\": 0.32",
+            "\"reachability_gain_k1\": 0.02",
+        ));
+        assert_eq!(check_report("repair", &base, &no_gain, 0.25), 1);
     }
 }

@@ -16,7 +16,13 @@
 //!    under the canonical crash-storm fault plan, so injection draws,
 //!    the retry/failover state machine, and orphan rejoins are on the
 //!    hot path. Emits `repro_out/BENCH_faults.json`.
-//! 3. **Analysis** — one full `analyze` pass — power-law overlay,
+//! 3. **Repair** — the crash-storm workload re-run under every
+//!    `--repair` policy with repeated trials: the self-healing claim
+//!    (promotion + partner recruitment restores ≥ 95 % of the overlay's
+//!    reachable fraction after the storm, the degraded baseline does
+//!    not) is asserted and recorded with 95 % CIs. Emits
+//!    `repro_out/BENCH_repair.json`.
+//! 4. **Analysis** — one full `analyze` pass — power-law overlay,
 //!    10 000 clusters (100 000 users at cluster size 10), TTL 7, full
 //!    source loop — under the Reference engine and the Fast engine
 //!    (reusable flood scratch, O(reach) charging, source-parallel
@@ -33,8 +39,8 @@
 //!
 //! `REPRO_QUICK=1` shrinks every workload; `SP_THREADS` caps the Fast
 //! analysis engine's worker budget; `REPRO_OUT` overrides the output
-//! directory; `REPRO_SECTIONS=sim,faults,analyze` selects a subset of
-//! sections (e.g. to regenerate one baseline).
+//! directory; `REPRO_SECTIONS=sim,faults,repair,analyze` selects a
+//! subset of sections (e.g. to regenerate one baseline).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -46,7 +52,8 @@ use sp_model::analysis::{analyze, AnalysisOptions, AnalysisResult, Engine};
 use sp_model::config::Config;
 use sp_model::instance::NetworkInstance;
 use sp_model::query_model::QueryModel;
-use sp_sim::scenario::crash_storm_plan;
+use sp_model::repair::RepairPolicy;
+use sp_sim::scenario::{crash_storm_plan, crash_storm_trials, SimTrialOptions};
 use sp_sim::{ReferenceSimulation, SimOptions, Simulation};
 use sp_stats::SpRng;
 
@@ -364,6 +371,92 @@ fn faults_section() {
     write_json("BENCH_faults.json", &json);
 }
 
+/// Self-healing comparison: the canonical crash storm re-run under
+/// every repair policy, repeated trials each, reporting the minimum
+/// reachable fraction observed after the first crash wave (mean ± 95%
+/// CI over trials). The headline robustness claim — promotion +
+/// partner recruitment keeps ≥ 95 % of the overlay reachable through
+/// the storm at k = 1 while the no-repair baseline does not — is
+/// asserted here before the numbers are written, so a regression fails
+/// the benchmark itself, not just the downstream gate.
+///
+/// Lifespans are set long relative to the run (12× the duration) so
+/// injected crashes, not organic churn, are the dominant failure
+/// source: organic super-peer deaths fragment the overlay identically
+/// under every policy (repair deliberately ignores them), and at the
+/// default churn rate that shared noise floor would swamp the variable
+/// being measured.
+fn repair_section() {
+    let duration_secs = if quick_mode() { 600.0 } else { 1800.0 };
+    let mut cfg = Config {
+        graph_size: if quick_mode() { 1000 } else { 4000 },
+        cluster_size: 10,
+        ..Config::default()
+    };
+    cfg.population.lifespan_mean_secs = 12.0 * duration_secs;
+    let trials = if quick_mode() { 4 } else { 8 };
+    println!(
+        "-- repair: crash storm under each policy, {} peers, {trials} trials x {duration_secs} simulated s --",
+        cfg.graph_size
+    );
+
+    let mut fields = String::new();
+    let mut min_reach_k1 = Vec::new();
+    for policy in RepairPolicy::ALL {
+        let t = Instant::now();
+        let s = crash_storm_trials(
+            &cfg,
+            duration_secs,
+            &SimTrialOptions {
+                trials,
+                seed: 42,
+                threads: threads(),
+                repair: policy,
+            },
+        );
+        let wall = t.elapsed().as_secs_f64();
+        println!(
+            "{policy:>16}: min reachable k=1 {:.4} +/- {:.4}, k=2 {:.4} +/- {:.4}  ({wall:.2} s)",
+            s.min_reachable_k1.mean,
+            s.min_reachable_k1.half_width,
+            s.min_reachable_k2.mean,
+            s.min_reachable_k2.half_width
+        );
+        // JSON field slug: `promote+partner` -> `promote_partner`.
+        let slug = policy.to_string().replace('+', "_");
+        fields.push_str(&format!(
+            "  \"min_reachable_{slug}_k1\": {:.6},\n  \"min_reachable_{slug}_k1_ci\": {:.6},\n  \"min_reachable_{slug}_k2\": {:.6},\n  \"min_reachable_{slug}_k2_ci\": {:.6},\n  \"queries_lost_{slug}_k1\": {:.2},\n",
+            s.min_reachable_k1.mean,
+            s.min_reachable_k1.half_width,
+            s.min_reachable_k2.mean,
+            s.min_reachable_k2.half_width,
+            s.lost_k1.mean,
+        ));
+        min_reach_k1.push(s.min_reachable_k1.mean);
+    }
+
+    // The acceptance bar for the self-healing subsystem.
+    let (off, promote_partner) = (min_reach_k1[0], min_reach_k1[2]);
+    assert!(
+        promote_partner >= 0.95,
+        "promote+partner left the k=1 overlay below the 95% reachability bar: {promote_partner:.4}"
+    );
+    assert!(
+        off < 0.95,
+        "the no-repair baseline should not clear the bar (did the storm fire?): {off:.4}"
+    );
+    println!("self-healing margin (k=1): off {off:.4} vs promote+partner {promote_partner:.4}");
+
+    let json = format!(
+        "{{\n  \"bench\": \"repair_crash_storm_reachability\",\n  \"mode\": \"{mode}\",\n  \"graph_size\": {gs},\n  \"duration_secs\": {dur},\n  \"trials\": {trials},\n  \"seed\": 42,\n{fields}  \"reachability_gain_k1\": {gain:.6}\n}}\n",
+        mode = if quick_mode() { "quick" } else { "paper" },
+        gs = cfg.graph_size,
+        dur = duration_secs,
+        gain = promote_partner - off,
+    );
+    write_json("BENCH_repair.json", &json);
+}
+
 fn analyze_section() {
     let cfg = Config {
         graph_size: if quick_mode() { 10_000 } else { 100_000 },
@@ -490,7 +583,7 @@ fn analyze_section() {
 }
 
 /// Whether a section is selected by `REPRO_SECTIONS` (a comma list of
-/// `sim`, `faults`, `analyze`; unset = all).
+/// `sim`, `faults`, `repair`, `analyze`; unset = all).
 fn section_enabled(name: &str) -> bool {
     match std::env::var("REPRO_SECTIONS") {
         Ok(list) => list.split(',').any(|s| s.trim() == name),
@@ -511,6 +604,10 @@ fn main() {
     }
     if section_enabled("faults") {
         faults_section();
+        println!();
+    }
+    if section_enabled("repair") {
+        repair_section();
         println!();
     }
     if section_enabled("analyze") {

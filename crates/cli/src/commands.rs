@@ -5,6 +5,7 @@ use sp_core::design::{design, DesignConstraints, DesignGoals};
 use sp_core::experiments::{cluster_sweep, epl_table, Fidelity};
 use sp_core::model::config::{Config, GraphType};
 use sp_core::model::faults::FaultPlan;
+use sp_core::model::repair::RepairPolicy;
 use sp_core::model::trials::TrialOptions;
 use sp_core::report::{ci, sci, Table};
 use sp_core::sim::engine::{SimOptions, Simulation};
@@ -29,6 +30,20 @@ fn threads_from(args: &Args) -> Result<usize, ArgError> {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(0))
+}
+
+/// Resolves `--repair POLICY` (default `off`). Repair only engages on
+/// fault-injected crashes, so the flag is inert without `--faults` or
+/// `--crash-storm`.
+fn repair_from(args: &Args) -> Result<RepairPolicy, ArgError> {
+    match args.get("repair") {
+        None => Ok(RepairPolicy::Off),
+        Some(s) => RepairPolicy::parse(s).ok_or_else(|| {
+            ArgError(format!(
+                "--repair: unknown policy {s:?} (expected off, promote, or promote+partner)"
+            ))
+        }),
+    }
 }
 
 /// Builds a [`Config`] from the shared topology options.
@@ -192,6 +207,9 @@ pub fn design_cmd(args: &Args) -> Result<String, CliError> {
 /// `--fault-seed` reseeds only the dedicated fault RNG stream.
 /// `--crash-storm` runs the canonical crash-storm plan against k = 1
 /// and k = 2 and compares lost queries and recovery paths.
+/// `--repair off|promote|promote+partner` selects the self-healing
+/// policy applied to fault-injected super-peer crashes (Section 5.3
+/// election + optional k-redundancy partner recruitment).
 pub fn simulate(args: &Args) -> Result<String, CliError> {
     args.ensure_known(&with_common(&[
         "duration",
@@ -204,6 +222,7 @@ pub fn simulate(args: &Args) -> Result<String, CliError> {
         "faults",
         "fault-seed",
         "crash-storm",
+        "repair",
     ]))?;
     let mut cfg = config_from(args)?;
     if let Some(lifespan) = args.get("lifespan") {
@@ -221,6 +240,7 @@ pub fn simulate(args: &Args) -> Result<String, CliError> {
     // The fault stream defaults to the run seed so `--seed` alone still
     // names a fully reproducible faulted run.
     let fault_seed = args.get_or("fault-seed", seed)?;
+    let repair = repair_from(args)?;
     let plan = match args.get("faults") {
         None => FaultPlan::default(),
         Some(path) => {
@@ -249,6 +269,7 @@ pub fn simulate(args: &Args) -> Result<String, CliError> {
                     trials,
                     seed,
                     threads: threads_from(args)?,
+                    repair,
                 },
             );
             let mut t = Table::new(vec!["Metric", "k = 1", "k = 2"]);
@@ -258,9 +279,17 @@ pub fn simulate(args: &Args) -> Result<String, CliError> {
                 ci(&s.availability_k1),
                 ci(&s.availability_k2),
             ]);
-            return Ok(format!("{trials} crash-storm trials\n\n{}", t.render()));
+            t.row(vec![
+                "min reachable since storm".into(),
+                ci(&s.min_reachable_k1),
+                ci(&s.min_reachable_k2),
+            ]);
+            return Ok(format!(
+                "{trials} crash-storm trials (repair {repair})\n\n{}",
+                t.render()
+            ));
         }
-        let c = crash_storm(&cfg, duration, seed, fault_seed);
+        let c = crash_storm(&cfg, duration, seed, fault_seed, repair);
         let mut t = Table::new(vec!["Metric", "k = 1", "k = 2"]);
         let count = |f: fn(&sp_core::sim::scenario::CrashStormReport) -> u64,
                      t: &mut Table,
@@ -279,6 +308,13 @@ pub fn simulate(args: &Args) -> Result<String, CliError> {
         count(|r| r.cluster_failures, &mut t, "cluster failures");
         count(|r| r.orphan_events, &mut t, "clients orphaned");
         count(|r| r.orphan_gave_up, &mut t, "orphans gave up");
+        count(|r| r.repair_promotions, &mut t, "repair promotions");
+        count(
+            |r| r.repair_partner_recruitments,
+            &mut t,
+            "partner recruitments",
+        );
+        count(|r| r.repair_abandoned, &mut t, "clusters abandoned");
         t.row(vec![
             "availability".into(),
             format!("{:.4}", c.k1.availability),
@@ -289,7 +325,30 @@ pub fn simulate(args: &Args) -> Result<String, CliError> {
             format!("{:.1}", c.k1.mean_reconnect_secs),
             format!("{:.1}", c.k2.mean_reconnect_secs),
         ]);
-        return Ok(t.render());
+        t.row(vec![
+            "min reachable since storm".into(),
+            format!("{:.4}", c.k1.min_reachable_since_storm),
+            format!("{:.4}", c.k2.min_reachable_since_storm),
+        ]);
+        t.row(vec![
+            "final components".into(),
+            c.k1.final_components.to_string(),
+            c.k2.final_components.to_string(),
+        ]);
+        // One flat line per k for scripted smoke checks (CI greps
+        // these; the table layout above is free to change).
+        let smoke = |label: &str, r: &sp_core::sim::scenario::CrashStormReport| {
+            format!(
+                "repair {repair} {label}: final components {}, orphans gave up {}",
+                r.final_components, r.orphan_gave_up
+            )
+        };
+        return Ok(format!(
+            "{}\n{}\n{}",
+            t.render(),
+            smoke("k=1", &c.k1),
+            smoke("k=2", &c.k2)
+        ));
     }
     if args.flag("reliability") {
         if metrics_json.is_some() {
@@ -350,6 +409,7 @@ pub fn simulate(args: &Args) -> Result<String, CliError> {
                 trials,
                 seed,
                 threads: threads_from(args)?,
+                repair,
             },
         );
         let mut t = Table::new(vec!["Metric", "Mean ± 95% CI"]);
@@ -369,6 +429,7 @@ pub fn simulate(args: &Args) -> Result<String, CliError> {
             seed,
             fault_seed,
             profile: metrics_json.is_some(),
+            repair,
             ..Default::default()
         },
         &plan,
@@ -382,6 +443,7 @@ pub fn simulate(args: &Args) -> Result<String, CliError> {
         })?;
     }
     let fm = raw.faults.clone();
+    let rm = raw.repair.clone();
     let r = SimReport::from_raw(raw);
     let mut t = Table::new(vec!["Metric", "Value"]);
     t.row(vec!["queries simulated".into(), r.queries.to_string()]);
@@ -429,6 +491,21 @@ pub fn simulate(args: &Args) -> Result<String, CliError> {
             "mean reconnect (s)".into(),
             format!("{:.1}", fm.reconnect.mean_secs()),
         ]);
+        if repair.promotes() {
+            t.row(vec!["repair promotions".into(), rm.promotions.to_string()]);
+            t.row(vec![
+                "partner recruitments".into(),
+                rm.partner_recruitments.to_string(),
+            ]);
+            t.row(vec![
+                "final components".into(),
+                rm.final_components.to_string(),
+            ]);
+            t.row(vec![
+                "final reachable fraction".into(),
+                format!("{:.4}", rm.final_reachable_fraction),
+            ]);
+        }
     }
     Ok(t.render())
 }
@@ -908,6 +985,43 @@ mod tests {
         assert!(out.contains("k = 2"));
         assert!(out.contains("queries lost"));
         assert!(out.contains("recovered by failover"));
+        assert!(out.contains("final components"));
+        assert!(out.contains("repair off k=1: final components"));
+    }
+
+    #[test]
+    fn simulate_crash_storm_with_repair_heals_the_overlay() {
+        // The CI smoke contract: the canonical crash storm under
+        // `--repair=promote` must end with a single live component and
+        // no client that permanently gave up reconnecting.
+        let out = simulate(&args(&[
+            "--users",
+            "120",
+            "--cluster",
+            "12",
+            "--lifespan",
+            "400",
+            "--duration",
+            "1200",
+            "--seed",
+            "7",
+            "--crash-storm",
+            "--repair",
+            "promote",
+        ]))
+        .unwrap();
+        assert!(out.contains("repair promotions"));
+        assert!(
+            out.contains("repair promote k=1: final components 1, orphans gave up 0"),
+            "smoke line missing or overlay not healed:\n{out}"
+        );
+    }
+
+    #[test]
+    fn simulate_rejects_unknown_repair_policy() {
+        let err = simulate(&args(&["--users", "100", "--repair", "heal-everything"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("promote+partner"));
     }
 
     #[test]

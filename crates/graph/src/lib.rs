@@ -32,7 +32,10 @@
 //!   plus [`traverse::FloodScratch`], the allocation-free reusable
 //!   variant that powers the O(reach) analysis engine;
 //! * [`metrics`] — connected components, degree statistics, reach and
-//!   expected-path-length measurement (Figure 9, Appendix F).
+//!   expected-path-length measurement (Figure 9, Appendix F);
+//! * [`partition`] — [`PartitionMonitor`], an incremental weighted
+//!   union-find with epoch-based rebuild, used by the simulator to
+//!   track super-peer graph fragmentation under crash faults.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,8 +44,10 @@ pub mod detset;
 pub mod generate;
 pub mod graph;
 pub mod metrics;
+pub mod partition;
 pub mod traverse;
 
 pub use detset::PairSet;
 pub use graph::{Graph, GraphBuilder, NodeId};
+pub use partition::PartitionMonitor;
 pub use traverse::{flood, FloodResult, FloodScratch};

@@ -56,6 +56,7 @@ pub mod instance;
 pub mod load;
 pub mod population;
 pub mod query_model;
+pub mod repair;
 pub mod trials;
 
 pub use analysis::{analyze, AnalysisOptions, AnalysisResult, Engine, InstanceMetrics};
@@ -65,6 +66,7 @@ pub use instance::{NetworkInstance, Role};
 pub use load::Load;
 pub use population::PopulationModel;
 pub use query_model::QueryModel;
+pub use repair::RepairPolicy;
 pub use trials::{
     resolve_thread_budget, run_trials, split_thread_budget, TrialOptions, TrialSummary,
 };

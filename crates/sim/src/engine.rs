@@ -48,10 +48,12 @@
 //! contract is bitwise, not approximate.
 
 use sp_design::local_rules::{advise, LocalAction, LocalView};
+use sp_graph::PartitionMonitor;
 use sp_model::config::Config;
 use sp_model::instance::{NetworkInstance, Topology};
 use sp_model::load::Load;
 use sp_model::query_model::QueryModel;
+use sp_model::repair::RepairPolicy;
 use sp_stats::dist::Normal;
 use sp_stats::{OnlineStats, SpRng};
 
@@ -61,6 +63,7 @@ use crate::events::{ClusterId, Event, EventHandle, IndexedEventQueue, PeerId, Si
 use crate::faults::{FaultMetrics, FaultState, QueryOutcome, Submission};
 use crate::metrics::{EventKind, ProfileTimer, RunManifest, SimMetrics};
 use crate::network::SimNetwork;
+use crate::repair::{ReachPoint, RepairMetrics, RepairPending};
 
 /// How a cluster forwards a query to its neighbors.
 ///
@@ -117,6 +120,16 @@ pub struct SimOptions {
     /// [`crate::faults`]). Ignored when no fault plan is supplied;
     /// changing it never perturbs the main churn/query schedule.
     pub fault_seed: u64,
+    /// Overlay self-healing policy (see [`sp_model::repair`]): what a
+    /// cluster does when fault injection kills every partner.
+    /// [`RepairPolicy::Off`] keeps the legacy dissolve-and-orphan
+    /// behavior; repair never engages on organic churn, so with an
+    /// empty fault plan every policy is bitwise identical.
+    pub repair: RepairPolicy,
+    /// Delay between a cluster losing its last partner to an injected
+    /// crash and the repair election firing (simulated outage
+    /// detection + election time), seconds.
+    pub repair_delay_secs: f64,
     /// Record per-event-type wall-time histograms (two `Instant::now`
     /// calls per event — leave off for throughput benchmarks).
     pub profile: bool,
@@ -134,6 +147,8 @@ impl Default for SimOptions {
             adapt: None,
             forward_policy: ForwardPolicy::FloodAll,
             fault_seed: 0,
+            repair: RepairPolicy::Off,
+            repair_delay_secs: 5.0,
             profile: false,
         }
     }
@@ -196,6 +211,11 @@ pub struct RawMetrics {
     /// plan). Part of `RawMetrics` so the engine-equivalence and
     /// thread-invariance checks cover recovery accounting bitwise.
     pub faults: FaultMetrics,
+    /// Overlay-repair counters and the reachability timeline. The
+    /// timeline is populated in every run (sample ticks, post-crash
+    /// probes, final state); the repair counters only move when fault
+    /// injection meets a promoting [`RepairPolicy`].
+    pub repair: RepairMetrics,
 }
 
 impl RawMetrics {
@@ -229,6 +249,20 @@ pub struct Simulation {
     /// Fault counters retained past `run`'s `mem::take` so the
     /// post-run manifest can render the recovery section.
     faults_final: FaultMetrics,
+    /// Repair counters retained past `run`'s `mem::take` (mirrors
+    /// `faults_final`).
+    repair_final: RepairMetrics,
+    /// Per-cluster-slot headless-window state, parallel to the cluster
+    /// slab like `adapt_h`.
+    repair_pending: Vec<RepairPending>,
+    /// Union-find over the live super-peer overlay, epoch-rebuilt at
+    /// each reachability observation (churn makes it dirty between
+    /// any two observations, so the rebuild path is the common case).
+    monitor: PartitionMonitor,
+    /// Whether the current `on_leave` cascade was initiated by a
+    /// fault-plan crash — repair only ever engages on injected
+    /// crashes, never on organic churn departures.
+    in_fault_crash: bool,
     // Per-peer-slot handles for the (at most one) outstanding timer of
     // each kind, cancelled when the peer departs so the queue never
     // accumulates tombstones.
@@ -328,6 +362,10 @@ impl Simulation {
             obs: SimMetrics::default(),
             faults: FaultState::new(plan.clone(), opts.fault_seed),
             faults_final: FaultMetrics::default(),
+            repair_final: RepairMetrics::default(),
+            repair_pending: Vec::new(),
+            monitor: PartitionMonitor::new(),
+            in_fault_crash: false,
             leave_h: Vec::new(),
             query_h: Vec::new(),
             update_h: Vec::new(),
@@ -390,6 +428,12 @@ impl Simulation {
             } else {
                 self.faults_final.clone()
             },
+            repair_policy: self.opts.repair,
+            repair: if self.repair_final == RepairMetrics::default() {
+                self.metrics.repair.clone()
+            } else {
+                self.repair_final.clone()
+            },
         }
     }
 
@@ -411,13 +455,19 @@ impl Simulation {
         self.rejoin_h[peer as usize] = EventHandle::NULL;
     }
 
-    /// Grows the per-cluster adapt-handle slots to cover `cluster`.
+    /// Grows the per-cluster adapt-handle and repair slots to cover
+    /// `cluster`, resetting both (the slot may be recycled from a
+    /// dissolved cluster).
     fn reset_cluster_handles(&mut self, cluster: ClusterId) {
         let need = cluster as usize + 1;
         if self.adapt_h.len() < need {
             self.adapt_h.resize(need, EventHandle::NULL);
         }
         self.adapt_h[cluster as usize] = EventHandle::NULL;
+        if self.repair_pending.len() < need {
+            self.repair_pending.resize(need, RepairPending::default());
+        }
+        self.repair_pending[cluster as usize] = RepairPending::default();
     }
 
     /// Cancels a stored handle (no-op on NULL/stale/fired handles) and
@@ -538,6 +588,7 @@ impl Simulation {
         self.obs.queue_high_water = self.queue.high_water();
         self.obs.profiled = self.opts.profile;
         self.faults_final = self.metrics.faults.clone();
+        self.repair_final = self.metrics.repair.clone();
         std::mem::take(&mut self.metrics)
     }
 
@@ -564,6 +615,10 @@ impl Simulation {
                 generation,
             }
             | Event::AdaptTick {
+                cluster,
+                generation,
+            }
+            | Event::Repair {
                 cluster,
                 generation,
             } => {
@@ -596,6 +651,10 @@ impl Simulation {
                 cluster,
                 generation,
             } => self.on_adapt(cluster, generation),
+            Event::Repair {
+                cluster,
+                generation,
+            } => self.on_repair(cluster, generation),
             Event::Sample => self.on_sample(),
             Event::Fault { index, start } => self.on_fault(index, start),
         }
@@ -823,7 +882,11 @@ impl Simulation {
                     .partners
                     .len();
                 if survivors == 0 {
-                    self.fail_cluster(c);
+                    if self.repair_engages(c) {
+                        self.begin_headless(c);
+                    } else {
+                        self.fail_cluster(c);
+                    }
                 } else if survivors < self.config.redundancy_k {
                     let generation = self.net.clusters[c as usize]
                         .as_ref()
@@ -840,6 +903,7 @@ impl Simulation {
             } else {
                 self.metrics.client_connected_secs += self.now - attached_at;
                 self.net.detach_client(peer);
+                self.dissolve_if_abandoned(cluster);
             }
             let _ = cluster;
         } else if !is_partner {
@@ -921,6 +985,240 @@ impl Simulation {
         self.net.remove_cluster(c);
     }
 
+    // ---- overlay repair (see `crate::repair`) ----
+
+    /// Whether a cluster that just lost its last partner enters a
+    /// headless repair window instead of dissolving: only under a
+    /// promoting policy, only for fault-injected crashes (organic
+    /// churn keeps the legacy behavior, so an empty fault plan is
+    /// bitwise inert), and only when a client remains to be elected.
+    fn repair_engages(&self, c: ClusterId) -> bool {
+        self.opts.repair.promotes()
+            && self.in_fault_crash
+            && !self.net.clusters[c as usize]
+                .as_ref()
+                .expect("cluster alive")
+                .clients
+                .is_empty()
+    }
+
+    /// Every partner was killed by fault injection and the policy
+    /// promotes: the cluster enters a headless window instead of
+    /// dissolving. Clients stay attached (their queries are charged as
+    /// lost), the overlay edges stay up, and the repair election is
+    /// scheduled after the detection delay.
+    fn begin_headless(&mut self, c: ClusterId) {
+        self.metrics.cluster_failures += 1;
+        let generation = self.net.clusters[c as usize]
+            .as_ref()
+            .expect("cluster alive")
+            .generation;
+        self.repair_pending[c as usize] = RepairPending {
+            active: true,
+            down_since: self.now,
+            adapt_stalled: false,
+        };
+        self.queue.schedule(
+            self.now + self.opts.repair_delay_secs,
+            Event::Repair {
+                cluster: c,
+                generation,
+            },
+        );
+    }
+
+    /// A headless cluster whose last client departed has nobody left
+    /// to elect: dissolve it like an unrepaired failure. The pending
+    /// `Event::Repair` goes stale with the generation bump.
+    fn dissolve_if_abandoned(&mut self, c: ClusterId) {
+        if !self.repair_pending[c as usize].active {
+            return;
+        }
+        let empty = {
+            let cl = self.net.clusters[c as usize].as_ref().expect("alive");
+            cl.partners.is_empty() && cl.clients.is_empty()
+        };
+        if !empty {
+            return;
+        }
+        self.repair_pending[c as usize] = RepairPending::default();
+        self.metrics.repair.abandoned += 1;
+        self.cancel_handle(self.adapt_h[c as usize]);
+        self.adapt_h[c as usize] = EventHandle::NULL;
+        self.net.remove_cluster(c);
+    }
+
+    /// The repair election: promote the highest-capacity client in
+    /// place (so it inherits the dead super-peer's neighbor links),
+    /// re-index the adopted clients at the paper's per-metadata join
+    /// cost, and — policy permitting — recruit a replacement partner
+    /// to restore k-redundancy.
+    fn on_repair(&mut self, cluster: ClusterId, generation: u32) {
+        let pending = self.repair_pending[cluster as usize];
+        self.repair_pending[cluster as usize] = RepairPending::default();
+        let (has_partner, has_client) = {
+            let c = self.net.clusters[cluster as usize].as_ref().expect("alive");
+            (!c.partners.is_empty(), !c.clients.is_empty())
+        };
+        if has_partner {
+            return; // already healed through another path
+        }
+        if !has_client {
+            // Every client left during the headless window: nobody to
+            // elect, dissolve like an unrepaired failure.
+            self.metrics.repair.abandoned += 1;
+            self.cancel_handle(self.adapt_h[cluster as usize]);
+            self.adapt_h[cluster as usize] = EventHandle::NULL;
+            self.net.remove_cluster(cluster);
+            return;
+        }
+        // Election: highest capacity (most files shared), ties broken
+        // by lowest peer id — a pure fold over the client list, no RNG
+        // draw, the same winner in both engines.
+        let winner = {
+            let c = self.net.clusters[cluster as usize].as_ref().expect("alive");
+            let mut best = c.clients[0];
+            let mut best_files = self.net.peers[best as usize]
+                .as_ref()
+                .expect("client alive")
+                .files;
+            for &cand in &c.clients[1..] {
+                let files = self.net.peers[cand as usize]
+                    .as_ref()
+                    .expect("client alive")
+                    .files;
+                if files > best_files || (files == best_files && cand < best) {
+                    best = cand;
+                    best_files = files;
+                }
+            }
+            best
+        };
+        self.net
+            .promote_specific(cluster, winner)
+            .expect("elected client is attached");
+        self.credit_client_time(winner);
+        let cm = self.config.costs;
+        // The promoted peer rebuilds an index from scratch: its own
+        // collection first (same charge as a fresh super-peer in
+        // `on_join`) ...
+        let own_files = self.net.peers[winner as usize]
+            .as_ref()
+            .expect("alive")
+            .files as f64;
+        if self.net.peer_mut(winner).is_some() {
+            self.net.counters[winner as usize].work(cm.process_join_units(own_files));
+        }
+        // ... then every adopted client re-uploads its metadata at the
+        // Table 2 join cost, like `attach_and_charge_join` with the
+        // promoted peer as the sole partner.
+        let mut clients = std::mem::take(&mut self.scratch_clients);
+        clients.clear();
+        clients.extend_from_slice(
+            &self.net.clusters[cluster as usize]
+                .as_ref()
+                .expect("alive")
+                .clients,
+        );
+        let p_conns = self.partner_connections(cluster);
+        let c_conns = self.client_connections(cluster);
+        for &cl in &clients {
+            let files = self.net.peers[cl as usize]
+                .as_ref()
+                .expect("client alive")
+                .files as f64;
+            self.charge_pair(
+                cl,
+                winner,
+                cm.join_bytes(files),
+                cm.send_join_units(files),
+                cm.recv_join_units(files),
+                c_conns,
+                p_conns,
+            );
+            if self.net.peer_mut(winner).is_some() {
+                self.net.counters[winner as usize].work(cm.process_join_units(files));
+            }
+            self.metrics.repair.reindexed_clients += 1;
+            self.metrics.repair.reindex_bytes += cm.join_bytes(files);
+        }
+        self.scratch_clients = clients;
+        self.metrics.repair.promotions += 1;
+        self.metrics
+            .repair
+            .time_to_repair
+            .record(self.now - pending.down_since);
+        // Restart the adaptation loop the headless window stalled.
+        if pending.adapt_stalled {
+            if let Some(adapt) = self.opts.adapt {
+                if let Some(c) = self.net.cluster_mut(cluster) {
+                    c.growth = 0;
+                    c.max_response_hop = 0;
+                    c.last_adapt_at = self.now;
+                }
+                let h = self.queue.schedule(
+                    self.now + adapt.interval_secs,
+                    Event::AdaptTick {
+                        cluster,
+                        generation,
+                    },
+                );
+                self.adapt_h[cluster as usize] = h;
+            }
+        }
+        // Restore k-redundancy through the ordinary recruitment
+        // machinery (full index mirroring charged by
+        // `charge_index_transfer`).
+        if self.opts.repair.recruits_partner() && self.config.redundancy_k > 1 {
+            self.metrics.repair.partner_recruitments += 1;
+            self.queue.schedule(
+                self.now + self.opts.recruit_delay_secs,
+                Event::RecruitPartner {
+                    cluster,
+                    generation,
+                },
+            );
+        }
+    }
+
+    /// Rebuilds the partition monitor over the live super-peer overlay
+    /// and returns (component count, largest-component peer fraction).
+    /// Headless clusters count as live nodes with their edges intact:
+    /// their clients are still attached and recovery is in progress.
+    /// Orphaned peers sit in no component and only swell the
+    /// denominator.
+    fn observe_components(&mut self) -> (u32, f64) {
+        let Simulation { net, monitor, .. } = self;
+        monitor.begin_epoch();
+        for c in net.alive_clusters() {
+            let cl = net.clusters[c as usize].as_ref().expect("alive");
+            monitor.insert(c, cl.size() as u64);
+        }
+        for c in net.alive_clusters() {
+            let cl = net.clusters[c as usize].as_ref().expect("alive");
+            for &nb in &cl.neighbors {
+                monitor.union(c, nb);
+            }
+        }
+        let total = net.peers.iter().filter(|p| p.is_some()).count() as u64;
+        let frac = if total == 0 {
+            1.0
+        } else {
+            monitor.largest_weight() as f64 / total as f64
+        };
+        (monitor.component_count(), frac)
+    }
+
+    /// Appends one reachability observation to the repair timeline.
+    fn observe_reachability(&mut self) {
+        let (components, frac) = self.observe_components();
+        self.metrics.repair.reachability.push(ReachPoint {
+            time: self.now,
+            components,
+            reachable_fraction: frac,
+        });
+    }
+
     fn on_rejoin(&mut self, peer: PeerId, generation: u32, orphaned_at: SimTime, attempt: u32) {
         let Some(info) = self.net.peer(peer, generation) else {
             return;
@@ -933,6 +1231,32 @@ impl Simulation {
         // be dropped in flight (fault stream, drawn after the discovery
         // pick so the main RNG sequence is untouched).
         let target = self.net.random_cluster(&mut self.rng);
+        // Discovery can hand back a headless cluster (super-peer dead,
+        // repair pending): there is no partner to answer the handshake.
+        // Re-resolve at the next tick *without* burning a retry-budget
+        // attempt — the client never reached a live peer to be refused
+        // by. Unreachable without a promoting repair policy.
+        if let Some(c) = target {
+            if self.net.clusters[c as usize]
+                .as_ref()
+                .expect("alive")
+                .partners
+                .is_empty()
+            {
+                let dt = self.exp_delay(1.0 / self.opts.rejoin_mean_secs.max(1e-9));
+                let h = self.queue.schedule(
+                    self.now + dt,
+                    Event::ClientRejoin {
+                        peer,
+                        generation,
+                        orphaned_at,
+                        attempt,
+                    },
+                );
+                self.rejoin_h[peer as usize] = h;
+                return;
+            }
+        }
         let delivered =
             target.is_some() && !(self.faults.drops_possible() && self.faults.draw_drop());
         match target {
@@ -1007,6 +1331,12 @@ impl Simulation {
             .partners
             .len();
         if have >= self.config.redundancy_k {
+            return;
+        }
+        if have == 0 {
+            // Headless repair window: the deterministic election owns
+            // the promotion (and its charging); recruitment resumes
+            // only after it runs.
             return;
         }
         match self.net.promote_client(cluster, &mut self.rng) {
@@ -1109,6 +1439,16 @@ impl Simulation {
                 .expect("alive")
                 .partners
                 .len();
+            if partners_len == 0 {
+                // Headless window: the query is issued into the void
+                // and lost — charged on both sides of the conservation
+                // ledger, no RNG draw, no message cost (nothing ever
+                // leaves the client's discovery cache).
+                self.metrics.faults.queries_issued += 1;
+                self.metrics.faults.queries_lost += 1;
+                self.metrics.repair.queries_during_outage += 1;
+                return;
+            }
             let sub = self.faults.submit_query(partners_len);
             let primary = self.rr_partner(sc);
             let c_conns = self.client_connections(sc);
@@ -1394,6 +1734,18 @@ impl Simulation {
         if self.net.cluster(cluster, generation).is_none() {
             return;
         }
+        if self.net.clusters[cluster as usize]
+            .as_ref()
+            .expect("alive")
+            .partners
+            .is_empty()
+        {
+            // Headless window: no partner to measure or act. Stall the
+            // adaptation loop; the repair election restarts it.
+            self.repair_pending[cluster as usize].adapt_stalled = true;
+            self.adapt_h[cluster as usize] = EventHandle::NULL;
+            return;
+        }
         // Average the partners' window loads over the *measured* window
         // length — ticks are staggered, so the first window is longer
         // than the nominal interval.
@@ -1557,11 +1909,27 @@ impl Simulation {
     /// clients and partners all become clients elsewhere.
     fn coalesce_cluster(&mut self, cluster: ClusterId) {
         let target = {
+            // A headless cluster (repair pending) cannot absorb the
+            // members — nobody would index them; the filter is inert
+            // without a promoting repair policy.
+            let has_partners = |x: ClusterId| {
+                !self.net.clusters[x as usize]
+                    .as_ref()
+                    .expect("alive")
+                    .partners
+                    .is_empty()
+            };
             let c = self.net.clusters[cluster as usize].as_ref().expect("alive");
-            c.neighbors.first().copied().or_else(|| {
-                // No neighbor: any other live cluster.
-                self.net.alive_clusters().find(|&x| x != cluster)
-            })
+            c.neighbors
+                .iter()
+                .copied()
+                .find(|&x| has_partners(x))
+                .or_else(|| {
+                    // No neighbor: any other live cluster.
+                    self.net
+                        .alive_clusters()
+                        .find(|&x| x != cluster && has_partners(x))
+                })
         };
         let Some(target) = target else {
             return; // last cluster standing cannot dissolve
@@ -1625,6 +1993,7 @@ impl Simulation {
         });
         self.queue
             .schedule(self.now + self.opts.sample_interval_secs, Event::Sample);
+        self.observe_reachability();
     }
 
     /// Applies a fault-plan event. Crash faults resolve their victims
@@ -1648,12 +2017,21 @@ impl Simulation {
                         }
                     }
                 }
+                // Repair engages only for fault-injected deaths:
+                // organic churn keeps the legacy dissolve-and-orphan
+                // path, so an empty fault plan is bitwise inert under
+                // every repair policy.
+                self.in_fault_crash = true;
                 for (p, generation) in doomed {
                     if self.net.peer(p, generation).is_some() {
                         self.metrics.faults.injected_crash += 1;
                         self.on_leave(p, generation);
                     }
                 }
+                self.in_fault_crash = false;
+                // Probe connectivity right after the blast: the dip a
+                // coarse sampling grid would miss.
+                self.observe_reachability();
             }
         }
     }
@@ -1685,6 +2063,14 @@ impl Simulation {
                 }
             }
         }
+        let (components, frac) = self.observe_components();
+        self.metrics.repair.reachability.push(ReachPoint {
+            time: self.now,
+            components,
+            reachable_fraction: frac,
+        });
+        self.metrics.repair.final_components = components;
+        self.metrics.repair.final_reachable_fraction = frac;
     }
 
     /// TTL-bounded BFS over live clusters that charges every query
@@ -1827,6 +2213,17 @@ impl Simulation {
                 // (no charge, no rr advance, no discovery).
                 if part_on && (v_part || faults.is_partitioned(u)) {
                     metrics.faults.injected_partition_block += 1;
+                    continue;
+                }
+                // Headless neighbor (repair pending): no partner to
+                // receive the copy — the edge stays up but carries
+                // nothing. No charge, no fault draw, no discovery.
+                if net.clusters[u as usize]
+                    .as_ref()
+                    .expect("cluster alive")
+                    .partners
+                    .is_empty()
+                {
                     continue;
                 }
                 n_sent += 1;

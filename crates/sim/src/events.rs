@@ -94,6 +94,17 @@ pub enum Event {
         /// Generation guard.
         generation: u32,
     },
+    /// A headless cluster (every partner killed by fault injection)
+    /// runs the repair election: its clients elect a replacement
+    /// super-peer which inherits the overlay links and re-indexes the
+    /// adopted clients. Only scheduled when the run's
+    /// [`RepairPolicy`](sp_model::repair::RepairPolicy) promotes.
+    Repair {
+        /// The headless cluster awaiting repair.
+        cluster: ClusterId,
+        /// Generation guard.
+        generation: u32,
+    },
     /// Periodic metrics sampling.
     Sample,
     /// A fault-plan entry takes effect (`start: true`) or a windowed

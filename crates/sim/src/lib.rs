@@ -50,12 +50,14 @@ pub mod faults;
 pub mod metrics;
 pub mod network;
 pub mod reference;
+pub mod repair;
 pub mod scenario;
 
 pub use engine::{ForwardPolicy, SimOptions, Simulation};
 pub use faults::{FaultMetrics, FaultState, QueryOutcome, ReconnectHistogram, Submission};
 pub use metrics::{EventKind, RunManifest, SimMetrics};
 pub use reference::ReferenceSimulation;
+pub use repair::{ReachPoint, RepairMetrics};
 pub use scenario::{
     adaptive, adaptive_trials, crash_storm, crash_storm_trials, reliability, reliability_trials,
     routing, routing_trials, run_sim_trials, steady_state, steady_trials, AdaptOptions, SimReport,

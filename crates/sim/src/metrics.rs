@@ -16,6 +16,8 @@ use std::time::Instant;
 
 use crate::events::Event;
 use crate::faults::FaultMetrics;
+use crate::repair::RepairMetrics;
+use sp_model::repair::RepairPolicy;
 
 /// Discriminant of an [`Event`], used to index per-kind counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,6 +36,8 @@ pub enum EventKind {
     Recruit,
     /// An adaptive-rules evaluation tick.
     Adapt,
+    /// A headless cluster electing a replacement super-peer.
+    Repair,
     /// A periodic timeline sample.
     Sample,
     /// A fault-plan injection or window boundary.
@@ -41,7 +45,7 @@ pub enum EventKind {
 }
 
 /// Number of distinct event kinds.
-pub const NUM_EVENT_KINDS: usize = 9;
+pub const NUM_EVENT_KINDS: usize = 10;
 
 impl EventKind {
     /// All kinds, in counter-index order.
@@ -53,6 +57,7 @@ impl EventKind {
         EventKind::Rejoin,
         EventKind::Recruit,
         EventKind::Adapt,
+        EventKind::Repair,
         EventKind::Sample,
         EventKind::Fault,
     ];
@@ -67,6 +72,7 @@ impl EventKind {
             Event::ClientRejoin { .. } => EventKind::Rejoin,
             Event::RecruitPartner { .. } => EventKind::Recruit,
             Event::AdaptTick { .. } => EventKind::Adapt,
+            Event::Repair { .. } => EventKind::Repair,
             Event::Sample => EventKind::Sample,
             Event::Fault { .. } => EventKind::Fault,
         }
@@ -82,6 +88,7 @@ impl EventKind {
             EventKind::Rejoin => "rejoin",
             EventKind::Recruit => "recruit",
             EventKind::Adapt => "adapt",
+            EventKind::Repair => "repair",
             EventKind::Sample => "sample",
             EventKind::Fault => "fault",
         }
@@ -255,6 +262,10 @@ pub struct RunManifest {
     pub fault_plan_len: usize,
     /// Fault-injection and recovery counters.
     pub faults: FaultMetrics,
+    /// The self-healing policy in force for the run.
+    pub repair_policy: RepairPolicy,
+    /// Overlay-repair counters and the reachability timeline.
+    pub repair: RepairMetrics,
 }
 
 impl RunManifest {
@@ -373,6 +384,56 @@ impl RunManifest {
             f.reconnect.max_secs(),
             f.reconnect.total_secs()
         ));
+        s.push_str("  },\n");
+        let r = &self.repair;
+        s.push_str(&format!(
+            "  \"repair_policy\": \"{}\",\n",
+            self.repair_policy
+        ));
+        s.push_str("  \"repair\": {\n");
+        s.push_str(&format!("    \"promotions\": {},\n", r.promotions));
+        s.push_str(&format!(
+            "    \"partner_recruitments\": {},\n",
+            r.partner_recruitments
+        ));
+        s.push_str(&format!(
+            "    \"reindexed_clients\": {},\n",
+            r.reindexed_clients
+        ));
+        s.push_str(&format!("    \"reindex_bytes\": {:.1},\n", r.reindex_bytes));
+        s.push_str(&format!("    \"abandoned\": {},\n", r.abandoned));
+        s.push_str(&format!(
+            "    \"queries_during_outage\": {},\n",
+            r.queries_during_outage
+        ));
+        s.push_str(&format!(
+            "    \"time_to_repair\": {{ \"count\": {}, \"mean_secs\": {:.3}, \"max_secs\": {:.3}, \"total_secs\": {:.3} }},\n",
+            r.time_to_repair.count(),
+            r.time_to_repair.mean_secs(),
+            r.time_to_repair.max_secs(),
+            r.time_to_repair.total_secs()
+        ));
+        s.push_str(&format!(
+            "    \"final_components\": {},\n",
+            r.final_components
+        ));
+        s.push_str(&format!(
+            "    \"final_reachable_fraction\": {:.6},\n",
+            r.final_reachable_fraction
+        ));
+        s.push_str("    \"reachability\": [\n");
+        for (i, p) in r.reachability.iter().enumerate() {
+            let sep = if i + 1 < r.reachability.len() {
+                ","
+            } else {
+                ""
+            };
+            s.push_str(&format!(
+                "      {{ \"time\": {:.1}, \"components\": {}, \"reachable_fraction\": {:.6} }}{sep}\n",
+                p.time, p.components, p.reachable_fraction
+            ));
+        }
+        s.push_str("    ]\n");
         s.push_str("  }\n");
         s.push_str("}\n");
         s
@@ -410,6 +471,10 @@ mod tests {
                 generation: 0,
             },
             Event::AdaptTick {
+                cluster: 0,
+                generation: 0,
+            },
+            Event::Repair {
                 cluster: 0,
                 generation: 0,
             },
@@ -458,11 +523,15 @@ mod tests {
             fault_seed: 0,
             fault_plan_len: 0,
             faults: FaultMetrics::default(),
+            repair_policy: RepairPolicy::PromotePartner,
+            repair: RepairMetrics::default(),
         };
         let json = m.to_json();
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
         assert!(json.contains("\"query\": 1"));
         assert!(json.contains("\"queue_high_water\": 42"));
+        assert!(json.contains("\"repair_policy\": \"promote+partner\""));
+        assert!(json.contains("\"final_components\": 0"));
         assert_eq!(m.events_per_sec(), 2.0);
         // Balanced braces — a cheap structural sanity check given the
         // hand-rolled rendering.

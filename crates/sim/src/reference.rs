@@ -22,6 +22,7 @@
 //! equivalence tests decide whether it is still the same simulator.
 
 use sp_design::local_rules::{advise, LocalAction, LocalView};
+use sp_graph::PartitionMonitor;
 use sp_model::config::Config;
 use sp_model::faults::FaultPlan;
 use sp_model::instance::{NetworkInstance, Topology};
@@ -34,6 +35,7 @@ use crate::engine::{ForwardPolicy, RawMetrics, SimOptions, TimelinePoint};
 use crate::events::{BinaryEventQueue, ClusterId, Event, PeerId, SimTime};
 use crate::faults::{FaultAction, FaultState, QueryOutcome, Submission};
 use crate::network::SimNetwork;
+use crate::repair::{ReachPoint, RepairPending};
 
 /// The original (pre-rework) simulation engine. Same behavior as
 /// [`Simulation`](crate::engine::Simulation), slower mechanics.
@@ -61,6 +63,14 @@ pub struct ReferenceSimulation {
     /// in flight (sender charged, receiver untouched).
     bfs_tx: Vec<(ClusterId, ClusterId, bool)>,
     bfs_candidates: Vec<ClusterId>,
+    /// Per-cluster-slot headless-window bookkeeping (grown on demand).
+    repair_pending: Vec<RepairPending>,
+    /// Union-find over the live super-peer overlay, rebuilt per
+    /// observation.
+    monitor: PartitionMonitor,
+    /// Set while a crash fault's victims run through `on_leave`:
+    /// repair engages only for fault-injected deaths.
+    in_fault_crash: bool,
 }
 
 impl ReferenceSimulation {
@@ -105,6 +115,9 @@ impl ReferenceSimulation {
             bfs_order: Vec::new(),
             bfs_tx: Vec::new(),
             bfs_candidates: Vec::new(),
+            repair_pending: Vec::new(),
+            monitor: PartitionMonitor::new(),
+            in_fault_crash: false,
         };
         sim.bootstrap(&inst);
         sim
@@ -248,6 +261,10 @@ impl ReferenceSimulation {
             | Event::AdaptTick {
                 cluster,
                 generation,
+            }
+            | Event::Repair {
+                cluster,
+                generation,
             } => {
                 if self.net.cluster(cluster, generation).is_none() {
                     return;
@@ -275,6 +292,10 @@ impl ReferenceSimulation {
                 cluster,
                 generation,
             } => self.on_adapt(cluster, generation),
+            Event::Repair {
+                cluster,
+                generation,
+            } => self.on_repair(cluster, generation),
             Event::Sample => self.on_sample(),
             Event::Fault { index, start } => self.on_fault(index, start),
         }
@@ -497,7 +518,11 @@ impl ReferenceSimulation {
                     .partners
                     .len();
                 if survivors == 0 {
-                    self.fail_cluster(c);
+                    if self.repair_engages(c) {
+                        self.begin_headless(c);
+                    } else {
+                        self.fail_cluster(c);
+                    }
                 } else if survivors < self.config.redundancy_k {
                     let generation = self.net.clusters[c as usize]
                         .as_ref()
@@ -514,6 +539,7 @@ impl ReferenceSimulation {
             } else {
                 self.metrics.client_connected_secs += self.now - attached_at;
                 self.net.detach_client(peer);
+                self.dissolve_if_abandoned(cluster);
             }
             let _ = cluster;
         } else if !is_partner {
@@ -575,6 +601,221 @@ impl ReferenceSimulation {
         self.net.remove_cluster(c);
     }
 
+    // ---- overlay repair (see `crate::repair`) ----
+
+    /// Grows the pending slab to cover cluster slot `c` and returns a
+    /// mutable handle to its slot.
+    fn repair_slot(&mut self, c: ClusterId) -> &mut RepairPending {
+        if self.repair_pending.len() <= c as usize {
+            self.repair_pending
+                .resize(c as usize + 1, RepairPending::default());
+        }
+        &mut self.repair_pending[c as usize]
+    }
+
+    /// Whether a cluster that just lost its last partner enters a
+    /// headless repair window instead of dissolving (mirror of the
+    /// fast engine's predicate).
+    fn repair_engages(&self, c: ClusterId) -> bool {
+        self.opts.repair.promotes()
+            && self.in_fault_crash
+            && !self.net.clusters[c as usize]
+                .as_ref()
+                .expect("cluster alive")
+                .clients
+                .is_empty()
+    }
+
+    /// Every partner was killed by fault injection and the policy
+    /// promotes: enter the headless window and schedule the election.
+    fn begin_headless(&mut self, c: ClusterId) {
+        self.metrics.cluster_failures += 1;
+        let generation = self.net.clusters[c as usize]
+            .as_ref()
+            .expect("cluster alive")
+            .generation;
+        let now = self.now;
+        *self.repair_slot(c) = RepairPending {
+            active: true,
+            down_since: now,
+            adapt_stalled: false,
+        };
+        self.queue.schedule(
+            self.now + self.opts.repair_delay_secs,
+            Event::Repair {
+                cluster: c,
+                generation,
+            },
+        );
+    }
+
+    /// A headless cluster whose last client departed has nobody left
+    /// to elect: dissolve it like an unrepaired failure.
+    fn dissolve_if_abandoned(&mut self, c: ClusterId) {
+        if !self
+            .repair_pending
+            .get(c as usize)
+            .map(|p| p.active)
+            .unwrap_or(false)
+        {
+            return;
+        }
+        let empty = {
+            let cl = self.net.clusters[c as usize].as_ref().expect("alive");
+            cl.partners.is_empty() && cl.clients.is_empty()
+        };
+        if !empty {
+            return;
+        }
+        self.repair_pending[c as usize] = RepairPending::default();
+        self.metrics.repair.abandoned += 1;
+        self.net.remove_cluster(c);
+    }
+
+    /// The repair election (mirror of the fast engine; see its
+    /// documentation for the full protocol).
+    fn on_repair(&mut self, cluster: ClusterId, generation: u32) {
+        let pending = *self.repair_slot(cluster);
+        self.repair_pending[cluster as usize] = RepairPending::default();
+        let (has_partner, has_client) = {
+            let c = self.net.clusters[cluster as usize].as_ref().expect("alive");
+            (!c.partners.is_empty(), !c.clients.is_empty())
+        };
+        if has_partner {
+            return; // already healed through another path
+        }
+        if !has_client {
+            self.metrics.repair.abandoned += 1;
+            self.net.remove_cluster(cluster);
+            return;
+        }
+        // Election: highest capacity (most files shared), ties broken
+        // by lowest peer id — no RNG draw.
+        let winner = {
+            let c = self.net.clusters[cluster as usize].as_ref().expect("alive");
+            let mut best = c.clients[0];
+            let mut best_files = self.net.peers[best as usize]
+                .as_ref()
+                .expect("client alive")
+                .files;
+            for &cand in &c.clients[1..] {
+                let files = self.net.peers[cand as usize]
+                    .as_ref()
+                    .expect("client alive")
+                    .files;
+                if files > best_files || (files == best_files && cand < best) {
+                    best = cand;
+                    best_files = files;
+                }
+            }
+            best
+        };
+        self.net
+            .promote_specific(cluster, winner)
+            .expect("elected client is attached");
+        self.credit_client_time(winner);
+        let cm = self.config.costs;
+        let own_files = self.net.peers[winner as usize]
+            .as_ref()
+            .expect("alive")
+            .files as f64;
+        if self.net.peer_mut(winner).is_some() {
+            self.net.counters[winner as usize].work(cm.process_join_units(own_files));
+        }
+        let clients: Vec<PeerId> = self.net.clusters[cluster as usize]
+            .as_ref()
+            .expect("alive")
+            .clients
+            .clone();
+        let p_conns = self.partner_connections(cluster);
+        let c_conns = self.client_connections(cluster);
+        for &cl in &clients {
+            let files = self.net.peers[cl as usize]
+                .as_ref()
+                .expect("client alive")
+                .files as f64;
+            self.charge_pair(
+                cl,
+                winner,
+                cm.join_bytes(files),
+                cm.send_join_units(files),
+                cm.recv_join_units(files),
+                c_conns,
+                p_conns,
+            );
+            if self.net.peer_mut(winner).is_some() {
+                self.net.counters[winner as usize].work(cm.process_join_units(files));
+            }
+            self.metrics.repair.reindexed_clients += 1;
+            self.metrics.repair.reindex_bytes += cm.join_bytes(files);
+        }
+        self.metrics.repair.promotions += 1;
+        self.metrics
+            .repair
+            .time_to_repair
+            .record(self.now - pending.down_since);
+        if pending.adapt_stalled {
+            if let Some(adapt) = self.opts.adapt {
+                if let Some(c) = self.net.cluster_mut(cluster) {
+                    c.growth = 0;
+                    c.max_response_hop = 0;
+                    c.last_adapt_at = self.now;
+                }
+                self.queue.schedule(
+                    self.now + adapt.interval_secs,
+                    Event::AdaptTick {
+                        cluster,
+                        generation,
+                    },
+                );
+            }
+        }
+        if self.opts.repair.recruits_partner() && self.config.redundancy_k > 1 {
+            self.metrics.repair.partner_recruitments += 1;
+            self.queue.schedule(
+                self.now + self.opts.recruit_delay_secs,
+                Event::RecruitPartner {
+                    cluster,
+                    generation,
+                },
+            );
+        }
+    }
+
+    /// Rebuilds the partition monitor over the live super-peer overlay
+    /// and returns (component count, largest-component peer fraction).
+    fn observe_components(&mut self) -> (u32, f64) {
+        let ReferenceSimulation { net, monitor, .. } = self;
+        monitor.begin_epoch();
+        for c in net.alive_clusters() {
+            let cl = net.clusters[c as usize].as_ref().expect("alive");
+            monitor.insert(c, cl.size() as u64);
+        }
+        for c in net.alive_clusters() {
+            let cl = net.clusters[c as usize].as_ref().expect("alive");
+            for &nb in &cl.neighbors {
+                monitor.union(c, nb);
+            }
+        }
+        let total = net.peers.iter().filter(|p| p.is_some()).count() as u64;
+        let frac = if total == 0 {
+            1.0
+        } else {
+            monitor.largest_weight() as f64 / total as f64
+        };
+        (monitor.component_count(), frac)
+    }
+
+    /// Appends one reachability observation to the repair timeline.
+    fn observe_reachability(&mut self) {
+        let (components, frac) = self.observe_components();
+        self.metrics.repair.reachability.push(ReachPoint {
+            time: self.now,
+            components,
+            reachable_fraction: frac,
+        });
+    }
+
     fn on_rejoin(&mut self, peer: PeerId, generation: u32, orphaned_at: SimTime, attempt: u32) {
         let Some(info) = self.net.peer(peer, generation) else {
             return;
@@ -587,6 +828,30 @@ impl ReferenceSimulation {
         // be dropped in flight (fault stream, drawn after the discovery
         // pick so the main RNG sequence is untouched).
         let target = self.net.random_cluster(&mut self.rng);
+        // Discovery can hand back a headless cluster (super-peer dead,
+        // repair pending): re-resolve at the next tick *without*
+        // burning a retry-budget attempt — the client never reached a
+        // live peer to be refused by.
+        if let Some(c) = target {
+            if self.net.clusters[c as usize]
+                .as_ref()
+                .expect("alive")
+                .partners
+                .is_empty()
+            {
+                let dt = self.exp_delay(1.0 / self.opts.rejoin_mean_secs.max(1e-9));
+                self.queue.schedule(
+                    self.now + dt,
+                    Event::ClientRejoin {
+                        peer,
+                        generation,
+                        orphaned_at,
+                        attempt,
+                    },
+                );
+                return;
+            }
+        }
         let delivered =
             target.is_some() && !(self.faults.drops_possible() && self.faults.draw_drop());
         match target {
@@ -663,12 +928,20 @@ impl ReferenceSimulation {
                         }
                     }
                 }
+                // Repair engages only for fault-injected deaths:
+                // organic churn keeps the legacy dissolve-and-orphan
+                // path, so an empty fault plan is bitwise inert under
+                // every repair policy.
+                self.in_fault_crash = true;
                 for (p, generation) in doomed {
                     if self.net.peer(p, generation).is_some() {
                         self.metrics.faults.injected_crash += 1;
                         self.on_leave(p, generation);
                     }
                 }
+                self.in_fault_crash = false;
+                // Probe connectivity right after the blast.
+                self.observe_reachability();
             }
         }
     }
@@ -683,6 +956,11 @@ impl ReferenceSimulation {
             .partners
             .len();
         if have >= self.config.redundancy_k {
+            return;
+        }
+        if have == 0 {
+            // Headless repair window: the deterministic election owns
+            // the promotion; recruitment resumes only after it runs.
             return;
         }
         match self.net.promote_client(cluster, &mut self.rng) {
@@ -783,6 +1061,13 @@ impl ReferenceSimulation {
                 .expect("alive")
                 .partners
                 .len();
+            if partners_len == 0 {
+                // Headless window: issued into the void and lost.
+                self.metrics.faults.queries_issued += 1;
+                self.metrics.faults.queries_lost += 1;
+                self.metrics.repair.queries_during_outage += 1;
+                return;
+            }
             let sub = self.faults.submit_query(partners_len);
             let primary = self.rr_partner(sc);
             let c_conns = self.client_connections(sc);
@@ -981,6 +1266,17 @@ impl ReferenceSimulation {
         if self.net.cluster(cluster, generation).is_none() {
             return;
         }
+        if self.net.clusters[cluster as usize]
+            .as_ref()
+            .expect("alive")
+            .partners
+            .is_empty()
+        {
+            // Headless window: no partner to measure or act. Stall the
+            // adaptation loop; the repair election restarts it.
+            self.repair_slot(cluster).adapt_stalled = true;
+            return;
+        }
         // Average the partners' window loads over the *measured* window
         // length — ticks are staggered, so the first window is longer
         // than the nominal interval.
@@ -1129,11 +1425,26 @@ impl ReferenceSimulation {
     /// clients and partners all become clients elsewhere.
     fn coalesce_cluster(&mut self, cluster: ClusterId) {
         let target = {
+            // A headless cluster (repair pending) cannot absorb the
+            // members — nobody would index them.
+            let has_partners = |x: ClusterId| {
+                !self.net.clusters[x as usize]
+                    .as_ref()
+                    .expect("alive")
+                    .partners
+                    .is_empty()
+            };
             let c = self.net.clusters[cluster as usize].as_ref().expect("alive");
-            c.neighbors.first().copied().or_else(|| {
-                // No neighbor: any other live cluster.
-                self.net.alive_clusters().find(|&x| x != cluster)
-            })
+            c.neighbors
+                .iter()
+                .copied()
+                .find(|&x| has_partners(x))
+                .or_else(|| {
+                    // No neighbor: any other live cluster.
+                    self.net
+                        .alive_clusters()
+                        .find(|&x| x != cluster && has_partners(x))
+                })
         };
         let Some(target) = target else {
             return; // last cluster standing cannot dissolve
@@ -1188,6 +1499,7 @@ impl ReferenceSimulation {
         });
         self.queue
             .schedule(self.now + self.opts.sample_interval_secs, Event::Sample);
+        self.observe_reachability();
     }
 
     fn finalize(&mut self) {
@@ -1217,6 +1529,14 @@ impl ReferenceSimulation {
                 }
             }
         }
+        let (components, frac) = self.observe_components();
+        self.metrics.repair.reachability.push(ReachPoint {
+            time: self.now,
+            components,
+            reachable_fraction: frac,
+        });
+        self.metrics.repair.final_components = components;
+        self.metrics.repair.final_reachable_fraction = frac;
     }
 
     /// TTL-bounded BFS over live clusters into the scratch arrays;
@@ -1285,6 +1605,17 @@ impl ReferenceSimulation {
                 // (no charge, no rr advance, no discovery).
                 if part_on && (v_part || self.faults.is_partitioned(u)) {
                     self.metrics.faults.injected_partition_block += 1;
+                    continue;
+                }
+                // Headless neighbor (repair pending): no partner to
+                // receive the copy — the edge stays up but carries
+                // nothing. No charge, no fault draw, no discovery.
+                if self.net.clusters[u as usize]
+                    .as_ref()
+                    .expect("cluster alive")
+                    .partners
+                    .is_empty()
+                {
                     continue;
                 }
                 // Message loss: the copy left the sender (charged at

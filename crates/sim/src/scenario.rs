@@ -23,6 +23,7 @@ use serde::{Deserialize, Serialize};
 use sp_model::config::Config;
 use sp_model::faults::{FaultPlan, FaultSpec};
 use sp_model::load::Load;
+use sp_model::repair::RepairPolicy;
 use sp_model::trials::{resolve_thread_budget, split_thread_budget};
 use sp_stats::{ConfidenceInterval, OnlineStats, SpRng};
 
@@ -235,10 +236,23 @@ pub struct CrashStormReport {
     pub availability: f64,
     /// Mean time-to-reconnect for recovered orphans, seconds.
     pub mean_reconnect_secs: f64,
+    /// Repair elections completed (clients promoted in place).
+    pub repair_promotions: u64,
+    /// Replacement partners recruited by repaired clusters.
+    pub repair_partner_recruitments: u64,
+    /// Headless clusters abandoned (all clients left before repair).
+    pub repair_abandoned: u64,
+    /// Smallest largest-component peer fraction observed from the first
+    /// crash wave onward — the storm's worst connectivity.
+    pub min_reachable_since_storm: f64,
+    /// Super-peer overlay components at run end.
+    pub final_components: u32,
+    /// Largest-component peer fraction at run end.
+    pub final_reachable_fraction: f64,
 }
 
 impl CrashStormReport {
-    fn from_raw(m: &RawMetrics) -> Self {
+    fn from_raw(m: &RawMetrics, storm_from_secs: f64) -> Self {
         CrashStormReport {
             queries_issued: m.faults.queries_issued,
             queries_lost: m.faults.queries_lost,
@@ -250,6 +264,12 @@ impl CrashStormReport {
             orphan_gave_up: m.faults.orphan_gave_up,
             availability: m.availability(),
             mean_reconnect_secs: m.faults.reconnect.mean_secs(),
+            repair_promotions: m.repair.promotions,
+            repair_partner_recruitments: m.repair.partner_recruitments,
+            repair_abandoned: m.repair.abandoned,
+            min_reachable_since_storm: m.repair.min_reachable_since(storm_from_secs),
+            final_components: m.repair.final_components,
+            final_reachable_fraction: m.repair.final_reachable_fraction,
         }
     }
 }
@@ -267,14 +287,18 @@ pub struct CrashStormComparison {
 /// Runs the crash-storm reliability experiment: the
 /// [`crash_storm_plan`] under identical seeds against k = 1 and k = 2.
 /// Redundancy should strictly reduce lost queries — the failover leg of
-/// the retry state machine only exists with a second partner.
+/// the retry state machine only exists with a second partner. The
+/// repair policy applies to both arms, so `--repair=off` versus a
+/// promoting policy isolates the self-healing contribution.
 pub fn crash_storm(
     config: &Config,
     duration_secs: f64,
     seed: u64,
     fault_seed: u64,
+    repair: RepairPolicy,
 ) -> CrashStormComparison {
     let plan = crash_storm_plan(duration_secs);
+    let storm_from = duration_secs * 0.25; // first crash wave
     let run = |cfg: &Config| {
         let mut sim = Simulation::with_faults(
             cfg,
@@ -282,11 +306,12 @@ pub fn crash_storm(
                 duration_secs,
                 seed,
                 fault_seed,
+                repair,
                 ..Default::default()
             },
             &plan,
         );
-        CrashStormReport::from_raw(&sim.run())
+        CrashStormReport::from_raw(&sim.run(), storm_from)
     };
     let k1 = run(&config.clone().with_redundancy(false));
     let k2 = run(&config.clone().with_redundancy(true));
@@ -318,6 +343,10 @@ pub struct SimTrialOptions {
     /// Worker-thread budget; 0 = one per available core (resolved by
     /// [`sp_model::trials::resolve_thread_budget`]).
     pub threads: usize,
+    /// Overlay repair policy for fault-injecting scenarios (ignored by
+    /// scenarios without a fault plan; also stamped into worker-panic
+    /// payloads so a dying trial identifies its full configuration).
+    pub repair: RepairPolicy,
 }
 
 impl Default for SimTrialOptions {
@@ -326,6 +355,7 @@ impl Default for SimTrialOptions {
             trials: 5,
             seed: 0xC0FFEE,
             threads: 0,
+            repair: RepairPolicy::Off,
         }
     }
 }
@@ -385,7 +415,8 @@ where
                             Ok(v) => local.push((t, v)),
                             Err(payload) => {
                                 return Err(format!(
-                                    "trial {t} (seed {seed:#x}) panicked: {}",
+                                    "trial {t} (seed {seed:#x}, repair {}) panicked: {}",
+                                    opts.repair,
                                     panic_message(payload.as_ref())
                                 ))
                             }
@@ -507,25 +538,31 @@ pub struct CrashStormTrialSummary {
     pub availability_k1: ConfidenceInterval,
     /// Availability with k = 2.
     pub availability_k2: ConfidenceInterval,
+    /// Worst storm-window reachable fraction with k = 1.
+    pub min_reachable_k1: ConfidenceInterval,
+    /// Worst storm-window reachable fraction with k = 2.
+    pub min_reachable_k2: ConfidenceInterval,
     /// The full comparisons, ordered by trial index.
     pub per_trial: Vec<CrashStormComparison>,
 }
 
 /// Runs sharded [`crash_storm`] trials (each trial's fault stream is
-/// seeded from its own trial seed).
+/// seeded from its own trial seed) under `opts.repair`.
 pub fn crash_storm_trials(
     config: &Config,
     duration_secs: f64,
     opts: &SimTrialOptions,
 ) -> CrashStormTrialSummary {
     let per_trial = run_sim_trials(opts, |seed, _| {
-        crash_storm(config, duration_secs, seed, seed)
+        crash_storm(config, duration_secs, seed, seed, opts.repair)
     });
     CrashStormTrialSummary {
         lost_k1: ci_of(per_trial.iter().map(|c| c.k1.queries_lost as f64)),
         lost_k2: ci_of(per_trial.iter().map(|c| c.k2.queries_lost as f64)),
         availability_k1: ci_of(per_trial.iter().map(|c| c.k1.availability)),
         availability_k2: ci_of(per_trial.iter().map(|c| c.k2.availability)),
+        min_reachable_k1: ci_of(per_trial.iter().map(|c| c.k1.min_reachable_since_storm)),
+        min_reachable_k2: ci_of(per_trial.iter().map(|c| c.k2.min_reachable_since_storm)),
         per_trial,
     }
 }
@@ -664,6 +701,7 @@ mod tests {
             trials: 5,
             seed: 42,
             threads: 1,
+            repair: RepairPolicy::Off,
         };
         let a = run_sim_trials(&base, |seed, t| (t, seed));
         for (i, &(t, _)) in a.iter().enumerate() {
@@ -688,6 +726,7 @@ mod tests {
             trials: 3,
             seed: 5,
             threads: 2,
+            repair: RepairPolicy::Off,
         };
         let s = steady_trials(&cfg, 300.0, &opts);
         assert_eq!(s.per_trial.len(), 3);
@@ -702,7 +741,7 @@ mod tests {
 
     #[test]
     fn crash_storm_redundancy_cuts_losses() {
-        let c = crash_storm(&churny_config(), 2400.0, 7, 7);
+        let c = crash_storm(&churny_config(), 2400.0, 7, 7, RepairPolicy::Off);
         assert!(
             c.k1.queries_lost > 0,
             "the storm must actually lose queries"
@@ -726,6 +765,26 @@ mod tests {
                 trials: 3,
                 seed: 42,
                 threads: 2,
+                repair: RepairPolicy::Off,
+            },
+            |_, t| {
+                if t == 1 {
+                    panic!("boom");
+                }
+                t
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = ", repair promote+partner) panicked: boom")]
+    fn sim_trial_panics_carry_repair_policy() {
+        run_sim_trials(
+            &SimTrialOptions {
+                trials: 3,
+                seed: 42,
+                threads: 2,
+                repair: RepairPolicy::PromotePartner,
             },
             |_, t| {
                 if t == 1 {

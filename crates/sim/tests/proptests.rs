@@ -259,4 +259,64 @@ proptest! {
             "flooded queries must be issued minus lost"
         );
     }
+
+    /// Self-healing under any generated fault plan: with
+    /// `--repair=promote+partner` the engines still agree bitwise, the
+    /// conservation law still holds (headless-window queries are
+    /// charged issued + lost), and the overlay never fragments worse
+    /// than the no-repair run — repair keeps crashed clusters' nodes
+    /// and edges alive, so its worst observed component count is
+    /// bounded by the run that lets them dissolve.
+    #[test]
+    fn repair_conserves_and_never_fragments_worse(
+        plan in arb_plan(300.0),
+        redundancy in prop::bool::ANY,
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+    ) {
+        use sp_model::config::Config;
+        use sp_model::repair::RepairPolicy;
+        use sp_sim::engine::{SimOptions, Simulation};
+        use sp_sim::reference::ReferenceSimulation;
+        let cfg = Config {
+            graph_size: 100,
+            cluster_size: 10,
+            ..Config::default()
+        }
+        .with_redundancy(redundancy);
+        let opts = SimOptions {
+            duration_secs: 300.0,
+            seed,
+            fault_seed,
+            repair: RepairPolicy::PromotePartner,
+            ..Default::default()
+        };
+        let mut fast = Simulation::with_faults(&cfg, opts, &plan);
+        let repaired = fast.run();
+        let mut reference = ReferenceSimulation::with_faults(&cfg, opts, &plan);
+        let reference_metrics = reference.run();
+        prop_assert_eq!(&repaired, &reference_metrics,
+            "engines diverged with repair under plan {:?}", &plan);
+        prop_assert!(fast.net.check_invariants().is_ok());
+        prop_assert!(repaired.faults.conserved(),
+            "conservation broken with repair: {:?}", &repaired.faults);
+        prop_assert_eq!(
+            repaired.queries,
+            repaired.faults.queries_issued - repaired.faults.queries_lost,
+            "flooded queries must be issued minus lost"
+        );
+        let unrepaired = Simulation::with_faults(
+            &cfg,
+            SimOptions { repair: RepairPolicy::Off, ..opts },
+            &plan,
+        )
+        .run();
+        prop_assert!(
+            repaired.repair.max_components() <= unrepaired.repair.max_components(),
+            "repair fragmented the overlay worse than no repair: {} > {} under plan {:?}",
+            repaired.repair.max_components(),
+            unrepaired.repair.max_components(),
+            &plan
+        );
+    }
 }

@@ -12,6 +12,7 @@ use sp_model::config::Config;
 use sp_model::faults::{FaultPlan, FaultSpec};
 use sp_model::load::Load;
 use sp_model::population::PopulationModel;
+use sp_model::repair::RepairPolicy;
 use sp_sim::engine::{AdaptSettings, ForwardPolicy, SimOptions, Simulation};
 use sp_sim::reference::ReferenceSimulation;
 use sp_sim::scenario::{
@@ -184,20 +185,61 @@ fn engines_agree_under_fault_plans() {
             ("loss/delay/flaky/partition windows", windowed.clone()),
         ] {
             for fault_seed in [0, 99] {
-                assert_engines_agree_with_faults(
-                    label,
-                    &config,
-                    SimOptions {
-                        duration_secs: 1200.0,
-                        seed: 7,
-                        fault_seed,
-                        ..Default::default()
-                    },
-                    &plan,
-                );
+                // Every repair policy must agree bitwise across
+                // engines, including the Section 5.3 election and the
+                // headless-window charging it implies.
+                for repair in RepairPolicy::ALL {
+                    assert_engines_agree_with_faults(
+                        label,
+                        &config,
+                        SimOptions {
+                            duration_secs: 1200.0,
+                            seed: 7,
+                            fault_seed,
+                            repair,
+                            ..Default::default()
+                        },
+                        &plan,
+                    );
+                }
             }
         }
     }
+}
+
+#[test]
+fn engines_agree_on_repair_under_adaptation() {
+    // Adaptation + crash storm + repair: the stalled-adapt-tick restart
+    // path only triggers when a headless window swallows a tick.
+    let config = Config {
+        graph_size: 120,
+        cluster_size: 12,
+        population: PopulationModel {
+            lifespan_mean_secs: 400.0,
+            ..Default::default()
+        },
+        ..Config::default()
+    };
+    assert_engines_agree_with_faults(
+        "adaptive crash storm with repair",
+        &config,
+        SimOptions {
+            duration_secs: 1200.0,
+            seed: 5,
+            fault_seed: 5,
+            repair: RepairPolicy::PromotePartner,
+            adapt: Some(AdaptSettings {
+                interval_secs: 60.0,
+                limit: Load {
+                    in_bw: 2e5,
+                    out_bw: 2e5,
+                    proc: 2e7,
+                },
+            }),
+            ..Default::default()
+        },
+        &crash_storm_plan(1200.0),
+    );
 }
 
 #[test]
@@ -217,18 +259,26 @@ fn empty_fault_plan_is_bitwise_inert() {
         ..Default::default()
     };
     let plain = Simulation::new(&config, opts).run();
-    // Any fault seed: with an empty plan the fault stream is never
-    // drawn from, so the run must be byte-for-byte the no-fault run.
-    let with_empty_plan = Simulation::with_faults(
-        &config,
-        SimOptions {
-            fault_seed: 0xDEAD,
-            ..opts
-        },
-        &FaultPlan::default(),
-    )
-    .run();
-    assert_eq!(plain, with_empty_plan, "an empty plan must change nothing");
+    // Any fault seed and any repair policy: with an empty plan the
+    // fault stream is never drawn from and repair never engages (it
+    // only answers fault-injected crashes), so the run must be
+    // byte-for-byte the no-fault run.
+    for repair in RepairPolicy::ALL {
+        let with_empty_plan = Simulation::with_faults(
+            &config,
+            SimOptions {
+                fault_seed: 0xDEAD,
+                repair,
+                ..opts
+            },
+            &FaultPlan::default(),
+        )
+        .run();
+        assert_eq!(
+            plain, with_empty_plan,
+            "an empty plan must change nothing under --repair={repair}"
+        );
+    }
 }
 
 #[test]
@@ -242,18 +292,21 @@ fn crash_storm_trials_are_bitwise_identical_across_thread_counts() {
         },
         ..Config::default()
     };
-    let base = SimTrialOptions {
-        trials: 4,
-        seed: 21,
-        threads: 1,
-    };
-    let single = crash_storm_trials(&churny, 600.0, &base);
-    for threads in [2, 8] {
-        let sharded = crash_storm_trials(&churny, 600.0, &SimTrialOptions { threads, ..base });
-        assert_eq!(
-            single.per_trial, sharded.per_trial,
-            "crash-storm trials diverged at {threads} threads"
-        );
+    for repair in RepairPolicy::ALL {
+        let base = SimTrialOptions {
+            trials: 4,
+            seed: 21,
+            threads: 1,
+            repair,
+        };
+        let single = crash_storm_trials(&churny, 600.0, &base);
+        for threads in [2, 8] {
+            let sharded = crash_storm_trials(&churny, 600.0, &SimTrialOptions { threads, ..base });
+            assert_eq!(
+                single.per_trial, sharded.per_trial,
+                "crash-storm trials diverged at {threads} threads under --repair={repair}"
+            );
+        }
     }
 }
 
@@ -268,6 +321,7 @@ fn sharded_trials_are_bitwise_identical_across_thread_counts() {
         trials: 4,
         seed: 11,
         threads: 1,
+        repair: RepairPolicy::Off,
     };
     let single = steady_trials(&config, 400.0, &base);
     for threads in [2, 8] {
