@@ -107,6 +107,12 @@ const ANALYZE_RULES: &[Rule] = &[
         floor: None,
     },
     Rule {
+        field: "thread_speedup_best",
+        direction: Direction::HigherBetter,
+        mode_independent: true,
+        floor: None,
+    },
+    Rule {
         field: "flood_allocs_per_source",
         direction: Direction::LowerBetter,
         mode_independent: true,
@@ -148,6 +154,39 @@ const REPAIR_RULES: &[Rule] = &[
     },
 ];
 
+/// The sharded scale engine (`BENCH_scale.json`): throughput curve and
+/// shard sweep. `speedup_8shard` additionally carries a machine-aware
+/// absolute floor applied in [`check_report`], because the right bound
+/// depends on how many cores the *fresh* run had.
+const SCALE_RULES: &[Rule] = &[
+    Rule {
+        field: "speedup_8shard",
+        direction: Direction::HigherBetter,
+        mode_independent: true,
+        floor: None,
+    },
+    Rule {
+        field: "events_per_sec_40k",
+        direction: Direction::HigherBetter,
+        mode_independent: false,
+        floor: None,
+    },
+    Rule {
+        field: "events_per_sec_1m",
+        direction: Direction::HigherBetter,
+        mode_independent: false,
+        floor: None,
+    },
+];
+
+/// Slack for the within-report multi-vs-single-thread analyze check.
+/// Deliberately tighter than the cross-run tolerance: both walls come
+/// from the same process on the same machine, so the only noise is
+/// run-to-run jitter — and the regression this guards (ROADMAP item 2:
+/// the parallel path landing ~14 % slower than single-thread) sits
+/// inside the default 25 % cross-run tolerance.
+const THREAD_SLACK: f64 = 0.10;
+
 /// Checks one metric; returns an error line on regression.
 fn check_rule(rule: &Rule, baseline: f64, fresh: f64, tol: f64) -> Result<String, String> {
     // For LowerBetter metrics near zero (e.g. zero allocations) a
@@ -186,10 +225,12 @@ fn check_report(name: &str, baseline: &Report, fresh: &Report, tol: f64) -> u32 
     // `sim_*` covers both the plain churn workload and the fault-path
     // crash-storm workload (`sim_crash_storm_faults`): both report the
     // same engine speedup/throughput fields.
-    let rules = match baseline.strings.get("bench").map(String::as_str) {
-        Some(b) if b.starts_with("sim_") => SIM_RULES,
-        Some(b) if b.starts_with("analyze_") => ANALYZE_RULES,
-        Some(b) if b.starts_with("repair_") => REPAIR_RULES,
+    let bench_id = baseline.strings.get("bench").cloned().unwrap_or_default();
+    let rules = match bench_id.as_str() {
+        b if b.starts_with("sim_") => SIM_RULES,
+        b if b.starts_with("analyze_") => ANALYZE_RULES,
+        b if b.starts_with("repair_") => REPAIR_RULES,
+        b if b.starts_with("scale_") => SCALE_RULES,
         other => {
             println!("{name}: FAIL unknown bench id {other:?}");
             return 1;
@@ -218,6 +259,54 @@ fn check_report(name: &str, baseline: &Report, fresh: &Report, tol: f64) -> u32 
             }
         }
     }
+    failures += check_invariants(name, &bench_id, fresh);
+    failures
+}
+
+/// Within-report invariants on the *fresh* run — absolute bars that
+/// hold regardless of the baseline, dispatched on the fresh machine's
+/// own `cores` field where the right bound is machine-dependent.
+fn check_invariants(name: &str, bench_id: &str, fresh: &Report) -> u32 {
+    let mut failures = 0;
+    if bench_id.starts_with("scale_") {
+        // The tentpole scaling bar: on a ≥ 8-core machine 8 shards must
+        // deliver ≥ 3× the 1-shard throughput; with fewer cores extra
+        // shards cannot beat the core count, so the bound degrades to a
+        // coordination-overhead floor (8 shards keep ≥ 0.6× of 1-shard
+        // throughput — barriers and cross-shard batches stay cheap
+        // even when all eight reactors time-slice one core and the
+        // quick workload is barrier-dominated).
+        if let Some(&speedup) = fresh.numbers.get("speedup_8shard") {
+            let cores = fresh.numbers.get("cores").copied().unwrap_or(1.0);
+            let floor = if cores >= 8.0 { 3.0 } else { 0.6 };
+            if speedup >= floor {
+                println!(
+                    "{name}: OK   speedup_8shard {speedup} clears the {cores}-core floor {floor}"
+                );
+            } else {
+                println!(
+                    "{name}: FAIL speedup_8shard {speedup} below the {cores}-core floor {floor}"
+                );
+                failures += 1;
+            }
+        }
+    }
+    if bench_id.starts_with("analyze_") {
+        // ROADMAP item 2: the default multi-thread budget must never be
+        // slower than the single-thread path (it once landed at ~1.14×
+        // single-thread wall). Same-process walls, so a tight slack.
+        if let (Some(&one), Some(&multi)) = (
+            fresh.numbers.get("fast_1_thread_wall_s"),
+            fresh.numbers.get("fast_wall_s"),
+        ) {
+            if multi <= one * (1.0 + THREAD_SLACK) {
+                println!("{name}: OK   fast_wall_s {multi} vs single-thread {one} (slack {THREAD_SLACK})");
+            } else {
+                println!("{name}: FAIL multi-thread wall {multi} slower than single-thread {one} (slack {THREAD_SLACK})");
+                failures += 1;
+            }
+        }
+    }
     failures
 }
 
@@ -237,6 +326,7 @@ fn main() -> ExitCode {
         "BENCH_faults.json",
         "BENCH_repair.json",
         "BENCH_analyze.json",
+        "BENCH_scale.json",
     ] {
         let b_path = format!("{baseline_dir}/{name}");
         let f_path = format!("{fresh_dir}/{name}");
@@ -355,10 +445,73 @@ mod tests {
 
     #[test]
     fn zero_baselines_get_absolute_slack() {
-        let rule = &ANALYZE_RULES[1]; // allocs per source, lower better
+        let rule = &ANALYZE_RULES[2]; // allocs per source, lower better
         assert!(check_rule(rule, 0.0, 0.0, 0.25).is_ok());
         assert!(check_rule(rule, 0.0, 1.0, 0.25).is_ok());
         assert!(check_rule(rule, 0.0, 2.0, 0.25).is_err());
+    }
+
+    fn scale_report(cores: u32, speedup: f64) -> Report {
+        parse_flat_json(&format!(
+            r#"{{
+  "bench": "scale_sharded_engine_throughput",
+  "mode": "paper",
+  "cores": {cores},
+  "events_per_sec_40k": 2000000.0,
+  "events_per_sec_1m": 1500000.0,
+  "speedup_8shard": {speedup}
+}}"#
+        ))
+    }
+
+    #[test]
+    fn scale_floor_is_machine_aware() {
+        // Self-comparisons make every relative rule pass, isolating
+        // the machine-aware absolute floor on the fresh report.
+        // Single-core machine: only the coordination-overhead bound
+        // (≥ 0.6×) applies — 8 shards cannot beat 1 core.
+        let ok1 = scale_report(1, 0.92);
+        assert_eq!(check_report("scale", &ok1, &ok1, 0.25), 0);
+        let bad1 = scale_report(1, 0.5);
+        assert_eq!(check_report("scale", &bad1, &bad1, 0.25), 1);
+        // ≥ 8 cores: the tentpole ≥ 3× bar is enforced.
+        let ok8 = scale_report(8, 4.1);
+        assert_eq!(check_report("scale", &ok8, &ok8, 0.25), 0);
+        let bad8 = scale_report(8, 2.0);
+        assert_eq!(check_report("scale", &bad8, &bad8, 0.25), 1);
+        // And the relative comparison still applies on top: a large
+        // drop that clears the floor fails against the baseline.
+        assert_eq!(check_report("scale", &ok8, &scale_report(8, 3.0), 0.25), 1);
+    }
+
+    const ANALYZE_SWEEP: &str = r#"{
+  "bench": "analyze_power_law_ttl7_full_sources",
+  "mode": "paper",
+  "cores": 4,
+  "fast_1_thread_wall_s": 4.18,
+  "fast_wall_s": 2.3,
+  "thread_speedup_best": 1.8,
+  "speedup_vs_reference_1_thread": 3.0
+}"#;
+
+    #[test]
+    fn analyze_multi_thread_must_not_be_slower_than_single() {
+        let base = parse_flat_json(ANALYZE_SWEEP);
+        assert_eq!(check_report("analyze", &base, &base, 0.25), 0);
+        // The ROADMAP item 2 regression: 4.77 s multi vs 4.18 s single
+        // sits inside the 25 % cross-run tolerance, so a self-compare
+        // (all relative rules pass) proves the within-report invariant
+        // alone catches it.
+        let regressed = parse_flat_json(
+            &ANALYZE_SWEEP.replace("\"fast_wall_s\": 2.3", "\"fast_wall_s\": 4.77"),
+        );
+        assert_eq!(check_report("analyze", &regressed, &regressed, 0.25), 1);
+        // Equal walls (a 1-core machine resolves both budgets to one
+        // worker) are fine.
+        let one_core = parse_flat_json(
+            &ANALYZE_SWEEP.replace("\"fast_wall_s\": 2.3", "\"fast_wall_s\": 4.18"),
+        );
+        assert_eq!(check_report("analyze", &one_core, &one_core, 0.25), 0);
     }
 
     const REPAIR_PAPER: &str = r#"{

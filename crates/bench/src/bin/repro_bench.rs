@@ -26,8 +26,13 @@
 //!    10 000 clusters (100 000 users at cluster size 10), TTL 7, full
 //!    source loop — under the Reference engine and the Fast engine
 //!    (reusable flood scratch, O(reach) charging, source-parallel
-//!    shards), with flood-path allocation counts. Emits
-//!    `repro_out/BENCH_analyze.json`.
+//!    shards), with flood-path allocation counts and a 1/2/4/8-thread
+//!    scaling sweep. Emits `repro_out/BENCH_analyze.json`.
+//! 5. **Scale** — the shared-nothing sharded engine (DESIGN.md §15) on
+//!    the Table 1 workload at TTL 3: an events/sec-vs-peers curve from
+//!    4 k to 1 M peers (quick mode stops at 40 k) plus a 1/2/4/8-shard
+//!    sweep whose metrics are asserted bitwise identical before any
+//!    ratio is reported. Emits `repro_out/BENCH_scale.json`.
 //!
 //! Peak RSS (`VmHWM`) is a monotonic process-wide high-water mark, so
 //! it is snapshotted *per section*, smallest footprint first: the sim
@@ -39,8 +44,11 @@
 //!
 //! `REPRO_QUICK=1` shrinks every workload; `SP_THREADS` caps the Fast
 //! analysis engine's worker budget; `REPRO_OUT` overrides the output
-//! directory; `REPRO_SECTIONS=sim,faults,repair,analyze` selects a
-//! subset of sections (e.g. to regenerate one baseline).
+//! directory; `REPRO_SECTIONS=sim,faults,repair,analyze,scale` selects
+//! a subset of sections (e.g. to regenerate one baseline — the scale
+//! baseline in particular should be generated standalone with
+//! `REPRO_SECTIONS=scale` so the monotonic `VmHWM` snapshot after the
+//! million-peer run is not inflated by the analysis instance).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -53,8 +61,9 @@ use sp_model::config::Config;
 use sp_model::instance::NetworkInstance;
 use sp_model::query_model::QueryModel;
 use sp_model::repair::RepairPolicy;
+use sp_model::trials::resolve_thread_budget;
 use sp_sim::scenario::{crash_storm_plan, crash_storm_trials, SimTrialOptions};
-use sp_sim::{ReferenceSimulation, SimOptions, Simulation};
+use sp_sim::{ReferenceSimulation, ScaleOptions, ShardedSimulation, SimOptions, Simulation};
 use sp_stats::SpRng;
 
 /// Counts every heap allocation so the zero-allocation claims for the
@@ -508,36 +517,50 @@ fn analyze_section() {
     let rss_after_reference = peak_rss_kb();
     println!("reference engine:      {reference_s:>8.3} s");
 
+    // The two walls below feed the downstream multi-vs-single-thread
+    // gate, a ~10 % bound — tighter than single-run jitter on a noisy
+    // shared machine (a previous baseline recorded 4.77 s vs 4.18 s
+    // for two runs of the *identical* inline path on one core). Each
+    // budget therefore runs best-of-3, interleaved so load drift
+    // cannot systematically favor one side.
     let mut fast_one = None;
-    let before = allocs();
-    let fast_1_thread_s = timed(&mut fast_one, || {
-        analyze(
-            &inst,
-            &model,
-            &AnalysisOptions {
-                threads: 1,
-                ..AnalysisOptions::default()
-            },
-            &mut rng,
-        )
-    });
-    let fast_total_allocs = allocs() - before;
-    println!("fast engine, 1 thread: {fast_1_thread_s:>8.3} s  ({fast_total_allocs} allocations for all {n_clusters} sources)");
-
     let mut fast_all = None;
-    let fast_s = timed(&mut fast_all, || {
-        analyze(
-            &inst,
-            &model,
-            &AnalysisOptions {
-                threads: threads(),
-                ..AnalysisOptions::default()
-            },
-            &mut rng,
-        )
-    });
+    let mut fast_1_thread_s = f64::INFINITY;
+    let mut fast_s = f64::INFINITY;
+    let mut fast_total_allocs = 0;
+    for rep in 0..3 {
+        let before = allocs();
+        let wall = timed(&mut fast_one, || {
+            analyze(
+                &inst,
+                &model,
+                &AnalysisOptions {
+                    threads: 1,
+                    ..AnalysisOptions::default()
+                },
+                &mut rng,
+            )
+        });
+        if rep == 0 {
+            fast_total_allocs = allocs() - before;
+        }
+        fast_1_thread_s = fast_1_thread_s.min(wall);
+        let wall = timed(&mut fast_all, || {
+            analyze(
+                &inst,
+                &model,
+                &AnalysisOptions {
+                    threads: threads(),
+                    ..AnalysisOptions::default()
+                },
+                &mut rng,
+            )
+        });
+        fast_s = fast_s.min(wall);
+    }
+    println!("fast engine, 1 thread: {fast_1_thread_s:>8.3} s best of 3  ({fast_total_allocs} allocations for all {n_clusters} sources)");
     let rss_after_fast = peak_rss_kb();
-    println!("fast engine, {cores} core(s): {fast_s:>8.3} s");
+    println!("fast engine, {cores} core(s): {fast_s:>8.3} s best of 3");
 
     // The engines must agree before a speedup means anything.
     let (r, f1, fa) = (
@@ -560,8 +583,48 @@ fn analyze_section() {
         "\nspeedup vs reference: {speedup:.2}x on {cores} core(s), {speedup_1t:.2}x single-threaded"
     );
 
+    // Explicit 1/2/4/8-thread scaling sweep (ROADMAP item 2: the
+    // multi-thread path once landed *slower* than single-thread, and
+    // that regression must never land silently again). Every budget
+    // must reproduce the reference metrics; the downstream gate
+    // additionally asserts the default budget is not slower than the
+    // single-thread path.
+    let mut sweep_walls = vec![(1usize, fast_1_thread_s)];
+    for t in [2usize, 4, 8] {
+        let mut slot = None;
+        let wall = timed(&mut slot, || {
+            analyze(
+                &inst,
+                &model,
+                &AnalysisOptions {
+                    threads: t,
+                    ..AnalysisOptions::default()
+                },
+                &mut rng,
+            )
+        });
+        let m = slot.expect("timed fills the slot").metrics;
+        assert!(
+            rel(r.aggregate.in_bw, m.aggregate.in_bw) <= 1e-12
+                && rel(r.results_per_query, m.results_per_query) <= 1e-12,
+            "fast({t} threads) disagrees with reference"
+        );
+        println!("fast engine, {t} threads: {wall:>8.3} s");
+        sweep_walls.push((t, wall));
+    }
+    let best = sweep_walls
+        .iter()
+        .map(|&(_, w)| w)
+        .fold(f64::INFINITY, f64::min);
+    let thread_speedup_best = fast_1_thread_s / best;
+    let sweep_fields: String = sweep_walls
+        .iter()
+        .map(|(t, w)| format!("  \"wall_s_threads_{t}\": {w:.4},\n"))
+        .collect();
+    println!("thread sweep best: {thread_speedup_best:.2}x vs single-threaded");
+
     let json = format!(
-        "{{\n  \"bench\": \"analyze_power_law_ttl7_full_sources\",\n  \"mode\": \"{mode}\",\n  \"graph_size\": {gs},\n  \"clusters\": {nc},\n  \"ttl\": {ttl},\n  \"cores\": {cores},\n  \"generate_wall_s\": {gen:.4},\n  \"reference_wall_s\": {refs:.4},\n  \"fast_1_thread_wall_s\": {f1:.4},\n  \"fast_wall_s\": {fs:.4},\n  \"speedup_vs_reference\": {sp:.3},\n  \"speedup_vs_reference_1_thread\": {sp1:.3},\n  \"flood_allocs_per_source\": {fa},\n  \"flood_sources_measured\": {fsm},\n  \"fast_total_allocs\": {fta},\n  \"peak_rss_kb_reference\": {rss_ref},\n  \"peak_rss_kb\": {rss}\n}}\n",
+        "{{\n  \"bench\": \"analyze_power_law_ttl7_full_sources\",\n  \"mode\": \"{mode}\",\n  \"graph_size\": {gs},\n  \"clusters\": {nc},\n  \"ttl\": {ttl},\n  \"cores\": {cores},\n  \"generate_wall_s\": {gen:.4},\n  \"reference_wall_s\": {refs:.4},\n  \"fast_1_thread_wall_s\": {f1:.4},\n  \"fast_wall_s\": {fs:.4},\n{sweep}  \"thread_speedup_best\": {tsb:.3},\n  \"speedup_vs_reference\": {sp:.3},\n  \"speedup_vs_reference_1_thread\": {sp1:.3},\n  \"flood_allocs_per_source\": {fa},\n  \"flood_sources_measured\": {fsm},\n  \"fast_total_allocs\": {fta},\n  \"peak_rss_kb_reference\": {rss_ref},\n  \"peak_rss_kb\": {rss}\n}}\n",
         mode = if quick_mode() { "quick" } else { "paper" },
         gs = cfg.graph_size,
         nc = n_clusters,
@@ -571,6 +634,8 @@ fn analyze_section() {
         refs = reference_s,
         f1 = fast_1_thread_s,
         fs = fast_s,
+        sweep = sweep_fields,
+        tsb = thread_speedup_best,
         sp = speedup,
         sp1 = speedup_1t,
         fa = flood_allocs as f64 / sources_measured as f64,
@@ -582,8 +647,127 @@ fn analyze_section() {
     write_json("BENCH_analyze.json", &json);
 }
 
+/// JSON field suffix for a peer count (`4000` → `4k`, `1000000` → `1m`).
+fn size_label(peers: usize) -> String {
+    if peers.is_multiple_of(1_000_000) {
+        format!("{}m", peers / 1_000_000)
+    } else {
+        format!("{}k", peers / 1_000)
+    }
+}
+
+/// Scale section: the shared-nothing sharded engine (DESIGN.md §15) on
+/// the Table 1 workload at TTL 3, measured two ways:
+///
+/// * **Throughput curve** — events/sec at each decade from 4 k peers
+///   up to 1 M (quick mode stops at 40 k), run on one shard per core
+///   (capped at 8). The `VmHWM` snapshot after the million-peer run
+///   records the bounded-memory claim.
+/// * **Shard sweep** — the 400 k-peer workload (40 k in quick mode)
+///   re-executed at 1/2/4/8 shards. The metrics must be bitwise
+///   identical across the sweep — asserted here, so the benchmark
+///   itself fails on a determinism break, not just the test suite —
+///   and `speedup_8shard` records the 8-shard / 1-shard throughput
+///   ratio. The downstream gate requires ≥ 3× on a ≥ 8-core machine
+///   and degrades to a coordination-overhead bound (≥ 0.6×) on
+///   smaller ones, where extra shards cannot beat the core count; the
+///   recorded `cores` field is what the gate dispatches on.
+fn scale_section() {
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let sizes: &[usize] = if quick_mode() {
+        &[4_000, 40_000]
+    } else {
+        &[4_000, 40_000, 400_000, 1_000_000]
+    };
+    let duration_secs = if quick_mode() { 120.0 } else { 300.0 };
+    let curve_shards = resolve_thread_budget(threads()).min(8);
+    println!(
+        "-- scale: sharded engine, up to {} peers, {duration_secs} simulated s, {curve_shards} shard(s) on {cores} core(s) --",
+        sizes.last().expect("sizes is non-empty")
+    );
+
+    let mut curve_fields = String::new();
+    let mut rss_after_top = None;
+    for &peers in sizes {
+        let cfg = Config::scale_preset(peers);
+        let opts = ScaleOptions {
+            duration_secs,
+            seed: 42,
+            shards: curve_shards,
+            ..Default::default()
+        };
+        let t = Instant::now();
+        let mut sim = ShardedSimulation::new(&cfg, opts);
+        let m = sim.run();
+        let wall = t.elapsed().as_secs_f64();
+        let events = m.events_processed();
+        let eps = events as f64 / wall;
+        println!(
+            "{peers:>9} peers: {wall:>8.3} s  ({events} events, {eps:.0} events/s, queue high water {})",
+            sim.diag().queue_high_water
+        );
+        let label = size_label(peers);
+        curve_fields.push_str(&format!(
+            "  \"wall_s_{label}\": {wall:.4},\n  \"events_{label}\": {events},\n  \"events_per_sec_{label}\": {eps:.1},\n"
+        ));
+        // Monotonic VmHWM: the last (largest) run dominates, so this
+        // snapshot is attributable to it when the section runs
+        // standalone (REPRO_SECTIONS=scale).
+        rss_after_top = peak_rss_kb();
+    }
+
+    let sweep_peers: usize = if quick_mode() { 40_000 } else { 400_000 };
+    let cfg = Config::scale_preset(sweep_peers);
+    let mut walls = Vec::new();
+    let mut first_metrics = None;
+    let mut cross_msgs_8 = 0;
+    for shards in [1usize, 2, 4, 8] {
+        let opts = ScaleOptions {
+            duration_secs,
+            seed: 42,
+            shards,
+            ..Default::default()
+        };
+        let t = Instant::now();
+        let mut sim = ShardedSimulation::new(&cfg, opts);
+        let m = sim.run();
+        let wall = t.elapsed().as_secs_f64();
+        let eps = m.events_processed() as f64 / wall;
+        println!(
+            "sweep {sweep_peers} peers, {shards} shard(s): {wall:>8.3} s  ({eps:.0} events/s, {} cross-shard msgs)",
+            sim.diag().cross_shard_msgs
+        );
+        cross_msgs_8 = sim.diag().cross_shard_msgs;
+        // Bitwise shard-count invariance is the engine's headline
+        // contract; a sweep that broke it must not publish ratios.
+        match &first_metrics {
+            None => first_metrics = Some(m),
+            Some(prev) => assert_eq!(prev, &m, "sharded engine diverged at {shards} shards"),
+        }
+        walls.push(wall);
+    }
+    let speedup_8shard = walls[0] / walls[3];
+    println!("shard sweep: 8-shard/1-shard throughput ratio {speedup_8shard:.2}x");
+
+    let json = format!(
+        "{{\n  \"bench\": \"scale_sharded_engine_throughput\",\n  \"mode\": \"{mode}\",\n  \"cores\": {cores},\n  \"curve_shards\": {curve_shards},\n  \"duration_secs\": {dur},\n  \"seed\": 42,\n{curve}  \"sweep_peers\": {sw},\n  \"sweep_wall_s_shards_1\": {w1:.4},\n  \"sweep_wall_s_shards_2\": {w2:.4},\n  \"sweep_wall_s_shards_4\": {w4:.4},\n  \"sweep_wall_s_shards_8\": {w8:.4},\n  \"sweep_cross_shard_msgs_8\": {cm},\n  \"speedup_8shard\": {s8:.3},\n  \"peak_rss_kb\": {rss}\n}}\n",
+        mode = if quick_mode() { "quick" } else { "paper" },
+        dur = duration_secs,
+        curve = curve_fields,
+        sw = sweep_peers,
+        w1 = walls[0],
+        w2 = walls[1],
+        w4 = walls[2],
+        w8 = walls[3],
+        cm = cross_msgs_8,
+        s8 = speedup_8shard,
+        rss = rss_json(rss_after_top),
+    );
+    write_json("BENCH_scale.json", &json);
+}
+
 /// Whether a section is selected by `REPRO_SECTIONS` (a comma list of
-/// `sim`, `faults`, `repair`, `analyze`; unset = all).
+/// `sim`, `faults`, `repair`, `analyze`, `scale`; unset = all).
 fn section_enabled(name: &str) -> bool {
     match std::env::var("REPRO_SECTIONS") {
         Ok(list) => list.split(',').any(|s| s.trim() == name),
@@ -612,5 +796,13 @@ fn main() {
     }
     if section_enabled("analyze") {
         analyze_section();
+        println!();
+    }
+    // Last: the million-peer run has the largest footprint, so an
+    // earlier section cannot be blamed on it — but regenerate the
+    // checked-in scale baseline standalone (REPRO_SECTIONS=scale) so
+    // the converse holds for its own RSS snapshot too.
+    if section_enabled("scale") {
+        scale_section();
     }
 }

@@ -6,30 +6,63 @@ use sp_core::experiments::{cluster_sweep, epl_table, Fidelity};
 use sp_core::model::config::{Config, GraphType};
 use sp_core::model::faults::FaultPlan;
 use sp_core::model::repair::RepairPolicy;
-use sp_core::model::trials::TrialOptions;
+use sp_core::model::trials::{resolve_thread_budget, TrialOptions};
 use sp_core::report::{ci, sci, Table};
 use sp_core::sim::engine::{SimOptions, Simulation};
 use sp_core::sim::scenario::{
     crash_storm, crash_storm_trials, reliability, steady_trials, SimReport, SimTrialOptions,
 };
+use sp_core::sim::shard::{ScaleOptions, ShardedSimulation};
 use sp_core::{Load, NetworkBuilder};
 
 use crate::args::{ArgError, Args};
 use crate::error::CliError;
 
+/// Parses a positive worker count — the shared validation for
+/// `--threads`, `--shards`, and `SP_THREADS`. An explicit `0` is
+/// rejected rather than treated as "one per core": the documented
+/// default when the option is omitted is already one worker per core,
+/// so a literal zero is always a mistake (it used to fall back
+/// silently).
+fn positive_count(what: &str, value: &str) -> Result<usize, ArgError> {
+    match value.parse::<usize>() {
+        Ok(0) => Err(ArgError(format!(
+            "{what}: must be at least 1 (omit it for one worker per core)"
+        ))),
+        Ok(n) => Ok(n),
+        Err(_) => Err(ArgError(format!("{what}: cannot parse {value:?}"))),
+    }
+}
+
+/// Thread-budget resolution from its two inputs, split out pure so the
+/// `SP_THREADS` paths are testable without mutating process state.
+fn threads_from_parts(flag: Option<&str>, env: Option<String>) -> Result<usize, ArgError> {
+    if let Some(t) = flag {
+        return positive_count("--threads", t);
+    }
+    match env {
+        Some(v) => positive_count("SP_THREADS", &v),
+        None => Ok(0),
+    }
+}
+
 /// Resolves the worker-thread budget: `--threads N` wins, then the
 /// `SP_THREADS` environment variable, then 0 (one worker per core).
 /// The budget only controls parallelism — never the reported numbers.
+/// Zero and non-numeric values are usage errors, not silent defaults.
 fn threads_from(args: &Args) -> Result<usize, ArgError> {
-    if let Some(t) = args.get("threads") {
-        return t
-            .parse()
-            .map_err(|_| ArgError(format!("--threads: cannot parse {t:?}")));
+    threads_from_parts(args.get("threads"), std::env::var("SP_THREADS").ok())
+}
+
+/// Resolves `--shards N` for the scale engine: absent means one shard
+/// per available core; an explicit value must be a positive integer
+/// (the engine clamps to the cluster count). Like `--threads`, the
+/// shard count never changes the reported numbers.
+fn shards_from(args: &Args) -> Result<usize, ArgError> {
+    match args.get("shards") {
+        None => Ok(resolve_thread_budget(0)),
+        Some(s) => positive_count("--shards", s),
     }
-    Ok(std::env::var("SP_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0))
 }
 
 /// Resolves `--repair POLICY` (default `off`). Repair only engages on
@@ -223,6 +256,8 @@ pub fn simulate(args: &Args) -> Result<String, CliError> {
         "fault-seed",
         "crash-storm",
         "repair",
+        "scale",
+        "shards",
     ]))?;
     let mut cfg = config_from(args)?;
     if let Some(lifespan) = args.get("lifespan") {
@@ -236,6 +271,9 @@ pub fn simulate(args: &Args) -> Result<String, CliError> {
     if trials == 0 {
         return Err(CliError::Usage("--trials: need at least one trial".into()));
     }
+    // Validate the budget up front: single-run paths never consult it,
+    // but `--threads 0` must still be a usage error, not dead weight.
+    let threads = threads_from(args)?;
     let metrics_json = args.get("metrics-json");
     // The fault stream defaults to the run seed so `--seed` alone still
     // names a fully reproducible faulted run.
@@ -250,6 +288,22 @@ pub fn simulate(args: &Args) -> Result<String, CliError> {
                 .map_err(|e| CliError::Runtime(format!("--faults: {path}: {e}")))?
         }
     };
+    if args.flag("scale") {
+        return simulate_scale(
+            args,
+            &mut cfg,
+            duration,
+            seed,
+            fault_seed,
+            &plan,
+            metrics_json,
+        );
+    }
+    if args.get("shards").is_some() {
+        return Err(CliError::Usage(
+            "--shards selects the sharded scale engine; add --scale".into(),
+        ));
+    }
     if args.flag("crash-storm") {
         if !plan.is_empty() {
             return Err(CliError::Usage(
@@ -268,7 +322,7 @@ pub fn simulate(args: &Args) -> Result<String, CliError> {
                 &SimTrialOptions {
                     trials,
                     seed,
-                    threads: threads_from(args)?,
+                    threads,
                     repair,
                 },
             );
@@ -408,7 +462,7 @@ pub fn simulate(args: &Args) -> Result<String, CliError> {
             &SimTrialOptions {
                 trials,
                 seed,
-                threads: threads_from(args)?,
+                threads,
                 repair,
             },
         );
@@ -508,6 +562,109 @@ pub fn simulate(args: &Args) -> Result<String, CliError> {
         }
     }
     Ok(t.render())
+}
+
+/// The `spnet simulate --scale` path: the shared-nothing sharded scale
+/// engine (`sp_sim::shard`), sized for overlays the churn engines
+/// cannot reach. `--shards N` picks the reactor count (default one per
+/// core); metrics are bitwise identical at every value, so
+/// `--metrics-json` output from runs at different shard counts can be
+/// compared byte-for-byte — the CI sharded-smoke contract.
+fn simulate_scale(
+    args: &Args,
+    cfg: &mut Config,
+    duration: f64,
+    seed: u64,
+    fault_seed: u64,
+    plan: &FaultPlan,
+    metrics_json: Option<&str>,
+) -> Result<String, CliError> {
+    if args.flag("reliability")
+        || args.flag("crash-storm")
+        || args.get("trials").is_some()
+        || args.get("repair").is_some()
+        || args.get("lifespan").is_some()
+    {
+        return Err(CliError::Usage(
+            "--scale runs the sharded scale engine; it supports --shards, --duration, \
+             --seed, --faults, --fault-seed, --metrics-json, and the topology options only"
+                .into(),
+        ));
+    }
+    if args.flag("strong") || args.get("graph").is_some() {
+        return Err(CliError::Usage(
+            "--scale generates its own power-law overlay; drop --strong/--graph".into(),
+        ));
+    }
+    // The scale preset's TTL (3) keeps per-query flood work constant as
+    // the overlay grows; an explicit --ttl still wins.
+    if args.get("ttl").is_none() {
+        cfg.ttl = Config::scale_preset(cfg.graph_size).ttl;
+    }
+    let shards = shards_from(args)?;
+    let mut sim = ShardedSimulation::with_faults(
+        cfg,
+        ScaleOptions {
+            duration_secs: duration,
+            seed,
+            fault_seed,
+            shards,
+        },
+        plan,
+    );
+    let m = sim.run();
+    let diag = *sim.diag();
+    if let Some(path) = metrics_json {
+        std::fs::write(path, m.to_json()).map_err(|e| {
+            CliError::Runtime(format!("--metrics-json: cannot write {path:?}: {e}"))
+        })?;
+    }
+    let mut t = Table::new(vec!["Metric", "Value"]);
+    t.row(vec!["peers".into(), m.peers.to_string()]);
+    t.row(vec!["clusters".into(), m.clusters.to_string()]);
+    t.row(vec!["ticks".into(), m.ticks.to_string()]);
+    t.row(vec!["queries issued".into(), m.queries_issued.to_string()]);
+    t.row(vec!["queries failed".into(), m.queries_failed.to_string()]);
+    t.row(vec![
+        "messages delivered".into(),
+        m.msgs_delivered.to_string(),
+    ]);
+    t.row(vec!["results found".into(), m.results_found.to_string()]);
+    if !plan.is_empty() {
+        t.row(vec![
+            "dropped (loss/partition/dead)".into(),
+            format!(
+                "{}/{}/{}",
+                m.msgs_dropped_loss, m.msgs_dropped_partition, m.msgs_dropped_dead
+            ),
+        ]);
+        t.row(vec![
+            "crashes injected".into(),
+            m.crashes_injected.to_string(),
+        ]);
+        t.row(vec!["elections held".into(), m.elections_held.to_string()]);
+        t.row(vec![
+            "re-index announcements".into(),
+            m.reindex_received.to_string(),
+        ]);
+    }
+    t.row(vec![
+        "events processed".into(),
+        m.events_processed().to_string(),
+    ]);
+    t.row(vec![
+        "shards / cross-shard msgs".into(),
+        format!("{} / {}", diag.shards, diag.cross_shard_msgs),
+    ]);
+    // Flat line for scripted smoke checks: every field here is
+    // shard-count-invariant, so CI can diff it across shard counts.
+    Ok(format!(
+        "{}\nscale run: events processed {}, msgs delivered {}, results {}",
+        t.render(),
+        m.events_processed(),
+        m.msgs_delivered,
+        m.results_found
+    ))
 }
 
 /// `spnet sweep` — cluster-size sweep of one system.
@@ -632,8 +789,8 @@ pub fn help() -> String {
        --graph FAMILY     power-law | strong | erdos-renyi | regular\n\
        --query-rate R     queries per user per second (default 9.26e-3)\n\
        --threads N        worker-thread budget for evaluate/sweep/simulate\n\
-                          (default: SP_THREADS env or one per core;\n\
-                          never changes the reported numbers)\n\n\
+                          (default: SP_THREADS env or one per core; must be\n\
+                          >= 1 when given; never changes the reported numbers)\n\n\
      SIMULATE OPTIONS:\n\
        --duration S       simulated seconds          (default 3600)\n\
        --trials N         independent trials; N > 1 reports mean ± 95% CI,\n\
@@ -649,7 +806,11 @@ pub fn help() -> String {
        --fault-seed N     reseed only the fault RNG stream (default: --seed);\n\
                           never perturbs the churn/query schedule\n\
        --crash-storm      canonical crash-storm plan against k=1 vs k=2\n\
-                          (with --trials N: mean ± 95% CI over N storms)\n\n\
+                          (with --trials N: mean ± 95% CI over N storms)\n\
+       --scale            shared-nothing sharded scale engine (million-peer\n\
+                          overlays; TTL defaults to 3; supports --faults)\n\
+       --shards N         reactor count for --scale (default one per core);\n\
+                          metrics are bitwise identical at any shard count\n\n\
      EXAMPLES:\n\
        spnet evaluate --users 10000 --cluster 10 --redundancy\n\
        spnet design --users 20000 --reach 3000 --max-up 100000 --max-conns 100\n\
@@ -658,6 +819,7 @@ pub fn help() -> String {
        spnet simulate --users 1000 --metrics-json run_manifest.json\n\
        spnet simulate --users 1000 --lifespan 600 --crash-storm --duration 2400\n\
        spnet simulate --users 1000 --faults plan.json --metrics-json run.json\n\
+       spnet simulate --users 1000000 --scale --shards 8 --duration 300\n\
        spnet sweep --users 5000 --strong --ttl 1 --clusters 1,10,100,1000\n\
        spnet epl --outdegrees 3.1,10,20 --reaches 100,500\n\
        spnet lint --json lint_report.json --warnings\n\n\
@@ -1022,6 +1184,122 @@ mod tests {
         let err = simulate(&args(&["--users", "100", "--repair", "heal-everything"])).unwrap_err();
         assert_eq!(err.exit_code(), 2);
         assert!(err.to_string().contains("promote+partner"));
+    }
+
+    #[test]
+    fn threads_zero_and_garbage_are_usage_errors() {
+        // Explicit --threads 0 and non-numeric values are the caller's
+        // fault (exit 2), not a silent fall-back to the default.
+        for cmd in [simulate, evaluate, sweep] {
+            let err = cmd(&args(&["--users", "100", "--threads", "0"])).unwrap_err();
+            assert_eq!(err.exit_code(), 2, "--threads 0 must be a usage error");
+            assert!(err.to_string().contains("--threads"));
+            let err = cmd(&args(&["--users", "100", "--threads", "many"])).unwrap_err();
+            assert_eq!(err.exit_code(), 2);
+            assert!(err.to_string().contains("many"));
+        }
+    }
+
+    #[test]
+    fn sp_threads_env_values_are_validated() {
+        // Pure-function probe of the SP_THREADS path (no process-global
+        // env mutation, which would race with concurrently running
+        // tests that resolve their own thread budgets).
+        assert_eq!(threads_from_parts(None, None).unwrap(), 0);
+        assert_eq!(threads_from_parts(None, Some("3".into())).unwrap(), 3);
+        let err = threads_from_parts(None, Some("0".into())).unwrap_err();
+        assert!(err.0.contains("SP_THREADS"), "{}", err.0);
+        let err = threads_from_parts(None, Some("lots".into())).unwrap_err();
+        assert!(err.0.contains("SP_THREADS"), "{}", err.0);
+        // An explicit --threads wins before SP_THREADS is even parsed.
+        assert_eq!(
+            threads_from_parts(Some("4"), Some("garbage".into())).unwrap(),
+            4
+        );
+    }
+
+    #[test]
+    fn simulate_scale_runs_and_is_shard_invariant() {
+        let base = &[
+            "--users",
+            "4000",
+            "--scale",
+            "--duration",
+            "150",
+            "--seed",
+            "9",
+        ];
+        let one_path = std::env::temp_dir().join("spnet_cli_scale_1shard_test.json");
+        let four_path = std::env::temp_dir().join("spnet_cli_scale_4shard_test.json");
+        let one = simulate(&args(
+            &[
+                base as &[_],
+                &[
+                    "--shards",
+                    "1",
+                    "--metrics-json",
+                    one_path.to_str().unwrap(),
+                ],
+            ]
+            .concat(),
+        ))
+        .unwrap();
+        let four = simulate(&args(
+            &[
+                base as &[_],
+                &[
+                    "--shards",
+                    "4",
+                    "--metrics-json",
+                    four_path.to_str().unwrap(),
+                ],
+            ]
+            .concat(),
+        ))
+        .unwrap();
+        assert!(one.contains("events processed"));
+        assert!(one.contains("scale run:"));
+        let json_one = std::fs::read_to_string(&one_path).unwrap();
+        let json_four = std::fs::read_to_string(&four_path).unwrap();
+        std::fs::remove_file(&one_path).ok();
+        std::fs::remove_file(&four_path).ok();
+        // The metrics JSON is shard-count-invariant byte for byte —
+        // the same comparison the CI sharded-smoke step performs.
+        assert_eq!(json_one, json_four, "scale metrics diverged across shards");
+        assert!(json_one.contains("\"msgs_delivered\""));
+        // The human tables differ only in the diag row; the smoke line
+        // (last line) must match exactly.
+        assert_eq!(one.lines().last(), four.lines().last());
+    }
+
+    #[test]
+    fn simulate_scale_rejects_conflicts_and_bad_shards() {
+        let err = simulate(&args(&["--users", "100", "--shards", "4"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("--scale"));
+        let err = simulate(&args(&["--users", "100", "--scale", "--shards", "0"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("--shards"));
+        let err = simulate(&args(&["--users", "100", "--scale", "--shards", "x"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        for conflict in [
+            &["--reliability"] as &[_],
+            &["--crash-storm"],
+            &["--trials", "2"],
+            &["--repair", "promote"],
+            &["--lifespan", "600"],
+            &["--strong"],
+        ] {
+            let err = simulate(&args(
+                &[&["--users", "100", "--scale"] as &[_], conflict].concat(),
+            ))
+            .unwrap_err();
+            assert_eq!(
+                err.exit_code(),
+                2,
+                "--scale with {conflict:?} must be usage"
+            );
+        }
     }
 
     #[test]

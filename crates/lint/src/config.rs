@@ -22,7 +22,7 @@ use crate::diag::Severity;
 /// One `[[allow]]` baseline entry.
 #[derive(Debug, Clone)]
 pub struct AllowEntry {
-    /// Rule id the entry suppresses (`D1`…`F1`).
+    /// Rule id the entry suppresses (`D1`…`F2`).
     pub rule: String,
     /// Repo-relative path prefix the entry covers (a file, or a
     /// directory ending in `/`).
@@ -49,12 +49,17 @@ pub struct LintConfig {
     /// Path prefixes where D2 wall-clock/env reads are legal (the
     /// observability modules, benches, and the CLI).
     pub d2_allow_paths: Vec<String>,
+    /// Path prefixes under the shared-nothing contract (F2): lock and
+    /// atomic shared-state primitives are banned there — simulator hot
+    /// paths communicate only through bounded mpsc channels drained at
+    /// tick barriers (DESIGN.md §15).
+    pub f2_hot_paths: Vec<String>,
     /// Baseline suppressions.
     pub allow: Vec<AllowEntry>,
 }
 
 /// Every rule id, in report order.
-pub const RULE_IDS: [&str; 6] = ["D1", "D2", "D3", "S1", "S2", "F1"];
+pub const RULE_IDS: [&str; 7] = ["D1", "D2", "D3", "S1", "S2", "F1", "F2"];
 
 impl Default for LintConfig {
     /// The built-in policy, identical to the checked-in `lint.toml`
@@ -79,6 +84,7 @@ impl Default for LintConfig {
                 "crates/cli/".into(),
                 "crates/lint/".into(),
             ],
+            f2_hot_paths: vec!["crates/sim/src/".into()],
             allow: Vec::new(),
         }
     }
@@ -107,6 +113,13 @@ impl LintConfig {
     /// Whether `path` is an allowlisted D2 observability location.
     pub fn d2_allowed(&self, path: &str) -> bool {
         self.d2_allow_paths
+            .iter()
+            .any(|p| path.starts_with(p.as_str()))
+    }
+
+    /// Whether `path` is under the F2 shared-nothing contract.
+    pub fn f2_hot(&self, path: &str) -> bool {
+        self.f2_hot_paths
             .iter()
             .any(|p| path.starts_with(p.as_str()))
     }
@@ -165,7 +178,7 @@ impl LintConfig {
                 }
                 section = name.trim().to_string();
                 match section.as_str() {
-                    "lint" | "severity" | "rules.D2" | "rules.S2" => {}
+                    "lint" | "severity" | "rules.D2" | "rules.S2" | "rules.F2" => {}
                     other => {
                         return Err(format!("lint.toml:{lineno}: unknown table [{other}]"));
                     }
@@ -196,6 +209,9 @@ impl LintConfig {
                 }
                 ("rules.D2", "allow_paths") => {
                     cfg.d2_allow_paths = parse_string_array(value, lineno)?;
+                }
+                ("rules.F2", "hot_paths") => {
+                    cfg.f2_hot_paths = parse_string_array(value, lineno)?;
                 }
                 ("rules.S2", "expect") => {
                     cfg.s2_expect = Severity::parse(&parse_string(value, lineno)?)
@@ -316,6 +332,9 @@ allow_paths = ["crates/bench/"]
 [rules.S2]
 expect = "allow"
 
+[rules.F2]
+hot_paths = ["crates/sim/src/shard.rs"]
+
 [[allow]]
 rule = "S1"
 path = "crates/bench/src/bin/repro_bench.rs"
@@ -329,6 +348,8 @@ justification = "GlobalAlloc impl, audited"
         assert_eq!(cfg.s2_expect, Severity::Allow);
         assert!(cfg.d2_allowed("crates/bench/src/lib.rs"));
         assert!(!cfg.d2_allowed("crates/sim/src/engine.rs"));
+        assert!(cfg.f2_hot("crates/sim/src/shard.rs"));
+        assert!(!cfg.f2_hot("crates/sim/src/engine.rs"));
         assert!(cfg
             .allow_entry("S1", "crates/bench/src/bin/repro_bench.rs")
             .is_some());
@@ -364,5 +385,7 @@ justification = "GlobalAlloc impl, audited"
         assert!(cfg.is_deterministic("sim"));
         assert!(!cfg.is_deterministic("bench"));
         assert!(cfg.checks_unwrap("cli"));
+        assert!(cfg.f2_hot("crates/sim/src/shard.rs"));
+        assert!(!cfg.f2_hot("crates/cli/src/commands.rs"));
     }
 }

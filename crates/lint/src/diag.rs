@@ -48,7 +48,7 @@ impl fmt::Display for Severity {
 /// One diagnostic produced by a rule.
 #[derive(Debug, Clone)]
 pub struct Finding {
-    /// Rule id (`D1`…`F1`).
+    /// Rule id (`D1`…`F2`).
     pub rule: &'static str,
     /// Effective severity after configuration.
     pub severity: Severity,

@@ -63,7 +63,8 @@ fn parse_args(raw: &[String]) -> Result<Options, String> {
                        --warnings     list warn-level findings (always counted)\n\n\
                      EXIT CODES: 0 clean, 1 deny-level findings, 2 usage/config error\n\
                      RULES: D1 hash containers, D2 wall-clock/env reads, D3 unseeded RNG,\n\
-                            S1 unsafe hygiene, S2 unwrap/expect, F1 parallel float sums\n\
+                            S1 unsafe hygiene, S2 unwrap/expect, F1 parallel float sums,\n\
+                            F2 locks/atomics in shared-nothing hot paths\n\
                      (see DESIGN.md §13 for the contract and lint.toml for the baseline)"
                 );
                 std::process::exit(0);

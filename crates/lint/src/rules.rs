@@ -9,6 +9,8 @@
 //! |      |              | crates missing `#![forbid(unsafe_code)]`                    |
 //! | S2   | safety       | `unwrap()` / `expect()` outside `#[cfg(test)]`              |
 //! | F1   | determinism  | float `.sum::<f64>()` over a parallel iterator              |
+//! | F2   | determinism  | locks/atomics (`Mutex`, `RwLock`, `Atomic*`, `Condvar`)     |
+//! |      |              | in shared-nothing simulator hot paths                       |
 //!
 //! All rules operate on the token stream from [`crate::lexer`]; none
 //! need type information. That bounds what they can see — a
@@ -51,6 +53,7 @@ pub fn lint_source(src: &str, ctx: &FileContext, cfg: &LintConfig) -> Vec<Findin
     rule_s1(&toks, &code, ctx, cfg, &mut out);
     rule_s2(&toks, &code, &tests, ctx, cfg, &mut out);
     rule_f1(&toks, &code, &tests, ctx, cfg, &mut out);
+    rule_f2(&toks, &code, ctx, cfg, &mut out);
 
     out.sort_by_key(|f| (f.line, f.rule));
     out
@@ -559,6 +562,53 @@ fn rule_f1(
     }
 }
 
+/// F2 — shared mutable state in shared-nothing hot paths. The sharded
+/// simulator's determinism proof rests on shards owning their state
+/// outright and exchanging messages only at tick barriers (DESIGN.md
+/// §15); a `Mutex` or atomic counter reintroduces scheduling-dependent
+/// interleaving that no test can pin. The rule bans the primitive
+/// *types* (`Mutex`, `RwLock`, `Condvar`, `Barrier`, `Atomic*`,
+/// `OnceLock`, `LazyLock`) in the configured hot-path files — tests
+/// included, since a lock in a test of a lock-free module is a design
+/// smell, not a convenience. Bounded `mpsc` channels stay legal: they
+/// are the sanctioned barrier transport.
+fn rule_f2(
+    toks: &[Tok],
+    code: &[usize],
+    ctx: &FileContext,
+    cfg: &LintConfig,
+    out: &mut Vec<Finding>,
+) {
+    if !cfg.f2_hot(&ctx.path) {
+        return;
+    }
+    let severity = cfg.severity_of("F2");
+    for &i in code {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let banned = matches!(
+            t.text.as_str(),
+            "Mutex" | "RwLock" | "Condvar" | "Barrier" | "OnceLock" | "LazyLock"
+        ) || (t.text.starts_with("Atomic") && t.text.len() > "Atomic".len());
+        if banned {
+            push(
+                out,
+                "F2",
+                severity,
+                ctx,
+                t.line,
+                format!(
+                    "shared-state primitive `{}` in shared-nothing hot path",
+                    t.text
+                ),
+                "shards own their state; cross-shard data moves through bounded mpsc batches at tick barriers",
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -695,6 +745,24 @@ mod tests {
         assert!(run(good, &ctx_det()).iter().all(|f| f.rule != "F1"));
         let intsum = "fn f(v: &[u64]) -> u64 { v.par_iter().sum::<u64>() }";
         assert!(run(intsum, &ctx_det()).iter().all(|f| f.rule != "F1"));
+    }
+
+    #[test]
+    fn f2_flags_locks_and_atomics_in_hot_paths_only() {
+        let bad = "use std::sync::{Mutex, atomic::AtomicU64};\n\
+                   struct S { total: AtomicU64, guard: Mutex<u32> }";
+        let f = run(bad, &ctx_det());
+        assert_eq!(f.iter().filter(|f| f.rule == "F2").count(), 4);
+        // mpsc is the sanctioned transport.
+        let good = "use std::sync::mpsc::{sync_channel, Receiver, SyncSender};";
+        assert!(run(good, &ctx_det()).iter().all(|f| f.rule != "F2"));
+        // Outside the configured hot paths the primitives are legal.
+        let ctx = FileContext {
+            path: "crates/cli/src/commands.rs".into(),
+            crate_name: "cli".into(),
+            ..FileContext::default()
+        };
+        assert!(run(bad, &ctx).iter().all(|f| f.rule != "F2"));
     }
 
     #[test]

@@ -61,6 +61,7 @@ fn bad_fixtures_flag_expected_lines() {
     assert_findings("s1.rs", &[("S1", 7), ("S1", 14)]);
     assert_findings("s2.rs", &[("S2", 7), ("S2", 11)]);
     assert_findings("f1.rs", &[("F1", 9), ("F1", 16)]);
+    assert_findings("f2.rs", &[("F2", 8), ("F2", 8), ("F2", 11), ("F2", 12)]);
 }
 
 #[test]
@@ -80,7 +81,9 @@ fn s2_fixture_severities_split_unwrap_deny_expect_warn() {
 
 #[test]
 fn clean_fixtures_produce_zero_findings() {
-    for name in ["d1.rs", "d2.rs", "d3.rs", "s1.rs", "s2.rs", "f1.rs"] {
+    for name in [
+        "d1.rs", "d2.rs", "d3.rs", "s1.rs", "s2.rs", "f1.rs", "f2.rs",
+    ] {
         let findings = lint_fixture("clean", name);
         assert!(
             findings.is_empty(),
@@ -94,7 +97,9 @@ fn every_rule_is_exercised_in_both_directions() {
     // Guards the corpus itself: if a rule id ever gains no fixture,
     // this fails rather than silently losing coverage.
     let mut rules_hit: Vec<&str> = Vec::new();
-    for name in ["d1.rs", "d2.rs", "d3.rs", "s1.rs", "s2.rs", "f1.rs"] {
+    for name in [
+        "d1.rs", "d2.rs", "d3.rs", "s1.rs", "s2.rs", "f1.rs", "f2.rs",
+    ] {
         for f in lint_fixture("bad", name) {
             if !rules_hit.contains(&f.rule) {
                 rules_hit.push(f.rule);

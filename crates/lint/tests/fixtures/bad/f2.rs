@@ -1,0 +1,13 @@
+//! F2 fixture: shared-state primitives in a shared-nothing simulator
+//! hot path. The sharded engine's determinism proof requires shards
+//! to own their state outright and exchange data only at tick
+//! barriers; a lock or atomic counter lets thread scheduling leak
+//! into the results.
+//! Expected findings: F2 at lines 8, 8, 11, 12.
+
+use std::sync::{atomic::AtomicU64, Mutex};
+
+pub struct SharedTally {
+    delivered: AtomicU64,
+    slowest_shard: Mutex<(u32, u64)>,
+}

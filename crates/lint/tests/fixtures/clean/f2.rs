@@ -1,0 +1,19 @@
+//! F2 clean fixture: the sanctioned shared-nothing idiom. Each shard
+//! accumulates into counters it owns, cross-shard data moves through
+//! bounded mpsc batches at tick barriers, and the driver folds the
+//! per-shard results in ascending shard order.
+
+use std::sync::mpsc::{Receiver, SyncSender};
+
+pub struct ShardTally {
+    delivered: u64,
+}
+
+pub struct BarrierLinks {
+    pub tx: Vec<SyncSender<u64>>,
+    pub rx: Vec<Receiver<u64>>,
+}
+
+pub fn fold_in_shard_order(parts: Vec<ShardTally>) -> u64 {
+    parts.iter().map(|p| p.delivered).sum::<u64>()
+}

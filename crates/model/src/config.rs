@@ -145,6 +145,21 @@ impl Config {
         (self.cluster_size as f64 - self.redundancy_k as f64).max(0.0)
     }
 
+    /// The scale-simulation preset: Table 1 user behavior on an
+    /// overlay of `peers` total peers, with the TTL lowered to 3 so a
+    /// single flood visits ~tens of clusters instead of saturating the
+    /// overlay. At TTL 7 and outdegree 3.1 a power-law flood reaches
+    /// most of a small graph, which measures memory bandwidth rather
+    /// than event throughput; TTL 3 keeps per-query work constant as
+    /// `peers` grows, which is what an events/sec-vs-peers curve needs.
+    pub fn scale_preset(peers: usize) -> Self {
+        Config {
+            graph_size: peers,
+            ttl: 3,
+            ..Config::default()
+        }
+    }
+
     /// Checks parameter sanity.
     ///
     /// # Errors
@@ -254,6 +269,17 @@ mod tests {
             ..Config::default()
         };
         assert!(matches!(nan.validate(), Err(ConfigError::BadNumeric(_))));
+    }
+
+    #[test]
+    fn scale_preset_is_valid_at_every_decade() {
+        for peers in [4_000, 40_000, 400_000, 1_000_000] {
+            let c = Config::scale_preset(peers);
+            assert_eq!(c.graph_size, peers);
+            assert_eq!(c.ttl, 3);
+            assert_eq!(c.cluster_size, 10);
+            assert!(c.validate().is_ok());
+        }
     }
 
     #[test]

@@ -204,6 +204,28 @@ pub fn resolve_thread_budget(threads: usize) -> usize {
     .max(1)
 }
 
+/// Partitions `items` sequential indices into `shards` contiguous
+/// spans, returning `(start, end)` half-open ranges in shard order.
+///
+/// Earlier shards get the remainder, so span lengths differ by at most
+/// one and every index is covered exactly once. Used by the sharded
+/// scale simulator to assign contiguous cluster ranges to shards (the
+/// "peer-id prefix" partitioning: cluster ids are peer-id prefixes).
+/// `shards` is clamped to `[1, items.max(1)]` so no span is empty.
+pub fn shard_spans(items: usize, shards: usize) -> Vec<(usize, usize)> {
+    let shards = shards.clamp(1, items.max(1));
+    let base = items / shards;
+    let extra = items % shards;
+    let mut spans = Vec::with_capacity(shards);
+    let mut start = 0;
+    for s in 0..shards {
+        let len = base + usize::from(s < extra);
+        spans.push((start, start + len));
+        start += len;
+    }
+    spans
+}
+
 /// Splits a thread budget between `jobs` perfectly independent outer
 /// workers and per-job inner parallelism, returning `(outer, inner)`.
 ///
@@ -413,6 +435,37 @@ mod tests {
         assert_eq!(split_thread_budget(16, 5), (5, 3));
         assert_eq!(split_thread_budget(4, 8), (4, 1));
         assert_eq!(split_thread_budget(0, 4), (1, 1));
+    }
+
+    #[test]
+    fn shard_spans_cover_contiguously() {
+        for items in 0..=40 {
+            for shards in 0..=12 {
+                let spans = shard_spans(items, shards);
+                assert!(!spans.is_empty());
+                assert!(spans.len() <= shards.max(1));
+                // Contiguous cover of [0, items), no empty span unless
+                // items == 0 (then the single span is (0, 0)).
+                let mut cursor = 0;
+                for &(start, end) in &spans {
+                    assert_eq!(start, cursor, "gap at {items}/{shards}");
+                    assert!(end >= start);
+                    if items > 0 {
+                        assert!(end > start, "empty span at {items}/{shards}");
+                    }
+                    cursor = end;
+                }
+                assert_eq!(cursor, items);
+                // Balanced: lengths differ by at most one.
+                let lens: Vec<_> = spans.iter().map(|(s, e)| e - s).collect();
+                let min = lens.iter().min().unwrap();
+                let max = lens.iter().max().unwrap();
+                assert!(max - min <= 1, "unbalanced at {items}/{shards}: {lens:?}");
+            }
+        }
+        assert_eq!(shard_spans(10, 4), vec![(0, 3), (3, 6), (6, 8), (8, 10)]);
+        assert_eq!(shard_spans(4, 1), vec![(0, 4)]);
+        assert_eq!(shard_spans(2, 8), vec![(0, 1), (1, 2)]);
     }
 
     #[test]

@@ -224,10 +224,10 @@ impl Default for EventHandle {
 
 /// One slab entry. `pos == FREE` marks a vacant slot awaiting reuse.
 #[derive(Debug, Clone, Copy)]
-struct Entry {
+struct Entry<E> {
     time: SimTime,
     seq: u64,
-    event: Event,
+    event: E,
     generation: u32,
     pos: u32,
 }
@@ -241,16 +241,33 @@ const FREE: u32 = u32::MAX;
 /// entry tracks its heap position, so removal from the middle is a
 /// swap-with-last plus one sift. Pop order is identical to
 /// [`BinaryEventQueue`]: earliest time first, FIFO on ties.
-#[derive(Debug, Default)]
-pub struct IndexedEventQueue {
-    entries: Vec<Entry>,
+///
+/// Generic over the event payload so every engine can reuse the same
+/// scheduling machinery: the churn engines instantiate it with
+/// [`Event`] (the default), the sharded scale engine with its own
+/// per-shard event type.
+#[derive(Debug)]
+pub struct IndexedEventQueue<E = Event> {
+    entries: Vec<Entry<E>>,
     free: Vec<u32>,
     heap: Vec<u32>,
     seq: u64,
     high_water: usize,
 }
 
-impl IndexedEventQueue {
+impl<E> Default for IndexedEventQueue<E> {
+    fn default() -> Self {
+        IndexedEventQueue {
+            entries: Vec::new(),
+            free: Vec::new(),
+            heap: Vec::new(),
+            seq: 0,
+            high_water: 0,
+        }
+    }
+}
+
+impl<E: Copy> IndexedEventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         Self::default()
@@ -262,7 +279,7 @@ impl IndexedEventQueue {
     /// # Panics
     ///
     /// Panics if `time` is NaN.
-    pub fn schedule(&mut self, time: SimTime, event: Event) -> EventHandle {
+    pub fn schedule(&mut self, time: SimTime, event: E) -> EventHandle {
         assert!(!time.is_nan(), "cannot schedule at NaN");
         let seq = self.seq;
         self.seq += 1;
@@ -317,7 +334,7 @@ impl IndexedEventQueue {
     }
 
     /// Pops the earliest event, if any.
-    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
         if self.heap.is_empty() {
             return None;
         }
@@ -326,6 +343,15 @@ impl IndexedEventQueue {
         let e = self.entries[idx as usize];
         self.release(idx);
         Some((e.time, e.event))
+    }
+
+    /// The timestamp of the earliest pending event, if any. Tick-based
+    /// engines use this to drain exactly the events due in the current
+    /// tick without popping ahead.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap
+            .first()
+            .map(|&idx| self.entries[idx as usize].time)
     }
 
     /// Number of pending events.
@@ -515,7 +541,7 @@ mod tests {
 
     #[test]
     fn indexed_null_handle_is_inert() {
-        let mut q = IndexedEventQueue::new();
+        let mut q = IndexedEventQueue::<Event>::new();
         assert!(EventHandle::NULL.is_null());
         assert!(EventHandle::default().is_null());
         assert!(!q.cancel(EventHandle::NULL));
@@ -539,5 +565,31 @@ mod tests {
     #[should_panic(expected = "NaN")]
     fn indexed_nan_time_panics() {
         IndexedEventQueue::new().schedule(f64::NAN, Event::Sample);
+    }
+
+    #[test]
+    fn indexed_peek_time_is_nondestructive() {
+        let mut q = IndexedEventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(4.0, Event::Sample);
+        q.schedule(2.0, Event::PeerJoin);
+        assert_eq!(q.peek_time(), Some(2.0));
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.peek_time(), Some(4.0));
+    }
+
+    #[test]
+    fn indexed_queue_is_generic_over_payload() {
+        // The scale engine instantiates the queue with its own event
+        // type; any Copy payload must work with the same ordering and
+        // cancellation semantics.
+        let mut q: IndexedEventQueue<u32> = IndexedEventQueue::new();
+        let a = q.schedule(3.0, 30);
+        q.schedule(1.0, 10);
+        q.schedule(2.0, 20);
+        assert!(q.cancel(a));
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![10, 20]);
     }
 }

@@ -35,7 +35,12 @@
 //! [`reference::ReferenceSimulation`] (the original implementation,
 //! kept as the behavioral oracle and performance baseline). They
 //! produce bitwise-identical [`engine::RawMetrics`] on every seed;
-//! `tests/sim_determinism.rs` enforces it. The [`metrics`] module adds
+//! `tests/sim_determinism.rs` enforces it. A third engine,
+//! [`shard::ShardedSimulation`], trades per-peer lifecycle fidelity
+//! for scale: shared-nothing per-shard reactors exchanging messages at
+//! tick barriers, bitwise identical at any shard count, sized for
+//! million-peer overlays (see the [`shard`] module docs and DESIGN.md
+//! §15). The [`metrics`] module adds
 //! engine observability: event-rate counters, queue high-water marks,
 //! optional per-event-type wall-time histograms, and a structured run
 //! manifest.
@@ -52,6 +57,7 @@ pub mod network;
 pub mod reference;
 pub mod repair;
 pub mod scenario;
+pub mod shard;
 
 pub use engine::{ForwardPolicy, SimOptions, Simulation};
 pub use faults::{FaultMetrics, FaultState, QueryOutcome, ReconnectHistogram, Submission};
@@ -63,3 +69,4 @@ pub use scenario::{
     routing, routing_trials, run_sim_trials, steady_state, steady_trials, AdaptOptions, SimReport,
     SimTrialOptions,
 };
+pub use shard::{ScaleDiag, ScaleMetrics, ScaleOptions, ShardedSimulation};

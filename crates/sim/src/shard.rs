@@ -1,0 +1,1327 @@
+//! Shared-nothing sharded scale simulator.
+//!
+//! The churn engines ([`crate::engine::Simulation`] and its reference
+//! oracle) run one event loop over the whole overlay, which tops out
+//! around 10⁴–10⁵ peers. This module trades their per-peer lifecycle
+//! fidelity for *scale*: a tick-based engine whose state is partitioned
+//! into per-shard single-threaded reactors so million-peer overlays run
+//! in bounded memory with no locks on the hot path.
+//!
+//! # Shard assignment
+//!
+//! Peer ids are dense: cluster `c` owns peers
+//! `[c·cluster_size, (c+1)·cluster_size)`, the first `redundancy_k` of
+//! which are the founding partners. A shard owns a *contiguous* range
+//! of clusters ([`sp_model::trials::shard_spans`]), so a cluster's
+//! super-peer, partners, and clients always co-shard — the cluster id
+//! is the peer-id prefix. Each shard builds its own slice of the
+//! overlay (pure-hash power-law outdegrees and edge targets keyed by
+//! `(seed, cluster, slot)`), runs its own
+//! [`IndexedEventQueue`]`<ScaleEvent>`, and owns its slice of every
+//! accumulator. Nothing is shared: shards communicate exclusively
+//! through bounded `std::sync::mpsc` channels drained at tick barriers.
+//!
+//! # Tick-barrier message protocol
+//!
+//! Simulated time advances in 1-second ticks. Within tick `t` a shard:
+//!
+//! 1. receives exactly one batch tagged `t−1` from every other shard
+//!    and slots its messages into a future-delivery ring;
+//! 2. applies instantaneous faults due at `t` (crashes, in ascending
+//!    cluster order) and refreshes the active fault windows;
+//! 3. delivers the messages due at `t`, sorted by
+//!    `(src_cluster, seq)` — `seq` is a per-source-cluster counter, so
+//!    the sort key is layout-invariant (the issue's
+//!    `(tick, src_shard, seq)` refined to survive re-sharding, since
+//!    `src_shard` is itself a function of `src_cluster`);
+//! 4. drains its local event queue up to `t` (query arrivals,
+//!    elections);
+//! 5. sends one batch tagged `t` (possibly empty) to every other
+//!    shard. Channels are `sync_channel(2)`: at most the previous and
+//!    the current tick's batches are ever in flight, so the queues are
+//!    bounded and deadlock-free by construction.
+//!
+//! Every cluster therefore observes an identical ordered input stream
+//! at **any** shard count, all randomness is stateless (pure splitmix
+//! hashes keyed by entity ids — no shared RNG stream whose draw order
+//! could depend on the layout), and every metric is a commutative
+//! integer accumulation folded in ascending shard order. The result:
+//! [`ScaleMetrics`] is bitwise identical for any shard count including
+//! 1, which `tests/sim_determinism.rs` enforces at {1, 2, 4, 8}.
+//!
+//! # Streaming metrics
+//!
+//! There is no per-peer resident metrics state at all: each shard keeps
+//! one fixed-width [`ScaleMetrics`] of `u64` counters plus a 16-bucket
+//! hop histogram, merged at finalize. A 1M-peer run's footprint is the
+//! event queue plus the CSR overlay slice — O(peers), tens of bytes per
+//! peer — not O(peers × metrics).
+//!
+//! # Fidelity envelope
+//!
+//! This engine reproduces the *load-bearing* dynamics at scale — flood
+//! fan-out under TTL, cluster crashes, Section 5.3 elections with
+//! cross-shard re-index announcements, loss/delay/partition/flake
+//! windows — but intentionally simplifies the rest: no churn arrivals,
+//! open flooding without duplicate suppression (every arriving copy
+//! costs processing, matching the Table 2 cost model's accounting),
+//! integer hit draws instead of the Appendix B query model, and
+//! [`sp_model::faults::RetryPolicy`] is not consulted (flaked
+//! submissions are counted and retried instantly). Fault windows are
+//! pure functions of the tick, so fault injection never needs
+//! cross-shard coordination. The churn engines remain the fidelity
+//! oracles; this one answers "how does the overlay behave at 10⁶
+//! peers", which they cannot.
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+
+use sp_model::config::Config;
+use sp_model::faults::{FaultPlan, FaultSpec};
+use sp_model::trials::shard_spans;
+
+use crate::events::IndexedEventQueue;
+
+/// Hop histogram width: hops 1..=15 are bucketed exactly, anything
+/// beyond folds into the last bucket. The engine clamps TTL to 15.
+pub const SCALE_MAX_HOPS: usize = 16;
+
+/// Largest supported cluster size: member liveness is a `u64` bitmask.
+pub const SCALE_MAX_CLUSTER: usize = 64;
+
+// Domain-separation salts for the stateless hash draws. Each kind of
+// draw mixes its own salt so streams never collide.
+const SALT_DEGREE: u64 = 0x5348_4152_4445_4701;
+const SALT_EDGE: u64 = 0x5348_4152_4544_4702;
+const SALT_FILES: u64 = 0x5348_4152_4649_4C03;
+const SALT_ARRIVAL: u64 = 0x5348_4152_4152_5204;
+const SALT_QUERY: u64 = 0x5348_4152_5155_4505;
+const SALT_HIT: u64 = 0x5348_4152_4849_5406;
+const SALT_LOSS: u64 = 0x5348_4152_4C4F_5307;
+const SALT_DELAY: u64 = 0x5348_4152_444C_5908;
+const SALT_FLAKE: u64 = 0x5348_4152_464C_4B09;
+const SALT_CRASH: u64 = 0x5348_4152_4352_480A;
+
+/// Probability that a visited cluster's index holds a match for a
+/// query. A fixed constant (rather than the Appendix B query model)
+/// keeps per-visit work O(1) and integer-valued at any scale.
+const HIT_PROB: f64 = 0.05;
+
+/// splitmix64 finalizer — the same mixer `SpRng` seeds from, inlined
+/// here so a draw costs one multiply chain instead of constructing a
+/// generator. Stateless hashing is what makes every draw independent
+/// of processing order, hence of the shard layout.
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Keyed hash of up to four words: fold each part through the mixer.
+fn keyed(salt: u64, a: u64, b: u64, c: u64) -> u64 {
+    mix(mix(mix(mix(salt).wrapping_add(a)).wrapping_add(b)).wrapping_add(c))
+}
+
+/// Maps a hash word to the unit interval `[0, 1)`.
+fn unit(x: u64) -> f64 {
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Bernoulli draw from a hash word.
+fn chance(x: u64, p: f64) -> bool {
+    unit(x) < p
+}
+
+/// Options for a sharded scale run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleOptions {
+    /// Simulated duration in seconds; one tick per second, rounded up.
+    pub duration_secs: f64,
+    /// Workload seed: topology, per-peer file counts, query arrivals,
+    /// and hit draws all derive from it.
+    pub seed: u64,
+    /// Fault-stream seed (crash selection, loss/delay/flake draws),
+    /// split from the workload seed exactly like the churn engines.
+    pub fault_seed: u64,
+    /// Number of shards; clamped to `[1, clusters]`. Results are
+    /// bitwise identical at every value.
+    pub shards: usize,
+}
+
+impl Default for ScaleOptions {
+    fn default() -> Self {
+        ScaleOptions {
+            duration_secs: 300.0,
+            seed: 0xC0FFEE,
+            fault_seed: 0,
+            shards: 1,
+        }
+    }
+}
+
+/// Per-shard event payload: what a reactor schedules for itself.
+/// Cross-shard work never rides the event queue — it is always an
+/// explicit [`ShardMsg`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScaleEvent {
+    /// The `n`-th query arrival of `peer`. Processing it draws and
+    /// schedules arrival `n + 1`, so the queue holds at most one
+    /// arrival per peer.
+    Query {
+        /// Global peer id.
+        peer: u64,
+        /// Arrival index, keys the inter-arrival hash stream.
+        n: u32,
+    },
+    /// A Section 5.3 election in `cluster`, scheduled one tick after a
+    /// crash left it headless.
+    Election {
+        /// Global cluster id (always shard-local by construction).
+        cluster: u32,
+    },
+}
+
+/// What an inter-shard message carries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MsgKind {
+    /// One hop of a query flood.
+    Flood {
+        /// Stable query identity, keys the per-cluster hit draws.
+        query_key: u64,
+        /// Remaining hops after this delivery.
+        ttl_left: u8,
+        /// Hops traveled so far (this delivery inclusive).
+        hops: u8,
+    },
+    /// A post-election re-index announcement to an overlay neighbor.
+    Reindex,
+}
+
+/// One cluster-to-cluster message, delivered at a tick barrier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardMsg {
+    /// Tick at which the destination shard delivers this message.
+    pub deliver_tick: u32,
+    /// Sending cluster.
+    pub src_cluster: u32,
+    /// Per-source-cluster sequence number — with `src_cluster`, the
+    /// layout-invariant delivery sort key.
+    pub seq: u32,
+    /// Receiving cluster.
+    pub dst_cluster: u32,
+    /// Payload.
+    pub kind: MsgKind,
+}
+
+/// One barrier batch: every shard sends exactly one per tick to every
+/// other shard, empty or not, which is what makes the receive loop a
+/// deterministic barrier rather than a poll.
+struct Batch {
+    tick: u32,
+    msgs: Vec<ShardMsg>,
+}
+
+/// Shard-count-invariant run metrics: fixed-width commutative counters
+/// only, folded in ascending shard order at finalize. `PartialEq`
+/// compares bitwise — the determinism suite's contract.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ScaleMetrics {
+    /// Peers simulated (`clusters × cluster_size`; a `graph_size`
+    /// remainder that does not fill a cluster is not instantiated).
+    pub peers: u64,
+    /// Clusters simulated.
+    pub clusters: u64,
+    /// Ticks executed.
+    pub ticks: u64,
+    /// Queries issued by live peers in live, unpartitioned clusters.
+    pub queries_issued: u64,
+    /// Query arrivals that found their peer dead, their cluster dead,
+    /// or their cluster partitioned.
+    pub queries_failed: u64,
+    /// Submissions that hit a flaky partner first (k ≥ 2 only) and
+    /// succeeded on instant retry.
+    pub submissions_flaked: u64,
+    /// Messages emitted (flood hops + re-index announcements), before
+    /// loss/expiry.
+    pub msgs_sent: u64,
+    /// Flood messages delivered and processed.
+    pub msgs_delivered: u64,
+    /// Messages dropped by an active loss window.
+    pub msgs_dropped_loss: u64,
+    /// Messages dropped because the destination was partitioned.
+    pub msgs_dropped_partition: u64,
+    /// Messages dropped because the destination cluster was dead.
+    pub msgs_dropped_dead: u64,
+    /// Messages that survived but were delayed by a delay window.
+    pub msgs_delayed: u64,
+    /// Messages whose delivery tick fell past the end of the run.
+    pub msgs_expired: u64,
+    /// Matches found across all visited clusters (origin included).
+    pub results_found: u64,
+    /// Partner peers killed by crash faults.
+    pub crashes_injected: u64,
+    /// Elections completed.
+    pub elections_held: u64,
+    /// Clusters whose last member died.
+    pub clusters_dead: u64,
+    /// Re-index announcements received by live neighbors.
+    pub reindex_received: u64,
+    /// Deliveries by hop count; bucket 15 also holds any overflow.
+    pub hop_hist: [u64; SCALE_MAX_HOPS],
+}
+
+impl ScaleMetrics {
+    /// Folds another shard's counters into this one. Addition is
+    /// commutative, but callers fold in ascending shard order anyway so
+    /// the operation is reproducible by inspection.
+    pub fn merge(&mut self, other: &ScaleMetrics) {
+        self.queries_issued += other.queries_issued;
+        self.queries_failed += other.queries_failed;
+        self.submissions_flaked += other.submissions_flaked;
+        self.msgs_sent += other.msgs_sent;
+        self.msgs_delivered += other.msgs_delivered;
+        self.msgs_dropped_loss += other.msgs_dropped_loss;
+        self.msgs_dropped_partition += other.msgs_dropped_partition;
+        self.msgs_dropped_dead += other.msgs_dropped_dead;
+        self.msgs_delayed += other.msgs_delayed;
+        self.msgs_expired += other.msgs_expired;
+        self.results_found += other.results_found;
+        self.crashes_injected += other.crashes_injected;
+        self.elections_held += other.elections_held;
+        self.clusters_dead += other.clusters_dead;
+        self.reindex_received += other.reindex_received;
+        for (mine, theirs) in self.hop_hist.iter_mut().zip(other.hop_hist.iter()) {
+            *mine += *theirs;
+        }
+    }
+
+    /// Total simulation events processed — query arrivals, elections,
+    /// and every message that reached a delivery decision. The
+    /// events/sec throughput figure in `BENCH_scale.json` is this over
+    /// wall time.
+    pub fn events_processed(&self) -> u64 {
+        self.queries_issued
+            + self.queries_failed
+            + self.elections_held
+            + self.msgs_delivered
+            + self.msgs_dropped_loss
+            + self.msgs_dropped_partition
+            + self.msgs_dropped_dead
+            + self.msgs_expired
+            + self.reindex_received
+    }
+
+    /// Renders the metrics as a JSON object (hand-rolled, stable key
+    /// order, integers only).
+    pub fn to_json(&self) -> String {
+        let hist: Vec<String> = self.hop_hist.iter().map(|v| v.to_string()).collect();
+        format!(
+            concat!(
+                "{{\"peers\": {}, \"clusters\": {}, \"ticks\": {}, ",
+                "\"queries_issued\": {}, \"queries_failed\": {}, ",
+                "\"submissions_flaked\": {}, \"msgs_sent\": {}, ",
+                "\"msgs_delivered\": {}, \"msgs_dropped_loss\": {}, ",
+                "\"msgs_dropped_partition\": {}, \"msgs_dropped_dead\": {}, ",
+                "\"msgs_delayed\": {}, \"msgs_expired\": {}, ",
+                "\"results_found\": {}, \"crashes_injected\": {}, ",
+                "\"elections_held\": {}, \"clusters_dead\": {}, ",
+                "\"reindex_received\": {}, \"events_processed\": {}, ",
+                "\"hop_hist\": [{}]}}"
+            ),
+            self.peers,
+            self.clusters,
+            self.ticks,
+            self.queries_issued,
+            self.queries_failed,
+            self.submissions_flaked,
+            self.msgs_sent,
+            self.msgs_delivered,
+            self.msgs_dropped_loss,
+            self.msgs_dropped_partition,
+            self.msgs_dropped_dead,
+            self.msgs_delayed,
+            self.msgs_expired,
+            self.results_found,
+            self.crashes_injected,
+            self.elections_held,
+            self.clusters_dead,
+            self.reindex_received,
+            self.events_processed(),
+            hist.join(", "),
+        )
+    }
+}
+
+/// Layout-*dependent* observability, deliberately kept out of
+/// [`ScaleMetrics`] so bitwise comparisons stay meaningful: how much
+/// traffic crossed shard boundaries, queue depth, and the shard count
+/// the run actually used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScaleDiag {
+    /// Shards the run executed with (after clamping).
+    pub shards: u64,
+    /// Messages routed to a different shard.
+    pub cross_shard_msgs: u64,
+    /// Messages that stayed on their source shard.
+    pub intra_shard_msgs: u64,
+    /// Largest per-shard event-queue depth observed.
+    pub queue_high_water: u64,
+}
+
+/// A shard's slice of the overlay plus its mutable cluster state.
+struct ShardState {
+    /// First owned cluster (global id).
+    base: u32,
+    /// CSR offsets into `edges`, one per owned cluster plus sentinel.
+    offsets: Vec<u32>,
+    /// Out-neighbor cluster ids (global), power-law degrees.
+    edges: Vec<u32>,
+    /// Per-owned-cluster member-liveness bitmask.
+    alive: Vec<u64>,
+    /// Per-owned-cluster acting-head member offset.
+    head: Vec<u32>,
+    /// Per-owned-cluster message sequence counters.
+    seq: Vec<u32>,
+}
+
+impl ShardState {
+    fn local(&self, cluster: u32) -> usize {
+        (cluster - self.base) as usize
+    }
+
+    fn neighbors(&self, local: usize) -> &[u32] {
+        &self.edges[self.offsets[local] as usize..self.offsets[local + 1] as usize]
+    }
+}
+
+/// Static parameters shared read-only by every shard.
+#[derive(Debug, Clone, Copy)]
+struct ScaleParams {
+    clusters: usize,
+    cluster_size: usize,
+    redundancy_k: usize,
+    ttl: u8,
+    query_rate: f64,
+    avg_outdegree: f64,
+    ticks: u32,
+    horizon: u32,
+    seed: u64,
+    fault_seed: u64,
+}
+
+/// The sharded scale simulator. Construction validates and captures
+/// the configuration; [`run`](ShardedSimulation::run) executes the
+/// tick loop (re-runnable — all mutable state is per-run).
+#[derive(Debug)]
+pub struct ShardedSimulation {
+    params: ScaleParams,
+    plan: FaultPlan,
+    shards: usize,
+    diag: ScaleDiag,
+}
+
+impl ShardedSimulation {
+    /// Builds a fault-free run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or `cluster_size`
+    /// exceeds [`SCALE_MAX_CLUSTER`].
+    pub fn new(config: &Config, opts: ScaleOptions) -> Self {
+        ShardedSimulation::with_faults(config, opts, &FaultPlan::default())
+    }
+
+    /// Builds a run with a fault plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration or plan is invalid, or
+    /// `cluster_size` exceeds [`SCALE_MAX_CLUSTER`].
+    pub fn with_faults(config: &Config, opts: ScaleOptions, plan: &FaultPlan) -> Self {
+        config.validate().expect("invalid configuration");
+        plan.validate().expect("invalid fault plan");
+        assert!(
+            config.cluster_size <= SCALE_MAX_CLUSTER,
+            "scale engine supports cluster_size <= {SCALE_MAX_CLUSTER}"
+        );
+        let clusters = config.num_clusters();
+        let ticks = (opts.duration_secs.ceil() as u32).max(1);
+        // The delivery ring must reach one tick past the worst-case
+        // delay. Concurrent delay windows stack, so sum them; +2
+        // covers the base next-tick hop and the current tick's slot.
+        let max_delay: u32 = plan
+            .faults
+            .iter()
+            .map(|f| match f {
+                FaultSpec::MessageDelay { delay_secs, .. } => (delay_secs.ceil() as u32).max(1),
+                _ => 0,
+            })
+            .sum();
+        ShardedSimulation {
+            params: ScaleParams {
+                clusters,
+                cluster_size: config.cluster_size,
+                redundancy_k: config.redundancy_k,
+                ttl: config.ttl.min((SCALE_MAX_HOPS - 1) as u16) as u8,
+                query_rate: config.query_rate,
+                avg_outdegree: config.avg_outdegree.max(1.01),
+                ticks,
+                horizon: max_delay + 2,
+                seed: opts.seed,
+                fault_seed: opts.fault_seed,
+            },
+            plan: plan.clone(),
+            shards: opts.shards.clamp(1, clusters),
+            diag: ScaleDiag::default(),
+        }
+    }
+
+    /// Layout-dependent diagnostics from the most recent
+    /// [`run`](ShardedSimulation::run); zeroed before the first.
+    pub fn diag(&self) -> &ScaleDiag {
+        &self.diag
+    }
+
+    /// Executes the run and folds per-shard metrics in ascending shard
+    /// order. Bitwise identical for every shard count.
+    pub fn run(&mut self) -> ScaleMetrics {
+        let params = self.params;
+        let plan = &self.plan;
+        let spans = shard_spans(params.clusters, self.shards);
+        let shard_starts: Vec<usize> = spans.iter().map(|&(s, _)| s).collect();
+        let n = spans.len();
+
+        let results: Vec<(ScaleMetrics, ScaleDiag)> = if n == 1 {
+            vec![run_shard(
+                &params,
+                plan,
+                &shard_starts,
+                0,
+                spans[0],
+                Vec::new(),
+                Vec::new(),
+            )]
+        } else {
+            // One bounded channel per ordered shard pair. Capacity 2:
+            // a shard only sends tick t after receiving every tick t−1
+            // batch, so at most the previous and current tick's batches
+            // can be unconsumed.
+            let mut txs: Vec<Vec<Option<SyncSender<Batch>>>> =
+                (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+            let mut rxs: Vec<Vec<Option<Receiver<Batch>>>> =
+                (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+            for (i, row) in txs.iter_mut().enumerate() {
+                for (j, slot) in row.iter_mut().enumerate() {
+                    if i != j {
+                        let (tx, rx) = sync_channel(2);
+                        *slot = Some(tx);
+                        rxs[j][i] = Some(rx);
+                    }
+                }
+            }
+            let endpoints: Vec<_> = txs.into_iter().zip(rxs).collect();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = endpoints
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (tx_row, rx_row))| {
+                        let shard_starts = &shard_starts;
+                        let span = spans[i];
+                        scope.spawn(move || {
+                            run_shard(&params, plan, shard_starts, i, span, tx_row, rx_row)
+                        })
+                    })
+                    .collect();
+                // Join in shard index order: the fold below then merges
+                // ascending. A panicked shard propagates its payload.
+                handles
+                    .into_iter()
+                    .map(|h| match h.join() {
+                        Ok(pair) => pair,
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    })
+                    .collect()
+            })
+        };
+
+        let mut metrics = ScaleMetrics::default();
+        let mut diag = ScaleDiag {
+            shards: n as u64,
+            ..ScaleDiag::default()
+        };
+        for (m, d) in &results {
+            metrics.merge(m);
+            diag.cross_shard_msgs += d.cross_shard_msgs;
+            diag.intra_shard_msgs += d.intra_shard_msgs;
+            diag.queue_high_water = diag.queue_high_water.max(d.queue_high_water);
+        }
+        metrics.peers = (params.clusters * params.cluster_size) as u64;
+        metrics.clusters = params.clusters as u64;
+        metrics.ticks = params.ticks as u64;
+        self.diag = diag;
+        metrics
+    }
+}
+
+/// Power-law-ish outdegree for a cluster: a discrete Pareto draw with
+/// the shape chosen so the continuous mean matches `avg_outdegree`,
+/// clamped to `[1, min(64, clusters − 1)]`. An approximation of the
+/// PLOD construction the instance generator uses — good enough for a
+/// throughput benchmark, and a pure function of `(seed, cluster)`.
+fn degree_of(params: &ScaleParams, cluster: u32) -> usize {
+    if params.clusters <= 1 {
+        return 0;
+    }
+    let cap = (params.clusters - 1).min(SCALE_MAX_CLUSTER);
+    let alpha = params.avg_outdegree / (params.avg_outdegree - 1.0);
+    let u = unit(keyed(SALT_DEGREE, params.seed, cluster as u64, 0)).max(1e-12);
+    let d = (1.0 / u.powf(1.0 / alpha)).floor() as usize;
+    d.clamp(1, cap)
+}
+
+/// Out-neighbor for edge slot `j` of `cluster`: uniform over the other
+/// clusters (duplicates permitted — a multi-edge just means a
+/// duplicate copy, which the open-flood cost model charges anyway).
+fn edge_target(params: &ScaleParams, cluster: u32, j: usize) -> u32 {
+    let raw = keyed(SALT_EDGE, params.seed, cluster as u64, j as u64);
+    let pick = (raw % (params.clusters as u64 - 1)) as u32;
+    if pick >= cluster {
+        pick + 1
+    } else {
+        pick
+    }
+}
+
+/// Shared file count of a peer — the Section 5.3 election criterion.
+fn files_of(seed: u64, peer: u64) -> u64 {
+    keyed(SALT_FILES, seed, peer, 0) % 10_000
+}
+
+/// Ticks until the next query arrival of `peer` after arrival `n`:
+/// a discretized exponential with the Table 1 per-user query rate,
+/// at least one tick.
+fn arrival_gap(params: &ScaleParams, peer: u64, n: u32) -> u32 {
+    let u = unit(keyed(SALT_ARRIVAL, params.seed, peer, n as u64)).max(1e-12);
+    let dt = (-u.ln() / params.query_rate.max(1e-9)).ceil();
+    (dt as u32).max(1)
+}
+
+/// Fault windows active at tick `t`, refreshed once per tick.
+#[derive(Default)]
+struct ActiveWindows {
+    /// `(fault index, drop_prob)` for active loss windows.
+    loss: Vec<(usize, f64)>,
+    /// `(fault index, delay_prob, delay_ticks)` for active delays.
+    delay: Vec<(usize, f64, u32)>,
+    /// `(fault index, flake_prob)` for active flaky-partner windows.
+    flake: Vec<(usize, f64)>,
+    /// Sorted partitioned-cluster lists for active partitions.
+    partitions: Vec<Vec<u32>>,
+}
+
+impl ActiveWindows {
+    fn refresh(&mut self, plan: &FaultPlan, params: &ScaleParams, t: u32) {
+        let now = t as f64;
+        let active = |from: f64, until: f64| now >= from && now < until;
+        self.loss.clear();
+        self.delay.clear();
+        self.flake.clear();
+        self.partitions.clear();
+        for (i, fault) in plan.faults.iter().enumerate() {
+            match fault {
+                FaultSpec::MessageLoss {
+                    from_secs,
+                    until_secs,
+                    drop_prob,
+                } if active(*from_secs, *until_secs) => {
+                    self.loss.push((i, *drop_prob));
+                }
+                FaultSpec::MessageDelay {
+                    from_secs,
+                    until_secs,
+                    delay_prob,
+                    delay_secs,
+                } if active(*from_secs, *until_secs) => {
+                    self.delay
+                        .push((i, *delay_prob, (delay_secs.ceil() as u32).max(1)));
+                }
+                FaultSpec::FlakyPartners {
+                    from_secs,
+                    until_secs,
+                    flake_prob,
+                } if active(*from_secs, *until_secs) => {
+                    self.flake.push((i, *flake_prob));
+                }
+                FaultSpec::Partition {
+                    from_secs,
+                    until_secs,
+                    clusters,
+                } if active(*from_secs, *until_secs) => {
+                    // Indices address the static cluster list (the
+                    // scale engine has no churn, so "alive at window
+                    // start" is the full list), wrapped modulo.
+                    let mut ids: Vec<u32> = clusters
+                        .iter()
+                        .map(|&c| (c % params.clusters) as u32)
+                        .collect();
+                    ids.sort_unstable();
+                    self.partitions.push(ids);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn is_partitioned(&self, cluster: u32) -> bool {
+        self.partitions
+            .iter()
+            .any(|ids| ids.binary_search(&cluster).is_ok())
+    }
+}
+
+/// Per-run mutable context of one shard's reactor.
+struct Reactor<'a> {
+    params: &'a ScaleParams,
+    shard_starts: &'a [usize],
+    me: usize,
+    state: ShardState,
+    queue: IndexedEventQueue<ScaleEvent>,
+    /// Future-delivery ring, indexed by `deliver_tick % horizon`.
+    ring: Vec<Vec<ShardMsg>>,
+    /// Per-destination-shard outgoing batches for the current tick.
+    outbox: Vec<Vec<ShardMsg>>,
+    windows: ActiveWindows,
+    metrics: ScaleMetrics,
+    diag: ScaleDiag,
+}
+
+impl Reactor<'_> {
+    fn shard_of(&self, cluster: u32) -> usize {
+        // partition_point over ascending span starts: the owner is the
+        // last shard whose start is <= cluster.
+        self.shard_starts
+            .partition_point(|&s| s <= cluster as usize)
+            - 1
+    }
+
+    /// Emits one message at tick `t`: assigns the per-source sequence
+    /// number, applies source-side loss/delay windows, and routes to
+    /// the destination shard's batch (or the local ring).
+    fn emit(&mut self, t: u32, src: u32, dst: u32, kind: MsgKind) {
+        let local = self.state.local(src);
+        let seq = self.state.seq[local];
+        self.state.seq[local] += 1;
+        self.metrics.msgs_sent += 1;
+        for &(i, prob) in &self.windows.loss {
+            if chance(
+                keyed(
+                    SALT_LOSS,
+                    self.params.fault_seed ^ i as u64,
+                    src as u64,
+                    seq as u64,
+                ),
+                prob,
+            ) {
+                self.metrics.msgs_dropped_loss += 1;
+                return;
+            }
+        }
+        let mut delay = 0u32;
+        for &(i, prob, ticks) in &self.windows.delay {
+            if chance(
+                keyed(
+                    SALT_DELAY,
+                    self.params.fault_seed ^ i as u64,
+                    src as u64,
+                    seq as u64,
+                ),
+                prob,
+            ) {
+                delay += ticks;
+            }
+        }
+        if delay > 0 {
+            self.metrics.msgs_delayed += 1;
+        }
+        let deliver = t + 1 + delay;
+        if deliver >= self.params.ticks {
+            self.metrics.msgs_expired += 1;
+            return;
+        }
+        let msg = ShardMsg {
+            deliver_tick: deliver,
+            src_cluster: src,
+            seq,
+            dst_cluster: dst,
+            kind,
+        };
+        let dst_shard = self.shard_of(dst);
+        if dst_shard == self.me {
+            self.diag.intra_shard_msgs += 1;
+            self.ring[(deliver % self.params.horizon) as usize].push(msg);
+        } else {
+            self.diag.cross_shard_msgs += 1;
+            self.outbox[dst_shard].push(msg);
+        }
+    }
+
+    /// Kills the acting head and every founding partner of an owned
+    /// cluster; schedules an election one tick later if anyone is left.
+    fn crash(&mut self, t: u32, cluster: u32) {
+        let local = self.state.local(cluster);
+        let k = self.params.redundancy_k.min(SCALE_MAX_CLUSTER) as u32;
+        let mut doomed = if k >= 64 { u64::MAX } else { (1u64 << k) - 1 };
+        doomed |= 1u64 << (self.state.head[local] % 64);
+        let before = self.state.alive[local];
+        self.state.alive[local] = before & !doomed;
+        self.metrics.crashes_injected += (before & doomed).count_ones() as u64;
+        if self.state.alive[local] == 0 {
+            if before != 0 {
+                self.metrics.clusters_dead += 1;
+            }
+        } else if t + 1 < self.params.ticks {
+            self.queue
+                .schedule((t + 1) as f64, ScaleEvent::Election { cluster });
+        }
+    }
+
+    /// Applies instantaneous faults due at tick `t`, in plan order and
+    /// ascending cluster order within each fault.
+    fn apply_instant_faults(&mut self, plan: &FaultPlan, t: u32) {
+        let (start, end) = (
+            self.state.base,
+            self.state.base + (self.state.alive.len() as u32),
+        );
+        for (i, fault) in plan.faults.iter().enumerate() {
+            match fault {
+                FaultSpec::CrashCluster {
+                    at_secs,
+                    cluster_index,
+                } if *at_secs as u32 == t => {
+                    let target = (cluster_index % self.params.clusters) as u32;
+                    if target >= start && target < end {
+                        self.crash(t, target);
+                    }
+                }
+                FaultSpec::CrashFraction { at_secs, fraction } if *at_secs as u32 == t => {
+                    for c in start..end {
+                        if chance(
+                            keyed(
+                                SALT_CRASH,
+                                self.params.fault_seed ^ i as u64,
+                                c as u64,
+                                t as u64,
+                            ),
+                            *fraction,
+                        ) {
+                            self.crash(t, c);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Processes one delivered message at tick `t`.
+    fn deliver(&mut self, t: u32, msg: ShardMsg) {
+        let local = self.state.local(msg.dst_cluster);
+        match msg.kind {
+            MsgKind::Flood {
+                query_key,
+                ttl_left,
+                hops,
+            } => {
+                if self.state.alive[local] == 0 {
+                    self.metrics.msgs_dropped_dead += 1;
+                    return;
+                }
+                if self.windows.is_partitioned(msg.dst_cluster) {
+                    self.metrics.msgs_dropped_partition += 1;
+                    return;
+                }
+                self.metrics.msgs_delivered += 1;
+                let bucket = (hops as usize).min(SCALE_MAX_HOPS - 1);
+                self.metrics.hop_hist[bucket] += 1;
+                if chance(
+                    keyed(
+                        SALT_HIT,
+                        self.params.seed,
+                        query_key,
+                        msg.dst_cluster as u64,
+                    ),
+                    HIT_PROB,
+                ) {
+                    self.metrics.results_found += 1;
+                }
+                if ttl_left > 0 {
+                    let deg = self.state.neighbors(local).len();
+                    for e in 0..deg {
+                        let dst = self.state.edges[self.state.offsets[local] as usize + e];
+                        self.emit(
+                            t,
+                            msg.dst_cluster,
+                            dst,
+                            MsgKind::Flood {
+                                query_key,
+                                ttl_left: ttl_left - 1,
+                                hops: hops + 1,
+                            },
+                        );
+                    }
+                }
+            }
+            MsgKind::Reindex => {
+                if self.state.alive[local] != 0 {
+                    self.metrics.reindex_received += 1;
+                }
+            }
+        }
+    }
+
+    /// Processes one local event at tick `t`.
+    fn handle_event(&mut self, t: u32, event: ScaleEvent) {
+        match event {
+            ScaleEvent::Query { peer, n } => {
+                let cluster = (peer / self.params.cluster_size as u64) as u32;
+                let local = self.state.local(cluster);
+                let offset = (peer % self.params.cluster_size as u64) as u32;
+                let peer_alive = self.state.alive[local] & (1u64 << (offset % 64)) != 0;
+                if !peer_alive
+                    || self.state.alive[local] == 0
+                    || self.windows.is_partitioned(cluster)
+                {
+                    self.metrics.queries_failed += 1;
+                } else {
+                    if self.params.redundancy_k >= 2 {
+                        for &(i, prob) in &self.windows.flake {
+                            if chance(
+                                keyed(
+                                    SALT_FLAKE,
+                                    self.params.fault_seed ^ i as u64,
+                                    peer,
+                                    n as u64,
+                                ),
+                                prob,
+                            ) {
+                                self.metrics.submissions_flaked += 1;
+                                break;
+                            }
+                        }
+                    }
+                    self.metrics.queries_issued += 1;
+                    let query_key = keyed(SALT_QUERY, self.params.seed, peer, n as u64);
+                    // The origin cluster searches its own index first…
+                    if chance(
+                        keyed(SALT_HIT, self.params.seed, query_key, cluster as u64),
+                        HIT_PROB,
+                    ) {
+                        self.metrics.results_found += 1;
+                    }
+                    // …then floods the overlay if any TTL remains.
+                    if self.params.ttl > 0 {
+                        let deg = self.state.neighbors(local).len();
+                        for e in 0..deg {
+                            let dst = self.state.edges[self.state.offsets[local] as usize + e];
+                            self.emit(
+                                t,
+                                cluster,
+                                dst,
+                                MsgKind::Flood {
+                                    query_key,
+                                    ttl_left: self.params.ttl - 1,
+                                    hops: 1,
+                                },
+                            );
+                        }
+                    }
+                }
+                let gap = arrival_gap(self.params, peer, n + 1);
+                let next = t + gap;
+                if next < self.params.ticks {
+                    self.queue
+                        .schedule(next as f64, ScaleEvent::Query { peer, n: n + 1 });
+                }
+            }
+            ScaleEvent::Election { cluster } => {
+                let local = self.state.local(cluster);
+                let mask = self.state.alive[local];
+                if mask == 0 {
+                    return;
+                }
+                // Section 5.3: the peer sharing the most files wins;
+                // ties go to the lowest peer id. Pure hash draws, so
+                // the outcome is identical at any layout.
+                let base_peer = cluster as u64 * self.params.cluster_size as u64;
+                let mut best_offset = 0u32;
+                let mut best_files = 0u64;
+                let mut found = false;
+                for offset in 0..self.params.cluster_size as u32 {
+                    if mask & (1u64 << (offset % 64)) != 0 {
+                        let files = files_of(self.params.seed, base_peer + offset as u64);
+                        if !found || files > best_files {
+                            found = true;
+                            best_files = files;
+                            best_offset = offset;
+                        }
+                    }
+                }
+                self.state.head[local] = best_offset;
+                self.metrics.elections_held += 1;
+                // Announce the new head to every overlay neighbor so
+                // they re-index — the cross-shard repair path.
+                let deg = self.state.neighbors(local).len();
+                for e in 0..deg {
+                    let dst = self.state.edges[self.state.offsets[local] as usize + e];
+                    self.emit(t, cluster, dst, MsgKind::Reindex);
+                }
+            }
+        }
+    }
+}
+
+/// Runs one shard's reactor over the full tick range and returns its
+/// metrics slice and diagnostics.
+fn run_shard(
+    params: &ScaleParams,
+    plan: &FaultPlan,
+    shard_starts: &[usize],
+    me: usize,
+    span: (usize, usize),
+    txs: Vec<Option<SyncSender<Batch>>>,
+    rxs: Vec<Option<Receiver<Batch>>>,
+) -> (ScaleMetrics, ScaleDiag) {
+    let (start, end) = span;
+    let own = end - start;
+
+    // Build this shard's overlay slice: pure hash draws keyed by global
+    // cluster id, so the same cluster gets the same edges at any
+    // layout. CSR keeps it to two flat allocations.
+    let mut offsets = Vec::with_capacity(own + 1);
+    offsets.push(0u32);
+    let mut edges = Vec::new();
+    for c in start..end {
+        let deg = degree_of(params, c as u32);
+        for j in 0..deg {
+            edges.push(edge_target(params, c as u32, j));
+        }
+        offsets.push(edges.len() as u32);
+    }
+    let full_mask = if params.cluster_size >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << params.cluster_size) - 1
+    };
+    let state = ShardState {
+        base: start as u32,
+        offsets,
+        edges,
+        alive: vec![full_mask; own],
+        head: vec![0; own],
+        seq: vec![0; own],
+    };
+
+    let mut reactor = Reactor {
+        params,
+        shard_starts,
+        me,
+        state,
+        queue: IndexedEventQueue::new(),
+        ring: (0..params.horizon).map(|_| Vec::new()).collect(),
+        outbox: (0..shard_starts.len()).map(|_| Vec::new()).collect(),
+        windows: ActiveWindows::default(),
+        metrics: ScaleMetrics::default(),
+        diag: ScaleDiag::default(),
+    };
+
+    // Seed every owned peer's first query arrival. Ascending peer
+    // order fixes the intra-cluster event order identically at every
+    // layout (clusters never split across shards).
+    for peer in (start * params.cluster_size) as u64..(end * params.cluster_size) as u64 {
+        let t0 = arrival_gap(params, peer, 0) - 1;
+        if t0 < params.ticks {
+            reactor
+                .queue
+                .schedule(t0 as f64, ScaleEvent::Query { peer, n: 0 });
+        }
+    }
+
+    let mut due: Vec<ShardMsg> = Vec::new();
+    for t in 0..params.ticks {
+        // 1. Barrier receive: exactly one batch tagged t−1 from every
+        // peer shard, slotted into the delivery ring.
+        if t > 0 {
+            for rx in rxs.iter().flatten() {
+                let batch = rx.recv().expect("peer shard hung up before the barrier");
+                debug_assert_eq!(batch.tick, t - 1, "barrier batch out of order");
+                for msg in batch.msgs {
+                    let slot = (msg.deliver_tick % params.horizon) as usize;
+                    reactor.ring[slot].push(msg);
+                }
+            }
+        }
+
+        // 2. Fault windows for this tick, then instantaneous faults.
+        reactor.windows.refresh(plan, params, t);
+        reactor.apply_instant_faults(plan, t);
+
+        // 3. Deliver the messages due now, in (src_cluster, seq)
+        // order — the layout-invariant global delivery order.
+        let slot = (t % params.horizon) as usize;
+        std::mem::swap(&mut due, &mut reactor.ring[slot]);
+        due.sort_unstable_by_key(|m| (m.src_cluster, m.seq));
+        for msg in due.drain(..) {
+            reactor.deliver(t, msg);
+        }
+
+        // 4. Local events due now (query arrivals, elections).
+        while let Some(time) = reactor.queue.peek_time() {
+            if time > t as f64 {
+                break;
+            }
+            if let Some((_, event)) = reactor.queue.pop() {
+                reactor.handle_event(t, event);
+            }
+        }
+
+        // 5. Barrier send: one batch tagged t to every peer shard,
+        // empty or not. The final tick's emissions were already
+        // discarded symmetrically by the expiry check in emit().
+        if t + 1 < params.ticks {
+            for (j, tx) in txs.iter().enumerate() {
+                if let Some(tx) = tx {
+                    let msgs = std::mem::take(&mut reactor.outbox[j]);
+                    tx.send(Batch { tick: t, msgs })
+                        .expect("peer shard hung up before the barrier");
+                }
+            }
+        } else {
+            for box_ in reactor.outbox.iter_mut() {
+                box_.clear();
+            }
+        }
+    }
+
+    reactor.diag.queue_high_water = reactor.queue.high_water() as u64;
+    (reactor.metrics, reactor.diag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Config {
+        Config {
+            graph_size: 400,
+            cluster_size: 10,
+            ttl: 3,
+            ..Config::default()
+        }
+    }
+
+    fn run_at(config: &Config, shards: usize, plan: &FaultPlan) -> (ScaleMetrics, ScaleDiag) {
+        let mut sim = ShardedSimulation::with_faults(
+            config,
+            ScaleOptions {
+                duration_secs: 400.0,
+                seed: 42,
+                fault_seed: 7,
+                shards,
+            },
+            plan,
+        );
+        let m = sim.run();
+        (m, *sim.diag())
+    }
+
+    #[test]
+    fn fault_free_run_is_shard_count_invariant() {
+        let config = small();
+        let (base, base_diag) = run_at(&config, 1, &FaultPlan::default());
+        assert!(base.queries_issued > 0, "workload was inert");
+        assert!(base.msgs_delivered > 0);
+        assert!(base.results_found > 0);
+        assert_eq!(base.peers, 400);
+        assert_eq!(base.clusters, 40);
+        assert_eq!(base_diag.cross_shard_msgs, 0);
+        for shards in [2, 4, 8] {
+            let (m, d) = run_at(&config, shards, &FaultPlan::default());
+            assert_eq!(base, m, "metrics diverged at {shards} shards");
+            assert_eq!(d.shards, shards as u64);
+            assert!(d.cross_shard_msgs > 0, "no cross-shard traffic at {shards}");
+            assert_eq!(
+                d.cross_shard_msgs + d.intra_shard_msgs,
+                base_diag.intra_shard_msgs,
+                "routed message total changed at {shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn crash_storm_elects_and_stays_invariant() {
+        let config = small();
+        let plan = FaultPlan {
+            faults: vec![
+                FaultSpec::CrashFraction {
+                    at_secs: 50.0,
+                    fraction: 0.5,
+                },
+                FaultSpec::CrashCluster {
+                    at_secs: 120.0,
+                    cluster_index: 3,
+                },
+            ],
+            ..Default::default()
+        };
+        let (base, _) = run_at(&config, 1, &plan);
+        assert!(base.crashes_injected > 0);
+        assert!(base.elections_held > 0, "no elections ran");
+        assert!(base.reindex_received > 0, "no re-index announcements");
+        for shards in [2, 4, 8] {
+            let (m, _) = run_at(&config, shards, &plan);
+            assert_eq!(base, m, "crash-storm metrics diverged at {shards} shards");
+        }
+    }
+
+    #[test]
+    fn windowed_faults_stay_invariant_and_count() {
+        let config = small();
+        let plan = FaultPlan {
+            faults: vec![
+                FaultSpec::MessageLoss {
+                    from_secs: 20.0,
+                    until_secs: 200.0,
+                    drop_prob: 0.3,
+                },
+                FaultSpec::MessageDelay {
+                    from_secs: 50.0,
+                    until_secs: 300.0,
+                    delay_prob: 0.4,
+                    delay_secs: 2.0,
+                },
+                FaultSpec::Partition {
+                    from_secs: 80.0,
+                    until_secs: 160.0,
+                    clusters: vec![0, 5, 11],
+                },
+            ],
+            ..Default::default()
+        };
+        let (base, _) = run_at(&config, 1, &plan);
+        assert!(base.msgs_dropped_loss > 0);
+        assert!(base.msgs_delayed > 0);
+        assert!(base.msgs_dropped_partition > 0 || base.queries_failed > 0);
+        for shards in [2, 4, 8] {
+            let (m, _) = run_at(&config, shards, &plan);
+            assert_eq!(
+                base, m,
+                "windowed-fault metrics diverged at {shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn flaky_partners_count_under_redundancy() {
+        let config = small().with_redundancy(true);
+        let plan = FaultPlan {
+            faults: vec![FaultSpec::FlakyPartners {
+                from_secs: 0.0,
+                until_secs: 400.0,
+                flake_prob: 0.5,
+            }],
+            ..Default::default()
+        };
+        let (base, _) = run_at(&config, 1, &plan);
+        assert!(base.submissions_flaked > 0, "flake window never drew");
+        let (two, _) = run_at(&config, 2, &plan);
+        assert_eq!(base, two);
+    }
+
+    #[test]
+    fn lone_super_peer_crash_kills_cluster() {
+        // cluster_size 1, k 1: the crash leaves nobody to elect, so the
+        // cluster dies and floods to it are dropped as dead.
+        let config = Config {
+            graph_size: 20,
+            cluster_size: 1,
+            ttl: 2,
+            ..Config::default()
+        };
+        let plan = FaultPlan {
+            faults: vec![FaultSpec::CrashFraction {
+                at_secs: 10.0,
+                fraction: 1.0,
+            }],
+            ..Default::default()
+        };
+        let (m, _) = run_at(&config, 1, &plan);
+        assert_eq!(m.clusters_dead, 20);
+        assert_eq!(m.elections_held, 0);
+        assert!(m.queries_failed > 0);
+    }
+
+    #[test]
+    fn shard_count_clamps_to_cluster_count() {
+        let config = Config {
+            graph_size: 30,
+            cluster_size: 10,
+            ttl: 2,
+            ..Config::default()
+        };
+        let (base, _) = run_at(&config, 1, &FaultPlan::default());
+        let (wide, diag) = run_at(&config, 64, &FaultPlan::default());
+        assert_eq!(base, wide);
+        assert_eq!(diag.shards, 3);
+    }
+
+    #[test]
+    fn merge_and_json_are_consistent() {
+        let (m, _) = run_at(&small(), 2, &FaultPlan::default());
+        let mut folded = ScaleMetrics::default();
+        folded.merge(&m);
+        folded.merge(&m);
+        assert_eq!(folded.msgs_delivered, 2 * m.msgs_delivered);
+        assert_eq!(folded.results_found, 2 * m.results_found);
+        let json = m.to_json();
+        assert!(json.contains("\"events_processed\""));
+        assert!(json.contains("\"hop_hist\": ["));
+        assert!(json.contains(&format!("\"msgs_delivered\": {}", m.msgs_delivered)));
+        assert!(m.events_processed() > m.queries_issued);
+    }
+
+    #[test]
+    fn reruns_are_identical_and_seeds_differ() {
+        let config = small();
+        let mut sim = ShardedSimulation::new(
+            &config,
+            ScaleOptions {
+                duration_secs: 200.0,
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        let first = sim.run();
+        let second = sim.run();
+        assert_eq!(first, second, "rerun diverged");
+        let other = ShardedSimulation::new(
+            &config,
+            ScaleOptions {
+                duration_secs: 200.0,
+                seed: 2,
+                ..Default::default()
+            },
+        )
+        .run();
+        assert_ne!(first, other, "seed had no effect");
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster_size <= 64")]
+    fn oversized_clusters_are_rejected() {
+        let config = Config {
+            graph_size: 1000,
+            cluster_size: 100,
+            ..Config::default()
+        };
+        let _ = ShardedSimulation::new(&config, ScaleOptions::default());
+    }
+}

@@ -319,4 +319,40 @@ proptest! {
             &plan
         );
     }
+
+    /// The sharded scale engine under any generated fault plan: metrics
+    /// reduce bitwise identically at 1, 2, and 8 shards — the tentpole
+    /// layout-invariance contract, fuzzed over crash storms whose
+    /// elections announce re-indexing across shard boundaries.
+    #[test]
+    fn scale_engine_shard_invariant_under_any_fault_plan(
+        plan in arb_plan(200.0),
+        redundancy in prop::bool::ANY,
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+    ) {
+        use sp_model::config::Config;
+        use sp_sim::shard::{ScaleOptions, ShardedSimulation};
+        let cfg = Config::scale_preset(1_000).with_redundancy(redundancy);
+        let opts = ScaleOptions {
+            duration_secs: 200.0,
+            seed,
+            fault_seed,
+            shards: 1,
+        };
+        let base = ShardedSimulation::with_faults(&cfg, opts, &plan).run();
+        prop_assert!(base.queries_issued + base.queries_failed > 0);
+        for shards in [2usize, 8] {
+            let sharded = ShardedSimulation::with_faults(
+                &cfg,
+                ScaleOptions { shards, ..opts },
+                &plan,
+            )
+            .run();
+            prop_assert_eq!(
+                &base, &sharded,
+                "scale metrics diverged at {} shards under plan {:?}", shards, &plan
+            );
+        }
+    }
 }

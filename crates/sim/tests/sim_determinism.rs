@@ -18,6 +18,7 @@ use sp_sim::reference::ReferenceSimulation;
 use sp_sim::scenario::{
     crash_storm_plan, crash_storm_trials, reliability_trials, steady_trials, SimTrialOptions,
 };
+use sp_sim::shard::{ScaleOptions, ShardedSimulation};
 
 fn assert_engines_agree(label: &str, config: &Config, opts: SimOptions) {
     assert_engines_agree_with_faults(label, config, opts, &FaultPlan::default());
@@ -308,6 +309,113 @@ fn crash_storm_trials_are_bitwise_identical_across_thread_counts() {
             );
         }
     }
+}
+
+/// Runs the scale engine at every shard count in `shards` and asserts
+/// the metrics are bitwise identical to the 1-shard run.
+fn assert_scale_invariant(label: &str, config: &Config, plan: &FaultPlan, opts: ScaleOptions) {
+    let base =
+        ShardedSimulation::with_faults(config, ScaleOptions { shards: 1, ..opts }, plan).run();
+    for shards in [2, 4, 8] {
+        let sharded =
+            ShardedSimulation::with_faults(config, ScaleOptions { shards, ..opts }, plan).run();
+        assert_eq!(
+            base, sharded,
+            "scale metrics diverged on {label} at {shards} shards (seed {})",
+            opts.seed
+        );
+    }
+}
+
+#[test]
+fn scale_engine_is_bitwise_identical_across_shard_counts() {
+    // The tentpole contract: ScaleMetrics at shards ∈ {1, 2, 4, 8}
+    // are bitwise identical, steady state and under fault plans.
+    let config = Config::scale_preset(2_000);
+    for seed in [1, 42] {
+        assert_scale_invariant(
+            "steady scale run",
+            &config,
+            &FaultPlan::default(),
+            ScaleOptions {
+                duration_secs: 400.0,
+                seed,
+                ..Default::default()
+            },
+        );
+    }
+}
+
+#[test]
+fn scale_engine_repair_is_bitwise_identical_across_shard_counts() {
+    // Shard-boundary repair: a crash storm kills super-peers whose
+    // overlay neighbors live on other shards; elections and the
+    // cross-shard re-index announcements they trigger must reduce
+    // identically at 1, 2, 4, and 8 shards.
+    for redundancy in [false, true] {
+        let config = Config::scale_preset(2_000).with_redundancy(redundancy);
+        let plan = crash_storm_plan(600.0);
+        for fault_seed in [0, 99] {
+            let opts = ScaleOptions {
+                duration_secs: 600.0,
+                seed: 7,
+                fault_seed,
+                ..Default::default()
+            };
+            let probe = ShardedSimulation::with_faults(&config, opts, &plan).run();
+            assert!(
+                probe.elections_held > 0,
+                "crash storm must trigger elections (k={})",
+                config.redundancy_k
+            );
+            assert!(
+                probe.reindex_received > 0,
+                "elections must announce re-indexing across the overlay"
+            );
+            assert_scale_invariant("crash-storm scale run", &config, &plan, opts);
+        }
+    }
+}
+
+#[test]
+fn scale_engine_windowed_faults_are_bitwise_identical_across_shard_counts() {
+    let config = Config::scale_preset(2_000);
+    let windowed = FaultPlan {
+        faults: vec![
+            FaultSpec::MessageLoss {
+                from_secs: 50.0,
+                until_secs: 300.0,
+                drop_prob: 0.25,
+            },
+            FaultSpec::MessageDelay {
+                from_secs: 30.0,
+                until_secs: 350.0,
+                delay_prob: 0.3,
+                delay_secs: 2.0,
+            },
+            FaultSpec::Partition {
+                from_secs: 100.0,
+                until_secs: 250.0,
+                clusters: vec![0, 3, 5, 77],
+            },
+            FaultSpec::CrashFraction {
+                at_secs: 150.0,
+                fraction: 0.2,
+            },
+        ],
+        ..Default::default()
+    };
+    assert_scale_invariant(
+        "loss/delay/partition/crash scale run",
+        &config,
+        &windowed,
+        ScaleOptions {
+            duration_secs: 400.0,
+            seed: 11,
+            fault_seed: 3,
+            ..Default::default()
+        },
+    );
 }
 
 #[test]
