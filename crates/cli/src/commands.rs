@@ -6,8 +6,10 @@ use sp_core::experiments::{cluster_sweep, epl_table, Fidelity};
 use sp_core::model::config::{Config, GraphType};
 use sp_core::model::faults::FaultPlan;
 use sp_core::model::repair::RepairPolicy;
+use sp_core::model::scenario::ScenarioPlan;
 use sp_core::model::trials::{resolve_thread_budget, TrialOptions};
 use sp_core::report::{ci, sci, Table};
+use sp_core::sim::campaign::{run_campaign, CampaignOptions};
 use sp_core::sim::engine::{SimOptions, Simulation};
 use sp_core::sim::scenario::{
     crash_storm, crash_storm_trials, reliability, steady_trials, SimReport, SimTrialOptions,
@@ -17,6 +19,7 @@ use sp_core::{Load, NetworkBuilder};
 
 use crate::args::{ArgError, Args};
 use crate::error::CliError;
+use crate::usage::{self, CommandUsage, THREADS_OPTION};
 
 /// Parses a positive worker count — the shared validation for
 /// `--threads`, `--shards`, and `SP_THREADS`. An explicit `0` is
@@ -118,25 +121,198 @@ fn config_from(args: &Args) -> Result<Config, ArgError> {
     Ok(cfg)
 }
 
-const TOPOLOGY_OPTS: &[&str] = &[
-    "users",
-    "cluster",
-    "outdegree",
-    "ttl",
-    "query-rate",
-    "redundancy",
-    "k",
-    "strong",
-    "graph",
-];
+/// Usage tables for every subcommand. All help and usage-error text
+/// renders through `crate::usage`'s one formatter; these tables are
+/// also the commands' known-option sets, so help and validation cannot
+/// drift apart.
+static EVALUATE_USAGE: CommandUsage = CommandUsage {
+    name: "evaluate",
+    summary: "mean-value load analysis of one configuration",
+    options: &[
+        ("--trials N", "independent graph samples (default 5)"),
+        ("--seed N", "base RNG seed (default 42)"),
+        (
+            "--sources N",
+            "query sources sampled per trial (default: all)",
+        ),
+        THREADS_OPTION,
+    ],
+    topology: true,
+    examples: &["spnet evaluate --users 10000 --cluster 10 --redundancy"],
+};
 
-fn with_common<'a>(extra: &'a [&'a str]) -> Vec<&'a str> {
-    TOPOLOGY_OPTS.iter().chain(extra.iter()).copied().collect()
-}
+static DESIGN_USAGE: CommandUsage = CommandUsage {
+    name: "design",
+    summary: "run the global design procedure under load constraints",
+    options: &[
+        ("--reach N", "desired reach, peers (default users/4)"),
+        (
+            "--max-up B",
+            "max super-peer outgoing bw, bps (default 100000)",
+        ),
+        (
+            "--max-down B",
+            "max super-peer incoming bw, bps (default 100000)",
+        ),
+        (
+            "--max-proc H",
+            "max super-peer processing, Hz (default 10e6)",
+        ),
+        ("--max-conns N", "max super-peer connections (default 100)"),
+        ("--allow-redundancy", "let the procedure pick k-redundancy"),
+        ("--seed N", "evaluation RNG seed (default 42)"),
+    ],
+    topology: true,
+    examples: &["spnet design --users 20000 --reach 3000 --max-up 100000 --max-conns 100"],
+};
+
+static SIMULATE_USAGE: CommandUsage = CommandUsage {
+    name: "simulate",
+    summary: "event-driven simulation (steady state, reliability, faults, scenarios)",
+    options: &[
+        ("--duration S", "simulated seconds (default 3600)"),
+        ("--seed N", "run RNG seed (default 42)"),
+        ("--lifespan S", "mean peer lifespan, seconds"),
+        (
+            "--trials N",
+            "independent trials; N > 1 reports mean ± 95% CI, sharded\nover --threads workers with bitwise-identical results at\nany thread count",
+        ),
+        THREADS_OPTION,
+        (
+            "--metrics-json P",
+            "write the engine run manifest (event counts, queue high\nwater, per-event wall histograms) to P",
+        ),
+        ("--reliability", "k=1 vs k=2 availability comparison"),
+        (
+            "--faults PLAN",
+            "inject the FaultPlan JSON at PLAN (crashes, message\nloss/delay, partitions, flaky partners) into a single run",
+        ),
+        (
+            "--fault-seed N",
+            "reseed only the fault RNG stream (default: --seed); never\nperturbs the churn/query schedule",
+        ),
+        (
+            "--scenario PLAN",
+            "drive a single run from the ScenarioPlan JSON at PLAN\n(phased churn bursts, mass leaves, splits, flash crowds,\ncapacity classes, embedded faults + repair policy)",
+        ),
+        (
+            "--scenario-seed N",
+            "reseed only the scenario RNG stream (default: --seed)",
+        ),
+        (
+            "--crash-storm",
+            "canonical crash-storm plan against k=1 vs k=2\n(with --trials N: mean ± 95% CI over N storms)",
+        ),
+        (
+            "--repair P",
+            "self-healing policy for injected crashes:\noff | promote | promote+partner (default off)",
+        ),
+        (
+            "--scale",
+            "shared-nothing sharded scale engine (million-peer\noverlays; TTL defaults to 3; supports --faults)",
+        ),
+        (
+            "--shards N",
+            "reactor count for --scale (default one per core); metrics\nare bitwise identical at any shard count",
+        ),
+    ],
+    topology: true,
+    examples: &[
+        "spnet simulate --users 1000 --lifespan 600 --reliability",
+        "spnet simulate --users 1000 --trials 8 --threads 4",
+        "spnet simulate --users 1000 --faults plan.json --metrics-json run.json",
+        "spnet simulate --users 1000 --scenario scenario.json --seed 7",
+        "spnet simulate --users 1000000 --scale --shards 8 --duration 300",
+    ],
+};
+
+static CAMPAIGN_USAGE: CommandUsage = CommandUsage {
+    name: "campaign",
+    summary: "differential scenario fuzz campaign (the standing CI gate)\nGenerates seeded ScenarioPlans and runs each through both the fast\nand the reference engine under a bitwise oracle; any divergence\nwrites a self-contained reproducer JSON and exits 1.",
+    options: &[
+        ("--count N", "scenarios to generate and run (default 32)"),
+        (
+            "--seed N",
+            "campaign seed; every scenario derives its plan and RNG\nstreams from it (default 42)",
+        ),
+        THREADS_OPTION,
+        ("--users N", "peers per scenario overlay (default 120)"),
+        ("--cluster N", "peers per cluster (default 12)"),
+        ("--duration S", "simulated seconds per scenario (default 1200)"),
+        ("--report P", "write the machine-readable campaign report to P"),
+        (
+            "--repro-dir D",
+            "directory for divergence reproducer JSONs\n(default campaign_repros; created on demand)",
+        ),
+    ],
+    topology: false,
+    examples: &[
+        "spnet campaign --count 32 --seed 42",
+        "spnet campaign --count 500 --seed 7 --threads 8 --report campaign.json",
+    ],
+};
+
+static SWEEP_USAGE: CommandUsage = CommandUsage {
+    name: "sweep",
+    summary: "cluster-size sweep of one system",
+    options: &[
+        (
+            "--clusters LIST",
+            "cluster sizes, comma-separated (default 1,10,100,1000)",
+        ),
+        ("--trials N", "graph samples per cell (default 3)"),
+        ("--seed N", "base RNG seed (default 42)"),
+        (
+            "--sources N",
+            "query sources sampled per trial (default 800)",
+        ),
+        THREADS_OPTION,
+    ],
+    topology: true,
+    examples: &["spnet sweep --users 5000 --strong --ttl 1 --clusters 1,10,100,1000"],
+};
+
+static EPL_USAGE: CommandUsage = CommandUsage {
+    name: "epl",
+    summary: "expected-path-length lookup table (Figure 9)",
+    options: &[
+        (
+            "--outdegrees LIST",
+            "outdegrees, comma-separated (default 3.1,10,20,40)",
+        ),
+        (
+            "--reaches LIST",
+            "reach targets, comma-separated (default 50,200,500)",
+        ),
+        ("--nodes N", "graph size per sample (default 1000)"),
+        ("--samples N", "graph samples per cell (default 40)"),
+        ("--seed N", "base RNG seed (default 42)"),
+    ],
+    topology: false,
+    examples: &["spnet epl --outdegrees 3.1,10,20 --reaches 100,500"],
+};
+
+static LINT_USAGE: CommandUsage = CommandUsage {
+    name: "lint",
+    summary: "sp-lint determinism-and-safety static analysis (CI gate)",
+    options: &[
+        ("--root DIR", "workspace root to scan (default .)"),
+        (
+            "--config FILE",
+            "lint policy file (default <root>/lint.toml)",
+        ),
+        ("--json P", "also write machine-readable findings to P"),
+        ("--warnings", "list warn-level findings (always counted)"),
+    ],
+    topology: false,
+    examples: &["spnet lint --json lint_report.json --warnings"],
+};
 
 /// `spnet evaluate` — mean-value analysis of one configuration.
 pub fn evaluate(args: &Args) -> Result<String, CliError> {
-    args.ensure_known(&with_common(&["trials", "seed", "sources", "threads"]))?;
+    if let Some(text) = EVALUATE_USAGE.gate(args)? {
+        return Ok(text);
+    }
     let cfg = config_from(args)?;
     let trials = args.get_or("trials", 5usize)?;
     let seed = args.get_or("seed", 42u64)?;
@@ -173,15 +349,9 @@ pub fn evaluate(args: &Args) -> Result<String, CliError> {
 
 /// `spnet design` — the Figure 10 global design procedure.
 pub fn design_cmd(args: &Args) -> Result<String, CliError> {
-    args.ensure_known(&with_common(&[
-        "reach",
-        "max-up",
-        "max-down",
-        "max-proc",
-        "max-conns",
-        "allow-redundancy",
-        "seed",
-    ]))?;
+    if let Some(text) = DESIGN_USAGE.gate(args)? {
+        return Ok(text);
+    }
     let users = args.get_or("users", 10_000usize)?;
     let goals = DesignGoals {
         num_users: users,
@@ -244,21 +414,9 @@ pub fn design_cmd(args: &Args) -> Result<String, CliError> {
 /// policy applied to fault-injected super-peer crashes (Section 5.3
 /// election + optional k-redundancy partner recruitment).
 pub fn simulate(args: &Args) -> Result<String, CliError> {
-    args.ensure_known(&with_common(&[
-        "duration",
-        "seed",
-        "lifespan",
-        "reliability",
-        "trials",
-        "threads",
-        "metrics-json",
-        "faults",
-        "fault-seed",
-        "crash-storm",
-        "repair",
-        "scale",
-        "shards",
-    ]))?;
+    if let Some(text) = SIMULATE_USAGE.gate(args)? {
+        return Ok(text);
+    }
     let mut cfg = config_from(args)?;
     if let Some(lifespan) = args.get("lifespan") {
         cfg.population.lifespan_mean_secs = lifespan
@@ -288,6 +446,54 @@ pub fn simulate(args: &Args) -> Result<String, CliError> {
                 .map_err(|e| CliError::Runtime(format!("--faults: {path}: {e}")))?
         }
     };
+    // A scenario file is self-contained (phases, capacity classes,
+    // embedded fault plan, repair policy), so everything that would
+    // override part of it is an explicit conflict. An unreadable file
+    // is a runtime failure; an invalid plan is the caller's fault
+    // (exit 2), matching the workspace exit-code convention.
+    let scenario = match args.get("scenario") {
+        None => None,
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::Runtime(format!("--scenario: cannot read {path:?}: {e}")))?;
+            Some(
+                ScenarioPlan::from_json(&text)
+                    .map_err(|e| CliError::Usage(format!("--scenario: {path}: {e}")))?,
+            )
+        }
+    };
+    if scenario.is_some() {
+        if !plan.is_empty() {
+            return Err(CliError::Usage(
+                "--scenario embeds its own fault plan; drop --faults".into(),
+            ));
+        }
+        if args.get("repair").is_some() {
+            return Err(CliError::Usage(
+                "--scenario sets the repair policy; drop --repair".into(),
+            ));
+        }
+        if args.flag("crash-storm") || args.flag("reliability") || args.flag("scale") {
+            return Err(CliError::Usage(
+                "--scenario drives a single run; it cannot be combined with \
+                 --crash-storm, --reliability, or --scale"
+                    .into(),
+            ));
+        }
+        if trials > 1 {
+            return Err(CliError::Usage(
+                "--scenario describes a single run; use --trials 1 \
+                 (or `spnet campaign` for seeded scenario fleets)"
+                    .into(),
+            ));
+        }
+    }
+    if args.get("scenario-seed").is_some() && scenario.is_none() {
+        return Err(CliError::Usage(
+            "--scenario-seed only reseeds a --scenario run; add --scenario PLAN".into(),
+        ));
+    }
+    let scenario_seed = args.get_or("scenario-seed", seed)?;
     if args.flag("scale") {
         return simulate_scale(
             args,
@@ -475,19 +681,21 @@ pub fn simulate(args: &Args) -> Result<String, CliError> {
     // Single run: drive the engine directly so the run manifest (event
     // counts, queue high water, wall histograms, fault counters) can be
     // captured alongside the standard report. An empty plan is bitwise
-    // inert, so the unfaulted path is unchanged.
-    let mut sim = Simulation::with_faults(
-        &cfg,
-        SimOptions {
-            duration_secs: duration,
-            seed,
-            fault_seed,
-            profile: metrics_json.is_some(),
-            repair,
-            ..Default::default()
-        },
-        &plan,
-    );
+    // inert, so the unfaulted path is unchanged. A scenario run takes
+    // its fault plan and repair policy from the scenario file.
+    let opts = SimOptions {
+        duration_secs: duration,
+        seed,
+        fault_seed,
+        scenario_seed,
+        profile: metrics_json.is_some(),
+        repair,
+        ..Default::default()
+    };
+    let mut sim = match &scenario {
+        Some(sc) => Simulation::with_scenario(&cfg, opts, sc),
+        None => Simulation::with_faults(&cfg, opts, &plan),
+    };
     let start = std::time::Instant::now();
     let raw = sim.run();
     if let Some(path) = metrics_json {
@@ -515,7 +723,15 @@ pub fn simulate(args: &Args) -> Result<String, CliError> {
         "cluster failures".into(),
         r.cluster_failures.to_string(),
     ]);
-    if !plan.is_empty() {
+    if let Some(sc) = &scenario {
+        t.row(vec![
+            "scenario phases / classes".into(),
+            format!("{} / {}", sc.phases.len(), sc.capacity_classes.len()),
+        ]);
+    }
+    let effective_repair = scenario.as_ref().map_or(repair, |sc| sc.repair);
+    let faulted = !plan.is_empty() || scenario.as_ref().is_some_and(|sc| !sc.is_empty());
+    if faulted {
         t.row(vec!["queries issued".into(), fm.queries_issued.to_string()]);
         t.row(vec!["queries lost".into(), fm.queries_lost.to_string()]);
         t.row(vec![
@@ -545,7 +761,7 @@ pub fn simulate(args: &Args) -> Result<String, CliError> {
             "mean reconnect (s)".into(),
             format!("{:.1}", fm.reconnect.mean_secs()),
         ]);
-        if repair.promotes() {
+        if effective_repair.promotes() {
             t.row(vec!["repair promotions".into(), rm.promotions.to_string()]);
             t.row(vec![
                 "partner recruitments".into(),
@@ -669,9 +885,9 @@ fn simulate_scale(
 
 /// `spnet sweep` — cluster-size sweep of one system.
 pub fn sweep(args: &Args) -> Result<String, CliError> {
-    args.ensure_known(&with_common(&[
-        "clusters", "trials", "seed", "sources", "threads",
-    ]))?;
+    if let Some(text) = SWEEP_USAGE.gate(args)? {
+        return Ok(text);
+    }
     let cfg = config_from(args)?;
     let sizes = args.get_list_or("clusters", &[1usize, 10, 100, 1000])?;
     let fid = Fidelity {
@@ -712,7 +928,9 @@ pub fn sweep(args: &Args) -> Result<String, CliError> {
 
 /// `spnet epl` — the Figure 9 lookup table.
 pub fn epl(args: &Args) -> Result<String, CliError> {
-    args.ensure_known(&["outdegrees", "reaches", "nodes", "samples", "seed"])?;
+    if let Some(text) = EPL_USAGE.gate(args)? {
+        return Ok(text);
+    }
     let outdegrees = args.get_list_or("outdegrees", &[3.1f64, 10.0, 20.0, 40.0])?;
     let reaches = args.get_list_or("reaches", &[50usize, 200, 500])?;
     let nodes = args.get_or("nodes", 1000usize)?;
@@ -735,7 +953,9 @@ pub fn epl(args: &Args) -> Result<String, CliError> {
 /// unknown options, a malformed `lint.toml` — are usage errors
 /// (exit 2), matching the workspace exit-code convention.
 pub fn lint(args: &Args) -> Result<String, CliError> {
-    args.ensure_known(&["root", "config", "json", "warnings"])?;
+    if let Some(text) = LINT_USAGE.gate(args)? {
+        return Ok(text);
+    }
     let root = std::path::PathBuf::from(args.get("root").unwrap_or("."));
     let cfg = match args.get("config") {
         Some(path) => {
@@ -765,70 +985,114 @@ pub fn lint(args: &Args) -> Result<String, CliError> {
     Ok(human.trim_end().to_string())
 }
 
-/// Top-level help text.
+/// `spnet campaign` — the differential scenario campaign: `--count`
+/// seeded [`ScenarioPlan`]s generated from `--seed`, each run through
+/// both the fast and the reference engine with a bitwise oracle
+/// (metrics equality, query conservation, bounded availability).
+///
+/// A green campaign prints a coverage table plus a flat summary line
+/// whose fingerprint is thread-count-invariant (CI pins it). Any
+/// divergence writes a self-contained reproducer JSON per failing
+/// scenario into `--repro-dir` and exits 1 — the invocation was fine,
+/// the engines are not.
+pub fn campaign(args: &Args) -> Result<String, CliError> {
+    if let Some(text) = CAMPAIGN_USAGE.gate(args)? {
+        return Ok(text);
+    }
+    let opts = CampaignOptions {
+        count: args.get_or("count", 32usize)?,
+        seed: args.get_or("seed", 42u64)?,
+        threads: threads_from(args)?,
+        users: args.get_or("users", 120usize)?,
+        cluster_size: args.get_or("cluster", 12usize)?,
+        duration_secs: args.get_or("duration", 1200.0f64)?,
+    };
+    if opts.count == 0 {
+        return Err(CliError::Usage(
+            "--count: need at least one scenario".into(),
+        ));
+    }
+    if opts.duration_secs <= 0.0 || !opts.duration_secs.is_finite() {
+        return Err(CliError::Usage(
+            "--duration: must be a positive number of seconds".into(),
+        ));
+    }
+    let report = run_campaign(&opts);
+    if let Some(path) = args.get("report") {
+        std::fs::write(path, report.to_json())
+            .map_err(|e| CliError::Runtime(format!("--report: cannot write {path:?}: {e}")))?;
+    }
+    let coverage = |pairs: &[(&'static str, u64)]| -> String {
+        if pairs.is_empty() {
+            return "none".into();
+        }
+        pairs
+            .iter()
+            .map(|(k, n)| format!("{k} {n}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let mut t = Table::new(vec!["Metric", "Value"]);
+    t.row(vec!["scenarios".into(), report.scenarios.to_string()]);
+    t.row(vec![
+        "phases covered".into(),
+        coverage(&report.phases_covered),
+    ]);
+    t.row(vec![
+        "faults covered".into(),
+        coverage(&report.faults_covered),
+    ]);
+    t.row(vec![
+        "repair covered".into(),
+        coverage(&report.repair_covered),
+    ]);
+    t.row(vec![
+        "fingerprint".into(),
+        format!("{:#018x}", report.fingerprint),
+    ]);
+    t.row(vec![
+        "divergences".into(),
+        report.divergences.len().to_string(),
+    ]);
+    if !report.divergences.is_empty() {
+        let dir = args.get("repro-dir").unwrap_or("campaign_repros");
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CliError::Runtime(format!("--repro-dir: cannot create {dir:?}: {e}")))?;
+        for d in &report.divergences {
+            let path = std::path::Path::new(dir).join(format!("repro_{}.json", d.index));
+            std::fs::write(&path, d.reproducer_json(&opts))
+                .map_err(|e| CliError::Runtime(format!("cannot write reproducer {path:?}: {e}")))?;
+        }
+        // Findings go to stdout (like `spnet lint`); the error path
+        // stays a single `error: …` line per the workspace policy.
+        let mut findings = format!("{}\n{}\n", t.render(), report.summary_line());
+        for d in &report.divergences {
+            findings.push_str(&format!(
+                "divergence: scenario {} (trial seed {}): {}\n",
+                d.index, d.trial_seed, d.reason
+            ));
+        }
+        print!("{findings}");
+        return Err(CliError::Runtime(format!(
+            "campaign: {} divergence(s); reproducers in {dir}/",
+            report.divergences.len()
+        )));
+    }
+    Ok(format!("{}\n{}", t.render(), report.summary_line()))
+}
+
+/// Top-level help text, rendered from the same per-command usage
+/// tables as `spnet <command> --help`.
 pub fn help() -> String {
-    "spnet — design and evaluate super-peer networks\n\
-     (Yang & Garcia-Molina, 'Designing a Super-Peer Network', ICDE 2003)\n\n\
-     USAGE: spnet <command> [options]\n\n\
-     COMMANDS:\n\
-       evaluate   mean-value load analysis of one configuration\n\
-       design     run the global design procedure under load constraints\n\
-       simulate   event-driven simulation (add --reliability for the k=1 vs k=2 comparison)\n\
-       sweep      cluster-size sweep of one system\n\
-       epl        expected-path-length lookup table (Figure 9)\n\
-       lint       sp-lint determinism-and-safety static analysis (CI gate)\n\
-       help       this text\n\n\
-     TOPOLOGY OPTIONS (evaluate/design/simulate/sweep):\n\
-       --users N          total peers            (default 10000)\n\
-       --cluster N        peers per cluster      (default 10)\n\
-       --outdegree D      mean overlay degree    (default 3.1)\n\
-       --ttl T            query TTL              (default 7)\n\
-       --redundancy       2-redundant super-peers\n\
-       --k K              arbitrary redundancy factor\n\
-       --strong           strongly connected overlay\n\
-       --graph FAMILY     power-law | strong | erdos-renyi | regular\n\
-       --query-rate R     queries per user per second (default 9.26e-3)\n\
-       --threads N        worker-thread budget for evaluate/sweep/simulate\n\
-                          (default: SP_THREADS env or one per core; must be\n\
-                          >= 1 when given; never changes the reported numbers)\n\n\
-     SIMULATE OPTIONS:\n\
-       --duration S       simulated seconds          (default 3600)\n\
-       --trials N         independent trials; N > 1 reports mean ± 95% CI,\n\
-                          sharded over --threads workers with bitwise-\n\
-                          identical results at any thread count\n\
-       --metrics-json P   write the engine run manifest (event counts,\n\
-                          queue high water, per-event wall histograms) to P\n\
-       --lifespan S       mean peer lifespan, seconds\n\
-       --reliability      k=1 vs k=2 availability comparison\n\
-       --faults PLAN      inject the FaultPlan JSON at PLAN (crashes,\n\
-                          message loss/delay, partitions, flaky partners)\n\
-                          into a single run; adds recovery rows\n\
-       --fault-seed N     reseed only the fault RNG stream (default: --seed);\n\
-                          never perturbs the churn/query schedule\n\
-       --crash-storm      canonical crash-storm plan against k=1 vs k=2\n\
-                          (with --trials N: mean ± 95% CI over N storms)\n\
-       --scale            shared-nothing sharded scale engine (million-peer\n\
-                          overlays; TTL defaults to 3; supports --faults)\n\
-       --shards N         reactor count for --scale (default one per core);\n\
-                          metrics are bitwise identical at any shard count\n\n\
-     EXAMPLES:\n\
-       spnet evaluate --users 10000 --cluster 10 --redundancy\n\
-       spnet design --users 20000 --reach 3000 --max-up 100000 --max-conns 100\n\
-       spnet simulate --users 1000 --lifespan 600 --reliability\n\
-       spnet simulate --users 1000 --trials 8 --threads 4\n\
-       spnet simulate --users 1000 --metrics-json run_manifest.json\n\
-       spnet simulate --users 1000 --lifespan 600 --crash-storm --duration 2400\n\
-       spnet simulate --users 1000 --faults plan.json --metrics-json run.json\n\
-       spnet simulate --users 1000000 --scale --shards 8 --duration 300\n\
-       spnet sweep --users 5000 --strong --ttl 1 --clusters 1,10,100,1000\n\
-       spnet epl --outdegrees 3.1,10,20 --reaches 100,500\n\
-       spnet lint --json lint_report.json --warnings\n\n\
-     LINT OPTIONS:\n\
-       --root DIR         workspace root to scan          (default .)\n\
-       --config FILE      lint policy file                (default <root>/lint.toml)\n\
-       --json P           also write machine-readable findings to P\n\
-       --warnings         list warn-level findings (always counted)\n"
-        .to_string()
+    usage::global_help(&[
+        &EVALUATE_USAGE,
+        &DESIGN_USAGE,
+        &SIMULATE_USAGE,
+        &CAMPAIGN_USAGE,
+        &SWEEP_USAGE,
+        &EPL_USAGE,
+        &LINT_USAGE,
+    ])
 }
 
 #[cfg(test)]
@@ -1339,9 +1603,207 @@ mod tests {
     #[test]
     fn help_mentions_every_command() {
         let h = help();
-        for cmd in ["evaluate", "design", "simulate", "sweep", "epl", "lint"] {
+        for cmd in [
+            "evaluate", "design", "simulate", "campaign", "sweep", "epl", "lint",
+        ] {
             assert!(h.contains(cmd), "help missing {cmd}");
         }
+        assert!(h.contains("Exit codes"));
+    }
+
+    #[test]
+    fn every_command_answers_help_through_the_one_formatter() {
+        // `--help` short-circuits before any work (and before topology
+        // validation), and every command's text comes from the same
+        // renderer: same USAGE header shape, same pointer convention.
+        let helped = args(&["--help"]);
+        for (name, cmd) in [
+            (
+                "evaluate",
+                evaluate as fn(&Args) -> Result<String, CliError>,
+            ),
+            ("design", design_cmd),
+            ("simulate", simulate),
+            ("campaign", campaign),
+            ("sweep", sweep),
+            ("epl", epl),
+            ("lint", lint),
+        ] {
+            let text = cmd(&helped).unwrap();
+            assert!(
+                text.starts_with(&format!("USAGE: spnet {name}")),
+                "{name} help not rendered by the shared formatter:\n{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_options_point_at_the_command_help() {
+        let err = simulate(&args(&["--bogus-flag", "1"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("spnet simulate --help"));
+        let err = campaign(&args(&["--scenarios", "5"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("spnet campaign --help"));
+    }
+
+    #[test]
+    fn campaign_small_run_is_green_and_thread_invariant() {
+        let base = &[
+            "--count",
+            "3",
+            "--seed",
+            "7",
+            "--users",
+            "60",
+            "--cluster",
+            "10",
+            "--duration",
+            "400",
+        ];
+        let one = campaign(&args(&[base as &[_], &["--threads", "1"]].concat())).unwrap();
+        let four = campaign(&args(&[base as &[_], &["--threads", "4"]].concat())).unwrap();
+        assert!(one.contains("fingerprint"));
+        assert!(one.contains("divergences"));
+        assert!(one.contains("campaign: 3 scenarios, seed 7"));
+        assert_eq!(one, four, "campaign output diverged across thread counts");
+    }
+
+    #[test]
+    fn campaign_writes_the_report_file() {
+        let path = std::env::temp_dir().join("spnet_cli_campaign_report_test.json");
+        let out = campaign(&args(&[
+            "--count",
+            "2",
+            "--seed",
+            "11",
+            "--users",
+            "60",
+            "--cluster",
+            "10",
+            "--duration",
+            "300",
+            "--report",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("phases covered"));
+        let json = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(json.contains("\"scenarios\": 2"));
+        assert!(json.contains("\"fingerprint\""));
+        assert!(json.contains("\"divergences\""));
+    }
+
+    #[test]
+    fn campaign_rejects_bad_counts_and_durations() {
+        let err = campaign(&args(&["--count", "0"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("--count"));
+        let err = campaign(&args(&["--count", "1", "--duration", "-5"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("--duration"));
+    }
+
+    #[test]
+    fn simulate_scenario_runs_and_reports_phase_rows() {
+        let plan = ScenarioPlan::from_json(
+            r#"{
+              "phases": [
+                {"kind": "flash_crowd", "from_secs": 100.0, "until_secs": 250.0,
+                 "query_rate_mult": 3.0, "hot_shift": 5},
+                {"kind": "mass_leave", "from_secs": 300.0, "until_secs": 320.0,
+                 "fraction": 0.2}
+              ],
+              "capacity_classes": [
+                {"weight": 3.0, "files_mult": 2.0, "lifespan_mult": 1.5},
+                {"weight": 1.0, "files_mult": 0.5, "lifespan_mult": 0.75}
+              ],
+              "repair": "promote"
+            }"#,
+        )
+        .unwrap();
+        let path = std::env::temp_dir().join("spnet_cli_scenario_run_test.json");
+        std::fs::write(&path, plan.to_json()).unwrap();
+        let out = simulate(&args(&[
+            "--users",
+            "100",
+            "--cluster",
+            "10",
+            "--duration",
+            "600",
+            "--seed",
+            "7",
+            "--scenario",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(out.contains("scenario phases / classes"));
+        assert!(out.contains("2 / 2"));
+        // The plan's own repair policy ("promote") drives the repair
+        // rows, with no --repair flag given.
+        assert!(out.contains("repair promotions"));
+    }
+
+    #[test]
+    fn simulate_scenario_validation_errors_are_usage() {
+        // Unknown field → exit 2 (the caller's file is malformed).
+        let bad = std::env::temp_dir().join("spnet_cli_scenario_bad_test.json");
+        std::fs::write(&bad, r#"{"phasez": []}"#).unwrap();
+        let err = simulate(&args(&[
+            "--users",
+            "100",
+            "--scenario",
+            bad.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        std::fs::remove_file(&bad).ok();
+        assert_eq!(
+            err.exit_code(),
+            2,
+            "scenario validation must be usage: {err}"
+        );
+        assert!(err.to_string().contains("phasez"));
+        // Unreadable file → runtime (exit 1), like --faults.
+        let err = simulate(&args(&[
+            "--users",
+            "100",
+            "--scenario",
+            "/nonexistent/spnet_scenario.json",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+    }
+
+    #[test]
+    fn simulate_scenario_rejects_conflicting_options() {
+        let plan_path = std::env::temp_dir().join("spnet_cli_scenario_conflict_test.json");
+        std::fs::write(&plan_path, ScenarioPlan::default().to_json()).unwrap();
+        let plan = plan_path.to_str().unwrap();
+        for conflict in [
+            &["--reliability"] as &[_],
+            &["--crash-storm"],
+            &["--scale"],
+            &["--trials", "2"],
+            &["--repair", "promote"],
+        ] {
+            let err = simulate(&args(
+                &[&["--users", "100", "--scenario", plan] as &[_], conflict].concat(),
+            ))
+            .unwrap_err();
+            assert_eq!(
+                err.exit_code(),
+                2,
+                "--scenario with {conflict:?} must be usage"
+            );
+        }
+        std::fs::remove_file(&plan_path).ok();
+        // --scenario-seed without --scenario is inert and therefore
+        // rejected rather than silently ignored.
+        let err = simulate(&args(&["--users", "100", "--scenario-seed", "9"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("--scenario-seed"));
     }
 
     #[test]

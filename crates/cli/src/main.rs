@@ -8,6 +8,7 @@
 mod args;
 mod commands;
 mod error;
+mod usage;
 
 use std::process::ExitCode;
 
@@ -32,6 +33,7 @@ fn main() -> ExitCode {
         "evaluate" => commands::evaluate(&parsed),
         "design" => commands::design_cmd(&parsed),
         "simulate" => commands::simulate(&parsed),
+        "campaign" => commands::campaign(&parsed),
         "sweep" => commands::sweep(&parsed),
         "epl" => commands::epl(&parsed),
         "lint" => commands::lint(&parsed),

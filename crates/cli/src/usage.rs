@@ -1,0 +1,211 @@
+//! Declarative command usage, rendered through one formatter.
+//!
+//! Every subcommand describes itself as a [`CommandUsage`] table, and
+//! *all* user-facing usage text — the global `spnet help`, each
+//! `spnet <command> --help`, and the hint appended to unknown-option
+//! errors — renders through the single formatter here. Spacing,
+//! option alignment, and the exit-code policy therefore cannot drift
+//! between commands:
+//!
+//! * requested help (`spnet help`, `spnet <command> --help`) prints to
+//!   stdout and exits 0;
+//! * malformed invocations (unknown options, bad values) surface as
+//!   [`CliError::Usage`] — a single `error: …` line on stderr, exit 2 —
+//!   now always pointing at the command's own `--help`.
+
+use crate::args::Args;
+use crate::error::CliError;
+
+/// One subcommand's declarative usage table.
+pub struct CommandUsage {
+    /// Subcommand name as typed (`simulate`).
+    pub name: &'static str,
+    /// One-line description; first line is reused by the global help.
+    pub summary: &'static str,
+    /// `("--flag VALUE", "description")` pairs. Multi-line
+    /// descriptions continue on indented lines.
+    pub options: &'static [(&'static str, &'static str)],
+    /// Whether the command also accepts the shared topology options.
+    pub topology: bool,
+    /// Example invocations.
+    pub examples: &'static [&'static str],
+}
+
+/// The topology options shared by the model-driven commands.
+pub const TOPOLOGY_OPTIONS: &[(&str, &str)] = &[
+    ("--users N", "total peers (default 10000)"),
+    ("--cluster N", "peers per cluster (default 10)"),
+    ("--outdegree D", "mean overlay degree (default 3.1)"),
+    ("--ttl T", "query TTL (default 7)"),
+    ("--redundancy", "2-redundant super-peers"),
+    ("--k K", "arbitrary redundancy factor"),
+    ("--strong", "strongly connected overlay"),
+    (
+        "--graph FAMILY",
+        "power-law | strong | erdos-renyi | regular",
+    ),
+    (
+        "--query-rate R",
+        "queries per user per second (default 9.26e-3)",
+    ),
+];
+
+/// The `--threads` row shared by every command that fans trials out
+/// over workers; listed per-command (not in the topology table)
+/// because `design` and `epl` do not accept it.
+pub const THREADS_OPTION: (&str, &str) = (
+    "--threads N",
+    "worker-thread budget (default: SP_THREADS env or one per core;\nmust be >= 1 when given; never changes the reported numbers)",
+);
+
+/// Extracts the option key from its rendered spelling:
+/// `"--metrics-json P"` → `"metrics-json"`.
+fn key(flag: &'static str) -> &'static str {
+    flag.trim_start_matches("--")
+        .split(' ')
+        .next()
+        .expect("split yields at least one part")
+}
+
+/// Appends an aligned two-column option table (the one place option
+/// layout is decided).
+fn push_options(out: &mut String, options: &[(&'static str, &'static str)]) {
+    let width = options
+        .iter()
+        .map(|(f, _)| f.len())
+        .max()
+        .unwrap_or(0)
+        .max(14);
+    for (flag, help) in options {
+        for (i, line) in help.lines().enumerate() {
+            if i == 0 {
+                out.push_str(&format!("  {flag:<width$}  {line}\n"));
+            } else {
+                out.push_str(&format!("  {:<width$}  {line}\n", ""));
+            }
+        }
+    }
+}
+
+impl CommandUsage {
+    /// The option keys this command accepts (own + shared topology).
+    pub fn known_keys(&self) -> Vec<&'static str> {
+        let mut keys: Vec<&'static str> = self.options.iter().map(|(f, _)| key(f)).collect();
+        if self.topology {
+            keys.extend(TOPOLOGY_OPTIONS.iter().map(|(f, _)| key(f)));
+        }
+        keys
+    }
+
+    /// Renders this command's full usage text.
+    pub fn render(&self) -> String {
+        let mut s = format!("USAGE: spnet {} [options]\n\n{}\n", self.name, self.summary);
+        if !self.options.is_empty() {
+            s.push_str("\nOPTIONS:\n");
+            push_options(&mut s, self.options);
+        }
+        if self.topology {
+            s.push_str("\nTOPOLOGY OPTIONS (shared):\n");
+            push_options(&mut s, TOPOLOGY_OPTIONS);
+        }
+        if !self.examples.is_empty() {
+            s.push_str("\nEXAMPLES:\n");
+            for e in self.examples {
+                s.push_str(&format!("  {e}\n"));
+            }
+        }
+        s.trim_end().to_string()
+    }
+
+    /// The shared entry gate every subcommand runs first: `--help`
+    /// returns the rendered usage (stdout, exit 0); unknown options
+    /// become exit-2 usage errors pointing at this command's help.
+    pub fn gate(&self, args: &Args) -> Result<Option<String>, CliError> {
+        if args.flag("help") || args.get("help").is_some() {
+            return Ok(Some(self.render()));
+        }
+        args.ensure_known(&self.known_keys()).map_err(|e| {
+            CliError::Usage(format!("{e}\nrun `spnet {} --help` for usage", self.name))
+        })?;
+        Ok(None)
+    }
+}
+
+/// Renders the global `spnet help` from the same formatter the
+/// per-command help uses.
+pub fn global_help(commands: &[&CommandUsage]) -> String {
+    let mut s = String::from(
+        "spnet — design and evaluate super-peer networks\n\
+         (Yang & Garcia-Molina, 'Designing a Super-Peer Network', ICDE 2003)\n\n\
+         USAGE: spnet <command> [options]\n\n\
+         COMMANDS:\n",
+    );
+    let rows: Vec<(&'static str, &'static str)> = commands
+        .iter()
+        .map(|c| (c.name, c.summary.lines().next().expect("non-empty summary")))
+        .collect();
+    push_options(&mut s, &rows);
+    s.push_str("  help            this text\n");
+    s.push_str("\nTOPOLOGY OPTIONS (evaluate/design/simulate/sweep):\n");
+    push_options(&mut s, TOPOLOGY_OPTIONS);
+    s.push_str(
+        "\nRun `spnet <command> --help` for that command's options and examples.\n\
+         Exit codes: 0 success, 1 runtime failure, 2 usage error.",
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static DEMO: CommandUsage = CommandUsage {
+        name: "demo",
+        summary: "does demo things",
+        options: &[
+            ("--count N", "how many (default 32)"),
+            ("--report P", "write the JSON report to P\nsecond line"),
+        ],
+        topology: false,
+        examples: &["spnet demo --count 4"],
+    };
+
+    fn args(words: &[&str]) -> Args {
+        Args::parse(words.iter().map(|s| s.to_string())).expect("parse")
+    }
+
+    #[test]
+    fn keys_are_derived_from_spellings() {
+        assert_eq!(DEMO.known_keys(), ["count", "report"]);
+    }
+
+    #[test]
+    fn render_aligns_and_includes_examples() {
+        let text = DEMO.render();
+        assert!(text.starts_with("USAGE: spnet demo"));
+        assert!(text.contains("--count N"));
+        assert!(text.contains("second line"));
+        assert!(text.contains("spnet demo --count 4"));
+    }
+
+    #[test]
+    fn gate_returns_help_and_rejects_unknowns() {
+        assert!(DEMO
+            .gate(&args(&["--help"]))
+            .expect("ok")
+            .expect("help text")
+            .contains("USAGE: spnet demo"));
+        assert_eq!(DEMO.gate(&args(&["--count", "4"])).expect("ok"), None);
+        let err = DEMO.gate(&args(&["--bogus", "1"])).expect_err("unknown");
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("spnet demo --help"));
+    }
+
+    #[test]
+    fn global_help_lists_commands_and_exit_codes() {
+        let text = global_help(&[&DEMO]);
+        assert!(text.contains("demo"));
+        assert!(text.contains("does demo things"));
+        assert!(text.contains("Exit codes"));
+    }
+}

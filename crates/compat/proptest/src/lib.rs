@@ -279,6 +279,33 @@ pub mod prop {
         }
     }
 
+    /// Option strategies.
+    pub mod option {
+        use crate::{Strategy, TestRng};
+
+        /// See [`of`].
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        /// `None` for ~1 in 4 cases, `Some(inner)` otherwise (mirrors
+        /// `proptest::option::of`'s default weighting).
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.below(4) == 0 {
+                    None
+                } else {
+                    Some(self.inner.generate(rng))
+                }
+            }
+        }
+    }
+
     /// Collection strategies.
     pub mod collection {
         use crate::{Strategy, TestRng};
@@ -437,6 +464,16 @@ mod tests {
             // Both arms and the bool strategy must produce valid values.
             prop_assert!(pick || !pick);
             prop_assert!(flag || !flag);
+        }
+
+        #[test]
+        fn option_of_yields_both_variants(v in prop::collection::vec(
+            prop::option::of(0u32..10), 32..33,
+        )) {
+            // With 32 draws at ~3:1 odds, both variants must appear.
+            prop_assert!(v.iter().any(Option::is_some));
+            prop_assert!(v.iter().any(Option::is_none));
+            prop_assert!(v.iter().flatten().all(|&x| x < 10));
         }
 
         #[test]

@@ -204,7 +204,7 @@ impl FaultSpec {
         }
     }
 
-    fn to_json(&self) -> String {
+    pub(crate) fn to_json(&self) -> String {
         match self {
             FaultSpec::CrashCluster {
                 at_secs,
@@ -364,7 +364,7 @@ impl FaultPlan {
     }
 }
 
-fn parse_retry(value: &Value) -> Result<RetryPolicy, FaultPlanError> {
+pub(crate) fn parse_retry(value: &Value) -> Result<RetryPolicy, FaultPlanError> {
     let obj = value.as_object("retry")?;
     let mut retry = RetryPolicy::default();
     for (key, val) in obj {
@@ -384,7 +384,7 @@ fn parse_retry(value: &Value) -> Result<RetryPolicy, FaultPlanError> {
     Ok(retry)
 }
 
-fn parse_fault(value: &Value, index: usize) -> Result<FaultSpec, FaultPlanError> {
+pub(crate) fn parse_fault(value: &Value, index: usize) -> Result<FaultSpec, FaultPlanError> {
     let ctx = format!("faults[{index}]");
     let obj = value.as_object(&ctx)?;
     let kind = obj
@@ -484,7 +484,7 @@ fn parse_fault(value: &Value, index: usize) -> Result<FaultSpec, FaultPlanError>
 // ---------------------------------------------------------------------
 
 #[derive(Debug, Clone, PartialEq)]
-enum Value {
+pub(crate) enum Value {
     Object(Vec<(String, Value)>),
     Array(Vec<Value>),
     Number(f64),
@@ -505,7 +505,7 @@ impl Value {
         }
     }
 
-    fn as_object(&self, ctx: &str) -> Result<&Vec<(String, Value)>, FaultPlanError> {
+    pub(crate) fn as_object(&self, ctx: &str) -> Result<&Vec<(String, Value)>, FaultPlanError> {
         match self {
             Value::Object(fields) => Ok(fields),
             other => Err(FaultPlanError(format!(
@@ -515,7 +515,7 @@ impl Value {
         }
     }
 
-    fn as_array(&self, ctx: &str) -> Result<&Vec<Value>, FaultPlanError> {
+    pub(crate) fn as_array(&self, ctx: &str) -> Result<&Vec<Value>, FaultPlanError> {
         match self {
             Value::Array(items) => Ok(items),
             other => Err(FaultPlanError(format!(
@@ -525,7 +525,7 @@ impl Value {
         }
     }
 
-    fn as_f64(&self, ctx: &str) -> Result<f64, FaultPlanError> {
+    pub(crate) fn as_f64(&self, ctx: &str) -> Result<f64, FaultPlanError> {
         match self {
             Value::Number(n) => Ok(*n),
             other => Err(FaultPlanError(format!(
@@ -535,7 +535,7 @@ impl Value {
         }
     }
 
-    fn as_u32(&self, ctx: &str) -> Result<u32, FaultPlanError> {
+    pub(crate) fn as_u32(&self, ctx: &str) -> Result<u32, FaultPlanError> {
         let n = self.as_f64(ctx)?;
         if n < 0.0 || n.fract() != 0.0 || n > u32::MAX as f64 {
             return Err(FaultPlanError(format!(
@@ -545,7 +545,7 @@ impl Value {
         Ok(n as u32)
     }
 
-    fn as_str(&self, ctx: &str) -> Result<String, FaultPlanError> {
+    pub(crate) fn as_str(&self, ctx: &str) -> Result<String, FaultPlanError> {
         match self {
             Value::String(s) => Ok(s.clone()),
             other => Err(FaultPlanError(format!(
@@ -556,20 +556,20 @@ impl Value {
     }
 }
 
-struct Parser<'a> {
+pub(crate) struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Parser<'a> {
-    fn new(text: &'a str) -> Parser<'a> {
+    pub(crate) fn new(text: &'a str) -> Parser<'a> {
         Parser {
             bytes: text.as_bytes(),
             pos: 0,
         }
     }
 
-    fn parse_document(&mut self) -> Result<Value, FaultPlanError> {
+    pub(crate) fn parse_document(&mut self) -> Result<Value, FaultPlanError> {
         let value = self.parse_value()?;
         self.skip_ws();
         if self.pos != self.bytes.len() {

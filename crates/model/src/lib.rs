@@ -57,6 +57,7 @@ pub mod load;
 pub mod population;
 pub mod query_model;
 pub mod repair;
+pub mod scenario;
 pub mod trials;
 
 pub use analysis::{analyze, AnalysisOptions, AnalysisResult, Engine, InstanceMetrics};
@@ -67,6 +68,7 @@ pub use load::Load;
 pub use population::PopulationModel;
 pub use query_model::QueryModel;
 pub use repair::RepairPolicy;
+pub use scenario::{CapacityClass, PhaseKind, PhaseSpec, ScenarioError, ScenarioPlan};
 pub use trials::{
     resolve_thread_budget, run_trials, split_thread_budget, TrialOptions, TrialSummary,
 };

@@ -1,0 +1,628 @@
+//! Differential scenario-campaign runner: the standing fuzz gate for
+//! the two-engine determinism contract.
+//!
+//! A campaign fans `count` seeded scenarios across worker threads via
+//! the same thread-budget cascade as every other multi-trial driver
+//! ([`run_sim_trials`]), so the whole campaign — including its
+//! aggregate fingerprint — is bitwise identical at any thread count.
+//! Each trial seed deterministically expands into
+//!
+//! 1. a randomized [`ScenarioPlan`] (phased churn bursts, correlated
+//!    mass leaves, split windows, flash crowds on rotated hot keys,
+//!    capacity classes, an embedded fault plan, a repair policy),
+//! 2. a simulation seed, fault seed, and scenario seed,
+//!
+//! and the scenario runs through **both** engines
+//! ([`Simulation`] and [`ReferenceSimulation`]) with identical
+//! options. The differential oracle then demands
+//!
+//! * bitwise-equal [`RawMetrics`] from the two engines (the
+//!   first differing field is named in the divergence reason),
+//! * query conservation ([`FaultMetrics::conserved`]
+//!   — every issued query accounted exactly once) in both engines,
+//! * sane repair/availability invariants (fractions inside `[0, 1]`).
+//!
+//! Every divergence carries a self-contained reproducer document
+//! (seeds + full scenario JSON) so a nightly failure replays locally
+//! with `spnet campaign --count 1 --seed <trial_seed>` or by feeding
+//! the embedded scenario to `spnet simulate --scenario`.
+//!
+//! [`FaultMetrics::conserved`]: crate::faults::FaultMetrics::conserved
+
+use sp_model::config::Config;
+use sp_model::faults::{FaultPlan, FaultSpec};
+use sp_model::repair::RepairPolicy;
+use sp_model::scenario::{CapacityClass, PhaseKind, PhaseSpec, ScenarioPlan};
+use sp_stats::SpRng;
+
+use crate::engine::{RawMetrics, SimOptions, Simulation};
+use crate::reference::ReferenceSimulation;
+use crate::scenario::{run_sim_trials, SimTrialOptions};
+
+/// Campaign configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignOptions {
+    /// Number of scenarios to generate and run.
+    pub count: usize,
+    /// Root seed; scenario `i` derives everything from the RNG split
+    /// `seed → i` (same cascade as [`run_sim_trials`]).
+    pub seed: u64,
+    /// Worker-thread budget; 0 = one per available core.
+    pub threads: usize,
+    /// Simulated users per scenario (`Config::graph_size`).
+    pub users: usize,
+    /// Target cluster size (`Config::cluster_size`).
+    pub cluster_size: usize,
+    /// Simulated duration per scenario, seconds.
+    pub duration_secs: f64,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        CampaignOptions {
+            count: 32,
+            seed: 42,
+            threads: 0,
+            users: 120,
+            cluster_size: 12,
+            duration_secs: 1200.0,
+        }
+    }
+}
+
+/// One scenario's campaign outcome.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// Scenario index within the campaign.
+    pub index: usize,
+    /// The split-derived trial seed this scenario expanded from.
+    pub trial_seed: u64,
+    /// Main simulation seed fed to both engines.
+    pub sim_seed: u64,
+    /// Dedicated fault-stream seed fed to both engines.
+    pub fault_seed: u64,
+    /// Dedicated scenario-stream seed fed to both engines.
+    pub scenario_seed: u64,
+    /// Phase kinds exercised, in declaration order.
+    pub phase_kinds: Vec<&'static str>,
+    /// Fault kinds of the embedded fault plan.
+    pub fault_kinds: Vec<&'static str>,
+    /// Number of capacity classes (0 = homogeneous).
+    pub capacity_classes: usize,
+    /// Repair policy the scenario healed with.
+    pub repair: RepairPolicy,
+    /// FNV-1a fingerprint of the fast engine's metrics.
+    pub fingerprint: u64,
+    /// Why the oracle rejected this scenario (`None` = passed).
+    pub divergence: Option<String>,
+    /// The generated plan, rendered as JSON.
+    pub plan_json: String,
+}
+
+/// One oracle rejection, with everything needed to replay it.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Scenario index within the campaign.
+    pub index: usize,
+    /// The split-derived trial seed.
+    pub trial_seed: u64,
+    /// Main simulation seed.
+    pub sim_seed: u64,
+    /// Fault-stream seed.
+    pub fault_seed: u64,
+    /// Scenario-stream seed.
+    pub scenario_seed: u64,
+    /// First oracle check that failed.
+    pub reason: String,
+    /// The offending scenario plan, as JSON.
+    pub plan_json: String,
+}
+
+impl Divergence {
+    /// Renders a self-contained reproducer document: population
+    /// shape, duration, all three seeds, the failure reason, and the
+    /// full scenario plan.
+    pub fn reproducer_json(&self, opts: &CampaignOptions) -> String {
+        let mut s = String::with_capacity(512 + self.plan_json.len());
+        s.push_str("{\n");
+        s.push_str(&format!("  \"index\": {},\n", self.index));
+        s.push_str(&format!("  \"users\": {},\n", opts.users));
+        s.push_str(&format!("  \"cluster_size\": {},\n", opts.cluster_size));
+        s.push_str(&format!("  \"duration_secs\": {},\n", opts.duration_secs));
+        s.push_str(&format!("  \"campaign_seed\": {},\n", opts.seed));
+        s.push_str(&format!("  \"trial_seed\": {},\n", self.trial_seed));
+        s.push_str(&format!("  \"sim_seed\": {},\n", self.sim_seed));
+        s.push_str(&format!("  \"fault_seed\": {},\n", self.fault_seed));
+        s.push_str(&format!("  \"scenario_seed\": {},\n", self.scenario_seed));
+        s.push_str(&format!("  \"reason\": {},\n", json_string(&self.reason)));
+        s.push_str("  \"scenario\": ");
+        indent_embedded(&mut s, &self.plan_json);
+        s.push_str("\n}\n");
+        s
+    }
+}
+
+/// Aggregated campaign result.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// The options the campaign ran with.
+    pub options: CampaignOptions,
+    /// Scenarios run (equals `options.count`).
+    pub scenarios: usize,
+    /// Phase windows exercised per kind, `(kind, count)` sorted by
+    /// kind name.
+    pub phases_covered: Vec<(&'static str, u64)>,
+    /// Fault specs exercised per kind, sorted by kind name.
+    pub faults_covered: Vec<(&'static str, u64)>,
+    /// Scenarios per repair policy, in [`RepairPolicy::ALL`] order.
+    pub repair_covered: Vec<(&'static str, u64)>,
+    /// Order-sensitive FNV-1a fold of every scenario fingerprint —
+    /// bitwise identical across thread counts and the value the CI
+    /// smoke pins.
+    pub fingerprint: u64,
+    /// Oracle rejections (empty = green).
+    pub divergences: Vec<Divergence>,
+}
+
+impl CampaignReport {
+    /// One-line summary for terminals and smoke greps.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "campaign: {} scenarios, seed {}, fingerprint {:#018x}, divergences {}",
+            self.scenarios,
+            self.options.seed,
+            self.fingerprint,
+            self.divergences.len()
+        )
+    }
+
+    /// Renders the machine-readable campaign report.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\n");
+        s.push_str(&format!("  \"scenarios\": {},\n", self.scenarios));
+        s.push_str(&format!("  \"seed\": {},\n", self.options.seed));
+        s.push_str(&format!("  \"users\": {},\n", self.options.users));
+        s.push_str(&format!(
+            "  \"cluster_size\": {},\n",
+            self.options.cluster_size
+        ));
+        s.push_str(&format!(
+            "  \"duration_secs\": {},\n",
+            self.options.duration_secs
+        ));
+        s.push_str(&format!(
+            "  \"fingerprint\": \"{:#018x}\",\n",
+            self.fingerprint
+        ));
+        let counts = |pairs: &[(&'static str, u64)]| -> String {
+            let body: Vec<String> = pairs.iter().map(|(k, v)| format!("\"{k}\": {v}")).collect();
+            format!("{{{}}}", body.join(", "))
+        };
+        s.push_str(&format!(
+            "  \"phases_covered\": {},\n",
+            counts(&self.phases_covered)
+        ));
+        s.push_str(&format!(
+            "  \"faults_covered\": {},\n",
+            counts(&self.faults_covered)
+        ));
+        s.push_str(&format!(
+            "  \"repair_covered\": {},\n",
+            counts(&self.repair_covered)
+        ));
+        s.push_str("  \"divergences\": [");
+        for (i, d) in self.divergences.iter().enumerate() {
+            let sep = if i + 1 < self.divergences.len() {
+                ","
+            } else {
+                ""
+            };
+            s.push_str(&format!(
+                "\n    {{\"index\": {}, \"trial_seed\": {}, \"reason\": {}}}{sep}",
+                d.index,
+                d.trial_seed,
+                json_string(&d.reason)
+            ));
+        }
+        if !self.divergences.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+}
+
+/// Runs a differential campaign (see module docs).
+pub fn run_campaign(opts: &CampaignOptions) -> CampaignReport {
+    let config = Config {
+        graph_size: opts.users,
+        cluster_size: opts.cluster_size,
+        ..Config::default()
+    };
+    let trial_opts = SimTrialOptions {
+        trials: opts.count,
+        seed: opts.seed,
+        threads: opts.threads,
+        repair: RepairPolicy::Off,
+    };
+    let duration = opts.duration_secs;
+    let outcomes = run_sim_trials(&trial_opts, |trial_seed, index| {
+        run_one(&config, duration, trial_seed, index)
+    });
+
+    let mut phases: Vec<(&'static str, u64)> = Vec::new();
+    let mut faults: Vec<(&'static str, u64)> = Vec::new();
+    let mut repairs: Vec<(&'static str, u64)> = RepairPolicy::ALL
+        .iter()
+        .map(|p| (policy_name(*p), 0))
+        .collect();
+    let mut fingerprint = FNV_OFFSET;
+    let mut divergences = Vec::new();
+    for o in &outcomes {
+        for k in &o.phase_kinds {
+            bump(&mut phases, k);
+        }
+        for k in &o.fault_kinds {
+            bump(&mut faults, k);
+        }
+        if let Some(slot) = repairs
+            .iter_mut()
+            .find(|(name, _)| *name == policy_name(o.repair))
+        {
+            slot.1 += 1;
+        }
+        fingerprint = fnv_fold(fingerprint, o.fingerprint);
+        if let Some(reason) = &o.divergence {
+            divergences.push(Divergence {
+                index: o.index,
+                trial_seed: o.trial_seed,
+                sim_seed: o.sim_seed,
+                fault_seed: o.fault_seed,
+                scenario_seed: o.scenario_seed,
+                reason: reason.clone(),
+                plan_json: o.plan_json.clone(),
+            });
+        }
+    }
+    phases.sort_unstable();
+    faults.sort_unstable();
+    CampaignReport {
+        options: *opts,
+        scenarios: outcomes.len(),
+        phases_covered: phases,
+        faults_covered: faults,
+        repair_covered: repairs,
+        fingerprint,
+        divergences,
+    }
+}
+
+/// Expands one trial seed into a scenario, runs both engines, and
+/// applies the differential oracle.
+fn run_one(config: &Config, duration: f64, trial_seed: u64, index: usize) -> ScenarioOutcome {
+    let mut rng = SpRng::seed_from_u64(trial_seed);
+    let plan = generate_plan(&mut rng, duration);
+    let sim_seed = rng.next_raw();
+    let fault_seed = rng.next_raw();
+    let scenario_seed = rng.next_raw();
+    let opts = SimOptions {
+        duration_secs: duration,
+        seed: sim_seed,
+        fault_seed,
+        scenario_seed,
+        ..SimOptions::default()
+    };
+    let fast = Simulation::with_scenario(config, opts, &plan).run();
+    let reference = ReferenceSimulation::with_scenario(config, opts, &plan).run();
+    let divergence = oracle(&fast, &reference);
+    ScenarioOutcome {
+        index,
+        trial_seed,
+        sim_seed,
+        fault_seed,
+        scenario_seed,
+        phase_kinds: plan.phases.iter().map(|p| p.kind.kind_name()).collect(),
+        fault_kinds: plan
+            .faults
+            .faults
+            .iter()
+            .map(FaultSpec::kind_name)
+            .collect(),
+        capacity_classes: plan.capacity_classes.len(),
+        repair: plan.repair,
+        fingerprint: fingerprint(&fast),
+        divergence,
+        plan_json: plan.to_json(),
+    }
+}
+
+/// The differential oracle: engine equality, conservation, and range
+/// invariants. Returns the first failure's description.
+fn oracle(fast: &RawMetrics, reference: &RawMetrics) -> Option<String> {
+    if fast != reference {
+        return Some(describe_divergence(fast, reference));
+    }
+    if !fast.faults.conserved() {
+        return Some(format!(
+            "fast engine violates query conservation: issued {} != direct {} + retry {} \
+             + failover {} + lost {}",
+            fast.faults.queries_issued,
+            fast.faults.answered_direct,
+            fast.faults.recovered_retry,
+            fast.faults.recovered_failover,
+            fast.faults.queries_lost
+        ));
+    }
+    if !reference.faults.conserved() {
+        return Some("reference engine violates query conservation".to_string());
+    }
+    let avail = fast.availability();
+    if !(0.0..=1.0).contains(&avail) {
+        return Some(format!("availability out of range: {avail}"));
+    }
+    let reach = fast.repair.final_reachable_fraction;
+    if !(0.0..=1.0).contains(&reach) {
+        return Some(format!("final_reachable_fraction out of range: {reach}"));
+    }
+    None
+}
+
+/// Names the first differing metrics field so a nightly log localizes
+/// the divergence without a debugger.
+fn describe_divergence(fast: &RawMetrics, reference: &RawMetrics) -> String {
+    let field = if fast.queries != reference.queries {
+        format!("queries ({} vs {})", fast.queries, reference.queries)
+    } else if fast.cluster_failures != reference.cluster_failures {
+        format!(
+            "cluster_failures ({} vs {})",
+            fast.cluster_failures, reference.cluster_failures
+        )
+    } else if fast.orphan_events != reference.orphan_events {
+        format!(
+            "orphan_events ({} vs {})",
+            fast.orphan_events, reference.orphan_events
+        )
+    } else if fast.faults != reference.faults {
+        "faults (injection/recovery counters)".to_string()
+    } else if fast.repair != reference.repair {
+        "repair (promotion/reachability accounting)".to_string()
+    } else if fast.timeline != reference.timeline {
+        "timeline samples".to_string()
+    } else if fast.client_connected_secs.to_bits() != reference.client_connected_secs.to_bits() {
+        format!(
+            "client_connected_secs ({} vs {})",
+            fast.client_connected_secs, reference.client_connected_secs
+        )
+    } else {
+        "load statistics".to_string()
+    };
+    format!("engines diverge on {field}")
+}
+
+/// Generates a randomized-but-valid scenario plan from a dedicated
+/// generator stream. Same-kind windows are laid out behind a per-kind
+/// cursor, so the plan always validates; everything lands inside
+/// `[5%, 95%]` of the run so bootstrap and final accounting stay
+/// exercised.
+fn generate_plan(rng: &mut SpRng, duration: f64) -> ScenarioPlan {
+    let span = |rng: &mut SpRng, lo: f64, hi: f64| lo + rng.unit_f64() * (hi - lo);
+    let mut plan = ScenarioPlan::default();
+
+    // Phases: up to four, kinds drawn independently.
+    let mut cursors = [duration * 0.05; 4];
+    let want_phases = rng.index(5);
+    for _ in 0..want_phases {
+        let kind_idx = rng.index(4);
+        let from = cursors[kind_idx] + span(rng, 0.02, 0.10) * duration;
+        let until = from + span(rng, 0.05, 0.20) * duration;
+        if until > duration * 0.95 {
+            continue; // ran off the end of the run; skip this window
+        }
+        cursors[kind_idx] = until;
+        let kind = match kind_idx {
+            0 => PhaseKind::FlashCrowd {
+                query_rate_mult: span(rng, 1.5, 6.0),
+                hot_shift: rng.index(1024) as u32,
+            },
+            1 => PhaseKind::ChurnBurst {
+                lifespan_mult: span(rng, 0.2, 0.9),
+            },
+            2 => PhaseKind::MassLeave {
+                fraction: span(rng, 0.05, 0.4),
+            },
+            _ => PhaseKind::Split {
+                fraction: span(rng, 0.1, 0.5),
+            },
+        };
+        plan.phases.push(PhaseSpec {
+            from_secs: from,
+            until_secs: until,
+            kind,
+        });
+    }
+
+    // Capacity classes: up to three.
+    for _ in 0..rng.index(4) {
+        plan.capacity_classes.push(CapacityClass {
+            weight: span(rng, 1.0, 5.0),
+            files_mult: span(rng, 0.1, 4.0),
+            lifespan_mult: span(rng, 0.5, 2.0),
+        });
+    }
+
+    // Embedded faults: each family joins with its own probability.
+    let mut faults = FaultPlan::default();
+    if rng.chance(0.5) {
+        faults.faults.push(FaultSpec::CrashFraction {
+            at_secs: span(rng, 0.2, 0.6) * duration,
+            fraction: span(rng, 0.1, 0.35),
+        });
+    }
+    if rng.chance(0.4) {
+        let from = span(rng, 0.1, 0.5) * duration;
+        faults.faults.push(FaultSpec::MessageLoss {
+            from_secs: from,
+            until_secs: from + span(rng, 0.1, 0.3) * duration,
+            drop_prob: span(rng, 0.05, 0.3),
+        });
+    }
+    if rng.chance(0.3) {
+        let from = span(rng, 0.1, 0.5) * duration;
+        faults.faults.push(FaultSpec::FlakyPartners {
+            from_secs: from,
+            until_secs: from + span(rng, 0.1, 0.3) * duration,
+            flake_prob: span(rng, 0.1, 0.5),
+        });
+    }
+    plan.faults = faults;
+    plan.repair = RepairPolicy::ALL[rng.index(RepairPolicy::ALL.len())];
+    plan.validate().expect("generated plan must validate");
+    plan
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a run's full metrics (the derived `Debug` rendering is
+/// deterministic, including shortest-round-trip float formatting, so
+/// the fingerprint moves iff any field's bits move).
+fn fingerprint(metrics: &RawMetrics) -> u64 {
+    let mut h = FNV_OFFSET;
+    for b in format!("{metrics:?}").bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Folds one scenario fingerprint into the campaign fingerprint
+/// (order-sensitive, so a swapped result would be caught too).
+fn fnv_fold(acc: u64, fp: u64) -> u64 {
+    let mut h = acc;
+    for b in fp.to_le_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn policy_name(p: RepairPolicy) -> &'static str {
+    match p {
+        RepairPolicy::Off => "off",
+        RepairPolicy::Promote => "promote",
+        RepairPolicy::PromotePartner => "promote+partner",
+    }
+}
+
+fn bump(counts: &mut Vec<(&'static str, u64)>, key: &'static str) {
+    if let Some(slot) = counts.iter_mut().find(|(k, _)| *k == key) {
+        slot.1 += 1;
+    } else {
+        counts.push((key, 1));
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Appends an embedded JSON document, indenting continuation lines two
+/// spaces so the enclosing document stays readable.
+fn indent_embedded(out: &mut String, doc: &str) {
+    for (i, line) in doc.trim_end().lines().enumerate() {
+        if i > 0 {
+            out.push_str("\n  ");
+        }
+        out.push_str(line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_plans_validate_and_vary() {
+        let mut distinct = std::collections::BTreeSet::new();
+        for seed in 0..64 {
+            let mut rng = SpRng::seed_from_u64(seed);
+            let plan = generate_plan(&mut rng, 1200.0);
+            plan.validate().expect("generator must emit valid plans");
+            distinct.insert(plan.to_json());
+        }
+        assert!(distinct.len() > 32, "plans must vary with the seed");
+    }
+
+    #[test]
+    fn small_campaign_is_green_and_thread_invariant() {
+        let opts = CampaignOptions {
+            count: 4,
+            seed: 7,
+            threads: 1,
+            users: 60,
+            cluster_size: 10,
+            duration_secs: 400.0,
+        };
+        let one = run_campaign(&opts);
+        assert_eq!(one.scenarios, 4);
+        assert!(
+            one.divergences.is_empty(),
+            "oracle rejected: {:?}",
+            one.divergences
+        );
+        let four = run_campaign(&CampaignOptions { threads: 4, ..opts });
+        assert_eq!(
+            one.fingerprint, four.fingerprint,
+            "campaign fingerprint must be thread-count invariant"
+        );
+        let report = one.to_json();
+        assert!(report.contains("\"divergences\": []"));
+        assert!(report.contains("\"fingerprint\""));
+    }
+
+    #[test]
+    fn oracle_names_the_first_differing_field() {
+        let a = RawMetrics::default();
+        let b = RawMetrics {
+            queries: 5,
+            ..RawMetrics::default()
+        };
+        let reason = oracle(&a, &b).expect("must diverge");
+        assert!(reason.contains("queries (0 vs 5)"), "got: {reason}");
+        assert_eq!(oracle(&a, &a), None);
+    }
+
+    #[test]
+    fn reproducer_json_embeds_the_scenario() {
+        let d = Divergence {
+            index: 3,
+            trial_seed: 1,
+            sim_seed: 2,
+            fault_seed: 3,
+            scenario_seed: 4,
+            reason: "engines diverge on \"queries\"".to_string(),
+            plan_json: ScenarioPlan::default().to_json(),
+        };
+        let doc = d.reproducer_json(&CampaignOptions::default());
+        assert!(doc.contains("\"scenario\": {"));
+        assert!(doc.contains("\\\"queries\\\""));
+        // The embedded plan must parse back.
+        let start = doc.find("\"scenario\": ").expect("embedded") + "\"scenario\": ".len();
+        let embedded: String = doc[start..doc.rfind('}').expect("closing")].to_string();
+        ScenarioPlan::from_json(&embedded).expect("embedded plan parses");
+    }
+}

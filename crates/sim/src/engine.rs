@@ -58,11 +58,13 @@ use sp_stats::dist::Normal;
 use sp_stats::{OnlineStats, SpRng};
 
 use sp_model::faults::FaultPlan;
+use sp_model::scenario::ScenarioPlan;
 
 use crate::events::{ClusterId, Event, EventHandle, IndexedEventQueue, PeerId, SimTime};
 use crate::faults::{FaultMetrics, FaultState, QueryOutcome, Submission};
 use crate::metrics::{EventKind, ProfileTimer, RunManifest, SimMetrics};
 use crate::network::SimNetwork;
+use crate::phases::{PhaseAction, ScenarioState};
 use crate::repair::{ReachPoint, RepairMetrics, RepairPending};
 
 /// How a cluster forwards a query to its neighbors.
@@ -130,6 +132,10 @@ pub struct SimOptions {
     /// crash and the repair election firing (simulated outage
     /// detection + election time), seconds.
     pub repair_delay_secs: f64,
+    /// Seed of the *dedicated* scenario RNG stream (see
+    /// [`crate::phases`]). Ignored when no scenario plan is supplied;
+    /// changing it never perturbs the main churn/query schedule.
+    pub scenario_seed: u64,
     /// Record per-event-type wall-time histograms (two `Instant::now`
     /// calls per event — leave off for throughput benchmarks).
     pub profile: bool,
@@ -149,6 +155,7 @@ impl Default for SimOptions {
             fault_seed: 0,
             repair: RepairPolicy::Off,
             repair_delay_secs: 5.0,
+            scenario_seed: 0,
             profile: false,
         }
     }
@@ -263,6 +270,8 @@ pub struct Simulation {
     /// fault-plan crash — repair only ever engages on injected
     /// crashes, never on organic churn departures.
     in_fault_crash: bool,
+    /// Scenario-phase state machine (inert for an empty plan).
+    scenario: ScenarioState,
     // Per-peer-slot handles for the (at most one) outstanding timer of
     // each kind, cancelled when the peer departs so the queue never
     // accumulates tombstones.
@@ -346,6 +355,28 @@ impl Simulation {
     ///
     /// Panics if the configuration or the fault plan is invalid.
     pub fn with_faults(config: &Config, opts: SimOptions, plan: &FaultPlan) -> Self {
+        Self::build(config, opts, plan, &ScenarioPlan::default())
+    }
+
+    /// Builds a simulation that plays the given scenario plan: phased
+    /// workload programs (flash crowds, churn bursts, mass leaves,
+    /// split windows), capacity classes, the plan's embedded fault
+    /// plan, and the plan's repair policy — which **overrides**
+    /// `opts.repair`, so a scenario file is self-contained. Phase
+    /// randomness draws from a dedicated stream seeded from
+    /// `opts.scenario_seed`; an empty plan is bitwise identical to
+    /// [`Simulation::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration or the scenario plan is invalid.
+    pub fn with_scenario(config: &Config, opts: SimOptions, plan: &ScenarioPlan) -> Self {
+        let mut opts = opts;
+        opts.repair = plan.repair;
+        Self::build(config, opts, &plan.faults, plan)
+    }
+
+    fn build(config: &Config, opts: SimOptions, plan: &FaultPlan, scenario: &ScenarioPlan) -> Self {
         plan.validate().expect("invalid fault plan");
         let mut rng = SpRng::seed_from_u64(opts.seed);
         let inst = NetworkInstance::generate(config, &mut rng).expect("invalid configuration");
@@ -366,6 +397,7 @@ impl Simulation {
             repair_pending: Vec::new(),
             monitor: PartitionMonitor::new(),
             in_fault_crash: false,
+            scenario: ScenarioState::new(scenario, opts.scenario_seed),
             leave_h: Vec::new(),
             query_h: Vec::new(),
             update_h: Vec::new(),
@@ -484,22 +516,27 @@ impl Simulation {
         for cluster in &inst.clusters {
             let lead = cluster.partners[0];
             let lead_peer = &inst.peers[lead as usize];
-            let p = self.net.add_peer(lead_peer.files, 0.0);
+            let (files, lifespan) = self
+                .scenario
+                .admit_peer(lead_peer.files, lead_peer.lifespan_secs);
+            let p = self.net.add_peer(files, 0.0);
             let c = self.net.add_cluster(p, inst.config.ttl);
             self.reset_cluster_handles(c);
-            self.schedule_peer_events(p, lead_peer.lifespan_secs);
+            self.schedule_peer_events(p, lifespan);
             for &extra in &cluster.partners[1..] {
                 let info = &inst.peers[extra as usize];
-                let q = self.net.add_peer(info.files, 0.0);
+                let (files, lifespan) = self.scenario.admit_peer(info.files, info.lifespan_secs);
+                let q = self.net.add_peer(files, 0.0);
                 self.net.attach_client(q, c);
                 self.net.promote_specific(c, q).expect("just attached");
-                self.schedule_peer_events(q, info.lifespan_secs);
+                self.schedule_peer_events(q, lifespan);
             }
             for &cl in &cluster.clients {
                 let info = &inst.peers[cl as usize];
-                let q = self.net.add_peer(info.files, 0.0);
+                let (files, lifespan) = self.scenario.admit_peer(info.files, info.lifespan_secs);
+                let q = self.net.add_peer(files, 0.0);
                 self.net.attach_client(q, c);
-                self.schedule_peer_events(q, info.lifespan_secs);
+                self.schedule_peer_events(q, lifespan);
             }
             cluster_ids.push(c);
         }
@@ -543,6 +580,11 @@ impl Simulation {
         for (index, time, start) in self.faults.schedule() {
             self.queue.schedule(time, Event::Fault { index, start });
         }
+        // Scenario phases immediately after the fault schedule, so the
+        // two engines' FIFO sequence numbers line up here too.
+        for (index, time, start) in self.scenario.schedule() {
+            self.queue.schedule(time, Event::Phase { index, start });
+        }
         let _ = inst; // roles fully mirrored
     }
 
@@ -554,7 +596,7 @@ impl Simulation {
             .schedule(self.now + lifespan, Event::PeerLeave { peer, generation });
         self.leave_h[peer as usize] = h;
         if self.config.query_rate > 0.0 {
-            let dt = self.exp_delay(self.config.query_rate);
+            let dt = self.exp_delay(self.config.query_rate * self.scenario.query_rate_mult());
             let h = self
                 .queue
                 .schedule(self.now + dt, Event::Query { peer, generation });
@@ -627,7 +669,7 @@ impl Simulation {
                     return;
                 }
             }
-            Event::PeerJoin | Event::Sample | Event::Fault { .. } => {}
+            Event::PeerJoin | Event::Sample | Event::Fault { .. } | Event::Phase { .. } => {}
         }
         let kind = EventKind::of(&event);
         self.obs.record_delivered(kind);
@@ -657,6 +699,7 @@ impl Simulation {
             } => self.on_repair(cluster, generation),
             Event::Sample => self.on_sample(),
             Event::Fault { index, start } => self.on_fault(index, start),
+            Event::Phase { index, start } => self.on_phase(index, start),
         }
         timer.record(&mut self.obs, kind);
     }
@@ -746,6 +789,8 @@ impl Simulation {
     fn on_join(&mut self) {
         let files = self.config.population.sample_files(&mut self.rng);
         let lifespan = self.config.population.sample_lifespan(&mut self.rng);
+        // Post-draw transform: capacity class + active churn burst.
+        let (files, lifespan) = self.scenario.admit_peer(files, lifespan);
         let target_clusters = self.config.num_clusters();
         let peer = self.net.add_peer(files, self.now);
         if self.net.num_alive_clusters() < target_clusters || self.net.num_alive_clusters() == 0 {
@@ -1414,7 +1459,7 @@ impl Simulation {
         let source_cluster = info.cluster;
         let is_partner = info.is_partner;
         // Always reschedule the next query first.
-        let dt = self.exp_delay(self.config.query_rate);
+        let dt = self.exp_delay(self.config.query_rate * self.scenario.query_rate_mult());
         let h = self
             .queue
             .schedule(self.now + dt, Event::Query { peer, generation });
@@ -1425,6 +1470,9 @@ impl Simulation {
 
         let cm = self.config.costs;
         let j = self.model.sample_query(&mut self.rng);
+        // Post-draw transform: rotate the Zipf head while a flash
+        // crowd is active (identity otherwise).
+        let j = self.scenario.shift_query(j, self.model.num_classes());
         let qbytes = cm.query_bytes();
         let (send_q, recv_q) = (cm.send_query_units(), cm.recv_query_units());
 
@@ -2032,6 +2080,49 @@ impl Simulation {
                 // Probe connectivity right after the blast: the dip a
                 // coarse sampling grid would miss.
                 self.observe_reachability();
+            }
+        }
+    }
+
+    /// Applies a scenario phase boundary. Flash crowds and churn
+    /// bursts only toggle modifier state inside [`ScenarioState`].
+    /// Mass leaves force victims through the normal `on_leave` path
+    /// with `in_fault_crash` left false — the departure is
+    /// organic-style churn, so repair does not engage. Split windows
+    /// route through the fault layer's partition depth counters, so
+    /// the flood hot path carries no scenario-specific branch.
+    fn on_phase(&mut self, index: u32, start: bool) {
+        match self.scenario.on_phase_event(index, start) {
+            PhaseAction::None => {}
+            PhaseAction::MassLeave { fraction } => {
+                // Snapshot alive peers in slot order (identical in
+                // both engines), then generation-guard each victim:
+                // an earlier victim's departure cascade must not
+                // shift later picks.
+                let alive: Vec<(PeerId, u32)> = (0..self.net.peers.len())
+                    .filter(|&slot| self.net.peers[slot].is_some())
+                    .map(|slot| (slot as PeerId, self.net.peer_generation(slot as PeerId)))
+                    .collect();
+                let victims = self.scenario.pick_mass_leave(alive.len(), fraction);
+                for i in victims {
+                    let (p, generation) = alive[i];
+                    if self.net.peer(p, generation).is_some() {
+                        self.on_leave(p, generation);
+                    }
+                }
+                // Probe connectivity right after the blast, exactly
+                // like an injected crash wave.
+                self.observe_reachability();
+            }
+            PhaseAction::SplitBegin { fraction } => {
+                let alive: Vec<ClusterId> = self.net.alive_clusters().collect();
+                let resolved = self.scenario.pick_split(&alive, fraction);
+                self.faults.scenario_partition_begin(&resolved);
+                self.scenario.store_split(index, resolved);
+            }
+            PhaseAction::SplitEnd => {
+                let resolved = self.scenario.take_split(index);
+                self.faults.scenario_partition_end(&resolved);
             }
         }
     }

@@ -117,6 +117,16 @@ pub enum Event {
         /// Window start (or instantaneous injection) vs. window end.
         start: bool,
     },
+    /// A scenario phase opens (`start: true`) or closes
+    /// (`start: false`). `index` addresses the scenario plan's phase
+    /// list; like fault events, phase events carry no generation guard
+    /// because the plan outlives every peer.
+    Phase {
+        /// Index into the run's `ScenarioPlan::phases`.
+        index: u32,
+        /// Window start vs. window end.
+        start: bool,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]

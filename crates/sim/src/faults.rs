@@ -356,6 +356,31 @@ impl FaultState {
             .is_some_and(|&c| c > 0)
     }
 
+    /// Blocks a scenario-resolved cluster set: same depth counters as
+    /// a fault-plan partition window, so the flood hot path needs no
+    /// extra branch for scenario splits. The caller keeps the resolved
+    /// list and releases exactly it via
+    /// [`scenario_partition_end`](FaultState::scenario_partition_end).
+    pub fn scenario_partition_begin(&mut self, clusters: &[ClusterId]) {
+        for &slot in clusters {
+            let slot = slot as usize;
+            if slot >= self.partitioned.len() {
+                self.partitioned.resize(slot + 1, 0);
+            }
+            self.partitioned[slot] += 1;
+        }
+    }
+
+    /// Releases a cluster set previously blocked by
+    /// [`scenario_partition_begin`](FaultState::scenario_partition_begin).
+    pub fn scenario_partition_end(&mut self, clusters: &[ClusterId]) {
+        for &slot in clusters {
+            if let Some(c) = self.partitioned.get_mut(slot as usize) {
+                *c = c.saturating_sub(1);
+            }
+        }
+    }
+
     /// Applies the fault event `(index, start)` and returns what the
     /// engine must execute. `alive` is the engine's alive-cluster list
     /// in iteration order — both engines pass identical lists, so the

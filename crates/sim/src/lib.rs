@@ -48,20 +48,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod counters;
 pub mod engine;
 pub mod events;
 pub mod faults;
 pub mod metrics;
 pub mod network;
+pub mod phases;
 pub mod reference;
 pub mod repair;
 pub mod scenario;
 pub mod shard;
 
+pub use campaign::{run_campaign, CampaignOptions, CampaignReport, Divergence, ScenarioOutcome};
 pub use engine::{ForwardPolicy, SimOptions, Simulation};
 pub use faults::{FaultMetrics, FaultState, QueryOutcome, ReconnectHistogram, Submission};
 pub use metrics::{EventKind, RunManifest, SimMetrics};
+pub use phases::{PhaseAction, ScenarioState};
 pub use reference::ReferenceSimulation;
 pub use repair::{ReachPoint, RepairMetrics};
 pub use scenario::{

@@ -42,10 +42,12 @@ pub enum EventKind {
     Sample,
     /// A fault-plan injection or window boundary.
     Fault,
+    /// A scenario phase opening or closing.
+    Phase,
 }
 
 /// Number of distinct event kinds.
-pub const NUM_EVENT_KINDS: usize = 10;
+pub const NUM_EVENT_KINDS: usize = 11;
 
 impl EventKind {
     /// All kinds, in counter-index order.
@@ -60,6 +62,7 @@ impl EventKind {
         EventKind::Repair,
         EventKind::Sample,
         EventKind::Fault,
+        EventKind::Phase,
     ];
 
     /// The kind of an event.
@@ -75,6 +78,7 @@ impl EventKind {
             Event::Repair { .. } => EventKind::Repair,
             Event::Sample => EventKind::Sample,
             Event::Fault { .. } => EventKind::Fault,
+            Event::Phase { .. } => EventKind::Phase,
         }
     }
 
@@ -91,6 +95,7 @@ impl EventKind {
             EventKind::Repair => "repair",
             EventKind::Sample => "sample",
             EventKind::Fault => "fault",
+            EventKind::Phase => "phase",
         }
     }
 }
@@ -480,6 +485,10 @@ mod tests {
             },
             Event::Sample,
             Event::Fault {
+                index: 0,
+                start: true,
+            },
+            Event::Phase {
                 index: 0,
                 start: true,
             },

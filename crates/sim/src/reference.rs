@@ -31,10 +31,13 @@ use sp_model::query_model::QueryModel;
 use sp_stats::dist::Sampler;
 use sp_stats::{Poisson, SpRng};
 
+use sp_model::scenario::ScenarioPlan;
+
 use crate::engine::{ForwardPolicy, RawMetrics, SimOptions, TimelinePoint};
 use crate::events::{BinaryEventQueue, ClusterId, Event, PeerId, SimTime};
 use crate::faults::{FaultAction, FaultState, QueryOutcome, Submission};
 use crate::network::SimNetwork;
+use crate::phases::{PhaseAction, ScenarioState};
 use crate::repair::{ReachPoint, RepairPending};
 
 /// The original (pre-rework) simulation engine. Same behavior as
@@ -71,6 +74,8 @@ pub struct ReferenceSimulation {
     /// Set while a crash fault's victims run through `on_leave`:
     /// repair engages only for fault-injected deaths.
     in_fault_crash: bool,
+    /// Scenario-phase state machine (inert for an empty plan).
+    scenario: ScenarioState,
 }
 
 impl ReferenceSimulation {
@@ -93,6 +98,24 @@ impl ReferenceSimulation {
     ///
     /// Panics if the configuration or the fault plan is invalid.
     pub fn with_faults(config: &Config, opts: SimOptions, plan: &FaultPlan) -> Self {
+        Self::build(config, opts, plan, &ScenarioPlan::default())
+    }
+
+    /// Builds a simulation that plays the given scenario plan; the
+    /// oracle counterpart of
+    /// [`Simulation::with_scenario`](crate::engine::Simulation::with_scenario).
+    /// The plan's `repair` policy overrides `opts.repair`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration or the scenario plan is invalid.
+    pub fn with_scenario(config: &Config, opts: SimOptions, plan: &ScenarioPlan) -> Self {
+        let mut opts = opts;
+        opts.repair = plan.repair;
+        Self::build(config, opts, &plan.faults, plan)
+    }
+
+    fn build(config: &Config, opts: SimOptions, plan: &FaultPlan, scenario: &ScenarioPlan) -> Self {
         plan.validate().expect("invalid fault plan");
         let mut rng = SpRng::seed_from_u64(opts.seed);
         let inst = NetworkInstance::generate(config, &mut rng).expect("invalid configuration");
@@ -118,6 +141,7 @@ impl ReferenceSimulation {
             repair_pending: Vec::new(),
             monitor: PartitionMonitor::new(),
             in_fault_crash: false,
+            scenario: ScenarioState::new(scenario, opts.scenario_seed),
         };
         sim.bootstrap(&inst);
         sim
@@ -145,21 +169,26 @@ impl ReferenceSimulation {
         for cluster in &inst.clusters {
             let lead = cluster.partners[0];
             let lead_peer = &inst.peers[lead as usize];
-            let p = self.net.add_peer(lead_peer.files, 0.0);
+            let (files, lifespan) = self
+                .scenario
+                .admit_peer(lead_peer.files, lead_peer.lifespan_secs);
+            let p = self.net.add_peer(files, 0.0);
             let c = self.net.add_cluster(p, inst.config.ttl);
-            self.schedule_peer_events(p, lead_peer.lifespan_secs);
+            self.schedule_peer_events(p, lifespan);
             for &extra in &cluster.partners[1..] {
                 let info = &inst.peers[extra as usize];
-                let q = self.net.add_peer(info.files, 0.0);
+                let (files, lifespan) = self.scenario.admit_peer(info.files, info.lifespan_secs);
+                let q = self.net.add_peer(files, 0.0);
                 self.net.attach_client(q, c);
                 self.net.promote_specific(c, q).expect("just attached");
-                self.schedule_peer_events(q, info.lifespan_secs);
+                self.schedule_peer_events(q, lifespan);
             }
             for &cl in &cluster.clients {
                 let info = &inst.peers[cl as usize];
-                let q = self.net.add_peer(info.files, 0.0);
+                let (files, lifespan) = self.scenario.admit_peer(info.files, info.lifespan_secs);
+                let q = self.net.add_peer(files, 0.0);
                 self.net.attach_client(q, c);
-                self.schedule_peer_events(q, info.lifespan_secs);
+                self.schedule_peer_events(q, lifespan);
             }
             cluster_ids.push(c);
         }
@@ -202,6 +231,11 @@ impl ReferenceSimulation {
         for (index, time, start) in self.faults.schedule() {
             self.queue.schedule(time, Event::Fault { index, start });
         }
+        // Scenario phases immediately after the fault schedule, so the
+        // two engines' FIFO sequence numbers line up here too.
+        for (index, time, start) in self.scenario.schedule() {
+            self.queue.schedule(time, Event::Phase { index, start });
+        }
         let _ = inst; // roles fully mirrored
     }
 
@@ -210,7 +244,7 @@ impl ReferenceSimulation {
         self.queue
             .schedule(self.now + lifespan, Event::PeerLeave { peer, generation });
         if self.config.query_rate > 0.0 {
-            let dt = self.exp_delay(self.config.query_rate);
+            let dt = self.exp_delay(self.config.query_rate * self.scenario.query_rate_mult());
             self.queue
                 .schedule(self.now + dt, Event::Query { peer, generation });
         }
@@ -270,7 +304,7 @@ impl ReferenceSimulation {
                     return;
                 }
             }
-            Event::PeerJoin | Event::Sample | Event::Fault { .. } => {}
+            Event::PeerJoin | Event::Sample | Event::Fault { .. } | Event::Phase { .. } => {}
         }
         self.delivered += 1;
         match event {
@@ -298,6 +332,7 @@ impl ReferenceSimulation {
             } => self.on_repair(cluster, generation),
             Event::Sample => self.on_sample(),
             Event::Fault { index, start } => self.on_fault(index, start),
+            Event::Phase { index, start } => self.on_phase(index, start),
         }
     }
 
@@ -392,6 +427,8 @@ impl ReferenceSimulation {
     fn on_join(&mut self) {
         let files = self.config.population.sample_files(&mut self.rng);
         let lifespan = self.config.population.sample_lifespan(&mut self.rng);
+        // Post-draw transform: capacity class + active churn burst.
+        let (files, lifespan) = self.scenario.admit_peer(files, lifespan);
         let target_clusters = self.config.num_clusters();
         let peer = self.net.add_peer(files, self.now);
         if self.net.num_alive_clusters() < target_clusters || self.net.num_alive_clusters() == 0 {
@@ -946,6 +983,47 @@ impl ReferenceSimulation {
         }
     }
 
+    /// Applies a scenario phase boundary; the oracle counterpart of
+    /// the fast engine's `on_phase`. Mass leaves run victims through
+    /// the normal `on_leave` path with `in_fault_crash` left false
+    /// (organic-style churn: repair does not engage); split windows
+    /// route through the fault layer's partition depth counters.
+    fn on_phase(&mut self, index: u32, start: bool) {
+        match self.scenario.on_phase_event(index, start) {
+            PhaseAction::None => {}
+            PhaseAction::MassLeave { fraction } => {
+                // Snapshot alive peers in slot order (identical in
+                // both engines), then generation-guard each victim:
+                // an earlier victim's departure cascade must not
+                // shift later picks.
+                let alive: Vec<(PeerId, u32)> = (0..self.net.peers.len())
+                    .filter(|&slot| self.net.peers[slot].is_some())
+                    .map(|slot| (slot as PeerId, self.net.peer_generation(slot as PeerId)))
+                    .collect();
+                let victims = self.scenario.pick_mass_leave(alive.len(), fraction);
+                for i in victims {
+                    let (p, generation) = alive[i];
+                    if self.net.peer(p, generation).is_some() {
+                        self.on_leave(p, generation);
+                    }
+                }
+                // Probe connectivity right after the blast, exactly
+                // like an injected crash wave.
+                self.observe_reachability();
+            }
+            PhaseAction::SplitBegin { fraction } => {
+                let alive: Vec<ClusterId> = self.net.alive_clusters().collect();
+                let resolved = self.scenario.pick_split(&alive, fraction);
+                self.faults.scenario_partition_begin(&resolved);
+                self.scenario.store_split(index, resolved);
+            }
+            PhaseAction::SplitEnd => {
+                let resolved = self.scenario.take_split(index);
+                self.faults.scenario_partition_end(&resolved);
+            }
+        }
+    }
+
     fn on_recruit(&mut self, cluster: ClusterId, generation: u32) {
         if self.net.cluster(cluster, generation).is_none() {
             return;
@@ -1038,7 +1116,7 @@ impl ReferenceSimulation {
         let source_cluster = info.cluster;
         let is_partner = info.is_partner;
         // Always reschedule the next query first.
-        let dt = self.exp_delay(self.config.query_rate);
+        let dt = self.exp_delay(self.config.query_rate * self.scenario.query_rate_mult());
         self.queue
             .schedule(self.now + dt, Event::Query { peer, generation });
         let Some(sc) = source_cluster else {
@@ -1047,6 +1125,9 @@ impl ReferenceSimulation {
 
         let cm = self.config.costs;
         let j = self.model.sample_query(&mut self.rng);
+        // Post-draw transform: rotate the Zipf head while a flash
+        // crowd is active (identity otherwise).
+        let j = self.scenario.shift_query(j, self.model.num_classes());
         let qbytes = cm.query_bytes();
         let (send_q, recv_q) = (cm.send_query_units(), cm.recv_query_units());
 

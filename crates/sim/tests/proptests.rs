@@ -7,6 +7,8 @@
 
 use proptest::prelude::*;
 use sp_model::faults::{FaultPlan, FaultSpec};
+use sp_model::repair::RepairPolicy;
+use sp_model::scenario::{CapacityClass, PhaseKind, PhaseSpec, ScenarioPlan};
 use sp_sim::network::SimNetwork;
 use sp_stats::SpRng;
 
@@ -159,6 +161,71 @@ fn arb_plan(dur: f64) -> impl Strategy<Value = FaultPlan> {
         faults,
         ..Default::default()
     })
+}
+
+/// An arbitrary valid [`ScenarioPlan`]: at most one phase per kind
+/// (same-kind windows may not overlap, so one each always validates),
+/// 0–2 capacity classes, an arbitrary embedded fault plan, and any
+/// repair policy.
+fn arb_scenario(dur: f64) -> impl Strategy<Value = ScenarioPlan> {
+    let window = |max_len: f64| (0.0..dur * 0.8, 1.0..max_len);
+    let flash = prop::option::of((window(dur * 0.2), 0.5f64..5.0, 0u32..64));
+    let churn = prop::option::of((window(dur * 0.2), 0.2f64..3.0));
+    let leave = prop::option::of((window(dur * 0.1), 0.0f64..0.5));
+    let split = prop::option::of((window(dur * 0.3), 0.0f64..0.6));
+    let classes = prop::collection::vec((0.5f64..4.0, 0.25f64..3.0, 0.5f64..2.0), 0..3);
+    (
+        flash,
+        churn,
+        leave,
+        split,
+        classes,
+        arb_plan(dur),
+        0usize..3,
+    )
+        .prop_map(
+            |(flash, churn, leave, split, classes, faults, repair_idx)| {
+                let mut plan = ScenarioPlan {
+                    faults,
+                    repair: RepairPolicy::ALL[repair_idx],
+                    ..Default::default()
+                };
+                let mut push = |from: f64, len: f64, kind: PhaseKind| {
+                    plan.phases.push(PhaseSpec {
+                        from_secs: from,
+                        until_secs: from + len,
+                        kind,
+                    });
+                };
+                if let Some(((from, len), query_rate_mult, hot_shift)) = flash {
+                    push(
+                        from,
+                        len,
+                        PhaseKind::FlashCrowd {
+                            query_rate_mult,
+                            hot_shift,
+                        },
+                    );
+                }
+                if let Some(((from, len), lifespan_mult)) = churn {
+                    push(from, len, PhaseKind::ChurnBurst { lifespan_mult });
+                }
+                if let Some(((from, len), fraction)) = leave {
+                    push(from, len, PhaseKind::MassLeave { fraction });
+                }
+                if let Some(((from, len), fraction)) = split {
+                    push(from, len, PhaseKind::Split { fraction });
+                }
+                for (weight, files_mult, lifespan_mult) in classes {
+                    plan.capacity_classes.push(CapacityClass {
+                        weight,
+                        files_mult,
+                        lifespan_mult,
+                    });
+                }
+                plan
+            },
+        )
 }
 
 proptest! {
@@ -318,6 +385,51 @@ proptest! {
             unrepaired.repair.max_components(),
             &plan
         );
+    }
+
+    /// Under any generated scenario plan — phased flash crowds, churn
+    /// bursts, mass leaves, splits, capacity classes, embedded faults,
+    /// any repair policy — the fast and reference engines produce
+    /// bitwise-identical `RawMetrics`, the conservation law holds, and
+    /// the plan survives a JSON round trip unchanged.
+    #[test]
+    fn engines_agree_under_any_scenario_plan(
+        plan in arb_scenario(300.0),
+        redundancy in prop::bool::ANY,
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        scenario_seed in any::<u64>(),
+    ) {
+        use sp_model::config::Config;
+        use sp_sim::engine::{SimOptions, Simulation};
+        use sp_sim::reference::ReferenceSimulation;
+        prop_assert!(plan.validate().is_ok(),
+            "generator emitted an invalid plan {:?}", &plan);
+        let round_trip = ScenarioPlan::from_json(&plan.to_json());
+        prop_assert_eq!(round_trip.as_ref(), Ok(&plan),
+            "scenario JSON round trip changed the plan");
+        let cfg = Config {
+            graph_size: 100,
+            cluster_size: 10,
+            ..Config::default()
+        }
+        .with_redundancy(redundancy);
+        let opts = SimOptions {
+            duration_secs: 300.0,
+            seed,
+            fault_seed,
+            scenario_seed,
+            ..Default::default()
+        };
+        let mut fast = Simulation::with_scenario(&cfg, opts, &plan);
+        let fast_metrics = fast.run();
+        let mut reference = ReferenceSimulation::with_scenario(&cfg, opts, &plan);
+        let reference_metrics = reference.run();
+        prop_assert_eq!(&fast_metrics, &reference_metrics,
+            "engines diverged under scenario {:?}", &plan);
+        prop_assert!(fast.net.check_invariants().is_ok());
+        prop_assert!(fast_metrics.faults.conserved(),
+            "conservation broken under scenario: {:?}", &fast_metrics.faults);
     }
 
     /// The sharded scale engine under any generated fault plan: metrics

@@ -13,6 +13,8 @@ use sp_model::faults::{FaultPlan, FaultSpec};
 use sp_model::load::Load;
 use sp_model::population::PopulationModel;
 use sp_model::repair::RepairPolicy;
+use sp_model::scenario::{CapacityClass, PhaseKind, PhaseSpec, ScenarioPlan};
+use sp_sim::campaign::{run_campaign, CampaignOptions};
 use sp_sim::engine::{AdaptSettings, ForwardPolicy, SimOptions, Simulation};
 use sp_sim::reference::ReferenceSimulation;
 use sp_sim::scenario::{
@@ -44,6 +46,175 @@ fn assert_engines_agree_with_faults(
         reference.events_delivered(),
         "delivered-event counts diverged on {label}",
     );
+}
+
+fn assert_engines_agree_with_scenario(
+    label: &str,
+    config: &Config,
+    opts: SimOptions,
+    plan: &ScenarioPlan,
+) {
+    let mut fast = Simulation::with_scenario(config, opts, plan);
+    let fast_metrics = fast.run();
+    let mut reference = ReferenceSimulation::with_scenario(config, opts, plan);
+    let reference_metrics = reference.run();
+    assert_eq!(
+        fast_metrics, reference_metrics,
+        "engines diverged on {label} (seed {}, scenario seed {})",
+        opts.seed, opts.scenario_seed
+    );
+    assert_eq!(
+        fast.events_delivered(),
+        reference.events_delivered(),
+        "delivered-event counts diverged on {label}",
+    );
+}
+
+/// A hand-built scenario exercising every phase kind at once, plus
+/// capacity classes, an embedded fault window, and a repair policy.
+fn rich_scenario_plan() -> ScenarioPlan {
+    let plan = ScenarioPlan {
+        phases: vec![
+            PhaseSpec {
+                from_secs: 100.0,
+                until_secs: 400.0,
+                kind: PhaseKind::FlashCrowd {
+                    query_rate_mult: 4.0,
+                    hot_shift: 13,
+                },
+            },
+            PhaseSpec {
+                from_secs: 150.0,
+                until_secs: 600.0,
+                kind: PhaseKind::ChurnBurst { lifespan_mult: 0.4 },
+            },
+            PhaseSpec {
+                from_secs: 450.0,
+                until_secs: 470.0,
+                kind: PhaseKind::MassLeave { fraction: 0.25 },
+            },
+            PhaseSpec {
+                from_secs: 500.0,
+                until_secs: 800.0,
+                kind: PhaseKind::Split { fraction: 0.3 },
+            },
+        ],
+        capacity_classes: vec![
+            CapacityClass {
+                weight: 3.0,
+                files_mult: 2.0,
+                lifespan_mult: 1.5,
+            },
+            CapacityClass {
+                weight: 1.0,
+                files_mult: 0.5,
+                lifespan_mult: 0.75,
+            },
+        ],
+        faults: FaultPlan {
+            faults: vec![FaultSpec::MessageLoss {
+                from_secs: 200.0,
+                until_secs: 700.0,
+                drop_prob: 0.2,
+            }],
+            ..Default::default()
+        },
+        repair: RepairPolicy::Promote,
+    };
+    plan.validate().expect("rich scenario must validate");
+    plan
+}
+
+#[test]
+fn engines_agree_under_scenario_plans() {
+    let plan = rich_scenario_plan();
+    for redundancy in [false, true] {
+        let config = Config {
+            graph_size: 120,
+            cluster_size: 12,
+            population: PopulationModel {
+                lifespan_mean_secs: 400.0,
+                ..Default::default()
+            },
+            ..Config::default()
+        }
+        .with_redundancy(redundancy);
+        for scenario_seed in [0, 99] {
+            assert_engines_agree_with_scenario(
+                "all-phase scenario",
+                &config,
+                SimOptions {
+                    duration_secs: 1200.0,
+                    seed: 7,
+                    fault_seed: 7,
+                    scenario_seed,
+                    ..Default::default()
+                },
+                &plan,
+            );
+        }
+    }
+}
+
+#[test]
+fn empty_scenario_plan_is_bitwise_inert() {
+    let config = Config {
+        graph_size: 100,
+        cluster_size: 10,
+        population: PopulationModel {
+            lifespan_mean_secs: 500.0,
+            ..Default::default()
+        },
+        ..Config::default()
+    };
+    let opts = SimOptions {
+        duration_secs: 900.0,
+        seed: 13,
+        ..Default::default()
+    };
+    let plain = Simulation::new(&config, opts).run();
+    // An empty scenario never draws from its dedicated RNG stream and
+    // schedules no phase events, so any scenario seed must reproduce
+    // the plain run byte for byte.
+    let with_empty = Simulation::with_scenario(
+        &config,
+        SimOptions {
+            scenario_seed: 0xBEEF,
+            ..opts
+        },
+        &ScenarioPlan::default(),
+    )
+    .run();
+    assert_eq!(plain, with_empty, "an empty scenario must change nothing");
+}
+
+#[test]
+fn campaign_is_green_and_bitwise_identical_across_thread_counts() {
+    // The standing fuzz gate's own contract: a seeded differential
+    // campaign finds no divergences, and its order-sensitive
+    // fingerprint is invariant under the worker-thread count.
+    let base = CampaignOptions {
+        count: 6,
+        seed: 13,
+        threads: 1,
+        users: 60,
+        cluster_size: 10,
+        duration_secs: 300.0,
+    };
+    let single = run_campaign(&base);
+    assert!(
+        single.divergences.is_empty(),
+        "campaign found divergences: {:?}",
+        single.divergences
+    );
+    for threads in [2, 8] {
+        let sharded = run_campaign(&CampaignOptions { threads, ..base });
+        assert_eq!(
+            single.fingerprint, sharded.fingerprint,
+            "campaign fingerprint diverged at {threads} threads"
+        );
+        assert!(sharded.divergences.is_empty());
+    }
 }
 
 #[test]
