@@ -421,6 +421,7 @@ fn repair_section() {
                 seed: 42,
                 threads: threads(),
                 repair: policy,
+                ..Default::default()
             },
         );
         let wall = t.elapsed().as_secs_f64();

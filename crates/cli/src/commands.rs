@@ -7,14 +7,16 @@ use sp_core::model::config::{Config, GraphType};
 use sp_core::model::faults::FaultPlan;
 use sp_core::model::repair::RepairPolicy;
 use sp_core::model::scenario::ScenarioPlan;
+use sp_core::model::snapshot::{SnapReader, ENGINE_FAST, ENGINE_REFERENCE, ENGINE_SCALE};
 use sp_core::model::trials::{resolve_thread_budget, TrialOptions};
 use sp_core::report::{ci, sci, Table};
-use sp_core::sim::campaign::{run_campaign, CampaignOptions};
-use sp_core::sim::engine::{SimOptions, Simulation};
+use sp_core::sim::campaign::{run_campaign_with, CampaignOptions, CampaignResume};
+use sp_core::sim::engine::{RawMetrics, SimOptions, Simulation};
+use sp_core::sim::reference::ReferenceSimulation;
 use sp_core::sim::scenario::{
     crash_storm, crash_storm_trials, reliability, steady_trials, SimReport, SimTrialOptions,
 };
-use sp_core::sim::shard::{ScaleOptions, ShardedSimulation};
+use sp_core::sim::shard::{ScaleDiag, ScaleMetrics, ScaleOptions, ShardFailure, ShardedSimulation};
 use sp_core::{Load, NetworkBuilder};
 
 use crate::args::{ArgError, Args};
@@ -66,6 +68,69 @@ fn shards_from(args: &Args) -> Result<usize, ArgError> {
         None => Ok(resolve_thread_budget(0)),
         Some(s) => positive_count("--shards", s),
     }
+}
+
+/// Parses `--inject-shard-panic S:T` into the scale engine's panic
+/// injection hook: shard index `S` panics at tick `T`.
+fn shard_panic_from(args: &Args) -> Result<Option<(usize, u32)>, ArgError> {
+    let Some(spec) = args.get("inject-shard-panic") else {
+        return Ok(None);
+    };
+    let parsed = spec.split_once(':').and_then(|(s, t)| {
+        Some((
+            s.trim().parse::<usize>().ok()?,
+            t.trim().parse::<u32>().ok()?,
+        ))
+    });
+    parsed.map(Some).ok_or_else(|| {
+        ArgError(format!(
+            "--inject-shard-panic: expected SHARD:TICK (two integers), got {spec:?}"
+        ))
+    })
+}
+
+/// Validates the checkpoint options shared by the fast and scale
+/// single-run paths: `--checkpoint-every` must be a positive number
+/// and `--checkpoint-dir` is inert without it.
+fn checkpoint_every_from(args: &Args) -> Result<Option<f64>, CliError> {
+    let every = match args.get("checkpoint-every") {
+        None => {
+            if args.get("checkpoint-dir").is_some() {
+                return Err(CliError::Usage(
+                    "--checkpoint-dir only names where --checkpoint-every writes; \
+                     add --checkpoint-every N"
+                        .into(),
+                ));
+            }
+            return Ok(None);
+        }
+        Some(v) => v
+            .parse::<f64>()
+            .map_err(|_| CliError::Usage(format!("--checkpoint-every: cannot parse {v:?}")))?,
+    };
+    if every <= 0.0 || !every.is_finite() {
+        return Err(CliError::Usage(
+            "--checkpoint-every: must be a positive interval".into(),
+        ));
+    }
+    Ok(Some(every))
+}
+
+/// Writes sequence-numbered `checkpoint-NNNNNN.snap` files, creating
+/// the directory on first use.
+fn write_checkpoint(dir: &str, seq: usize, data: &[u8]) -> Result<std::path::PathBuf, CliError> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| CliError::Runtime(format!("--checkpoint-dir: cannot create {dir:?}: {e}")))?;
+    let path = std::path::Path::new(dir).join(format!("checkpoint-{seq:06}.snap"));
+    std::fs::write(&path, data)
+        .map_err(|e| CliError::Runtime(format!("cannot write checkpoint {path:?}: {e}")))?;
+    Ok(path)
+}
+
+/// Maps a supervised shard failure to exit 1 with the full diagnostic
+/// block (which shard, which tick, why, and every shard's progress).
+fn shard_failure(f: ShardFailure) -> CliError {
+    CliError::Runtime(format!("{f}\n{}", f.diagnostic()))
 }
 
 /// Resolves `--repair POLICY` (default `off`). Repair only engages on
@@ -215,6 +280,26 @@ static SIMULATE_USAGE: CommandUsage = CommandUsage {
             "--shards N",
             "reactor count for --scale (default one per core); metrics\nare bitwise identical at any shard count",
         ),
+        (
+            "--checkpoint-every N",
+            "write a restorable checkpoint every N simulated seconds\n(or every N ticks with --scale) into --checkpoint-dir",
+        ),
+        (
+            "--checkpoint-dir D",
+            "directory for checkpoint-NNNNNN.snap files\n(default checkpoints; created on demand)",
+        ),
+        (
+            "--resume SNAP",
+            "restore the checkpoint at SNAP and run it to completion;\nthe engine, workload, and seeds all come from the snapshot,\nand the finished metrics are bitwise identical to the\nuninterrupted run",
+        ),
+        (
+            "--barrier-timeout-ticks N",
+            "--scale watchdog: fail the run (exit 1, named shard\ndiagnostics) if a tick barrier stalls longer than N×100ms\n(default 0 = no watchdog)",
+        ),
+        (
+            "--inject-shard-panic S:T",
+            "--scale test hook: panic shard reactor S at tick T to\nexercise the supervisor path",
+        ),
     ],
     topology: true,
     examples: &[
@@ -223,6 +308,8 @@ static SIMULATE_USAGE: CommandUsage = CommandUsage {
         "spnet simulate --users 1000 --faults plan.json --metrics-json run.json",
         "spnet simulate --users 1000 --scenario scenario.json --seed 7",
         "spnet simulate --users 1000000 --scale --shards 8 --duration 300",
+        "spnet simulate --users 200000 --scale --checkpoint-every 60 --checkpoint-dir ckpt",
+        "spnet simulate --resume ckpt/checkpoint-000002.snap --metrics-json out.json",
     ],
 };
 
@@ -242,13 +329,22 @@ static CAMPAIGN_USAGE: CommandUsage = CommandUsage {
         ("--report P", "write the machine-readable campaign report to P"),
         (
             "--repro-dir D",
-            "directory for divergence reproducer JSONs\n(default campaign_repros; created on demand)",
+            "directory for divergence reproducer JSONs and quarantine\nartifacts (default campaign_repros; created on demand)",
+        ),
+        (
+            "--resume REPORT",
+            "resume a previous campaign from its --report JSON: green\nscenarios are skipped (their fingerprints re-fold), divergent\nand quarantined ones re-run; campaign options come from the\nreport, so --count/--seed/--users/--cluster/--duration\nconflict",
+        ),
+        (
+            "--inject-panic N",
+            "test hook: panic scenario N inside the worker to exercise\nthe quarantine path",
         ),
     ],
     topology: false,
     examples: &[
         "spnet campaign --count 32 --seed 42",
         "spnet campaign --count 500 --seed 7 --threads 8 --report campaign.json",
+        "spnet campaign --resume campaign.json --report campaign.json",
     ],
 };
 
@@ -417,6 +513,9 @@ pub fn simulate(args: &Args) -> Result<String, CliError> {
     if let Some(text) = SIMULATE_USAGE.gate(args)? {
         return Ok(text);
     }
+    if let Some(path) = args.get("resume") {
+        return simulate_resume(args, path);
+    }
     let mut cfg = config_from(args)?;
     if let Some(lifespan) = args.get("lifespan") {
         cfg.population.lifespan_mean_secs = lifespan
@@ -494,6 +593,16 @@ pub fn simulate(args: &Args) -> Result<String, CliError> {
         ));
     }
     let scenario_seed = args.get_or("scenario-seed", seed)?;
+    let checkpoint_every = checkpoint_every_from(args)?;
+    if checkpoint_every.is_some()
+        && (trials > 1 || args.flag("reliability") || args.flag("crash-storm"))
+    {
+        return Err(CliError::Usage(
+            "--checkpoint-every checkpoints a single run; it cannot be combined \
+             with --trials, --reliability, or --crash-storm"
+                .into(),
+        ));
+    }
     if args.flag("scale") {
         return simulate_scale(
             args,
@@ -503,11 +612,19 @@ pub fn simulate(args: &Args) -> Result<String, CliError> {
             fault_seed,
             &plan,
             metrics_json,
+            checkpoint_every,
         );
     }
     if args.get("shards").is_some() {
         return Err(CliError::Usage(
             "--shards selects the sharded scale engine; add --scale".into(),
+        ));
+    }
+    if args.get("barrier-timeout-ticks").is_some() || args.get("inject-shard-panic").is_some() {
+        return Err(CliError::Usage(
+            "--barrier-timeout-ticks and --inject-shard-panic supervise the \
+             sharded scale engine; add --scale"
+                .into(),
         ));
     }
     if args.flag("crash-storm") {
@@ -530,6 +647,7 @@ pub fn simulate(args: &Args) -> Result<String, CliError> {
                     seed,
                     threads,
                     repair,
+                    ..Default::default()
                 },
             );
             let mut t = Table::new(vec!["Metric", "k = 1", "k = 2"]);
@@ -670,6 +788,7 @@ pub fn simulate(args: &Args) -> Result<String, CliError> {
                 seed,
                 threads,
                 repair,
+                ..Default::default()
             },
         );
         let mut t = Table::new(vec!["Metric", "Mean ± 95% CI"]);
@@ -697,6 +816,17 @@ pub fn simulate(args: &Args) -> Result<String, CliError> {
         None => Simulation::with_faults(&cfg, opts, &plan),
     };
     let start = std::time::Instant::now();
+    if let Some(every) = checkpoint_every {
+        let dir = args.get("checkpoint-dir").unwrap_or("checkpoints");
+        let mut seq = 0usize;
+        let mut at = every;
+        while at < duration {
+            sim.run_to(at);
+            write_checkpoint(dir, seq, &sim.snapshot())?;
+            seq += 1;
+            at += every;
+        }
+    }
     let raw = sim.run();
     if let Some(path) = metrics_json {
         let manifest = sim.manifest(start.elapsed().as_secs_f64());
@@ -786,6 +916,7 @@ pub fn simulate(args: &Args) -> Result<String, CliError> {
 /// core); metrics are bitwise identical at every value, so
 /// `--metrics-json` output from runs at different shard counts can be
 /// compared byte-for-byte — the CI sharded-smoke contract.
+#[allow(clippy::too_many_arguments)]
 fn simulate_scale(
     args: &Args,
     cfg: &mut Config,
@@ -794,6 +925,7 @@ fn simulate_scale(
     fault_seed: u64,
     plan: &FaultPlan,
     metrics_json: Option<&str>,
+    checkpoint_every: Option<f64>,
 ) -> Result<String, CliError> {
     if args.flag("reliability")
         || args.flag("crash-storm")
@@ -803,7 +935,8 @@ fn simulate_scale(
     {
         return Err(CliError::Usage(
             "--scale runs the sharded scale engine; it supports --shards, --duration, \
-             --seed, --faults, --fault-seed, --metrics-json, and the topology options only"
+             --seed, --faults, --fault-seed, --metrics-json, the checkpoint/supervisor \
+             options, and the topology options only"
                 .into(),
         ));
     }
@@ -825,16 +958,40 @@ fn simulate_scale(
             seed,
             fault_seed,
             shards,
+            barrier_timeout_ticks: args.get_or("barrier-timeout-ticks", 0u32)?,
+            inject_panic: shard_panic_from(args)?,
         },
         plan,
     );
-    let m = sim.run();
+    if let Some(every) = checkpoint_every {
+        // The scale clock is the tick barrier, so the interval is in
+        // ticks; fractional values round up to the next barrier.
+        let every = (every.ceil() as u32).max(1);
+        let dir = args.get("checkpoint-dir").unwrap_or("checkpoints");
+        let mut seq = 0usize;
+        let mut at = every;
+        while at < sim.total_ticks() {
+            sim.run_to(at).map_err(shard_failure)?;
+            write_checkpoint(dir, seq, &sim.snapshot())?;
+            seq += 1;
+            at += every;
+        }
+    }
+    let m = sim.try_run().map_err(shard_failure)?;
     let diag = *sim.diag();
     if let Some(path) = metrics_json {
         std::fs::write(path, m.to_json()).map_err(|e| {
             CliError::Runtime(format!("--metrics-json: cannot write {path:?}: {e}"))
         })?;
     }
+    Ok(scale_report(&m, &diag, !plan.is_empty()))
+}
+
+/// Renders the scale-engine report table plus the flat smoke line CI
+/// diffs across shard counts — shared by fresh `--scale` runs and
+/// `--resume` of a scale snapshot (whose metrics must come out
+/// byte-identical).
+fn scale_report(m: &ScaleMetrics, diag: &ScaleDiag, faulted: bool) -> String {
     let mut t = Table::new(vec!["Metric", "Value"]);
     t.row(vec!["peers".into(), m.peers.to_string()]);
     t.row(vec!["clusters".into(), m.clusters.to_string()]);
@@ -846,7 +1003,7 @@ fn simulate_scale(
         m.msgs_delivered.to_string(),
     ]);
     t.row(vec!["results found".into(), m.results_found.to_string()]);
-    if !plan.is_empty() {
+    if faulted {
         t.row(vec![
             "dropped (loss/partition/dead)".into(),
             format!(
@@ -874,13 +1031,158 @@ fn simulate_scale(
     ]);
     // Flat line for scripted smoke checks: every field here is
     // shard-count-invariant, so CI can diff it across shard counts.
-    Ok(format!(
+    format!(
         "{}\nscale run: events processed {}, msgs delivered {}, results {}",
         t.render(),
         m.events_processed(),
         m.msgs_delivered,
         m.results_found
-    ))
+    )
+}
+
+/// The `spnet simulate --resume SNAP` path: restores a checkpoint and
+/// runs it to completion. The snapshot names its own engine
+/// (dispatched on the container header), workload, and RNG positions,
+/// so every option that would re-describe the run is a conflict; the
+/// finished metrics are bitwise identical to the uninterrupted run's.
+fn simulate_resume(args: &Args, path: &str) -> Result<String, CliError> {
+    // The snapshot embeds the config, plans, and seeds; anything that
+    // would re-specify them is a conflict, named individually so the
+    // error says which option to drop.
+    for key in [
+        "users",
+        "cluster",
+        "outdegree",
+        "ttl",
+        "query-rate",
+        "k",
+        "graph",
+        "lifespan",
+        "duration",
+        "seed",
+        "fault-seed",
+        "scenario-seed",
+        "trials",
+        "faults",
+        "scenario",
+        "repair",
+        "checkpoint-every",
+        "checkpoint-dir",
+    ] {
+        if args.get(key).is_some() {
+            return Err(CliError::Usage(format!(
+                "--resume restores the full run state from the snapshot; drop --{key}"
+            )));
+        }
+    }
+    for flag in [
+        "reliability",
+        "crash-storm",
+        "strong",
+        "redundancy",
+        "scale",
+    ] {
+        if args.flag(flag) {
+            return Err(CliError::Usage(format!(
+                "--resume restores the full run state from the snapshot; drop --{flag}"
+            )));
+        }
+    }
+    let data = std::fs::read(path)
+        .map_err(|e| CliError::Runtime(format!("--resume: cannot read {path:?}: {e}")))?;
+    let engine = SnapReader::peek_engine(&data)
+        .map_err(|e| CliError::Runtime(format!("--resume: {path}: {e}")))?;
+    let metrics_json = args.get("metrics-json");
+    let restored = |e: sp_core::model::snapshot::SnapshotError| {
+        CliError::Runtime(format!("--resume: {path}: {e}"))
+    };
+    match engine {
+        ENGINE_SCALE => {
+            let opts = ScaleOptions {
+                shards: shards_from(args)?,
+                barrier_timeout_ticks: args.get_or("barrier-timeout-ticks", 0u32)?,
+                inject_panic: shard_panic_from(args)?,
+                ..ScaleOptions::default()
+            };
+            let mut sim = ShardedSimulation::restore(&data, opts).map_err(restored)?;
+            let m = sim.try_run().map_err(shard_failure)?;
+            let diag = *sim.diag();
+            if let Some(p) = metrics_json {
+                std::fs::write(p, m.to_json()).map_err(|e| {
+                    CliError::Runtime(format!("--metrics-json: cannot write {p:?}: {e}"))
+                })?;
+            }
+            Ok(scale_report(&m, &diag, true))
+        }
+        engine @ (ENGINE_FAST | ENGINE_REFERENCE) => {
+            if args.get("shards").is_some()
+                || args.get("barrier-timeout-ticks").is_some()
+                || args.get("inject-shard-panic").is_some()
+            {
+                return Err(CliError::Usage(
+                    "--shards/--barrier-timeout-ticks/--inject-shard-panic supervise \
+                     scale snapshots; this snapshot is a churn-engine checkpoint"
+                        .into(),
+                ));
+            }
+            let (raw, name) = if engine == ENGINE_FAST {
+                let mut sim = Simulation::restore(&data).map_err(restored)?;
+                let start = std::time::Instant::now();
+                let raw = sim.run();
+                if let Some(p) = metrics_json {
+                    let manifest = sim.manifest(start.elapsed().as_secs_f64());
+                    std::fs::write(p, manifest.to_json()).map_err(|e| {
+                        CliError::Runtime(format!("--metrics-json: cannot write {p:?}: {e}"))
+                    })?;
+                }
+                (raw, "fast")
+            } else {
+                if metrics_json.is_some() {
+                    return Err(CliError::Usage(
+                        "the reference engine keeps no run manifest; drop --metrics-json".into(),
+                    ));
+                }
+                (
+                    ReferenceSimulation::restore(&data).map_err(restored)?.run(),
+                    "reference",
+                )
+            };
+            Ok(resumed_report(raw, name))
+        }
+        other => Err(CliError::Runtime(format!(
+            "--resume: {path}: unknown engine tag {other}"
+        ))),
+    }
+}
+
+/// Report table for a resumed churn-engine run: the core metrics plus
+/// a flat line scripted checks can diff against the uninterrupted run.
+fn resumed_report(raw: RawMetrics, engine: &str) -> String {
+    let r = SimReport::from_raw(raw);
+    let mut t = Table::new(vec!["Metric", "Value"]);
+    t.row(vec!["engine".into(), engine.into()]);
+    t.row(vec!["queries simulated".into(), r.queries.to_string()]);
+    t.row(vec![
+        "results per query".into(),
+        format!("{:.1}", r.results_per_query),
+    ]);
+    t.row(vec!["super-peer load".into(), r.sp_load.to_string()]);
+    t.row(vec!["client load".into(), r.client_load.to_string()]);
+    t.row(vec![
+        "availability".into(),
+        format!("{:.4}", r.availability),
+    ]);
+    t.row(vec![
+        "cluster failures".into(),
+        r.cluster_failures.to_string(),
+    ]);
+    format!(
+        "{}\nresumed run ({engine}): queries {}, results/query {:.1}, availability {:.4}",
+        t.render(),
+        r.queries,
+        r.results_per_query,
+        r.availability
+    )
 }
 
 /// `spnet sweep` — cluster-size sweep of one system.
@@ -999,13 +1301,49 @@ pub fn campaign(args: &Args) -> Result<String, CliError> {
     if let Some(text) = CAMPAIGN_USAGE.gate(args)? {
         return Ok(text);
     }
-    let opts = CampaignOptions {
-        count: args.get_or("count", 32usize)?,
-        seed: args.get_or("seed", 42u64)?,
-        threads: threads_from(args)?,
-        users: args.get_or("users", 120usize)?,
-        cluster_size: args.get_or("cluster", 12usize)?,
-        duration_secs: args.get_or("duration", 1200.0f64)?,
+    let inject_panic = match args.get("inject-panic") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<usize>()
+                .map_err(|_| CliError::Usage(format!("--inject-panic: cannot parse {v:?}")))?,
+        ),
+    };
+    // With --resume the campaign's identity (count, seed, workload
+    // shape) comes from the report being resumed; letting the command
+    // line override any of it would silently fold fingerprints from a
+    // different campaign, so each override is an individual conflict.
+    let resume = match args.get("resume") {
+        None => None,
+        Some(path) => {
+            for key in ["count", "seed", "users", "cluster", "duration"] {
+                if args.get(key).is_some() {
+                    return Err(CliError::Usage(format!(
+                        "--resume takes --{key} from the report; drop --{key}"
+                    )));
+                }
+            }
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::Runtime(format!("--resume: cannot read {path:?}: {e}")))?;
+            Some(
+                CampaignResume::from_report_json(&text)
+                    .map_err(|e| CliError::Runtime(format!("--resume: {path}: {e}")))?,
+            )
+        }
+    };
+    let opts = match &resume {
+        Some(r) => CampaignOptions {
+            inject_panic,
+            ..r.options(threads_from(args)?)
+        },
+        None => CampaignOptions {
+            count: args.get_or("count", 32usize)?,
+            seed: args.get_or("seed", 42u64)?,
+            threads: threads_from(args)?,
+            users: args.get_or("users", 120usize)?,
+            cluster_size: args.get_or("cluster", 12usize)?,
+            duration_secs: args.get_or("duration", 1200.0f64)?,
+            inject_panic,
+        },
     };
     if opts.count == 0 {
         return Err(CliError::Usage(
@@ -1017,7 +1355,32 @@ pub fn campaign(args: &Args) -> Result<String, CliError> {
             "--duration: must be a positive number of seconds".into(),
         ));
     }
-    let report = run_campaign(&opts);
+    let mut report = run_campaign_with(&opts, resume.as_ref());
+    // Quarantine artifacts are written before the report so the report
+    // records where they landed. Paths are index-derived, keeping the
+    // report JSON thread-count-invariant.
+    let dir = args.get("repro-dir").unwrap_or("campaign_repros");
+    if !report.quarantined.is_empty() {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CliError::Runtime(format!("--repro-dir: cannot create {dir:?}: {e}")))?;
+        for i in 0..report.quarantined.len() {
+            let doc = report.quarantined[i].reproducer_json(&opts);
+            let q = &mut report.quarantined[i];
+            let json_path = std::path::Path::new(dir).join(format!("quarantine_{}.json", q.index));
+            std::fs::write(&json_path, doc).map_err(|e| {
+                CliError::Runtime(format!("cannot write quarantine {json_path:?}: {e}"))
+            })?;
+            q.reproducer_path = Some(json_path.display().to_string());
+            if !q.snapshot.is_empty() {
+                let snap_path =
+                    std::path::Path::new(dir).join(format!("quarantine_{}.snap", q.index));
+                std::fs::write(&snap_path, &q.snapshot).map_err(|e| {
+                    CliError::Runtime(format!("cannot write quarantine {snap_path:?}: {e}"))
+                })?;
+                q.snapshot_path = Some(snap_path.display().to_string());
+            }
+        }
+    }
     if let Some(path) = args.get("report") {
         std::fs::write(path, report.to_json())
             .map_err(|e| CliError::Runtime(format!("--report: cannot write {path:?}: {e}")))?;
@@ -1054,8 +1417,11 @@ pub fn campaign(args: &Args) -> Result<String, CliError> {
         "divergences".into(),
         report.divergences.len().to_string(),
     ]);
-    if !report.divergences.is_empty() {
-        let dir = args.get("repro-dir").unwrap_or("campaign_repros");
+    t.row(vec![
+        "quarantined".into(),
+        report.quarantined.len().to_string(),
+    ]);
+    if !report.divergences.is_empty() || !report.quarantined.is_empty() {
         std::fs::create_dir_all(dir)
             .map_err(|e| CliError::Runtime(format!("--repro-dir: cannot create {dir:?}: {e}")))?;
         for d in &report.divergences {
@@ -1072,10 +1438,23 @@ pub fn campaign(args: &Args) -> Result<String, CliError> {
                 d.index, d.trial_seed, d.reason
             ));
         }
+        for q in &report.quarantined {
+            findings.push_str(&format!(
+                "quarantine: scenario {} (trial seed {}): {}\n",
+                q.index, q.trial_seed, q.reason
+            ));
+        }
         print!("{findings}");
+        let mut what = Vec::new();
+        if !report.divergences.is_empty() {
+            what.push(format!("{} divergence(s)", report.divergences.len()));
+        }
+        if !report.quarantined.is_empty() {
+            what.push(format!("{} quarantined panic(s)", report.quarantined.len()));
+        }
         return Err(CliError::Runtime(format!(
-            "campaign: {} divergence(s); reproducers in {dir}/",
-            report.divergences.len()
+            "campaign: {}; artifacts in {dir}/",
+            what.join(", ")
         )));
     }
     Ok(format!("{}\n{}", t.render(), report.summary_line()))
@@ -1822,6 +2201,257 @@ mod tests {
         let err = lint(&args(&["--config", cfg.to_str().unwrap()])).unwrap_err();
         assert_eq!(err.exit_code(), 2, "config errors are usage errors: {err}");
         assert!(err.to_string().contains("D9"));
+    }
+
+    #[test]
+    fn simulate_checkpoint_then_resume_is_bitwise_identical() {
+        let dir = std::env::temp_dir().join("spnet_cli_ckpt_fast_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let base = &[
+            "--users",
+            "100",
+            "--cluster",
+            "10",
+            "--duration",
+            "600",
+            "--seed",
+            "11",
+        ];
+        let uninterrupted = simulate(&args(base)).unwrap();
+        let checkpointed = simulate(&args(
+            &[
+                base as &[_],
+                &[
+                    "--checkpoint-every",
+                    "200",
+                    "--checkpoint-dir",
+                    dir.to_str().unwrap(),
+                ],
+            ]
+            .concat(),
+        ))
+        .unwrap();
+        assert_eq!(
+            uninterrupted, checkpointed,
+            "writing checkpoints must not perturb the run"
+        );
+        // Two checkpoints at t=200 and t=400.
+        let snap = dir.join("checkpoint-000001.snap");
+        assert!(snap.exists(), "missing {snap:?}");
+        let resumed = simulate(&args(&["--resume", snap.to_str().unwrap()])).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        // The resumed table reports the same core metrics; compare via
+        // the flat smoke line against a freshly parsed uninterrupted
+        // report (formats differ, numbers must not).
+        for needle in ["queries simulated", "availability"] {
+            assert!(resumed.contains(needle), "resumed report missing {needle}");
+        }
+        let field = |out: &str, label: &str| -> String {
+            out.lines()
+                .find(|l| l.contains(label))
+                .unwrap_or_else(|| panic!("no {label} row in:\n{out}"))
+                .to_string()
+        };
+        let strip = |row: String| row.split_whitespace().collect::<Vec<_>>().join(" ");
+        for label in ["queries simulated", "results per query", "availability"] {
+            assert_eq!(
+                strip(field(&uninterrupted, label)),
+                strip(field(&resumed, label)),
+                "resume diverged on {label}"
+            );
+        }
+    }
+
+    #[test]
+    fn simulate_scale_checkpoint_resume_matches_uninterrupted_json() {
+        let dir = std::env::temp_dir().join("spnet_cli_ckpt_scale_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let full_path = std::env::temp_dir().join("spnet_cli_ckpt_scale_full.json");
+        let resumed_path = std::env::temp_dir().join("spnet_cli_ckpt_scale_resumed.json");
+        let base = &[
+            "--users",
+            "4000",
+            "--scale",
+            "--duration",
+            "120",
+            "--seed",
+            "5",
+        ];
+        simulate(&args(
+            &[
+                base as &[_],
+                &["--metrics-json", full_path.to_str().unwrap()],
+            ]
+            .concat(),
+        ))
+        .unwrap();
+        simulate(&args(
+            &[
+                base as &[_],
+                &[
+                    "--checkpoint-every",
+                    "40",
+                    "--checkpoint-dir",
+                    dir.to_str().unwrap(),
+                ],
+            ]
+            .concat(),
+        ))
+        .unwrap();
+        let snap = dir.join("checkpoint-000001.snap");
+        assert!(snap.exists(), "missing {snap:?}");
+        // Resume at a different shard count than the run that produced
+        // the checkpoint: the metrics JSON must still be byte-identical.
+        let out = simulate(&args(&[
+            "--resume",
+            snap.to_str().unwrap(),
+            "--shards",
+            "3",
+            "--metrics-json",
+            resumed_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("scale run:"), "missing smoke line:\n{out}");
+        let full = std::fs::read_to_string(&full_path).unwrap();
+        let resumed = std::fs::read_to_string(&resumed_path).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_file(&full_path).ok();
+        std::fs::remove_file(&resumed_path).ok();
+        assert_eq!(
+            full, resumed,
+            "resumed scale metrics must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn simulate_resume_conflicts_and_bad_snapshots_are_clean_errors() {
+        let err = simulate(&args(&["--resume", "x.snap", "--users", "100"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("--users"));
+        let err = simulate(&args(&["--resume", "x.snap", "--crash-storm"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        let err = simulate(&args(&["--resume", "/nonexistent/x.snap"])).unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+        let junk = std::env::temp_dir().join("spnet_cli_resume_junk_test.snap");
+        std::fs::write(&junk, b"not a snapshot at all").unwrap();
+        let err = simulate(&args(&["--resume", junk.to_str().unwrap()])).unwrap_err();
+        std::fs::remove_file(&junk).ok();
+        assert_eq!(err.exit_code(), 1);
+        // --checkpoint-dir alone is inert and therefore rejected.
+        let err = simulate(&args(&["--users", "100", "--checkpoint-dir", "d"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("--checkpoint-every"));
+    }
+
+    #[test]
+    fn simulate_scale_injected_shard_panic_exits_with_diagnostics() {
+        let err = simulate(&args(&[
+            "--users",
+            "4000",
+            "--scale",
+            "--shards",
+            "2",
+            "--duration",
+            "120",
+            "--inject-shard-panic",
+            "1:40",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 1, "a dead shard must fail the run");
+        let msg = err.to_string();
+        assert!(
+            msg.contains("shard 1"),
+            "diagnostics must name the shard: {msg}"
+        );
+        assert!(
+            msg.contains("tick 40"),
+            "diagnostics must name the tick: {msg}"
+        );
+        // Without --scale the supervisor options are usage errors.
+        let err = simulate(&args(&["--users", "100", "--inject-shard-panic", "0:1"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        let err =
+            simulate(&args(&["--users", "100", "--barrier-timeout-ticks", "50"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        // Malformed spec.
+        let err = simulate(&args(&[
+            "--users",
+            "100",
+            "--scale",
+            "--inject-shard-panic",
+            "nope",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("SHARD:TICK"));
+    }
+
+    #[test]
+    fn campaign_quarantines_injected_panic_and_resume_completes() {
+        let dir = std::env::temp_dir().join("spnet_cli_campaign_quarantine_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let report_path = dir.join("report.json");
+        let repro_dir = dir.join("repros");
+        let base = &[
+            "--count",
+            "3",
+            "--seed",
+            "11",
+            "--users",
+            "60",
+            "--cluster",
+            "10",
+            "--duration",
+            "300",
+            "--threads",
+            "1",
+        ];
+        let err = campaign(&args(
+            &[
+                base as &[_],
+                &[
+                    "--inject-panic",
+                    "1",
+                    "--report",
+                    report_path.to_str().unwrap(),
+                    "--repro-dir",
+                    repro_dir.to_str().unwrap(),
+                ],
+            ]
+            .concat(),
+        ))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 1, "quarantined panics must fail the gate");
+        assert!(err.to_string().contains("quarantined"));
+        assert!(repro_dir.join("quarantine_1.json").exists());
+        assert!(repro_dir.join("quarantine_1.snap").exists());
+        let report = std::fs::read_to_string(&report_path).unwrap();
+        assert!(report.contains("injected campaign panic"));
+        assert!(report.contains("\"completed\""));
+        // Resuming from the partial report (without the inject hook)
+        // re-runs only the quarantined scenario and comes out green
+        // with the same fingerprint as an uninterrupted campaign.
+        let clean = campaign(&args(base)).unwrap();
+        let resumed = campaign(&args(&["--resume", report_path.to_str().unwrap()])).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        let fp = |out: &str| -> String {
+            out.lines()
+                .find(|l| l.contains("fingerprint"))
+                .expect("fingerprint row")
+                .split_whitespace()
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        assert_eq!(
+            fp(&clean),
+            fp(&resumed),
+            "resumed campaign must reproduce the uninterrupted fingerprint"
+        );
+        // Option overrides alongside --resume are conflicts.
+        let err = campaign(&args(&["--resume", "r.json", "--count", "5"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("--count"));
     }
 
     #[test]

@@ -54,12 +54,18 @@ pub struct LintConfig {
     /// paths communicate only through bounded mpsc channels drained at
     /// tick barriers (DESIGN.md §15).
     pub f2_hot_paths: Vec<String>,
+    /// Path prefixes under the supervised-channel contract (F3): bare
+    /// `.unwrap()`/`.expect()` on inter-shard channel `send`/`recv`
+    /// calls is banned there — a dead peer shard must surface as a
+    /// supervised `ShardFailure`, not a cascading panic (DESIGN.md
+    /// §17).
+    pub f3_hot_paths: Vec<String>,
     /// Baseline suppressions.
     pub allow: Vec<AllowEntry>,
 }
 
 /// Every rule id, in report order.
-pub const RULE_IDS: [&str; 7] = ["D1", "D2", "D3", "S1", "S2", "F1", "F2"];
+pub const RULE_IDS: [&str; 8] = ["D1", "D2", "D3", "S1", "S2", "F1", "F2", "F3"];
 
 impl Default for LintConfig {
     /// The built-in policy, identical to the checked-in `lint.toml`
@@ -85,6 +91,7 @@ impl Default for LintConfig {
                 "crates/lint/".into(),
             ],
             f2_hot_paths: vec!["crates/sim/src/".into()],
+            f3_hot_paths: vec!["crates/sim/src/".into()],
             allow: Vec::new(),
         }
     }
@@ -120,6 +127,13 @@ impl LintConfig {
     /// Whether `path` is under the F2 shared-nothing contract.
     pub fn f2_hot(&self, path: &str) -> bool {
         self.f2_hot_paths
+            .iter()
+            .any(|p| path.starts_with(p.as_str()))
+    }
+
+    /// Whether `path` is under the F3 supervised-channel contract.
+    pub fn f3_hot(&self, path: &str) -> bool {
+        self.f3_hot_paths
             .iter()
             .any(|p| path.starts_with(p.as_str()))
     }
@@ -178,7 +192,7 @@ impl LintConfig {
                 }
                 section = name.trim().to_string();
                 match section.as_str() {
-                    "lint" | "severity" | "rules.D2" | "rules.S2" | "rules.F2" => {}
+                    "lint" | "severity" | "rules.D2" | "rules.S2" | "rules.F2" | "rules.F3" => {}
                     other => {
                         return Err(format!("lint.toml:{lineno}: unknown table [{other}]"));
                     }
@@ -212,6 +226,9 @@ impl LintConfig {
                 }
                 ("rules.F2", "hot_paths") => {
                     cfg.f2_hot_paths = parse_string_array(value, lineno)?;
+                }
+                ("rules.F3", "hot_paths") => {
+                    cfg.f3_hot_paths = parse_string_array(value, lineno)?;
                 }
                 ("rules.S2", "expect") => {
                     cfg.s2_expect = Severity::parse(&parse_string(value, lineno)?)
@@ -335,6 +352,9 @@ expect = "allow"
 [rules.F2]
 hot_paths = ["crates/sim/src/shard.rs"]
 
+[rules.F3]
+hot_paths = ["crates/sim/src/shard.rs"]
+
 [[allow]]
 rule = "S1"
 path = "crates/bench/src/bin/repro_bench.rs"
@@ -350,6 +370,8 @@ justification = "GlobalAlloc impl, audited"
         assert!(!cfg.d2_allowed("crates/sim/src/engine.rs"));
         assert!(cfg.f2_hot("crates/sim/src/shard.rs"));
         assert!(!cfg.f2_hot("crates/sim/src/engine.rs"));
+        assert!(cfg.f3_hot("crates/sim/src/shard.rs"));
+        assert!(!cfg.f3_hot("crates/sim/src/engine.rs"));
         assert!(cfg
             .allow_entry("S1", "crates/bench/src/bin/repro_bench.rs")
             .is_some());
@@ -387,5 +409,7 @@ justification = "GlobalAlloc impl, audited"
         assert!(cfg.checks_unwrap("cli"));
         assert!(cfg.f2_hot("crates/sim/src/shard.rs"));
         assert!(!cfg.f2_hot("crates/cli/src/commands.rs"));
+        assert!(cfg.f3_hot("crates/sim/src/shard.rs"));
+        assert!(!cfg.f3_hot("crates/cli/src/commands.rs"));
     }
 }

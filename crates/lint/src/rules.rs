@@ -11,6 +11,8 @@
 //! | F1   | determinism  | float `.sum::<f64>()` over a parallel iterator              |
 //! | F2   | determinism  | locks/atomics (`Mutex`, `RwLock`, `Atomic*`, `Condvar`)     |
 //! |      |              | in shared-nothing simulator hot paths                       |
+//! | F3   | robustness   | bare `.unwrap()`/`.expect()` on inter-shard channel         |
+//! |      |              | `send`/`recv` calls in supervised hot paths                 |
 //!
 //! All rules operate on the token stream from [`crate::lexer`]; none
 //! need type information. That bounds what they can see — a
@@ -54,6 +56,7 @@ pub fn lint_source(src: &str, ctx: &FileContext, cfg: &LintConfig) -> Vec<Findin
     rule_s2(&toks, &code, &tests, ctx, cfg, &mut out);
     rule_f1(&toks, &code, &tests, ctx, cfg, &mut out);
     rule_f2(&toks, &code, ctx, cfg, &mut out);
+    rule_f3(&toks, &code, ctx, cfg, &mut out);
 
     out.sort_by_key(|f| (f.line, f.rule));
     out
@@ -609,6 +612,88 @@ fn rule_f2(
     }
 }
 
+/// F3 — unsupervised channel unwraps in supervised hot paths. The
+/// shard supervisor's crash-containment proof (DESIGN.md §17) rests on
+/// every inter-shard channel operation being error-aware: when a peer
+/// reactor dies, its channels disconnect, and the survivors must
+/// convert that `Err` into a named `ShardFailure` so the supervisor
+/// can report *which* shard failed at *which* tick. A bare
+/// `.send(…).unwrap()` / `.recv().unwrap()` (or `.expect(…)` — the
+/// message cannot name the dead shard) instead cascades the panic
+/// through every surviving reactor, turning one diagnosable failure
+/// into a pile of "channel closed" backtraces. Tests included, same
+/// rationale as F2.
+fn rule_f3(
+    toks: &[Tok],
+    code: &[usize],
+    ctx: &FileContext,
+    cfg: &LintConfig,
+    out: &mut Vec<Finding>,
+) {
+    if !cfg.f3_hot(&ctx.path) {
+        return;
+    }
+    let severity = cfg.severity_of("F3");
+    for (k, &i) in code.iter().enumerate() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident
+            || !matches!(
+                t.text.as_str(),
+                "send" | "recv" | "try_recv" | "recv_timeout"
+            )
+        {
+            continue;
+        }
+        // Must be a method call: `.send(` / `.recv(` etc.
+        let preceded_by_dot = k > 0 && toks[code[k - 1]].is_punct('.');
+        let opens_call = code_tok(toks, code, k, 1)
+            .map(|t| t.is_punct('('))
+            .unwrap_or(false);
+        if !preceded_by_dot || !opens_call {
+            continue;
+        }
+        // Skip the balanced argument list to the closing `)`.
+        let mut depth = 0usize;
+        let mut close = None;
+        for (j, &ci) in code.iter().enumerate().skip(k + 1) {
+            if toks[ci].is_punct('(') {
+                depth += 1;
+            } else if toks[ci].is_punct(')') {
+                depth -= 1;
+                if depth == 0 {
+                    close = Some(j);
+                    break;
+                }
+            }
+        }
+        let Some(close) = close else { continue };
+        let chained_panic = code_tok(toks, code, close, 1)
+            .map(|t| t.is_punct('.'))
+            .unwrap_or(false)
+            && code_tok(toks, code, close, 2)
+                .map(|t| matches!(t.text.as_str(), "unwrap" | "expect"))
+                .unwrap_or(false)
+            && code_tok(toks, code, close, 3)
+                .map(|t| t.is_punct('('))
+                .unwrap_or(false);
+        if chained_panic {
+            let method = &code_tok(toks, code, close, 2).expect("matched above").text;
+            push(
+                out,
+                "F3",
+                severity,
+                ctx,
+                t.line,
+                format!(
+                    "unsupervised `.{}(…).{}(…)` on an inter-shard channel",
+                    t.text, method
+                ),
+                "map the channel error to a ShardFailure (a dead peer shard must surface as a supervised failure, not a cascading panic)",
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -763,6 +848,32 @@ mod tests {
             ..FileContext::default()
         };
         assert!(run(bad, &ctx).iter().all(|f| f.rule != "F2"));
+    }
+
+    #[test]
+    fn f3_flags_channel_unwraps_even_in_tests_and_spares_mapped_errors() {
+        // In a test region S2 is blind; F3 must still fire.
+        let bad = "#[cfg(test)]\nmod tests {\n fn f(tx: SyncSender<u64>, rx: Receiver<u64>) {\n \
+                   tx.send(1).unwrap();\n let v = rx.recv().expect(\"alive\");\n let _ = v;\n }\n}";
+        let f = run(bad, &ctx_det());
+        let f3: Vec<_> = f.iter().filter(|f| f.rule == "F3").collect();
+        assert_eq!(f3.len(), 2);
+        assert_eq!(f3[0].line, 4);
+        assert_eq!(f3[1].line, 5);
+        // The supervised idiom — error mapped to a failure value — is clean.
+        let good = "fn f(tx: &SyncSender<u64>) -> Result<(), LinkDown> {\n \
+                    tx.send(1).map_err(|_| LinkDown { shard: 0 })\n}";
+        assert!(run(good, &ctx_det()).iter().all(|f| f.rule != "F3"));
+        // Non-channel unwraps (no send/recv receiver) are S2's business.
+        let other = "#[cfg(test)]\nmod tests { fn f(x: Option<u32>) -> u32 { x.unwrap() } }";
+        assert!(run(other, &ctx_det()).iter().all(|f| f.rule != "F3"));
+        // Outside the configured hot paths the pattern is legal.
+        let ctx = FileContext {
+            path: "crates/cli/src/commands.rs".into(),
+            crate_name: "cli".into(),
+            ..FileContext::default()
+        };
+        assert!(run(bad, &ctx).iter().all(|f| f.rule != "F3"));
     }
 
     #[test]

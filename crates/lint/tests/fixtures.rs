@@ -62,6 +62,7 @@ fn bad_fixtures_flag_expected_lines() {
     assert_findings("s2.rs", &[("S2", 7), ("S2", 11)]);
     assert_findings("f1.rs", &[("F1", 9), ("F1", 16)]);
     assert_findings("f2.rs", &[("F2", 8), ("F2", 8), ("F2", 11), ("F2", 12)]);
+    assert_findings("f3.rs", &[("F3", 12), ("F3", 13), ("F3", 15)]);
 }
 
 #[test]
@@ -82,7 +83,7 @@ fn s2_fixture_severities_split_unwrap_deny_expect_warn() {
 #[test]
 fn clean_fixtures_produce_zero_findings() {
     for name in [
-        "d1.rs", "d2.rs", "d3.rs", "s1.rs", "s2.rs", "f1.rs", "f2.rs",
+        "d1.rs", "d2.rs", "d3.rs", "s1.rs", "s2.rs", "f1.rs", "f2.rs", "f3.rs",
     ] {
         let findings = lint_fixture("clean", name);
         assert!(
@@ -98,7 +99,7 @@ fn every_rule_is_exercised_in_both_directions() {
     // this fails rather than silently losing coverage.
     let mut rules_hit: Vec<&str> = Vec::new();
     for name in [
-        "d1.rs", "d2.rs", "d3.rs", "s1.rs", "s2.rs", "f1.rs", "f2.rs",
+        "d1.rs", "d2.rs", "d3.rs", "s1.rs", "s2.rs", "f1.rs", "f2.rs", "f3.rs",
     ] {
         for f in lint_fixture("bad", name) {
             if !rules_hit.contains(&f.rule) {

@@ -1,0 +1,19 @@
+//! F3 fixture: unsupervised channel unwraps in the supervised
+//! shared-nothing engine. When a peer shard dies its channels
+//! disconnect; a bare unwrap/expect turns that one diagnosable
+//! failure into a cascading panic across every surviving reactor
+//! instead of a named ShardFailure. The calls sit in a test region
+//! deliberately: S2 cannot see them there, F3 still must.
+//! Expected findings: F3 at lines 12, 13, 15.
+
+#[cfg(test)]
+mod tests {
+    fn drive(tx: std::sync::mpsc::SyncSender<u64>, rx: std::sync::mpsc::Receiver<u64>) {
+        tx.send(1).unwrap();
+        let batch = rx.recv().unwrap();
+        let next = rx
+            .try_recv()
+            .expect("peer shard still alive");
+        let _ = (batch, next);
+    }
+}

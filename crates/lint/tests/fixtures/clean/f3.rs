@@ -1,0 +1,20 @@
+//! F3 clean fixture: the supervised idiom. Every inter-shard channel
+//! operation maps its error to a value naming the dead link, so the
+//! supervisor can report which shard failed at which tick instead of
+//! letting the disconnect cascade as a panic.
+
+use std::sync::mpsc::{Receiver, SyncSender};
+
+/// A peer shard's channel went down: the supervisor's diagnosable
+/// failure value.
+pub struct LinkDown {
+    pub shard: usize,
+}
+
+pub fn send_batch(tx: &SyncSender<u64>, shard: usize, batch: u64) -> Result<(), LinkDown> {
+    tx.send(batch).map_err(|_| LinkDown { shard })
+}
+
+pub fn recv_batch(rx: &Receiver<u64>, shard: usize) -> Result<u64, LinkDown> {
+    rx.recv().map_err(|_| LinkDown { shard })
+}

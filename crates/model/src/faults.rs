@@ -477,19 +477,29 @@ pub(crate) fn parse_fault(value: &Value, index: usize) -> Result<FaultSpec, Faul
 }
 
 // ---------------------------------------------------------------------
-// Minimal JSON reader. Supports exactly what a fault plan needs:
-// objects, arrays, numbers, strings (no escapes beyond \" \\ \/ \n \t
-// \r), booleans, and null. Key order is preserved so error messages
-// can reference the document as written.
+// Minimal JSON reader. Supports exactly what the workspace's
+// hand-rolled documents need: objects, arrays, numbers, strings (no
+// escapes beyond \" \\ \/ \n \t \r), booleans, and null. Key order is
+// preserved so error messages can reference the document as written.
+// Public (alongside [`Parser`]) so sibling crates reading their own
+// canonical JSON documents — e.g. the campaign report for
+// `spnet campaign --resume` — share one parser instead of regexes.
 // ---------------------------------------------------------------------
 
+/// A parsed JSON value (minimal hand-rolled reader; see module docs).
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) enum Value {
+pub enum Value {
+    /// Object as an ordered key/value list (insertion order kept).
     Object(Vec<(String, Value)>),
+    /// Array of values.
     Array(Vec<Value>),
+    /// Any JSON number, held as `f64`.
     Number(f64),
+    /// String literal.
     String(String),
+    /// Boolean literal.
     Bool(bool),
+    /// `null`.
     Null,
 }
 
@@ -505,7 +515,8 @@ impl Value {
         }
     }
 
-    pub(crate) fn as_object(&self, ctx: &str) -> Result<&Vec<(String, Value)>, FaultPlanError> {
+    /// The value as an object, or a `{ctx}: expected object` error.
+    pub fn as_object(&self, ctx: &str) -> Result<&Vec<(String, Value)>, FaultPlanError> {
         match self {
             Value::Object(fields) => Ok(fields),
             other => Err(FaultPlanError(format!(
@@ -515,7 +526,8 @@ impl Value {
         }
     }
 
-    pub(crate) fn as_array(&self, ctx: &str) -> Result<&Vec<Value>, FaultPlanError> {
+    /// The value as an array, or a `{ctx}: expected array` error.
+    pub fn as_array(&self, ctx: &str) -> Result<&Vec<Value>, FaultPlanError> {
         match self {
             Value::Array(items) => Ok(items),
             other => Err(FaultPlanError(format!(
@@ -525,7 +537,8 @@ impl Value {
         }
     }
 
-    pub(crate) fn as_f64(&self, ctx: &str) -> Result<f64, FaultPlanError> {
+    /// The value as a number, or a `{ctx}: expected number` error.
+    pub fn as_f64(&self, ctx: &str) -> Result<f64, FaultPlanError> {
         match self {
             Value::Number(n) => Ok(*n),
             other => Err(FaultPlanError(format!(
@@ -535,7 +548,8 @@ impl Value {
         }
     }
 
-    pub(crate) fn as_u32(&self, ctx: &str) -> Result<u32, FaultPlanError> {
+    /// The value as a non-negative integer fitting `u32`.
+    pub fn as_u32(&self, ctx: &str) -> Result<u32, FaultPlanError> {
         let n = self.as_f64(ctx)?;
         if n < 0.0 || n.fract() != 0.0 || n > u32::MAX as f64 {
             return Err(FaultPlanError(format!(
@@ -545,7 +559,8 @@ impl Value {
         Ok(n as u32)
     }
 
-    pub(crate) fn as_str(&self, ctx: &str) -> Result<String, FaultPlanError> {
+    /// The value as a string, or a `{ctx}: expected string` error.
+    pub fn as_str(&self, ctx: &str) -> Result<String, FaultPlanError> {
         match self {
             Value::String(s) => Ok(s.clone()),
             other => Err(FaultPlanError(format!(
@@ -556,20 +571,24 @@ impl Value {
     }
 }
 
-pub(crate) struct Parser<'a> {
+/// Minimal JSON parser over a borrowed document (see [`Value`]).
+pub struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Parser<'a> {
-    pub(crate) fn new(text: &'a str) -> Parser<'a> {
+    /// Creates a parser over `text`.
+    pub fn new(text: &'a str) -> Parser<'a> {
         Parser {
             bytes: text.as_bytes(),
             pos: 0,
         }
     }
 
-    pub(crate) fn parse_document(&mut self) -> Result<Value, FaultPlanError> {
+    /// Parses the whole document into one [`Value`]; trailing
+    /// characters are an error.
+    pub fn parse_document(&mut self) -> Result<Value, FaultPlanError> {
         let value = self.parse_value()?;
         self.skip_ws();
         if self.pos != self.bytes.len() {

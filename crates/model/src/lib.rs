@@ -58,6 +58,7 @@ pub mod population;
 pub mod query_model;
 pub mod repair;
 pub mod scenario;
+pub mod snapshot;
 pub mod trials;
 
 pub use analysis::{analyze, AnalysisOptions, AnalysisResult, Engine, InstanceMetrics};
@@ -69,6 +70,7 @@ pub use population::PopulationModel;
 pub use query_model::QueryModel;
 pub use repair::RepairPolicy;
 pub use scenario::{CapacityClass, PhaseKind, PhaseSpec, ScenarioError, ScenarioPlan};
+pub use snapshot::{SnapReader, SnapWriter, SnapshotError};
 pub use trials::{
     resolve_thread_budget, run_trials, split_thread_budget, TrialOptions, TrialSummary,
 };

@@ -17,6 +17,7 @@
 //!
 //! ```json
 //! {
+//!   "schema_version": 1,
 //!   "phases": [
 //!     {"kind": "flash_crowd", "from_secs": 300, "until_secs": 900,
 //!      "query_rate_mult": 4.0, "hot_shift": 17},
@@ -47,6 +48,16 @@ use std::fmt;
 
 use crate::faults::{parse_fault, parse_retry, FaultPlan, FaultPlanError, Parser, Value};
 use crate::repair::RepairPolicy;
+
+/// Version of the scenario JSON grammar this module reads and writes.
+///
+/// Every rendered plan embeds it as `"schema_version"`, and
+/// [`ScenarioPlan::from_json`] rejects documents stamped with a *newer*
+/// version by name instead of tripping over an unknown key — so a
+/// campaign reproducer written today still fails cleanly (and
+/// diagnosably) after a future scenario-DSL change. Documents without
+/// the field parse as version 1 (the grammar before the field existed).
+pub const SCENARIO_SCHEMA_VERSION: u32 = 1;
 
 /// A scenario that fails validation or parsing, with the message shown
 /// to the user.
@@ -301,7 +312,9 @@ impl ScenarioPlan {
     /// [`ScenarioPlan::from_json`] reads back verbatim.
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(512);
-        s.push_str("{\n  \"phases\": [\n");
+        s.push_str(&format!(
+            "{{\n  \"schema_version\": {SCENARIO_SCHEMA_VERSION},\n  \"phases\": [\n"
+        ));
         for (i, phase) in self.phases.iter().enumerate() {
             let sep = if i + 1 < self.phases.len() { "," } else { "" };
             s.push_str(&format!("    {}{sep}\n", phase.to_json()));
@@ -336,6 +349,16 @@ impl ScenarioPlan {
         let mut plan = ScenarioPlan::default();
         for (key, val) in root {
             match key.as_str() {
+                "schema_version" => {
+                    let version = val.as_u32("schema_version")?;
+                    if version > SCENARIO_SCHEMA_VERSION {
+                        return Err(ScenarioError(format!(
+                            "schema_version {version} is newer than this binary's \
+                             {SCENARIO_SCHEMA_VERSION}; regenerate the scenario or \
+                             upgrade spnet"
+                        )));
+                    }
+                }
                 "phases" => {
                     for (i, item) in val.as_array("phases")?.iter().enumerate() {
                         plan.phases.push(parse_phase(item, i)?);
@@ -358,8 +381,8 @@ impl ScenarioPlan {
                 }
                 other => {
                     return Err(ScenarioError(format!(
-                        "unknown top-level key \"{other}\" (expected \"phases\", \
-                         \"capacity_classes\", \"faults\", or \"repair\")"
+                        "unknown top-level key \"{other}\" (expected \"schema_version\", \
+                         \"phases\", \"capacity_classes\", \"faults\", or \"repair\")"
                     )))
                 }
             }
@@ -565,6 +588,31 @@ mod tests {
         assert_eq!(plan, back);
         // And the re-rendering is byte-identical (canonical form).
         assert_eq!(json, back.to_json());
+    }
+
+    #[test]
+    fn schema_version_is_embedded_and_future_versions_rejected() {
+        let json = sample_plan().to_json();
+        assert!(
+            json.contains(&format!("\"schema_version\": {SCENARIO_SCHEMA_VERSION}")),
+            "rendered plans must carry the grammar version:\n{json}"
+        );
+        // Pre-versioning documents (no field) still parse.
+        let legacy = "{\"phases\": [], \"repair\": \"off\"}";
+        ScenarioPlan::from_json(legacy).expect("version field is optional");
+        // A document stamped by a future grammar fails by name, not
+        // with an unknown-key or deserialization error.
+        let future = format!(
+            "{{\"schema_version\": {}, \"phases\": []}}",
+            SCENARIO_SCHEMA_VERSION + 1
+        );
+        let err = ScenarioPlan::from_json(&future).unwrap_err();
+        assert!(err.0.contains("newer than this binary"), "{err}");
+        assert!(
+            err.0
+                .contains(&format!("schema_version {}", SCENARIO_SCHEMA_VERSION + 1)),
+            "{err}"
+        );
     }
 
     #[test]

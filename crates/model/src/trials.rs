@@ -239,13 +239,23 @@ pub fn split_thread_budget(budget: usize, jobs: usize) -> (usize, usize) {
     (outer, inner)
 }
 
-/// Renders a caught panic payload as a message (panics carry either a
-/// `&'static str` or a formatted `String`).
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+/// Renders a caught panic payload as a message. `panic!` carries a
+/// `&'static str` or a formatted `String`; a payload re-thrown through
+/// a nested `catch_unwind` (via `std::panic::panic_any` on the caught
+/// box) arrives still boxed, so `Box<String>`, `Box<&str>`, and
+/// re-boxed `Box<dyn Any>` payloads unwrap recursively instead of
+/// collapsing to "non-string panic payload".
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
     if let Some(s) = payload.downcast_ref::<&'static str>() {
         s
     } else if let Some(s) = payload.downcast_ref::<String>() {
         s
+    } else if let Some(s) = payload.downcast_ref::<Box<String>>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<Box<&'static str>>() {
+        s
+    } else if let Some(inner) = payload.downcast_ref::<Box<dyn std::any::Any + Send>>() {
+        panic_message(inner.as_ref())
     } else {
         "non-string panic payload"
     }
@@ -473,6 +483,23 @@ mod tests {
         assert_eq!(panic_message(&"boom"), "boom");
         assert_eq!(panic_message(&String::from("kaboom")), "kaboom");
         assert_eq!(panic_message(&42i32), "non-string panic payload");
+    }
+
+    #[test]
+    fn nested_catch_unwind_payloads_unwrap() {
+        // A panic caught and re-thrown with panic_any(payload) arrives
+        // as Box<Box<dyn Any>>; the renderer must see through it.
+        let rethrown = std::panic::catch_unwind(|| {
+            let inner = std::panic::catch_unwind(|| panic!("inner failure {}", 7)).unwrap_err();
+            std::panic::panic_any(inner);
+        })
+        .unwrap_err();
+        assert_eq!(panic_message(rethrown.as_ref()), "inner failure 7");
+        assert_eq!(
+            panic_message(&Box::new(String::from("boxed string"))),
+            "boxed string"
+        );
+        assert_eq!(panic_message(&Box::new("boxed str")), "boxed str");
     }
 
     #[test]

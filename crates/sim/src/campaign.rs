@@ -27,17 +27,38 @@
 //! with `spnet campaign --count 1 --seed <trial_seed>` or by feeding
 //! the embedded scenario to `spnet simulate --scenario`.
 //!
+//! Campaigns degrade gracefully instead of all-or-nothing: a scenario
+//! whose engine run *panics* is caught per trial, **quarantined** in
+//! the report (with its panic message, the full plan, and a tick-0
+//! engine snapshot for postmortem replay), and the rest of the
+//! campaign completes. A partially-failed or preempted campaign
+//! resumes from its own report via [`run_campaign_with`] /
+//! `spnet campaign --resume`: scenarios the report records as
+//! completed are skipped (their fingerprints are re-folded from the
+//! report), everything else — including previously quarantined
+//! scenarios — re-runs.
+//!
 //! [`FaultMetrics::conserved`]: crate::faults::FaultMetrics::conserved
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use sp_model::config::Config;
-use sp_model::faults::{FaultPlan, FaultSpec};
+use sp_model::faults::{FaultPlan, FaultSpec, Parser, Value};
 use sp_model::repair::RepairPolicy;
-use sp_model::scenario::{CapacityClass, PhaseKind, PhaseSpec, ScenarioPlan};
+use sp_model::scenario::{
+    CapacityClass, PhaseKind, PhaseSpec, ScenarioPlan, SCENARIO_SCHEMA_VERSION,
+};
+use sp_model::trials::panic_message;
 use sp_stats::SpRng;
 
 use crate::engine::{RawMetrics, SimOptions, Simulation};
 use crate::reference::ReferenceSimulation;
 use crate::scenario::{run_sim_trials, SimTrialOptions};
+
+/// Version of the campaign-report JSON this module writes; a report
+/// stamped with a newer version is rejected by
+/// [`CampaignResume::from_report_json`] with a named error.
+pub const CAMPAIGN_SCHEMA_VERSION: u32 = 1;
 
 /// Campaign configuration.
 #[derive(Debug, Clone, Copy)]
@@ -55,6 +76,9 @@ pub struct CampaignOptions {
     pub cluster_size: usize,
     /// Simulated duration per scenario, seconds.
     pub duration_secs: f64,
+    /// Test-only hook: the scenario at this index panics inside its
+    /// engine run, exercising the quarantine path end to end.
+    pub inject_panic: Option<usize>,
 }
 
 impl Default for CampaignOptions {
@@ -66,6 +90,7 @@ impl Default for CampaignOptions {
             users: 120,
             cluster_size: 12,
             duration_secs: 1200.0,
+            inject_panic: None,
         }
     }
 }
@@ -97,6 +122,13 @@ pub struct ScenarioOutcome {
     pub divergence: Option<String>,
     /// The generated plan, rendered as JSON.
     pub plan_json: String,
+    /// Panic message captured by the quarantine wrapper (`None` = the
+    /// engine runs completed, whatever the oracle said).
+    pub panic: Option<String>,
+    /// Tick-0 fast-engine snapshot of the quarantined scenario (empty
+    /// unless `panic` is set, or when even snapshot construction
+    /// panicked); restoring and running it replays the failure.
+    pub panic_snapshot: Vec<u8>,
 }
 
 /// One oracle rejection, with everything needed to replay it.
@@ -120,26 +152,109 @@ pub struct Divergence {
 
 impl Divergence {
     /// Renders a self-contained reproducer document: population
-    /// shape, duration, all three seeds, the failure reason, and the
-    /// full scenario plan.
+    /// shape, duration, the campaign seed, all three per-trial seeds,
+    /// the failure reason, and the full scenario plan (stamped with
+    /// the scenario grammar version so a future parser rejects it by
+    /// name instead of misreading it).
     pub fn reproducer_json(&self, opts: &CampaignOptions) -> String {
-        let mut s = String::with_capacity(512 + self.plan_json.len());
-        s.push_str("{\n");
-        s.push_str(&format!("  \"index\": {},\n", self.index));
-        s.push_str(&format!("  \"users\": {},\n", opts.users));
-        s.push_str(&format!("  \"cluster_size\": {},\n", opts.cluster_size));
-        s.push_str(&format!("  \"duration_secs\": {},\n", opts.duration_secs));
-        s.push_str(&format!("  \"campaign_seed\": {},\n", opts.seed));
-        s.push_str(&format!("  \"trial_seed\": {},\n", self.trial_seed));
-        s.push_str(&format!("  \"sim_seed\": {},\n", self.sim_seed));
-        s.push_str(&format!("  \"fault_seed\": {},\n", self.fault_seed));
-        s.push_str(&format!("  \"scenario_seed\": {},\n", self.scenario_seed));
-        s.push_str(&format!("  \"reason\": {},\n", json_string(&self.reason)));
-        s.push_str("  \"scenario\": ");
-        indent_embedded(&mut s, &self.plan_json);
-        s.push_str("\n}\n");
-        s
+        reproducer_document(
+            opts,
+            self.index,
+            self.trial_seed,
+            self.sim_seed,
+            self.fault_seed,
+            self.scenario_seed,
+            "divergence",
+            &self.reason,
+            &self.plan_json,
+        )
     }
+}
+
+/// One quarantined scenario: its engine run panicked, the campaign
+/// caught it per trial and completed without it. Carries everything a
+/// postmortem needs, including a tick-0 engine snapshot whose
+/// restore-and-run replays the panic deterministically.
+#[derive(Debug, Clone)]
+pub struct Quarantine {
+    /// Scenario index within the campaign.
+    pub index: usize,
+    /// The split-derived trial seed.
+    pub trial_seed: u64,
+    /// Main simulation seed.
+    pub sim_seed: u64,
+    /// Fault-stream seed.
+    pub fault_seed: u64,
+    /// Scenario-stream seed.
+    pub scenario_seed: u64,
+    /// The captured panic message.
+    pub reason: String,
+    /// The offending scenario plan, as JSON.
+    pub plan_json: String,
+    /// Tick-0 fast-engine snapshot (empty when even snapshot
+    /// construction panicked).
+    pub snapshot: Vec<u8>,
+    /// Where the caller wrote the reproducer JSON (filled in by the
+    /// CLI before the report is rendered; `None` = not written).
+    pub reproducer_path: Option<String>,
+    /// Where the caller wrote [`Quarantine::snapshot`] (filled in by
+    /// the CLI before the report is rendered; `None` = not written).
+    pub snapshot_path: Option<String>,
+}
+
+impl Quarantine {
+    /// Renders the same self-contained reproducer document as
+    /// [`Divergence::reproducer_json`], tagged as a quarantine.
+    pub fn reproducer_json(&self, opts: &CampaignOptions) -> String {
+        reproducer_document(
+            opts,
+            self.index,
+            self.trial_seed,
+            self.sim_seed,
+            self.fault_seed,
+            self.scenario_seed,
+            "quarantine",
+            &self.reason,
+            &self.plan_json,
+        )
+    }
+}
+
+/// The shared reproducer-document renderer: population shape,
+/// duration, campaign seed, per-trial seeds, grammar version, kind
+/// tag, reason, and the embedded scenario plan (always the last key).
+#[allow(clippy::too_many_arguments)]
+fn reproducer_document(
+    opts: &CampaignOptions,
+    index: usize,
+    trial_seed: u64,
+    sim_seed: u64,
+    fault_seed: u64,
+    scenario_seed: u64,
+    kind: &str,
+    reason: &str,
+    plan_json: &str,
+) -> String {
+    let mut s = String::with_capacity(512 + plan_json.len());
+    s.push_str("{\n");
+    s.push_str(&format!(
+        "  \"scenario_schema_version\": {SCENARIO_SCHEMA_VERSION},\n"
+    ));
+    s.push_str(&format!("  \"kind\": \"{kind}\",\n"));
+    s.push_str(&format!("  \"index\": {index},\n"));
+    s.push_str(&format!("  \"users\": {},\n", opts.users));
+    s.push_str(&format!("  \"cluster_size\": {},\n", opts.cluster_size));
+    s.push_str(&format!("  \"duration_secs\": {},\n", opts.duration_secs));
+    s.push_str(&format!("  \"campaign_seed\": {},\n", opts.seed));
+    s.push_str(&format!("  \"trial_seed\": {trial_seed},\n"));
+    s.push_str(&format!("  \"sim_seed\": {sim_seed},\n"));
+    s.push_str(&format!("  \"fault_seed\": {fault_seed},\n"));
+    s.push_str(&format!("  \"scenario_seed\": {scenario_seed},\n"));
+    s.push_str(&format!("  \"reason\": {},\n", json_string(reason)));
+    s.push_str("  \"scenario\": ");
+    indent_embedded(&mut s, plan_json);
+    s.push_str("\n}\n");
+    s
 }
 
 /// Aggregated campaign result.
@@ -156,32 +271,63 @@ pub struct CampaignReport {
     pub faults_covered: Vec<(&'static str, u64)>,
     /// Scenarios per repair policy, in [`RepairPolicy::ALL`] order.
     pub repair_covered: Vec<(&'static str, u64)>,
-    /// Order-sensitive FNV-1a fold of every scenario fingerprint —
+    /// Order-sensitive FNV-1a fold of every completed scenario's
+    /// fingerprint (quarantined scenarios contribute nothing) —
     /// bitwise identical across thread counts and the value the CI
     /// smoke pins.
     pub fingerprint: u64,
     /// Oracle rejections (empty = green).
     pub divergences: Vec<Divergence>,
+    /// Scenarios whose engine runs panicked; the rest of the campaign
+    /// completed without them (empty = nothing quarantined).
+    pub quarantined: Vec<Quarantine>,
+    /// Green scenarios — ran to completion AND passed the oracle —
+    /// recorded `(index, trial_seed, fingerprint)` so a resumed
+    /// campaign can skip them and re-fold their fingerprints.
+    pub completed: Vec<CompletedScenario>,
+}
+
+/// One green scenario recorded in a report for `--resume`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompletedScenario {
+    /// Scenario index within the campaign.
+    pub index: usize,
+    /// The split-derived trial seed (verified on resume; a mismatch
+    /// means the report belongs to different options and the scenario
+    /// is re-run instead of skipped).
+    pub trial_seed: u64,
+    /// The scenario's metrics fingerprint, re-folded on resume.
+    pub fingerprint: u64,
 }
 
 impl CampaignReport {
     /// One-line summary for terminals and smoke greps.
     pub fn summary_line(&self) -> String {
         format!(
-            "campaign: {} scenarios, seed {}, fingerprint {:#018x}, divergences {}",
+            "campaign: {} scenarios, seed {}, fingerprint {:#018x}, divergences {}, \
+             quarantined {}",
             self.scenarios,
             self.options.seed,
             self.fingerprint,
-            self.divergences.len()
+            self.divergences.len(),
+            self.quarantined.len()
         )
     }
 
     /// Renders the machine-readable campaign report.
+    ///
+    /// Trial seeds and fingerprints inside `completed` are hex
+    /// *strings*: the workspace's hand-rolled JSON reader holds
+    /// numbers as `f64`, which cannot round-trip full 64-bit seeds.
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(1024);
         s.push_str("{\n");
+        s.push_str(&format!(
+            "  \"schema_version\": {CAMPAIGN_SCHEMA_VERSION},\n"
+        ));
         s.push_str(&format!("  \"scenarios\": {},\n", self.scenarios));
         s.push_str(&format!("  \"seed\": {},\n", self.options.seed));
+        s.push_str(&format!("  \"seed_hex\": \"{:#x}\",\n", self.options.seed));
         s.push_str(&format!("  \"users\": {},\n", self.options.users));
         s.push_str(&format!(
             "  \"cluster_size\": {},\n",
@@ -211,6 +357,48 @@ impl CampaignReport {
             "  \"repair_covered\": {},\n",
             counts(&self.repair_covered)
         ));
+        s.push_str("  \"completed\": [");
+        for (i, c) in self.completed.iter().enumerate() {
+            let sep = if i + 1 < self.completed.len() {
+                ","
+            } else {
+                ""
+            };
+            s.push_str(&format!(
+                "\n    {{\"index\": {}, \"trial_seed\": \"{:#x}\", \
+                 \"fingerprint\": \"{:#018x}\"}}{sep}",
+                c.index, c.trial_seed, c.fingerprint
+            ));
+        }
+        if !self.completed.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("],\n");
+        s.push_str("  \"quarantined\": [");
+        for (i, q) in self.quarantined.iter().enumerate() {
+            let sep = if i + 1 < self.quarantined.len() {
+                ","
+            } else {
+                ""
+            };
+            let opt = |p: &Option<String>| match p {
+                Some(path) => json_string(path),
+                None => "null".to_string(),
+            };
+            s.push_str(&format!(
+                "\n    {{\"index\": {}, \"trial_seed\": \"{:#x}\", \"reason\": {}, \
+                 \"reproducer\": {}, \"snapshot\": {}}}{sep}",
+                q.index,
+                q.trial_seed,
+                json_string(&q.reason),
+                opt(&q.reproducer_path),
+                opt(&q.snapshot_path)
+            ));
+        }
+        if !self.quarantined.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("],\n");
         s.push_str("  \"divergences\": [");
         for (i, d) in self.divergences.iter().enumerate() {
             let sep = if i + 1 < self.divergences.len() {
@@ -233,8 +421,153 @@ impl CampaignReport {
     }
 }
 
+/// Resume state parsed from a previous campaign report: the options
+/// the campaign ran with and which scenarios it completed.
+#[derive(Debug, Clone)]
+pub struct CampaignResume {
+    /// Scenario count of the original campaign.
+    pub count: usize,
+    /// Campaign seed of the original campaign.
+    pub seed: u64,
+    /// Users per scenario of the original campaign.
+    pub users: usize,
+    /// Cluster size of the original campaign.
+    pub cluster_size: usize,
+    /// Per-scenario duration of the original campaign, seconds.
+    pub duration_secs: f64,
+    /// Scenarios the report records as green.
+    pub completed: Vec<CompletedScenario>,
+}
+
+impl CampaignResume {
+    /// Parses a report written by [`CampaignReport::to_json`]. Reports
+    /// stamped with a newer [`CAMPAIGN_SCHEMA_VERSION`] are rejected
+    /// by name; missing fields and malformed values name the field.
+    pub fn from_report_json(text: &str) -> Result<CampaignResume, String> {
+        let doc = Parser::new(text)
+            .parse_document()
+            .map_err(|e| format!("campaign report: {e}"))?;
+        let root = doc.as_object("campaign report").map_err(|e| e.0)?;
+        let hex = |raw: &str, ctx: &str| -> Result<u64, String> {
+            let digits = raw
+                .strip_prefix("0x")
+                .ok_or_else(|| format!("{ctx}: expected a 0x-prefixed hex string, got {raw:?}"))?;
+            u64::from_str_radix(digits, 16).map_err(|e| format!("{ctx}: {e}"))
+        };
+        let mut count = None;
+        let mut seed = None;
+        let mut seed_hex = None;
+        let mut users = None;
+        let mut cluster_size = None;
+        let mut duration_secs = None;
+        let mut completed = Vec::new();
+        for (key, val) in root {
+            match key.as_str() {
+                "schema_version" => {
+                    let version = val.as_u32("schema_version").map_err(|e| e.0)?;
+                    if version > CAMPAIGN_SCHEMA_VERSION {
+                        return Err(format!(
+                            "campaign report schema_version {version} is newer than this \
+                             binary's {CAMPAIGN_SCHEMA_VERSION}; upgrade spnet to resume it"
+                        ));
+                    }
+                }
+                "scenarios" => {
+                    count = Some(val.as_u32("scenarios").map_err(|e| e.0)? as usize);
+                }
+                "seed" => seed = Some(val.as_f64("seed").map_err(|e| e.0)? as u64),
+                "seed_hex" => {
+                    seed_hex = Some(hex(&val.as_str("seed_hex").map_err(|e| e.0)?, "seed_hex")?);
+                }
+                "users" => users = Some(val.as_u32("users").map_err(|e| e.0)? as usize),
+                "cluster_size" => {
+                    cluster_size = Some(val.as_u32("cluster_size").map_err(|e| e.0)? as usize);
+                }
+                "duration_secs" => {
+                    duration_secs = Some(val.as_f64("duration_secs").map_err(|e| e.0)?);
+                }
+                "completed" => {
+                    for (i, item) in val
+                        .as_array("completed")
+                        .map_err(|e| e.0)?
+                        .iter()
+                        .enumerate()
+                    {
+                        let ctx = format!("completed[{i}]");
+                        let obj = item.as_object(&ctx).map_err(|e| e.0)?;
+                        let field = |name: &str| -> Result<&Value, String> {
+                            obj.iter()
+                                .find(|(k, _)| k == name)
+                                .map(|(_, v)| v)
+                                .ok_or_else(|| format!("{ctx}: missing \"{name}\""))
+                        };
+                        completed.push(CompletedScenario {
+                            index: field("index")?.as_u32(&ctx).map_err(|e| e.0)? as usize,
+                            trial_seed: hex(
+                                &field("trial_seed")?.as_str(&ctx).map_err(|e| e.0)?,
+                                &ctx,
+                            )?,
+                            fingerprint: hex(
+                                &field("fingerprint")?.as_str(&ctx).map_err(|e| e.0)?,
+                                &ctx,
+                            )?,
+                        });
+                    }
+                }
+                // Coverage tables, fingerprint, divergences, and any
+                // future additions are not needed to resume.
+                _ => {}
+            }
+        }
+        Ok(CampaignResume {
+            count: count.ok_or("campaign report: missing \"scenarios\"")?,
+            // The hex spelling is authoritative (numbers above 2^53
+            // lose bits through the f64-backed reader); the decimal
+            // field keeps old reports and jq pipelines working.
+            seed: seed_hex
+                .or(seed)
+                .ok_or("campaign report: missing \"seed\"")?,
+            users: users.ok_or("campaign report: missing \"users\"")?,
+            cluster_size: cluster_size.ok_or("campaign report: missing \"cluster_size\"")?,
+            duration_secs: duration_secs.ok_or("campaign report: missing \"duration_secs\"")?,
+            completed,
+        })
+    }
+
+    /// The [`CampaignOptions`] equivalent to the original run's
+    /// (thread budget and test hooks are the caller's choice — they
+    /// never affect results).
+    pub fn options(&self, threads: usize) -> CampaignOptions {
+        CampaignOptions {
+            count: self.count,
+            seed: self.seed,
+            threads,
+            users: self.users,
+            cluster_size: self.cluster_size,
+            duration_secs: self.duration_secs,
+            inject_panic: None,
+        }
+    }
+}
+
 /// Runs a differential campaign (see module docs).
 pub fn run_campaign(opts: &CampaignOptions) -> CampaignReport {
+    run_campaign_with(opts, None)
+}
+
+/// Runs a differential campaign, optionally resuming a previous one:
+/// scenarios the resume state records as green are skipped (their
+/// stored fingerprints re-fold into the campaign fingerprint, so a
+/// resumed all-green campaign reports the same fingerprint as an
+/// uninterrupted one), everything else — never-run, divergent, and
+/// previously quarantined scenarios — runs normally. A completed
+/// record whose trial seed does not match the seed this campaign
+/// derives for that index belongs to different options and is ignored
+/// (the scenario re-runs).
+pub fn run_campaign_with(
+    opts: &CampaignOptions,
+    resume: Option<&CampaignResume>,
+) -> CampaignReport {
     let config = Config {
         graph_size: opts.users,
         cluster_size: opts.cluster_size,
@@ -245,10 +578,34 @@ pub fn run_campaign(opts: &CampaignOptions) -> CampaignReport {
         seed: opts.seed,
         threads: opts.threads,
         repair: RepairPolicy::Off,
+        kind: "campaign",
     };
+    // Map index → stored fingerprint for records that pass the
+    // trial-seed consistency check (same derivation as
+    // `run_sim_trials`, so a report from different options skips
+    // nothing instead of poisoning the fold).
+    let root = SpRng::seed_from_u64(opts.seed);
+    let skip: std::collections::BTreeMap<usize, u64> = resume
+        .map(|r| {
+            r.completed
+                .iter()
+                .filter(|c| c.index < opts.count)
+                .filter(|c| root.split(c.index as u64).next_raw() == c.trial_seed)
+                .map(|c| (c.index, c.fingerprint))
+                .collect()
+        })
+        .unwrap_or_default();
     let duration = opts.duration_secs;
+    let inject = opts.inject_panic;
     let outcomes = run_sim_trials(&trial_opts, |trial_seed, index| {
-        run_one(&config, duration, trial_seed, index)
+        run_one(
+            &config,
+            duration,
+            trial_seed,
+            index,
+            skip.get(&index).copied(),
+            inject,
+        )
     });
 
     let mut phases: Vec<(&'static str, u64)> = Vec::new();
@@ -259,7 +616,24 @@ pub fn run_campaign(opts: &CampaignOptions) -> CampaignReport {
         .collect();
     let mut fingerprint = FNV_OFFSET;
     let mut divergences = Vec::new();
+    let mut quarantined = Vec::new();
+    let mut completed = Vec::new();
     for o in &outcomes {
+        if let Some(reason) = &o.panic {
+            quarantined.push(Quarantine {
+                index: o.index,
+                trial_seed: o.trial_seed,
+                sim_seed: o.sim_seed,
+                fault_seed: o.fault_seed,
+                scenario_seed: o.scenario_seed,
+                reason: reason.clone(),
+                plan_json: o.plan_json.clone(),
+                snapshot: o.panic_snapshot.clone(),
+                reproducer_path: None,
+                snapshot_path: None,
+            });
+            continue;
+        }
         for k in &o.phase_kinds {
             bump(&mut phases, k);
         }
@@ -283,6 +657,12 @@ pub fn run_campaign(opts: &CampaignOptions) -> CampaignReport {
                 reason: reason.clone(),
                 plan_json: o.plan_json.clone(),
             });
+        } else {
+            completed.push(CompletedScenario {
+                index: o.index,
+                trial_seed: o.trial_seed,
+                fingerprint: o.fingerprint,
+            });
         }
     }
     phases.sort_unstable();
@@ -295,12 +675,25 @@ pub fn run_campaign(opts: &CampaignOptions) -> CampaignReport {
         repair_covered: repairs,
         fingerprint,
         divergences,
+        quarantined,
+        completed,
     }
 }
 
 /// Expands one trial seed into a scenario, runs both engines, and
-/// applies the differential oracle.
-fn run_one(config: &Config, duration: f64, trial_seed: u64, index: usize) -> ScenarioOutcome {
+/// applies the differential oracle. A `completed_fingerprint` from a
+/// resume skips the engine runs (the plan is still regenerated — RNG
+/// only — so coverage tables stay exact); a panic in either engine is
+/// caught and reported as a quarantine outcome instead of unwinding
+/// the campaign.
+fn run_one(
+    config: &Config,
+    duration: f64,
+    trial_seed: u64,
+    index: usize,
+    completed_fingerprint: Option<u64>,
+    inject: Option<usize>,
+) -> ScenarioOutcome {
     let mut rng = SpRng::seed_from_u64(trial_seed);
     let plan = generate_plan(&mut rng, duration);
     let sim_seed = rng.next_raw();
@@ -313,10 +706,10 @@ fn run_one(config: &Config, duration: f64, trial_seed: u64, index: usize) -> Sce
         scenario_seed,
         ..SimOptions::default()
     };
-    let fast = Simulation::with_scenario(config, opts, &plan).run();
-    let reference = ReferenceSimulation::with_scenario(config, opts, &plan).run();
-    let divergence = oracle(&fast, &reference);
-    ScenarioOutcome {
+    let base = |fingerprint: u64,
+                divergence: Option<String>,
+                panic: Option<String>,
+                panic_snapshot: Vec<u8>| ScenarioOutcome {
         index,
         trial_seed,
         sim_seed,
@@ -331,9 +724,37 @@ fn run_one(config: &Config, duration: f64, trial_seed: u64, index: usize) -> Sce
             .collect(),
         capacity_classes: plan.capacity_classes.len(),
         repair: plan.repair,
-        fingerprint: fingerprint(&fast),
+        fingerprint,
         divergence,
         plan_json: plan.to_json(),
+        panic,
+        panic_snapshot,
+    };
+    if let Some(fp) = completed_fingerprint {
+        return base(fp, None, None, Vec::new());
+    }
+    match catch_unwind(AssertUnwindSafe(|| {
+        if inject == Some(index) {
+            panic!("injected campaign panic (test hook) at scenario {index}");
+        }
+        let fast = Simulation::with_scenario(config, opts, &plan).run();
+        let reference = ReferenceSimulation::with_scenario(config, opts, &plan).run();
+        (fast, reference)
+    })) {
+        Ok((fast, reference)) => {
+            let divergence = oracle(&fast, &reference);
+            base(fingerprint(&fast), divergence, None, Vec::new())
+        }
+        Err(payload) => {
+            let reason = panic_message(payload.as_ref()).to_string();
+            // Best-effort tick-0 snapshot for postmortem replay; if
+            // even construction panics, quarantine with what we have.
+            let snapshot = catch_unwind(AssertUnwindSafe(|| {
+                Simulation::with_scenario(config, opts, &plan).snapshot()
+            }))
+            .unwrap_or_default();
+            base(0, None, Some(reason), snapshot)
+        }
     }
 }
 
@@ -576,6 +997,7 @@ mod tests {
             users: 60,
             cluster_size: 10,
             duration_secs: 400.0,
+            inject_panic: None,
         };
         let one = run_campaign(&opts);
         assert_eq!(one.scenarios, 4);
@@ -620,9 +1042,151 @@ mod tests {
         let doc = d.reproducer_json(&CampaignOptions::default());
         assert!(doc.contains("\"scenario\": {"));
         assert!(doc.contains("\\\"queries\\\""));
+        assert!(
+            doc.contains(&format!(
+                "\"scenario_schema_version\": {SCENARIO_SCHEMA_VERSION}"
+            )),
+            "reproducers must name the scenario schema they embed"
+        );
+        assert!(
+            doc.contains("\"campaign_seed\""),
+            "reproducers must carry the campaign seed"
+        );
         // The embedded plan must parse back.
         let start = doc.find("\"scenario\": ").expect("embedded") + "\"scenario\": ".len();
         let embedded: String = doc[start..doc.rfind('}').expect("closing")].to_string();
         ScenarioPlan::from_json(&embedded).expect("embedded plan parses");
+    }
+
+    #[test]
+    fn injected_panic_is_quarantined_not_fatal() {
+        let opts = CampaignOptions {
+            count: 3,
+            seed: 11,
+            threads: 1,
+            users: 60,
+            cluster_size: 10,
+            duration_secs: 300.0,
+            inject_panic: Some(1),
+        };
+        let report = run_campaign(&opts);
+        assert_eq!(report.scenarios, 3);
+        assert_eq!(report.quarantined.len(), 1, "one scenario must quarantine");
+        let q = &report.quarantined[0];
+        assert_eq!(q.index, 1);
+        assert!(
+            q.reason.contains("injected campaign panic"),
+            "got: {}",
+            q.reason
+        );
+        assert!(
+            !q.snapshot.is_empty(),
+            "quarantine must capture a tick-0 snapshot"
+        );
+        // The other two scenarios complete normally.
+        assert_eq!(report.completed.len(), 2);
+        // The quarantined scenario contributes nothing to the fold:
+        // the same campaign minus scenario 1 folds identically.
+        let clean = run_campaign(&CampaignOptions {
+            inject_panic: None,
+            ..opts
+        });
+        assert_ne!(report.fingerprint, clean.fingerprint);
+        let json = report.to_json();
+        assert!(json.contains("\"quarantined\": ["));
+        assert!(json.contains("injected campaign panic"));
+        // Quarantine reproducers parse back like divergence ones.
+        let doc = q.reproducer_json(&opts);
+        assert!(doc.contains("\"kind\": \"quarantine\""));
+        let start = doc.find("\"scenario\": ").expect("embedded") + "\"scenario\": ".len();
+        ScenarioPlan::from_json(&doc[start..doc.rfind('}').expect("closing")])
+            .expect("embedded plan parses");
+    }
+
+    #[test]
+    fn resume_skips_completed_and_reproduces_the_fingerprint() {
+        let opts = CampaignOptions {
+            count: 4,
+            seed: 9,
+            threads: 1,
+            users: 60,
+            cluster_size: 10,
+            duration_secs: 300.0,
+            inject_panic: None,
+        };
+        let full = run_campaign(&opts);
+        assert_eq!(full.completed.len(), 4);
+        // Simulate an interrupted campaign: only the first two
+        // scenarios were recorded as green.
+        let partial = CampaignResume {
+            count: opts.count,
+            seed: opts.seed,
+            users: opts.users,
+            cluster_size: opts.cluster_size,
+            duration_secs: opts.duration_secs,
+            completed: full.completed[..2].to_vec(),
+        };
+        let resumed = run_campaign_with(&opts, Some(&partial));
+        assert_eq!(
+            resumed.fingerprint, full.fingerprint,
+            "resumed campaign must reproduce the uninterrupted fingerprint"
+        );
+        assert_eq!(resumed.completed, full.completed);
+        // A resume record whose trial seed doesn't match this
+        // campaign's derivation is ignored, not folded.
+        let alien = CampaignResume {
+            completed: vec![CompletedScenario {
+                index: 0,
+                trial_seed: 0xdead_beef,
+                fingerprint: 42,
+            }],
+            ..partial
+        };
+        let rerun = run_campaign_with(&opts, Some(&alien));
+        assert_eq!(
+            rerun.fingerprint, full.fingerprint,
+            "mismatched resume records must re-run, not poison the fold"
+        );
+    }
+
+    #[test]
+    fn campaign_report_round_trips_through_resume_parser() {
+        let opts = CampaignOptions {
+            count: 3,
+            seed: u64::MAX - 5, // exercises the hex path: not f64-exact
+            threads: 1,
+            users: 60,
+            cluster_size: 10,
+            duration_secs: 300.0,
+            inject_panic: None,
+        };
+        let report = run_campaign(&opts);
+        let resume = CampaignResume::from_report_json(&report.to_json()).expect("parses");
+        assert_eq!(resume.count, 3);
+        assert_eq!(
+            resume.seed,
+            u64::MAX - 5,
+            "seed_hex must round-trip exactly"
+        );
+        assert_eq!(resume.users, 60);
+        assert_eq!(resume.cluster_size, 10);
+        assert_eq!(resume.duration_secs, 300.0);
+        assert_eq!(resume.completed, report.completed);
+        let resumed = run_campaign_with(&resume.options(1), Some(&resume));
+        assert_eq!(resumed.fingerprint, report.fingerprint);
+    }
+
+    #[test]
+    fn future_campaign_schema_versions_are_rejected_by_name() {
+        let future = format!(
+            "{{\n  \"schema_version\": {},\n  \"scenarios\": 1,\n  \"seed\": 1\n}}\n",
+            CAMPAIGN_SCHEMA_VERSION + 1
+        );
+        let err = CampaignResume::from_report_json(&future).expect_err("must reject");
+        assert!(
+            err.contains("newer than this binary's"),
+            "rejection must name the version gap: {err}"
+        );
+        assert!(CampaignResume::from_report_json("not json").is_err());
     }
 }

@@ -8,6 +8,7 @@
 
 use sp_model::costs::{BITS_PER_BYTE, UNIT_CYCLES};
 use sp_model::load::Load;
+use sp_model::snapshot::{SnapReader, SnapWriter, SnapshotError};
 
 /// Cumulative and windowed traffic counters for one peer.
 ///
@@ -94,6 +95,28 @@ impl LoadCounters {
             out_bw: self.out_bytes * BITS_PER_BYTE / duration_secs,
             proc: self.units * UNIT_CYCLES / duration_secs,
         }
+    }
+
+    /// Writes all six accumulators into a snapshot payload.
+    pub(crate) fn snap(&self, w: &mut SnapWriter) {
+        w.f64(self.in_bytes);
+        w.f64(self.out_bytes);
+        w.f64(self.units);
+        w.f64(self.window_in);
+        w.f64(self.window_out);
+        w.f64(self.window_units);
+    }
+
+    /// Reads counters written by [`LoadCounters::snap`].
+    pub(crate) fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(LoadCounters {
+            in_bytes: r.f64("counters in_bytes")?,
+            out_bytes: r.f64("counters out_bytes")?,
+            units: r.f64("counters units")?,
+            window_in: r.f64("counters window_in")?,
+            window_out: r.f64("counters window_out")?,
+            window_units: r.f64("counters window_units")?,
+        })
     }
 
     /// Drains the window counters, returning the load rate over the

@@ -59,6 +59,9 @@ use sp_stats::{OnlineStats, SpRng};
 
 use sp_model::faults::FaultPlan;
 use sp_model::scenario::ScenarioPlan;
+use sp_model::snapshot::{SnapReader, SnapWriter, SnapshotError, ENGINE_FAST};
+
+use crate::checkpoint;
 
 use crate::events::{ClusterId, Event, EventHandle, IndexedEventQueue, PeerId, SimTime};
 use crate::faults::{FaultMetrics, FaultState, QueryOutcome, Submission};
@@ -272,6 +275,10 @@ pub struct Simulation {
     in_fault_crash: bool,
     /// Scenario-phase state machine (inert for an empty plan).
     scenario: ScenarioState,
+    /// The scenario plan the state machine was built from, retained so
+    /// snapshots are self-contained ([`ScenarioState`] keeps only the
+    /// compiled phase/class tables).
+    scenario_plan: ScenarioPlan,
     // Per-peer-slot handles for the (at most one) outstanding timer of
     // each kind, cancelled when the peer departs so the queue never
     // accumulates tombstones.
@@ -398,6 +405,7 @@ impl Simulation {
             monitor: PartitionMonitor::new(),
             in_fault_crash: false,
             scenario: ScenarioState::new(scenario, opts.scenario_seed),
+            scenario_plan: scenario.clone(),
             leave_h: Vec::new(),
             query_h: Vec::new(),
             update_h: Vec::new(),
@@ -618,13 +626,7 @@ impl Simulation {
 
     /// Runs until the configured duration, then finalizes accounting.
     pub fn run(&mut self) -> RawMetrics {
-        while let Some((t, event)) = self.queue.pop() {
-            if t > self.opts.duration_secs {
-                break;
-            }
-            self.now = t;
-            self.dispatch(event);
-        }
+        self.run_to(self.opts.duration_secs);
         self.now = self.opts.duration_secs;
         self.finalize();
         self.obs.queue_high_water = self.queue.high_water();
@@ -632,6 +634,158 @@ impl Simulation {
         self.faults_final = self.metrics.faults.clone();
         self.repair_final = self.metrics.repair.clone();
         std::mem::take(&mut self.metrics)
+    }
+
+    /// Dispatches every event with time ≤ `bound`, leaving later events
+    /// queued and the clock at the last dispatched event (no
+    /// finalization). A checkpoint taken here and resumed with
+    /// [`Simulation::restore`] continues bitwise identically: the first
+    /// event past the bound is *peeked*, never popped, so the queue —
+    /// including its free-list and handle generations — is exactly the
+    /// state an uninterrupted run would carry across the same instant.
+    pub fn run_to(&mut self, bound: SimTime) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > bound {
+                break;
+            }
+            let (t, event) = self.queue.pop().expect("peeked event vanished");
+            self.now = t;
+            self.dispatch(event);
+        }
+    }
+
+    /// Serializes the full mutable state of the run into a versioned,
+    /// integrity-checked snapshot (see [`sp_model::snapshot`] and
+    /// DESIGN.md §17).
+    ///
+    /// Everything a resumed run observes is captured bitwise: both RNG
+    /// streams' positions, the event queue verbatim (slab, free list,
+    /// heap layout — the free-list order decides future handle
+    /// assignment), the network slabs with their generation counters,
+    /// accumulated metrics, fault/scenario window state, and the
+    /// per-slot timer handles. Pure scratch (flood stamps, BFS buffers,
+    /// the partition monitor's epoch-rebuilt union-find) is *not*
+    /// serialized — it is empty between events by construction.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        checkpoint::snap_config(&self.config, &mut w);
+        checkpoint::snap_opts(&self.opts, &mut w);
+        w.str(&self.faults.plan().to_json());
+        w.str(&self.scenario_plan.to_json());
+        w.f64(self.now);
+        for s in self.rng.state() {
+            w.u64(s);
+        }
+        self.queue.snap(&mut w, |e, w| e.snap(w));
+        self.net.snap(&mut w);
+        checkpoint::snap_raw_metrics(&self.metrics, &mut w);
+        checkpoint::snap_sim_metrics(&self.obs, &mut w);
+        self.faults.snap_state(&mut w);
+        checkpoint::snap_repair_pending(&self.repair_pending, &mut w);
+        self.scenario.snap_state(&mut w);
+        for handles in [
+            &self.leave_h,
+            &self.query_h,
+            &self.update_h,
+            &self.rejoin_h,
+            &self.adapt_h,
+        ] {
+            w.len(handles.len());
+            for h in handles {
+                h.snap(&mut w);
+            }
+        }
+        w.bool(self.in_fault_crash);
+        w.seal(ENGINE_FAST)
+    }
+
+    /// Rebuilds a simulation from a snapshot produced by
+    /// [`Simulation::snapshot`]. Resuming the result with
+    /// [`run`](Self::run) (or further [`run_to`](Self::run_to) steps)
+    /// yields metrics bitwise identical to the uninterrupted run.
+    ///
+    /// The embedded config and plans are re-validated, so a crafted or
+    /// corrupted payload fails with a named [`SnapshotError`] instead
+    /// of panicking; derived state (query model, fault windows,
+    /// scenario tables) is rebuilt from them rather than trusted from
+    /// the wire.
+    pub fn restore(data: &[u8]) -> Result<Simulation, SnapshotError> {
+        let mut r = SnapReader::open(data)?;
+        r.expect_engine(ENGINE_FAST)?;
+        let config = checkpoint::unsnap_config(&mut r)?;
+        config
+            .validate()
+            .map_err(|e| SnapshotError::Malformed(format!("embedded config: {e}")))?;
+        let opts = checkpoint::unsnap_opts(&mut r)?;
+        let fault_plan = FaultPlan::from_json(r.str("fault plan json")?)
+            .map_err(|e| SnapshotError::Malformed(format!("embedded fault plan: {e}")))?;
+        fault_plan
+            .validate()
+            .map_err(|e| SnapshotError::Malformed(format!("embedded fault plan: {e}")))?;
+        let scenario_plan = ScenarioPlan::from_json(r.str("scenario plan json")?)
+            .map_err(|e| SnapshotError::Malformed(format!("embedded scenario plan: {e}")))?;
+        scenario_plan
+            .validate()
+            .map_err(|e| SnapshotError::Malformed(format!("embedded scenario plan: {e}")))?;
+        let now = r.f64("now")?;
+        let mut rng_state = [0u64; 4];
+        for s in &mut rng_state {
+            *s = r.u64("rng state")?;
+        }
+        let queue = IndexedEventQueue::unsnap(&mut r, Event::unsnap)?;
+        let net = SimNetwork::unsnap(&mut r)?;
+        let metrics = checkpoint::unsnap_raw_metrics(&mut r)?;
+        let obs = checkpoint::unsnap_sim_metrics(&mut r)?;
+        let mut faults = FaultState::new(fault_plan, opts.fault_seed);
+        faults.unsnap_state(&mut r)?;
+        let repair_pending = checkpoint::unsnap_repair_pending(&mut r)?;
+        let mut scenario = ScenarioState::new(&scenario_plan, opts.scenario_seed);
+        scenario.unsnap_state(&mut r)?;
+        let mut handle_vecs: [Vec<EventHandle>; 5] = Default::default();
+        for handles in &mut handle_vecs {
+            let n = r.len("handle vec len")?;
+            handles.reserve_exact(n);
+            for _ in 0..n {
+                handles.push(EventHandle::unsnap(&mut r)?);
+            }
+        }
+        let [leave_h, query_h, update_h, rejoin_h, adapt_h] = handle_vecs;
+        let in_fault_crash = r.bool("in_fault_crash")?;
+        r.finish()?;
+        let model = QueryModel::from_config(&config.query_model);
+        Ok(Simulation {
+            net,
+            queue,
+            rng: SpRng::from_state(rng_state),
+            now,
+            config,
+            model,
+            opts,
+            metrics,
+            obs,
+            faults,
+            faults_final: FaultMetrics::default(),
+            repair_final: RepairMetrics::default(),
+            repair_pending,
+            monitor: PartitionMonitor::new(),
+            in_fault_crash,
+            scenario,
+            scenario_plan,
+            leave_h,
+            query_h,
+            update_h,
+            rejoin_h,
+            adapt_h,
+            scratch_partners: Vec::new(),
+            scratch_clients: Vec::new(),
+            scratch_members: Vec::new(),
+            stamp_cur: 0,
+            bfs_parent: Vec::new(),
+            bfs_depth: Vec::new(),
+            bfs_order: Vec::new(),
+            bfs_candidates: Vec::new(),
+            flood: Vec::new(),
+        })
     }
 
     fn dispatch(&mut self, event: Event) {
@@ -2504,6 +2658,64 @@ mod tests {
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9).0, run(10).0);
+    }
+
+    #[test]
+    fn snapshot_round_trip_resumes_bitwise() {
+        let cfg = small_config();
+        let opts = SimOptions {
+            duration_secs: 600.0,
+            seed: 7,
+            ..Default::default()
+        };
+        let mut full = Simulation::new(&cfg, opts);
+        let baseline = full.run();
+
+        let mut head = Simulation::new(&cfg, opts);
+        head.run_to(200.0);
+        let snap = head.snapshot();
+        let mut resumed = Simulation::restore(&snap).expect("restore");
+        let resumed_metrics = resumed.run();
+        assert_eq!(baseline, resumed_metrics);
+        assert_eq!(
+            full.observability().delivered,
+            resumed.observability().delivered
+        );
+        assert_eq!(full.observability().stale, resumed.observability().stale);
+    }
+
+    #[test]
+    fn chained_checkpoints_resume_bitwise() {
+        let cfg = small_config();
+        let opts = SimOptions {
+            duration_secs: 600.0,
+            seed: 11,
+            ..Default::default()
+        };
+        let mut full = Simulation::new(&cfg, opts);
+        let baseline = full.run();
+
+        let mut sim = Simulation::new(&cfg, opts);
+        sim.run_to(150.0);
+        let mut sim = Simulation::restore(&sim.snapshot()).expect("restore at 150");
+        sim.run_to(400.0);
+        let mut sim = Simulation::restore(&sim.snapshot()).expect("restore at 400");
+        assert_eq!(baseline, sim.run());
+    }
+
+    #[test]
+    fn restore_rejects_corrupted_snapshot() {
+        let cfg = small_config();
+        let mut sim = Simulation::new(&cfg, SimOptions::default());
+        sim.run_to(100.0);
+        let mut snap = sim.snapshot();
+        // Flip one payload byte; the fingerprint must catch it.
+        let mid = snap.len() / 2;
+        snap[mid] ^= 0x40;
+        assert!(Simulation::restore(&snap).is_err());
+        // Truncation is named, not a panic.
+        let good = sim.snapshot();
+        assert!(Simulation::restore(&good[..good.len() - 3]).is_err());
     }
 
     #[test]

@@ -25,6 +25,7 @@
 
 use crate::events::ClusterId;
 use sp_model::faults::{FaultPlan, FaultSpec, RetryPolicy};
+use sp_model::snapshot::{SnapReader, SnapWriter, SnapshotError};
 use sp_stats::SpRng;
 
 /// How a client query submission ultimately resolved.
@@ -153,6 +154,30 @@ impl ReconnectHistogram {
     pub fn buckets(&self) -> &[u64; 32] {
         &self.buckets
     }
+
+    /// Writes the histogram into a snapshot payload.
+    pub(crate) fn snap(&self, w: &mut SnapWriter) {
+        for &b in &self.buckets {
+            w.u64(b);
+        }
+        w.u64(self.count);
+        w.f64(self.total_secs);
+        w.f64(self.max_secs);
+    }
+
+    /// Reads a histogram written by [`ReconnectHistogram::snap`].
+    pub(crate) fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let mut buckets = [0u64; 32];
+        for b in &mut buckets {
+            *b = r.u64("histogram bucket")?;
+        }
+        Ok(ReconnectHistogram {
+            buckets,
+            count: r.u64("histogram count")?,
+            total_secs: r.f64("histogram total_secs")?,
+            max_secs: r.f64("histogram max_secs")?,
+        })
+    }
 }
 
 /// Fault-injection and recovery counters, embedded in `RawMetrics` so
@@ -217,6 +242,44 @@ impl FaultMetrics {
                 + self.recovered_retry
                 + self.recovered_failover
                 + self.queries_lost
+    }
+
+    /// Writes the counters into a snapshot payload.
+    pub(crate) fn snap(&self, w: &mut SnapWriter) {
+        w.u64(self.injected_crash);
+        w.u64(self.injected_drop);
+        w.u64(self.injected_delay);
+        w.u64(self.injected_partition_block);
+        w.u64(self.injected_flaky);
+        w.u64(self.queries_issued);
+        w.u64(self.answered_direct);
+        w.u64(self.recovered_retry);
+        w.u64(self.recovered_failover);
+        w.u64(self.queries_lost);
+        w.f64(self.retry_wait_secs);
+        w.f64(self.delay_added_secs);
+        w.u64(self.orphan_gave_up);
+        self.reconnect.snap(w);
+    }
+
+    /// Reads counters written by [`FaultMetrics::snap`].
+    pub(crate) fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(FaultMetrics {
+            injected_crash: r.u64("fault injected_crash")?,
+            injected_drop: r.u64("fault injected_drop")?,
+            injected_delay: r.u64("fault injected_delay")?,
+            injected_partition_block: r.u64("fault injected_partition_block")?,
+            injected_flaky: r.u64("fault injected_flaky")?,
+            queries_issued: r.u64("fault queries_issued")?,
+            answered_direct: r.u64("fault answered_direct")?,
+            recovered_retry: r.u64("fault recovered_retry")?,
+            recovered_failover: r.u64("fault recovered_failover")?,
+            queries_lost: r.u64("fault queries_lost")?,
+            retry_wait_secs: r.f64("fault retry_wait_secs")?,
+            delay_added_secs: r.f64("fault delay_added_secs")?,
+            orphan_gave_up: r.u64("fault orphan_gave_up")?,
+            reconnect: ReconnectHistogram::unsnap(r)?,
+        })
     }
 }
 
@@ -483,6 +546,77 @@ impl FaultState {
         self.delay_prob = 1.0 - keep_delay;
         self.flaky_prob = 1.0 - keep_flaky;
         self.delay_secs = delay_secs;
+    }
+
+    /// Writes the *mutable* fault state into a snapshot payload. The
+    /// plan itself is not written — the caller embeds it (as canonical
+    /// JSON) and rebuilds via [`FaultState::new`] before calling
+    /// [`FaultState::unsnap_state`]. The derived window probabilities
+    /// are re-derived exactly by `recompute_windows` (a pure fold over
+    /// the plan), so only the window flags travel.
+    pub(crate) fn snap_state(&self, w: &mut SnapWriter) {
+        let s = self.rng.state();
+        for &word in &s {
+            w.u64(word);
+        }
+        w.len(self.windows.active.len());
+        for &a in &self.windows.active {
+            w.bool(a);
+        }
+        w.len(self.partitioned.len());
+        for &depth in &self.partitioned {
+            w.u32(depth);
+        }
+        w.len(self.resolved_partitions.len());
+        for set in &self.resolved_partitions {
+            w.len(set.len());
+            for &c in set {
+                w.u32(c);
+            }
+        }
+    }
+
+    /// Restores the mutable state written by
+    /// [`FaultState::snap_state`] into a freshly built `FaultState`
+    /// (same plan, any seed — the RNG position is overwritten).
+    pub(crate) fn unsnap_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            *word = r.u64("fault rng word")?;
+        }
+        self.rng = SpRng::from_state(s);
+        let n = r.len("fault windows len")?;
+        if n != self.plan.faults.len() {
+            return Err(SnapshotError::Malformed(format!(
+                "snapshot has {n} fault windows but the plan has {}",
+                self.plan.faults.len()
+            )));
+        }
+        for i in 0..n {
+            self.windows.active[i] = r.bool("fault window active")?;
+        }
+        let n = r.len("fault partitioned len")?;
+        self.partitioned = Vec::with_capacity(n);
+        for _ in 0..n {
+            self.partitioned.push(r.u32("fault partition depth")?);
+        }
+        let n = r.len("fault resolved partitions len")?;
+        if n != self.resolved_partitions.len() {
+            return Err(SnapshotError::Malformed(format!(
+                "snapshot has {n} resolved partition sets but the plan has {}",
+                self.resolved_partitions.len()
+            )));
+        }
+        for set in &mut self.resolved_partitions {
+            let m = r.len("resolved partition set len")?;
+            set.clear();
+            set.reserve(m);
+            for _ in 0..m {
+                set.push(r.u32("resolved partition cluster")?);
+            }
+        }
+        self.recompute_windows();
+        Ok(())
     }
 
     /// Drives one client submission through timeout/retry/failover.

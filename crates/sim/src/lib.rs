@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub(crate) mod checkpoint;
 pub mod counters;
 pub mod engine;
 pub mod events;
@@ -61,7 +62,10 @@ pub mod repair;
 pub mod scenario;
 pub mod shard;
 
-pub use campaign::{run_campaign, CampaignOptions, CampaignReport, Divergence, ScenarioOutcome};
+pub use campaign::{
+    run_campaign, run_campaign_with, CampaignOptions, CampaignReport, CampaignResume,
+    CompletedScenario, Divergence, Quarantine, ScenarioOutcome, CAMPAIGN_SCHEMA_VERSION,
+};
 pub use engine::{ForwardPolicy, SimOptions, Simulation};
 pub use faults::{FaultMetrics, FaultState, QueryOutcome, ReconnectHistogram, Submission};
 pub use metrics::{EventKind, RunManifest, SimMetrics};
@@ -73,4 +77,4 @@ pub use scenario::{
     routing, routing_trials, run_sim_trials, steady_state, steady_trials, AdaptOptions, SimReport,
     SimTrialOptions,
 };
-pub use shard::{ScaleDiag, ScaleMetrics, ScaleOptions, ShardedSimulation};
+pub use shard::{ScaleDiag, ScaleMetrics, ScaleOptions, ShardFailure, ShardedSimulation};

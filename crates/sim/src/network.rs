@@ -8,6 +8,7 @@
 
 use crate::counters::LoadCounters;
 use crate::events::{ClusterId, PeerId, SimTime};
+use sp_model::snapshot::{SnapReader, SnapWriter, SnapshotError};
 use sp_stats::SpRng;
 
 /// A live peer.
@@ -428,6 +429,217 @@ impl SimNetwork {
             cb.neighbor_partner_links += a_partners;
         }
         true
+    }
+
+    /// Writes the whole network into a snapshot payload **verbatim**,
+    /// including the private free lists (their pop order governs slot
+    /// reuse), slot generations, and the alive list with its
+    /// back-pointers (its order governs `random_cluster` draws).
+    pub(crate) fn snap(&self, w: &mut SnapWriter) {
+        w.len(self.peers.len());
+        for slot in &self.peers {
+            match slot {
+                None => w.bool(false),
+                Some(p) => {
+                    w.bool(true);
+                    w.u32(p.generation);
+                    w.u32(p.files);
+                    match p.cluster {
+                        None => w.bool(false),
+                        Some(c) => {
+                            w.bool(true);
+                            w.u32(c);
+                        }
+                    }
+                    w.bool(p.is_partner);
+                    w.f64(p.joined_at);
+                    w.f64(p.attached_at);
+                }
+            }
+        }
+        w.len(self.counters.len());
+        for c in &self.counters {
+            c.snap(w);
+        }
+        w.len(self.free_peers.len());
+        for &id in &self.free_peers {
+            w.u32(id);
+        }
+        w.len(self.peer_generations.len());
+        for &g in &self.peer_generations {
+            w.u32(g);
+        }
+        w.len(self.clusters.len());
+        for slot in &self.clusters {
+            match slot {
+                None => w.bool(false),
+                Some(c) => {
+                    w.bool(true);
+                    w.u32(c.generation);
+                    w.len(c.partners.len());
+                    for &p in &c.partners {
+                        w.u32(p);
+                    }
+                    w.len(c.clients.len());
+                    for &p in &c.clients {
+                        w.u32(p);
+                    }
+                    w.len(c.neighbors.len());
+                    for &n in &c.neighbors {
+                        w.u32(n);
+                    }
+                    w.u16(c.ttl);
+                    w.u64(c.total_files);
+                    w.len(c.rr);
+                    w.u16(c.max_response_hop);
+                    w.u64(c.growth as u64);
+                    w.f64(c.last_adapt_at);
+                    w.len(c.neighbor_partner_links);
+                }
+            }
+        }
+        w.len(self.free_clusters.len());
+        for &id in &self.free_clusters {
+            w.u32(id);
+        }
+        w.len(self.cluster_generations.len());
+        for &g in &self.cluster_generations {
+            w.u32(g);
+        }
+        w.len(self.alive.len());
+        for &id in &self.alive {
+            w.u32(id);
+        }
+        w.len(self.alive_pos.len());
+        for &pos in &self.alive_pos {
+            w.u64(pos as u64);
+        }
+    }
+
+    /// Reads a network written by [`SimNetwork::snap`].
+    pub(crate) fn unsnap(r: &mut SnapReader<'_>) -> Result<SimNetwork, SnapshotError> {
+        let n_peers = r.len("peer slots len")?;
+        let mut peers = Vec::with_capacity(n_peers);
+        for _ in 0..n_peers {
+            if !r.bool("peer slot occupied")? {
+                peers.push(None);
+                continue;
+            }
+            peers.push(Some(SimPeer {
+                generation: r.u32("peer generation")?,
+                files: r.u32("peer files")?,
+                cluster: if r.bool("peer has cluster")? {
+                    Some(r.u32("peer cluster")?)
+                } else {
+                    None
+                },
+                is_partner: r.bool("peer is_partner")?,
+                joined_at: r.f64("peer joined_at")?,
+                attached_at: r.f64("peer attached_at")?,
+            }));
+        }
+        let n_counters = r.len("counters len")?;
+        let mut counters = Vec::with_capacity(n_counters);
+        for _ in 0..n_counters {
+            counters.push(LoadCounters::unsnap(r)?);
+        }
+        let n_free_peers = r.len("free peers len")?;
+        let mut free_peers = Vec::with_capacity(n_free_peers);
+        for _ in 0..n_free_peers {
+            free_peers.push(r.u32("free peer id")?);
+        }
+        let n_pgen = r.len("peer generations len")?;
+        let mut peer_generations = Vec::with_capacity(n_pgen);
+        for _ in 0..n_pgen {
+            peer_generations.push(r.u32("peer slot generation")?);
+        }
+        let n_clusters = r.len("cluster slots len")?;
+        let mut clusters = Vec::with_capacity(n_clusters);
+        for _ in 0..n_clusters {
+            if !r.bool("cluster slot occupied")? {
+                clusters.push(None);
+                continue;
+            }
+            let generation = r.u32("cluster generation")?;
+            let n = r.len("cluster partners len")?;
+            let mut partners = Vec::with_capacity(n);
+            for _ in 0..n {
+                partners.push(r.u32("cluster partner")?);
+            }
+            let n = r.len("cluster clients len")?;
+            let mut clients = Vec::with_capacity(n);
+            for _ in 0..n {
+                clients.push(r.u32("cluster client")?);
+            }
+            let n = r.len("cluster neighbors len")?;
+            let mut neighbors = Vec::with_capacity(n);
+            for _ in 0..n {
+                neighbors.push(r.u32("cluster neighbor")?);
+            }
+            clusters.push(Some(SimCluster {
+                generation,
+                partners,
+                clients,
+                neighbors,
+                ttl: r.u16("cluster ttl")?,
+                total_files: r.u64("cluster total_files")?,
+                rr: r.len("cluster rr")?,
+                max_response_hop: r.u16("cluster max_response_hop")?,
+                growth: r.u64("cluster growth")? as i64,
+                last_adapt_at: r.f64("cluster last_adapt_at")?,
+                neighbor_partner_links: r.len("cluster neighbor_partner_links")?,
+            }));
+        }
+        let n_free_clusters = r.len("free clusters len")?;
+        let mut free_clusters = Vec::with_capacity(n_free_clusters);
+        for _ in 0..n_free_clusters {
+            free_clusters.push(r.u32("free cluster id")?);
+        }
+        let n_cgen = r.len("cluster generations len")?;
+        let mut cluster_generations = Vec::with_capacity(n_cgen);
+        for _ in 0..n_cgen {
+            cluster_generations.push(r.u32("cluster slot generation")?);
+        }
+        let n_alive = r.len("alive len")?;
+        let mut alive = Vec::with_capacity(n_alive);
+        for _ in 0..n_alive {
+            let id = r.u32("alive cluster id")?;
+            if id as usize >= clusters.len() {
+                return Err(SnapshotError::Malformed(format!(
+                    "alive cluster {id} outside slab of {}",
+                    clusters.len()
+                )));
+            }
+            alive.push(id);
+        }
+        let n_alive_pos = r.len("alive_pos len")?;
+        let mut alive_pos = Vec::with_capacity(n_alive_pos);
+        for _ in 0..n_alive_pos {
+            // NOT_ALIVE (usize::MAX) exceeds the payload size, so read
+            // the raw u64 rather than the bounds-checked `len`.
+            alive_pos.push(r.u64("alive_pos entry")? as usize);
+        }
+        for &pos in &alive_pos {
+            if pos != NOT_ALIVE && pos >= alive.len() {
+                return Err(SnapshotError::Malformed(format!(
+                    "alive_pos {pos} outside alive list of {}",
+                    alive.len()
+                )));
+            }
+        }
+        let net = SimNetwork {
+            peers,
+            counters,
+            free_peers,
+            peer_generations,
+            clusters,
+            free_clusters,
+            cluster_generations,
+            alive,
+            alive_pos,
+        };
+        net.check_invariants().map_err(SnapshotError::Malformed)?;
+        Ok(net)
     }
 
     /// Validates structural invariants (membership symmetry, edge

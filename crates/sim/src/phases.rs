@@ -34,6 +34,7 @@
 //! so the flood hot path carries no scenario-specific branch.
 
 use sp_model::scenario::{CapacityClass, PhaseKind, PhaseSpec, ScenarioPlan};
+use sp_model::snapshot::{SnapReader, SnapWriter, SnapshotError};
 use sp_stats::SpRng;
 
 use crate::events::ClusterId;
@@ -273,6 +274,71 @@ impl ScenarioState {
     /// Takes the stored cluster set of a closing split window.
     pub fn take_split(&mut self, index: u32) -> Vec<ClusterId> {
         std::mem::take(&mut self.split_resolved[index as usize])
+    }
+
+    /// Writes the *mutable* scenario state into a snapshot payload.
+    /// The plan is not written — the caller embeds it (as canonical
+    /// JSON) and rebuilds via [`ScenarioState::new`] before calling
+    /// [`ScenarioState::unsnap_state`]; `phases`/`classes`/`wrr_total`
+    /// are plan-derived and need not travel.
+    pub(crate) fn snap_state(&self, w: &mut SnapWriter) {
+        for &word in &self.rng.state() {
+            w.u64(word);
+        }
+        w.f64(self.query_mult);
+        w.u32(self.hot_shift);
+        w.f64(self.lifespan_mult);
+        w.len(self.wrr_current.len());
+        for &acc in &self.wrr_current {
+            w.f64(acc);
+        }
+        w.len(self.split_resolved.len());
+        for set in &self.split_resolved {
+            w.len(set.len());
+            for &c in set {
+                w.u32(c);
+            }
+        }
+    }
+
+    /// Restores the mutable state written by
+    /// [`ScenarioState::snap_state`] into a freshly built state for the
+    /// same plan.
+    pub(crate) fn unsnap_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            *word = r.u64("scenario rng word")?;
+        }
+        self.rng = SpRng::from_state(s);
+        self.query_mult = r.f64("scenario query_mult")?;
+        self.hot_shift = r.u32("scenario hot_shift")?;
+        self.lifespan_mult = r.f64("scenario lifespan_mult")?;
+        let n = r.len("scenario wrr len")?;
+        if n != self.wrr_current.len() {
+            return Err(SnapshotError::Malformed(format!(
+                "snapshot has {n} WRR accumulators but the plan has {}",
+                self.wrr_current.len()
+            )));
+        }
+        for acc in &mut self.wrr_current {
+            *acc = r.f64("scenario wrr accumulator")?;
+        }
+        let n = r.len("scenario split sets len")?;
+        if n != self.split_resolved.len() {
+            return Err(SnapshotError::Malformed(format!(
+                "snapshot has {n} split sets but the plan has {}",
+                self.split_resolved.len()
+            )));
+        }
+        for set in &mut self.split_resolved {
+            let m = r.len("scenario split set len")?;
+            set.clear();
+            set.reserve(m);
+            for _ in 0..m {
+                set.push(r.u32("scenario split cluster")?);
+            }
+        }
+        Ok(())
     }
 }
 

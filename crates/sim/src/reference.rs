@@ -32,7 +32,9 @@ use sp_stats::dist::Sampler;
 use sp_stats::{Poisson, SpRng};
 
 use sp_model::scenario::ScenarioPlan;
+use sp_model::snapshot::{SnapReader, SnapWriter, SnapshotError, ENGINE_REFERENCE};
 
+use crate::checkpoint;
 use crate::engine::{ForwardPolicy, RawMetrics, SimOptions, TimelinePoint};
 use crate::events::{BinaryEventQueue, ClusterId, Event, PeerId, SimTime};
 use crate::faults::{FaultAction, FaultState, QueryOutcome, Submission};
@@ -76,6 +78,9 @@ pub struct ReferenceSimulation {
     in_fault_crash: bool,
     /// Scenario-phase state machine (inert for an empty plan).
     scenario: ScenarioState,
+    /// The scenario plan the state machine was built from, retained so
+    /// snapshots are self-contained.
+    scenario_plan: ScenarioPlan,
 }
 
 impl ReferenceSimulation {
@@ -142,6 +147,7 @@ impl ReferenceSimulation {
             monitor: PartitionMonitor::new(),
             in_fault_crash: false,
             scenario: ScenarioState::new(scenario, opts.scenario_seed),
+            scenario_plan: scenario.clone(),
         };
         sim.bootstrap(&inst);
         sim
@@ -262,16 +268,116 @@ impl ReferenceSimulation {
 
     /// Runs until the configured duration, then finalizes accounting.
     pub fn run(&mut self) -> RawMetrics {
-        while let Some((t, event)) = self.queue.pop() {
-            if t > self.opts.duration_secs {
-                break;
-            }
-            self.now = t;
-            self.dispatch(event);
-        }
+        self.run_to(self.opts.duration_secs);
         self.now = self.opts.duration_secs;
         self.finalize();
         std::mem::take(&mut self.metrics)
+    }
+
+    /// Dispatches every event with time ≤ `bound`, leaving later
+    /// events queued and the clock at the last dispatched event; the
+    /// checkpoint boundary used by [`ReferenceSimulation::snapshot`]
+    /// (mirror of [`Simulation::run_to`](crate::engine::Simulation::run_to)).
+    pub fn run_to(&mut self, bound: SimTime) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > bound {
+                break;
+            }
+            let (t, event) = self.queue.pop().expect("peeked event vanished");
+            self.now = t;
+            self.dispatch(event);
+        }
+    }
+
+    /// Serializes the full mutable state of the run; the oracle
+    /// counterpart of [`Simulation::snapshot`](crate::engine::Simulation::snapshot),
+    /// sealed with its own engine tag so the two formats cannot be
+    /// cross-restored by accident. The binary queue is rebuilt by
+    /// re-pushing `(time, seq)` triples — pop order is total, so the
+    /// restored pop sequence is exact.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        checkpoint::snap_config(&self.config, &mut w);
+        checkpoint::snap_opts(&self.opts, &mut w);
+        w.str(&self.faults.plan().to_json());
+        w.str(&self.scenario_plan.to_json());
+        w.f64(self.now);
+        for s in self.rng.state() {
+            w.u64(s);
+        }
+        self.queue.snap(&mut w);
+        self.net.snap(&mut w);
+        checkpoint::snap_raw_metrics(&self.metrics, &mut w);
+        w.u64(self.delivered);
+        self.faults.snap_state(&mut w);
+        checkpoint::snap_repair_pending(&self.repair_pending, &mut w);
+        self.scenario.snap_state(&mut w);
+        w.bool(self.in_fault_crash);
+        w.seal(ENGINE_REFERENCE)
+    }
+
+    /// Rebuilds a reference simulation from a snapshot produced by
+    /// [`ReferenceSimulation::snapshot`]; resuming yields metrics
+    /// bitwise identical to the uninterrupted run.
+    pub fn restore(data: &[u8]) -> Result<ReferenceSimulation, SnapshotError> {
+        let mut r = SnapReader::open(data)?;
+        r.expect_engine(ENGINE_REFERENCE)?;
+        let config = checkpoint::unsnap_config(&mut r)?;
+        config
+            .validate()
+            .map_err(|e| SnapshotError::Malformed(format!("embedded config: {e}")))?;
+        let opts = checkpoint::unsnap_opts(&mut r)?;
+        let fault_plan = FaultPlan::from_json(r.str("fault plan json")?)
+            .map_err(|e| SnapshotError::Malformed(format!("embedded fault plan: {e}")))?;
+        fault_plan
+            .validate()
+            .map_err(|e| SnapshotError::Malformed(format!("embedded fault plan: {e}")))?;
+        let scenario_plan = ScenarioPlan::from_json(r.str("scenario plan json")?)
+            .map_err(|e| SnapshotError::Malformed(format!("embedded scenario plan: {e}")))?;
+        scenario_plan
+            .validate()
+            .map_err(|e| SnapshotError::Malformed(format!("embedded scenario plan: {e}")))?;
+        let now = r.f64("now")?;
+        let mut rng_state = [0u64; 4];
+        for s in &mut rng_state {
+            *s = r.u64("rng state")?;
+        }
+        let queue = BinaryEventQueue::unsnap(&mut r)?;
+        let net = SimNetwork::unsnap(&mut r)?;
+        let metrics = checkpoint::unsnap_raw_metrics(&mut r)?;
+        let delivered = r.u64("delivered")?;
+        let mut faults = FaultState::new(fault_plan, opts.fault_seed);
+        faults.unsnap_state(&mut r)?;
+        let repair_pending = checkpoint::unsnap_repair_pending(&mut r)?;
+        let mut scenario = ScenarioState::new(&scenario_plan, opts.scenario_seed);
+        scenario.unsnap_state(&mut r)?;
+        let in_fault_crash = r.bool("in_fault_crash")?;
+        r.finish()?;
+        let model = QueryModel::from_config(&config.query_model);
+        Ok(ReferenceSimulation {
+            net,
+            queue,
+            rng: SpRng::from_state(rng_state),
+            now,
+            config,
+            model,
+            opts,
+            metrics,
+            delivered,
+            faults,
+            stamp: Vec::new(),
+            stamp_cur: 0,
+            bfs_parent: Vec::new(),
+            bfs_depth: Vec::new(),
+            bfs_order: Vec::new(),
+            bfs_tx: Vec::new(),
+            bfs_candidates: Vec::new(),
+            repair_pending,
+            monitor: PartitionMonitor::new(),
+            in_fault_crash,
+            scenario,
+            scenario_plan,
+        })
     }
 
     fn dispatch(&mut self, event: Event) {
@@ -1749,5 +1855,43 @@ mod tests {
         assert!(m.queries > 0);
         assert!(sim.events_delivered() > m.queries);
         sim.net.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn reference_snapshot_round_trip_resumes_bitwise() {
+        let cfg = Config {
+            graph_size: 100,
+            cluster_size: 10,
+            ..Config::default()
+        };
+        let opts = SimOptions {
+            duration_secs: 600.0,
+            seed: 7,
+            ..Default::default()
+        };
+        let mut full = ReferenceSimulation::new(&cfg, opts);
+        let baseline = full.run();
+
+        let mut head = ReferenceSimulation::new(&cfg, opts);
+        head.run_to(200.0);
+        let mut resumed = ReferenceSimulation::restore(&head.snapshot()).expect("restore");
+        assert_eq!(baseline, resumed.run());
+        assert_eq!(full.events_delivered(), resumed.events_delivered());
+    }
+
+    #[test]
+    fn engine_tags_do_not_cross_restore() {
+        let cfg = Config {
+            graph_size: 100,
+            cluster_size: 10,
+            ..Config::default()
+        };
+        let mut sim = ReferenceSimulation::new(&cfg, SimOptions::default());
+        sim.run_to(50.0);
+        let snap = sim.snapshot();
+        assert!(matches!(
+            crate::engine::Simulation::restore(&snap),
+            Err(SnapshotError::WrongEngine { .. })
+        ));
     }
 }

@@ -347,6 +347,10 @@ pub struct SimTrialOptions {
     /// scenarios without a fault plan; also stamped into worker-panic
     /// payloads so a dying trial identifies its full configuration).
     pub repair: RepairPolicy,
+    /// Scenario kind stamped into worker-panic payloads (the trial
+    /// wrappers set it — `steady-state`, `crash-storm`, … — so a dying
+    /// trial names *which* experiment it was running).
+    pub kind: &'static str,
 }
 
 impl Default for SimTrialOptions {
@@ -356,6 +360,7 @@ impl Default for SimTrialOptions {
             seed: 0xC0FFEE,
             threads: 0,
             repair: RepairPolicy::Off,
+            kind: "sim",
         }
     }
 }
@@ -415,7 +420,9 @@ where
                             Ok(v) => local.push((t, v)),
                             Err(payload) => {
                                 return Err(format!(
-                                    "trial {t} (seed {seed:#x}, repair {}) panicked: {}",
+                                    "trial {t} (scenario {}, seed {seed:#x}, repair {}) \
+                                     panicked: {}",
+                                    opts.kind,
                                     opts.repair,
                                     panic_message(payload.as_ref())
                                 ))
@@ -450,15 +457,11 @@ where
         .collect()
 }
 
-/// Renders a panic payload for propagation: the common `&str` /
-/// `String` payloads verbatim, anything else a placeholder.
-pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
-    payload
-        .downcast_ref::<&'static str>()
-        .copied()
-        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
-        .unwrap_or("opaque panic payload")
-}
+// Panic payloads are rendered by the shared `sp_model::trials`
+// implementation, which also unwraps the boxed payloads that nested
+// `catch_unwind` layers produce (a local copy here used to miss them
+// and render "opaque panic payload").
+pub(crate) use sp_model::trials::panic_message;
 
 fn ci_of<I: IntoIterator<Item = f64>>(values: I) -> ConfidenceInterval {
     let mut stats = OnlineStats::default();
@@ -487,7 +490,11 @@ pub fn steady_trials(
     duration_secs: f64,
     opts: &SimTrialOptions,
 ) -> SteadyTrialSummary {
-    let per_trial = run_sim_trials(opts, |seed, _| steady_state(config, duration_secs, seed));
+    let opts = SimTrialOptions {
+        kind: "steady-state",
+        ..*opts
+    };
+    let per_trial = run_sim_trials(&opts, |seed, _| steady_state(config, duration_secs, seed));
     SteadyTrialSummary {
         availability: ci_of(per_trial.iter().map(|r| r.availability)),
         results_per_query: ci_of(per_trial.iter().map(|r| r.results_per_query)),
@@ -517,7 +524,11 @@ pub fn reliability_trials(
     duration_secs: f64,
     opts: &SimTrialOptions,
 ) -> ReliabilityTrialSummary {
-    let per_trial = run_sim_trials(opts, |seed, _| reliability(config, duration_secs, seed));
+    let opts = SimTrialOptions {
+        kind: "reliability",
+        ..*opts
+    };
+    let per_trial = run_sim_trials(&opts, |seed, _| reliability(config, duration_secs, seed));
     ReliabilityTrialSummary {
         availability_k1: ci_of(per_trial.iter().map(|c| c.availability_k1)),
         availability_k2: ci_of(per_trial.iter().map(|c| c.availability_k2)),
@@ -553,7 +564,11 @@ pub fn crash_storm_trials(
     duration_secs: f64,
     opts: &SimTrialOptions,
 ) -> CrashStormTrialSummary {
-    let per_trial = run_sim_trials(opts, |seed, _| {
+    let opts = SimTrialOptions {
+        kind: "crash-storm",
+        ..*opts
+    };
+    let per_trial = run_sim_trials(&opts, |seed, _| {
         crash_storm(config, duration_secs, seed, seed, opts.repair)
     });
     CrashStormTrialSummary {
@@ -589,7 +604,13 @@ pub fn routing_trials(
     duration_secs: f64,
     opts: &SimTrialOptions,
 ) -> RoutingTrialSummary {
-    let per_trial = run_sim_trials(opts, |seed, _| routing(config, fanout, duration_secs, seed));
+    let opts = SimTrialOptions {
+        kind: "routing",
+        ..*opts
+    };
+    let per_trial = run_sim_trials(&opts, |seed, _| {
+        routing(config, fanout, duration_secs, seed)
+    });
     RoutingTrialSummary {
         results_flood: ci_of(per_trial.iter().map(|c| c.results_flood)),
         results_subset: ci_of(per_trial.iter().map(|c| c.results_subset)),
@@ -617,7 +638,13 @@ pub fn adaptive_trials(
     adapt: AdaptOptions,
     opts: &SimTrialOptions,
 ) -> AdaptiveTrialSummary {
-    let per_trial = run_sim_trials(opts, |seed, _| adaptive(config, duration_secs, seed, adapt));
+    let opts = SimTrialOptions {
+        kind: "adaptive",
+        ..*opts
+    };
+    let per_trial = run_sim_trials(&opts, |seed, _| {
+        adaptive(config, duration_secs, seed, adapt)
+    });
     AdaptiveTrialSummary {
         adapt_actions: ci_of(per_trial.iter().map(|r| r.adapt_actions as f64)),
         availability: ci_of(per_trial.iter().map(|r| r.availability)),
@@ -702,6 +729,7 @@ mod tests {
             seed: 42,
             threads: 1,
             repair: RepairPolicy::Off,
+            ..Default::default()
         };
         let a = run_sim_trials(&base, |seed, t| (t, seed));
         for (i, &(t, _)) in a.iter().enumerate() {
@@ -727,6 +755,7 @@ mod tests {
             seed: 5,
             threads: 2,
             repair: RepairPolicy::Off,
+            kind: "sim",
         };
         let s = steady_trials(&cfg, 300.0, &opts);
         assert_eq!(s.per_trial.len(), 3);
@@ -758,14 +787,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "trial 1 (seed ")]
-    fn sim_trial_panics_carry_trial_and_seed() {
+    #[should_panic(expected = "trial 1 (scenario steady-state, seed ")]
+    fn sim_trial_panics_carry_trial_seed_and_kind() {
         run_sim_trials(
             &SimTrialOptions {
                 trials: 3,
                 seed: 42,
                 threads: 2,
                 repair: RepairPolicy::Off,
+                kind: "steady-state",
             },
             |_, t| {
                 if t == 1 {
@@ -785,6 +815,7 @@ mod tests {
                 seed: 42,
                 threads: 2,
                 repair: RepairPolicy::PromotePartner,
+                ..Default::default()
             },
             |_, t| {
                 if t == 1 {

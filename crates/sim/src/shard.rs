@@ -73,11 +73,15 @@
 //! oracles; this one answers "how does the overlay behave at 10⁶
 //! peers", which they cannot.
 
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
+use std::time::Duration;
 
 use sp_model::config::Config;
 use sp_model::faults::{FaultPlan, FaultSpec};
-use sp_model::trials::shard_spans;
+use sp_model::snapshot::{SnapReader, SnapWriter, SnapshotError, ENGINE_SCALE};
+use sp_model::trials::{panic_message, shard_spans};
 
 use crate::events::IndexedEventQueue;
 
@@ -145,6 +149,15 @@ pub struct ScaleOptions {
     /// Number of shards; clamped to `[1, clusters]`. Results are
     /// bitwise identical at every value.
     pub shards: usize,
+    /// Barrier watchdog: how long a shard waits on a barrier receive,
+    /// in units of 100 ms, before declaring the run stalled and
+    /// failing with a diagnostic dump. `0` disables the watchdog
+    /// (receives block indefinitely).
+    pub barrier_timeout_ticks: u32,
+    /// Test-only fault hook: `Some((shard, tick))` makes that shard's
+    /// reactor panic at the start of that tick, exercising the
+    /// supervisor's fail-fast path. Never set in production runs.
+    pub inject_panic: Option<(usize, u32)>,
 }
 
 impl Default for ScaleOptions {
@@ -154,6 +167,8 @@ impl Default for ScaleOptions {
             seed: 0xC0FFEE,
             fault_seed: 0,
             shards: 1,
+            barrier_timeout_ticks: 0,
+            inject_panic: None,
         }
     }
 }
@@ -218,6 +233,173 @@ pub struct ShardMsg {
 struct Batch {
     tick: u32,
     msgs: Vec<ShardMsg>,
+}
+
+/// The supervisor's account of a failed sharded run: which shard
+/// faulted, where, why, and how far every shard got — so a panic,
+/// stall, or preemption yields a named diagnostic instead of a hung
+/// barrier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardFailure {
+    /// Shard the failure is attributed to. Panics rank above watchdog
+    /// stalls, which rank above peer disconnects: the latter two are
+    /// downstream symptoms of whichever shard died first.
+    pub shard: usize,
+    /// Tick that shard was executing when it failed.
+    pub tick: u32,
+    /// Panic payload, watchdog stall, or disconnect description.
+    pub reason: String,
+    /// Last tick each shard reached, indexed by shard — the
+    /// diagnostic snapshot of all reactors at the moment of failure.
+    pub shard_ticks: Vec<u32>,
+}
+
+impl ShardFailure {
+    /// Multi-line diagnostic dump: the failure plus every shard's
+    /// progress, for operators chasing a stall.
+    pub fn diagnostic(&self) -> String {
+        let mut out = format!(
+            "shard {} failed at tick {}: {}\nshard progress at failure:\n",
+            self.shard, self.tick, self.reason
+        );
+        for (i, t) in self.shard_ticks.iter().enumerate() {
+            let marker = if i == self.shard { "  <- failed" } else { "" };
+            out.push_str(&format!("  shard {i}: tick {t}{marker}\n"));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for ShardFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shard {} failed at tick {}: {}",
+            self.shard, self.tick, self.reason
+        )
+    }
+}
+
+impl std::error::Error for ShardFailure {}
+
+/// Why one shard's reactor stopped early (supervisor-internal; the
+/// shard index is attached when the supervisor folds these).
+#[derive(Debug)]
+struct ShardError {
+    tick: u32,
+    reason: String,
+}
+
+impl ShardError {
+    fn disconnected(t: u32, peer: usize) -> ShardError {
+        ShardError {
+            tick: t,
+            reason: format!(
+                "peer shard {peer} disconnected before its tick-{} barrier batch arrived",
+                t.saturating_sub(1)
+            ),
+        }
+    }
+}
+
+/// What a shard reactor hands back to the supervisor on success.
+struct ShardRun {
+    metrics: ScaleMetrics,
+    diag: ScaleDiag,
+    carry: Option<ShardCarry>,
+}
+
+/// One shard's slice of the resumable state, in canonical order.
+struct ShardCarry {
+    alive: Vec<u64>,
+    head: Vec<u32>,
+    seq: Vec<u32>,
+    events: Vec<(f64, ScaleEvent)>,
+    msgs: Vec<ShardMsg>,
+}
+
+/// Canonical layout-invariant engine state between ticks — what a
+/// scale snapshot serializes. Per-cluster arrays are indexed by global
+/// cluster id, so the state redistributes to any shard count.
+#[derive(Debug, Clone)]
+struct ResumeState {
+    /// Next tick to execute.
+    tick: u32,
+    /// Per-cluster member-liveness bitmasks.
+    alive: Vec<u64>,
+    /// Per-cluster acting-head member offsets.
+    head: Vec<u32>,
+    /// Per-cluster message sequence counters.
+    seq: Vec<u32>,
+    /// Pending local events as `(time, event)`, grouped by owning
+    /// cluster ascending, per-cluster in queue pop order.
+    events: Vec<(f64, ScaleEvent)>,
+    /// Pending messages (delivery rings plus the boundary tick's
+    /// outboxes), sorted by `(deliver_tick, src_cluster, seq)`.
+    msgs: Vec<ShardMsg>,
+    /// Counters accumulated over ticks `[0, tick)`, merged ascending.
+    metrics: ScaleMetrics,
+}
+
+/// Global cluster that owns an event (its queries or its election).
+fn event_cluster(params: &ScaleParams, event: &ScaleEvent) -> u32 {
+    match event {
+        ScaleEvent::Query { peer, .. } => (*peer / params.cluster_size as u64) as u32,
+        ScaleEvent::Election { cluster } => *cluster,
+    }
+}
+
+/// Serializes the full counter set, `hop_hist` included.
+fn snap_scale_metrics(w: &mut SnapWriter, m: &ScaleMetrics) {
+    w.u64(m.peers);
+    w.u64(m.clusters);
+    w.u64(m.ticks);
+    w.u64(m.queries_issued);
+    w.u64(m.queries_failed);
+    w.u64(m.submissions_flaked);
+    w.u64(m.msgs_sent);
+    w.u64(m.msgs_delivered);
+    w.u64(m.msgs_dropped_loss);
+    w.u64(m.msgs_dropped_partition);
+    w.u64(m.msgs_dropped_dead);
+    w.u64(m.msgs_delayed);
+    w.u64(m.msgs_expired);
+    w.u64(m.results_found);
+    w.u64(m.crashes_injected);
+    w.u64(m.elections_held);
+    w.u64(m.clusters_dead);
+    w.u64(m.reindex_received);
+    for &v in &m.hop_hist {
+        w.u64(v);
+    }
+}
+
+fn unsnap_scale_metrics(r: &mut SnapReader<'_>) -> Result<ScaleMetrics, SnapshotError> {
+    let mut m = ScaleMetrics {
+        peers: r.u64("metrics.peers")?,
+        clusters: r.u64("metrics.clusters")?,
+        ticks: r.u64("metrics.ticks")?,
+        queries_issued: r.u64("metrics.queries_issued")?,
+        queries_failed: r.u64("metrics.queries_failed")?,
+        submissions_flaked: r.u64("metrics.submissions_flaked")?,
+        msgs_sent: r.u64("metrics.msgs_sent")?,
+        msgs_delivered: r.u64("metrics.msgs_delivered")?,
+        msgs_dropped_loss: r.u64("metrics.msgs_dropped_loss")?,
+        msgs_dropped_partition: r.u64("metrics.msgs_dropped_partition")?,
+        msgs_dropped_dead: r.u64("metrics.msgs_dropped_dead")?,
+        msgs_delayed: r.u64("metrics.msgs_delayed")?,
+        msgs_expired: r.u64("metrics.msgs_expired")?,
+        results_found: r.u64("metrics.results_found")?,
+        crashes_injected: r.u64("metrics.crashes_injected")?,
+        elections_held: r.u64("metrics.elections_held")?,
+        clusters_dead: r.u64("metrics.clusters_dead")?,
+        reindex_received: r.u64("metrics.reindex_received")?,
+        hop_hist: [0; SCALE_MAX_HOPS],
+    };
+    for v in m.hop_hist.iter_mut() {
+        *v = r.u64("metrics.hop_hist")?;
+    }
+    Ok(m)
 }
 
 /// Shard-count-invariant run metrics: fixed-width commutative counters
@@ -410,13 +592,20 @@ struct ScaleParams {
 
 /// The sharded scale simulator. Construction validates and captures
 /// the configuration; [`run`](ShardedSimulation::run) executes the
-/// tick loop (re-runnable — all mutable state is per-run).
+/// tick loop (re-runnable — all mutable state is per-run). A run can
+/// be paused at any tick boundary ([`run_to`](ShardedSimulation::run_to)),
+/// serialized ([`snapshot`](ShardedSimulation::snapshot)), and resumed
+/// at any shard count ([`restore`](ShardedSimulation::restore)) with
+/// bitwise-identical final metrics.
 #[derive(Debug)]
 pub struct ShardedSimulation {
     params: ScaleParams,
     plan: FaultPlan,
     shards: usize,
     diag: ScaleDiag,
+    barrier_timeout_ticks: u32,
+    inject_panic: Option<(usize, u32)>,
+    resume: Option<ResumeState>,
 }
 
 impl ShardedSimulation {
@@ -472,6 +661,9 @@ impl ShardedSimulation {
             plan: plan.clone(),
             shards: opts.shards.clamp(1, clusters),
             diag: ScaleDiag::default(),
+            barrier_timeout_ticks: opts.barrier_timeout_ticks,
+            inject_panic: opts.inject_panic,
+            resume: None,
         }
     }
 
@@ -482,23 +674,403 @@ impl ShardedSimulation {
     }
 
     /// Executes the run and folds per-shard metrics in ascending shard
-    /// order. Bitwise identical for every shard count.
+    /// order. Bitwise identical for every shard count. Resumes from a
+    /// prior [`run_to`](ShardedSimulation::run_to) /
+    /// [`restore`](ShardedSimulation::restore) point if one is set,
+    /// and clears it, so a subsequent call starts fresh.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`ShardFailure`] rendering if any shard reactor
+    /// fails; use [`try_run`](ShardedSimulation::try_run) to handle
+    /// failures as values.
     pub fn run(&mut self) -> ScaleMetrics {
+        self.try_run().unwrap_or_else(|f| panic!("{f}"))
+    }
+
+    /// [`run`](ShardedSimulation::run), with shard panics, barrier
+    /// stalls, and disconnects reported as a [`ShardFailure`] instead
+    /// of panicking or hanging: the supervisor wraps every reactor in
+    /// `catch_unwind` and every barrier wait is error-aware, so one
+    /// dead shard unwinds the whole run promptly.
+    pub fn try_run(&mut self) -> Result<ScaleMetrics, ShardFailure> {
+        let (mut metrics, _) = self.execute(self.params.ticks, false)?;
+        metrics.peers = (self.params.clusters * self.params.cluster_size) as u64;
+        metrics.clusters = self.params.clusters as u64;
+        metrics.ticks = self.params.ticks as u64;
+        Ok(metrics)
+    }
+
+    /// Advances the run to tick `tick` (clamped to the run length) and
+    /// parks the canonical engine state for
+    /// [`snapshot`](ShardedSimulation::snapshot) or a later
+    /// [`run`](ShardedSimulation::run) to pick up.
+    pub fn run_to(&mut self, tick: u32) -> Result<(), ShardFailure> {
+        let (_, resume) = self.execute(tick, true)?;
+        self.resume = resume;
+        Ok(())
+    }
+
+    /// Next tick a [`run`](ShardedSimulation::run) would execute: the
+    /// parked checkpoint position, or 0 when starting fresh.
+    pub fn tick(&self) -> u32 {
+        self.resume.as_ref().map_or(0, |r| r.tick)
+    }
+
+    /// Total ticks in the run (`duration_secs` rounded up).
+    pub fn total_ticks(&self) -> u32 {
+        self.params.ticks
+    }
+
+    /// Serializes the parked engine state (see
+    /// [`run_to`](ShardedSimulation::run_to)) into a sealed snapshot.
+    /// The state is canonical — per-cluster arrays indexed by global
+    /// cluster id, events and messages in layout-invariant order — so
+    /// the snapshot is byte-identical no matter how many shards
+    /// produced it, and restores at any shard count. Calling this
+    /// before any `run_to` snapshots the initial (tick 0) state.
+    pub fn snapshot(&mut self) -> Vec<u8> {
+        if self.resume.is_none() {
+            self.run_to(0)
+                .expect("zero-tick state materialization cannot fail");
+        }
+        let r = self
+            .resume
+            .as_ref()
+            .expect("resume state just materialized");
+        let p = &self.params;
+        let mut w = SnapWriter::new();
+        w.len(p.clusters);
+        w.len(p.cluster_size);
+        w.len(p.redundancy_k);
+        w.u8(p.ttl);
+        w.f64(p.query_rate);
+        w.f64(p.avg_outdegree);
+        w.u32(p.ticks);
+        w.u32(p.horizon);
+        w.u64(p.seed);
+        w.u64(p.fault_seed);
+        w.str(&self.plan.to_json());
+        w.u32(r.tick);
+        for &a in &r.alive {
+            w.u64(a);
+        }
+        for &h in &r.head {
+            w.u32(h);
+        }
+        for &s in &r.seq {
+            w.u32(s);
+        }
+        w.len(r.events.len());
+        for &(time, event) in &r.events {
+            w.f64(time);
+            match event {
+                ScaleEvent::Query { peer, n } => {
+                    w.u8(0);
+                    w.u64(peer);
+                    w.u32(n);
+                }
+                ScaleEvent::Election { cluster } => {
+                    w.u8(1);
+                    w.u32(cluster);
+                }
+            }
+        }
+        w.len(r.msgs.len());
+        for m in &r.msgs {
+            w.u32(m.deliver_tick);
+            w.u32(m.src_cluster);
+            w.u32(m.seq);
+            w.u32(m.dst_cluster);
+            match m.kind {
+                MsgKind::Flood {
+                    query_key,
+                    ttl_left,
+                    hops,
+                } => {
+                    w.u8(0);
+                    w.u64(query_key);
+                    w.u8(ttl_left);
+                    w.u8(hops);
+                }
+                MsgKind::Reindex => w.u8(1),
+            }
+        }
+        snap_scale_metrics(&mut w, &r.metrics);
+        w.seal(ENGINE_SCALE)
+    }
+
+    /// Rebuilds a paused run from a sealed scale snapshot. The
+    /// workload (config-derived parameters, fault plan, seeds) comes
+    /// from the snapshot; only `opts.shards`,
+    /// `opts.barrier_timeout_ticks`, and `opts.inject_panic` are
+    /// honored — resuming at a different shard count than the one
+    /// that produced the snapshot still yields bitwise-identical
+    /// metrics. Every field is validated; impossible values are
+    /// [`SnapshotError::Malformed`], never panics.
+    pub fn restore(data: &[u8], opts: ScaleOptions) -> Result<ShardedSimulation, SnapshotError> {
+        let malformed = |msg: String| SnapshotError::Malformed(msg);
+        let mut r = SnapReader::open(data)?;
+        r.expect_engine(ENGINE_SCALE)?;
+        let clusters = r.len("clusters")?;
+        let cluster_size = r.len("cluster_size")?;
+        let redundancy_k = r.len("redundancy_k")?;
+        let ttl = r.u8("ttl")?;
+        let query_rate = r.f64("query_rate")?;
+        let avg_outdegree = r.f64("avg_outdegree")?;
+        let ticks = r.u32("ticks")?;
+        let horizon = r.u32("horizon")?;
+        let seed = r.u64("seed")?;
+        let fault_seed = r.u64("fault_seed")?;
+        if clusters == 0 {
+            return Err(malformed("zero clusters".into()));
+        }
+        if cluster_size == 0 || cluster_size > SCALE_MAX_CLUSTER {
+            return Err(malformed(format!(
+                "cluster_size {cluster_size} outside [1, {SCALE_MAX_CLUSTER}]"
+            )));
+        }
+        if redundancy_k == 0 || redundancy_k > cluster_size {
+            return Err(malformed(format!(
+                "redundancy_k {redundancy_k} outside [1, cluster_size]"
+            )));
+        }
+        if ttl as usize >= SCALE_MAX_HOPS {
+            return Err(malformed(format!(
+                "ttl {ttl} exceeds {}",
+                SCALE_MAX_HOPS - 1
+            )));
+        }
+        if ticks == 0 || horizon < 2 {
+            return Err(malformed(format!(
+                "ticks {ticks} / horizon {horizon} out of range"
+            )));
+        }
+        if !query_rate.is_finite() || query_rate <= 0.0 {
+            return Err(malformed(format!("query_rate {query_rate} not positive")));
+        }
+        if !avg_outdegree.is_finite() || avg_outdegree <= 1.0 {
+            return Err(malformed(format!("avg_outdegree {avg_outdegree} <= 1")));
+        }
+        let plan = FaultPlan::from_json(r.str("fault plan")?)
+            .map_err(|e| malformed(format!("embedded fault plan: {e}")))?;
+        plan.validate()
+            .map_err(|e| malformed(format!("embedded fault plan: {e}")))?;
+        let tick = r.u32("resume tick")?;
+        if tick > ticks {
+            return Err(malformed(format!(
+                "resume tick {tick} past run end {ticks}"
+            )));
+        }
+        let mut alive = Vec::with_capacity(clusters);
+        let full_mask = if cluster_size >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << cluster_size) - 1
+        };
+        for _ in 0..clusters {
+            let mask = r.u64("alive mask")?;
+            if mask & !full_mask != 0 {
+                return Err(malformed("alive mask names nonexistent members".into()));
+            }
+            alive.push(mask);
+        }
+        let mut head = Vec::with_capacity(clusters);
+        for _ in 0..clusters {
+            let h = r.u32("head offset")?;
+            if h as usize >= cluster_size {
+                return Err(malformed(format!("head offset {h} outside cluster")));
+            }
+            head.push(h);
+        }
+        let mut seq = Vec::with_capacity(clusters);
+        for _ in 0..clusters {
+            seq.push(r.u32("seq counter")?);
+        }
+        let peers_total = (clusters * cluster_size) as u64;
+        let n_events = r.len("event count")?;
+        let mut events = Vec::with_capacity(n_events);
+        for _ in 0..n_events {
+            let time = r.f64("event time")?;
+            if !time.is_finite() || time < tick as f64 || time >= ticks as f64 {
+                return Err(malformed(format!("event time {time} outside run")));
+            }
+            let event = match r.u8("event tag")? {
+                0 => {
+                    let peer = r.u64("event peer")?;
+                    let n = r.u32("event arrival index")?;
+                    if peer >= peers_total {
+                        return Err(malformed(format!("event peer {peer} out of range")));
+                    }
+                    ScaleEvent::Query { peer, n }
+                }
+                1 => {
+                    let cluster = r.u32("event cluster")?;
+                    if cluster as usize >= clusters {
+                        return Err(malformed(format!("event cluster {cluster} out of range")));
+                    }
+                    ScaleEvent::Election { cluster }
+                }
+                other => return Err(malformed(format!("unknown event tag {other}"))),
+            };
+            events.push((time, event));
+        }
+        let n_msgs = r.len("message count")?;
+        let mut msgs = Vec::with_capacity(n_msgs);
+        for _ in 0..n_msgs {
+            let deliver_tick = r.u32("msg deliver tick")?;
+            let src_cluster = r.u32("msg src cluster")?;
+            let mseq = r.u32("msg seq")?;
+            let dst_cluster = r.u32("msg dst cluster")?;
+            if deliver_tick < tick || deliver_tick >= ticks || deliver_tick - tick >= horizon {
+                return Err(malformed(format!(
+                    "msg deliver tick {deliver_tick} outside the delivery window"
+                )));
+            }
+            if src_cluster as usize >= clusters || dst_cluster as usize >= clusters {
+                return Err(malformed("msg names a nonexistent cluster".into()));
+            }
+            let kind = match r.u8("msg kind tag")? {
+                0 => {
+                    let query_key = r.u64("msg query key")?;
+                    let ttl_left = r.u8("msg ttl")?;
+                    let hops = r.u8("msg hops")?;
+                    if ttl_left as usize >= SCALE_MAX_HOPS {
+                        return Err(malformed(format!("msg ttl {ttl_left} out of range")));
+                    }
+                    MsgKind::Flood {
+                        query_key,
+                        ttl_left,
+                        hops,
+                    }
+                }
+                1 => MsgKind::Reindex,
+                other => return Err(malformed(format!("unknown msg kind tag {other}"))),
+            };
+            msgs.push(ShardMsg {
+                deliver_tick,
+                src_cluster,
+                seq: mseq,
+                dst_cluster,
+                kind,
+            });
+        }
+        let metrics = unsnap_scale_metrics(&mut r)?;
+        r.finish()?;
+        Ok(ShardedSimulation {
+            params: ScaleParams {
+                clusters,
+                cluster_size,
+                redundancy_k,
+                ttl,
+                query_rate,
+                avg_outdegree,
+                ticks,
+                horizon,
+                seed,
+                fault_seed,
+            },
+            plan,
+            shards: opts.shards.clamp(1, clusters),
+            diag: ScaleDiag::default(),
+            barrier_timeout_ticks: opts.barrier_timeout_ticks,
+            inject_panic: opts.inject_panic,
+            resume: Some(ResumeState {
+                tick,
+                alive,
+                head,
+                seq,
+                events,
+                msgs,
+                metrics,
+            }),
+        })
+    }
+
+    /// Runs ticks `[current, until)` under the supervisor, folding
+    /// per-shard results in ascending shard order. With `keep_state`
+    /// the canonical resume state at `until` is returned alongside the
+    /// cumulative metrics.
+    fn execute(
+        &mut self,
+        until: u32,
+        keep_state: bool,
+    ) -> Result<(ScaleMetrics, Option<ResumeState>), ShardFailure> {
         let params = self.params;
         let plan = &self.plan;
         let spans = shard_spans(params.clusters, self.shards);
         let shard_starts: Vec<usize> = spans.iter().map(|&(s, _)| s).collect();
         let n = spans.len();
+        let prior = self.resume.take();
+        let t0 = prior.as_ref().map_or(0, |r| r.tick);
+        let t1 = until.clamp(t0, params.ticks);
+        let base_metrics = prior
+            .as_ref()
+            .map(|r| r.metrics.clone())
+            .unwrap_or_default();
 
-        let results: Vec<(ScaleMetrics, ScaleDiag)> = if n == 1 {
-            vec![run_shard(
-                &params,
-                plan,
-                &shard_starts,
-                0,
-                spans[0],
+        // Slice the canonical state into per-shard carries: contiguous
+        // cluster ranges for the arrays, ownership filters for events
+        // and messages. A fresh start carries nothing and seeds
+        // in-shard instead.
+        let carries: Vec<Option<ShardCarry>> = match &prior {
+            None => (0..n).map(|_| None).collect(),
+            Some(r) => spans
+                .iter()
+                .map(|&(s, e)| {
+                    Some(ShardCarry {
+                        alive: r.alive[s..e].to_vec(),
+                        head: r.head[s..e].to_vec(),
+                        seq: r.seq[s..e].to_vec(),
+                        events: r
+                            .events
+                            .iter()
+                            .filter(|(_, ev)| {
+                                let c = event_cluster(&params, ev) as usize;
+                                c >= s && c < e
+                            })
+                            .copied()
+                            .collect(),
+                        msgs: r
+                            .msgs
+                            .iter()
+                            .filter(|m| {
+                                let c = m.dst_cluster as usize;
+                                c >= s && c < e
+                            })
+                            .copied()
+                            .collect(),
+                    })
+                })
+                .collect(),
+        };
+        let timeout = if self.barrier_timeout_ticks == 0 {
+            None
+        } else {
+            Some(Duration::from_millis(100) * self.barrier_timeout_ticks)
+        };
+        let inject = self.inject_panic;
+        let inject_for = |shard: usize| inject.filter(|&(s, _)| s == shard).map(|(_, at)| at);
+        let progress: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(t0)).collect();
+
+        let outcomes: Vec<Result<ShardRun, ShardError>> = if n == 1 {
+            let mut carries = carries;
+            vec![supervised(
+                ShardCtx {
+                    params,
+                    plan,
+                    shard_starts: &shard_starts,
+                    me: 0,
+                    span: spans[0],
+                    range: (t0, t1),
+                    carry: carries[0].take(),
+                    keep_state,
+                    inject_at: inject_for(0),
+                    timeout,
+                },
                 Vec::new(),
                 Vec::new(),
+                &progress[0],
             )]
         } else {
             // One bounded channel per ordered shard pair. Capacity 2:
@@ -518,48 +1090,156 @@ impl ShardedSimulation {
                     }
                 }
             }
-            let endpoints: Vec<_> = txs.into_iter().zip(rxs).collect();
+            let endpoints: Vec<_> = txs.into_iter().zip(rxs).zip(carries).collect();
             std::thread::scope(|scope| {
                 let handles: Vec<_> = endpoints
                     .into_iter()
                     .enumerate()
-                    .map(|(i, (tx_row, rx_row))| {
+                    .map(|(i, ((tx_row, rx_row), carry))| {
                         let shard_starts = &shard_starts;
+                        let progress = &progress[i];
                         let span = spans[i];
+                        let inject_at = inject_for(i);
                         scope.spawn(move || {
-                            run_shard(&params, plan, shard_starts, i, span, tx_row, rx_row)
+                            supervised(
+                                ShardCtx {
+                                    params,
+                                    plan,
+                                    shard_starts,
+                                    me: i,
+                                    span,
+                                    range: (t0, t1),
+                                    carry,
+                                    keep_state,
+                                    inject_at,
+                                    timeout,
+                                },
+                                tx_row,
+                                rx_row,
+                                progress,
+                            )
                         })
                     })
                     .collect();
                 // Join in shard index order: the fold below then merges
-                // ascending. A panicked shard propagates its payload.
+                // ascending. Panics were converted to ShardError inside
+                // the thread by the catch_unwind wrapper; a join error
+                // can only mean the wrapper itself died.
                 handles
                     .into_iter()
-                    .map(|h| match h.join() {
-                        Ok(pair) => pair,
-                        Err(payload) => std::panic::resume_unwind(payload),
+                    .map(|h| {
+                        h.join().unwrap_or_else(|payload| {
+                            Err(ShardError {
+                                tick: t0,
+                                reason: format!(
+                                    "supervisor wrapper panicked: {}",
+                                    panic_message(payload.as_ref())
+                                ),
+                            })
+                        })
                     })
                     .collect()
             })
         };
 
-        let mut metrics = ScaleMetrics::default();
+        let shard_ticks: Vec<u32> = progress.iter().map(|p| p.load(Ordering::Relaxed)).collect();
+        let mut failures: Vec<(usize, ShardError)> = Vec::new();
+        let mut runs: Vec<ShardRun> = Vec::new();
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                Ok(run) => runs.push(run),
+                Err(err) => failures.push((i, err)),
+            }
+        }
+        if !failures.is_empty() {
+            // Attribute the failure to its root cause: a panic beats a
+            // watchdog stall beats a peer disconnect (the latter two
+            // are downstream of whichever shard died first).
+            let rank = |reason: &str| {
+                if reason.starts_with("panicked") || reason.starts_with("supervisor") {
+                    0
+                } else if reason.starts_with("barrier stalled") {
+                    1
+                } else {
+                    2
+                }
+            };
+            failures.sort_by_key(|(shard, err)| (rank(&err.reason), *shard));
+            let (shard, err) = failures.swap_remove(0);
+            self.diag = ScaleDiag {
+                shards: n as u64,
+                ..ScaleDiag::default()
+            };
+            return Err(ShardFailure {
+                shard,
+                tick: err.tick,
+                reason: err.reason,
+                shard_ticks,
+            });
+        }
+
+        let mut metrics = base_metrics;
         let mut diag = ScaleDiag {
             shards: n as u64,
             ..ScaleDiag::default()
         };
-        for (m, d) in &results {
-            metrics.merge(m);
-            diag.cross_shard_msgs += d.cross_shard_msgs;
-            diag.intra_shard_msgs += d.intra_shard_msgs;
-            diag.queue_high_water = diag.queue_high_water.max(d.queue_high_water);
+        let mut resume = keep_state.then(|| ResumeState {
+            tick: t1,
+            alive: Vec::with_capacity(params.clusters),
+            head: Vec::with_capacity(params.clusters),
+            seq: Vec::with_capacity(params.clusters),
+            events: Vec::new(),
+            msgs: Vec::new(),
+            metrics: ScaleMetrics::default(),
+        });
+        for run in runs {
+            metrics.merge(&run.metrics);
+            diag.cross_shard_msgs += run.diag.cross_shard_msgs;
+            diag.intra_shard_msgs += run.diag.intra_shard_msgs;
+            diag.queue_high_water = diag.queue_high_water.max(run.diag.queue_high_water);
+            if let (Some(rs), Some(carry)) = (resume.as_mut(), run.carry) {
+                rs.alive.extend(carry.alive);
+                rs.head.extend(carry.head);
+                rs.seq.extend(carry.seq);
+                rs.events.extend(carry.events);
+                rs.msgs.extend(carry.msgs);
+            }
         }
-        metrics.peers = (params.clusters * params.cluster_size) as u64;
-        metrics.clusters = params.clusters as u64;
-        metrics.ticks = params.ticks as u64;
+        if let Some(rs) = resume.as_mut() {
+            // Canonicalize: per-cluster relative order is what the
+            // engine's invariance rests on, so a *stable* sort by
+            // owning cluster (events arrive per-shard in queue pop
+            // order) and a total-order sort for messages make the
+            // state — and hence the snapshot bytes — identical no
+            // matter how many shards produced it.
+            rs.events.sort_by_key(|(_, ev)| event_cluster(&params, ev));
+            rs.msgs
+                .sort_unstable_by_key(|m| (m.deliver_tick, m.src_cluster, m.seq));
+            rs.metrics = metrics.clone();
+        }
         self.diag = diag;
-        metrics
+        Ok((metrics, resume))
     }
+}
+
+/// Wraps one shard reactor in `catch_unwind`, converting a panic into
+/// a [`ShardError`] carrying the tick the reactor had reached — the
+/// supervisor's fail-fast unit. Dropping the reactor's channel
+/// endpoints on the way out is what unblocks every peer shard.
+fn supervised(
+    ctx: ShardCtx<'_>,
+    txs: Vec<Option<SyncSender<Batch>>>,
+    rxs: Vec<Option<Receiver<Batch>>>,
+    progress: &AtomicU32,
+) -> Result<ShardRun, ShardError> {
+    catch_unwind(AssertUnwindSafe(|| run_shard(ctx, txs, rxs, progress))).unwrap_or_else(
+        |payload| {
+            Err(ShardError {
+                tick: progress.load(Ordering::Relaxed),
+                reason: format!("panicked: {}", panic_message(payload.as_ref())),
+            })
+        },
+    )
 }
 
 /// Power-law-ish outdegree for a cluster: a discrete Pareto draw with
@@ -979,17 +1659,50 @@ impl Reactor<'_> {
     }
 }
 
-/// Runs one shard's reactor over the full tick range and returns its
-/// metrics slice and diagnostics.
-fn run_shard(
-    params: &ScaleParams,
-    plan: &FaultPlan,
-    shard_starts: &[usize],
+/// Everything one shard reactor needs for a (possibly partial) run:
+/// static parameters, its cluster span, the tick range to execute,
+/// carried-in state when resuming, and the supervision knobs.
+struct ShardCtx<'a> {
+    params: ScaleParams,
+    plan: &'a FaultPlan,
+    shard_starts: &'a [usize],
     me: usize,
     span: (usize, usize),
+    /// Ticks to execute: `[range.0, range.1)`.
+    range: (u32, u32),
+    /// Resumed state for this shard's span; `None` seeds a fresh run.
+    carry: Option<ShardCarry>,
+    /// Whether to hand back the shard's state after the last tick.
+    keep_state: bool,
+    /// Test hook: panic at the start of this tick.
+    inject_at: Option<u32>,
+    /// Barrier watchdog timeout; `None` blocks indefinitely.
+    timeout: Option<Duration>,
+}
+
+/// Runs one shard's reactor over `ctx.range` and returns its metrics
+/// slice, diagnostics, and (when requested) carried-out state. Barrier
+/// waits are error-aware: a vanished or stalled peer produces a
+/// [`ShardError`] naming it, never a hang or an unwrapped `RecvError`.
+fn run_shard(
+    ctx: ShardCtx<'_>,
     txs: Vec<Option<SyncSender<Batch>>>,
     rxs: Vec<Option<Receiver<Batch>>>,
-) -> (ScaleMetrics, ScaleDiag) {
+    progress: &AtomicU32,
+) -> Result<ShardRun, ShardError> {
+    let ShardCtx {
+        params,
+        plan,
+        shard_starts,
+        me,
+        span,
+        range: (t0, t1),
+        carry,
+        keep_state,
+        inject_at,
+        timeout,
+    } = ctx;
+    let params = &params;
     let (start, end) = span;
     let own = end - start;
 
@@ -1011,13 +1724,17 @@ fn run_shard(
     } else {
         (1u64 << params.cluster_size) - 1
     };
+    let (alive, head, seq) = match &carry {
+        Some(c) => (c.alive.clone(), c.head.clone(), c.seq.clone()),
+        None => (vec![full_mask; own], vec![0; own], vec![0; own]),
+    };
     let state = ShardState {
         base: start as u32,
         offsets,
         edges,
-        alive: vec![full_mask; own],
-        head: vec![0; own],
-        seq: vec![0; own],
+        alive,
+        head,
+        seq,
     };
 
     let mut reactor = Reactor {
@@ -1033,25 +1750,63 @@ fn run_shard(
         diag: ScaleDiag::default(),
     };
 
-    // Seed every owned peer's first query arrival. Ascending peer
-    // order fixes the intra-cluster event order identically at every
-    // layout (clusters never split across shards).
-    for peer in (start * params.cluster_size) as u64..(end * params.cluster_size) as u64 {
-        let t0 = arrival_gap(params, peer, 0) - 1;
-        if t0 < params.ticks {
-            reactor
-                .queue
-                .schedule(t0 as f64, ScaleEvent::Query { peer, n: 0 });
+    match carry {
+        Some(c) => {
+            // Resume: replay the carried events in canonical order —
+            // per-cluster relative order is preserved, which is all the
+            // engine's invariance needs — and reload pending messages
+            // into the delivery ring (delivery re-sorts per slot).
+            for (time, event) in c.events {
+                reactor.queue.schedule(time, event);
+            }
+            for msg in c.msgs {
+                let slot = (msg.deliver_tick % params.horizon) as usize;
+                reactor.ring[slot].push(msg);
+            }
+        }
+        None => {
+            // Seed every owned peer's first query arrival. Ascending
+            // peer order fixes the intra-cluster event order
+            // identically at every layout (clusters never split across
+            // shards).
+            for peer in (start * params.cluster_size) as u64..(end * params.cluster_size) as u64 {
+                let first = arrival_gap(params, peer, 0) - 1;
+                if first < params.ticks {
+                    reactor
+                        .queue
+                        .schedule(first as f64, ScaleEvent::Query { peer, n: 0 });
+                }
+            }
         }
     }
 
     let mut due: Vec<ShardMsg> = Vec::new();
-    for t in 0..params.ticks {
+    for t in t0..t1 {
+        progress.store(t, Ordering::Relaxed);
+        if inject_at == Some(t) {
+            panic!("injected shard panic (test hook) at tick {t}");
+        }
+
         // 1. Barrier receive: exactly one batch tagged t−1 from every
-        // peer shard, slotted into the delivery ring.
-        if t > 0 {
-            for rx in rxs.iter().flatten() {
-                let batch = rx.recv().expect("peer shard hung up before the barrier");
+        // peer shard, slotted into the delivery ring. The first tick
+        // of a (resumed) range has nothing in flight — boundary-tick
+        // emissions ride the snapshot, not the channels.
+        if t > t0 {
+            for (j, rx) in rxs.iter().enumerate() {
+                let Some(rx) = rx else { continue };
+                let batch = match timeout {
+                    None => rx.recv().map_err(|_| ShardError::disconnected(t, j))?,
+                    Some(limit) => rx.recv_timeout(limit).map_err(|e| match e {
+                        RecvTimeoutError::Timeout => ShardError {
+                            tick: t,
+                            reason: format!(
+                                "barrier stalled: no tick-{} batch from shard {j} within the watchdog timeout",
+                                t - 1
+                            ),
+                        },
+                        RecvTimeoutError::Disconnected => ShardError::disconnected(t, j),
+                    })?,
+                };
                 debug_assert_eq!(batch.tick, t - 1, "barrier batch out of order");
                 for msg in batch.msgs {
                     let slot = (msg.deliver_tick % params.horizon) as usize;
@@ -1084,25 +1839,48 @@ fn run_shard(
         }
 
         // 5. Barrier send: one batch tagged t to every peer shard,
-        // empty or not. The final tick's emissions were already
-        // discarded symmetrically by the expiry check in emit().
-        if t + 1 < params.ticks {
+        // empty or not. The range's final tick sends nothing: at the
+        // true end its emissions were already discarded symmetrically
+        // by the expiry check in emit(); at a checkpoint boundary they
+        // stay in the outbox for the carry below.
+        if t + 1 < t1 {
             for (j, tx) in txs.iter().enumerate() {
                 if let Some(tx) = tx {
                     let msgs = std::mem::take(&mut reactor.outbox[j]);
-                    tx.send(Batch { tick: t, msgs })
-                        .expect("peer shard hung up before the barrier");
+                    tx.send(Batch { tick: t, msgs }).map_err(|_| ShardError {
+                        tick: t,
+                        reason: format!("peer shard {j} disconnected at the tick-{t} barrier send"),
+                    })?;
                 }
-            }
-        } else {
-            for box_ in reactor.outbox.iter_mut() {
-                box_.clear();
             }
         }
     }
 
     reactor.diag.queue_high_water = reactor.queue.high_water() as u64;
-    (reactor.metrics, reactor.diag)
+    let carry_out = if keep_state {
+        let mut events = Vec::new();
+        while let Some((time, event)) = reactor.queue.pop() {
+            events.push((time, event));
+        }
+        let mut msgs: Vec<ShardMsg> = reactor.ring.drain(..).flatten().collect();
+        for outbox in reactor.outbox.drain(..) {
+            msgs.extend(outbox);
+        }
+        Some(ShardCarry {
+            alive: reactor.state.alive,
+            head: reactor.state.head,
+            seq: reactor.state.seq,
+            events,
+            msgs,
+        })
+    } else {
+        None
+    };
+    Ok(ShardRun {
+        metrics: reactor.metrics,
+        diag: reactor.diag,
+        carry: carry_out,
+    })
 }
 
 #[cfg(test)]
@@ -1126,6 +1904,7 @@ mod tests {
                 seed: 42,
                 fault_seed: 7,
                 shards,
+                ..Default::default()
             },
             plan,
         );
@@ -1323,5 +2102,243 @@ mod tests {
             ..Config::default()
         };
         let _ = ShardedSimulation::new(&config, ScaleOptions::default());
+    }
+
+    /// A plan exercising every fault kind the scale engine models, so
+    /// resume invariance is checked with crashes, elections, loss,
+    /// delay, and partitions all live across the checkpoint boundary.
+    fn stormy_plan() -> FaultPlan {
+        FaultPlan {
+            faults: vec![
+                FaultSpec::CrashFraction {
+                    at_secs: 50.0,
+                    fraction: 0.4,
+                },
+                FaultSpec::CrashCluster {
+                    at_secs: 120.0,
+                    cluster_index: 3,
+                },
+                FaultSpec::MessageLoss {
+                    from_secs: 20.0,
+                    until_secs: 200.0,
+                    drop_prob: 0.2,
+                },
+                FaultSpec::MessageDelay {
+                    from_secs: 40.0,
+                    until_secs: 260.0,
+                    delay_prob: 0.3,
+                    delay_secs: 2.0,
+                },
+                FaultSpec::Partition {
+                    from_secs: 80.0,
+                    until_secs: 160.0,
+                    clusters: vec![0, 5, 11],
+                },
+            ],
+            ..Default::default()
+        }
+    }
+
+    fn stormy_opts(shards: usize) -> ScaleOptions {
+        ScaleOptions {
+            duration_secs: 300.0,
+            seed: 9,
+            fault_seed: 3,
+            shards,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bitwise_and_shard_count_invariant() {
+        let config = small();
+        let plan = stormy_plan();
+        let base = ShardedSimulation::with_faults(&config, stormy_opts(2), &plan).run();
+        assert!(base.crashes_injected > 0 && base.msgs_dropped_loss > 0);
+        // Checkpoint at assorted ticks (0 = before anything ran,
+        // 299 = one tick before the end), resume at assorted shard
+        // counts — including counts different from the producer's.
+        for (checkpoint, resume_shards) in [(0u32, 1usize), (77, 4), (150, 1), (299, 3)] {
+            let mut sim = ShardedSimulation::with_faults(&config, stormy_opts(2), &plan);
+            sim.run_to(checkpoint).unwrap();
+            assert_eq!(sim.tick(), checkpoint);
+            let snap = sim.snapshot();
+            let mut restored = ShardedSimulation::restore(
+                &snap,
+                ScaleOptions {
+                    shards: resume_shards,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(restored.tick(), checkpoint);
+            let resumed = restored.try_run().unwrap();
+            assert_eq!(
+                base, resumed,
+                "resume at tick {checkpoint} with {resume_shards} shards diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn chained_scale_checkpoints_resume_bitwise() {
+        let config = small();
+        let plan = stormy_plan();
+        let base = ShardedSimulation::with_faults(&config, stormy_opts(1), &plan).run();
+        let mut sim = ShardedSimulation::with_faults(&config, stormy_opts(4), &plan);
+        sim.run_to(60).unwrap();
+        let snap1 = sim.snapshot();
+        let mut sim = ShardedSimulation::restore(
+            &snap1,
+            ScaleOptions {
+                shards: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        sim.run_to(180).unwrap();
+        let snap2 = sim.snapshot();
+        let mut sim = ShardedSimulation::restore(
+            &snap2,
+            ScaleOptions {
+                shards: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(base, sim.try_run().unwrap(), "chained resume diverged");
+    }
+
+    #[test]
+    fn snapshot_bytes_are_shard_count_invariant() {
+        // The canonical fold makes the snapshot itself — not just the
+        // metrics — byte-identical no matter how many shards ran the
+        // prefix.
+        let config = small();
+        let plan = stormy_plan();
+        let mut snaps = Vec::new();
+        for shards in [1usize, 2, 4, 8] {
+            let mut sim = ShardedSimulation::with_faults(&config, stormy_opts(shards), &plan);
+            sim.run_to(130).unwrap();
+            snaps.push(sim.snapshot());
+        }
+        for (i, snap) in snaps.iter().enumerate().skip(1) {
+            assert_eq!(&snaps[0], snap, "snapshot bytes diverged at index {i}");
+        }
+    }
+
+    #[test]
+    fn scale_restore_rejects_corruption_truncation_and_wrong_engine() {
+        let config = small();
+        let mut sim = ShardedSimulation::with_faults(&config, stormy_opts(2), &stormy_plan());
+        sim.run_to(40).unwrap();
+        let snap = sim.snapshot();
+
+        let mut corrupt = snap.clone();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0x20;
+        assert!(ShardedSimulation::restore(&corrupt, ScaleOptions::default()).is_err());
+
+        let truncated = &snap[..snap.len() - 3];
+        assert!(ShardedSimulation::restore(truncated, ScaleOptions::default()).is_err());
+
+        let fast = crate::engine::Simulation::new(
+            &Config {
+                graph_size: 200,
+                ..Config::default()
+            },
+            crate::engine::SimOptions {
+                duration_secs: 50.0,
+                ..Default::default()
+            },
+        )
+        .snapshot();
+        assert!(matches!(
+            ShardedSimulation::restore(&fast, ScaleOptions::default()),
+            Err(SnapshotError::WrongEngine { .. })
+        ));
+    }
+
+    #[test]
+    fn panicking_shard_fails_fast_with_named_diagnostics() {
+        // Before the supervisor, a mid-run reactor panic left every
+        // other shard blocked forever on its barrier receive; now the
+        // run unwinds promptly with the failure attributed by name.
+        let config = small();
+        let mut sim = ShardedSimulation::with_faults(
+            &config,
+            ScaleOptions {
+                duration_secs: 200.0,
+                seed: 1,
+                shards: 4,
+                inject_panic: Some((2, 40)),
+                ..Default::default()
+            },
+            &FaultPlan::default(),
+        );
+        let failure = sim.try_run().unwrap_err();
+        assert_eq!(failure.shard, 2);
+        assert_eq!(failure.tick, 40);
+        assert!(
+            failure.reason.contains("injected shard panic"),
+            "panic payload lost: {}",
+            failure.reason
+        );
+        assert_eq!(failure.shard_ticks.len(), 4);
+        assert_eq!(failure.shard_ticks[2], 40);
+        assert!(failure.to_string().contains("shard 2"));
+        assert!(failure.diagnostic().contains("shard progress"));
+    }
+
+    #[test]
+    fn single_shard_panics_are_supervised_too() {
+        let mut sim = ShardedSimulation::with_faults(
+            &small(),
+            ScaleOptions {
+                duration_secs: 100.0,
+                shards: 1,
+                inject_panic: Some((0, 10)),
+                ..Default::default()
+            },
+            &FaultPlan::default(),
+        );
+        let failure = sim.try_run().unwrap_err();
+        assert_eq!((failure.shard, failure.tick), (0, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "injected shard panic")]
+    fn run_panics_on_shard_failure() {
+        let mut sim = ShardedSimulation::with_faults(
+            &small(),
+            ScaleOptions {
+                duration_secs: 100.0,
+                shards: 2,
+                inject_panic: Some((1, 5)),
+                ..Default::default()
+            },
+            &FaultPlan::default(),
+        );
+        let _ = sim.run();
+    }
+
+    #[test]
+    fn watchdog_enabled_run_matches_unwatched_run() {
+        // A generous watchdog must not perturb results — the timeout
+        // path only changes how failure is detected, not the ticks.
+        let config = small();
+        let plan = stormy_plan();
+        let base = ShardedSimulation::with_faults(&config, stormy_opts(4), &plan).run();
+        let watched = ShardedSimulation::with_faults(
+            &config,
+            ScaleOptions {
+                barrier_timeout_ticks: 600,
+                ..stormy_opts(4)
+            },
+            &plan,
+        )
+        .try_run()
+        .unwrap();
+        assert_eq!(base, watched);
     }
 }

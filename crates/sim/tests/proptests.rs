@@ -451,6 +451,7 @@ proptest! {
             seed,
             fault_seed,
             shards: 1,
+            ..Default::default()
         };
         let base = ShardedSimulation::with_faults(&cfg, opts, &plan).run();
         prop_assert!(base.queries_issued + base.queries_failed > 0);
@@ -466,5 +467,154 @@ proptest! {
                 "scale metrics diverged at {} shards under plan {:?}", shards, &plan
             );
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Checkpoint/restore round trip under any generated scenario plan:
+    /// pausing either churn engine at an arbitrary point, snapshotting,
+    /// and restoring reproduces the uninterrupted run bitwise — and a
+    /// snapshot fed to the wrong engine is rejected by name.
+    #[test]
+    fn checkpoint_round_trips_on_both_engines_under_any_scenario(
+        plan in arb_scenario(300.0),
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        scenario_seed in any::<u64>(),
+        frac in 0.0f64..1.0,
+    ) {
+        use sp_model::config::Config;
+        use sp_model::snapshot::SnapshotError;
+        use sp_sim::engine::{SimOptions, Simulation};
+        use sp_sim::reference::ReferenceSimulation;
+        let cfg = Config {
+            graph_size: 100,
+            cluster_size: 10,
+            ..Config::default()
+        };
+        let opts = SimOptions {
+            duration_secs: 300.0,
+            seed,
+            fault_seed,
+            scenario_seed,
+            ..Default::default()
+        };
+        let at = 300.0 * frac;
+
+        let full = Simulation::with_scenario(&cfg, opts, &plan).run();
+        let mut paused = Simulation::with_scenario(&cfg, opts, &plan);
+        paused.run_to(at);
+        let snap = paused.snapshot();
+        let resumed = Simulation::restore(&snap)
+            .expect("own snapshot restores")
+            .run();
+        prop_assert_eq!(&full, &resumed,
+            "fast resume at t={} diverged under plan {:?}", at, &plan);
+
+        let full = ReferenceSimulation::with_scenario(&cfg, opts, &plan).run();
+        let mut paused = ReferenceSimulation::with_scenario(&cfg, opts, &plan);
+        paused.run_to(at);
+        let resumed = ReferenceSimulation::restore(&paused.snapshot())
+            .expect("own snapshot restores")
+            .run();
+        prop_assert_eq!(&full, &resumed,
+            "reference resume at t={} diverged under plan {:?}", at, &plan);
+
+        prop_assert!(matches!(
+            ReferenceSimulation::restore(&snap),
+            Err(SnapshotError::WrongEngine { .. })
+        ), "a fast snapshot must not restore into the reference engine");
+    }
+
+    /// Scale-engine checkpoints are canonical: produced at any shard
+    /// count, taken at any tick, restored at any other shard count,
+    /// the resumed run reduces to the uninterrupted metrics bitwise.
+    #[test]
+    fn scale_checkpoint_round_trips_at_any_shard_count(
+        plan in arb_plan(200.0),
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        produce_shards in 1usize..5,
+        restore_shards in 1usize..5,
+        frac in 0.0f64..1.0,
+    ) {
+        use sp_model::config::Config;
+        use sp_sim::shard::{ScaleOptions, ShardedSimulation};
+        let cfg = Config::scale_preset(1_000);
+        let opts = ScaleOptions {
+            duration_secs: 200.0,
+            seed,
+            fault_seed,
+            shards: produce_shards,
+            ..Default::default()
+        };
+        let full = ShardedSimulation::with_faults(&cfg, opts, &plan)
+            .try_run()
+            .expect("uninterrupted run");
+        let mut paused = ShardedSimulation::with_faults(&cfg, opts, &plan);
+        let mid = (paused.total_ticks() as f64 * frac) as u32;
+        paused.run_to(mid).expect("run to checkpoint tick");
+        let resumed = ShardedSimulation::restore(
+            &paused.snapshot(),
+            ScaleOptions { shards: restore_shards, ..Default::default() },
+        )
+        .expect("own snapshot restores")
+        .try_run()
+        .expect("resumed run");
+        prop_assert_eq!(&full, &resumed,
+            "resume at tick {} ({} -> {} shards) diverged under plan {:?}",
+            mid, produce_shards, restore_shards, &plan);
+    }
+
+    /// Damage rejection: any single bit flip and any strict truncation
+    /// of a sealed snapshot must fail restore with a named
+    /// [`SnapshotError`] — never panic, never silently misread — and a
+    /// future schema version is refused by name.
+    #[test]
+    fn corrupted_snapshots_are_rejected_never_misread(
+        seed in any::<u64>(),
+        flip_pos in any::<u64>(),
+        flip_bit in 0u8..8,
+        cut in any::<u64>(),
+    ) {
+        use sp_model::config::Config;
+        use sp_model::snapshot::SnapshotError;
+        use sp_sim::engine::{SimOptions, Simulation};
+        let cfg = Config {
+            graph_size: 60,
+            cluster_size: 10,
+            ..Config::default()
+        };
+        let mut sim = Simulation::new(&cfg, SimOptions {
+            duration_secs: 100.0,
+            seed,
+            ..Default::default()
+        });
+        sim.run_to(50.0);
+        let snap = sim.snapshot();
+        prop_assert!(Simulation::restore(&snap).is_ok());
+
+        let mut flipped = snap.clone();
+        let i = (flip_pos % flipped.len() as u64) as usize;
+        flipped[i] ^= 1 << flip_bit;
+        prop_assert!(
+            Simulation::restore(&flipped).is_err(),
+            "bit {} of byte {} flipped yet the snapshot restored", flip_bit, i
+        );
+
+        let prefix = &snap[..(cut % snap.len() as u64) as usize];
+        prop_assert!(
+            Simulation::restore(prefix).is_err(),
+            "a {}-byte prefix of a {}-byte snapshot restored", prefix.len(), snap.len()
+        );
+
+        let mut future = snap;
+        future[4] = future[4].wrapping_add(1);
+        prop_assert!(matches!(
+            Simulation::restore(&future),
+            Err(SnapshotError::UnsupportedVersion { .. })
+        ), "a bumped schema version must be refused by name");
     }
 }

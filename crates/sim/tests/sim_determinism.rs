@@ -200,6 +200,7 @@ fn campaign_is_green_and_bitwise_identical_across_thread_counts() {
         users: 60,
         cluster_size: 10,
         duration_secs: 300.0,
+        inject_panic: None,
     };
     let single = run_campaign(&base);
     assert!(
@@ -470,6 +471,7 @@ fn crash_storm_trials_are_bitwise_identical_across_thread_counts() {
             seed: 21,
             threads: 1,
             repair,
+            ..Default::default()
         };
         let single = crash_storm_trials(&churny, 600.0, &base);
         for threads in [2, 8] {
@@ -601,6 +603,7 @@ fn sharded_trials_are_bitwise_identical_across_thread_counts() {
         seed: 11,
         threads: 1,
         repair: RepairPolicy::Off,
+        ..Default::default()
     };
     let single = steady_trials(&config, 400.0, &base);
     for threads in [2, 8] {
@@ -627,5 +630,104 @@ fn sharded_trials_are_bitwise_identical_across_thread_counts() {
             single.per_trial, sharded.per_trial,
             "reliability trials diverged at {threads} threads"
         );
+    }
+}
+
+#[test]
+fn checkpoint_resume_is_bitwise_identical_on_both_churn_engines() {
+    // The checkpoint contract (DESIGN.md §17): run-to-T, snapshot,
+    // restore in a fresh process image, run-to-end must reproduce the
+    // uninterrupted run byte for byte — on the fast engine AND the
+    // reference engine, under the full scenario machinery.
+    let plan = rich_scenario_plan();
+    let config = Config {
+        graph_size: 120,
+        cluster_size: 12,
+        population: PopulationModel {
+            lifespan_mean_secs: 400.0,
+            ..Default::default()
+        },
+        ..Config::default()
+    };
+    let opts = SimOptions {
+        duration_secs: 1200.0,
+        seed: 7,
+        fault_seed: 7,
+        scenario_seed: 99,
+        ..Default::default()
+    };
+    let full_fast = Simulation::with_scenario(&config, opts, &plan).run();
+    let full_reference = ReferenceSimulation::with_scenario(&config, opts, &plan).run();
+    for at in [1.0, 300.0, 650.0, 1199.0] {
+        let mut fast = Simulation::with_scenario(&config, opts, &plan);
+        fast.run_to(at);
+        let snap = fast.snapshot();
+        let resumed = Simulation::restore(&snap)
+            .expect("fast snapshot restores")
+            .run();
+        assert_eq!(full_fast, resumed, "fast resume diverged at t={at}");
+        // Snapshotting is a pure read: the paused original must still
+        // finish identically.
+        assert_eq!(full_fast, fast.run(), "snapshot perturbed the paused run");
+
+        let mut reference = ReferenceSimulation::with_scenario(&config, opts, &plan);
+        reference.run_to(at);
+        let resumed = ReferenceSimulation::restore(&reference.snapshot())
+            .expect("reference snapshot restores")
+            .run();
+        assert_eq!(
+            full_reference, resumed,
+            "reference resume diverged at t={at}"
+        );
+    }
+}
+
+#[test]
+fn scale_checkpoint_is_canonical_and_resumes_at_any_shard_count() {
+    // Sharded snapshots are written in canonical (shard-count-free)
+    // form: the bytes must not depend on how many shards produced
+    // them, and a checkpoint taken at N shards must resume at M shards
+    // with bitwise-identical ScaleMetrics.
+    let config = Config::scale_preset(2_000);
+    let plan = crash_storm_plan(600.0);
+    let opts = ScaleOptions {
+        duration_secs: 600.0,
+        seed: 7,
+        fault_seed: 99,
+        ..Default::default()
+    };
+    let full = ShardedSimulation::with_faults(&config, ScaleOptions { shards: 1, ..opts }, &plan)
+        .try_run()
+        .expect("uninterrupted scale run");
+
+    let mut producer =
+        ShardedSimulation::with_faults(&config, ScaleOptions { shards: 2, ..opts }, &plan);
+    let mid = producer.total_ticks() / 2;
+    producer.run_to(mid).expect("run to mid-tick");
+    let snap = producer.snapshot();
+
+    for shards in [1, 4] {
+        let mut other =
+            ShardedSimulation::with_faults(&config, ScaleOptions { shards, ..opts }, &plan);
+        other.run_to(mid).expect("run to mid-tick");
+        assert_eq!(
+            snap,
+            other.snapshot(),
+            "snapshot bytes differ between 2 and {shards} shards"
+        );
+    }
+
+    for shards in [1, 2, 4] {
+        let resumed = ShardedSimulation::restore(
+            &snap,
+            ScaleOptions {
+                shards,
+                ..Default::default()
+            },
+        )
+        .expect("scale snapshot restores")
+        .try_run()
+        .expect("resumed scale run");
+        assert_eq!(full, resumed, "scale resume diverged at {shards} shards");
     }
 }

@@ -71,6 +71,26 @@ impl OnlineStats {
         self.max = self.max.max(other.max);
     }
 
+    /// The raw accumulator words `(count, mean, m2, min, max)`, for
+    /// checkpointing. Together with [`OnlineStats::from_state`] this
+    /// lets a snapshot capture the exact accumulator so a restored run
+    /// folds further observations into bitwise-identical moments.
+    pub fn state(&self) -> (u64, f64, f64, f64, f64) {
+        (self.count, self.mean, self.m2, self.min, self.max)
+    }
+
+    /// Rebuilds an accumulator from words captured by
+    /// [`OnlineStats::state`].
+    pub fn from_state(count: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        OnlineStats {
+            count,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
+
     /// Number of observations.
     pub fn count(&self) -> u64 {
         self.count
@@ -260,6 +280,21 @@ mod tests {
         let mut empty = OnlineStats::new();
         empty.merge(&before);
         assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn state_round_trip_is_bitwise() {
+        let mut s = OnlineStats::new();
+        for x in [2.5, -1.0, 7.75, 0.0, 1e9] {
+            s.push(x);
+        }
+        let (count, mean, m2, min, max) = s.state();
+        let mut r = OnlineStats::from_state(count, mean, m2, min, max);
+        assert_eq!(r, s);
+        r.push(3.25);
+        s.push(3.25);
+        assert_eq!(r.mean().to_bits(), s.mean().to_bits());
+        assert_eq!(r.variance().to_bits(), s.variance().to_bits());
     }
 
     #[test]
