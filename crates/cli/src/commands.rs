@@ -398,10 +398,14 @@ static LINT_USAGE: CommandUsage = CommandUsage {
             "lint policy file (default <root>/lint.toml)",
         ),
         ("--json P", "also write machine-readable findings to P"),
+        (
+            "--sarif P",
+            "also write a SARIF 2.1.0 report to P (code scanning)",
+        ),
         ("--warnings", "list warn-level findings (always counted)"),
     ],
     topology: false,
-    examples: &["spnet lint --json lint_report.json --warnings"],
+    examples: &["spnet lint --json lint_report.json --sarif lint.sarif --warnings"],
 };
 
 /// `spnet evaluate` — mean-value analysis of one configuration.
@@ -1272,6 +1276,10 @@ pub fn lint(args: &Args) -> Result<String, CliError> {
     if let Some(path) = args.get("json") {
         std::fs::write(path, report.render_json())
             .map_err(|e| CliError::Runtime(format!("--json: cannot write {path:?}: {e}")))?;
+    }
+    if let Some(path) = args.get("sarif") {
+        std::fs::write(path, sp_lint::sarif::render_sarif(&report, &cfg))
+            .map_err(|e| CliError::Runtime(format!("--sarif: cannot write {path:?}: {e}")))?;
     }
     let human = report.render_human(args.flag("warnings"));
     if report.deny_count() > 0 {

@@ -48,7 +48,7 @@ impl fmt::Display for Severity {
 /// One diagnostic produced by a rule.
 #[derive(Debug, Clone)]
 pub struct Finding {
-    /// Rule id (`D1`…`F2`).
+    /// Rule id (`D1`…`R1`).
     pub rule: &'static str,
     /// Effective severity after configuration.
     pub severity: Severity,
@@ -56,6 +56,14 @@ pub struct Finding {
     pub path: String,
     /// 1-based line of the offending token.
     pub line: u32,
+    /// 1-based column of the offending token.
+    pub col: u32,
+    /// Canonical module path the offending token lives in
+    /// (`sp_sim::engine`); empty when the resolver did not run.
+    pub module_path: String,
+    /// For graph rules: the module chain that explains the finding
+    /// (a layering cycle, or the seed-lineage path). Empty otherwise.
+    pub import_chain: Vec<String>,
     /// What is wrong.
     pub message: String,
     /// How to fix it.
@@ -66,9 +74,13 @@ impl fmt::Display for Finding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}: {}:{}: [{}] {}\n    fix: {}",
-            self.severity, self.path, self.line, self.rule, self.message, self.hint
-        )
+            "{}: {}:{}:{}: [{}] {}\n    fix: {}",
+            self.severity, self.path, self.line, self.col, self.rule, self.message, self.hint
+        )?;
+        if !self.import_chain.is_empty() {
+            write!(f, "\n    chain: {}", self.import_chain.join(" -> "))?;
+        }
+        Ok(())
     }
 }
 
@@ -128,11 +140,14 @@ impl Report {
     }
 
     /// Machine-readable report (stable shape, consumed by the CI
-    /// artifact and by tests).
+    /// artifact and by tests). Findings are emitted in the order the
+    /// caller sorted them — [`crate::lint_sources`] guarantees
+    /// `(path, line, col, rule)` order, so the document is
+    /// byte-identical across runs and file-discovery orderings.
     pub fn render_json(&self) -> String {
         let mut s = String::with_capacity(4096);
         s.push_str("{\n");
-        s.push_str("  \"version\": 1,\n");
+        s.push_str("  \"version\": 2,\n");
         s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
         s.push_str(&format!("  \"errors\": {},\n", self.deny_count()));
         s.push_str(&format!("  \"warnings\": {},\n", self.warn_count()));
@@ -147,12 +162,21 @@ fn render_finding_list(s: &mut String, key: &str, list: &[Finding], trailing: &s
     s.push_str(&format!("  \"{key}\": [\n"));
     for (i, f) in list.iter().enumerate() {
         let sep = if i + 1 < list.len() { "," } else { "" };
+        let chain = f
+            .import_chain
+            .iter()
+            .map(|m| format!("\"{}\"", json_escape(m)))
+            .collect::<Vec<_>>()
+            .join(", ");
         s.push_str(&format!(
-            "    {{ \"rule\": \"{}\", \"severity\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\", \"hint\": \"{}\" }}{sep}\n",
+            "    {{ \"rule\": \"{}\", \"severity\": \"{}\", \"path\": \"{}\", \"line\": {}, \"col\": {}, \"module_path\": \"{}\", \"import_chain\": [{}], \"message\": \"{}\", \"hint\": \"{}\" }}{sep}\n",
             f.rule,
             f.severity,
             json_escape(&f.path),
             f.line,
+            f.col,
+            json_escape(&f.module_path),
+            chain,
             json_escape(&f.message),
             json_escape(f.hint)
         ));
@@ -187,6 +211,9 @@ mod tests {
             severity,
             path: "crates/sim/src/x.rs".into(),
             line: 7,
+            col: 5,
+            module_path: "sp_sim::x".into(),
+            import_chain: Vec::new(),
             message: "a \"quoted\" message".into(),
             hint: "do the right thing",
         }

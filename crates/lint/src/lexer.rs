@@ -35,7 +35,7 @@ pub enum TokKind {
     BlockComment,
 }
 
-/// One lexed token with its 1-based starting line.
+/// One lexed token with its 1-based starting line and column.
 #[derive(Debug, Clone)]
 pub struct Tok {
     /// Token class.
@@ -44,6 +44,8 @@ pub struct Tok {
     pub text: String,
     /// 1-based line the token starts on.
     pub line: u32,
+    /// 1-based column (in chars) the token starts on.
+    pub col: u32,
 }
 
 impl Tok {
@@ -72,6 +74,7 @@ pub fn tokenize(src: &str) -> Vec<Tok> {
         chars: src.chars().collect(),
         pos: 0,
         line: 1,
+        col: 1,
         out: Vec::new(),
     }
     .run()
@@ -81,6 +84,7 @@ struct Lexer {
     chars: Vec<char>,
     pos: usize,
     line: u32,
+    col: u32,
     out: Vec<Tok>,
 }
 
@@ -103,38 +107,46 @@ impl Lexer {
             self.pos += 1;
             if c == '\n' {
                 self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
             }
         }
         c
     }
 
-    fn push(&mut self, kind: TokKind, text: String, line: u32) {
-        self.out.push(Tok { kind, text, line });
+    fn push(&mut self, kind: TokKind, text: String, at: (u32, u32)) {
+        self.out.push(Tok {
+            kind,
+            text,
+            line: at.0,
+            col: at.1,
+        });
     }
 
     fn run(mut self) -> Vec<Tok> {
         while let Some(c) = self.peek(0) {
-            let line = self.line;
+            let at = (self.line, self.col);
             match c {
                 _ if c.is_whitespace() => {
                     self.bump();
                 }
-                '/' if self.peek(1) == Some('/') => self.line_comment(line),
-                '/' if self.peek(1) == Some('*') => self.block_comment(line),
-                '"' => self.string(line),
-                '\'' => self.char_or_lifetime(line),
-                _ if c.is_ascii_digit() => self.number(line),
-                _ if is_ident_start(c) => self.word(line),
+                '/' if self.peek(1) == Some('/') => self.line_comment(at),
+                '/' if self.peek(1) == Some('*') => self.block_comment(at),
+                '"' => self.string(at),
+                '\'' => self.char_or_lifetime(at),
+                _ if c.is_ascii_digit() => self.number(at),
+                _ if is_ident_start(c) => self.word(at),
                 _ => {
                     self.bump();
-                    self.push(TokKind::Punct(c), c.to_string(), line);
+                    self.push(TokKind::Punct(c), c.to_string(), at);
                 }
             }
         }
         self.out
     }
 
-    fn line_comment(&mut self, line: u32) {
+    fn line_comment(&mut self, at: (u32, u32)) {
         let mut text = String::new();
         while let Some(c) = self.peek(0) {
             if c == '\n' {
@@ -143,10 +155,10 @@ impl Lexer {
             text.push(c);
             self.bump();
         }
-        self.push(TokKind::LineComment, text, line);
+        self.push(TokKind::LineComment, text, at);
     }
 
-    fn block_comment(&mut self, line: u32) {
+    fn block_comment(&mut self, at: (u32, u32)) {
         let mut text = String::new();
         let mut depth = 0usize;
         while let Some(c) = self.peek(0) {
@@ -168,11 +180,11 @@ impl Lexer {
                 self.bump();
             }
         }
-        self.push(TokKind::BlockComment, text, line);
+        self.push(TokKind::BlockComment, text, at);
     }
 
     /// Ordinary `"…"` string with escapes.
-    fn string(&mut self, line: u32) {
+    fn string(&mut self, at: (u32, u32)) {
         let mut text = String::new();
         self.bump(); // opening quote
         while let Some(c) = self.bump() {
@@ -187,13 +199,13 @@ impl Lexer {
                 text.push(c);
             }
         }
-        self.push(TokKind::Str, text, line);
+        self.push(TokKind::Str, text, at);
     }
 
     /// Raw string `r"…"` / `r#"…"#` with `hashes` leading `#`s; the
     /// caller has already consumed the prefix up to and including the
     /// opening quote.
-    fn raw_string_body(&mut self, hashes: usize, line: u32) {
+    fn raw_string_body(&mut self, hashes: usize, at: (u32, u32)) {
         let mut text = String::new();
         'outer: while let Some(c) = self.bump() {
             if c == '"' {
@@ -211,11 +223,11 @@ impl Lexer {
             }
             text.push(c);
         }
-        self.push(TokKind::Str, text, line);
+        self.push(TokKind::Str, text, at);
     }
 
     /// `'a` lifetime, `'x'` char, or `'\n'` escaped char.
-    fn char_or_lifetime(&mut self, line: u32) {
+    fn char_or_lifetime(&mut self, at: (u32, u32)) {
         self.bump(); // opening quote
         match self.peek(0) {
             Some('\\') => {
@@ -233,7 +245,7 @@ impl Lexer {
                         text.push(c);
                     }
                 }
-                self.push(TokKind::Char, text, line);
+                self.push(TokKind::Char, text, at);
             }
             Some(c) if is_ident_start(c) => {
                 // Could be 'a' (char) or 'a (lifetime): scan the
@@ -248,13 +260,13 @@ impl Lexer {
                         text.push(self.bump().unwrap_or('\0'));
                     }
                     self.bump(); // closing quote
-                    self.push(TokKind::Char, text, line);
+                    self.push(TokKind::Char, text, at);
                 } else {
                     let mut text = String::new();
                     for _ in 0..end {
                         text.push(self.bump().unwrap_or('\0'));
                     }
-                    self.push(TokKind::Lifetime, text, line);
+                    self.push(TokKind::Lifetime, text, at);
                 }
             }
             Some(c) => {
@@ -265,13 +277,13 @@ impl Lexer {
                 if self.peek(0) == Some('\'') {
                     self.bump();
                 }
-                self.push(TokKind::Char, text, line);
+                self.push(TokKind::Char, text, at);
             }
-            None => self.push(TokKind::Char, String::new(), line),
+            None => self.push(TokKind::Char, String::new(), at),
         }
     }
 
-    fn number(&mut self, line: u32) {
+    fn number(&mut self, at: (u32, u32)) {
         let mut text = String::new();
         while let Some(c) = self.peek(0) {
             if is_ident_cont(c) {
@@ -294,12 +306,12 @@ impl Lexer {
                 break;
             }
         }
-        self.push(TokKind::Num, text, line);
+        self.push(TokKind::Num, text, at);
     }
 
     /// Identifier, or a string prefix (`r"…"`, `b"…"`, `r#"…"#`,
     /// `b'…'`, raw ident `r#ident`).
-    fn word(&mut self, line: u32) {
+    fn word(&mut self, at: (u32, u32)) {
         // Scan the identifier run without consuming, so prefixes can
         // be re-interpreted.
         let mut end = 0usize;
@@ -314,7 +326,7 @@ impl Lexer {
                     self.bump(); // prefix + opening quote
                 }
                 if word.starts_with('r') || word.ends_with('r') {
-                    self.raw_string_body(0, line);
+                    self.raw_string_body(0, at);
                 } else {
                     // b"…" behaves like an ordinary string body.
                     let mut text = String::new();
@@ -330,7 +342,7 @@ impl Lexer {
                             text.push(c);
                         }
                     }
-                    self.push(TokKind::Str, text, line);
+                    self.push(TokKind::Str, text, at);
                 }
             }
             ("r" | "br" | "rb", Some('#')) => {
@@ -344,7 +356,7 @@ impl Lexer {
                     for _ in 0..end + hashes + 1 {
                         self.bump();
                     }
-                    self.raw_string_body(hashes, line);
+                    self.raw_string_body(hashes, at);
                 } else {
                     // Raw identifier: consume `r#` then the word.
                     for _ in 0..end + 1 {
@@ -359,18 +371,18 @@ impl Lexer {
                             break;
                         }
                     }
-                    self.push(TokKind::Ident, text, line);
+                    self.push(TokKind::Ident, text, at);
                 }
             }
             ("b", Some('\'')) => {
                 self.bump(); // the `b`
-                self.char_or_lifetime(line);
+                self.char_or_lifetime(at);
             }
             _ => {
                 for _ in 0..end {
                     self.bump();
                 }
-                self.push(TokKind::Ident, word, line);
+                self.push(TokKind::Ident, word, at);
             }
         }
     }

@@ -11,12 +11,20 @@
 //! bitwise reproducibility are simply not allowed to exist in the
 //! deterministic crates.
 //!
+//! The v2 analyzer is a pipeline: [`lexer`] (tokens with line/col) →
+//! [`parser`] (item structure: `mod`/`use`/`fn`/`impl`) → [`resolve`]
+//! (canonical module paths + the crate-and-module import graph) →
+//! rules. Token rules (D/S/F families, [`rules`]) look at one file;
+//! graph rules (L1 layering, P1 I/O purity, R1 RNG lineage,
+//! [`rules_ws`]) look at the whole [`resolve::Workspace`].
+//!
 //! See [`rules`] for the rule table, [`config`] for `lint.toml`
-//! (severities, rule parameters, and the justification-carrying
-//! `[[allow]]` baseline), and DESIGN.md §13 for policy.
+//! (severities, rule parameters, the `[layering]` DAG, and the
+//! justification-carrying `[[allow]]` baseline), and DESIGN.md §13
+//! for policy.
 //!
 //! The tool is self-contained — hand-rolled lexer, hand-rolled TOML
-//! subset, hand-rolled JSON — consistent with the offline
+//! subset, hand-rolled JSON and SARIF — consistent with the offline
 //! `crates/compat` dependency policy: linting must work in the same
 //! registry-less environment the build does.
 #![forbid(unsafe_code)]
@@ -24,14 +32,50 @@
 pub mod config;
 pub mod diag;
 pub mod lexer;
+pub mod parser;
+pub mod resolve;
 pub mod rules;
+pub mod rules_ws;
+pub mod sarif;
 pub mod walk;
 
 use std::path::Path;
 
 pub use config::{AllowEntry, LintConfig, RULE_IDS};
 pub use diag::{Finding, Report, Severity};
+pub use resolve::{AnalyzedFile, SourceUnit, Workspace};
 pub use rules::{lint_source, FileContext};
+
+/// Lints a set of in-memory source units as one workspace: analyzes
+/// every file, builds the import graph, runs the token rules and the
+/// graph rules, and applies the `[[allow]]` baseline.
+///
+/// Findings are sorted by `(path, line, col, rule)` — the report is
+/// byte-identical across runs and across input orderings.
+pub fn lint_sources(units: Vec<SourceUnit>, cfg: &LintConfig) -> Report {
+    let files_scanned = units.len();
+    let ws = Workspace::build(units.iter().map(resolve::analyze_unit).collect());
+    let mut all: Vec<Finding> = Vec::new();
+    for af in &ws.files {
+        rules::lint_tokens(af, cfg, &mut all);
+    }
+    rules_ws::lint_graph(&ws, cfg, &mut all);
+    all.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+    let mut report = Report {
+        files_scanned,
+        ..Report::default()
+    };
+    for finding in all {
+        if cfg.allow_entry(finding.rule, &finding.path).is_some() {
+            report.suppressed.push(finding);
+        } else {
+            report.findings.push(finding);
+        }
+    }
+    report
+}
 
 /// Lints every workspace file under `root`, applying the `[[allow]]`
 /// baseline from `cfg` (suppressed findings are kept on
@@ -39,20 +83,16 @@ pub use rules::{lint_source, FileContext};
 /// artifact).
 pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> Result<Report, String> {
     let files = walk::workspace_files(root)?;
-    let mut report = Report::default();
+    let mut units = Vec::with_capacity(files.len());
     for file in &files {
         let src = std::fs::read_to_string(&file.full_path)
             .map_err(|e| format!("cannot read {}: {e}", file.full_path.display()))?;
-        for finding in lint_source(&src, &file.ctx, cfg) {
-            if cfg.allow_entry(finding.rule, &finding.path).is_some() {
-                report.suppressed.push(finding);
-            } else {
-                report.findings.push(finding);
-            }
-        }
+        units.push(SourceUnit {
+            ctx: file.ctx.clone(),
+            src,
+        });
     }
-    report.files_scanned = files.len();
-    Ok(report)
+    Ok(lint_sources(units, cfg))
 }
 
 /// Reads `lint.toml` from `root`, falling back to the built-in
@@ -79,5 +119,36 @@ mod tests {
         let cfg = load_config(root).expect("lint.toml parses");
         let report = lint_workspace(root, &cfg).expect("workspace lints");
         assert!(report.files_scanned > 50, "walker found the workspace");
+    }
+
+    #[test]
+    fn reports_are_sorted_and_order_independent() {
+        let unit = |path: &str, crate_name: &str, src: &str| SourceUnit {
+            ctx: FileContext {
+                path: path.into(),
+                crate_name: crate_name.into(),
+                is_test_file: false,
+                is_lib_root: false,
+            },
+            src: src.into(),
+        };
+        let cfg = LintConfig::default();
+        let a = unit(
+            "crates/model/src/a.rs",
+            "model",
+            "fn f() { println!(\"x\"); let _ = std::fs::read(\"y\"); }\n",
+        );
+        let b = unit(
+            "crates/graph/src/b.rs",
+            "graph",
+            "use sp_sim::engine::Simulation;\n",
+        );
+        let fwd = lint_sources(vec![a.clone(), b.clone()], &cfg).render_json();
+        let rev = lint_sources(vec![b, a], &cfg).render_json();
+        assert_eq!(fwd, rev, "report must not depend on input order");
+        // graph path sorts before model path.
+        let gi = fwd.find("crates/graph").expect("graph finding present");
+        let mi = fwd.find("crates/model").expect("model finding present");
+        assert!(gi < mi, "findings sorted by path");
     }
 }

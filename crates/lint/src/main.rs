@@ -1,7 +1,7 @@
 //! `sp_lint` — the standalone lint binary (CI entry point).
 //!
 //! ```text
-//! sp_lint [--root DIR] [--config FILE] [--json [FILE]] [--warnings]
+//! sp_lint [--root DIR] [--config FILE] [--json [FILE]] [--sarif [FILE]] [--warnings]
 //! ```
 //!
 //! Exit codes follow the `spnet` convention: `0` clean (warnings are
@@ -17,6 +17,7 @@ struct Options {
     root: PathBuf,
     config: Option<PathBuf>,
     json: Option<Option<PathBuf>>,
+    sarif: Option<Option<PathBuf>>,
     warnings: bool,
 }
 
@@ -25,6 +26,7 @@ fn parse_args(raw: &[String]) -> Result<Options, String> {
         root: PathBuf::from("."),
         config: None,
         json: None,
+        sarif: None,
         warnings: false,
     };
     let mut iter = raw.iter().peekable();
@@ -51,20 +53,34 @@ fn parse_args(raw: &[String]) -> Result<Options, String> {
                     None
                 });
             }
+            "--sarif" => {
+                // Same optional-value shape as --json.
+                let takes_value = iter
+                    .peek()
+                    .map(|next| !next.starts_with("--"))
+                    .unwrap_or(false);
+                opts.sarif = Some(if takes_value {
+                    iter.next().map(PathBuf::from)
+                } else {
+                    None
+                });
+            }
             "--warnings" => opts.warnings = true,
             "--help" | "-h" => {
                 println!(
                     "sp_lint — workspace determinism-and-safety static analysis\n\n\
-                     USAGE: sp_lint [--root DIR] [--config FILE] [--json [FILE]] [--warnings]\n\n\
+                     USAGE: sp_lint [--root DIR] [--config FILE] [--json [FILE]] [--sarif [FILE]] [--warnings]\n\n\
                      OPTIONS:\n\
                        --root DIR     workspace root to lint (default: .)\n\
                        --config FILE  lint configuration (default: <root>/lint.toml)\n\
                        --json [FILE]  machine-readable report to FILE (or stdout)\n\
+                       --sarif [FILE] SARIF 2.1.0 report to FILE (or stdout), for code scanning\n\
                        --warnings     list warn-level findings (always counted)\n\n\
                      EXIT CODES: 0 clean, 1 deny-level findings, 2 usage/config error\n\
                      RULES: D1 hash containers, D2 wall-clock/env reads, D3 unseeded RNG,\n\
                             S1 unsafe hygiene, S2 unwrap/expect, F1 parallel float sums,\n\
-                            F2 locks/atomics in shared-nothing hot paths\n\
+                            F2 locks/atomics in shared-nothing hot paths, F3 channel unwraps,\n\
+                            L1 crate layering, P1 I/O purity, R1 RNG lineage\n\
                      (see DESIGN.md §13 for the contract and lint.toml for the baseline)"
                 );
                 std::process::exit(0);
@@ -85,6 +101,14 @@ fn run(opts: &Options) -> Result<bool, String> {
         None => load_config(&opts.root)?,
     };
     let report = lint_workspace(&opts.root, &cfg)?;
+    match &opts.sarif {
+        Some(Some(path)) => {
+            std::fs::write(path, sp_lint::sarif::render_sarif(&report, &cfg))
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        }
+        Some(None) => print!("{}", sp_lint::sarif::render_sarif(&report, &cfg)),
+        None => {}
+    }
     match &opts.json {
         Some(Some(path)) => {
             std::fs::write(path, report.render_json())

@@ -1,0 +1,606 @@
+//! Item-level parsing on top of [`crate::lexer`]: just enough `mod` /
+//! `use` / `fn` structure for the workspace-aware rules (L1, P1, R1)
+//! to ask "what module does this token live in and what does that
+//! module import?".
+//!
+//! Like the lexer, this is deliberately not a Rust grammar. It tracks
+//! brace depth, inline `mod name { … }` nesting, expands `use` trees
+//! (groups, globs, `as` aliases) into flat [`UseDecl`]s, records `fn`
+//! item spans so findings can name their enclosing function, and owns
+//! the `#[cfg(test)]` region tracker that the token rules already
+//! relied on. Malformed input degrades gracefully — the parser never
+//! fails, it just sees less structure.
+
+use crate::lexer::{Tok, TokKind};
+
+/// One flattened `use` import. `use a::{b, c as d};` yields two
+/// decls: `a::b` and `a::c` (alias `d`).
+#[derive(Debug, Clone)]
+pub struct UseDecl {
+    /// Path segments as written (`["std", "fs"]`, `["crate", "x"]`).
+    pub path: Vec<String>,
+    /// `use … as alias` rename, if any.
+    pub alias: Option<String>,
+    /// Whether the decl ends in `::*`.
+    pub glob: bool,
+    /// 1-based line of the `use` keyword.
+    pub line: u32,
+    /// 1-based column of the `use` keyword.
+    pub col: u32,
+    /// Inline-module nesting at the decl site (empty at file scope).
+    pub in_mod: Vec<String>,
+    /// Whether the decl sits inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+impl UseDecl {
+    /// The name this import binds locally (`alias`, else the last
+    /// path segment).
+    pub fn binds(&self) -> Option<&str> {
+        if self.glob {
+            return None;
+        }
+        self.alias
+            .as_deref()
+            .or_else(|| self.path.last().map(String::as_str))
+    }
+}
+
+/// One `mod` declaration (`mod x;` out-of-line or `mod x { … }`
+/// inline).
+#[derive(Debug, Clone)]
+pub struct ModDecl {
+    /// Module name.
+    pub name: String,
+    /// 1-based line of the `mod` keyword.
+    pub line: u32,
+    /// Inline-module nesting at the decl site.
+    pub in_mod: Vec<String>,
+    /// Whether the decl has an inline body.
+    pub inline: bool,
+}
+
+/// One `fn` item, with its body token range so a finding inside the
+/// body can be attributed to the function by name.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token-index range `[start, end]` covering signature + body.
+    pub span: (usize, usize),
+}
+
+/// One `impl` block span (kept so rules could scope to impls; the
+/// current rules only need the count for structure sanity checks).
+#[derive(Debug, Clone)]
+pub struct ImplItem {
+    /// 1-based line of the `impl` keyword.
+    pub line: u32,
+    /// Token-index range `[start, end]` of the whole block.
+    pub span: (usize, usize),
+}
+
+/// Item-level structure of one file.
+#[derive(Debug, Clone, Default)]
+pub struct Parsed {
+    /// Flattened `use` imports, in source order.
+    pub uses: Vec<UseDecl>,
+    /// `mod` declarations, in source order.
+    pub mods: Vec<ModDecl>,
+    /// `fn` items, in source order.
+    pub fns: Vec<FnItem>,
+    /// `impl` blocks, in source order.
+    pub impls: Vec<ImplItem>,
+    /// Token-index ranges `[start, end]` covered by `use` decls, for
+    /// token-pattern rules that must not double-report an import.
+    pub use_ranges: Vec<(usize, usize)>,
+    /// Inline module body spans: (nested mod path, start, end).
+    pub mod_spans: Vec<(Vec<String>, usize, usize)>,
+}
+
+impl Parsed {
+    /// Whether token `i` is inside a `use` declaration.
+    pub fn in_use_decl(&self, i: usize) -> bool {
+        self.use_ranges.iter().any(|&(s, e)| i >= s && i <= e)
+    }
+
+    /// The inline-module nesting enclosing token `i` (innermost
+    /// match; empty slice at file scope).
+    pub fn module_nesting_of(&self, i: usize) -> &[String] {
+        self.mod_spans
+            .iter()
+            .filter(|&&(_, s, e)| i >= s && i <= e)
+            .max_by_key(|(path, _, _)| path.len())
+            .map(|(path, _, _)| path.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The `fn` item whose span encloses token `i` (innermost).
+    pub fn enclosing_fn(&self, i: usize) -> Option<&FnItem> {
+        self.fns
+            .iter()
+            .filter(|f| i >= f.span.0 && i <= f.span.1)
+            .min_by_key(|f| f.span.1 - f.span.0)
+    }
+}
+
+/// Parses the item structure of a token stream. `tests` drives the
+/// `in_test` flag on `use` decls.
+pub fn parse(toks: &[Tok], tests: &TestRegions) -> Parsed {
+    let mut out = Parsed::default();
+    // (name, start_idx, depth) for open inline mods.
+    let mut mod_stack: Vec<(String, usize, usize)> = Vec::new();
+    let mut depth = 0usize;
+    let mut i = 0;
+    let code: Vec<usize> = (0..toks.len()).filter(|&k| !toks[k].is_comment()).collect();
+    // Map raw token index -> position in `code` for lookahead.
+    let mut code_pos = vec![usize::MAX; toks.len()];
+    for (k, &ci) in code.iter().enumerate() {
+        code_pos[ci] = k;
+    }
+    let next_code = |i: usize, n: usize| -> Option<usize> {
+        if i >= toks.len() || code_pos[i] == usize::MAX {
+            return None;
+        }
+        code.get(code_pos[i] + n).copied()
+    };
+
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_comment() {
+            i += 1;
+            continue;
+        }
+        match t.kind {
+            TokKind::Punct('{') => {
+                depth += 1;
+                i += 1;
+            }
+            TokKind::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                if let Some(&(_, start, d)) = mod_stack.last() {
+                    if d == depth {
+                        let (name, _, _) = mod_stack.pop().expect("non-empty: just peeked");
+                        let mut path: Vec<String> =
+                            mod_stack.iter().map(|(n, _, _)| n.clone()).collect();
+                        path.push(name);
+                        out.mod_spans.push((path, start, i));
+                    }
+                }
+                i += 1;
+            }
+            TokKind::Ident if t.text == "mod" => {
+                // `mod name ;` or `mod name {`. A `mod` not followed
+                // by an identifier (e.g. a macro arg) is skipped.
+                let name_idx = next_code(i, 1);
+                let Some(ni) = name_idx else {
+                    i += 1;
+                    continue;
+                };
+                if toks[ni].kind != TokKind::Ident {
+                    i += 1;
+                    continue;
+                }
+                let name = toks[ni].text.clone();
+                let after = next_code(i, 2);
+                let nesting: Vec<String> = mod_stack.iter().map(|(n, _, _)| n.clone()).collect();
+                match after.map(|ai| &toks[ai]) {
+                    Some(a) if a.is_punct('{') => {
+                        out.mods.push(ModDecl {
+                            name: name.clone(),
+                            line: t.line,
+                            in_mod: nesting,
+                            inline: true,
+                        });
+                        mod_stack.push((name, i, depth));
+                        depth += 1;
+                        i = after.expect("matched Some above") + 1;
+                    }
+                    Some(a) if a.is_punct(';') => {
+                        out.mods.push(ModDecl {
+                            name,
+                            line: t.line,
+                            in_mod: nesting,
+                            inline: false,
+                        });
+                        i = after.expect("matched Some above") + 1;
+                    }
+                    _ => i += 1,
+                }
+            }
+            TokKind::Ident if t.text == "use" => {
+                let start = i;
+                let nesting: Vec<String> = mod_stack.iter().map(|(n, _, _)| n.clone()).collect();
+                let end = parse_use(toks, i, t.line, t.col, &nesting, tests, &mut out.uses);
+                out.use_ranges.push((start, end));
+                i = end + 1;
+            }
+            TokKind::Ident if t.text == "fn" => {
+                let Some(ni) = next_code(i, 1) else {
+                    i += 1;
+                    continue;
+                };
+                if toks[ni].kind != TokKind::Ident {
+                    i += 1;
+                    continue;
+                }
+                let name = toks[ni].text.clone();
+                let end = item_body_end(toks, ni + 1);
+                out.fns.push(FnItem {
+                    name,
+                    line: t.line,
+                    span: (i, end),
+                });
+                // Do NOT jump past the body: mod/use tracking inside
+                // fn bodies (scoped imports) still matters, and brace
+                // depth must stay balanced. Just record the span.
+                i += 1;
+            }
+            TokKind::Ident if t.text == "impl" => {
+                let end = item_body_end(toks, i + 1);
+                out.impls.push(ImplItem {
+                    line: t.line,
+                    span: (i, end),
+                });
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Finds the token index of the `}` closing the first `{` at or after
+/// `from` (or of a terminating `;` before any `{`). Returns the last
+/// token index on malformed input.
+fn item_body_end(toks: &[Tok], from: usize) -> usize {
+    let mut depth = 0usize;
+    let mut angle = 0usize; // suppress `;` inside generic bounds? not needed
+    let _ = &mut angle;
+    for (j, t) in toks.iter().enumerate().skip(from) {
+        if t.is_comment() {
+            continue;
+        }
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return j;
+            }
+        } else if t.is_punct(';') && depth == 0 {
+            // `fn f();` in a trait, or `impl Trait for T;` — no body.
+            return j;
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Parses one `use …;` starting at the `use` keyword index; pushes
+/// flattened decls and returns the index of the terminating `;` (or
+/// the last consumed token on malformed input).
+fn parse_use(
+    toks: &[Tok],
+    use_idx: usize,
+    line: u32,
+    col: u32,
+    nesting: &[String],
+    tests: &TestRegions,
+    out: &mut Vec<UseDecl>,
+) -> usize {
+    // Collect the code tokens of the decl up to the `;`.
+    let mut end = use_idx;
+    let mut decl: Vec<&Tok> = Vec::new();
+    for (j, t) in toks.iter().enumerate().skip(use_idx + 1) {
+        if t.is_comment() {
+            continue;
+        }
+        if t.is_punct(';') {
+            end = j;
+            break;
+        }
+        decl.push(t);
+        end = j;
+    }
+    let in_test = tests.contains(use_idx);
+    let mut pos = 0usize;
+    // Leading `pub` / visibility was consumed before `use`, so the
+    // decl body starts at the path. Parse the (possibly grouped) tree.
+    parse_use_tree(
+        &decl,
+        &mut pos,
+        &mut Vec::new(),
+        line,
+        col,
+        nesting,
+        in_test,
+        out,
+    );
+    end
+}
+
+/// Recursive descent over a use tree: `path`, `path::{a, b}`,
+/// `path::*`, `path as alias`.
+#[allow(clippy::too_many_arguments)]
+fn parse_use_tree(
+    decl: &[&Tok],
+    pos: &mut usize,
+    prefix: &mut Vec<String>,
+    line: u32,
+    col: u32,
+    nesting: &[String],
+    in_test: bool,
+    out: &mut Vec<UseDecl>,
+) {
+    let depth_at_entry = prefix.len();
+    let mut path: Vec<String> = Vec::new();
+    let mut alias: Option<String> = None;
+    let mut glob = false;
+    while *pos < decl.len() {
+        let t = decl[*pos];
+        match t.kind {
+            TokKind::Ident if t.text == "as" => {
+                *pos += 1;
+                if let Some(a) = decl.get(*pos) {
+                    if a.kind == TokKind::Ident {
+                        alias = Some(a.text.clone());
+                        *pos += 1;
+                    }
+                }
+            }
+            TokKind::Ident => {
+                path.push(t.text.clone());
+                *pos += 1;
+            }
+            TokKind::Punct(':') => {
+                *pos += 1; // `::` arrives as two `:` puncts
+            }
+            TokKind::Punct('*') => {
+                glob = true;
+                *pos += 1;
+            }
+            TokKind::Punct('{') => {
+                *pos += 1;
+                prefix.append(&mut path);
+                loop {
+                    parse_use_tree(decl, pos, prefix, line, col, nesting, in_test, out);
+                    match decl.get(*pos).map(|t| t.kind) {
+                        Some(TokKind::Punct(',')) => {
+                            *pos += 1;
+                            if decl.get(*pos).map(|t| t.is_punct('}')).unwrap_or(true) {
+                                break;
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+                if decl.get(*pos).map(|t| t.is_punct('}')).unwrap_or(false) {
+                    *pos += 1;
+                }
+                prefix.truncate(depth_at_entry);
+                return; // a group terminates this branch
+            }
+            TokKind::Punct(',') | TokKind::Punct('}') => break,
+            _ => {
+                *pos += 1; // visibility puncts, stray tokens
+            }
+        }
+    }
+    if !path.is_empty() || glob {
+        let mut full = prefix.clone();
+        full.extend(path);
+        if !full.is_empty() {
+            out.push(UseDecl {
+                path: full,
+                alias,
+                glob,
+                line,
+                col,
+                in_mod: nesting.to_vec(),
+                in_test,
+            });
+        }
+    }
+    prefix.truncate(depth_at_entry);
+}
+
+/// Token-index ranges covered by `#[cfg(test)]` / `#[test]` items.
+/// Moved here from the rule engine so the parser and all rule
+/// families share one definition.
+pub struct TestRegions {
+    /// Sorted, non-overlapping (start, end) token-index ranges.
+    ranges: Vec<(usize, usize)>,
+}
+
+impl TestRegions {
+    /// Computes the test regions of a token stream.
+    pub fn compute(toks: &[Tok]) -> TestRegions {
+        let mut ranges: Vec<(usize, usize)> = Vec::new();
+        let mut open: Vec<(usize, usize)> = Vec::new(); // (start idx, depth)
+        let mut depth = 0usize;
+        let mut pending_test_attr = false;
+        let mut i = 0;
+        while i < toks.len() {
+            let t = &toks[i];
+            if t.is_comment() {
+                i += 1;
+                continue;
+            }
+            if t.is_punct('#') {
+                // `#[…]` outer attribute (`#![…]` inner attributes are
+                // skipped: they never mark a following item as test).
+                let mut j = i + 1;
+                while j < toks.len() && toks[j].is_comment() {
+                    j += 1;
+                }
+                if j < toks.len() && toks[j].is_punct('[') {
+                    let (end, is_test) = scan_attribute(toks, j);
+                    if is_test {
+                        pending_test_attr = true;
+                    }
+                    i = end;
+                    continue;
+                }
+            }
+            match t.kind {
+                TokKind::Punct(';') if open.is_empty() => {
+                    // `#[cfg(test)] use …;` — attribute without a body.
+                    pending_test_attr = false;
+                }
+                TokKind::Punct('{') => {
+                    if pending_test_attr {
+                        open.push((i, depth));
+                        pending_test_attr = false;
+                    }
+                    depth += 1;
+                }
+                TokKind::Punct('}') => {
+                    depth = depth.saturating_sub(1);
+                    if let Some(&(start, d)) = open.last() {
+                        if d == depth {
+                            open.pop();
+                            ranges.push((start, i));
+                        }
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        // An unterminated region (malformed input) extends to EOF.
+        for (start, _) in open {
+            ranges.push((start, toks.len()));
+        }
+        ranges.sort_unstable();
+        TestRegions { ranges }
+    }
+
+    /// Whether token `tok_idx` is inside a test region.
+    pub fn contains(&self, tok_idx: usize) -> bool {
+        self.ranges
+            .iter()
+            .any(|&(s, e)| tok_idx >= s && tok_idx <= e)
+    }
+
+    /// The raw (start, end) ranges — exposed for span-tracking tests.
+    pub fn ranges(&self) -> &[(usize, usize)] {
+        &self.ranges
+    }
+}
+
+/// Scans an attribute starting at the `[` token; returns the token
+/// index just past the closing `]` and whether the attribute marks
+/// test-only code (`#[test]`, `#[cfg(test)]`, `#[cfg(all(test, …))]`
+/// — but not `#[cfg(not(test))]`).
+fn scan_attribute(toks: &[Tok], open_bracket: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut idents: Vec<&str> = Vec::new();
+    let mut i = open_bracket;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                i += 1;
+                break;
+            }
+        } else if t.kind == TokKind::Ident {
+            idents.push(&t.text);
+        }
+        i += 1;
+    }
+    let has_test = idents.contains(&"test");
+    let negated = idents.contains(&"not");
+    let is_cfg = idents.first().map(|s| *s == "cfg").unwrap_or(false);
+    let is_bare_test = idents.len() == 1 && idents[0] == "test";
+    (i, has_test && !negated && (is_cfg || is_bare_test))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn parse_src(src: &str) -> Parsed {
+        let toks = tokenize(src);
+        let tests = TestRegions::compute(&toks);
+        parse(&toks, &tests)
+    }
+
+    fn use_paths(p: &Parsed) -> Vec<String> {
+        p.uses.iter().map(|u| u.path.join("::")).collect()
+    }
+
+    #[test]
+    fn flat_use_and_group_expansion() {
+        let p = parse_src("use std::fs;\nuse a::{b, c::d, e as f};\n");
+        assert_eq!(use_paths(&p), ["std::fs", "a::b", "a::c::d", "a::e"]);
+        assert_eq!(p.uses[3].alias.as_deref(), Some("f"));
+        assert_eq!(p.uses[0].line, 1);
+        assert_eq!(p.uses[1].line, 2);
+    }
+
+    #[test]
+    fn nested_groups_and_globs() {
+        let p = parse_src("use a::{b::{c, d::*}, self};\n");
+        assert_eq!(use_paths(&p), ["a::b::c", "a::b::d", "a::self"]);
+        assert!(p.uses[1].glob);
+        assert!(!p.uses[0].glob);
+    }
+
+    #[test]
+    fn inline_mods_nest_and_attribute_tokens() {
+        let src = "mod outer {\n  mod inner {\n    use x::y;\n  }\n}\nmod flat;\n";
+        let p = parse_src(src);
+        assert_eq!(p.mods.len(), 3);
+        assert!(p.mods[0].inline && p.mods[0].name == "outer");
+        assert!(p.mods[1].inline && p.mods[1].in_mod == ["outer"]);
+        assert!(!p.mods[2].inline && p.mods[2].name == "flat");
+        assert_eq!(p.uses[0].in_mod, ["outer", "inner"]);
+        // Token attribution: the `y` token sits in outer::inner.
+        let toks = tokenize(src);
+        let y = toks.iter().position(|t| t.is_ident("y")).unwrap();
+        assert_eq!(p.module_nesting_of(y), ["outer", "inner"]);
+    }
+
+    #[test]
+    fn fn_items_carry_spans() {
+        let src = "fn a() { inner(); }\nfn b(x: u32) -> u32 { x }\n";
+        let p = parse_src(src);
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].name, "a");
+        assert_eq!(p.fns[1].name, "b");
+        let toks = tokenize(src);
+        let inner = toks.iter().position(|t| t.is_ident("inner")).unwrap();
+        assert_eq!(p.enclosing_fn(inner).unwrap().name, "a");
+    }
+
+    #[test]
+    fn use_ranges_cover_decl_tokens() {
+        let src = "use std::fs;\nfn f() { fs::read(\"x\"); }\n";
+        let p = parse_src(src);
+        let toks = tokenize(src);
+        let first_fs = toks.iter().position(|t| t.is_ident("fs")).unwrap();
+        let second_fs = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_ident("fs"))
+            .nth(1)
+            .unwrap()
+            .0;
+        assert!(p.in_use_decl(first_fs));
+        assert!(!p.in_use_decl(second_fs));
+    }
+
+    #[test]
+    fn test_regions_mark_use_decls() {
+        let src = "#[cfg(test)]\nmod tests {\n  use std::fs;\n}\nuse std::net;\n";
+        let p = parse_src(src);
+        assert!(p.uses[0].in_test);
+        assert!(!p.uses[1].in_test);
+    }
+}

@@ -1,0 +1,431 @@
+//! Workspace resolution: maps every file to its canonical module
+//! path (`crates/sim/src/engine.rs` → `sp_sim::engine`), builds the
+//! crate-and-module import graph from the parsed `use` decls, and
+//! answers the reachability questions the graph rules (L1, P1, R1)
+//! ask — including the seed-lineage chain from any module back to the
+//! `sp_stats` RNG API.
+//!
+//! Everything is `BTree`-backed so iteration order — and therefore
+//! report order — is independent of file-discovery order.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::lexer::{tokenize, Tok};
+use crate::parser::{self, Parsed, TestRegions};
+use crate::rules::FileContext;
+
+/// One source file handed to the analyzer: its context plus content.
+/// Tests construct these directly; [`crate::lint_workspace`] builds
+/// them from the walker.
+#[derive(Debug, Clone)]
+pub struct SourceUnit {
+    /// Where the file sits in the workspace.
+    pub ctx: FileContext,
+    /// File contents.
+    pub src: String,
+}
+
+/// One fully analyzed file: tokens, item structure, test regions, and
+/// the canonical module path the resolver assigned.
+pub struct AnalyzedFile {
+    /// Where the file sits in the workspace.
+    pub ctx: FileContext,
+    /// Canonical module path (`sp_sim::engine`, `sp_stats`,
+    /// `workspace-tests::end_to_end`).
+    pub module_path: String,
+    /// Token stream.
+    pub toks: Vec<Tok>,
+    /// Indices of non-comment tokens, for code-pattern matching.
+    pub code: Vec<usize>,
+    /// Item-level structure.
+    pub parsed: Parsed,
+    /// `#[cfg(test)]` region index.
+    pub tests: TestRegions,
+}
+
+impl AnalyzedFile {
+    /// The module path of the (possibly inline) module containing
+    /// token `i` — the file module plus any inline `mod` nesting.
+    pub fn module_of(&self, i: usize) -> String {
+        let nesting = self.parsed.module_nesting_of(i);
+        if nesting.is_empty() {
+            self.module_path.clone()
+        } else {
+            format!("{}::{}", self.module_path, nesting.join("::"))
+        }
+    }
+}
+
+/// The analyzed workspace: all files plus the module import graph.
+pub struct Workspace {
+    /// Analyzed files, in input order.
+    pub files: Vec<AnalyzedFile>,
+    /// Every module path the resolver assigned (file modules and
+    /// their inline submodules are keys; lookups use longest-prefix).
+    pub modules: BTreeSet<String>,
+    /// Module → set of module paths it imports (resolved to the
+    /// longest known module prefix; external paths kept verbatim).
+    pub imports: BTreeMap<String, BTreeSet<String>>,
+}
+
+/// The crate ident a `crates/<dir>` crate exports (`sim` → `sp_sim`).
+/// Pseudo-labels (`workspace-tests`, `examples`) have no importable
+/// ident and map to themselves.
+pub fn crate_ident(crate_name: &str) -> String {
+    if crate_name == "workspace-tests" || crate_name == "examples" {
+        crate_name.to_string()
+    } else {
+        format!("sp_{}", crate_name.replace('-', "_"))
+    }
+}
+
+/// The crate label (`sim`) behind an importable ident (`sp_sim`), if
+/// the ident has the workspace shape.
+pub fn ident_crate(ident: &str) -> Option<&str> {
+    ident.strip_prefix("sp_")
+}
+
+/// Canonical module path for a workspace file. The convention mirrors
+/// rustc's module tree:
+///
+/// * `crates/X/src/lib.rs`, `src/main.rs` → `sp_X`
+/// * `crates/X/src/a/b.rs` → `sp_X::a::b`; `src/a/mod.rs` → `sp_X::a`
+/// * `crates/X/src/bin/foo.rs` → `sp_X::bin::foo`
+/// * `crates/X/tests/foo.rs` → `sp_X::tests::foo` (likewise benches)
+/// * `tests/foo.rs` → `workspace-tests::foo`
+/// * `examples/foo.rs` → `examples::foo`
+pub fn module_path_for(ctx: &FileContext) -> String {
+    let root = crate_ident(&ctx.crate_name);
+    let rel = ctx.path.as_str();
+    // Strip the crate prefix to get the in-crate path.
+    let inner = if let Some(rest) = rel.strip_prefix(&format!("crates/{}/", ctx.crate_name)) {
+        rest
+    } else {
+        rel // workspace-level `tests/foo.rs` / `examples/foo.rs`
+    };
+    let no_ext = inner.strip_suffix(".rs").unwrap_or(inner);
+    let mut segs: Vec<&str> = no_ext.split('/').collect();
+    // `src` is the crate root, not a module segment.
+    if segs.first() == Some(&"src") {
+        segs.remove(0);
+    }
+    // Workspace-level files already carry the pseudo-label as root.
+    if segs.first() == Some(&"tests") && ctx.crate_name == "workspace-tests" {
+        segs.remove(0);
+    }
+    if segs.first() == Some(&"examples") && ctx.crate_name == "examples" {
+        segs.remove(0);
+    }
+    // lib.rs / main.rs are the crate root; `a/mod.rs` is module `a`.
+    match segs.last().copied() {
+        Some("lib") | Some("main") if segs.len() == 1 => segs.clear(),
+        Some("mod") => {
+            segs.pop();
+        }
+        _ => {}
+    }
+    if segs.is_empty() {
+        root
+    } else {
+        format!("{}::{}", root, segs.join("::"))
+    }
+}
+
+/// Analyzes one source unit: tokenize, compute test regions, parse.
+pub fn analyze_unit(unit: &SourceUnit) -> AnalyzedFile {
+    let toks = tokenize(&unit.src);
+    let tests = TestRegions::compute(&toks);
+    let parsed = parser::parse(&toks, &tests);
+    let code: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
+    let module_path = module_path_for(&unit.ctx);
+    AnalyzedFile {
+        ctx: unit.ctx.clone(),
+        module_path,
+        toks,
+        code,
+        parsed,
+        tests,
+    }
+}
+
+impl Workspace {
+    /// Builds the workspace from analyzed files: collects module
+    /// paths (including inline submodules and `mod x;` children) and
+    /// resolves every `use` into the import graph.
+    pub fn build(files: Vec<AnalyzedFile>) -> Workspace {
+        let mut modules: BTreeSet<String> = BTreeSet::new();
+        for f in &files {
+            modules.insert(f.module_path.clone());
+            for m in &f.parsed.mods {
+                let mut base = f.module_path.clone();
+                for seg in &m.in_mod {
+                    base.push_str("::");
+                    base.push_str(seg);
+                }
+                modules.insert(format!("{base}::{}", m.name));
+            }
+        }
+        let mut imports: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for f in &files {
+            // Parent links: a module implicitly reaches its children
+            // declared via `mod x;` / `mod x { … }` and vice versa —
+            // `pub use` re-exports travel through the parent.
+            let entry = imports.entry(f.module_path.clone()).or_default();
+            for m in &f.parsed.mods {
+                if m.in_mod.is_empty() {
+                    entry.insert(format!("{}::{}", f.module_path, m.name));
+                }
+            }
+            // Child → parent (a submodule can name items via super::).
+            if let Some((parent, _)) = f.module_path.rsplit_once("::") {
+                imports
+                    .entry(f.module_path.clone())
+                    .or_default()
+                    .insert(parent.to_string());
+            }
+            for u in &f.parsed.uses {
+                let decl_module = if u.in_mod.is_empty() {
+                    f.module_path.clone()
+                } else {
+                    format!("{}::{}", f.module_path, u.in_mod.join("::"))
+                };
+                let Some(target) = resolve_use(&u.path, &f.module_path, &f.ctx, &u.in_mod) else {
+                    continue;
+                };
+                let resolved =
+                    longest_known_prefix(&modules, &target).unwrap_or_else(|| target.clone());
+                imports
+                    .entry(decl_module)
+                    .or_default()
+                    .insert(resolved.clone());
+                // Inline-module imports also count for the file module:
+                // the rules reason at file-module granularity.
+                if !u.in_mod.is_empty() {
+                    imports
+                        .entry(f.module_path.clone())
+                        .or_default()
+                        .insert(resolved);
+                }
+            }
+        }
+        Workspace {
+            files,
+            modules,
+            imports,
+        }
+    }
+
+    /// BFS over the import graph from `from`, looking for any module
+    /// matching `goal` (exact or prefix: `sp_stats` matches
+    /// `sp_stats::rng`). Returns the module chain `from → … → goal`,
+    /// or `None` when unreachable.
+    pub fn import_chain(&self, from: &str, goal: &str) -> Option<Vec<String>> {
+        let matches_goal = |m: &str| {
+            m == goal || m.starts_with(&format!("{goal}::")) || goal.starts_with(&format!("{m}::"))
+        };
+        if matches_goal(from) {
+            return Some(vec![from.to_string()]);
+        }
+        let mut prev: BTreeMap<String, String> = BTreeMap::new();
+        let mut queue: VecDeque<String> = VecDeque::new();
+        queue.push_back(from.to_string());
+        prev.insert(from.to_string(), String::new());
+        while let Some(cur) = queue.pop_front() {
+            // Follow the edges of `cur` and of every known ancestor
+            // module (a file in `sp_stats::dist` sees `sp_stats`'s
+            // imports through the crate root re-exports).
+            let mut sources: Vec<&str> = vec![cur.as_str()];
+            let mut anc = cur.as_str();
+            while let Some((parent, _)) = anc.rsplit_once("::") {
+                sources.push(parent);
+                anc = parent;
+            }
+            for src in sources {
+                let Some(outs) = self.imports.get(src) else {
+                    continue;
+                };
+                for next in outs {
+                    if prev.contains_key(next) {
+                        continue;
+                    }
+                    prev.insert(next.clone(), cur.clone());
+                    if matches_goal(next) {
+                        let mut chain = vec![next.clone()];
+                        let mut at = cur.clone();
+                        while !at.is_empty() {
+                            chain.push(at.clone());
+                            at = prev.get(&at).cloned().unwrap_or_default();
+                        }
+                        chain.reverse();
+                        return Some(chain);
+                    }
+                    queue.push_back(next.clone());
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Resolves a `use` path to an absolute module-ish path: `crate::` →
+/// the crate root ident, `self::`/`super::` relative to the declaring
+/// module, everything else kept as written. Returns `None` for paths
+/// that cannot name a module (bare `self`).
+fn resolve_use(
+    path: &[String],
+    file_module: &str,
+    ctx: &FileContext,
+    in_mod: &[String],
+) -> Option<String> {
+    let mut segs: Vec<String> = Vec::new();
+    let decl_module = if in_mod.is_empty() {
+        file_module.to_string()
+    } else {
+        format!("{file_module}::{}", in_mod.join("::"))
+    };
+    let mut rest = path.iter().peekable();
+    match path.first().map(String::as_str) {
+        Some("crate") => {
+            segs.extend(crate_ident(&ctx.crate_name).split("::").map(String::from));
+            rest.next();
+        }
+        Some("self") => {
+            segs.extend(decl_module.split("::").map(String::from));
+            rest.next();
+        }
+        Some("super") => {
+            let mut base: Vec<String> = decl_module.split("::").map(String::from).collect();
+            while rest.peek().map(|s| s.as_str()) == Some("super") {
+                base.pop();
+                rest.next();
+            }
+            if base.is_empty() {
+                return None;
+            }
+            segs.extend(base);
+        }
+        _ => {}
+    }
+    for s in rest {
+        if s == "self" {
+            continue; // `use a::{self}` names module `a`
+        }
+        segs.push(s.clone());
+    }
+    if segs.is_empty() {
+        None
+    } else {
+        Some(segs.join("::"))
+    }
+}
+
+/// The longest prefix of `path` (on `::` boundaries) that names a
+/// known module. `sp_stats::rng::SpRng` resolves to `sp_stats::rng`.
+fn longest_known_prefix(modules: &BTreeSet<String>, path: &str) -> Option<String> {
+    let mut cur = path;
+    loop {
+        if modules.contains(cur) {
+            return Some(cur.to_string());
+        }
+        match cur.rsplit_once("::") {
+            Some((head, _)) => cur = head,
+            None => return None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(path: &str, crate_name: &str) -> FileContext {
+        FileContext {
+            path: path.into(),
+            crate_name: crate_name.into(),
+            is_test_file: false,
+            is_lib_root: path.ends_with("/src/lib.rs"),
+        }
+    }
+
+    #[test]
+    fn module_paths_follow_the_convention() {
+        let cases = [
+            ("crates/sim/src/lib.rs", "sim", "sp_sim"),
+            ("crates/sim/src/engine.rs", "sim", "sp_sim::engine"),
+            ("crates/stats/src/dist/mod.rs", "stats", "sp_stats::dist"),
+            (
+                "crates/stats/src/dist/zipf.rs",
+                "stats",
+                "sp_stats::dist::zipf",
+            ),
+            ("crates/cli/src/main.rs", "cli", "sp_cli"),
+            (
+                "crates/bench/src/bin/repro_bench.rs",
+                "bench",
+                "sp_bench::bin::repro_bench",
+            ),
+            (
+                "crates/sim/tests/sim_determinism.rs",
+                "sim",
+                "sp_sim::tests::sim_determinism",
+            ),
+            (
+                "tests/end_to_end.rs",
+                "workspace-tests",
+                "workspace-tests::end_to_end",
+            ),
+            ("examples/quickstart.rs", "examples", "examples::quickstart"),
+        ];
+        for (path, name, want) in cases {
+            assert_eq!(module_path_for(&ctx(path, name)), want, "{path}");
+        }
+    }
+
+    #[test]
+    fn use_resolution_handles_crate_self_super() {
+        let c = ctx("crates/sim/src/shard.rs", "sim");
+        let r = |p: &[&str]| {
+            resolve_use(
+                &p.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+                "sp_sim::shard",
+                &c,
+                &[],
+            )
+        };
+        assert_eq!(r(&["crate", "metrics"]).unwrap(), "sp_sim::metrics");
+        assert_eq!(r(&["self", "inner"]).unwrap(), "sp_sim::shard::inner");
+        assert_eq!(r(&["super", "engine"]).unwrap(), "sp_sim::engine");
+        assert_eq!(
+            r(&["sp_stats", "rng", "SpRng"]).unwrap(),
+            "sp_stats::rng::SpRng"
+        );
+        assert_eq!(r(&["std", "fs"]).unwrap(), "std::fs");
+    }
+
+    #[test]
+    fn workspace_builds_import_graph_and_chains() {
+        let units = [
+            SourceUnit {
+                ctx: ctx("crates/sim/src/lib.rs", "sim"),
+                src: "pub mod engine;\nuse sp_stats::rng::SpRng;\n".into(),
+            },
+            SourceUnit {
+                ctx: ctx("crates/sim/src/engine.rs", "sim"),
+                src: "use crate::metrics;\nuse sp_model::query_model::QueryModel;\n".into(),
+            },
+            SourceUnit {
+                ctx: ctx("crates/stats/src/lib.rs", "stats"),
+                src: "pub mod rng;\n".into(),
+            },
+        ];
+        let ws = Workspace::build(units.iter().map(analyze_unit).collect());
+        assert!(ws.modules.contains("sp_sim::engine"));
+        assert!(ws.modules.contains("sp_stats::rng"));
+        // engine -> (parent) sp_sim -> sp_stats::rng.
+        let chain = ws.import_chain("sp_sim::engine", "sp_stats").unwrap();
+        assert_eq!(chain.first().map(String::as_str), Some("sp_sim::engine"));
+        assert!(chain.last().unwrap().starts_with("sp_stats"));
+        // Unreachable goal.
+        assert!(ws.import_chain("sp_stats", "sp_model").is_none());
+    }
+}

@@ -1,4 +1,6 @@
-//! The six rules of the static determinism-and-safety contract.
+//! The token-pattern rules of the static determinism-and-safety
+//! contract (the workspace-graph rules L1/P1/R1 live in
+//! [`crate::rules_ws`]).
 //!
 //! | Rule | Class        | What it catches                                             |
 //! |------|--------------|-------------------------------------------------------------|
@@ -22,7 +24,8 @@
 
 use crate::config::LintConfig;
 use crate::diag::{Finding, Severity};
-use crate::lexer::{tokenize, Tok, TokKind};
+use crate::lexer::{Tok, TokKind};
+use crate::resolve::{AnalyzedFile, SourceUnit};
 
 /// Where a file sits in the workspace; drives which rules apply.
 #[derive(Debug, Clone, Default)]
@@ -39,132 +42,34 @@ pub struct FileContext {
     pub is_lib_root: bool,
 }
 
-/// Lints one source file. Returns raw findings (allowlist filtering
-/// happens in [`crate::lint_workspace`] so per-file callers — the
-/// fixture tests — see everything).
+/// Lints one source file through the full pipeline (token rules plus
+/// the workspace-graph rules on a single-file workspace). Returns raw
+/// findings; the `[[allow]]` baseline only applies through
+/// [`crate::lint_sources`], so per-file callers — the fixture tests —
+/// see everything when run against the default (baseline-free)
+/// configuration.
 pub fn lint_source(src: &str, ctx: &FileContext, cfg: &LintConfig) -> Vec<Finding> {
-    let toks = tokenize(src);
-    let tests = TestRegions::compute(&toks);
-    // Indices of non-comment tokens, for code-pattern matching.
-    let code: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
-    let mut out = Vec::new();
-
-    rule_d1(&toks, &code, &tests, ctx, cfg, &mut out);
-    rule_d2(&toks, &code, ctx, cfg, &mut out);
-    rule_d3(&toks, &code, ctx, cfg, &mut out);
-    rule_s1(&toks, &code, ctx, cfg, &mut out);
-    rule_s2(&toks, &code, &tests, ctx, cfg, &mut out);
-    rule_f1(&toks, &code, &tests, ctx, cfg, &mut out);
-    rule_f2(&toks, &code, ctx, cfg, &mut out);
-    rule_f3(&toks, &code, ctx, cfg, &mut out);
-
-    out.sort_by_key(|f| (f.line, f.rule));
+    let unit = SourceUnit {
+        ctx: ctx.clone(),
+        src: src.to_string(),
+    };
+    let mut report = crate::lint_sources(vec![unit], cfg);
+    let mut out = report.findings;
+    out.append(&mut report.suppressed);
+    out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
     out
 }
 
-/// Token-index ranges covered by `#[cfg(test)]` / `#[test]` items.
-struct TestRegions {
-    /// Sorted, non-overlapping (start, end) token-index ranges.
-    ranges: Vec<(usize, usize)>,
-}
-
-impl TestRegions {
-    fn compute(toks: &[Tok]) -> TestRegions {
-        let mut ranges: Vec<(usize, usize)> = Vec::new();
-        let mut open: Vec<(usize, usize)> = Vec::new(); // (start idx, depth)
-        let mut depth = 0usize;
-        let mut pending_test_attr = false;
-        let mut i = 0;
-        while i < toks.len() {
-            let t = &toks[i];
-            if t.is_comment() {
-                i += 1;
-                continue;
-            }
-            if t.is_punct('#') {
-                // `#[…]` outer attribute (`#![…]` inner attributes are
-                // skipped: they never mark a following item as test).
-                let mut j = i + 1;
-                while j < toks.len() && toks[j].is_comment() {
-                    j += 1;
-                }
-                if j < toks.len() && toks[j].is_punct('[') {
-                    let (end, is_test) = scan_attribute(toks, j);
-                    if is_test {
-                        pending_test_attr = true;
-                    }
-                    i = end;
-                    continue;
-                }
-            }
-            match t.kind {
-                TokKind::Punct(';') if open.is_empty() => {
-                    // `#[cfg(test)] use …;` — attribute without a body.
-                    pending_test_attr = false;
-                }
-                TokKind::Punct('{') => {
-                    if pending_test_attr {
-                        open.push((i, depth));
-                        pending_test_attr = false;
-                    }
-                    depth += 1;
-                }
-                TokKind::Punct('}') => {
-                    depth = depth.saturating_sub(1);
-                    if let Some(&(start, d)) = open.last() {
-                        if d == depth {
-                            open.pop();
-                            ranges.push((start, i));
-                        }
-                    }
-                }
-                _ => {}
-            }
-            i += 1;
-        }
-        // An unterminated region (malformed input) extends to EOF.
-        for (start, _) in open {
-            ranges.push((start, toks.len()));
-        }
-        ranges.sort_unstable();
-        TestRegions { ranges }
-    }
-
-    fn contains(&self, tok_idx: usize) -> bool {
-        self.ranges
-            .iter()
-            .any(|&(s, e)| tok_idx >= s && tok_idx <= e)
-    }
-}
-
-/// Scans an attribute starting at the `[` token; returns the token
-/// index just past the closing `]` and whether the attribute marks
-/// test-only code (`#[test]`, `#[cfg(test)]`, `#[cfg(all(test, …))]`
-/// — but not `#[cfg(not(test))]`).
-fn scan_attribute(toks: &[Tok], open_bracket: usize) -> (usize, bool) {
-    let mut depth = 0usize;
-    let mut idents: Vec<&str> = Vec::new();
-    let mut i = open_bracket;
-    while i < toks.len() {
-        let t = &toks[i];
-        if t.is_punct('[') {
-            depth += 1;
-        } else if t.is_punct(']') {
-            depth -= 1;
-            if depth == 0 {
-                i += 1;
-                break;
-            }
-        } else if t.kind == TokKind::Ident {
-            idents.push(&t.text);
-        }
-        i += 1;
-    }
-    let has_test = idents.contains(&"test");
-    let negated = idents.contains(&"not");
-    let is_cfg = idents.first().map(|s| *s == "cfg").unwrap_or(false);
-    let is_bare_test = idents.len() == 1 && idents[0] == "test";
-    (i, has_test && !negated && (is_cfg || is_bare_test))
+/// Runs the token-pattern rules (D1–F3) over one analyzed file.
+pub fn lint_tokens(af: &AnalyzedFile, cfg: &LintConfig, out: &mut Vec<Finding>) {
+    rule_d1(af, cfg, out);
+    rule_d2(af, cfg, out);
+    rule_d3(af, cfg, out);
+    rule_s1(af, cfg, out);
+    rule_s2(af, cfg, out);
+    rule_f1(af, cfg, out);
+    rule_f2(af, cfg, out);
+    rule_f3(af, cfg, out);
 }
 
 /// Looks up the `n`-th code token after position `k` in the `code`
@@ -173,23 +78,32 @@ fn code_tok<'a>(toks: &'a [Tok], code: &[usize], k: usize, n: usize) -> Option<&
     code.get(k + n).map(|&i| &toks[i])
 }
 
+#[allow(clippy::too_many_arguments)]
 fn push(
     out: &mut Vec<Finding>,
     rule: &'static str,
     severity: Severity,
-    ctx: &FileContext,
-    line: u32,
+    af: &AnalyzedFile,
+    tok_idx: usize,
     message: String,
     hint: &'static str,
 ) {
     if severity == Severity::Allow {
         return;
     }
+    let (line, col) = af
+        .toks
+        .get(tok_idx)
+        .map(|t| (t.line, t.col))
+        .unwrap_or((1, 1));
     out.push(Finding {
         rule,
         severity,
-        path: ctx.path.clone(),
+        path: af.ctx.path.clone(),
         line,
+        col,
+        module_path: af.module_of(tok_idx),
+        import_chain: Vec::new(),
         message,
         hint,
     });
@@ -201,15 +115,8 @@ fn push(
 /// metrics breaks bitwise reproducibility. The rule bans the types
 /// outright — including in `#[cfg(test)]` code, where order-dependent
 /// assertions become flaky — and the popular third-party spellings.
-fn rule_d1(
-    toks: &[Tok],
-    code: &[usize],
-    _tests: &TestRegions,
-    ctx: &FileContext,
-    cfg: &LintConfig,
-    out: &mut Vec<Finding>,
-) {
-    if !cfg.is_deterministic(&ctx.crate_name) {
+fn rule_d1(af: &AnalyzedFile, cfg: &LintConfig, out: &mut Vec<Finding>) {
+    if !cfg.is_deterministic(&af.ctx.crate_name) {
         return;
     }
     let severity = cfg.severity_of("D1");
@@ -221,22 +128,21 @@ fn rule_d1(
         "FxHashMap",
         "FxHashSet",
     ];
-    for (k, &i) in code.iter().enumerate() {
-        let t = &toks[i];
+    for &i in &af.code {
+        let t = &af.toks[i];
         if t.kind == TokKind::Ident && BANNED.contains(&t.text.as_str()) {
             // `HashMap::with_hasher` with an explicit deterministic
             // hasher would be legal, but no call site needs it; keep
             // the rule simple and absolute.
-            let _ = k;
             push(
                 out,
                 "D1",
                 severity,
-                ctx,
-                t.line,
+                af,
+                i,
                 format!(
                     "default-hashed `{}` in deterministic crate `{}`",
-                    t.text, ctx.crate_name
+                    t.text, af.ctx.crate_name
                 ),
                 "use BTreeMap/BTreeSet (or a sorted drain / a fixed-hash set like sp_graph::PairSet)",
             );
@@ -248,16 +154,11 @@ fn rule_d1(
 /// `SystemTime`, and `env::var` make output depend on when/where the
 /// process runs; they are only legal in the allowlisted observability
 /// set (`sp_sim::metrics`, bench binaries, the CLI).
-fn rule_d2(
-    toks: &[Tok],
-    code: &[usize],
-    ctx: &FileContext,
-    cfg: &LintConfig,
-    out: &mut Vec<Finding>,
-) {
-    if cfg.d2_allowed(&ctx.path) {
+fn rule_d2(af: &AnalyzedFile, cfg: &LintConfig, out: &mut Vec<Finding>) {
+    if cfg.d2_allowed(&af.ctx.path, &af.module_path) {
         return;
     }
+    let (toks, code) = (&af.toks, &af.code);
     let severity = cfg.severity_of("D2");
     for (k, &i) in code.iter().enumerate() {
         let t = &toks[i];
@@ -302,8 +203,8 @@ fn rule_d2(
                 out,
                 "D2",
                 severity,
-                ctx,
-                t.line,
+                af,
+                i,
                 format!(
                     "wall-clock/environment read (`{}`) outside the observability allowlist",
                     t.text
@@ -317,16 +218,10 @@ fn rule_d2(
 /// D3 — unseeded randomness, anywhere (tests included): `thread_rng`,
 /// `from_entropy`, and `OsRng` all pull operating-system entropy, so
 /// no run that touches them can ever be replayed.
-fn rule_d3(
-    toks: &[Tok],
-    code: &[usize],
-    ctx: &FileContext,
-    cfg: &LintConfig,
-    out: &mut Vec<Finding>,
-) {
+fn rule_d3(af: &AnalyzedFile, cfg: &LintConfig, out: &mut Vec<Finding>) {
     let severity = cfg.severity_of("D3");
-    for &i in code {
-        let t = &toks[i];
+    for &i in &af.code {
+        let t = &af.toks[i];
         if t.kind == TokKind::Ident
             && matches!(t.text.as_str(), "thread_rng" | "from_entropy" | "OsRng")
         {
@@ -334,8 +229,8 @@ fn rule_d3(
                 out,
                 "D3",
                 severity,
-                ctx,
-                t.line,
+                af,
+                i,
                 format!("unseeded RNG (`{}`)", t.text),
                 "derive every stream from the run seed (SpRng::seed_from_u64 + named substreams)",
             );
@@ -348,13 +243,8 @@ fn rule_d3(
 /// comment block directly above (multi-line SAFETY paragraphs count).
 /// Deterministic crate roots must additionally carry
 /// `#![forbid(unsafe_code)]` so the audit cannot rot.
-fn rule_s1(
-    toks: &[Tok],
-    code: &[usize],
-    ctx: &FileContext,
-    cfg: &LintConfig,
-    out: &mut Vec<Finding>,
-) {
+fn rule_s1(af: &AnalyzedFile, cfg: &LintConfig, out: &mut Vec<Finding>) {
+    let (toks, code) = (&af.toks, &af.code);
     let severity = cfg.severity_of("S1");
     // Per-line comment facts. A block comment spanning lines marks
     // every line it covers.
@@ -390,14 +280,14 @@ fn rule_s1(
                 out,
                 "S1",
                 severity,
-                ctx,
-                t.line,
+                af,
+                i,
                 "`unsafe` without a `// SAFETY:` comment".to_string(),
                 "document the invariant that makes this sound in a `// SAFETY:` comment directly above",
             );
         }
     }
-    if ctx.is_lib_root && cfg.is_deterministic(&ctx.crate_name) {
+    if af.ctx.is_lib_root && cfg.is_deterministic(&af.ctx.crate_name) {
         // `forbid ( unsafe_code` as consecutive code tokens.
         let has_forbid = (0..code.len()).any(|k| {
             toks[code[k]].is_ident("forbid")
@@ -413,11 +303,11 @@ fn rule_s1(
                 out,
                 "S1",
                 severity,
-                ctx,
-                1,
+                af,
+                0,
                 format!(
                     "deterministic crate `{}` is missing `#![forbid(unsafe_code)]` in its crate root",
-                    ctx.crate_name
+                    af.ctx.crate_name
                 ),
                 "add `#![forbid(unsafe_code)]` to src/lib.rs",
             );
@@ -430,20 +320,14 @@ fn rule_s1(
 /// gets a separately configurable (default: warn) severity, because
 /// converting hot-loop invariant checks to `Result` plumbing has a
 /// measured throughput cost (see DESIGN.md §13).
-fn rule_s2(
-    toks: &[Tok],
-    code: &[usize],
-    tests: &TestRegions,
-    ctx: &FileContext,
-    cfg: &LintConfig,
-    out: &mut Vec<Finding>,
-) {
-    if ctx.is_test_file || !cfg.checks_unwrap(&ctx.crate_name) {
+fn rule_s2(af: &AnalyzedFile, cfg: &LintConfig, out: &mut Vec<Finding>) {
+    if af.ctx.is_test_file || !cfg.checks_unwrap(&af.ctx.crate_name) {
         return;
     }
+    let (toks, code) = (&af.toks, &af.code);
     for (k, &i) in code.iter().enumerate() {
         let t = &toks[i];
-        if t.kind != TokKind::Ident || tests.contains(i) {
+        if t.kind != TokKind::Ident || af.tests.contains(i) {
             continue;
         }
         let preceded_by_dot = k > 0 && toks[code[k - 1]].is_punct('.');
@@ -463,8 +347,8 @@ fn rule_s2(
                     out,
                     "S2",
                     cfg.severity_of("S2"),
-                    ctx,
-                    t.line,
+                    af,
+                    i,
                     "`.unwrap()` in library code outside #[cfg(test)]".to_string(),
                     "propagate with `?` (CliError in the CLI), or use expect(\"documented invariant\")",
                 );
@@ -478,8 +362,8 @@ fn rule_s2(
                     out,
                     "S2",
                     cfg.s2_expect,
-                    ctx,
-                    t.line,
+                    af,
+                    i,
                     "`.expect()` in library code outside #[cfg(test)]".to_string(),
                     "prefer Result propagation where the caller can recover; keep expect only for documented invariants",
                 );
@@ -494,17 +378,11 @@ fn rule_s2(
 /// run-dependent results. The rule flags a float `sum`/`product`
 /// turbofish in any statement that also mentions a rayon-style
 /// parallel-iterator constructor.
-fn rule_f1(
-    toks: &[Tok],
-    code: &[usize],
-    _tests: &TestRegions,
-    ctx: &FileContext,
-    cfg: &LintConfig,
-    out: &mut Vec<Finding>,
-) {
-    if !cfg.is_deterministic(&ctx.crate_name) {
+fn rule_f1(af: &AnalyzedFile, cfg: &LintConfig, out: &mut Vec<Finding>) {
+    if !cfg.is_deterministic(&af.ctx.crate_name) {
         return;
     }
+    let (toks, code) = (&af.toks, &af.code);
     let severity = cfg.severity_of("F1");
     for (k, &i) in code.iter().enumerate() {
         let t = &toks[i];
@@ -553,8 +431,8 @@ fn rule_f1(
                 out,
                 "F1",
                 severity,
-                ctx,
-                t.line,
+                af,
+                i,
                 format!(
                     "non-deterministic float `.{}::<…>()` over a parallel iterator",
                     t.text
@@ -575,19 +453,13 @@ fn rule_f1(
 /// included, since a lock in a test of a lock-free module is a design
 /// smell, not a convenience. Bounded `mpsc` channels stay legal: they
 /// are the sanctioned barrier transport.
-fn rule_f2(
-    toks: &[Tok],
-    code: &[usize],
-    ctx: &FileContext,
-    cfg: &LintConfig,
-    out: &mut Vec<Finding>,
-) {
-    if !cfg.f2_hot(&ctx.path) {
+fn rule_f2(af: &AnalyzedFile, cfg: &LintConfig, out: &mut Vec<Finding>) {
+    if !cfg.f2_hot(&af.ctx.path) {
         return;
     }
     let severity = cfg.severity_of("F2");
-    for &i in code {
-        let t = &toks[i];
+    for &i in &af.code {
+        let t = &af.toks[i];
         if t.kind != TokKind::Ident {
             continue;
         }
@@ -600,8 +472,8 @@ fn rule_f2(
                 out,
                 "F2",
                 severity,
-                ctx,
-                t.line,
+                af,
+                i,
                 format!(
                     "shared-state primitive `{}` in shared-nothing hot path",
                     t.text
@@ -623,16 +495,11 @@ fn rule_f2(
 /// through every surviving reactor, turning one diagnosable failure
 /// into a pile of "channel closed" backtraces. Tests included, same
 /// rationale as F2.
-fn rule_f3(
-    toks: &[Tok],
-    code: &[usize],
-    ctx: &FileContext,
-    cfg: &LintConfig,
-    out: &mut Vec<Finding>,
-) {
-    if !cfg.f3_hot(&ctx.path) {
+fn rule_f3(af: &AnalyzedFile, cfg: &LintConfig, out: &mut Vec<Finding>) {
+    if !cfg.f3_hot(&af.ctx.path) {
         return;
     }
+    let (toks, code) = (&af.toks, &af.code);
     let severity = cfg.severity_of("F3");
     for (k, &i) in code.iter().enumerate() {
         let t = &toks[i];
@@ -682,8 +549,8 @@ fn rule_f3(
                 out,
                 "F3",
                 severity,
-                ctx,
-                t.line,
+                af,
+                i,
                 format!(
                     "unsupervised `.{}(…).{}(…)` on an inter-shard channel",
                     t.text, method
@@ -741,7 +608,7 @@ mod tests {
         let src = "fn f() { let t = Instant::now(); let v = std::env::var(\"X\"); }";
         let f = run(src, &ctx_det());
         assert_eq!(f.iter().filter(|f| f.rule == "D2").count(), 2);
-        // Allowlisted path: clean.
+        // Allowlisted module (sp_sim::metrics): clean.
         let ctx = FileContext {
             path: "crates/sim/src/metrics.rs".into(),
             crate_name: "sim".into(),
@@ -765,6 +632,15 @@ mod tests {
         let f = run(src, &ctx_det());
         assert_eq!(f.iter().filter(|f| f.rule == "D3").count(), 1);
         assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn findings_carry_col_and_module_path() {
+        let src = "#[cfg(test)]\nmod tests {\n fn f() { let r = thread_rng(); }\n}";
+        let f = run(src, &ctx_det());
+        let d3 = f.iter().find(|f| f.rule == "D3").unwrap();
+        assert_eq!(d3.col, 19, "column of the thread_rng token");
+        assert_eq!(d3.module_path, "sp_sim::x::tests");
     }
 
     #[test]

@@ -1,0 +1,649 @@
+//! The workspace-graph rule families — the rules that need to know
+//! what module a token lives in and what that module imports
+//! ([`crate::resolve::Workspace`]):
+//!
+//! | Rule | Class        | What it catches                                              |
+//! |------|--------------|--------------------------------------------------------------|
+//! | L1   | layering     | cross-crate `use` not declared in the `[layering]` DAG;      |
+//! |      |              | back-edges are reported with the full import cycle           |
+//! | P1   | purity       | `std::net` / `std::fs` / `std::process` /                    |
+//! |      |              | `std::io::std{in,out,err}` / print macros in pure-core       |
+//! |      |              | modules                                                      |
+//! | R1   | rng-lineage  | RNG roots (`SpRng::seed_from_u64` / `from_state`) outside    |
+//! |      |              | the declared seed-root modules; foreign RNG types            |
+//! |      |              | constructed at all; RNG values in inter-shard channel types  |
+//!
+//! Findings carry `module_path` and, where a chain explains the
+//! violation (L1 cycles, R1 seed lineage), `import_chain`.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use crate::config::LintConfig;
+use crate::diag::{Finding, Severity};
+use crate::lexer::TokKind;
+use crate::resolve::{crate_ident, ident_crate, AnalyzedFile, Workspace};
+
+/// Runs L1/P1/R1 over the whole workspace.
+pub fn lint_graph(ws: &Workspace, cfg: &LintConfig, out: &mut Vec<Finding>) {
+    for af in &ws.files {
+        rule_l1(af, cfg, out);
+        rule_p1(af, cfg, out);
+        rule_r1(af, ws, cfg, out);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push(
+    out: &mut Vec<Finding>,
+    rule: &'static str,
+    severity: Severity,
+    af: &AnalyzedFile,
+    tok_idx: usize,
+    import_chain: Vec<String>,
+    message: String,
+    hint: &'static str,
+) {
+    if severity == Severity::Allow {
+        return;
+    }
+    let (line, col) = af
+        .toks
+        .get(tok_idx)
+        .map(|t| (t.line, t.col))
+        .unwrap_or((1, 1));
+    out.push(Finding {
+        rule,
+        severity,
+        path: af.ctx.path.clone(),
+        line,
+        col,
+        module_path: af.module_of(tok_idx),
+        import_chain,
+        message,
+        hint,
+    });
+}
+
+/// BFS through the *declared* layering DAG from crate `from` to crate
+/// `to`; returns the label path (inclusive) when one exists. Used to
+/// render the full cycle a back-edge would create.
+fn layer_path<'a>(cfg: &'a LintConfig, from: &'a str, to: &str) -> Option<Vec<&'a str>> {
+    let mut prev: Vec<(&str, &str)> = Vec::new();
+    let mut queue: VecDeque<&str> = VecDeque::new();
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    queue.push_back(from);
+    seen.insert(from);
+    while let Some(cur) = queue.pop_front() {
+        if cur == to {
+            let mut path = vec![cur];
+            let mut at = cur;
+            while let Some(&(_, p)) = prev.iter().find(|&&(n, _)| n == at) {
+                path.push(p);
+                at = p;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        let Some(deps) = cfg.layering_deps(cur) else {
+            continue;
+        };
+        for d in deps {
+            if seen.insert(d.as_str()) {
+                prev.push((d.as_str(), cur));
+                queue.push_back(d.as_str());
+            }
+        }
+    }
+    None
+}
+
+/// L1 — crate layering. Every cross-crate reference (`sp_X::…`, in a
+/// `use` or an inline qualified path) must follow a declared edge of
+/// the `[layering]` DAG. A reference *against* the declared direction
+/// is reported with the full cycle it would create; a reference to a
+/// crate missing from the table is an undeclared dependency.
+fn rule_l1(af: &AnalyzedFile, cfg: &LintConfig, out: &mut Vec<Finding>) {
+    let severity = cfg.severity_of("L1");
+    let own = af.ctx.crate_name.as_str();
+    let own_deps = cfg.layering_deps(own);
+    if own_deps.is_none() {
+        push(
+            out,
+            "L1",
+            severity,
+            af,
+            0,
+            Vec::new(),
+            format!("crate `{own}` is not declared in the [layering] table"),
+            "add the crate and its allowed dependencies to [layering] in lint.toml (see README \"Declaring a new crate\")",
+        );
+        return;
+    }
+    let own_deps = own_deps.expect("checked above");
+    let (toks, code) = (&af.toks, &af.code);
+    let mut reported: BTreeSet<String> = BTreeSet::new();
+    for (k, &i) in code.iter().enumerate() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || !t.text.starts_with("sp_") {
+            continue;
+        }
+        // Only path usage (`sp_x::…`) counts: plain identifiers that
+        // happen to start with sp_ (metric names, locals) do not.
+        let is_path = code
+            .get(k + 1)
+            .map(|&j| toks[j].is_punct(':'))
+            .unwrap_or(false)
+            && code
+                .get(k + 2)
+                .map(|&j| toks[j].is_punct(':'))
+                .unwrap_or(false);
+        if !is_path {
+            continue;
+        }
+        let Some(label) = ident_crate(&t.text) else {
+            continue;
+        };
+        // Crate dirs may use dashes where idents use underscores; try
+        // the ident form first and fall back to the dashed label.
+        let target_label = if cfg.layering_deps(label).is_some() {
+            label.to_string()
+        } else {
+            label.replace('_', "-")
+        };
+        if target_label == own || !reported.insert(target_label.clone()) {
+            continue;
+        }
+        if cfg.layering_deps(&target_label).is_none() {
+            push(
+                out,
+                "L1",
+                severity,
+                af,
+                i,
+                Vec::new(),
+                format!(
+                    "cross-crate use of `{}`: crate `{target_label}` is not declared in the [layering] table",
+                    t.text
+                ),
+                "add the crate and its allowed dependencies to [layering] in lint.toml (see README \"Declaring a new crate\")",
+            );
+            continue;
+        }
+        if own_deps.iter().any(|d| d == &target_label) {
+            continue;
+        }
+        // Violation. If the declared DAG reaches back from the target
+        // to this crate, the reference would close a cycle — render
+        // the full path.
+        let chain: Vec<String> = match layer_path(cfg, &target_label, own) {
+            Some(path) => {
+                let mut c = vec![crate_ident(own)];
+                c.extend(path.iter().map(|l| crate_ident(l)));
+                c
+            }
+            None => vec![crate_ident(own), crate_ident(&target_label)],
+        };
+        let declared = if own_deps.is_empty() {
+            "nothing".to_string()
+        } else {
+            own_deps.join(", ")
+        };
+        let message = if chain.len() > 2 {
+            format!(
+                "layering back-edge: crate `{own}` may not import `{target_label}` \
+                 (declared deps: {declared}); this closes the cycle {}",
+                chain.join(" -> ")
+            )
+        } else {
+            format!(
+                "undeclared cross-crate dependency: `{own}` -> `{target_label}` \
+                 (declared deps: {declared})"
+            )
+        };
+        push(
+            out,
+            "L1",
+            severity,
+            af,
+            i,
+            chain,
+            message,
+            "layer the call the other way around, or declare the edge in [layering] if the DAG should grow",
+        );
+    }
+}
+
+const P1_STD_BANNED: [&str; 3] = ["net", "fs", "process"];
+const P1_STDIO: [&str; 6] = ["stdin", "stdout", "stderr", "Stdin", "Stdout", "Stderr"];
+const P1_MACROS: [&str; 5] = ["println", "eprintln", "print", "eprint", "dbg"];
+const P1_HINT: &str =
+    "pure-core modules must stay I/O-free (bitwise reproducibility and the coming `spnet serve` \
+     split depend on it); route I/O through the CLI/bench/metrics layers";
+
+/// P1 — I/O purity. The pure-core module set must not touch
+/// `std::net`, `std::fs`, `std::process`, the process-wide stdio
+/// handles, or the print macros. Test regions and test files are
+/// exempt (a unit test may print); the observability allowlist is a
+/// per-rule module scope, not a path list.
+fn rule_p1(af: &AnalyzedFile, cfg: &LintConfig, out: &mut Vec<Finding>) {
+    if af.ctx.is_test_file {
+        return;
+    }
+    let severity = cfg.severity_of("P1");
+    // Imports: flagged at the `use` line.
+    for u in &af.parsed.uses {
+        if u.in_test {
+            continue;
+        }
+        let decl_module = if u.in_mod.is_empty() {
+            af.module_path.clone()
+        } else {
+            format!("{}::{}", af.module_path, u.in_mod.join("::"))
+        };
+        if !cfg.p1_pure(&decl_module) {
+            continue;
+        }
+        let segs: Vec<&str> = u.path.iter().map(String::as_str).collect();
+        let banned = match segs.as_slice() {
+            ["std", second, ..] if P1_STD_BANNED.contains(second) => true,
+            ["std", "io", third, ..] if P1_STDIO.contains(third) => true,
+            _ => false,
+        };
+        if banned && severity != Severity::Allow {
+            out.push(Finding {
+                rule: "P1",
+                severity,
+                path: af.ctx.path.clone(),
+                line: u.line,
+                col: u.col,
+                module_path: decl_module,
+                import_chain: Vec::new(),
+                message: format!("I/O import `{}` in pure module", u.path.join("::")),
+                hint: P1_HINT,
+            });
+        }
+    }
+    // Inline qualified paths and macros.
+    let (toks, code) = (&af.toks, &af.code);
+    for (k, &i) in code.iter().enumerate() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || af.tests.contains(i) || af.parsed.in_use_decl(i) {
+            continue;
+        }
+        let module = af.module_of(i);
+        if !cfg.p1_pure(&module) {
+            continue;
+        }
+        let at = |n: usize| code.get(k + n).map(|&j| &toks[j]);
+        let colons = |n: usize| {
+            at(n).map(|t| t.is_punct(':')).unwrap_or(false)
+                && at(n + 1).map(|t| t.is_punct(':')).unwrap_or(false)
+        };
+        let prev_is = |c: char| k > 0 && toks[code[k - 1]].is_punct(c);
+        let what: Option<String> = match t.text.as_str() {
+            "std" if colons(1) => match at(3).map(|t| t.text.as_str()) {
+                Some(second) if P1_STD_BANNED.contains(&second) => Some(format!("std::{second}")),
+                Some("io") => {
+                    if colons(4) {
+                        match at(6).map(|t| t.text.as_str()) {
+                            Some(third) if P1_STDIO.contains(&third) => {
+                                Some(format!("std::io::{third}"))
+                            }
+                            _ => None,
+                        }
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            },
+            "io" if !prev_is(':') && colons(1) => match at(3).map(|t| t.text.as_str()) {
+                Some(third) if P1_STDIO.contains(&third) => Some(format!("io::{third}")),
+                _ => None,
+            },
+            "stdin" | "stdout" | "stderr"
+                if !prev_is(':')
+                    && !prev_is('.')
+                    && at(1).map(|t| t.is_punct('(')).unwrap_or(false) =>
+            {
+                Some(format!("{}()", t.text))
+            }
+            m if P1_MACROS.contains(&m)
+                && at(1).map(|t| t.is_punct('!')).unwrap_or(false)
+                && !prev_is('.') =>
+            {
+                Some(format!("{m}!"))
+            }
+            _ => None,
+        };
+        if let Some(what) = what {
+            out_push_p1(
+                out,
+                severity,
+                af,
+                i,
+                module,
+                format!("I/O in pure module (`{what}`)"),
+            );
+        }
+    }
+}
+
+fn out_push_p1(
+    out: &mut Vec<Finding>,
+    severity: Severity,
+    af: &AnalyzedFile,
+    tok_idx: usize,
+    module: String,
+    message: String,
+) {
+    if severity == Severity::Allow {
+        return;
+    }
+    let (line, col) = af
+        .toks
+        .get(tok_idx)
+        .map(|t| (t.line, t.col))
+        .unwrap_or((1, 1));
+    out.push(Finding {
+        rule: "P1",
+        severity,
+        path: af.ctx.path.clone(),
+        line,
+        col,
+        module_path: module,
+        import_chain: Vec::new(),
+        message,
+        hint: P1_HINT,
+    });
+}
+
+const R1_HINT: &str = "derive every stream from the run seed: SpRng::seed_from_u64 at a declared \
+                       seed root, .split(stream) everywhere below it (DESIGN.md §13)";
+
+/// R1 — RNG lineage. Three checks:
+///
+/// * **R1a** — a foreign RNG type (`SmallRng`, `StdRng`, …) is
+///   constructed at all: the workspace's only sanctioned generator is
+///   `SpRng`, whose streams form an auditable tree under the run seed.
+/// * **R1b** — `SpRng::seed_from_u64` / `SpRng::from_state` (alias-
+///   aware) outside the declared seed-root modules: a mid-graph module
+///   minting a fresh root breaks the lineage tree — it must take a
+///   stream from its caller (`.split`) instead. The finding's
+///   `import_chain` shows how the module reaches the `sp_stats` seed
+///   API, i.e. the path a derived stream would travel.
+/// * **R1c** — an inter-shard channel type (`Sender`/`SyncSender`/
+///   `Receiver`) whose payload mentions an RNG type, in the shard
+///   modules: RNG state crossing a shard boundary makes stream
+///   identity depend on shard count.
+fn rule_r1(af: &AnalyzedFile, ws: &Workspace, cfg: &LintConfig, out: &mut Vec<Finding>) {
+    let severity = cfg.severity_of("R1");
+    // Local aliases of SpRng (`use sp_stats::SpRng as Rng;`).
+    let mut sprng_names: Vec<&str> = vec!["SpRng"];
+    for u in &af.parsed.uses {
+        if u.path.last().map(String::as_str) == Some("SpRng") {
+            if let Some(a) = &u.alias {
+                sprng_names.push(a.as_str());
+            }
+        }
+    }
+    let (toks, code) = (&af.toks, &af.code);
+    for (k, &i) in code.iter().enumerate() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let in_test = af.ctx.is_test_file || af.tests.contains(i);
+        let at = |n: usize| code.get(k + n).map(|&j| &toks[j]);
+        let colons = at(1).map(|t| t.is_punct(':')).unwrap_or(false)
+            && at(2).map(|t| t.is_punct(':')).unwrap_or(false);
+
+        // R1a: foreign RNG construction (`SmallRng::from_entropy()`,
+        // `StdRng::seed_from_u64(…)` — any associated call).
+        if !in_test
+            && cfg.r1_rng_types.iter().any(|n| n == &t.text)
+            && colons
+            && at(3).map(|t| t.kind == TokKind::Ident).unwrap_or(false)
+            && at(4).map(|t| t.is_punct('(')).unwrap_or(false)
+        {
+            let method = at(3).expect("matched above").text.clone();
+            push(
+                out,
+                "R1",
+                severity,
+                af,
+                i,
+                Vec::new(),
+                format!(
+                    "foreign RNG type constructed (`{}::{method}`); streams outside the SpRng \
+                     lineage tree cannot be replayed",
+                    t.text
+                ),
+                R1_HINT,
+            );
+            continue;
+        }
+
+        // R1b: SpRng root construction outside the seed roots.
+        if !in_test
+            && sprng_names.iter().any(|n| t.is_ident(n))
+            && colons
+            && at(3)
+                .map(|t| matches!(t.text.as_str(), "seed_from_u64" | "from_state"))
+                .unwrap_or(false)
+            && at(4).map(|t| t.is_punct('(')).unwrap_or(false)
+        {
+            let module = af.module_of(i);
+            if !cfg.r1_seed_root(&module) {
+                let method = at(3).expect("matched above").text.clone();
+                let fn_name = af
+                    .parsed
+                    .enclosing_fn(i)
+                    .map(|f| format!(" in fn `{}`", f.name))
+                    .unwrap_or_default();
+                let chain = ws.import_chain(&module, "sp_stats").unwrap_or_default();
+                let lineage = if chain.is_empty() {
+                    " (module has no import path to the sp_stats seed API)".to_string()
+                } else {
+                    String::new()
+                };
+                push(
+                    out,
+                    "R1",
+                    severity,
+                    af,
+                    i,
+                    chain,
+                    format!(
+                        "RNG root `SpRng::{method}`{fn_name} outside the declared seed-root \
+                         modules — module `{module}` must take a derived stream \
+                         (.split) from its caller{lineage}",
+                    ),
+                    R1_HINT,
+                );
+            }
+            continue;
+        }
+
+        // R1c: RNG state in an inter-shard channel type.
+        if matches!(t.text.as_str(), "Sender" | "SyncSender" | "Receiver")
+            && at(1).map(|t| t.is_punct('<')).unwrap_or(false)
+        {
+            let module = af.module_of(i);
+            if !cfg.r1_shard(&module) {
+                continue;
+            }
+            // Scan the balanced generic argument list (bounded).
+            let mut depth = 0usize;
+            let mut carried: Option<String> = None;
+            for n in 1..64 {
+                let Some(tn) = at(n) else { break };
+                if tn.is_punct('<') {
+                    depth += 1;
+                } else if tn.is_punct('>') {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        break;
+                    }
+                } else if tn.kind == TokKind::Ident
+                    && (sprng_names.iter().any(|s| tn.is_ident(s))
+                        || cfg.r1_rng_types.iter().any(|n2| n2 == &tn.text))
+                {
+                    carried = Some(tn.text.clone());
+                }
+            }
+            if let Some(carried) = carried {
+                push(
+                    out,
+                    "R1",
+                    severity,
+                    af,
+                    i,
+                    Vec::new(),
+                    format!(
+                        "RNG state (`{carried}`) in inter-shard channel type `{}<…>` — stream \
+                         identity must not depend on shard count",
+                        t.text
+                    ),
+                    "split a per-shard stream from the shard's own seed instead of shipping RNG state across the barrier",
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resolve::{analyze_unit, SourceUnit};
+    use crate::rules::FileContext;
+
+    fn unit(path: &str, crate_name: &str, src: &str) -> SourceUnit {
+        SourceUnit {
+            ctx: FileContext {
+                path: path.into(),
+                crate_name: crate_name.into(),
+                is_test_file: false,
+                is_lib_root: false,
+            },
+            src: src.into(),
+        }
+    }
+
+    fn run_ws(units: Vec<SourceUnit>) -> Vec<Finding> {
+        let ws = Workspace::build(units.iter().map(analyze_unit).collect());
+        let mut out = Vec::new();
+        lint_graph(&ws, &LintConfig::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn l1_back_edge_reports_full_cycle() {
+        let f = run_ws(vec![unit(
+            "crates/graph/src/l1.rs",
+            "graph",
+            "use sp_sim::engine::Simulation;\n",
+        )]);
+        let l1 = f.iter().find(|f| f.rule == "L1").expect("back-edge found");
+        assert_eq!(l1.import_chain, ["sp_graph", "sp_sim", "sp_graph"]);
+        assert!(
+            l1.message.contains("sp_graph -> sp_sim -> sp_graph"),
+            "{}",
+            l1.message
+        );
+        assert_eq!(l1.line, 1);
+    }
+
+    #[test]
+    fn l1_declared_edges_and_self_references_are_clean() {
+        let f = run_ws(vec![unit(
+            "crates/sim/src/x.rs",
+            "sim",
+            "use sp_model::faults::FaultPlan;\nuse sp_stats::SpRng;\nfn f() { let sp_load = 1; let _ = sp_load; }\n",
+        )]);
+        assert!(f.iter().all(|f| f.rule != "L1"), "{f:?}");
+    }
+
+    #[test]
+    fn l1_unknown_crate_is_undeclared() {
+        let f = run_ws(vec![unit(
+            "crates/sim/src/x.rs",
+            "sim",
+            "use sp_quux::Widget;\n",
+        )]);
+        let l1 = f.iter().find(|f| f.rule == "L1").expect("undeclared found");
+        assert!(l1.message.contains("not declared"), "{}", l1.message);
+    }
+
+    #[test]
+    fn p1_flags_io_in_pure_modules_only() {
+        let bad = "use std::fs;\nfn f() { println!(\"x\"); }\n";
+        let f = run_ws(vec![unit("crates/model/src/p.rs", "model", bad)]);
+        assert_eq!(f.iter().filter(|f| f.rule == "P1").count(), 2);
+        // Same source in the CLI: clean (not a pure module).
+        let f = run_ws(vec![unit("crates/cli/src/p.rs", "cli", bad)]);
+        assert!(f.iter().all(|f| f.rule != "P1"));
+        // Test regions are exempt.
+        let test_only =
+            "#[cfg(test)]\nmod tests {\n use std::fs;\n fn f() { println!(\"x\"); }\n}\n";
+        let f = run_ws(vec![unit("crates/model/src/p.rs", "model", test_only)]);
+        assert!(f.iter().all(|f| f.rule != "P1"), "{f:?}");
+    }
+
+    #[test]
+    fn p1_does_not_double_count_imports() {
+        let f = run_ws(vec![unit(
+            "crates/model/src/p.rs",
+            "model",
+            "use std::fs;\n",
+        )]);
+        assert_eq!(f.iter().filter(|f| f.rule == "P1").count(), 1);
+    }
+
+    #[test]
+    fn r1_flags_roots_outside_seed_roots_with_lineage_chain() {
+        let f = run_ws(vec![unit(
+            "crates/sim/src/shard/r.rs",
+            "sim",
+            "use sp_stats::SpRng;\nfn mk(h: u64) -> SpRng { SpRng::seed_from_u64(h) }\n",
+        )]);
+        let r1 = f.iter().find(|f| f.rule == "R1").expect("root flagged");
+        assert!(r1.message.contains("fn `mk`"), "{}", r1.message);
+        assert_eq!(
+            r1.import_chain.first().map(String::as_str),
+            Some("sp_sim::shard::r")
+        );
+        assert!(r1.import_chain.last().unwrap().starts_with("sp_stats"));
+    }
+
+    #[test]
+    fn r1_seed_roots_and_split_are_clean() {
+        // engine is a declared seed root; .split is always legal.
+        let f = run_ws(vec![unit(
+            "crates/sim/src/engine.rs",
+            "sim",
+            "use sp_stats::SpRng;\nfn mk(seed: u64) -> SpRng { SpRng::seed_from_u64(seed) }\n\
+             fn sub(r: &mut SpRng) -> SpRng { r.split(7) }\n",
+        )]);
+        assert!(f.iter().all(|f| f.rule != "R1"), "{f:?}");
+    }
+
+    #[test]
+    fn r1_foreign_types_and_channel_payloads() {
+        let f = run_ws(vec![unit(
+            "crates/sim/src/shard/q.rs",
+            "sim",
+            "use sp_stats::SpRng;\n\
+             fn a() { let r = SmallRng::seed_from_u64(1); let _ = r; }\n\
+             struct Q { tx: SyncSender<(u64, SpRng)> }\n",
+        )]);
+        let r1: Vec<_> = f.iter().filter(|f| f.rule == "R1").collect();
+        assert_eq!(r1.len(), 2, "{r1:?}");
+        assert!(r1[0].message.contains("foreign RNG"), "{}", r1[0].message);
+        assert!(
+            r1[1].message.contains("inter-shard channel"),
+            "{}",
+            r1[1].message
+        );
+    }
+}

@@ -1,0 +1,190 @@
+//! SARIF 2.1.0 renderer, so CI can upload lint results to the GitHub
+//! code-scanning UI (`github/codeql-action/upload-sarif`). Emitted by
+//! hand like the JSON report — same offline-dependency policy.
+//!
+//! Shape: one run, `tool.driver.rules` carrying metadata for every
+//! rule id, one `result` per finding (deny → `error`, warn →
+//! `warning`), and suppressed findings included with an `external`
+//! suppression so the `[[allow]]` baseline stays visible in the UI.
+
+use crate::config::RULE_IDS;
+use crate::diag::{json_escape, Finding, Report, Severity};
+
+/// One-line description per rule id, for `tool.driver.rules`.
+fn rule_description(rule: &str) -> &'static str {
+    match rule {
+        "D1" => "Unordered hash containers (HashMap/HashSet) in deterministic crates",
+        "D2" => "Wall-clock / env reads outside the observability module scopes",
+        "D3" => "Unseeded RNG construction (thread_rng, from_entropy, OsRng)",
+        "S1" => "unsafe without a SAFETY comment; missing #![forbid(unsafe_code)] on lib roots",
+        "S2" => "unwrap()/expect() outside #[cfg(test)]",
+        "F1" => "Float .sum() over a parallel iterator (order-dependent reduction)",
+        "F2" => "Locks/atomics (Mutex, RwLock, Atomic*, Condvar) in shared-nothing hot paths",
+        "F3" => "Bare .unwrap()/.expect() on inter-shard channel operations",
+        "L1" => "Cross-crate use that violates the declared [layering] DAG",
+        "P1" => "I/O (std::net/fs/process, stdio, print macros) in pure-core modules",
+        "R1" => "RNG lineage breaks: foreign RNG types, roots outside seed-root modules, RNG state in inter-shard channels",
+        _ => "sp-lint rule",
+    }
+}
+
+fn level(severity: Severity) -> &'static str {
+    match severity {
+        Severity::Deny => "error",
+        Severity::Warn => "warning",
+        Severity::Allow => "note",
+    }
+}
+
+fn push_result(s: &mut String, f: &Finding, suppressed: Option<&str>, sep: &str) {
+    let mut text = f.message.clone();
+    if !f.import_chain.is_empty() {
+        text.push_str(&format!(" (chain: {})", f.import_chain.join(" -> ")));
+    }
+    text.push_str(&format!(" — fix: {}", f.hint));
+    s.push_str("        {\n");
+    s.push_str(&format!("          \"ruleId\": \"{}\",\n", f.rule));
+    s.push_str(&format!(
+        "          \"level\": \"{}\",\n",
+        level(f.severity)
+    ));
+    s.push_str(&format!(
+        "          \"message\": {{ \"text\": \"{}\" }},\n",
+        json_escape(&text)
+    ));
+    s.push_str("          \"locations\": [\n");
+    s.push_str("            {\n");
+    s.push_str("              \"physicalLocation\": {\n");
+    s.push_str(&format!(
+        "                \"artifactLocation\": {{ \"uri\": \"{}\" }},\n",
+        json_escape(&f.path)
+    ));
+    s.push_str(&format!(
+        "                \"region\": {{ \"startLine\": {}, \"startColumn\": {} }}\n",
+        f.line, f.col
+    ));
+    s.push_str("              }\n");
+    s.push_str("            }\n");
+    if let Some(justification) = suppressed {
+        s.push_str("          ],\n");
+        s.push_str(&format!(
+            "          \"suppressions\": [ {{ \"kind\": \"external\", \"justification\": \"{}\" }} ]\n",
+            json_escape(justification)
+        ));
+    } else {
+        s.push_str("          ]\n");
+    }
+    s.push_str(&format!("        }}{sep}\n"));
+}
+
+/// Renders the report as a SARIF 2.1.0 document. Findings keep the
+/// report's `(path, line, col, rule)` order, so the document is as
+/// byte-reproducible as the JSON artifact.
+pub fn render_sarif(report: &Report, cfg: &crate::config::LintConfig) -> String {
+    let mut s = String::with_capacity(8192);
+    s.push_str("{\n");
+    s.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    s.push_str("  \"version\": \"2.1.0\",\n");
+    s.push_str("  \"runs\": [\n");
+    s.push_str("    {\n");
+    s.push_str("      \"tool\": {\n");
+    s.push_str("        \"driver\": {\n");
+    s.push_str("          \"name\": \"sp-lint\",\n");
+    s.push_str("          \"informationUri\": \"https://example.invalid/sp-lint\",\n");
+    s.push_str("          \"rules\": [\n");
+    for (i, rule) in RULE_IDS.iter().enumerate() {
+        let sep = if i + 1 < RULE_IDS.len() { "," } else { "" };
+        s.push_str(&format!(
+            "            {{ \"id\": \"{rule}\", \"shortDescription\": {{ \"text\": \"{}\" }}, \"defaultConfiguration\": {{ \"level\": \"{}\" }} }}{sep}\n",
+            json_escape(rule_description(rule)),
+            level(cfg.severity_of(rule))
+        ));
+    }
+    s.push_str("          ]\n");
+    s.push_str("        }\n");
+    s.push_str("      },\n");
+    s.push_str("      \"results\": [\n");
+    let total = report.findings.len() + report.suppressed.len();
+    let mut emitted = 0usize;
+    for f in &report.findings {
+        emitted += 1;
+        let sep = if emitted < total { "," } else { "" };
+        push_result(&mut s, f, None, sep);
+    }
+    for f in &report.suppressed {
+        emitted += 1;
+        let sep = if emitted < total { "," } else { "" };
+        let justification = cfg
+            .allow_entry(f.rule, &f.path)
+            .map(|a| a.justification.as_str())
+            .unwrap_or("suppressed by lint.toml [[allow]]");
+        push_result(&mut s, f, Some(justification), sep);
+    }
+    s.push_str("      ]\n");
+    s.push_str("    }\n");
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LintConfig;
+    use crate::diag::Report;
+
+    fn finding(rule: &'static str, severity: Severity) -> Finding {
+        Finding {
+            rule,
+            severity,
+            path: "crates/sim/src/x.rs".into(),
+            line: 7,
+            col: 5,
+            module_path: "sp_sim::x".into(),
+            import_chain: vec!["sp_graph".into(), "sp_sim".into()],
+            message: "a \"quoted\" message".into(),
+            hint: "do the right thing",
+        }
+    }
+
+    #[test]
+    fn sarif_document_is_balanced_and_carries_rules() {
+        let cfg = LintConfig::default();
+        let r = Report {
+            findings: vec![finding("L1", Severity::Deny), finding("S2", Severity::Warn)],
+            suppressed: vec![],
+            files_scanned: 2,
+        };
+        let sarif = render_sarif(&r, &cfg);
+        assert_eq!(sarif.matches('{').count(), sarif.matches('}').count());
+        assert_eq!(sarif.matches('[').count(), sarif.matches(']').count());
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        for rule in RULE_IDS {
+            assert!(sarif.contains(&format!("\"id\": \"{rule}\"")), "{rule}");
+        }
+        assert!(sarif.contains("\"level\": \"error\""));
+        assert!(sarif.contains("\"level\": \"warning\""));
+        assert!(sarif.contains("\"startColumn\": 5"));
+        assert!(sarif.contains("chain: sp_graph -> sp_sim"));
+        assert!(!sarif.contains("\"suppressions\""));
+    }
+
+    #[test]
+    fn suppressed_findings_carry_external_suppressions() {
+        let mut cfg = LintConfig::default();
+        cfg.allow.push(crate::config::AllowEntry {
+            rule: "S2".into(),
+            path: "crates/sim/src/x.rs".into(),
+            justification: "documented invariant".into(),
+        });
+        let r = Report {
+            findings: vec![],
+            suppressed: vec![finding("S2", Severity::Deny)],
+            files_scanned: 1,
+        };
+        let sarif = render_sarif(&r, &cfg);
+        assert!(sarif.contains("\"kind\": \"external\""));
+        assert!(sarif.contains("documented invariant"));
+        assert_eq!(sarif.matches('{').count(), sarif.matches('}').count());
+    }
+}

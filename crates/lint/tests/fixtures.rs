@@ -3,11 +3,12 @@
 //! Each `fixtures/bad/<rule>.rs` file must be flagged by exactly the
 //! expected (rule, line) multiset, and each `fixtures/clean/<rule>.rs`
 //! — the compliant idiom for the same construct — must produce zero
-//! findings. Fixtures are linted under a synthetic deterministic-crate
-//! context (`crates/sim/src/<name>.rs`) with the built-in default
-//! policy, so the assertions pin rule behavior independent of the
-//! workspace baseline. The workspace walker skips `tests/fixtures/`,
-//! so the bad files never reach the real gate.
+//! findings. Fixtures are linted under a synthetic workspace context
+//! (most under `crates/sim/src/<name>.rs`; the graph rules pick the
+//! layer that makes the hazard real — see [`fixture_ctx`]) with the
+//! built-in default policy, so the assertions pin rule behavior
+//! independent of the workspace baseline. The workspace walker skips
+//! `tests/fixtures/`, so the bad files never reach the real gate.
 
 use std::path::PathBuf;
 
@@ -22,16 +23,43 @@ fn fixture(kind: &str, name: &str) -> String {
         .unwrap_or_else(|e| panic!("cannot read fixture {}: {e}", path.display()))
 }
 
-fn lint_fixture(kind: &str, name: &str) -> Vec<sp_lint::Finding> {
-    let src = fixture(kind, name);
-    let ctx = FileContext {
+/// Synthetic context per fixture. The graph-rule fixtures sit in the
+/// crate/module where the hazard is real: L1 in the graph layer (so
+/// reaching up into `sp_sim` is a back-edge), P1 in a pure-core
+/// module, R1 inside the inter-shard boundary scope.
+fn fixture_ctx(name: &str) -> FileContext {
+    let (path, crate_name) = match name {
+        "l1.rs" => ("crates/graph/src/l1.rs", "graph"),
+        "p1.rs" => ("crates/model/src/p1.rs", "model"),
+        "r1.rs" => ("crates/sim/src/shard/r1.rs", "sim"),
+        other => return fixture_ctx_sim(other),
+    };
+    FileContext {
+        path: path.to_string(),
+        crate_name: crate_name.to_string(),
+        is_test_file: false,
+        is_lib_root: false,
+    }
+}
+
+fn fixture_ctx_sim(name: &str) -> FileContext {
+    FileContext {
         path: format!("crates/sim/src/{name}"),
         crate_name: "sim".to_string(),
         is_test_file: false,
         is_lib_root: false,
-    };
-    lint_source(&src, &ctx, &LintConfig::default())
+    }
 }
+
+fn lint_fixture(kind: &str, name: &str) -> Vec<sp_lint::Finding> {
+    let src = fixture(kind, name);
+    lint_source(&src, &fixture_ctx(name), &LintConfig::default())
+}
+
+const ALL_FIXTURES: [&str; 11] = [
+    "d1.rs", "d2.rs", "d3.rs", "s1.rs", "s2.rs", "f1.rs", "f2.rs", "f3.rs", "l1.rs", "p1.rs",
+    "r1.rs",
+];
 
 /// Asserts the finding multiset is exactly `expected` (rule, line).
 fn assert_findings(name: &str, expected: &[(&str, u32)]) {
@@ -57,12 +85,21 @@ fn bad_fixtures_flag_expected_lines() {
         ],
     );
     assert_findings("d2.rs", &[("D2", 6), ("D2", 11), ("D2", 18)]);
-    assert_findings("d3.rs", &[("D3", 6), ("D3", 11), ("D3", 18)]);
+    // Line 11 (`SmallRng::from_entropy()`) is both unseeded (D3) and a
+    // foreign RNG type (R1); the R1 finding anchors to the type name,
+    // one column to the left of D3's `from_entropy`.
+    assert_findings("d3.rs", &[("D3", 6), ("R1", 11), ("D3", 11), ("D3", 18)]);
     assert_findings("s1.rs", &[("S1", 7), ("S1", 14)]);
     assert_findings("s2.rs", &[("S2", 7), ("S2", 11)]);
     assert_findings("f1.rs", &[("F1", 9), ("F1", 16)]);
     assert_findings("f2.rs", &[("F2", 8), ("F2", 8), ("F2", 11), ("F2", 12)]);
     assert_findings("f3.rs", &[("F3", 12), ("F3", 13), ("F3", 15)]);
+    assert_findings("l1.rs", &[("L1", 8), ("L1", 11)]);
+    assert_findings(
+        "p1.rs",
+        &[("P1", 7), ("P1", 8), ("P1", 11), ("P1", 12), ("P1", 13)],
+    );
+    assert_findings("r1.rs", &[("R1", 10), ("R1", 14), ("R1", 18)]);
 }
 
 #[test]
@@ -81,10 +118,44 @@ fn s2_fixture_severities_split_unwrap_deny_expect_warn() {
 }
 
 #[test]
+fn l1_back_edge_carries_the_full_cycle() {
+    let findings = lint_fixture("bad", "l1.rs");
+    let back_edge = findings
+        .iter()
+        .find(|f| f.rule == "L1" && f.line == 8)
+        .expect("sp_sim back-edge finding");
+    assert_eq!(
+        back_edge.import_chain,
+        ["sp_graph", "sp_sim", "sp_graph"],
+        "back-edge must name the cycle it would close"
+    );
+    assert!(
+        back_edge.message.contains("sp_graph -> sp_sim -> sp_graph"),
+        "cycle must be in the message: {}",
+        back_edge.message
+    );
+    assert_eq!(back_edge.module_path, "sp_graph::l1");
+}
+
+#[test]
+fn r1_root_outside_seed_roots_names_the_function_and_lineage() {
+    let findings = lint_fixture("bad", "r1.rs");
+    let root = findings
+        .iter()
+        .find(|f| f.rule == "R1" && f.line == 10)
+        .expect("seed root finding");
+    assert!(root.message.contains("fn `local_rng`"), "{}", root.message);
+    assert_eq!(root.module_path, "sp_sim::shard::r1");
+    assert_eq!(
+        root.import_chain.first().map(String::as_str),
+        Some("sp_sim::shard::r1"),
+        "lineage chain starts at the offending module"
+    );
+}
+
+#[test]
 fn clean_fixtures_produce_zero_findings() {
-    for name in [
-        "d1.rs", "d2.rs", "d3.rs", "s1.rs", "s2.rs", "f1.rs", "f2.rs", "f3.rs",
-    ] {
+    for name in ALL_FIXTURES {
         let findings = lint_fixture("clean", name);
         assert!(
             findings.is_empty(),
@@ -98,9 +169,7 @@ fn every_rule_is_exercised_in_both_directions() {
     // Guards the corpus itself: if a rule id ever gains no fixture,
     // this fails rather than silently losing coverage.
     let mut rules_hit: Vec<&str> = Vec::new();
-    for name in [
-        "d1.rs", "d2.rs", "d3.rs", "s1.rs", "s2.rs", "f1.rs", "f2.rs", "f3.rs",
-    ] {
+    for name in ALL_FIXTURES {
         for f in lint_fixture("bad", name) {
             if !rules_hit.contains(&f.rule) {
                 rules_hit.push(f.rule);

@@ -1,0 +1,12 @@
+//! L1 fixture: crate-layering violations, linted as if it lived at
+//! `crates/graph/src/l1.rs`. The graph layer sits *below* the
+//! simulator in the declared DAG, so reaching up into `sp_sim` closes
+//! the cycle sp_graph -> sp_sim -> sp_graph; `sp_quux` is not in the
+//! [layering] table at all.
+//! Expected findings: L1 at lines 8, 11.
+
+use sp_sim::engine::Simulation;
+
+pub fn wrong_direction(sim: &Simulation) -> usize {
+    sp_quux::widget_count(sim)
+}

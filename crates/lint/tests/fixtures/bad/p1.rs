@@ -1,0 +1,15 @@
+//! P1 fixture: I/O in a pure-core module, linted as if it lived at
+//! `crates/model/src/p1.rs` (`sp_model` is a pure scope). Both the
+//! imports and the inline uses are flagged; results must leave
+//! through the CLI / bench / metrics layers instead.
+//! Expected findings: P1 at lines 7, 8, 11, 12, 13.
+
+use std::fs;
+use std::io::stdin;
+
+pub fn leaky(expected: &str) -> bool {
+    println!("checking {expected}");
+    let bytes = std::fs::read("model.bin");
+    let sock = std::net::TcpStream::connect("127.0.0.1:9");
+    bytes.is_ok() && sock.is_ok()
+}

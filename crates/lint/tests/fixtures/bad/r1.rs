@@ -1,0 +1,19 @@
+//! R1 fixture: RNG-lineage breaks, linted as if it lived at
+//! `crates/sim/src/shard/r1.rs` — inside the inter-shard boundary
+//! scope and *not* a declared seed root.
+//! Expected findings: R1 at lines 10 (root outside seed roots),
+//! 14 (foreign RNG type), 18 (RNG state in an inter-shard channel).
+
+use sp_stats::SpRng;
+
+pub fn local_rng(tick: u64) -> SpRng {
+    SpRng::seed_from_u64(tick)
+}
+
+pub fn foreign_rng() -> SmallRng {
+    SmallRng::seed_from_u64(7)
+}
+
+pub struct ShardLink {
+    pub tx: SyncSender<(u64, SpRng)>,
+}

@@ -1,11 +1,12 @@
 //! D3 clean fixture: every stream derives from the run seed. This is
-//! the workspace idiom — `seed_from_u64` plus named substreams — so a
-//! run is fully specified by (seed, plan).
+//! the workspace idiom — one `SpRng::seed_from_u64` at the seed root,
+//! `.split(stream)` everywhere below it — so a run is fully specified
+//! by (seed, plan) and the lineage of any stream is auditable.
 
-pub fn substream(seed: u64, label: &str) -> SpRng {
-    let mut h = seed;
-    for b in label.bytes() {
-        h = h.wrapping_mul(0x100000001b3).wrapping_add(b as u64);
-    }
-    SpRng::seed_from_u64(h)
+pub fn substream(parent: &mut SpRng, stream: u64) -> SpRng {
+    parent.split(stream)
+}
+
+pub fn peer_stream(parent: &mut SpRng, peer: u64) -> SpRng {
+    parent.split(0x5eed_0000 ^ peer)
 }

@@ -1,0 +1,10 @@
+//! L1 clean fixture: the graph layer may depend on `sp_stats` (a
+//! declared edge), on itself, and on plain identifiers that merely
+//! start with `sp_` without being crate paths.
+
+use sp_stats::SpRng;
+
+pub fn degree_stream(parent: &mut SpRng) -> SpRng {
+    let sp_load = 3u64; // a local, not a crate path
+    parent.split(sp_load)
+}

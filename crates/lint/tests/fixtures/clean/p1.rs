@@ -1,0 +1,9 @@
+//! P1 clean fixture: a pure-core module computes and returns; the
+//! caller (CLI, bench, or the metrics layer) owns every byte that
+//! leaves the process. Formatting into a String is fine — only the
+//! process-boundary I/O surfaces are banned.
+
+pub fn summarize(hits: u64, total: u64) -> String {
+    let rate = hits as f64 / total.max(1) as f64;
+    format!("{hits}/{total} ({rate:.3})")
+}

@@ -1,0 +1,18 @@
+//! R1 clean fixture: the shard derives its stream from the parent via
+//! `.split(stream)` (no new root), and the inter-shard channel carries
+//! plain data — RNG state never crosses the barrier.
+
+use sp_stats::SpRng;
+
+pub struct Batch {
+    pub tick: u64,
+    pub payload: Vec<u64>,
+}
+
+pub struct ShardLink {
+    pub tx: SyncSender<Batch>,
+}
+
+pub fn shard_stream(parent: &mut SpRng, shard: u64) -> SpRng {
+    parent.split(shard)
+}

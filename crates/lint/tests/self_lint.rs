@@ -32,13 +32,13 @@ fn workspace_has_zero_deny_findings() {
 
 #[test]
 fn determinism_baseline_is_empty() {
-    // D1–D3 and F3 hazards get fixed, not suppressed: no [[allow]]
-    // entry may target a determinism or supervision rule. (S1/S2/F2
-    // suppressions are permitted in principle — with justification —
-    // and the F2 baseline currently carries the barrier watchdog's
-    // observability-only progress heartbeats.)
+    // D1–D3, F3, and the graph rules (L1 layering, P1 purity, R1 RNG
+    // lineage) get fixed, not suppressed: no [[allow]] entry may
+    // target them. (S1/S2/F2 suppressions are permitted in principle —
+    // with justification — and the F2 baseline currently carries the
+    // barrier watchdog's observability-only progress heartbeats.)
     let cfg = sp_lint::load_config(workspace_root()).expect("lint.toml parses");
-    for rule in ["D1", "D2", "D3", "F3"] {
+    for rule in ["D1", "D2", "D3", "F3", "L1", "P1", "R1"] {
         let entries = cfg.baseline_for(rule);
         assert!(
             entries.is_empty(),
@@ -62,4 +62,51 @@ fn suppressed_findings_all_carry_justifications() {
             .expect("suppressed finding must map to an allow entry");
         assert!(!entry.justification.trim().is_empty());
     }
+}
+
+#[test]
+fn json_report_is_byte_stable_across_runs_and_orderings() {
+    // The CI artifact contract: two runs over the same tree produce
+    // byte-identical JSON, and the bytes do not depend on the order
+    // the walker discovered files in.
+    let root = workspace_root();
+    let cfg = sp_lint::load_config(root).expect("lint.toml parses");
+    let first = sp_lint::lint_workspace(root, &cfg)
+        .expect("workspace lints")
+        .render_json();
+    let second = sp_lint::lint_workspace(root, &cfg)
+        .expect("workspace lints")
+        .render_json();
+    assert_eq!(first, second, "same tree, same bytes");
+
+    // Reverse the discovery order explicitly via lint_sources.
+    let files = sp_lint::walk::workspace_files(root).expect("walk");
+    let mut units: Vec<sp_lint::SourceUnit> = files
+        .iter()
+        .map(|f| sp_lint::SourceUnit {
+            ctx: f.ctx.clone(),
+            src: std::fs::read_to_string(&f.full_path).expect("readable"),
+        })
+        .collect();
+    units.reverse();
+    let reversed = sp_lint::lint_sources(units, &cfg).render_json();
+    assert_eq!(
+        first, reversed,
+        "report bytes must not depend on file-discovery order"
+    );
+}
+
+#[test]
+fn sarif_report_is_byte_stable() {
+    let root = workspace_root();
+    let cfg = sp_lint::load_config(root).expect("lint.toml parses");
+    let a = sp_lint::sarif::render_sarif(
+        &sp_lint::lint_workspace(root, &cfg).expect("workspace lints"),
+        &cfg,
+    );
+    let b = sp_lint::sarif::render_sarif(
+        &sp_lint::lint_workspace(root, &cfg).expect("workspace lints"),
+        &cfg,
+    );
+    assert_eq!(a, b, "SARIF must be byte-stable across runs");
 }
