@@ -179,6 +179,37 @@ const SCALE_RULES: &[Rule] = &[
     },
 ];
 
+/// The overload-control report (`BENCH_overload.json`): behavioral
+/// bars like the repair rules. `accounted_fraction` carries the
+/// headline floor (≥ 90 % of issued queries end as delivered or
+/// explicitly shed/rejected under the 10× flash crowd), and
+/// `p99_divergence_ratio` guards the separation from the uncontrolled
+/// baseline — the gate also fails if the unbounded queue quietly stops
+/// diverging (i.e. the crowd no longer saturates the super-peers).
+/// The absolute p99 bound is a within-report invariant in
+/// [`check_invariants`], because the right bound comes from the fresh
+/// run's own policy (`controlled_p99_bound_s`).
+const OVERLOAD_RULES: &[Rule] = &[
+    Rule {
+        field: "accounted_fraction",
+        direction: Direction::HigherBetter,
+        mode_independent: true,
+        floor: Some(0.9),
+    },
+    Rule {
+        field: "p99_divergence_ratio",
+        direction: Direction::HigherBetter,
+        mode_independent: true,
+        floor: Some(2.0),
+    },
+    Rule {
+        field: "controlled_p99_s",
+        direction: Direction::LowerBetter,
+        mode_independent: false,
+        floor: None,
+    },
+];
+
 /// Slack for the within-report multi-vs-single-thread analyze check.
 /// Deliberately tighter than the cross-run tolerance: both walls come
 /// from the same process on the same machine, so the only noise is
@@ -231,6 +262,7 @@ fn check_report(name: &str, baseline: &Report, fresh: &Report, tol: f64) -> u32 
         b if b.starts_with("analyze_") => ANALYZE_RULES,
         b if b.starts_with("repair_") => REPAIR_RULES,
         b if b.starts_with("scale_") => SCALE_RULES,
+        b if b.starts_with("overload_") => OVERLOAD_RULES,
         other => {
             println!("{name}: FAIL unknown bench id {other:?}");
             return 1;
@@ -291,6 +323,23 @@ fn check_invariants(name: &str, bench_id: &str, fresh: &Report) -> u32 {
             }
         }
     }
+    if bench_id.starts_with("overload_") {
+        // The bounded-latency bar: the controlled run's p99 must sit
+        // under the drain bound implied by its *own* policy (the bound
+        // ships inside the report, so a policy change moves the bar
+        // with it).
+        if let (Some(&p99), Some(&bound)) = (
+            fresh.numbers.get("controlled_p99_s"),
+            fresh.numbers.get("controlled_p99_bound_s"),
+        ) {
+            if p99 <= bound {
+                println!("{name}: OK   controlled_p99_s {p99} within the drain bound {bound}");
+            } else {
+                println!("{name}: FAIL controlled_p99_s {p99} exceeds the drain bound {bound}");
+                failures += 1;
+            }
+        }
+    }
     if bench_id.starts_with("analyze_") {
         // ROADMAP item 2: the default multi-thread budget must never be
         // slower than the single-thread path (it once landed at ~1.14×
@@ -327,6 +376,7 @@ fn main() -> ExitCode {
         "BENCH_repair.json",
         "BENCH_analyze.json",
         "BENCH_scale.json",
+        "BENCH_overload.json",
     ] {
         let b_path = format!("{baseline_dir}/{name}");
         let f_path = format!("{fresh_dir}/{name}");
@@ -512,6 +562,46 @@ mod tests {
             &ANALYZE_SWEEP.replace("\"fast_wall_s\": 2.3", "\"fast_wall_s\": 4.18"),
         );
         assert_eq!(check_report("analyze", &one_core, &one_core, 0.25), 0);
+    }
+
+    const OVERLOAD_PAPER: &str = r#"{
+  "bench": "overload_flash_crowd_control",
+  "mode": "paper",
+  "accounted_fraction": 0.991,
+  "p99_divergence_ratio": 16.0,
+  "controlled_p99_s": 32.0,
+  "controlled_p99_bound_s": 40.5
+}"#;
+
+    #[test]
+    fn overload_reports_use_overload_rules() {
+        let base = parse_flat_json(OVERLOAD_PAPER);
+        assert_eq!(check_report("overload", &base, &base, 0.25), 0);
+        // 0.85 accounting is within 25 % of the baseline, but below the
+        // ≥ 0.9 acceptance floor: the relative tolerance must not
+        // rescue it.
+        let leaky = parse_flat_json(&OVERLOAD_PAPER.replace(
+            "\"accounted_fraction\": 0.991",
+            "\"accounted_fraction\": 0.85",
+        ));
+        assert_eq!(check_report("overload", &base, &leaky, 0.25), 1);
+        // A vanished separation from the uncontrolled baseline fails
+        // the divergence floor.
+        let converged = parse_flat_json(&OVERLOAD_PAPER.replace(
+            "\"p99_divergence_ratio\": 16.0",
+            "\"p99_divergence_ratio\": 1.1",
+        ));
+        assert_eq!(check_report("overload", &base, &converged, 0.25), 1);
+    }
+
+    #[test]
+    fn overload_p99_bound_is_a_within_report_invariant() {
+        // Self-comparison passes every relative rule, isolating the
+        // p99-vs-bound invariant carried by the fresh report itself.
+        let over = parse_flat_json(
+            &OVERLOAD_PAPER.replace("\"controlled_p99_s\": 32.0", "\"controlled_p99_s\": 64.0"),
+        );
+        assert_eq!(check_report("overload", &over, &over, 0.25), 1);
     }
 
     const REPAIR_PAPER: &str = r#"{

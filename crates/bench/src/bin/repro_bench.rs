@@ -33,6 +33,17 @@
 //!    4 k to 1 M peers (quick mode stops at 40 k) plus a 1/2/4/8-shard
 //!    sweep whose metrics are asserted bitwise identical before any
 //!    ratio is reported. Emits `repro_out/BENCH_scale.json`.
+//! 6. **Overload** — the churn workload under a 10× flash crowd, run
+//!    twice: once with the capacity-sized overload policy
+//!    (bounded queues, drop-lowest-TTL shedding, client budgets,
+//!    brownout) and once with the measure-only uncontrolled baseline
+//!    (same service rate, unbounded queue). Both runs are executed on
+//!    the fast *and* reference engines and asserted bitwise identical
+//!    before anything is reported. The controlled run must keep
+//!    response-latency p99 under the policy's own drain bound and
+//!    account for ≥ 90 % of issued queries as delivered or explicitly
+//!    shed/rejected, while the uncontrolled baseline's p99 diverges.
+//!    Emits `repro_out/BENCH_overload.json`.
 //!
 //! Peak RSS (`VmHWM`) is a monotonic process-wide high-water mark, so
 //! it is snapshotted *per section*, smallest footprint first: the sim
@@ -44,8 +55,8 @@
 //!
 //! `REPRO_QUICK=1` shrinks every workload; `SP_THREADS` caps the Fast
 //! analysis engine's worker budget; `REPRO_OUT` overrides the output
-//! directory; `REPRO_SECTIONS=sim,faults,repair,analyze,scale` selects
-//! a subset of sections (e.g. to regenerate one baseline — the scale
+//! directory; `REPRO_SECTIONS=sim,faults,repair,analyze,scale,overload`
+//! selects a subset of sections (e.g. to regenerate one baseline — the scale
 //! baseline in particular should be generated standalone with
 //! `REPRO_SECTIONS=scale` so the monotonic `VmHWM` snapshot after the
 //! million-peer run is not inflated by the analysis instance).
@@ -59,6 +70,7 @@ use sp_graph::FloodScratch;
 use sp_model::analysis::{analyze, AnalysisOptions, AnalysisResult, Engine};
 use sp_model::config::Config;
 use sp_model::instance::NetworkInstance;
+use sp_model::overload::OverloadPolicy;
 use sp_model::query_model::QueryModel;
 use sp_model::repair::RepairPolicy;
 use sp_model::trials::resolve_thread_budget;
@@ -467,6 +479,152 @@ fn repair_section() {
     write_json("BENCH_repair.json", &json);
 }
 
+/// Overload-control comparison: the churn workload with a 10× flash
+/// crowd over the middle 60 % of the run, executed under the
+/// capacity-sized policy and under the measure-only uncontrolled
+/// baseline. Each variant runs on both churn engines and the metrics
+/// must agree bitwise before anything is reported. The acceptance bars
+/// — the controlled run keeps p99 response latency under the policy's
+/// own queue-drain bound and accounts for ≥ 90 % of issued queries as
+/// delivered or explicitly shed/rejected, while the uncontrolled
+/// baseline's p99 diverges — are asserted here, so a regression fails
+/// the benchmark itself, not just the downstream gate.
+fn overload_section() {
+    use sp_model::scenario::{PhaseKind, PhaseSpec, ScenarioPlan};
+
+    let cfg = Config {
+        graph_size: if quick_mode() { 1000 } else { 2000 },
+        cluster_size: 10,
+        ..Config::default()
+    };
+    let duration_secs = if quick_mode() { 600.0 } else { 1200.0 };
+    let crowd_mult = 10.0;
+    let mut plan = ScenarioPlan::default();
+    plan.phases.push(PhaseSpec {
+        rate_mult: 1.0,
+        from_secs: 0.2 * duration_secs,
+        until_secs: 0.8 * duration_secs,
+        kind: PhaseKind::FlashCrowd {
+            query_rate_mult: crowd_mult,
+            hot_shift: 0,
+        },
+    });
+    let controlled_policy = OverloadPolicy::sized_for(&cfg);
+    let uncontrolled_policy = OverloadPolicy::uncontrolled_for(&cfg);
+    let opts = SimOptions {
+        duration_secs,
+        seed: 42,
+        ..Default::default()
+    };
+    println!(
+        "-- overload: {}x flash crowd, {} peers, {duration_secs} simulated s, service rate {:.3}/s, queue cap {} --",
+        crowd_mult, cfg.graph_size, controlled_policy.service_rate, controlled_policy.queue_capacity
+    );
+
+    let run_both = |policy: OverloadPolicy, label: &str| {
+        let mut plan = plan.clone();
+        plan.overload = policy;
+        plan.validate().expect("benchmark plan validates");
+        let mut fast = Simulation::with_scenario(&cfg, opts, &plan);
+        let fast_metrics = fast.run();
+        let reference_metrics = ReferenceSimulation::with_scenario(&cfg, opts, &plan).run();
+        assert_eq!(
+            fast_metrics, reference_metrics,
+            "churn engines diverged on the {label} overload workload"
+        );
+        assert!(
+            fast_metrics.overload.conserved(
+                fast_metrics.faults.queries_issued,
+                fast_metrics.faults.queries_lost
+            ),
+            "extended conservation broken on the {label} workload: {:?}",
+            fast_metrics.overload
+        );
+        fast_metrics
+    };
+
+    let controlled = run_both(controlled_policy, "controlled");
+    let uncontrolled = run_both(uncontrolled_policy, "uncontrolled");
+
+    let issued = controlled.faults.queries_issued;
+    let ov = &controlled.overload;
+    // "Explicit" outcomes are deliberate policy decisions; dead-cluster
+    // sheds and end-of-run residual are the implicit remainder.
+    let explicit = ov.delivered + ov.shed_discipline + ov.rejected_queue + ov.rejected_budget;
+    let accounted_fraction = explicit as f64 / issued.max(1) as f64;
+    let p99_controlled = ov.latency.quantile_secs(0.99);
+    let p99_uncontrolled = uncontrolled.overload.latency.quantile_secs(0.99);
+    // A bounded queue drains in (capacity + 1) service times; 1.5×
+    // covers histogram bucket granularity.
+    let p99_bound =
+        1.5 * (controlled_policy.queue_capacity + 1) as f64 / controlled_policy.service_rate;
+    let divergence = p99_uncontrolled / p99_controlled.max(f64::MIN_POSITIVE);
+
+    println!(
+        "controlled:   delivered {} / shed {} / rejected {} of {issued} issued  (explicit {:.4}, p99 {:.1} s, peak depth {}, {} brownouts, {} re-homed)",
+        ov.delivered,
+        ov.shed_discipline + ov.shed_dead + ov.shed_residual,
+        ov.rejected_queue + ov.rejected_budget,
+        accounted_fraction,
+        p99_controlled,
+        ov.peak_depth,
+        ov.brownout_entries,
+        ov.rehomed,
+    );
+    println!(
+        "uncontrolled: delivered {} of {} issued  (p99 {:.1} s, peak depth {}, residual {})",
+        uncontrolled.overload.delivered,
+        uncontrolled.faults.queries_issued,
+        p99_uncontrolled,
+        uncontrolled.overload.peak_depth,
+        uncontrolled.overload.shed_residual,
+    );
+    println!(
+        "p99 divergence: uncontrolled {:.1} s vs controlled bound {:.1} s ({divergence:.1}x)",
+        p99_uncontrolled, p99_bound
+    );
+
+    // The acceptance bars for the overload subsystem.
+    assert!(
+        p99_controlled <= p99_bound,
+        "controlled p99 {p99_controlled:.2} s exceeds the queue-drain bound {p99_bound:.2} s"
+    );
+    assert!(
+        accounted_fraction >= 0.9,
+        "only {accounted_fraction:.4} of issued queries were delivered or explicitly shed"
+    );
+    assert!(
+        p99_uncontrolled >= 2.0 * p99_controlled.max(1.0),
+        "the uncontrolled baseline no longer diverges ({p99_uncontrolled:.2} s vs {p99_controlled:.2} s) — did the crowd fire?"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"overload_flash_crowd_control\",\n  \"mode\": \"{mode}\",\n  \"graph_size\": {gs},\n  \"duration_secs\": {dur},\n  \"seed\": {seed},\n  \"crowd_mult\": {crowd_mult},\n  \"service_rate\": {sr:.6},\n  \"queue_capacity\": {qc},\n  \"queries_issued\": {issued},\n  \"controlled_delivered\": {cd},\n  \"controlled_shed\": {cs},\n  \"controlled_rejected\": {cr},\n  \"controlled_rehomed\": {crh},\n  \"controlled_brownout_entries\": {cbe},\n  \"controlled_peak_depth\": {cpd},\n  \"controlled_p50_s\": {cp50:.4},\n  \"controlled_p99_s\": {cp99:.4},\n  \"controlled_p99_bound_s\": {bound:.4},\n  \"accounted_fraction\": {af:.6},\n  \"uncontrolled_delivered\": {ud},\n  \"uncontrolled_residual\": {ur},\n  \"uncontrolled_peak_depth\": {upd},\n  \"uncontrolled_p99_s\": {up99:.4},\n  \"p99_divergence_ratio\": {dv:.3}\n}}\n",
+        mode = if quick_mode() { "quick" } else { "paper" },
+        gs = cfg.graph_size,
+        dur = duration_secs,
+        seed = opts.seed,
+        sr = controlled_policy.service_rate,
+        qc = controlled_policy.queue_capacity,
+        cd = ov.delivered,
+        cs = ov.shed_discipline + ov.shed_dead + ov.shed_residual,
+        cr = ov.rejected_queue + ov.rejected_budget,
+        crh = ov.rehomed,
+        cbe = ov.brownout_entries,
+        cpd = ov.peak_depth,
+        cp50 = ov.latency.quantile_secs(0.5),
+        cp99 = p99_controlled,
+        bound = p99_bound,
+        af = accounted_fraction,
+        ud = uncontrolled.overload.delivered,
+        ur = uncontrolled.overload.shed_residual,
+        upd = uncontrolled.overload.peak_depth,
+        up99 = p99_uncontrolled,
+        dv = divergence,
+    );
+    write_json("BENCH_overload.json", &json);
+}
+
 fn analyze_section() {
     let cfg = Config {
         graph_size: if quick_mode() { 10_000 } else { 100_000 },
@@ -768,7 +926,8 @@ fn scale_section() {
 }
 
 /// Whether a section is selected by `REPRO_SECTIONS` (a comma list of
-/// `sim`, `faults`, `repair`, `analyze`, `scale`; unset = all).
+/// `sim`, `faults`, `repair`, `overload`, `analyze`, `scale`;
+/// unset = all).
 fn section_enabled(name: &str) -> bool {
     match std::env::var("REPRO_SECTIONS") {
         Ok(list) => list.split(',').any(|s| s.trim() == name),
@@ -793,6 +952,10 @@ fn main() {
     }
     if section_enabled("repair") {
         repair_section();
+        println!();
+    }
+    if section_enabled("overload") {
+        overload_section();
         println!();
     }
     if section_enabled("analyze") {

@@ -5,6 +5,7 @@ use sp_core::design::{design, DesignConstraints, DesignGoals};
 use sp_core::experiments::{cluster_sweep, epl_table, Fidelity};
 use sp_core::model::config::{Config, GraphType};
 use sp_core::model::faults::FaultPlan;
+use sp_core::model::overload::OverloadPolicy;
 use sp_core::model::repair::RepairPolicy;
 use sp_core::model::scenario::ScenarioPlan;
 use sp_core::model::snapshot::{SnapReader, ENGINE_FAST, ENGINE_REFERENCE, ENGINE_SCALE};
@@ -147,6 +148,37 @@ fn repair_from(args: &Args) -> Result<RepairPolicy, ArgError> {
     }
 }
 
+/// Resolves the overload-control options: `--overload` picks the
+/// capacity-sized preset, `--overload-policy P` reads an explicit
+/// [`OverloadPolicy`] JSON. `None` means the subsystem stays disabled
+/// (bitwise inert). Setting both, or naming a policy file that parses
+/// to the empty policy, is a usage error (exit 2).
+fn overload_from(args: &Args, cfg: &Config) -> Result<Option<OverloadPolicy>, CliError> {
+    let preset = args.flag("overload");
+    let path = args.get("overload-policy");
+    if preset && path.is_some() {
+        return Err(CliError::Usage(
+            "--overload selects the capacity-sized preset; drop it when \
+             --overload-policy names an explicit policy"
+                .into(),
+        ));
+    }
+    let Some(path) = path else {
+        return Ok(preset.then(|| OverloadPolicy::sized_for(cfg)));
+    };
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Runtime(format!("--overload-policy: cannot read {path:?}: {e}")))?;
+    let policy = OverloadPolicy::from_json(&text)
+        .map_err(|e| CliError::Usage(format!("--overload-policy: {path}: {e}")))?;
+    if policy.is_empty() {
+        return Err(CliError::Usage(format!(
+            "--overload-policy: {path} is the empty policy (service_rate 0); \
+             drop the flag to run without overload control"
+        )));
+    }
+    Ok(Some(policy))
+}
+
 /// Builds a [`Config`] from the shared topology options.
 fn config_from(args: &Args) -> Result<Config, ArgError> {
     let mut b = NetworkBuilder::new()
@@ -273,6 +305,14 @@ static SIMULATE_USAGE: CommandUsage = CommandUsage {
             "self-healing policy for injected crashes:\noff | promote | promote+partner (default off)",
         ),
         (
+            "--overload",
+            "enable super-peer overload control with the capacity-sized\npreset policy (bounded work queues, per-client admission\nbudgets, load shedding, brownout degradation, re-homing);\nworks with the churn engines and --scale",
+        ),
+        (
+            "--overload-policy P",
+            "drive overload control from the OverloadPolicy JSON at P\ninstead of the preset (conflicts with --overload)",
+        ),
+        (
             "--scale",
             "shared-nothing sharded scale engine (million-peer\noverlays; TTL defaults to 3; supports --faults)",
         ),
@@ -307,6 +347,7 @@ static SIMULATE_USAGE: CommandUsage = CommandUsage {
         "spnet simulate --users 1000 --trials 8 --threads 4",
         "spnet simulate --users 1000 --faults plan.json --metrics-json run.json",
         "spnet simulate --users 1000 --scenario scenario.json --seed 7",
+        "spnet simulate --users 1000 --overload --duration 7200",
         "spnet simulate --users 1000000 --scale --shards 8 --duration 300",
         "spnet simulate --users 200000 --scale --checkpoint-every 60 --checkpoint-dir ckpt",
         "spnet simulate --resume ckpt/checkpoint-000002.snap --metrics-json out.json",
@@ -596,6 +637,28 @@ pub fn simulate(args: &Args) -> Result<String, CliError> {
             "--scenario-seed only reseeds a --scenario run; add --scenario PLAN".into(),
         ));
     }
+    let overload = overload_from(args, &cfg)?;
+    if overload.is_some() {
+        if scenario.is_some() {
+            return Err(CliError::Usage(
+                "--scenario carries its own overload policy; drop \
+                 --overload/--overload-policy"
+                    .into(),
+            ));
+        }
+        if args.flag("reliability") || args.flag("crash-storm") {
+            return Err(CliError::Usage(
+                "--overload drives a single engine run; it cannot be combined \
+                 with --reliability or --crash-storm"
+                    .into(),
+            ));
+        }
+        if trials > 1 {
+            return Err(CliError::Usage(
+                "--overload describes a single run; use --trials 1".into(),
+            ));
+        }
+    }
     let scenario_seed = args.get_or("scenario-seed", seed)?;
     let checkpoint_every = checkpoint_every_from(args)?;
     if checkpoint_every.is_some()
@@ -617,6 +680,7 @@ pub fn simulate(args: &Args) -> Result<String, CliError> {
             &plan,
             metrics_json,
             checkpoint_every,
+            overload.unwrap_or_default(),
         );
     }
     if args.get("shards").is_some() {
@@ -813,6 +877,7 @@ pub fn simulate(args: &Args) -> Result<String, CliError> {
         scenario_seed,
         profile: metrics_json.is_some(),
         repair,
+        overload: overload.unwrap_or_default(),
         ..Default::default()
     };
     let mut sim = match &scenario {
@@ -840,6 +905,15 @@ pub fn simulate(args: &Args) -> Result<String, CliError> {
     }
     let fm = raw.faults.clone();
     let rm = raw.repair.clone();
+    let om = raw.overload.clone();
+    // Effective policy: a scenario's embedded policy wins (the CLI
+    // flags conflict with --scenario above), else the flag-derived one.
+    let effective_overload = scenario
+        .as_ref()
+        .map(|sc| sc.overload)
+        .filter(|p| !p.is_empty())
+        .or(overload)
+        .unwrap_or_default();
     let r = SimReport::from_raw(raw);
     let mut t = Table::new(vec!["Metric", "Value"]);
     t.row(vec!["queries simulated".into(), r.queries.to_string()]);
@@ -911,6 +985,45 @@ pub fn simulate(args: &Args) -> Result<String, CliError> {
             ]);
         }
     }
+    if !effective_overload.is_empty() {
+        t.row(vec![
+            "overload delivered / shed / rejected".into(),
+            format!(
+                "{} / {} / {}",
+                om.delivered,
+                om.shed_discipline + om.shed_dead + om.shed_residual,
+                om.rejected_queue + om.rejected_budget
+            ),
+        ]);
+        t.row(vec![
+            "overload peak queue depth".into(),
+            om.peak_depth.to_string(),
+        ]);
+        t.row(vec![
+            "response latency p50 / p99 (s)".into(),
+            format!(
+                "{:.1} / {:.1}",
+                om.latency.quantile_secs(0.50),
+                om.latency.quantile_secs(0.99)
+            ),
+        ]);
+        t.row(vec![
+            "brownout entries / time (s)".into(),
+            format!("{} / {:.0}", om.brownout_entries, om.brownout_secs),
+        ]);
+        t.row(vec!["clients re-homed".into(), om.rehomed.to_string()]);
+        // Flat line for scripted smoke checks (CI greps this; the
+        // table layout above is free to change).
+        return Ok(format!(
+            "{}\noverload run: delivered {}, shed {}, rejected {}, rehomed {}, p99 {:.1}s",
+            t.render(),
+            om.delivered,
+            om.shed_discipline + om.shed_dead + om.shed_residual,
+            om.rejected_queue + om.rejected_budget,
+            om.rehomed,
+            om.latency.quantile_secs(0.99)
+        ));
+    }
     Ok(t.render())
 }
 
@@ -930,6 +1043,7 @@ fn simulate_scale(
     plan: &FaultPlan,
     metrics_json: Option<&str>,
     checkpoint_every: Option<f64>,
+    overload: OverloadPolicy,
 ) -> Result<String, CliError> {
     if args.flag("reliability")
         || args.flag("crash-storm")
@@ -939,8 +1053,8 @@ fn simulate_scale(
     {
         return Err(CliError::Usage(
             "--scale runs the sharded scale engine; it supports --shards, --duration, \
-             --seed, --faults, --fault-seed, --metrics-json, the checkpoint/supervisor \
-             options, and the topology options only"
+             --seed, --faults, --fault-seed, --metrics-json, the overload, checkpoint, \
+             and supervisor options, and the topology options only"
                 .into(),
         ));
     }
@@ -964,6 +1078,7 @@ fn simulate_scale(
             shards,
             barrier_timeout_ticks: args.get_or("barrier-timeout-ticks", 0u32)?,
             inject_panic: shard_panic_from(args)?,
+            overload,
         },
         plan,
     );
@@ -981,6 +1096,7 @@ fn simulate_scale(
             at += every;
         }
     }
+    let overload_active = sim.overload_active();
     let m = sim.try_run().map_err(shard_failure)?;
     let diag = *sim.diag();
     if let Some(path) = metrics_json {
@@ -988,14 +1104,19 @@ fn simulate_scale(
             CliError::Runtime(format!("--metrics-json: cannot write {path:?}: {e}"))
         })?;
     }
-    Ok(scale_report(&m, &diag, !plan.is_empty()))
+    Ok(scale_report(&m, &diag, !plan.is_empty(), overload_active))
 }
 
 /// Renders the scale-engine report table plus the flat smoke line CI
 /// diffs across shard counts — shared by fresh `--scale` runs and
 /// `--resume` of a scale snapshot (whose metrics must come out
 /// byte-identical).
-fn scale_report(m: &ScaleMetrics, diag: &ScaleDiag, faulted: bool) -> String {
+fn scale_report(
+    m: &ScaleMetrics,
+    diag: &ScaleDiag,
+    faulted: bool,
+    overload_active: bool,
+) -> String {
     let mut t = Table::new(vec!["Metric", "Value"]);
     t.row(vec!["peers".into(), m.peers.to_string()]);
     t.row(vec!["clusters".into(), m.clusters.to_string()]);
@@ -1025,6 +1146,39 @@ fn scale_report(m: &ScaleMetrics, diag: &ScaleDiag, faulted: bool) -> String {
             m.reindex_received.to_string(),
         ]);
     }
+    if overload_active {
+        t.row(vec![
+            "overload admitted / delivered".into(),
+            format!(
+                "{} / {}",
+                m.ov_admitted + m.ov_rehome_admitted,
+                m.ov_delivered
+            ),
+        ]);
+        t.row(vec![
+            "overload shed (discipline/dead/residual)".into(),
+            format!(
+                "{}/{}/{}",
+                m.ov_shed_discipline, m.ov_shed_dead, m.ov_shed_residual
+            ),
+        ]);
+        t.row(vec![
+            "overload rejected (queue/budget)".into(),
+            format!("{}/{}", m.ov_rejected_queue, m.ov_rejected_budget),
+        ]);
+        t.row(vec![
+            "re-home handoffs sent / failed".into(),
+            format!("{} / {}", m.ov_rehome_sent, m.ov_handoff_failed),
+        ]);
+        t.row(vec![
+            "brownout entries / cluster-ticks".into(),
+            format!("{} / {}", m.ov_brownout_entries, m.ov_brownout_ticks),
+        ]);
+        t.row(vec![
+            "overload peak depth / wait p99 (ticks)".into(),
+            format!("{} / {}", m.ov_peak_depth, m.ov_wait_quantile_ticks(0.99)),
+        ]);
+    }
     t.row(vec![
         "events processed".into(),
         m.events_processed().to_string(),
@@ -1035,13 +1189,21 @@ fn scale_report(m: &ScaleMetrics, diag: &ScaleDiag, faulted: bool) -> String {
     ]);
     // Flat line for scripted smoke checks: every field here is
     // shard-count-invariant, so CI can diff it across shard counts.
-    format!(
-        "{}\nscale run: events processed {}, msgs delivered {}, results {}",
-        t.render(),
+    let mut smoke = format!(
+        "scale run: events processed {}, msgs delivered {}, results {}",
         m.events_processed(),
         m.msgs_delivered,
         m.results_found
-    )
+    );
+    if overload_active {
+        smoke.push_str(&format!(
+            ", overload delivered {} shed {} rejected {}",
+            m.ov_delivered,
+            m.ov_shed_discipline + m.ov_shed_dead + m.ov_shed_residual,
+            m.ov_rejected_queue + m.ov_rejected_budget
+        ));
+    }
+    format!("{}\n{smoke}", t.render())
 }
 
 /// The `spnet simulate --resume SNAP` path: restores a checkpoint and
@@ -1070,6 +1232,7 @@ fn simulate_resume(args: &Args, path: &str) -> Result<String, CliError> {
         "faults",
         "scenario",
         "repair",
+        "overload-policy",
         "checkpoint-every",
         "checkpoint-dir",
     ] {
@@ -1100,6 +1263,20 @@ fn simulate_resume(args: &Args, path: &str) -> Result<String, CliError> {
     let restored = |e: sp_core::model::snapshot::SnapshotError| {
         CliError::Runtime(format!("--resume: {path}: {e}"))
     };
+    // A resumed run's overload policy comes from the snapshot; the
+    // `--overload` flag is allowed only as an assertion that the
+    // snapshot really is an overload-controlled run (a policy cannot
+    // be enabled mid-run without changing every draw after T).
+    let check_overload = |active: bool| -> Result<(), CliError> {
+        if args.flag("overload") && !active {
+            return Err(CliError::Usage(format!(
+                "--overload: the snapshot at {path} was captured without an overload \
+                 policy, and a policy cannot be enabled at resume time; drop \
+                 --overload or restart the run with it"
+            )));
+        }
+        Ok(())
+    };
     match engine {
         ENGINE_SCALE => {
             let opts = ScaleOptions {
@@ -1109,6 +1286,8 @@ fn simulate_resume(args: &Args, path: &str) -> Result<String, CliError> {
                 ..ScaleOptions::default()
             };
             let mut sim = ShardedSimulation::restore(&data, opts).map_err(restored)?;
+            let overload_active = sim.overload_active();
+            check_overload(overload_active)?;
             let m = sim.try_run().map_err(shard_failure)?;
             let diag = *sim.diag();
             if let Some(p) = metrics_json {
@@ -1116,7 +1295,7 @@ fn simulate_resume(args: &Args, path: &str) -> Result<String, CliError> {
                     CliError::Runtime(format!("--metrics-json: cannot write {p:?}: {e}"))
                 })?;
             }
-            Ok(scale_report(&m, &diag, true))
+            Ok(scale_report(&m, &diag, true, overload_active))
         }
         engine @ (ENGINE_FAST | ENGINE_REFERENCE) => {
             if args.get("shards").is_some()
@@ -1131,6 +1310,7 @@ fn simulate_resume(args: &Args, path: &str) -> Result<String, CliError> {
             }
             let (raw, name) = if engine == ENGINE_FAST {
                 let mut sim = Simulation::restore(&data).map_err(restored)?;
+                check_overload(sim.overload_active())?;
                 let start = std::time::Instant::now();
                 let raw = sim.run();
                 if let Some(p) = metrics_json {
@@ -1146,10 +1326,9 @@ fn simulate_resume(args: &Args, path: &str) -> Result<String, CliError> {
                         "the reference engine keeps no run manifest; drop --metrics-json".into(),
                     ));
                 }
-                (
-                    ReferenceSimulation::restore(&data).map_err(restored)?.run(),
-                    "reference",
-                )
+                let mut sim = ReferenceSimulation::restore(&data).map_err(restored)?;
+                check_overload(sim.overload_active())?;
+                (sim.run(), "reference")
             };
             Ok(resumed_report(raw, name))
         }
@@ -2349,6 +2528,272 @@ mod tests {
         let err = simulate(&args(&["--users", "100", "--checkpoint-dir", "d"])).unwrap_err();
         assert_eq!(err.exit_code(), 2);
         assert!(err.to_string().contains("--checkpoint-every"));
+    }
+
+    #[test]
+    fn simulate_overload_reports_ledger_and_manifest() {
+        let out_path = std::env::temp_dir().join("spnet_cli_overload_manifest_test.json");
+        let out = simulate(&args(&[
+            "--users",
+            "120",
+            "--cluster",
+            "12",
+            "--lifespan",
+            "500",
+            "--duration",
+            "600",
+            "--seed",
+            "3",
+            "--query-rate",
+            "0.05",
+            "--overload",
+            "--metrics-json",
+            out_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(
+            out.contains("overload delivered / shed / rejected"),
+            "{out}"
+        );
+        assert!(out.contains("response latency p50 / p99"), "{out}");
+        assert!(out.contains("\noverload run: delivered"), "{out}");
+        let json = std::fs::read_to_string(&out_path).unwrap();
+        std::fs::remove_file(&out_path).ok();
+        assert!(
+            json.contains("\"overload_active\": true"),
+            "manifest inactive"
+        );
+        assert!(json.contains("\"service_rate\""), "policy missing");
+        assert!(
+            json.contains("\"timeline\": [{\"t\": "),
+            "queue-depth/utilization timeline missing"
+        );
+    }
+
+    #[test]
+    fn simulate_overload_policy_file_drives_the_run() {
+        let policy = OverloadPolicy {
+            service_rate: 0.5,
+            queue_capacity: 4,
+            ..OverloadPolicy::default()
+        };
+        let path = std::env::temp_dir().join("spnet_cli_overload_policy_test.json");
+        std::fs::write(&path, policy.to_json()).unwrap();
+        let out = simulate(&args(&[
+            "--users",
+            "100",
+            "--cluster",
+            "10",
+            "--duration",
+            "400",
+            "--overload-policy",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(out.contains("overload run:"), "{out}");
+    }
+
+    #[test]
+    fn simulate_overload_conflicts_and_bad_policies_are_usage_errors() {
+        let policy_path = std::env::temp_dir().join("spnet_cli_overload_conflict_test.json");
+        std::fs::write(&policy_path, "{\"service_rate\": 1.0}").unwrap();
+        let policy = policy_path.to_str().unwrap();
+        for words in [
+            &["--users", "100", "--overload", "--overload-policy", policy][..],
+            &["--users", "100", "--overload", "--trials", "2"],
+            &["--users", "100", "--overload", "--reliability"],
+            &["--users", "100", "--overload", "--crash-storm"],
+        ] {
+            let err = simulate(&args(words)).unwrap_err();
+            assert_eq!(err.exit_code(), 2, "{words:?} must be usage: {err}");
+        }
+        // A scenario plan embeds its own policy, so the flags conflict.
+        let sc_path = std::env::temp_dir().join("spnet_cli_overload_scenario_test.json");
+        std::fs::write(&sc_path, ScenarioPlan::default().to_json()).unwrap();
+        let err = simulate(&args(&[
+            "--users",
+            "100",
+            "--scenario",
+            sc_path.to_str().unwrap(),
+            "--overload",
+        ]))
+        .unwrap_err();
+        std::fs::remove_file(&sc_path).ok();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("--overload"), "{err}");
+        // Malformed and empty policies are rejected by name.
+        let bad = std::env::temp_dir().join("spnet_cli_overload_bad_test.json");
+        std::fs::write(&bad, "{\"discipline\": \"lifo\"}").unwrap();
+        let err = simulate(&args(&[
+            "--users",
+            "100",
+            "--overload-policy",
+            bad.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("unknown discipline"), "{err}");
+        std::fs::write(&bad, "{}").unwrap();
+        let err = simulate(&args(&[
+            "--users",
+            "100",
+            "--overload-policy",
+            bad.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        std::fs::remove_file(&bad).ok();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("empty policy"), "{err}");
+        std::fs::remove_file(&policy_path).ok();
+    }
+
+    #[test]
+    fn simulate_resume_rejects_overload_onto_plain_snapshot_by_name() {
+        let dir = std::env::temp_dir().join("spnet_cli_ckpt_overload_reject_test");
+        std::fs::remove_dir_all(&dir).ok();
+        simulate(&args(&[
+            "--users",
+            "100",
+            "--cluster",
+            "10",
+            "--duration",
+            "600",
+            "--checkpoint-every",
+            "300",
+            "--checkpoint-dir",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let snap = dir.join("checkpoint-000000.snap");
+        assert!(snap.exists(), "missing {snap:?}");
+        let err = simulate(&args(&["--resume", snap.to_str().unwrap(), "--overload"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "must be usage: {err}");
+        assert!(
+            err.to_string().contains("without an overload policy"),
+            "{err}"
+        );
+        // An explicit policy can never ride a resume (snapshot wins).
+        let err = simulate(&args(&[
+            "--resume",
+            snap.to_str().unwrap(),
+            "--overload-policy",
+            "p.json",
+        ]))
+        .unwrap_err();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("drop --overload-policy"), "{err}");
+    }
+
+    #[test]
+    fn simulate_overload_checkpoint_resume_matches_uninterrupted() {
+        let dir = std::env::temp_dir().join("spnet_cli_ckpt_overload_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let base = &[
+            "--users",
+            "100",
+            "--cluster",
+            "10",
+            "--lifespan",
+            "500",
+            "--duration",
+            "600",
+            "--seed",
+            "11",
+            "--query-rate",
+            "0.05",
+            "--overload",
+        ];
+        let uninterrupted = simulate(&args(base)).unwrap();
+        simulate(&args(
+            &[
+                base as &[_],
+                &[
+                    "--checkpoint-every",
+                    "200",
+                    "--checkpoint-dir",
+                    dir.to_str().unwrap(),
+                ],
+            ]
+            .concat(),
+        ))
+        .unwrap();
+        let snap = dir.join("checkpoint-000001.snap");
+        assert!(snap.exists(), "missing {snap:?}");
+        // `--overload` on resume is a (satisfied) assertion here.
+        let resumed = simulate(&args(&["--resume", snap.to_str().unwrap(), "--overload"])).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        let smoke = |out: &str| {
+            out.lines()
+                .find(|l| l.starts_with("overload run:") || l.starts_with("resumed run"))
+                .map(str::to_string)
+        };
+        assert!(smoke(&uninterrupted).is_some(), "{uninterrupted}");
+        // The resumed table reports the same core metrics.
+        let field = |out: &str, label: &str| -> String {
+            out.lines()
+                .find(|l| l.contains(label))
+                .unwrap_or_else(|| panic!("no {label} row in:\n{out}"))
+                .split_whitespace()
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        for label in ["queries simulated", "results per query", "availability"] {
+            assert_eq!(
+                field(&uninterrupted, label),
+                field(&resumed, label),
+                "resume diverged on {label}"
+            );
+        }
+    }
+
+    #[test]
+    fn simulate_scale_overload_smoke_is_shard_invariant() {
+        let a_path = std::env::temp_dir().join("spnet_cli_scale_overload_a.json");
+        let b_path = std::env::temp_dir().join("spnet_cli_scale_overload_b.json");
+        let base = &[
+            "--users",
+            "4000",
+            "--scale",
+            "--duration",
+            "120",
+            "--seed",
+            "5",
+            "--query-rate",
+            "0.05",
+            "--overload",
+        ];
+        let one = simulate(&args(
+            &[
+                base as &[_],
+                &["--shards", "1", "--metrics-json", a_path.to_str().unwrap()],
+            ]
+            .concat(),
+        ))
+        .unwrap();
+        let two = simulate(&args(
+            &[
+                base as &[_],
+                &["--shards", "2", "--metrics-json", b_path.to_str().unwrap()],
+            ]
+            .concat(),
+        ))
+        .unwrap();
+        assert!(one.contains(", overload delivered"), "{one}");
+        let smoke = |out: &str| {
+            out.lines()
+                .find(|l| l.starts_with("scale run:"))
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(smoke(&one), smoke(&two), "overload smoke line diverged");
+        let a = std::fs::read_to_string(&a_path).unwrap();
+        let b = std::fs::read_to_string(&b_path).unwrap();
+        std::fs::remove_file(&a_path).ok();
+        std::fs::remove_file(&b_path).ok();
+        assert!(a.contains("\"ov_delivered\""), "ov counters missing");
+        assert_eq!(a, b, "scale overload metrics must be shard invariant");
     }
 
     #[test]

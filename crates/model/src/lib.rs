@@ -54,6 +54,7 @@ pub mod costs;
 pub mod faults;
 pub mod instance;
 pub mod load;
+pub mod overload;
 pub mod population;
 pub mod query_model;
 pub mod repair;

@@ -1,0 +1,448 @@
+//! Deterministic overload-control policy for super-peers.
+//!
+//! The paper sizes super-peers by capacity and Section 5.3's local
+//! rules already call a peer above its utilization threshold
+//! "overloaded", but the simulation engines process query load through
+//! effectively unbounded queues: a flash crowd makes response latency
+//! diverge instead of degrading gracefully. This module is the *policy*
+//! half of the overload subsystem — a declarative, validated,
+//! JSON-round-trippable description of how a super-peer bounds its work
+//! queue, budgets admission per client, sheds load, and degrades flood
+//! reach under sustained pressure. The *mechanism* half
+//! (`sp_sim::overload`) interprets it identically in all three engines.
+//!
+//! An [`OverloadPolicy::default`] is **empty**: the runtime must treat
+//! it as bitwise inert (no draws, no counters, no behavior change).
+//! Activation is keyed on `service_rate > 0`.
+
+use crate::config::Config;
+use crate::faults::{Parser, Value};
+
+/// What a super-peer does with an arriving query once its bounded work
+/// queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShedDiscipline {
+    /// Refuse the arriving query outright; queued work is untouched.
+    #[default]
+    RejectAtAdmission,
+    /// Shed the oldest queued query to make room for the arrival
+    /// (head-of-line drop — bounds queueing delay).
+    DropOldest,
+    /// Shed the queued query with the lowest remaining TTL — the one
+    /// whose flood has the least residual reach — counting the arrival
+    /// itself as a candidate (ties go to the oldest).
+    DropLowestTtl,
+}
+
+impl ShedDiscipline {
+    /// Stable JSON name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ShedDiscipline::RejectAtAdmission => "reject",
+            ShedDiscipline::DropOldest => "drop_oldest",
+            ShedDiscipline::DropLowestTtl => "drop_lowest_ttl",
+        }
+    }
+
+    /// Parses a stable JSON name.
+    pub fn parse(name: &str) -> Option<ShedDiscipline> {
+        match name {
+            "reject" => Some(ShedDiscipline::RejectAtAdmission),
+            "drop_oldest" => Some(ShedDiscipline::DropOldest),
+            "drop_lowest_ttl" => Some(ShedDiscipline::DropLowestTtl),
+            _ => None,
+        }
+    }
+}
+
+/// Brownout mode: when a super-peer's backlog stays above the entry
+/// threshold, it degrades flood TTL and fanout (trading coverage for
+/// survival, the classic TTL/coverage trade-off) until the backlog
+/// stays below the exit threshold. Entry and exit both require the
+/// condition to hold for `min_dwell_secs` — hysteresis, so the mode
+/// cannot flap on a single-sample spike.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BrownoutConfig {
+    /// Enter brownout once the queue backlog (depth ÷ service rate, in
+    /// seconds of work) has exceeded this for `min_dwell_secs`.
+    pub enter_backlog_secs: f64,
+    /// Leave brownout once the backlog has stayed below this for
+    /// `min_dwell_secs`. Must be strictly below `enter_backlog_secs`.
+    pub exit_backlog_secs: f64,
+    /// Hysteresis dwell: how long the enter/exit condition must hold
+    /// continuously before the mode switches.
+    pub min_dwell_secs: f64,
+    /// How many hops to subtract from the flood TTL while browned out
+    /// (floored at 1 — a browned-out query still searches its own
+    /// neighborhood).
+    pub ttl_decrement: u16,
+    /// Maximum neighbors each flood hop forwards to while browned out.
+    pub fanout_limit: u32,
+}
+
+impl Default for BrownoutConfig {
+    fn default() -> Self {
+        BrownoutConfig {
+            enter_backlog_secs: 1.0,
+            exit_backlog_secs: 0.25,
+            min_dwell_secs: 5.0,
+            ttl_decrement: 2,
+            fanout_limit: 3,
+        }
+    }
+}
+
+/// A complete overload-control policy for every super-peer in the
+/// overlay. `Copy` and all-scalar by design so it can ride inside the
+/// engines' `Copy` option structs and serialize field-by-field.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OverloadPolicy {
+    /// Responses a super-peer completes per second — the service rate
+    /// of its bounded work queue. `0` disables the whole subsystem
+    /// (the empty, bitwise-inert policy).
+    pub service_rate: f64,
+    /// Maximum queued queries per super-peer. `0` means unbounded —
+    /// queue depths and latency are *measured* but nothing is ever
+    /// shed, which is the uncontrolled baseline the benchmark compares
+    /// against.
+    pub queue_capacity: u32,
+    /// What to do with an arrival once the queue is full.
+    pub discipline: ShedDiscipline,
+    /// Per-client admission budget: tokens refill at this rate, one
+    /// token per admitted query. `0` disables the budget.
+    pub client_tokens_per_sec: f64,
+    /// Per-client token-bucket ceiling (burst allowance).
+    pub client_token_burst: f64,
+    /// Brownout mode; `None` never degrades TTL/fanout.
+    pub brownout: Option<BrownoutConfig>,
+    /// Consecutive full-queue rejections at one super-peer before the
+    /// affected client re-homes to a less-loaded cluster (paying the
+    /// Table 2 re-join cost). `0` disables re-homing.
+    pub rehome_strikes: u32,
+}
+
+/// An overload-policy validation or parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OverloadError(pub String);
+
+impl std::fmt::Display for OverloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "overload policy: {}", self.0)
+    }
+}
+
+impl std::error::Error for OverloadError {}
+
+impl OverloadPolicy {
+    /// True when the policy is disabled — the runtime must be bitwise
+    /// inert under it.
+    pub fn is_empty(&self) -> bool {
+        self.service_rate == 0.0
+    }
+
+    /// A preset sized from the capacity model: the super-peer serves
+    /// its own cluster's expected query load with 2× headroom, so
+    /// steady-state traffic never queues but a 10× flash crowd
+    /// saturates and must shed. The queue holds about two seconds of
+    /// work; the brownout and budget knobs use their defaults.
+    pub fn sized_for(config: &Config) -> OverloadPolicy {
+        let service_rate = 2.0 * config.cluster_size as f64 * config.query_rate;
+        let queue_capacity = ((2.0 * service_rate).ceil() as u32).max(4);
+        OverloadPolicy {
+            service_rate,
+            queue_capacity,
+            discipline: ShedDiscipline::DropLowestTtl,
+            client_tokens_per_sec: 10.0 * config.query_rate,
+            client_token_burst: 5.0,
+            brownout: Some(BrownoutConfig::default()),
+            rehome_strikes: 8,
+        }
+    }
+
+    /// The measure-only variant of [`sized_for`](Self::sized_for):
+    /// same service rate, unbounded queue, no budget, no brownout, no
+    /// re-homing — the uncontrolled baseline whose latency diverges
+    /// under a flash crowd.
+    pub fn uncontrolled_for(config: &Config) -> OverloadPolicy {
+        OverloadPolicy {
+            service_rate: 2.0 * config.cluster_size as f64 * config.query_rate,
+            queue_capacity: 0,
+            ..OverloadPolicy::default()
+        }
+    }
+
+    /// Checks every field for well-formedness.
+    pub fn validate(&self) -> Result<(), OverloadError> {
+        if self.is_empty() {
+            // The empty policy must be *exactly* empty: a disabled
+            // subsystem with stray knobs set is almost certainly a
+            // config mistake.
+            if *self != OverloadPolicy::default() {
+                return Err(OverloadError(
+                    "service_rate is 0 (disabled) but other fields are set".into(),
+                ));
+            }
+            return Ok(());
+        }
+        let finite_min = |label: &str, v: f64, min: f64| -> Result<(), OverloadError> {
+            if !v.is_finite() || v < min {
+                return Err(OverloadError(format!(
+                    "{label} must be finite and >= {min}, got {v}"
+                )));
+            }
+            Ok(())
+        };
+        finite_min("service_rate", self.service_rate, 0.0)?;
+        if self.service_rate <= 0.0 {
+            return Err(OverloadError("service_rate must be positive".into()));
+        }
+        finite_min("client_tokens_per_sec", self.client_tokens_per_sec, 0.0)?;
+        if self.client_tokens_per_sec > 0.0 {
+            finite_min("client_token_burst", self.client_token_burst, 1.0)?;
+        } else if self.client_token_burst != 0.0 {
+            return Err(OverloadError(
+                "client_token_burst set but client_tokens_per_sec is 0".into(),
+            ));
+        }
+        if let Some(b) = &self.brownout {
+            finite_min("brownout.enter_backlog_secs", b.enter_backlog_secs, 0.0)?;
+            finite_min("brownout.exit_backlog_secs", b.exit_backlog_secs, 0.0)?;
+            finite_min("brownout.min_dwell_secs", b.min_dwell_secs, 0.0)?;
+            if b.exit_backlog_secs >= b.enter_backlog_secs {
+                return Err(OverloadError(format!(
+                    "brownout.exit_backlog_secs {} must be below enter_backlog_secs {}",
+                    b.exit_backlog_secs, b.enter_backlog_secs
+                )));
+            }
+            if b.fanout_limit == 0 {
+                return Err(OverloadError("brownout.fanout_limit must be >= 1".into()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the policy as a JSON object that
+    /// [`OverloadPolicy::from_json`] reads back verbatim.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256);
+        s.push_str("{\n");
+        s.push_str(&format!("  \"service_rate\": {},\n", self.service_rate));
+        s.push_str(&format!("  \"queue_capacity\": {},\n", self.queue_capacity));
+        s.push_str(&format!(
+            "  \"discipline\": \"{}\",\n",
+            self.discipline.name()
+        ));
+        s.push_str(&format!(
+            "  \"client_tokens_per_sec\": {},\n",
+            self.client_tokens_per_sec
+        ));
+        s.push_str(&format!(
+            "  \"client_token_burst\": {},\n",
+            self.client_token_burst
+        ));
+        if let Some(b) = &self.brownout {
+            s.push_str("  \"brownout\": {\n");
+            s.push_str(&format!(
+                "    \"enter_backlog_secs\": {},\n",
+                b.enter_backlog_secs
+            ));
+            s.push_str(&format!(
+                "    \"exit_backlog_secs\": {},\n",
+                b.exit_backlog_secs
+            ));
+            s.push_str(&format!("    \"min_dwell_secs\": {},\n", b.min_dwell_secs));
+            s.push_str(&format!("    \"ttl_decrement\": {},\n", b.ttl_decrement));
+            s.push_str(&format!("    \"fanout_limit\": {}\n", b.fanout_limit));
+            s.push_str("  },\n");
+        }
+        s.push_str(&format!("  \"rehome_strikes\": {}\n", self.rehome_strikes));
+        s.push('}');
+        s
+    }
+
+    /// Parses a policy from a JSON object and validates it. `{}` is the
+    /// empty policy.
+    pub fn from_json(text: &str) -> Result<OverloadPolicy, OverloadError> {
+        let value = Parser::new(text)
+            .parse_document()
+            .map_err(|e| OverloadError(e.to_string()))?;
+        let policy = parse_policy(&value)?;
+        policy.validate()?;
+        Ok(policy)
+    }
+}
+
+/// Parses a policy from an already-parsed JSON value (the embedding
+/// hook for scenario plans); does **not** validate.
+pub fn parse_policy(value: &Value) -> Result<OverloadPolicy, OverloadError> {
+    let err = |m: String| OverloadError(m);
+    let obj = value
+        .as_object("overload")
+        .map_err(|e| err(e.to_string()))?;
+    let mut policy = OverloadPolicy::default();
+    for (key, val) in obj {
+        match key.as_str() {
+            "service_rate" => {
+                policy.service_rate = val
+                    .as_f64("overload.service_rate")
+                    .map_err(|e| err(e.to_string()))?
+            }
+            "queue_capacity" => {
+                policy.queue_capacity = val
+                    .as_u32("overload.queue_capacity")
+                    .map_err(|e| err(e.to_string()))?
+            }
+            "discipline" => {
+                let name = val
+                    .as_str("overload.discipline")
+                    .map_err(|e| err(e.to_string()))?;
+                policy.discipline = ShedDiscipline::parse(&name).ok_or_else(|| {
+                    err(format!(
+                        "unknown discipline \"{name}\" (expected \"reject\", \
+                         \"drop_oldest\", or \"drop_lowest_ttl\")"
+                    ))
+                })?;
+            }
+            "client_tokens_per_sec" => {
+                policy.client_tokens_per_sec = val
+                    .as_f64("overload.client_tokens_per_sec")
+                    .map_err(|e| err(e.to_string()))?
+            }
+            "client_token_burst" => {
+                policy.client_token_burst = val
+                    .as_f64("overload.client_token_burst")
+                    .map_err(|e| err(e.to_string()))?
+            }
+            "brownout" => {
+                let bobj = val
+                    .as_object("overload.brownout")
+                    .map_err(|e| err(e.to_string()))?;
+                let mut b = BrownoutConfig::default();
+                for (bkey, bval) in bobj {
+                    let ctx = format!("overload.brownout.{bkey}");
+                    match bkey.as_str() {
+                        "enter_backlog_secs" => {
+                            b.enter_backlog_secs =
+                                bval.as_f64(&ctx).map_err(|e| err(e.to_string()))?
+                        }
+                        "exit_backlog_secs" => {
+                            b.exit_backlog_secs =
+                                bval.as_f64(&ctx).map_err(|e| err(e.to_string()))?
+                        }
+                        "min_dwell_secs" => {
+                            b.min_dwell_secs = bval.as_f64(&ctx).map_err(|e| err(e.to_string()))?
+                        }
+                        "ttl_decrement" => {
+                            b.ttl_decrement =
+                                bval.as_u32(&ctx).map_err(|e| err(e.to_string()))? as u16
+                        }
+                        "fanout_limit" => {
+                            b.fanout_limit = bval.as_u32(&ctx).map_err(|e| err(e.to_string()))?
+                        }
+                        other => {
+                            return Err(err(format!("unknown brownout key \"{other}\"")));
+                        }
+                    }
+                }
+                policy.brownout = Some(b);
+            }
+            "rehome_strikes" => {
+                policy.rehome_strikes = val
+                    .as_u32("overload.rehome_strikes")
+                    .map_err(|e| err(e.to_string()))?
+            }
+            other => {
+                return Err(err(format!(
+                    "unknown key \"{other}\" (expected \"service_rate\", \
+                     \"queue_capacity\", \"discipline\", \"client_tokens_per_sec\", \
+                     \"client_token_burst\", \"brownout\", or \"rehome_strikes\")"
+                )));
+            }
+        }
+    }
+    Ok(policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_empty_and_valid() {
+        let p = OverloadPolicy::default();
+        assert!(p.is_empty());
+        p.validate().expect("empty policy validates");
+    }
+
+    #[test]
+    fn sized_preset_round_trips() {
+        let config = Config::default();
+        for p in [
+            OverloadPolicy::sized_for(&config),
+            OverloadPolicy::uncontrolled_for(&config),
+            OverloadPolicy::default(),
+        ] {
+            p.validate().expect("preset validates");
+            let json = p.to_json();
+            let back = OverloadPolicy::from_json(&json).expect("round trip parses");
+            assert_eq!(p, back, "round trip changed the policy:\n{json}");
+        }
+    }
+
+    #[test]
+    fn preset_has_flash_crowd_headroom() {
+        let config = Config::default();
+        let p = OverloadPolicy::sized_for(&config);
+        let offered = config.cluster_size as f64 * config.query_rate;
+        assert!(p.service_rate > offered, "no steady-state headroom");
+        assert!(
+            p.service_rate < 10.0 * offered,
+            "flash crowd cannot saturate"
+        );
+        assert!(p.queue_capacity >= 4);
+    }
+
+    #[test]
+    fn empty_object_parses_empty() {
+        let p = OverloadPolicy::from_json("{}").expect("empty object");
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn stray_fields_on_disabled_policy_rejected() {
+        let p = OverloadPolicy {
+            queue_capacity: 5,
+            ..OverloadPolicy::default()
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn bad_inputs_rejected_by_name() {
+        for (json, needle) in [
+            ("{\"discipline\": \"lifo\"}", "unknown discipline"),
+            ("{\"mystery\": 1}", "unknown key"),
+            ("{\"brownout\": {\"zap\": 1}}", "unknown brownout key"),
+            (
+                "{\"service_rate\": 1.0, \"brownout\": {\"enter_backlog_secs\": 1.0, \
+                  \"exit_backlog_secs\": 2.0}}",
+                "must be below",
+            ),
+            (
+                "{\"service_rate\": 1.0, \"brownout\": {\"fanout_limit\": 0, \
+                  \"enter_backlog_secs\": 1.0, \"exit_backlog_secs\": 0.5}}",
+                "fanout_limit",
+            ),
+            (
+                "{\"service_rate\": 1.0, \"client_token_burst\": 2.0}",
+                "client_tokens_per_sec is 0",
+            ),
+        ] {
+            let e = OverloadPolicy::from_json(json).expect_err(json);
+            assert!(
+                e.to_string().contains(needle),
+                "error for {json} missing {needle:?}: {e}"
+            );
+        }
+    }
+}

@@ -47,6 +47,7 @@
 use std::fmt;
 
 use crate::faults::{parse_fault, parse_retry, FaultPlan, FaultPlanError, Parser, Value};
+use crate::overload::{parse_policy, OverloadPolicy};
 use crate::repair::RepairPolicy;
 
 /// Version of the scenario JSON grammar this module reads and writes.
@@ -57,7 +58,9 @@ use crate::repair::RepairPolicy;
 /// campaign reproducer written today still fails cleanly (and
 /// diagnosably) after a future scenario-DSL change. Documents without
 /// the field parse as version 1 (the grammar before the field existed).
-pub const SCENARIO_SCHEMA_VERSION: u32 = 1;
+/// Version 2 added the per-phase `query_rate_mult` knob and the
+/// top-level `overload` policy.
+pub const SCENARIO_SCHEMA_VERSION: u32 = 2;
 
 /// A scenario that fails validation or parsing, with the message shown
 /// to the user.
@@ -138,6 +141,14 @@ pub struct PhaseSpec {
     pub from_secs: f64,
     /// Window end (simulated seconds, > `from_secs`).
     pub until_secs: f64,
+    /// Per-phase query-rate multiplier (> 0; 1.0 = no change): while
+    /// the window is active every peer's query inter-arrival rate is
+    /// multiplied, on top of whatever the kind itself does — the
+    /// flash-crowd intensity knob for overload scenarios. Concurrent
+    /// phases multiply. `flash_crowd` phases express their spike
+    /// through their own `query_rate_mult` field instead and must
+    /// leave this at 1.0.
+    pub rate_mult: f64,
     /// What the phase does while active.
     pub kind: PhaseKind,
 }
@@ -174,6 +185,14 @@ impl PhaseSpec {
             }
             Ok(())
         };
+        positive("query_rate_mult", self.rate_mult)?;
+        if matches!(self.kind, PhaseKind::FlashCrowd { .. }) && self.rate_mult != 1.0 {
+            return Err(ScenarioError(format!(
+                "{ctx}: a flash_crowd phase expresses its spike through its own \
+                 query_rate_mult; the per-phase rate_mult must stay 1.0, got {}",
+                self.rate_mult
+            )));
+        }
         match self.kind {
             PhaseKind::FlashCrowd {
                 query_rate_mult, ..
@@ -189,6 +208,13 @@ impl PhaseSpec {
             "\"from_secs\": {}, \"until_secs\": {}",
             self.from_secs, self.until_secs
         );
+        // The per-phase rate knob is serialized only when set, so
+        // version-1 documents round-trip byte-identically.
+        let rate = if self.rate_mult != 1.0 {
+            format!(", \"query_rate_mult\": {}", self.rate_mult)
+        } else {
+            String::new()
+        };
         match self.kind {
             PhaseKind::FlashCrowd {
                 query_rate_mult,
@@ -198,13 +224,14 @@ impl PhaseSpec {
                  \"query_rate_mult\": {query_rate_mult}, \"hot_shift\": {hot_shift}}}"
             ),
             PhaseKind::ChurnBurst { lifespan_mult } => format!(
-                "{{\"kind\": \"churn_burst\", {window}, \"lifespan_mult\": {lifespan_mult}}}"
+                "{{\"kind\": \"churn_burst\", {window}, \
+                 \"lifespan_mult\": {lifespan_mult}{rate}}}"
             ),
             PhaseKind::MassLeave { fraction } => {
-                format!("{{\"kind\": \"mass_leave\", {window}, \"fraction\": {fraction}}}")
+                format!("{{\"kind\": \"mass_leave\", {window}, \"fraction\": {fraction}{rate}}}")
             }
             PhaseKind::Split { fraction } => {
-                format!("{{\"kind\": \"split\", {window}, \"fraction\": {fraction}}}")
+                format!("{{\"kind\": \"split\", {window}, \"fraction\": {fraction}{rate}}}")
             }
         }
     }
@@ -264,6 +291,9 @@ pub struct ScenarioPlan {
     pub faults: FaultPlan,
     /// Overlay self-healing policy for fault-injected crashes.
     pub repair: RepairPolicy,
+    /// Super-peer overload-control policy (empty = unbounded queues,
+    /// the pre-overload behavior).
+    pub overload: OverloadPolicy,
 }
 
 impl ScenarioPlan {
@@ -298,6 +328,9 @@ impl ScenarioPlan {
             class.validate(i)?;
         }
         self.faults.validate()?;
+        self.overload
+            .validate()
+            .map_err(|e| ScenarioError(e.to_string()))?;
         Ok(())
     }
 
@@ -305,7 +338,10 @@ impl ScenarioPlan {
     /// homogeneous population, and an empty fault plan. An empty
     /// scenario run is bitwise identical to a plain run.
     pub fn is_empty(&self) -> bool {
-        self.phases.is_empty() && self.capacity_classes.is_empty() && self.faults.is_empty()
+        self.phases.is_empty()
+            && self.capacity_classes.is_empty()
+            && self.faults.is_empty()
+            && self.overload.is_empty()
     }
 
     /// Renders the plan as a JSON document that
@@ -336,6 +372,16 @@ impl ScenarioPlan {
                 s.push_str("\n  ");
             }
             s.push_str(line);
+        }
+        if !self.overload.is_empty() {
+            s.push_str(",\n  \"overload\": ");
+            let overload = self.overload.to_json();
+            for (i, line) in overload.trim_end().lines().enumerate() {
+                if i > 0 {
+                    s.push_str("\n  ");
+                }
+                s.push_str(line);
+            }
         }
         s.push_str(&format!(",\n  \"repair\": \"{}\"\n}}\n", self.repair));
         s
@@ -370,6 +416,9 @@ impl ScenarioPlan {
                     }
                 }
                 "faults" => plan.faults = parse_fault_plan(val)?,
+                "overload" => {
+                    plan.overload = parse_policy(val).map_err(|e| ScenarioError(e.to_string()))?;
+                }
                 "repair" => {
                     let raw = val.as_str("repair")?;
                     plan.repair = RepairPolicy::parse(&raw).ok_or_else(|| {
@@ -382,7 +431,8 @@ impl ScenarioPlan {
                 other => {
                     return Err(ScenarioError(format!(
                         "unknown top-level key \"{other}\" (expected \"schema_version\", \
-                         \"phases\", \"capacity_classes\", \"faults\", or \"repair\")"
+                         \"phases\", \"capacity_classes\", \"faults\", \"overload\", \
+                         or \"repair\")"
                     )))
                 }
             }
@@ -454,8 +504,18 @@ fn parse_phase(value: &Value, index: usize) -> Result<PhaseSpec, ScenarioError> 
         }
         Ok(())
     };
+    // Optional per-phase query-rate knob (non-flash kinds): absent
+    // means 1.0 (no change). flash_crowd's mandatory field of the same
+    // name expresses the spike there instead.
+    let opt_rate_mult = || -> Result<f64, ScenarioError> {
+        match obj.iter().find(|(k, _)| k == "query_rate_mult") {
+            Some((_, v)) => Ok(v.as_f64(&format!("{ctx}.query_rate_mult"))?),
+            None => Ok(1.0),
+        }
+    };
     let from_secs = f64_field("from_secs")?;
     let until_secs = f64_field("until_secs")?;
+    let mut rate_mult = 1.0;
     let kind = match kind.as_str() {
         "flash_crowd" => {
             known(&["query_rate_mult", "hot_shift"])?;
@@ -465,19 +525,22 @@ fn parse_phase(value: &Value, index: usize) -> Result<PhaseSpec, ScenarioError> 
             }
         }
         "churn_burst" => {
-            known(&["lifespan_mult"])?;
+            known(&["lifespan_mult", "query_rate_mult"])?;
+            rate_mult = opt_rate_mult()?;
             PhaseKind::ChurnBurst {
                 lifespan_mult: f64_field("lifespan_mult")?,
             }
         }
         "mass_leave" => {
-            known(&["fraction"])?;
+            known(&["fraction", "query_rate_mult"])?;
+            rate_mult = opt_rate_mult()?;
             PhaseKind::MassLeave {
                 fraction: f64_field("fraction")?,
             }
         }
         "split" => {
-            known(&["fraction"])?;
+            known(&["fraction", "query_rate_mult"])?;
+            rate_mult = opt_rate_mult()?;
             PhaseKind::Split {
                 fraction: f64_field("fraction")?,
             }
@@ -492,6 +555,7 @@ fn parse_phase(value: &Value, index: usize) -> Result<PhaseSpec, ScenarioError> 
     Ok(PhaseSpec {
         from_secs,
         until_secs,
+        rate_mult,
         kind,
     })
 }
@@ -530,6 +594,7 @@ mod tests {
         ScenarioPlan {
             phases: vec![
                 PhaseSpec {
+                    rate_mult: 1.0,
                     from_secs: 300.0,
                     until_secs: 900.0,
                     kind: PhaseKind::FlashCrowd {
@@ -538,6 +603,7 @@ mod tests {
                     },
                 },
                 PhaseSpec {
+                    rate_mult: 1.0,
                     from_secs: 600.0,
                     until_secs: 1200.0,
                     kind: PhaseKind::ChurnBurst {
@@ -545,11 +611,13 @@ mod tests {
                     },
                 },
                 PhaseSpec {
+                    rate_mult: 1.0,
                     from_secs: 700.0,
                     until_secs: 710.0,
                     kind: PhaseKind::MassLeave { fraction: 0.3 },
                 },
                 PhaseSpec {
+                    rate_mult: 1.0,
                     from_secs: 400.0,
                     until_secs: 800.0,
                     kind: PhaseKind::Split { fraction: 0.4 },
@@ -576,6 +644,7 @@ mod tests {
                 ..Default::default()
             },
             repair: RepairPolicy::Promote,
+            overload: OverloadPolicy::default(),
         }
     }
 
@@ -628,6 +697,7 @@ mod tests {
     fn zero_duration_phase_rejected() {
         let plan = ScenarioPlan {
             phases: vec![PhaseSpec {
+                rate_mult: 1.0,
                 from_secs: 100.0,
                 until_secs: 100.0,
                 kind: PhaseKind::MassLeave { fraction: 0.5 },
@@ -641,6 +711,7 @@ mod tests {
     #[test]
     fn same_kind_overlap_rejected_cross_kind_allowed() {
         let mk = |from: f64, until: f64, kind: PhaseKind| PhaseSpec {
+            rate_mult: 1.0,
             from_secs: from,
             until_secs: until,
             kind,
@@ -684,6 +755,7 @@ mod tests {
     fn out_of_range_parameters_rejected() {
         let base = |kind| ScenarioPlan {
             phases: vec![PhaseSpec {
+                rate_mult: 1.0,
                 from_secs: 0.0,
                 until_secs: 100.0,
                 kind,

@@ -20,7 +20,16 @@
 //!   first differing field is named in the divergence reason),
 //! * query conservation ([`FaultMetrics::conserved`]
 //!   — every issued query accounted exactly once) in both engines,
+//! * the **extended** conservation identity when the generated plan
+//!   carries an overload policy
+//!   ([`OverloadMetrics::conserved`](crate::overload::OverloadMetrics::conserved)
+//!   — issued = lost + delivered + shed + rejected), in both engines,
 //! * sane repair/availability invariants (fractions inside `[0, 1]`).
+//!
+//! Because the campaign fingerprint hashes the full `RawMetrics`
+//! rendering, the overload ledger (shed/reject counters, latency
+//! histogram, queue timeline) folds into it automatically: a run that
+//! sheds one more query than yesterday moves the nightly fingerprint.
 //!
 //! Every divergence carries a self-contained reproducer document
 //! (seeds + full scenario JSON) so a nightly failure replays locally
@@ -44,6 +53,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use sp_model::config::Config;
 use sp_model::faults::{FaultPlan, FaultSpec, Parser, Value};
+use sp_model::overload::{BrownoutConfig, OverloadPolicy, ShedDiscipline};
 use sp_model::repair::RepairPolicy;
 use sp_model::scenario::{
     CapacityClass, PhaseKind, PhaseSpec, ScenarioPlan, SCENARIO_SCHEMA_VERSION,
@@ -695,7 +705,7 @@ fn run_one(
     inject: Option<usize>,
 ) -> ScenarioOutcome {
     let mut rng = SpRng::seed_from_u64(trial_seed);
-    let plan = generate_plan(&mut rng, duration);
+    let plan = generate_plan(&mut rng, config, duration);
     let sim_seed = rng.next_raw();
     let fault_seed = rng.next_raw();
     let scenario_seed = rng.next_raw();
@@ -742,7 +752,7 @@ fn run_one(
         (fast, reference)
     })) {
         Ok((fast, reference)) => {
-            let divergence = oracle(&fast, &reference);
+            let divergence = oracle(&fast, &reference, !plan.overload.is_empty());
             base(fingerprint(&fast), divergence, None, Vec::new())
         }
         Err(payload) => {
@@ -759,8 +769,10 @@ fn run_one(
 }
 
 /// The differential oracle: engine equality, conservation, and range
-/// invariants. Returns the first failure's description.
-fn oracle(fast: &RawMetrics, reference: &RawMetrics) -> Option<String> {
+/// invariants. With an active overload policy the extended identity
+/// (issued = lost + delivered + shed + rejected) is demanded too.
+/// Returns the first failure's description.
+fn oracle(fast: &RawMetrics, reference: &RawMetrics, overload_active: bool) -> Option<String> {
     if fast != reference {
         return Some(describe_divergence(fast, reference));
     }
@@ -777,6 +789,30 @@ fn oracle(fast: &RawMetrics, reference: &RawMetrics) -> Option<String> {
     }
     if !reference.faults.conserved() {
         return Some("reference engine violates query conservation".to_string());
+    }
+    if overload_active {
+        if !fast
+            .overload
+            .conserved(fast.faults.queries_issued, fast.faults.queries_lost)
+        {
+            return Some(format!(
+                "fast engine violates extended overload conservation: issued {} != \
+                 lost {} + delivered {} + shed {} + rejected {}",
+                fast.faults.queries_issued,
+                fast.faults.queries_lost,
+                fast.overload.delivered,
+                fast.overload.shed_discipline
+                    + fast.overload.shed_dead
+                    + fast.overload.shed_residual,
+                fast.overload.rejected_queue + fast.overload.rejected_budget
+            ));
+        }
+        if !reference.overload.conserved(
+            reference.faults.queries_issued,
+            reference.faults.queries_lost,
+        ) {
+            return Some("reference engine violates extended overload conservation".to_string());
+        }
     }
     let avail = fast.availability();
     if !(0.0..=1.0).contains(&avail) {
@@ -808,6 +844,8 @@ fn describe_divergence(fast: &RawMetrics, reference: &RawMetrics) -> String {
         "faults (injection/recovery counters)".to_string()
     } else if fast.repair != reference.repair {
         "repair (promotion/reachability accounting)".to_string()
+    } else if fast.overload != reference.overload {
+        "overload (queue/shed/brownout ledger)".to_string()
     } else if fast.timeline != reference.timeline {
         "timeline samples".to_string()
     } else if fast.client_connected_secs.to_bits() != reference.client_connected_secs.to_bits() {
@@ -825,8 +863,12 @@ fn describe_divergence(fast: &RawMetrics, reference: &RawMetrics) -> String {
 /// generator stream. Same-kind windows are laid out behind a per-kind
 /// cursor, so the plan always validates; everything lands inside
 /// `[5%, 95%]` of the run so bootstrap and final accounting stay
-/// exercised.
-fn generate_plan(rng: &mut SpRng, duration: f64) -> ScenarioPlan {
+/// exercised. Phases occasionally carry a query-rate multiplier and
+/// about a third of plans carry an overload policy (half the
+/// capacity-sized preset, half fully randomized knobs), so the
+/// differential gate fuzzes the overload ledger alongside churn,
+/// faults, and repair.
+fn generate_plan(rng: &mut SpRng, config: &Config, duration: f64) -> ScenarioPlan {
     let span = |rng: &mut SpRng, lo: f64, hi: f64| lo + rng.unit_f64() * (hi - lo);
     let mut plan = ScenarioPlan::default();
 
@@ -856,7 +898,17 @@ fn generate_plan(rng: &mut SpRng, duration: f64) -> ScenarioPlan {
                 fraction: span(rng, 0.1, 0.5),
             },
         };
+        // A quarter of the non-flash-crowd windows also scale the raw
+        // query arrival rate — the overload pressure knob. FlashCrowd
+        // expresses its spike through its own query_rate_mult, and the
+        // DSL rejects a second multiplier there.
+        let rate_mult = if !matches!(kind, PhaseKind::FlashCrowd { .. }) && rng.chance(0.25) {
+            span(rng, 0.5, 4.0)
+        } else {
+            1.0
+        };
         plan.phases.push(PhaseSpec {
+            rate_mult,
             from_secs: from,
             until_secs: until,
             kind,
@@ -898,6 +950,64 @@ fn generate_plan(rng: &mut SpRng, duration: f64) -> ScenarioPlan {
     }
     plan.faults = faults;
     plan.repair = RepairPolicy::ALL[rng.index(RepairPolicy::ALL.len())];
+
+    // Overload control joins about a third of the plans. Half of those
+    // use the capacity-model preset (the configuration the benchmark
+    // and CLI recommend); the rest randomize every knob inside its
+    // valid range so the shed disciplines, budget, brownout hysteresis,
+    // and re-homing all see fuzz coverage.
+    if rng.chance(0.35) {
+        plan.overload = if rng.chance(0.5) {
+            OverloadPolicy::sized_for(config)
+        } else {
+            let service_rate = config.cluster_size as f64 * config.query_rate * span(rng, 1.0, 4.0);
+            let discipline = match rng.index(3) {
+                0 => ShedDiscipline::RejectAtAdmission,
+                1 => ShedDiscipline::DropOldest,
+                _ => ShedDiscipline::DropLowestTtl,
+            };
+            let with_budget = rng.chance(0.5);
+            let brownout = if rng.chance(0.5) {
+                let exit = span(rng, 0.1, 1.0);
+                Some(BrownoutConfig {
+                    enter_backlog_secs: exit + span(rng, 0.5, 3.0),
+                    exit_backlog_secs: exit,
+                    min_dwell_secs: span(rng, 1.0, 20.0),
+                    ttl_decrement: rng.index(4) as u16,
+                    fanout_limit: 1 + rng.index(6) as u32,
+                })
+            } else {
+                None
+            };
+            OverloadPolicy {
+                service_rate,
+                // 0 = measure-only (unbounded queue): the uncontrolled
+                // baseline must survive the differential gate too.
+                queue_capacity: if rng.chance(0.15) {
+                    0
+                } else {
+                    2 + rng.index(30) as u32
+                },
+                discipline,
+                client_tokens_per_sec: if with_budget {
+                    config.query_rate * span(rng, 2.0, 20.0)
+                } else {
+                    0.0
+                },
+                client_token_burst: if with_budget {
+                    span(rng, 1.0, 6.0)
+                } else {
+                    0.0
+                },
+                brownout,
+                rehome_strikes: if rng.chance(0.4) {
+                    1 + rng.index(8) as u32
+                } else {
+                    0
+                },
+            }
+        };
+    }
     plan.validate().expect("generated plan must validate");
     plan
 }
@@ -978,14 +1088,25 @@ mod tests {
 
     #[test]
     fn generated_plans_validate_and_vary() {
+        let config = Config::default();
         let mut distinct = std::collections::BTreeSet::new();
+        let (mut with_overload, mut with_rate_mult) = (0usize, 0usize);
         for seed in 0..64 {
             let mut rng = SpRng::seed_from_u64(seed);
-            let plan = generate_plan(&mut rng, 1200.0);
+            let plan = generate_plan(&mut rng, &config, 1200.0);
             plan.validate().expect("generator must emit valid plans");
+            if !plan.overload.is_empty() {
+                plan.overload
+                    .validate()
+                    .expect("generated policy validates");
+                with_overload += 1;
+            }
+            with_rate_mult += plan.phases.iter().filter(|p| p.rate_mult != 1.0).count();
             distinct.insert(plan.to_json());
         }
         assert!(distinct.len() > 32, "plans must vary with the seed");
+        assert!(with_overload > 8, "overload policies must see coverage");
+        assert!(with_rate_mult > 4, "rate multipliers must see coverage");
     }
 
     #[test]
@@ -1023,9 +1144,22 @@ mod tests {
             queries: 5,
             ..RawMetrics::default()
         };
-        let reason = oracle(&a, &b).expect("must diverge");
+        let reason = oracle(&a, &b, false).expect("must diverge");
         assert!(reason.contains("queries (0 vs 5)"), "got: {reason}");
-        assert_eq!(oracle(&a, &a), None);
+        assert_eq!(oracle(&a, &a, false), None);
+        // Same bitwise metrics, fault ledger balanced, but an
+        // unbalanced overload ledger: the extended identity fires only
+        // when a policy was active.
+        let mut c = RawMetrics::default();
+        c.faults.queries_issued = 10;
+        c.faults.answered_direct = 10;
+        c.overload.delivered = 9;
+        assert_eq!(oracle(&c, &c, false), None);
+        let reason = oracle(&c, &c, true).expect("extended conservation must fire");
+        assert!(
+            reason.contains("extended overload conservation"),
+            "got: {reason}"
+        );
     }
 
     #[test]

@@ -15,6 +15,7 @@
 use sp_model::config::{Config, GraphType};
 use sp_model::costs::{CostModel, GeneralStats};
 use sp_model::load::Load;
+use sp_model::overload::{BrownoutConfig, OverloadPolicy, ShedDiscipline};
 use sp_model::population::{FileTail, PopulationModel};
 use sp_model::query_model::QueryModelConfig;
 use sp_model::repair::RepairPolicy;
@@ -24,6 +25,7 @@ use sp_stats::OnlineStats;
 use crate::engine::{AdaptSettings, ForwardPolicy, RawMetrics, SimOptions, TimelinePoint};
 use crate::faults::FaultMetrics;
 use crate::metrics::{SimMetrics, NUM_EVENT_KINDS};
+use crate::overload::OverloadMetrics;
 use crate::repair::{ReachPoint, RepairMetrics, RepairPending};
 
 /// Writes a [`Config`] (including its nested cost / population / query
@@ -157,6 +159,66 @@ pub(crate) fn snap_opts(o: &SimOptions, w: &mut SnapWriter) {
     w.f64(o.repair_delay_secs);
     w.u64(o.scenario_seed);
     w.bool(o.profile);
+    snap_overload_policy(&o.overload, w);
+}
+
+/// Writes an [`OverloadPolicy`] into a snapshot payload.
+pub(crate) fn snap_overload_policy(p: &OverloadPolicy, w: &mut SnapWriter) {
+    w.f64(p.service_rate);
+    w.u32(p.queue_capacity);
+    w.u8(match p.discipline {
+        ShedDiscipline::RejectAtAdmission => 0,
+        ShedDiscipline::DropOldest => 1,
+        ShedDiscipline::DropLowestTtl => 2,
+    });
+    w.f64(p.client_tokens_per_sec);
+    w.f64(p.client_token_burst);
+    match p.brownout {
+        None => w.bool(false),
+        Some(b) => {
+            w.bool(true);
+            w.f64(b.enter_backlog_secs);
+            w.f64(b.exit_backlog_secs);
+            w.f64(b.min_dwell_secs);
+            w.u16(b.ttl_decrement);
+            w.u32(b.fanout_limit);
+        }
+    }
+    w.u32(p.rehome_strikes);
+}
+
+/// Reads a policy written by [`snap_overload_policy`].
+pub(crate) fn unsnap_overload_policy(
+    r: &mut SnapReader<'_>,
+) -> Result<OverloadPolicy, SnapshotError> {
+    Ok(OverloadPolicy {
+        service_rate: r.f64("overload service_rate")?,
+        queue_capacity: r.u32("overload queue_capacity")?,
+        discipline: match r.u8("overload discipline tag")? {
+            0 => ShedDiscipline::RejectAtAdmission,
+            1 => ShedDiscipline::DropOldest,
+            2 => ShedDiscipline::DropLowestTtl,
+            tag => {
+                return Err(SnapshotError::Malformed(format!(
+                    "unknown shed discipline tag {tag}"
+                )))
+            }
+        },
+        client_tokens_per_sec: r.f64("overload client_tokens_per_sec")?,
+        client_token_burst: r.f64("overload client_token_burst")?,
+        brownout: if r.bool("overload has brownout")? {
+            Some(BrownoutConfig {
+                enter_backlog_secs: r.f64("brownout enter")?,
+                exit_backlog_secs: r.f64("brownout exit")?,
+                min_dwell_secs: r.f64("brownout dwell")?,
+                ttl_decrement: r.u16("brownout ttl_decrement")?,
+                fanout_limit: r.u32("brownout fanout_limit")?,
+            })
+        } else {
+            None
+        },
+        rehome_strikes: r.u32("overload rehome_strikes")?,
+    })
 }
 
 /// Reads [`SimOptions`] written by [`snap_opts`].
@@ -205,6 +267,7 @@ pub(crate) fn unsnap_opts(r: &mut SnapReader<'_>) -> Result<SimOptions, Snapshot
         repair_delay_secs: r.f64("opts repair_delay_secs")?,
         scenario_seed: r.u64("opts scenario_seed")?,
         profile: r.bool("opts profile")?,
+        overload: unsnap_overload_policy(r)?,
     })
 }
 
@@ -308,6 +371,7 @@ pub(crate) fn snap_raw_metrics(m: &RawMetrics, w: &mut SnapWriter) {
     w.u64(m.adapt_actions);
     m.faults.snap(w);
     snap_repair_metrics(&m.repair, w);
+    m.overload.snap(w);
 }
 
 /// Reads metrics written by [`snap_raw_metrics`].
@@ -355,6 +419,7 @@ pub(crate) fn unsnap_raw_metrics(r: &mut SnapReader<'_>) -> Result<RawMetrics, S
         adapt_actions: r.u64("metrics adapt_actions")?,
         faults: FaultMetrics::unsnap(r)?,
         repair: unsnap_repair_metrics(r)?,
+        overload: OverloadMetrics::unsnap(r)?,
     })
 }
 

@@ -52,6 +52,7 @@ use sp_graph::PartitionMonitor;
 use sp_model::config::Config;
 use sp_model::instance::{NetworkInstance, Topology};
 use sp_model::load::Load;
+use sp_model::overload::OverloadPolicy;
 use sp_model::query_model::QueryModel;
 use sp_model::repair::RepairPolicy;
 use sp_stats::dist::Normal;
@@ -67,6 +68,7 @@ use crate::events::{ClusterId, Event, EventHandle, IndexedEventQueue, PeerId, Si
 use crate::faults::{FaultMetrics, FaultState, QueryOutcome, Submission};
 use crate::metrics::{EventKind, ProfileTimer, RunManifest, SimMetrics};
 use crate::network::SimNetwork;
+use crate::overload::{Admission, OverloadMetrics, OverloadState};
 use crate::phases::{PhaseAction, ScenarioState};
 use crate::repair::{ReachPoint, RepairMetrics, RepairPending};
 
@@ -142,6 +144,10 @@ pub struct SimOptions {
     /// Record per-event-type wall-time histograms (two `Instant::now`
     /// calls per event — leave off for throughput benchmarks).
     pub profile: bool,
+    /// Overload-control policy (see [`sp_model::overload`]). The empty
+    /// policy is bitwise inert: no admission gate, no queues, no
+    /// counters, identical metrics to a build without the subsystem.
+    pub overload: OverloadPolicy,
 }
 
 impl Default for SimOptions {
@@ -160,6 +166,7 @@ impl Default for SimOptions {
             repair_delay_secs: 5.0,
             scenario_seed: 0,
             profile: false,
+            overload: OverloadPolicy::default(),
         }
     }
 }
@@ -226,6 +233,11 @@ pub struct RawMetrics {
     /// probes, final state); the repair counters only move when fault
     /// injection meets a promoting [`RepairPolicy`].
     pub repair: RepairMetrics,
+    /// Overload-control counters, latency histogram, and queue
+    /// timeline (all zero/empty without an active overload policy).
+    /// Part of `RawMetrics` so engine equivalence, thread invariance,
+    /// and the campaign fingerprint cover the overload ledger bitwise.
+    pub overload: OverloadMetrics,
 }
 
 impl RawMetrics {
@@ -262,6 +274,9 @@ pub struct Simulation {
     /// Repair counters retained past `run`'s `mem::take` (mirrors
     /// `faults_final`).
     repair_final: RepairMetrics,
+    /// Overload ledger retained past `run`'s `mem::take` (mirrors
+    /// `faults_final`) so the manifest can render the overload section.
+    overload_final: OverloadMetrics,
     /// Per-cluster-slot headless-window state, parallel to the cluster
     /// slab like `adapt_h`.
     repair_pending: Vec<RepairPending>,
@@ -275,6 +290,9 @@ pub struct Simulation {
     in_fault_crash: bool,
     /// Scenario-phase state machine (inert for an empty plan).
     scenario: ScenarioState,
+    /// Overload-control runtime (inert for an empty policy): bounded
+    /// per-cluster work queues, token budgets, brownout hysteresis.
+    overload: OverloadState,
     /// The scenario plan the state machine was built from, retained so
     /// snapshots are self-contained ([`ScenarioState`] keeps only the
     /// compiled phase/class tables).
@@ -380,6 +398,9 @@ impl Simulation {
     pub fn with_scenario(config: &Config, opts: SimOptions, plan: &ScenarioPlan) -> Self {
         let mut opts = opts;
         opts.repair = plan.repair;
+        if !plan.overload.is_empty() {
+            opts.overload = plan.overload;
+        }
         Self::build(config, opts, &plan.faults, plan)
     }
 
@@ -401,10 +422,12 @@ impl Simulation {
             faults: FaultState::new(plan.clone(), opts.fault_seed),
             faults_final: FaultMetrics::default(),
             repair_final: RepairMetrics::default(),
+            overload_final: OverloadMetrics::default(),
             repair_pending: Vec::new(),
             monitor: PartitionMonitor::new(),
             in_fault_crash: false,
             scenario: ScenarioState::new(scenario, opts.scenario_seed),
+            overload: OverloadState::new(opts.overload),
             scenario_plan: scenario.clone(),
             leave_h: Vec::new(),
             query_h: Vec::new(),
@@ -474,6 +497,12 @@ impl Simulation {
             } else {
                 self.repair_final.clone()
             },
+            overload_policy: self.opts.overload,
+            overload: if self.overload_final == OverloadMetrics::default() {
+                self.metrics.overload.clone()
+            } else {
+                self.overload_final.clone()
+            },
         }
     }
 
@@ -493,6 +522,9 @@ impl Simulation {
         self.query_h[peer as usize] = EventHandle::NULL;
         self.update_h[peer as usize] = EventHandle::NULL;
         self.rejoin_h[peer as usize] = EventHandle::NULL;
+        if self.overload.active() {
+            self.overload.reset_peer(peer);
+        }
     }
 
     /// Grows the per-cluster adapt-handle and repair slots to cover
@@ -516,6 +548,42 @@ impl Simulation {
         if self.queue.cancel(handle) {
             self.obs.cancelled += 1;
         }
+    }
+
+    /// Overload bookkeeping for a cluster about to be removed:
+    /// completions due by now still deliver, the rest of the queue is
+    /// shed as dead, and the slot resets for its next tenant.
+    fn ov_cluster_down(&mut self, c: ClusterId) {
+        if self.overload.active() {
+            self.overload
+                .cluster_down(c, self.now, &mut self.metrics.overload);
+        }
+    }
+
+    /// Re-homing target for a struck-out client: the live cluster with
+    /// the shallowest overload queue (ties to the lowest cluster id),
+    /// excluding the cluster being fled. `None` when no other cluster
+    /// has a partner to serve the client.
+    fn rehome_target(&self, from: ClusterId) -> Option<ClusterId> {
+        let mut best: Option<(usize, ClusterId)> = None;
+        for c in self.net.alive_clusters() {
+            if c == from {
+                continue;
+            }
+            if self.net.clusters[c as usize]
+                .as_ref()
+                .expect("alive")
+                .partners
+                .is_empty()
+            {
+                continue;
+            }
+            let d = self.overload.depth(c);
+            if best.is_none_or(|(bd, bc)| d < bd || (d == bd && c < bc)) {
+                best = Some((d, c));
+            }
+        }
+        best.map(|(_, c)| c)
     }
 
     fn bootstrap(&mut self, inst: &NetworkInstance) {
@@ -633,6 +701,7 @@ impl Simulation {
         self.obs.profiled = self.opts.profile;
         self.faults_final = self.metrics.faults.clone();
         self.repair_final = self.metrics.repair.clone();
+        self.overload_final = self.metrics.overload.clone();
         std::mem::take(&mut self.metrics)
     }
 
@@ -652,6 +721,12 @@ impl Simulation {
             self.now = t;
             self.dispatch(event);
         }
+    }
+
+    /// Whether overload control is active for this run (from the
+    /// options on a fresh run, or the snapshot on a restored one).
+    pub fn overload_active(&self) -> bool {
+        self.overload.active()
     }
 
     /// Serializes the full mutable state of the run into a versioned,
@@ -683,6 +758,7 @@ impl Simulation {
         self.faults.snap_state(&mut w);
         checkpoint::snap_repair_pending(&self.repair_pending, &mut w);
         self.scenario.snap_state(&mut w);
+        self.overload.snap_state(&mut w);
         for handles in [
             &self.leave_h,
             &self.query_h,
@@ -741,6 +817,7 @@ impl Simulation {
         let repair_pending = checkpoint::unsnap_repair_pending(&mut r)?;
         let mut scenario = ScenarioState::new(&scenario_plan, opts.scenario_seed);
         scenario.unsnap_state(&mut r)?;
+        let overload = OverloadState::unsnap_state(opts.overload, &mut r)?;
         let mut handle_vecs: [Vec<EventHandle>; 5] = Default::default();
         for handles in &mut handle_vecs {
             let n = r.len("handle vec len")?;
@@ -766,10 +843,12 @@ impl Simulation {
             faults,
             faults_final: FaultMetrics::default(),
             repair_final: RepairMetrics::default(),
+            overload_final: OverloadMetrics::default(),
             repair_pending,
             monitor: PartitionMonitor::new(),
             in_fault_crash,
             scenario,
+            overload,
             scenario_plan,
             leave_h,
             query_h,
@@ -1181,6 +1260,7 @@ impl Simulation {
         self.scratch_clients = clients;
         self.cancel_handle(self.adapt_h[c as usize]);
         self.adapt_h[c as usize] = EventHandle::NULL;
+        self.ov_cluster_down(c);
         self.net.remove_cluster(c);
     }
 
@@ -1244,6 +1324,7 @@ impl Simulation {
         self.metrics.repair.abandoned += 1;
         self.cancel_handle(self.adapt_h[c as usize]);
         self.adapt_h[c as usize] = EventHandle::NULL;
+        self.ov_cluster_down(c);
         self.net.remove_cluster(c);
     }
 
@@ -1268,6 +1349,7 @@ impl Simulation {
             self.metrics.repair.abandoned += 1;
             self.cancel_handle(self.adapt_h[cluster as usize]);
             self.adapt_h[cluster as usize] = EventHandle::NULL;
+            self.ov_cluster_down(cluster);
             self.net.remove_cluster(cluster);
             return;
         }
@@ -1618,9 +1700,37 @@ impl Simulation {
             .queue
             .schedule(self.now + dt, Event::Query { peer, generation });
         self.query_h[peer as usize] = h;
-        let Some(sc) = source_cluster else {
+        let Some(mut sc) = source_cluster else {
             return; // orphaned client cannot search
         };
+
+        // Deterministic re-homing: a client that has struck out
+        // against a persistently saturated super-peer detaches and
+        // joins the shallowest-queue live cluster before submitting,
+        // paying the Table 2 join cost. Target choice is a pure fold
+        // (min queue depth, ties to lowest cluster id) — no RNG draw,
+        // the same winner in both engines.
+        if !is_partner && self.overload.active() && self.overload.should_rehome(peer) {
+            if let Some(target) = self.rehome_target(sc) {
+                let files = self.net.peers[peer as usize]
+                    .as_ref()
+                    .expect("peer alive")
+                    .files as f64;
+                let partners_len = self.net.clusters[target as usize]
+                    .as_ref()
+                    .expect("alive")
+                    .partners
+                    .len();
+                self.credit_client_time(peer);
+                self.net.detach_client(peer);
+                self.attach_and_charge_join(peer, target);
+                self.metrics.overload.rehomed += 1;
+                self.metrics.overload.rehome_bytes +=
+                    partners_len as f64 * self.config.costs.join_bytes(files);
+                self.overload.rehomed(peer);
+                sc = target;
+            }
+        }
 
         let cm = self.config.costs;
         let j = self.model.sample_query(&mut self.rng);
@@ -1711,12 +1821,45 @@ impl Simulation {
             }
         }
 
+        // Overload admission: the submission reached a live partner,
+        // so the super-peer now decides whether to take the work.
+        // Rejected queries never flood (the client's copy dies at the
+        // super-peer's door) and land in the rejected ledger; admitted
+        // ones may flood with a brownout-degraded TTL/fanout. The
+        // whole gate is draw-free, so the empty policy is bitwise
+        // inert.
+        let ttl = self.net.clusters[sc as usize].as_ref().expect("alive").ttl;
+        let (ttl, fanout_limit) = if self.overload.active() {
+            match self.overload.admit(
+                sc,
+                peer,
+                is_partner,
+                self.now,
+                ttl,
+                &mut self.metrics.overload,
+            ) {
+                Admission::Rejected => return,
+                Admission::Admitted { ttl, fanout_limit } => (ttl, fanout_limit),
+            }
+        } else {
+            (ttl, None)
+        };
+
         // Flood over the cluster overlay, charging every transmission
         // inline as it is discovered (see `flood_and_charge` for why
         // that is exactly equivalent to the reference engine's
-        // record-then-replay).
-        let ttl = self.net.clusters[sc as usize].as_ref().expect("alive").ttl;
+        // record-then-replay). A brownout fanout cap rides the
+        // forwarding policy for just this flood.
+        let saved_policy = self.opts.forward_policy;
+        if let Some(f) = fanout_limit {
+            let cap = match saved_policy {
+                ForwardPolicy::FloodAll => f as usize,
+                ForwardPolicy::RandomSubset { fanout } => fanout.min(f as usize),
+            };
+            self.opts.forward_policy = ForwardPolicy::RandomSubset { fanout: cap };
+        }
         self.flood_and_charge(sc, ttl, qbytes, send_q, recv_q);
+        self.opts.forward_policy = saved_policy;
         let order = std::mem::take(&mut self.bfs_order);
 
         // Process queries, sample results, route responses.
@@ -2158,6 +2301,7 @@ impl Simulation {
         self.scratch_members = partners;
         self.cancel_handle(self.adapt_h[cluster as usize]);
         self.adapt_h[cluster as usize] = EventHandle::NULL;
+        self.ov_cluster_down(cluster);
         self.net.remove_cluster(cluster);
     }
 
@@ -2195,6 +2339,10 @@ impl Simulation {
         });
         self.queue
             .schedule(self.now + self.opts.sample_interval_secs, Event::Sample);
+        if self.overload.active() {
+            self.overload
+                .sample(self.now, clusters as u64, &mut self.metrics.overload);
+        }
         self.observe_reachability();
     }
 
@@ -2316,6 +2464,9 @@ impl Simulation {
         });
         self.metrics.repair.final_components = components;
         self.metrics.repair.final_reachable_fraction = frac;
+        if self.overload.active() {
+            self.overload.finalize(self.now, &mut self.metrics.overload);
+        }
     }
 
     /// TTL-bounded BFS over live clusters that charges every query

@@ -56,6 +56,7 @@ pub mod events;
 pub mod faults;
 pub mod metrics;
 pub mod network;
+pub mod overload;
 pub mod phases;
 pub mod reference;
 pub mod repair;
@@ -69,6 +70,7 @@ pub use campaign::{
 pub use engine::{ForwardPolicy, SimOptions, Simulation};
 pub use faults::{FaultMetrics, FaultState, QueryOutcome, ReconnectHistogram, Submission};
 pub use metrics::{EventKind, RunManifest, SimMetrics};
+pub use overload::{Admission, OvPoint, OverloadMetrics, OverloadState};
 pub use phases::{PhaseAction, ScenarioState};
 pub use reference::ReferenceSimulation;
 pub use repair::{ReachPoint, RepairMetrics};

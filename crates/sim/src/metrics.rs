@@ -16,7 +16,9 @@ use std::time::Instant;
 
 use crate::events::Event;
 use crate::faults::FaultMetrics;
+use crate::overload::OverloadMetrics;
 use crate::repair::RepairMetrics;
+use sp_model::overload::OverloadPolicy;
 use sp_model::repair::RepairPolicy;
 
 /// Discriminant of an [`Event`], used to index per-kind counters.
@@ -271,6 +273,12 @@ pub struct RunManifest {
     pub repair_policy: RepairPolicy,
     /// Overlay-repair counters and the reachability timeline.
     pub repair: RepairMetrics,
+    /// The overload-control policy in force for the run (empty =
+    /// subsystem disabled).
+    pub overload_policy: OverloadPolicy,
+    /// Overload ledger: shed/reject counters, response-latency
+    /// histogram, and the queue-depth/utilization timeline.
+    pub overload: OverloadMetrics,
 }
 
 impl RunManifest {
@@ -439,7 +447,24 @@ impl RunManifest {
             ));
         }
         s.push_str("    ]\n");
-        s.push_str("  }\n");
+        s.push_str("  },\n");
+        let active = !self.overload_policy.is_empty();
+        s.push_str(&format!("  \"overload_active\": {active},\n"));
+        s.push_str("  \"overload_policy\": ");
+        for (i, line) in self.overload_policy.to_json().lines().enumerate() {
+            if i > 0 {
+                s.push_str("\n  ");
+            }
+            s.push_str(line);
+        }
+        s.push_str(",\n");
+        // The overload ledger renders compact; the embedded timeline
+        // (queue depth, utilization, browned-out clusters per sample)
+        // is capped so a week-long run cannot balloon the manifest.
+        s.push_str(&format!(
+            "  \"overload\": {}\n",
+            self.overload.to_json(if active { 512 } else { 0 })
+        ));
         s.push_str("}\n");
         s
     }
@@ -534,6 +559,8 @@ mod tests {
             faults: FaultMetrics::default(),
             repair_policy: RepairPolicy::PromotePartner,
             repair: RepairMetrics::default(),
+            overload_policy: OverloadPolicy::default(),
+            overload: OverloadMetrics::default(),
         };
         let json = m.to_json();
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
@@ -541,6 +568,9 @@ mod tests {
         assert!(json.contains("\"queue_high_water\": 42"));
         assert!(json.contains("\"repair_policy\": \"promote+partner\""));
         assert!(json.contains("\"final_components\": 0"));
+        assert!(json.contains("\"overload_active\": false"));
+        assert!(json.contains("\"overload_policy\": {"));
+        assert!(json.contains("\"overload\": {\"delivered\": 0"));
         assert_eq!(m.events_per_sec(), 2.0);
         // Balanced braces — a cheap structural sanity check given the
         // hand-rolled rendering.

@@ -583,7 +583,10 @@ impl SimNetwork {
                 neighbors,
                 ttl: r.u16("cluster ttl")?,
                 total_files: r.u64("cluster total_files")?,
-                rr: r.len("cluster rr")?,
+                // The round-robin cursor is a wrapping counter, not a
+                // length: in a long high-rate run it legitimately
+                // exceeds the payload size, so skip the bounds check.
+                rr: r.u64("cluster rr")? as usize,
                 max_response_hop: r.u16("cluster max_response_hop")?,
                 growth: r.u64("cluster growth")? as i64,
                 last_adapt_at: r.f64("cluster last_adapt_at")?,

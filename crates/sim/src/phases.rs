@@ -74,6 +74,13 @@ pub struct ScenarioState {
     rng: SpRng,
     /// Active flash-crowd query-rate factor (1.0 outside windows).
     query_mult: f64,
+    /// Which phases are currently inside their window, indexed by
+    /// declaration order — the basis of the per-phase rate product.
+    phase_active: Vec<bool>,
+    /// Product of the active phases' per-phase `rate_mult` knobs,
+    /// recomputed canonically (declaration order) at every boundary so
+    /// overlapping windows compose without float drift.
+    rate_mult: f64,
     /// Active flash-crowd hot-key rotation (0 outside windows).
     hot_shift: u32,
     /// Active churn-burst lifespan factor (1.0 outside windows).
@@ -102,6 +109,8 @@ impl ScenarioState {
             classes: plan.capacity_classes.clone(),
             rng: SpRng::seed_from_u64(scenario_seed ^ 0x5CE4_A210_5EED),
             query_mult: 1.0,
+            phase_active: vec![false; n],
+            rate_mult: 1.0,
             hot_shift: 0,
             lifespan_mult: 1.0,
             wrr_current: vec![0.0; plan.capacity_classes.len()],
@@ -172,11 +181,27 @@ impl ScenarioState {
         best
     }
 
-    /// The factor applied to the per-peer query rate (1.0 outside
-    /// flash-crowd windows, so `rate * mult` is bitwise inert).
+    /// The factor applied to the per-peer query rate: the flash-crowd
+    /// factor times the product of active phases' per-phase
+    /// `query_rate_mult` knobs (all 1.0 outside windows, so
+    /// `rate * mult` is bitwise inert).
     #[inline]
     pub fn query_rate_mult(&self) -> f64 {
-        self.query_mult
+        self.query_mult * self.rate_mult
+    }
+
+    /// Recomputes the per-phase rate product from scratch over the
+    /// active set in declaration order: one canonical multiplication
+    /// sequence per active set, so opening and closing overlapping
+    /// windows can never accumulate float drift.
+    fn recompute_rate_mult(&mut self) {
+        let mut m = 1.0;
+        for (active, phase) in self.phase_active.iter().zip(&self.phases) {
+            if *active {
+                m *= phase.rate_mult;
+            }
+        }
+        self.rate_mult = m;
     }
 
     /// Rotates a sampled query class while a flash crowd is active
@@ -194,6 +219,8 @@ impl ScenarioState {
     /// Applies the phase event `(index, start)`: updates the workload
     /// modifiers internally and returns what the engine must execute.
     pub fn on_phase_event(&mut self, index: u32, start: bool) -> PhaseAction {
+        self.phase_active[index as usize] = start;
+        self.recompute_rate_mult();
         match self.phases[index as usize].kind {
             PhaseKind::FlashCrowd {
                 query_rate_mult,
@@ -286,6 +313,10 @@ impl ScenarioState {
             w.u64(word);
         }
         w.f64(self.query_mult);
+        w.len(self.phase_active.len());
+        for &a in &self.phase_active {
+            w.bool(a);
+        }
         w.u32(self.hot_shift);
         w.f64(self.lifespan_mult);
         w.len(self.wrr_current.len());
@@ -311,6 +342,17 @@ impl ScenarioState {
         }
         self.rng = SpRng::from_state(s);
         self.query_mult = r.f64("scenario query_mult")?;
+        let n = r.len("scenario phase_active len")?;
+        if n != self.phase_active.len() {
+            return Err(SnapshotError::Malformed(format!(
+                "snapshot has {n} phase-active flags but the plan has {}",
+                self.phase_active.len()
+            )));
+        }
+        for i in 0..n {
+            self.phase_active[i] = r.bool("scenario phase_active")?;
+        }
+        self.recompute_rate_mult();
         self.hot_shift = r.u32("scenario hot_shift")?;
         self.lifespan_mult = r.f64("scenario lifespan_mult")?;
         let n = r.len("scenario wrr len")?;
@@ -364,6 +406,7 @@ mod tests {
     fn flash_crowd_toggles_and_resets() {
         let plan = ScenarioPlan {
             phases: vec![PhaseSpec {
+                rate_mult: 1.0,
                 from_secs: 10.0,
                 until_secs: 20.0,
                 kind: PhaseKind::FlashCrowd {
@@ -384,9 +427,41 @@ mod tests {
     }
 
     #[test]
+    fn per_phase_rate_mult_composes_and_resets() {
+        let plan = ScenarioPlan {
+            phases: vec![
+                PhaseSpec {
+                    rate_mult: 10.0,
+                    from_secs: 10.0,
+                    until_secs: 40.0,
+                    kind: PhaseKind::ChurnBurst { lifespan_mult: 0.5 },
+                },
+                PhaseSpec {
+                    rate_mult: 2.0,
+                    from_secs: 20.0,
+                    until_secs: 30.0,
+                    kind: PhaseKind::Split { fraction: 0.25 },
+                },
+            ],
+            ..Default::default()
+        };
+        let mut s = ScenarioState::new(&plan, 1);
+        assert_eq!(s.query_rate_mult(), 1.0);
+        s.on_phase_event(0, true);
+        assert_eq!(s.query_rate_mult(), 10.0);
+        s.on_phase_event(1, true);
+        assert_eq!(s.query_rate_mult(), 20.0, "concurrent phases multiply");
+        s.on_phase_event(1, false);
+        assert_eq!(s.query_rate_mult(), 10.0);
+        s.on_phase_event(0, false);
+        assert_eq!(s.query_rate_mult(), 1.0);
+    }
+
+    #[test]
     fn churn_burst_scales_admitted_lifespans() {
         let plan = ScenarioPlan {
             phases: vec![PhaseSpec {
+                rate_mult: 1.0,
                 from_secs: 0.0,
                 until_secs: 100.0,
                 kind: PhaseKind::ChurnBurst {
@@ -446,6 +521,7 @@ mod tests {
     fn mass_leave_picks_are_seeded_distinct_and_sized() {
         let plan = ScenarioPlan {
             phases: vec![PhaseSpec {
+                rate_mult: 1.0,
                 from_secs: 5.0,
                 until_secs: 6.0,
                 kind: PhaseKind::MassLeave { fraction: 0.5 },
@@ -475,6 +551,7 @@ mod tests {
     fn split_windows_store_and_release_their_resolution() {
         let plan = ScenarioPlan {
             phases: vec![PhaseSpec {
+                rate_mult: 1.0,
                 from_secs: 5.0,
                 until_secs: 50.0,
                 kind: PhaseKind::Split { fraction: 0.4 },

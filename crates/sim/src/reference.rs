@@ -39,6 +39,7 @@ use crate::engine::{ForwardPolicy, RawMetrics, SimOptions, TimelinePoint};
 use crate::events::{BinaryEventQueue, ClusterId, Event, PeerId, SimTime};
 use crate::faults::{FaultAction, FaultState, QueryOutcome, Submission};
 use crate::network::SimNetwork;
+use crate::overload::{Admission, OverloadState};
 use crate::phases::{PhaseAction, ScenarioState};
 use crate::repair::{ReachPoint, RepairPending};
 
@@ -78,6 +79,9 @@ pub struct ReferenceSimulation {
     in_fault_crash: bool,
     /// Scenario-phase state machine (inert for an empty plan).
     scenario: ScenarioState,
+    /// Overload-control runtime (inert for an empty policy); mirror of
+    /// the fast engine's field, called at identical simulated times.
+    overload: OverloadState,
     /// The scenario plan the state machine was built from, retained so
     /// snapshots are self-contained.
     scenario_plan: ScenarioPlan,
@@ -117,6 +121,9 @@ impl ReferenceSimulation {
     pub fn with_scenario(config: &Config, opts: SimOptions, plan: &ScenarioPlan) -> Self {
         let mut opts = opts;
         opts.repair = plan.repair;
+        if !plan.overload.is_empty() {
+            opts.overload = plan.overload;
+        }
         Self::build(config, opts, &plan.faults, plan)
     }
 
@@ -147,6 +154,7 @@ impl ReferenceSimulation {
             monitor: PartitionMonitor::new(),
             in_fault_crash: false,
             scenario: ScenarioState::new(scenario, opts.scenario_seed),
+            overload: OverloadState::new(opts.overload),
             scenario_plan: scenario.clone(),
         };
         sim.bootstrap(&inst);
@@ -247,6 +255,12 @@ impl ReferenceSimulation {
 
     fn schedule_peer_events(&mut self, peer: PeerId, lifespan: f64) {
         let generation = self.net.peer_generation(peer);
+        if self.overload.active() {
+            // Same semantic point as the fast engine's
+            // `reset_peer_handles`: the slot belongs to a new peer, so
+            // its token bucket and strike streak restart.
+            self.overload.reset_peer(peer);
+        }
         self.queue
             .schedule(self.now + lifespan, Event::PeerLeave { peer, generation });
         if self.config.query_rate > 0.0 {
@@ -289,6 +303,12 @@ impl ReferenceSimulation {
         }
     }
 
+    /// Whether overload control is active for this run (from the
+    /// options on a fresh run, or the snapshot on a restored one).
+    pub fn overload_active(&self) -> bool {
+        self.overload.active()
+    }
+
     /// Serializes the full mutable state of the run; the oracle
     /// counterpart of [`Simulation::snapshot`](crate::engine::Simulation::snapshot),
     /// sealed with its own engine tag so the two formats cannot be
@@ -312,6 +332,7 @@ impl ReferenceSimulation {
         self.faults.snap_state(&mut w);
         checkpoint::snap_repair_pending(&self.repair_pending, &mut w);
         self.scenario.snap_state(&mut w);
+        self.overload.snap_state(&mut w);
         w.bool(self.in_fault_crash);
         w.seal(ENGINE_REFERENCE)
     }
@@ -351,6 +372,7 @@ impl ReferenceSimulation {
         let repair_pending = checkpoint::unsnap_repair_pending(&mut r)?;
         let mut scenario = ScenarioState::new(&scenario_plan, opts.scenario_seed);
         scenario.unsnap_state(&mut r)?;
+        let overload = OverloadState::unsnap_state(opts.overload, &mut r)?;
         let in_fault_crash = r.bool("in_fault_crash")?;
         r.finish()?;
         let model = QueryModel::from_config(&config.query_model);
@@ -376,6 +398,7 @@ impl ReferenceSimulation {
             monitor: PartitionMonitor::new(),
             in_fault_crash,
             scenario,
+            overload,
             scenario_plan,
         })
     }
@@ -596,6 +619,39 @@ impl ReferenceSimulation {
         self.schedule_peer_events(peer, lifespan);
     }
 
+    /// Overload bookkeeping for a cluster about to be removed (mirror
+    /// of the fast engine's helper).
+    fn ov_cluster_down(&mut self, c: ClusterId) {
+        if self.overload.active() {
+            self.overload
+                .cluster_down(c, self.now, &mut self.metrics.overload);
+        }
+    }
+
+    /// Re-homing target for a struck-out client (mirror of the fast
+    /// engine's pure fold: min queue depth, ties to lowest id).
+    fn rehome_target(&self, from: ClusterId) -> Option<ClusterId> {
+        let mut best: Option<(usize, ClusterId)> = None;
+        for c in self.net.alive_clusters() {
+            if c == from {
+                continue;
+            }
+            if self.net.clusters[c as usize]
+                .as_ref()
+                .expect("alive")
+                .partners
+                .is_empty()
+            {
+                continue;
+            }
+            let d = self.overload.depth(c);
+            if best.is_none_or(|(bd, bc)| d < bd || (d == bd && c < bc)) {
+                best = Some((d, c));
+            }
+        }
+        best.map(|(_, c)| c)
+    }
+
     /// Credits a peer's connected time as a client up to now and
     /// restarts its attachment clock.
     fn credit_client_time(&mut self, peer: PeerId) {
@@ -741,6 +797,7 @@ impl ReferenceSimulation {
                 },
             );
         }
+        self.ov_cluster_down(c);
         self.net.remove_cluster(c);
     }
 
@@ -812,6 +869,7 @@ impl ReferenceSimulation {
         }
         self.repair_pending[c as usize] = RepairPending::default();
         self.metrics.repair.abandoned += 1;
+        self.ov_cluster_down(c);
         self.net.remove_cluster(c);
     }
 
@@ -829,6 +887,7 @@ impl ReferenceSimulation {
         }
         if !has_client {
             self.metrics.repair.abandoned += 1;
+            self.ov_cluster_down(cluster);
             self.net.remove_cluster(cluster);
             return;
         }
@@ -1225,9 +1284,37 @@ impl ReferenceSimulation {
         let dt = self.exp_delay(self.config.query_rate * self.scenario.query_rate_mult());
         self.queue
             .schedule(self.now + dt, Event::Query { peer, generation });
-        let Some(sc) = source_cluster else {
+        let Some(mut sc) = source_cluster else {
             return; // orphaned client cannot search
         };
+
+        // Deterministic re-homing: a client that has struck out
+        // against a persistently saturated super-peer detaches and
+        // joins the shallowest-queue live cluster before submitting,
+        // paying the Table 2 join cost. Target choice is a pure fold
+        // (min queue depth, ties to lowest cluster id) — no RNG draw,
+        // the same winner in both engines.
+        if !is_partner && self.overload.active() && self.overload.should_rehome(peer) {
+            if let Some(target) = self.rehome_target(sc) {
+                let files = self.net.peers[peer as usize]
+                    .as_ref()
+                    .expect("peer alive")
+                    .files as f64;
+                let partners_len = self.net.clusters[target as usize]
+                    .as_ref()
+                    .expect("alive")
+                    .partners
+                    .len();
+                self.credit_client_time(peer);
+                self.net.detach_client(peer);
+                self.attach_and_charge_join(peer, target);
+                self.metrics.overload.rehomed += 1;
+                self.metrics.overload.rehome_bytes +=
+                    partners_len as f64 * self.config.costs.join_bytes(files);
+                self.overload.rehomed(peer);
+                sc = target;
+            }
+        }
 
         let cm = self.config.costs;
         let j = self.model.sample_query(&mut self.rng);
@@ -1315,9 +1402,42 @@ impl ReferenceSimulation {
             }
         }
 
-        // Flood over the cluster overlay.
+        // Overload admission: the submission reached a live partner,
+        // so the super-peer now decides whether to take the work.
+        // Rejected queries never flood (the client's copy dies at the
+        // super-peer's door) and land in the rejected ledger; admitted
+        // ones may flood with a brownout-degraded TTL/fanout. The
+        // whole gate is draw-free, so the empty policy is bitwise
+        // inert.
         let ttl = self.net.clusters[sc as usize].as_ref().expect("alive").ttl;
+        let (ttl, fanout_limit) = if self.overload.active() {
+            match self.overload.admit(
+                sc,
+                peer,
+                is_partner,
+                self.now,
+                ttl,
+                &mut self.metrics.overload,
+            ) {
+                Admission::Rejected => return,
+                Admission::Admitted { ttl, fanout_limit } => (ttl, fanout_limit),
+            }
+        } else {
+            (ttl, None)
+        };
+
+        // Flood over the cluster overlay. A brownout fanout cap rides
+        // the forwarding policy for just this flood.
+        let saved_policy = self.opts.forward_policy;
+        if let Some(f) = fanout_limit {
+            let cap = match saved_policy {
+                ForwardPolicy::FloodAll => f as usize,
+                ForwardPolicy::RandomSubset { fanout } => fanout.min(f as usize),
+            };
+            self.opts.forward_policy = ForwardPolicy::RandomSubset { fanout: cap };
+        }
         self.flood_bfs(sc, ttl);
+        self.opts.forward_policy = saved_policy;
 
         // Charge every recorded transmission (first copies and dropped
         // duplicates alike — both consume bandwidth and processing).
@@ -1649,6 +1769,7 @@ impl ReferenceSimulation {
             self.net.detach_partner(p);
             self.attach_and_charge_join(p, target);
         }
+        self.ov_cluster_down(cluster);
         self.net.remove_cluster(cluster);
     }
 
@@ -1686,6 +1807,10 @@ impl ReferenceSimulation {
         });
         self.queue
             .schedule(self.now + self.opts.sample_interval_secs, Event::Sample);
+        if self.overload.active() {
+            self.overload
+                .sample(self.now, clusters as u64, &mut self.metrics.overload);
+        }
         self.observe_reachability();
     }
 
@@ -1724,6 +1849,9 @@ impl ReferenceSimulation {
         });
         self.metrics.repair.final_components = components;
         self.metrics.repair.final_reachable_fraction = frac;
+        if self.overload.active() {
+            self.overload.finalize(self.now, &mut self.metrics.overload);
+        }
     }
 
     /// TTL-bounded BFS over live clusters into the scratch arrays;

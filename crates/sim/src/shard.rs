@@ -73,6 +73,7 @@
 //! oracles; this one answers "how does the overlay behave at 10⁶
 //! peers", which they cannot.
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
@@ -80,6 +81,7 @@ use std::time::Duration;
 
 use sp_model::config::Config;
 use sp_model::faults::{FaultPlan, FaultSpec};
+use sp_model::overload::{OverloadPolicy, ShedDiscipline};
 use sp_model::snapshot::{SnapReader, SnapWriter, SnapshotError, ENGINE_SCALE};
 use sp_model::trials::{panic_message, shard_spans};
 
@@ -158,6 +160,9 @@ pub struct ScaleOptions {
     /// reactor panic at the start of that tick, exercising the
     /// supervisor's fail-fast path. Never set in production runs.
     pub inject_panic: Option<(usize, u32)>,
+    /// Overload-control policy. The empty policy (the default) is
+    /// bitwise inert: no queueing, no shedding, identical metrics.
+    pub overload: OverloadPolicy,
 }
 
 impl Default for ScaleOptions {
@@ -169,6 +174,7 @@ impl Default for ScaleOptions {
             shards: 1,
             barrier_timeout_ticks: 0,
             inject_panic: None,
+            overload: OverloadPolicy::default(),
         }
     }
 }
@@ -186,6 +192,12 @@ pub enum ScaleEvent {
         peer: u64,
         /// Arrival index, keys the inter-arrival hash stream.
         n: u32,
+        /// Admission token-bucket level at this arrival. The level
+        /// rides the event (each peer has at most one pending arrival)
+        /// instead of a per-peer resident array, so a million-peer run
+        /// stays O(peers) in the queue alone. Always `0.0` when the
+        /// overload policy is empty — the field is then inert.
+        tokens: f64,
     },
     /// A Section 5.3 election in `cluster`, scheduled one tick after a
     /// crash left it headless.
@@ -209,6 +221,19 @@ pub enum MsgKind {
     },
     /// A post-election re-index announcement to an overlay neighbor.
     Reindex,
+    /// A query handed off by a persistently saturated super-peer to an
+    /// overlay neighbor (deterministic re-homing). The new home either
+    /// admits it into its own queue or the handoff fails outright — a
+    /// re-homed query is never re-homed again, so there are no chains.
+    Rehome {
+        /// Stable query identity, keys the per-cluster hit draws.
+        query_key: u64,
+        /// Effective TTL granted at the original admission attempt.
+        ttl: u8,
+        /// Tick the query was originally issued — latency accounting
+        /// spans the handoff.
+        arrival: u32,
+    },
 }
 
 /// One cluster-to-cluster message, delivered at a tick barrier.
@@ -309,11 +334,42 @@ struct ShardRun {
     carry: Option<ShardCarry>,
 }
 
+/// One queued query awaiting service at a super-peer. The effective
+/// TTL and fanout cap were fixed at admission (brownout degrades ride
+/// admission, not service).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OvEntry {
+    /// Tick the query was issued (transit included for re-homed ones).
+    arrival: u32,
+    /// Stable query identity, keys the hit draws.
+    key: u64,
+    /// Effective flood TTL granted at admission.
+    ttl: u8,
+    /// Per-hop fanout cap granted at admission; `0` means uncapped.
+    fanout: u8,
+}
+
+/// One cluster's overload-control runtime state: the bounded work
+/// queue, the fractional service credit, brownout hysteresis counters,
+/// and the consecutive-saturation strike count. Everything is a pure
+/// function of cluster-local history — no draws — which is what keeps
+/// the subsystem shard-count invariant.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct ClusterOvScale {
+    queue: VecDeque<OvEntry>,
+    credit: f64,
+    brownout: bool,
+    pressure_run: u32,
+    relief_run: u32,
+    strikes: u32,
+}
+
 /// One shard's slice of the resumable state, in canonical order.
 struct ShardCarry {
     alive: Vec<u64>,
     head: Vec<u32>,
     seq: Vec<u32>,
+    ov: Vec<ClusterOvScale>,
     events: Vec<(f64, ScaleEvent)>,
     msgs: Vec<ShardMsg>,
 }
@@ -331,6 +387,9 @@ struct ResumeState {
     head: Vec<u32>,
     /// Per-cluster message sequence counters.
     seq: Vec<u32>,
+    /// Per-cluster overload-control state (queues, credit, brownout,
+    /// strikes). All-default when the policy is empty.
+    ov: Vec<ClusterOvScale>,
     /// Pending local events as `(time, event)`, grouped by owning
     /// cluster ascending, per-cluster in queue pop order.
     events: Vec<(f64, ScaleEvent)>,
@@ -369,6 +428,24 @@ fn snap_scale_metrics(w: &mut SnapWriter, m: &ScaleMetrics) {
     w.u64(m.elections_held);
     w.u64(m.clusters_dead);
     w.u64(m.reindex_received);
+    w.u64(m.ov_admitted);
+    w.u64(m.ov_rehome_admitted);
+    w.u64(m.ov_rejected_budget);
+    w.u64(m.ov_rejected_queue);
+    w.u64(m.ov_rehome_sent);
+    w.u64(m.ov_handoff_failed);
+    w.u64(m.ov_delivered);
+    w.u64(m.ov_shed_discipline);
+    w.u64(m.ov_shed_dead);
+    w.u64(m.ov_shed_residual);
+    w.u64(m.ov_degraded);
+    w.u64(m.ov_brownout_entries);
+    w.u64(m.ov_brownout_ticks);
+    w.u64(m.ov_wait_ticks);
+    w.u64(m.ov_peak_depth);
+    for &v in &m.ov_wait_hist {
+        w.u64(v);
+    }
     for &v in &m.hop_hist {
         w.u64(v);
     }
@@ -394,8 +471,27 @@ fn unsnap_scale_metrics(r: &mut SnapReader<'_>) -> Result<ScaleMetrics, Snapshot
         elections_held: r.u64("metrics.elections_held")?,
         clusters_dead: r.u64("metrics.clusters_dead")?,
         reindex_received: r.u64("metrics.reindex_received")?,
+        ov_admitted: r.u64("metrics.ov_admitted")?,
+        ov_rehome_admitted: r.u64("metrics.ov_rehome_admitted")?,
+        ov_rejected_budget: r.u64("metrics.ov_rejected_budget")?,
+        ov_rejected_queue: r.u64("metrics.ov_rejected_queue")?,
+        ov_rehome_sent: r.u64("metrics.ov_rehome_sent")?,
+        ov_handoff_failed: r.u64("metrics.ov_handoff_failed")?,
+        ov_delivered: r.u64("metrics.ov_delivered")?,
+        ov_shed_discipline: r.u64("metrics.ov_shed_discipline")?,
+        ov_shed_dead: r.u64("metrics.ov_shed_dead")?,
+        ov_shed_residual: r.u64("metrics.ov_shed_residual")?,
+        ov_degraded: r.u64("metrics.ov_degraded")?,
+        ov_brownout_entries: r.u64("metrics.ov_brownout_entries")?,
+        ov_brownout_ticks: r.u64("metrics.ov_brownout_ticks")?,
+        ov_wait_ticks: r.u64("metrics.ov_wait_ticks")?,
+        ov_peak_depth: r.u64("metrics.ov_peak_depth")?,
+        ov_wait_hist: [0; SCALE_MAX_HOPS],
         hop_hist: [0; SCALE_MAX_HOPS],
     };
+    for v in m.ov_wait_hist.iter_mut() {
+        *v = r.u64("metrics.ov_wait_hist")?;
+    }
     for v in m.hop_hist.iter_mut() {
         *v = r.u64("metrics.hop_hist")?;
     }
@@ -447,6 +543,45 @@ pub struct ScaleMetrics {
     pub clusters_dead: u64,
     /// Re-index announcements received by live neighbors.
     pub reindex_received: u64,
+    /// Queries admitted into their own cluster's bounded work queue.
+    pub ov_admitted: u64,
+    /// Re-homed queries admitted at their new home.
+    pub ov_rehome_admitted: u64,
+    /// Queries rejected at admission by the per-client token budget.
+    pub ov_rejected_budget: u64,
+    /// Queries rejected at admission by a full queue (not re-homed).
+    pub ov_rejected_queue: u64,
+    /// Re-home handoffs emitted by saturated super-peers.
+    pub ov_rehome_sent: u64,
+    /// Re-home handoffs that died: lost or expired in flight, or the
+    /// new home was dead, partitioned, or itself full.
+    pub ov_handoff_failed: u64,
+    /// Queued queries served to completion (origin search + flood).
+    pub ov_delivered: u64,
+    /// Queued queries shed by the policy discipline on a full queue.
+    pub ov_shed_discipline: u64,
+    /// Queued queries shed because their cluster died.
+    pub ov_shed_dead: u64,
+    /// Queued queries still waiting when the run ended (explicitly
+    /// shed at finalize so the conservation ledger closes).
+    pub ov_shed_residual: u64,
+    /// Queries admitted with a brownout-degraded TTL/fanout.
+    pub ov_degraded: u64,
+    /// Brownout-mode entries across all clusters.
+    pub ov_brownout_entries: u64,
+    /// Cluster-ticks spent in brownout mode.
+    pub ov_brownout_ticks: u64,
+    /// Total ticks served queries waited in queue (transit included
+    /// for re-homed queries); mean wait is this over `ov_delivered`.
+    pub ov_wait_ticks: u64,
+    /// Largest queue depth observed anywhere (merged via `max` — max
+    /// is as commutative and associative as addition).
+    pub ov_peak_depth: u64,
+    /// Served-query waits by power-of-two buckets: bucket `b` holds
+    /// waits in `[2^(b−1), 2^b)` ticks (bucket 0 is a zero wait, the
+    /// last bucket also holds any overflow). A scan of the cumulative
+    /// counts bounds any latency quantile.
+    pub ov_wait_hist: [u64; SCALE_MAX_HOPS],
     /// Deliveries by hop count; bucket 15 also holds any overflow.
     pub hop_hist: [u64; SCALE_MAX_HOPS],
 }
@@ -471,9 +606,64 @@ impl ScaleMetrics {
         self.elections_held += other.elections_held;
         self.clusters_dead += other.clusters_dead;
         self.reindex_received += other.reindex_received;
+        self.ov_admitted += other.ov_admitted;
+        self.ov_rehome_admitted += other.ov_rehome_admitted;
+        self.ov_rejected_budget += other.ov_rejected_budget;
+        self.ov_rejected_queue += other.ov_rejected_queue;
+        self.ov_rehome_sent += other.ov_rehome_sent;
+        self.ov_handoff_failed += other.ov_handoff_failed;
+        self.ov_delivered += other.ov_delivered;
+        self.ov_shed_discipline += other.ov_shed_discipline;
+        self.ov_shed_dead += other.ov_shed_dead;
+        self.ov_shed_residual += other.ov_shed_residual;
+        self.ov_degraded += other.ov_degraded;
+        self.ov_brownout_entries += other.ov_brownout_entries;
+        self.ov_brownout_ticks += other.ov_brownout_ticks;
+        self.ov_wait_ticks += other.ov_wait_ticks;
+        self.ov_peak_depth = self.ov_peak_depth.max(other.ov_peak_depth);
+        for (mine, theirs) in self.ov_wait_hist.iter_mut().zip(other.ov_wait_hist.iter()) {
+            *mine += *theirs;
+        }
         for (mine, theirs) in self.hop_hist.iter_mut().zip(other.hop_hist.iter()) {
             *mine += *theirs;
         }
+    }
+
+    /// The scale engine's extended conservation ledger, meaningful
+    /// whenever the overload policy is active: every issued query is
+    /// admitted, rejected, or handed off; every handoff is admitted or
+    /// failed; and (at a completed run) everything admitted anywhere
+    /// was served or explicitly shed. With the empty policy every term
+    /// is zero except `queries_issued`, so callers gate on activity.
+    pub fn overload_conserved(&self) -> bool {
+        let gated = self.ov_admitted
+            + self.ov_rejected_budget
+            + self.ov_rejected_queue
+            + self.ov_rehome_sent;
+        let served =
+            self.ov_delivered + self.ov_shed_discipline + self.ov_shed_dead + self.ov_shed_residual;
+        gated == self.queries_issued
+            && self.ov_rehome_sent == self.ov_rehome_admitted + self.ov_handoff_failed
+            && self.ov_admitted + self.ov_rehome_admitted == served
+    }
+
+    /// Upper bound on the waiting time of the q-quantile served query,
+    /// in ticks, from the power-of-two wait histogram. Returns 0 when
+    /// nothing was served.
+    pub fn ov_wait_quantile_ticks(&self, q: f64) -> u64 {
+        let total: u64 = self.ov_wait_hist.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &count) in self.ov_wait_hist.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return if b == 0 { 0 } else { 1u64 << b };
+            }
+        }
+        1u64 << (SCALE_MAX_HOPS - 1)
     }
 
     /// Total simulation events processed — query arrivals, elections,
@@ -496,6 +686,7 @@ impl ScaleMetrics {
     /// order, integers only).
     pub fn to_json(&self) -> String {
         let hist: Vec<String> = self.hop_hist.iter().map(|v| v.to_string()).collect();
+        let wait_hist: Vec<String> = self.ov_wait_hist.iter().map(|v| v.to_string()).collect();
         format!(
             concat!(
                 "{{\"peers\": {}, \"clusters\": {}, \"ticks\": {}, ",
@@ -507,6 +698,15 @@ impl ScaleMetrics {
                 "\"results_found\": {}, \"crashes_injected\": {}, ",
                 "\"elections_held\": {}, \"clusters_dead\": {}, ",
                 "\"reindex_received\": {}, \"events_processed\": {}, ",
+                "\"ov_admitted\": {}, \"ov_rehome_admitted\": {}, ",
+                "\"ov_rejected_budget\": {}, \"ov_rejected_queue\": {}, ",
+                "\"ov_rehome_sent\": {}, \"ov_handoff_failed\": {}, ",
+                "\"ov_delivered\": {}, \"ov_shed_discipline\": {}, ",
+                "\"ov_shed_dead\": {}, \"ov_shed_residual\": {}, ",
+                "\"ov_degraded\": {}, \"ov_brownout_entries\": {}, ",
+                "\"ov_brownout_ticks\": {}, \"ov_wait_ticks\": {}, ",
+                "\"ov_peak_depth\": {}, \"ov_wait_p99_ticks\": {}, ",
+                "\"ov_wait_hist\": [{}], ",
                 "\"hop_hist\": [{}]}}"
             ),
             self.peers,
@@ -528,6 +728,23 @@ impl ScaleMetrics {
             self.clusters_dead,
             self.reindex_received,
             self.events_processed(),
+            self.ov_admitted,
+            self.ov_rehome_admitted,
+            self.ov_rejected_budget,
+            self.ov_rejected_queue,
+            self.ov_rehome_sent,
+            self.ov_handoff_failed,
+            self.ov_delivered,
+            self.ov_shed_discipline,
+            self.ov_shed_dead,
+            self.ov_shed_residual,
+            self.ov_degraded,
+            self.ov_brownout_entries,
+            self.ov_brownout_ticks,
+            self.ov_wait_ticks,
+            self.ov_peak_depth,
+            self.ov_wait_quantile_ticks(0.99),
+            wait_hist.join(", "),
             hist.join(", "),
         )
     }
@@ -588,6 +805,7 @@ struct ScaleParams {
     horizon: u32,
     seed: u64,
     fault_seed: u64,
+    overload: OverloadPolicy,
 }
 
 /// The sharded scale simulator. Construction validates and captures
@@ -628,6 +846,7 @@ impl ShardedSimulation {
     pub fn with_faults(config: &Config, opts: ScaleOptions, plan: &FaultPlan) -> Self {
         config.validate().expect("invalid configuration");
         plan.validate().expect("invalid fault plan");
+        opts.overload.validate().expect("invalid overload policy");
         assert!(
             config.cluster_size <= SCALE_MAX_CLUSTER,
             "scale engine supports cluster_size <= {SCALE_MAX_CLUSTER}"
@@ -657,6 +876,7 @@ impl ShardedSimulation {
                 horizon: max_delay + 2,
                 seed: opts.seed,
                 fault_seed: opts.fault_seed,
+                overload: opts.overload,
             },
             plan: plan.clone(),
             shards: opts.shards.clamp(1, clusters),
@@ -722,6 +942,12 @@ impl ShardedSimulation {
         self.params.ticks
     }
 
+    /// Whether overload control is active for this run (from the
+    /// options on a fresh run, or the snapshot on a restored one).
+    pub fn overload_active(&self) -> bool {
+        !self.params.overload.is_empty()
+    }
+
     /// Serializes the parked engine state (see
     /// [`run_to`](ShardedSimulation::run_to)) into a sealed snapshot.
     /// The state is canonical — per-cluster arrays indexed by global
@@ -751,6 +977,7 @@ impl ShardedSimulation {
         w.u64(p.seed);
         w.u64(p.fault_seed);
         w.str(&self.plan.to_json());
+        w.str(&p.overload.to_json());
         w.u32(r.tick);
         for &a in &r.alive {
             w.u64(a);
@@ -761,14 +988,29 @@ impl ShardedSimulation {
         for &s in &r.seq {
             w.u32(s);
         }
+        for ov in &r.ov {
+            w.f64(ov.credit);
+            w.u8(ov.brownout as u8);
+            w.u32(ov.pressure_run);
+            w.u32(ov.relief_run);
+            w.u32(ov.strikes);
+            w.len(ov.queue.len());
+            for e in &ov.queue {
+                w.u32(e.arrival);
+                w.u64(e.key);
+                w.u8(e.ttl);
+                w.u8(e.fanout);
+            }
+        }
         w.len(r.events.len());
         for &(time, event) in &r.events {
             w.f64(time);
             match event {
-                ScaleEvent::Query { peer, n } => {
+                ScaleEvent::Query { peer, n, tokens } => {
                     w.u8(0);
                     w.u64(peer);
                     w.u32(n);
+                    w.f64(tokens);
                 }
                 ScaleEvent::Election { cluster } => {
                     w.u8(1);
@@ -794,6 +1036,16 @@ impl ShardedSimulation {
                     w.u8(hops);
                 }
                 MsgKind::Reindex => w.u8(1),
+                MsgKind::Rehome {
+                    query_key,
+                    ttl,
+                    arrival,
+                } => {
+                    w.u8(2);
+                    w.u64(query_key);
+                    w.u8(ttl);
+                    w.u32(arrival);
+                }
             }
         }
         snap_scale_metrics(&mut w, &r.metrics);
@@ -856,6 +1108,11 @@ impl ShardedSimulation {
             .map_err(|e| malformed(format!("embedded fault plan: {e}")))?;
         plan.validate()
             .map_err(|e| malformed(format!("embedded fault plan: {e}")))?;
+        let overload = OverloadPolicy::from_json(r.str("overload policy")?)
+            .map_err(|e| malformed(format!("embedded overload policy: {e}")))?;
+        overload
+            .validate()
+            .map_err(|e| malformed(format!("embedded overload policy: {e}")))?;
         let tick = r.u32("resume tick")?;
         if tick > ticks {
             return Err(malformed(format!(
@@ -887,6 +1144,51 @@ impl ShardedSimulation {
         for _ in 0..clusters {
             seq.push(r.u32("seq counter")?);
         }
+        let mut ov = Vec::with_capacity(clusters);
+        for _ in 0..clusters {
+            let credit = r.f64("ov credit")?;
+            if !credit.is_finite() || credit < 0.0 {
+                return Err(malformed(format!("ov credit {credit} not a valid level")));
+            }
+            let brownout = match r.u8("ov brownout flag")? {
+                0 => false,
+                1 => true,
+                other => return Err(malformed(format!("ov brownout flag {other} not a bool"))),
+            };
+            let pressure_run = r.u32("ov pressure run")?;
+            let relief_run = r.u32("ov relief run")?;
+            let strikes = r.u32("ov strikes")?;
+            let n_entries = r.len("ov queue len")?;
+            let mut queue = VecDeque::with_capacity(n_entries);
+            for _ in 0..n_entries {
+                let arrival = r.u32("ov entry arrival")?;
+                let key = r.u64("ov entry key")?;
+                let entry_ttl = r.u8("ov entry ttl")?;
+                let fanout = r.u8("ov entry fanout")?;
+                if arrival > tick {
+                    return Err(malformed(format!(
+                        "ov entry arrival {arrival} in the future"
+                    )));
+                }
+                if entry_ttl as usize >= SCALE_MAX_HOPS {
+                    return Err(malformed(format!("ov entry ttl {entry_ttl} out of range")));
+                }
+                queue.push_back(OvEntry {
+                    arrival,
+                    key,
+                    ttl: entry_ttl,
+                    fanout,
+                });
+            }
+            ov.push(ClusterOvScale {
+                queue,
+                credit,
+                brownout,
+                pressure_run,
+                relief_run,
+                strikes,
+            });
+        }
         let peers_total = (clusters * cluster_size) as u64;
         let n_events = r.len("event count")?;
         let mut events = Vec::with_capacity(n_events);
@@ -899,10 +1201,16 @@ impl ShardedSimulation {
                 0 => {
                     let peer = r.u64("event peer")?;
                     let n = r.u32("event arrival index")?;
+                    let tokens = r.f64("event tokens")?;
                     if peer >= peers_total {
                         return Err(malformed(format!("event peer {peer} out of range")));
                     }
-                    ScaleEvent::Query { peer, n }
+                    if !tokens.is_finite() || tokens < 0.0 {
+                        return Err(malformed(format!(
+                            "event tokens {tokens} not a valid level"
+                        )));
+                    }
+                    ScaleEvent::Query { peer, n, tokens }
                 }
                 1 => {
                     let cluster = r.u32("event cluster")?;
@@ -945,6 +1253,24 @@ impl ShardedSimulation {
                     }
                 }
                 1 => MsgKind::Reindex,
+                2 => {
+                    let query_key = r.u64("msg query key")?;
+                    let msg_ttl = r.u8("msg ttl")?;
+                    let arrival = r.u32("msg arrival")?;
+                    if msg_ttl as usize >= SCALE_MAX_HOPS {
+                        return Err(malformed(format!("msg ttl {msg_ttl} out of range")));
+                    }
+                    if arrival > deliver_tick {
+                        return Err(malformed(format!(
+                            "rehome arrival {arrival} after delivery tick {deliver_tick}"
+                        )));
+                    }
+                    MsgKind::Rehome {
+                        query_key,
+                        ttl: msg_ttl,
+                        arrival,
+                    }
+                }
                 other => return Err(malformed(format!("unknown msg kind tag {other}"))),
             };
             msgs.push(ShardMsg {
@@ -969,6 +1295,7 @@ impl ShardedSimulation {
                 horizon,
                 seed,
                 fault_seed,
+                overload,
             },
             plan,
             shards: opts.shards.clamp(1, clusters),
@@ -980,6 +1307,7 @@ impl ShardedSimulation {
                 alive,
                 head,
                 seq,
+                ov,
                 events,
                 msgs,
                 metrics,
@@ -1022,6 +1350,7 @@ impl ShardedSimulation {
                         alive: r.alive[s..e].to_vec(),
                         head: r.head[s..e].to_vec(),
                         seq: r.seq[s..e].to_vec(),
+                        ov: r.ov[s..e].to_vec(),
                         events: r
                             .events
                             .iter()
@@ -1188,6 +1517,7 @@ impl ShardedSimulation {
             alive: Vec::with_capacity(params.clusters),
             head: Vec::with_capacity(params.clusters),
             seq: Vec::with_capacity(params.clusters),
+            ov: Vec::with_capacity(params.clusters),
             events: Vec::new(),
             msgs: Vec::new(),
             metrics: ScaleMetrics::default(),
@@ -1201,6 +1531,7 @@ impl ShardedSimulation {
                 rs.alive.extend(carry.alive);
                 rs.head.extend(carry.head);
                 rs.seq.extend(carry.seq);
+                rs.ov.extend(carry.ov);
                 rs.events.extend(carry.events);
                 rs.msgs.extend(carry.msgs);
             }
@@ -1364,6 +1695,9 @@ struct Reactor<'a> {
     shard_starts: &'a [usize],
     me: usize,
     state: ShardState,
+    /// Per-owned-cluster overload state; all-default when the policy
+    /// is empty (and then never touched).
+    ov: Vec<ClusterOvScale>,
     queue: IndexedEventQueue<ScaleEvent>,
     /// Future-delivery ring, indexed by `deliver_tick % horizon`.
     ring: Vec<Vec<ShardMsg>>,
@@ -1385,8 +1719,11 @@ impl Reactor<'_> {
 
     /// Emits one message at tick `t`: assigns the per-source sequence
     /// number, applies source-side loss/delay windows, and routes to
-    /// the destination shard's batch (or the local ring).
-    fn emit(&mut self, t: u32, src: u32, dst: u32, kind: MsgKind) {
+    /// the destination shard's batch (or the local ring). Returns
+    /// whether the message was actually scheduled for delivery —
+    /// `false` means it was lost or expired, which the re-homing path
+    /// folds into its handoff-failure ledger.
+    fn emit(&mut self, t: u32, src: u32, dst: u32, kind: MsgKind) -> bool {
         let local = self.state.local(src);
         let seq = self.state.seq[local];
         self.state.seq[local] += 1;
@@ -1402,7 +1739,7 @@ impl Reactor<'_> {
                 prob,
             ) {
                 self.metrics.msgs_dropped_loss += 1;
-                return;
+                return false;
             }
         }
         let mut delay = 0u32;
@@ -1425,7 +1762,7 @@ impl Reactor<'_> {
         let deliver = t + 1 + delay;
         if deliver >= self.params.ticks {
             self.metrics.msgs_expired += 1;
-            return;
+            return false;
         }
         let msg = ShardMsg {
             deliver_tick: deliver,
@@ -1442,6 +1779,7 @@ impl Reactor<'_> {
             self.diag.cross_shard_msgs += 1;
             self.outbox[dst_shard].push(msg);
         }
+        true
     }
 
     /// Kills the acting head and every founding partner of an owned
@@ -1555,17 +1893,270 @@ impl Reactor<'_> {
                     self.metrics.reindex_received += 1;
                 }
             }
+            MsgKind::Rehome {
+                query_key,
+                ttl,
+                arrival,
+            } => {
+                // The new home admits the refugee into its own queue
+                // or the handoff fails — dead, partitioned, or full
+                // destinations never trigger a second hop.
+                if self.state.alive[local] == 0 || self.windows.is_partitioned(msg.dst_cluster) {
+                    self.metrics.ov_handoff_failed += 1;
+                    return;
+                }
+                let pol = self.params.overload;
+                let cap = pol.queue_capacity as usize;
+                if cap > 0 && self.ov[local].queue.len() >= cap {
+                    self.metrics.ov_handoff_failed += 1;
+                    return;
+                }
+                // Brownout at the *new* home still applies: the
+                // granted TTL is the tighter of the handoff's and the
+                // destination's current effective grant.
+                let (dst_ttl, fanout, degraded) = self.ov_effective(local);
+                if degraded {
+                    self.metrics.ov_degraded += 1;
+                }
+                self.metrics.ov_rehome_admitted += 1;
+                self.ov[local].queue.push_back(OvEntry {
+                    arrival,
+                    key: query_key,
+                    ttl: ttl.min(dst_ttl),
+                    fanout,
+                });
+                self.metrics.ov_peak_depth = self
+                    .metrics
+                    .ov_peak_depth
+                    .max(self.ov[local].queue.len() as u64);
+            }
+        }
+    }
+
+    /// Effective (TTL, fanout cap, degraded?) grant at `local` right
+    /// now: the configured TTL, tightened by brownout when the cluster
+    /// is browned out and the policy defines one.
+    fn ov_effective(&self, local: usize) -> (u8, u8, bool) {
+        let base = self.params.ttl;
+        match self.params.overload.brownout {
+            Some(b) if self.ov[local].brownout => {
+                let dec = b.ttl_decrement.min(u8::MAX as u16) as u8;
+                let ttl = if base == 0 {
+                    0
+                } else {
+                    base.saturating_sub(dec).max(1)
+                };
+                (ttl, b.fanout_limit.clamp(1, u8::MAX as u32) as u8, true)
+            }
+            _ => (base, 0, false),
+        }
+    }
+
+    /// Admission control at `cluster`'s bounded work queue for a
+    /// locally issued query. Draw-free: every decision is a pure
+    /// function of cluster-local state, so the outcome is identical at
+    /// any shard layout.
+    fn ov_submit(&mut self, t: u32, cluster: u32, query_key: u64) {
+        let local = self.state.local(cluster);
+        let pol = self.params.overload;
+        // Brownout degrades ride admission, not service: a query
+        // accepted under pressure floods shallower even if it is
+        // served after relief.
+        let (eff_ttl, fanout, degraded) = self.ov_effective(local);
+        let cap = pol.queue_capacity as usize;
+        let full = cap > 0 && self.ov[local].queue.len() >= cap;
+        if full {
+            self.ov[local].strikes += 1;
+            // Persistent saturation: hand the query to the first
+            // overlay neighbor instead of rejecting yet again — the
+            // deterministic re-homing path, at one message's cost.
+            if pol.rehome_strikes > 0
+                && self.ov[local].strikes >= pol.rehome_strikes
+                && !self.state.neighbors(local).is_empty()
+            {
+                let dst = self.state.neighbors(local)[0];
+                self.metrics.ov_rehome_sent += 1;
+                let kind = MsgKind::Rehome {
+                    query_key,
+                    ttl: eff_ttl,
+                    arrival: t,
+                };
+                if !self.emit(t, cluster, dst, kind) {
+                    self.metrics.ov_handoff_failed += 1;
+                }
+                return;
+            }
+            match pol.discipline {
+                ShedDiscipline::RejectAtAdmission => {
+                    self.metrics.ov_rejected_queue += 1;
+                    return;
+                }
+                ShedDiscipline::DropOldest => {
+                    self.ov[local].queue.pop_front();
+                    self.metrics.ov_shed_discipline += 1;
+                }
+                ShedDiscipline::DropLowestTtl => {
+                    // Shed the queued entry with the lowest TTL (ties
+                    // to the oldest), but only one no more useful than
+                    // the arrival; otherwise the arrival is the victim.
+                    let mut victim: Option<(usize, u8)> = None;
+                    for (i, e) in self.ov[local].queue.iter().enumerate() {
+                        match victim {
+                            None if e.ttl <= eff_ttl => victim = Some((i, e.ttl)),
+                            Some((_, vt)) if e.ttl < vt => victim = Some((i, e.ttl)),
+                            _ => {}
+                        }
+                    }
+                    match victim {
+                        Some((i, _)) => {
+                            self.ov[local].queue.remove(i);
+                            self.metrics.ov_shed_discipline += 1;
+                        }
+                        None => {
+                            self.metrics.ov_rejected_queue += 1;
+                            return;
+                        }
+                    }
+                }
+            }
+        } else {
+            self.ov[local].strikes = 0;
+        }
+        if degraded {
+            self.metrics.ov_degraded += 1;
+        }
+        self.metrics.ov_admitted += 1;
+        self.ov[local].queue.push_back(OvEntry {
+            arrival: t,
+            key: query_key,
+            ttl: eff_ttl,
+            fanout,
+        });
+        self.metrics.ov_peak_depth = self
+            .metrics
+            .ov_peak_depth
+            .max(self.ov[local].queue.len() as u64);
+    }
+
+    /// Serves one dequeued query: latency accounting, the origin index
+    /// search, and the (possibly brownout-capped) flood.
+    fn ov_serve(&mut self, t: u32, cluster: u32, e: OvEntry) {
+        self.metrics.ov_delivered += 1;
+        let wait = (t - e.arrival) as u64;
+        self.metrics.ov_wait_ticks += wait;
+        let bucket = (u64::BITS - wait.leading_zeros()) as usize;
+        self.metrics.ov_wait_hist[bucket.min(SCALE_MAX_HOPS - 1)] += 1;
+        let local = self.state.local(cluster);
+        if chance(
+            keyed(SALT_HIT, self.params.seed, e.key, cluster as u64),
+            HIT_PROB,
+        ) {
+            self.metrics.results_found += 1;
+        }
+        if e.ttl > 0 {
+            let deg = self.state.neighbors(local).len();
+            let lim = if e.fanout == 0 {
+                deg
+            } else {
+                deg.min(e.fanout as usize)
+            };
+            for i in 0..lim {
+                let dst = self.state.edges[self.state.offsets[local] as usize + i];
+                self.emit(
+                    t,
+                    cluster,
+                    dst,
+                    MsgKind::Flood {
+                        query_key: e.key,
+                        ttl_left: e.ttl - 1,
+                        hops: 1,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Per-tick overload maintenance for every owned cluster in
+    /// ascending order: shed dead clusters' queues, drain the service
+    /// credit, then evaluate brownout hysteresis on the post-drain
+    /// backlog. Runs between fault injection and message delivery, so
+    /// every entry gets a whole-tick service floor.
+    fn ov_tick(&mut self, t: u32) {
+        let pol = self.params.overload;
+        if pol.is_empty() {
+            return;
+        }
+        let dwell = pol
+            .brownout
+            .map_or(1, |b| (b.min_dwell_secs.ceil() as u32).max(1));
+        for local in 0..self.ov.len() {
+            if self.state.alive[local] == 0 {
+                let shed = self.ov[local].queue.len() as u64;
+                if shed > 0 {
+                    self.metrics.ov_shed_dead += shed;
+                }
+                self.ov[local] = ClusterOvScale::default();
+                continue;
+            }
+            // Drain: one credit per completed response, accumulated at
+            // the policy's service rate (ticks are one second).
+            self.ov[local].credit += pol.service_rate;
+            while self.ov[local].credit >= 1.0 {
+                let Some(e) = self.ov[local].queue.pop_front() else {
+                    break;
+                };
+                self.ov[local].credit -= 1.0;
+                self.ov_serve(t, self.state.base + local as u32, e);
+            }
+            if self.ov[local].queue.is_empty() {
+                // A work-conserving server banks no idle capacity.
+                self.ov[local].credit = 0.0;
+            }
+            if let Some(b) = pol.brownout {
+                let backlog = self.ov[local].queue.len() as f64 / pol.service_rate;
+                let ovc = &mut self.ov[local];
+                if ovc.brownout {
+                    if backlog <= b.exit_backlog_secs {
+                        ovc.relief_run += 1;
+                    } else {
+                        ovc.relief_run = 0;
+                    }
+                    if ovc.relief_run >= dwell {
+                        ovc.brownout = false;
+                        ovc.pressure_run = 0;
+                        ovc.relief_run = 0;
+                    }
+                } else {
+                    if backlog >= b.enter_backlog_secs {
+                        ovc.pressure_run += 1;
+                    } else {
+                        ovc.pressure_run = 0;
+                    }
+                    if ovc.pressure_run >= dwell {
+                        ovc.brownout = true;
+                        ovc.pressure_run = 0;
+                        ovc.relief_run = 0;
+                        self.metrics.ov_brownout_entries += 1;
+                    }
+                }
+                if ovc.brownout {
+                    self.metrics.ov_brownout_ticks += 1;
+                }
+            }
         }
     }
 
     /// Processes one local event at tick `t`.
     fn handle_event(&mut self, t: u32, event: ScaleEvent) {
         match event {
-            ScaleEvent::Query { peer, n } => {
+            ScaleEvent::Query { peer, n, tokens } => {
                 let cluster = (peer / self.params.cluster_size as u64) as u32;
                 let local = self.state.local(cluster);
                 let offset = (peer % self.params.cluster_size as u64) as u32;
                 let peer_alive = self.state.alive[local] & (1u64 << (offset % 64)) != 0;
+                let pol = self.params.overload;
+                let ov_active = !pol.is_empty();
+                let mut level = tokens;
                 if !peer_alive
                     || self.state.alive[local] == 0
                     || self.windows.is_partitioned(cluster)
@@ -1590,36 +2181,78 @@ impl Reactor<'_> {
                     }
                     self.metrics.queries_issued += 1;
                     let query_key = keyed(SALT_QUERY, self.params.seed, peer, n as u64);
-                    // The origin cluster searches its own index first…
-                    if chance(
-                        keyed(SALT_HIT, self.params.seed, query_key, cluster as u64),
-                        HIT_PROB,
-                    ) {
-                        self.metrics.results_found += 1;
+                    // Per-client token budget: clients (non-founding
+                    // members) pay one token per admission attempt;
+                    // an empty bucket rejects at the door, before the
+                    // queue ever sees the query.
+                    let is_partner = (offset as usize) < self.params.redundancy_k;
+                    let mut budget_ok = true;
+                    if ov_active && !is_partner && pol.client_tokens_per_sec > 0.0 {
+                        if level < 1.0 {
+                            self.metrics.ov_rejected_budget += 1;
+                            budget_ok = false;
+                        } else {
+                            level -= 1.0;
+                        }
                     }
-                    // …then floods the overlay if any TTL remains.
-                    if self.params.ttl > 0 {
-                        let deg = self.state.neighbors(local).len();
-                        for e in 0..deg {
-                            let dst = self.state.edges[self.state.offsets[local] as usize + e];
-                            self.emit(
-                                t,
-                                cluster,
-                                dst,
-                                MsgKind::Flood {
-                                    query_key,
-                                    ttl_left: self.params.ttl - 1,
-                                    hops: 1,
-                                },
-                            );
+                    if budget_ok {
+                        if ov_active {
+                            // Overload control: the query joins the
+                            // super-peer's bounded work queue and is
+                            // served (origin search + flood) when its
+                            // turn comes — or is shed/re-homed.
+                            self.ov_submit(t, cluster, query_key);
+                        } else {
+                            // The origin cluster searches its own
+                            // index first…
+                            if chance(
+                                keyed(SALT_HIT, self.params.seed, query_key, cluster as u64),
+                                HIT_PROB,
+                            ) {
+                                self.metrics.results_found += 1;
+                            }
+                            // …then floods the overlay if any TTL
+                            // remains.
+                            if self.params.ttl > 0 {
+                                let deg = self.state.neighbors(local).len();
+                                for e in 0..deg {
+                                    let dst =
+                                        self.state.edges[self.state.offsets[local] as usize + e];
+                                    self.emit(
+                                        t,
+                                        cluster,
+                                        dst,
+                                        MsgKind::Flood {
+                                            query_key,
+                                            ttl_left: self.params.ttl - 1,
+                                            hops: 1,
+                                        },
+                                    );
+                                }
+                            }
                         }
                     }
                 }
                 let gap = arrival_gap(self.params, peer, n + 1);
                 let next = t + gap;
                 if next < self.params.ticks {
-                    self.queue
-                        .schedule(next as f64, ScaleEvent::Query { peer, n: n + 1 });
+                    // The bucket refills over the gap to the next
+                    // arrival, capped at the burst ceiling; the level
+                    // rides the event. Always 0.0 when the policy is
+                    // empty, so the field is bitwise inert.
+                    let refilled = if ov_active && pol.client_tokens_per_sec > 0.0 {
+                        (level + pol.client_tokens_per_sec * gap as f64).min(pol.client_token_burst)
+                    } else {
+                        level
+                    };
+                    self.queue.schedule(
+                        next as f64,
+                        ScaleEvent::Query {
+                            peer,
+                            n: n + 1,
+                            tokens: refilled,
+                        },
+                    );
                 }
             }
             ScaleEvent::Election { cluster } => {
@@ -1724,9 +2357,14 @@ fn run_shard(
     } else {
         (1u64 << params.cluster_size) - 1
     };
-    let (alive, head, seq) = match &carry {
-        Some(c) => (c.alive.clone(), c.head.clone(), c.seq.clone()),
-        None => (vec![full_mask; own], vec![0; own], vec![0; own]),
+    let (alive, head, seq, ov) = match &carry {
+        Some(c) => (c.alive.clone(), c.head.clone(), c.seq.clone(), c.ov.clone()),
+        None => (
+            vec![full_mask; own],
+            vec![0; own],
+            vec![0; own],
+            vec![ClusterOvScale::default(); own],
+        ),
     };
     let state = ShardState {
         base: start as u32,
@@ -1742,6 +2380,7 @@ fn run_shard(
         shard_starts,
         me,
         state,
+        ov,
         queue: IndexedEventQueue::new(),
         ring: (0..params.horizon).map(|_| Vec::new()).collect(),
         outbox: (0..shard_starts.len()).map(|_| Vec::new()).collect(),
@@ -1768,13 +2407,23 @@ fn run_shard(
             // Seed every owned peer's first query arrival. Ascending
             // peer order fixes the intra-cluster event order
             // identically at every layout (clusters never split across
-            // shards).
+            // shards). Token buckets start full.
+            let seed_tokens = if params.overload.is_empty() {
+                0.0
+            } else {
+                params.overload.client_token_burst
+            };
             for peer in (start * params.cluster_size) as u64..(end * params.cluster_size) as u64 {
                 let first = arrival_gap(params, peer, 0) - 1;
                 if first < params.ticks {
-                    reactor
-                        .queue
-                        .schedule(first as f64, ScaleEvent::Query { peer, n: 0 });
+                    reactor.queue.schedule(
+                        first as f64,
+                        ScaleEvent::Query {
+                            peer,
+                            n: 0,
+                            tokens: seed_tokens,
+                        },
+                    );
                 }
             }
         }
@@ -1819,6 +2468,10 @@ fn run_shard(
         reactor.windows.refresh(plan, params, t);
         reactor.apply_instant_faults(plan, t);
 
+        // 2b. Overload maintenance: shed dead clusters' queues, drain
+        // service credit (served queries flood here), update brownout.
+        reactor.ov_tick(t);
+
         // 3. Deliver the messages due now, in (src_cluster, seq)
         // order — the layout-invariant global delivery order.
         let slot = (t % params.horizon) as usize;
@@ -1857,6 +2510,15 @@ fn run_shard(
     }
 
     reactor.diag.queue_high_water = reactor.queue.high_water() as u64;
+    if !keep_state && t1 == params.ticks {
+        // True run end: whatever is still waiting in a work queue is
+        // explicitly shed so the conservation ledger closes — nothing
+        // silently vanishes. Checkpoint boundaries instead carry the
+        // queues forward intact.
+        for ovc in &reactor.ov {
+            reactor.metrics.ov_shed_residual += ovc.queue.len() as u64;
+        }
+    }
     let carry_out = if keep_state {
         let mut events = Vec::new();
         while let Some((time, event)) = reactor.queue.pop() {
@@ -1870,6 +2532,7 @@ fn run_shard(
             alive: reactor.state.alive,
             head: reactor.state.head,
             seq: reactor.state.seq,
+            ov: reactor.ov,
             events,
             msgs,
         })
@@ -2147,6 +2810,196 @@ mod tests {
             shards,
             ..Default::default()
         }
+    }
+
+    /// An overload policy guaranteed to saturate `small()`'s clusters:
+    /// tiny queues, a slow server, a hair-trigger brownout, and
+    /// re-homing after two strikes.
+    fn stress_policy() -> OverloadPolicy {
+        OverloadPolicy {
+            service_rate: 0.5,
+            queue_capacity: 3,
+            discipline: ShedDiscipline::DropLowestTtl,
+            client_tokens_per_sec: 0.05,
+            client_token_burst: 3.0,
+            brownout: Some(sp_model::overload::BrownoutConfig {
+                enter_backlog_secs: 2.0,
+                exit_backlog_secs: 0.5,
+                min_dwell_secs: 3.0,
+                ttl_decrement: 2,
+                fanout_limit: 2,
+            }),
+            rehome_strikes: 2,
+        }
+    }
+
+    fn overload_opts(shards: usize) -> ScaleOptions {
+        ScaleOptions {
+            duration_secs: 300.0,
+            seed: 11,
+            fault_seed: 5,
+            shards,
+            overload: stress_policy(),
+            ..Default::default()
+        }
+    }
+
+    /// `small()` under a flash-crowd query rate: each 10-peer cluster
+    /// offers ~2 queries/s against the stress policy's 0.5/s server.
+    fn crowded() -> Config {
+        Config {
+            query_rate: 0.2,
+            ..small()
+        }
+    }
+
+    #[test]
+    fn overload_control_is_shard_count_invariant_and_conserved() {
+        let config = crowded();
+        let plan = stormy_plan();
+        let base = ShardedSimulation::with_faults(&config, overload_opts(1), &plan).run();
+        assert!(base.ov_admitted > 0, "nothing was admitted");
+        assert!(base.ov_delivered > 0, "nothing was served");
+        assert!(
+            base.ov_shed_discipline + base.ov_rejected_queue > 0,
+            "the stress policy never saturated a queue"
+        );
+        assert!(base.ov_rejected_budget > 0, "token budget never tripped");
+        assert!(base.ov_rehome_sent > 0, "re-homing never triggered");
+        assert!(base.ov_brownout_entries > 0, "brownout never entered");
+        assert!(base.ov_degraded > 0, "no degraded admissions");
+        assert!(base.ov_peak_depth <= 3, "queue bound was violated");
+        assert!(
+            base.overload_conserved(),
+            "conservation ledger broke:\n{base:?}"
+        );
+        for shards in [2, 4, 8] {
+            let (m, _) = {
+                let mut sim = ShardedSimulation::with_faults(&config, overload_opts(shards), &plan);
+                let m = sim.run();
+                (m, *sim.diag())
+            };
+            assert_eq!(base, m, "overload metrics diverged at {shards} shards");
+        }
+    }
+
+    #[test]
+    fn empty_overload_policy_is_inert_at_scale() {
+        let config = small();
+        let (base, _) = run_at(&config, 2, &FaultPlan::default());
+        let ov_zero = base.ov_admitted
+            + base.ov_rehome_admitted
+            + base.ov_rejected_budget
+            + base.ov_rejected_queue
+            + base.ov_rehome_sent
+            + base.ov_handoff_failed
+            + base.ov_delivered
+            + base.ov_shed_discipline
+            + base.ov_shed_dead
+            + base.ov_shed_residual
+            + base.ov_degraded
+            + base.ov_brownout_entries
+            + base.ov_brownout_ticks
+            + base.ov_wait_ticks
+            + base.ov_peak_depth;
+        assert_eq!(ov_zero, 0, "the empty policy touched an overload counter");
+    }
+
+    #[test]
+    fn overload_checkpoint_resume_is_bitwise_and_shard_count_invariant() {
+        // Resume mid-pressure: queued entries, token levels, brownout
+        // dwell anchors, and strike counts all cross the snapshot.
+        let config = crowded();
+        let plan = stormy_plan();
+        let base = ShardedSimulation::with_faults(&config, overload_opts(2), &plan).run();
+        for (checkpoint, resume_shards) in [(0u32, 4usize), (90, 1), (200, 3)] {
+            let mut sim = ShardedSimulation::with_faults(&config, overload_opts(2), &plan);
+            sim.run_to(checkpoint).unwrap();
+            let snap = sim.snapshot();
+            let mut restored = ShardedSimulation::restore(
+                &snap,
+                ScaleOptions {
+                    shards: resume_shards,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let resumed = restored.try_run().unwrap();
+            assert_eq!(
+                base, resumed,
+                "overload resume at tick {checkpoint} with {resume_shards} shards diverged"
+            );
+            assert!(resumed.overload_conserved(), "resumed ledger broke");
+        }
+    }
+
+    #[test]
+    fn dead_clusters_shed_their_queues() {
+        // Lone super-peers with saturated queues, then a total crash:
+        // every queued entry must land in the shed-dead bucket, not
+        // vanish — and the ledger must still close.
+        let config = Config {
+            graph_size: 20,
+            cluster_size: 1,
+            ttl: 2,
+            query_rate: 2.0,
+            ..Config::default()
+        };
+        let plan = FaultPlan {
+            faults: vec![FaultSpec::CrashFraction {
+                at_secs: 100.0,
+                fraction: 1.0,
+            }],
+            ..Default::default()
+        };
+        let opts = ScaleOptions {
+            duration_secs: 200.0,
+            seed: 4,
+            overload: OverloadPolicy {
+                service_rate: 0.5,
+                queue_capacity: 16,
+                ..stress_policy()
+            },
+            ..Default::default()
+        };
+        let base = ShardedSimulation::with_faults(&config, opts, &plan).run();
+        assert!(base.ov_shed_dead > 0, "the crash never shed a queue");
+        assert!(
+            base.overload_conserved(),
+            "dead-shed ledger broke:\n{base:?}"
+        );
+        let two =
+            ShardedSimulation::with_faults(&config, ScaleOptions { shards: 2, ..opts }, &plan)
+                .run();
+        assert_eq!(base, two, "dead-shed metrics diverged at 2 shards");
+    }
+
+    #[test]
+    fn uncontrolled_queues_measure_without_shedding() {
+        // queue_capacity 0: depth and wait are measured, nothing is
+        // ever shed by discipline — the flash-crowd baseline.
+        let config = crowded();
+        let opts = ScaleOptions {
+            duration_secs: 300.0,
+            seed: 11,
+            overload: OverloadPolicy {
+                queue_capacity: 0,
+                discipline: ShedDiscipline::RejectAtAdmission,
+                client_tokens_per_sec: 0.0,
+                client_token_burst: 0.0,
+                brownout: None,
+                rehome_strikes: 0,
+                ..stress_policy()
+            },
+            ..Default::default()
+        };
+        let m = ShardedSimulation::new(&config, opts).run();
+        assert_eq!(m.ov_shed_discipline, 0);
+        assert_eq!(m.ov_rejected_queue, 0);
+        assert_eq!(m.ov_rejected_budget, 0);
+        assert!(m.ov_delivered > 0);
+        assert!(m.ov_peak_depth > 3, "unbounded queue never built depth");
+        assert!(m.overload_conserved(), "uncontrolled ledger broke:\n{m:?}");
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use proptest::prelude::*;
 use sp_model::faults::{FaultPlan, FaultSpec};
+use sp_model::overload::{BrownoutConfig, OverloadPolicy, ShedDiscipline};
 use sp_model::repair::RepairPolicy;
 use sp_model::scenario::{CapacityClass, PhaseKind, PhaseSpec, ScenarioPlan};
 use sp_sim::network::SimNetwork;
@@ -192,6 +193,7 @@ fn arb_scenario(dur: f64) -> impl Strategy<Value = ScenarioPlan> {
                 };
                 let mut push = |from: f64, len: f64, kind: PhaseKind| {
                     plan.phases.push(PhaseSpec {
+                        rate_mult: 1.0,
                         from_secs: from,
                         until_secs: from + len,
                         kind,
@@ -224,6 +226,54 @@ fn arb_scenario(dur: f64) -> impl Strategy<Value = ScenarioPlan> {
                     });
                 }
                 plan
+            },
+        )
+}
+
+/// An arbitrary *valid, non-empty* overload policy: any service rate,
+/// bounded or measure-only (capacity 0) queue, any shed discipline,
+/// optional per-client token budget, optional brownout with
+/// exit < enter, optional re-homing. Every draw passes
+/// [`OverloadPolicy::validate`].
+fn arb_overload_policy() -> impl Strategy<Value = OverloadPolicy> {
+    let brownout = prop::option::of((0.1f64..1.0, 0.5f64..3.0, 1.0f64..20.0, 0u16..4, 1u32..7))
+        .prop_map(|b| {
+            b.map(
+                |(exit, gap, dwell, ttl_decrement, fanout_limit)| BrownoutConfig {
+                    enter_backlog_secs: exit + gap,
+                    exit_backlog_secs: exit,
+                    min_dwell_secs: dwell,
+                    ttl_decrement,
+                    fanout_limit,
+                },
+            )
+        });
+    let budget = prop::option::of((0.1f64..4.0, 1.0f64..6.0));
+    (
+        0.5f64..6.0,
+        prop_oneof![Just(0u32), 2u32..32],
+        0usize..3,
+        budget,
+        brownout,
+        prop_oneof![Just(0u32), 1u32..9],
+    )
+        .prop_map(
+            |(service_rate, queue_capacity, disc, budget, brownout, rehome_strikes)| {
+                let (client_tokens_per_sec, client_token_burst) =
+                    budget.map_or((0.0, 0.0), |(tokens, burst)| (tokens, burst));
+                OverloadPolicy {
+                    service_rate,
+                    queue_capacity,
+                    discipline: [
+                        ShedDiscipline::RejectAtAdmission,
+                        ShedDiscipline::DropOldest,
+                        ShedDiscipline::DropLowestTtl,
+                    ][disc],
+                    client_tokens_per_sec,
+                    client_token_burst,
+                    brownout,
+                    rehome_strikes,
+                }
             },
         )
 }
@@ -468,6 +518,110 @@ proptest! {
             );
         }
     }
+
+    /// Overload control under any generated scenario × any valid
+    /// policy: the fast and reference engines stay bitwise identical,
+    /// the *extended* conservation law holds (issued = lost +
+    /// delivered + shed + rejected), and a bounded work queue never
+    /// exceeds its configured capacity.
+    #[test]
+    fn overload_bounds_queues_and_conserves_on_both_engines(
+        plan in arb_scenario(300.0),
+        policy in arb_overload_policy(),
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        scenario_seed in any::<u64>(),
+    ) {
+        use sp_model::config::Config;
+        use sp_sim::engine::{SimOptions, Simulation};
+        use sp_sim::reference::ReferenceSimulation;
+        prop_assert!(policy.validate().is_ok(),
+            "generator emitted an invalid policy {:?}", &policy);
+        let mut plan = plan;
+        plan.overload = policy;
+        prop_assert!(plan.validate().is_ok(),
+            "plan with overload policy failed validation {:?}", &plan);
+        // A query rate high enough that the drawn service rates span
+        // both saturated and comfortable regimes.
+        let cfg = Config {
+            graph_size: 100,
+            cluster_size: 10,
+            query_rate: 0.2,
+            ..Config::default()
+        };
+        let opts = SimOptions {
+            duration_secs: 300.0,
+            seed,
+            fault_seed,
+            scenario_seed,
+            ..Default::default()
+        };
+        let fast = Simulation::with_scenario(&cfg, opts, &plan).run();
+        let reference = ReferenceSimulation::with_scenario(&cfg, opts, &plan).run();
+        prop_assert_eq!(&fast, &reference,
+            "engines diverged under overload policy {:?}", &policy);
+        prop_assert!(
+            fast.overload.conserved(fast.faults.queries_issued, fast.faults.queries_lost),
+            "extended conservation broken: issued {} lost {} ledger {:?}",
+            fast.faults.queries_issued, fast.faults.queries_lost, &fast.overload
+        );
+        if policy.queue_capacity > 0 {
+            prop_assert!(
+                fast.overload.peak_depth <= u64::from(policy.queue_capacity),
+                "queue bound violated: peak depth {} > capacity {}",
+                fast.overload.peak_depth, policy.queue_capacity
+            );
+        }
+    }
+
+    /// The sharded scale engine under any fault plan × any valid
+    /// overload policy: the reduced metrics (including the overload
+    /// ledger) are identical at 1, 2, and 4 shards, the scale
+    /// engine's own conservation identities hold, and the queue bound
+    /// is honored.
+    #[test]
+    fn scale_engine_overload_is_shard_invariant_and_conserves(
+        plan in arb_plan(200.0),
+        policy in arb_overload_policy(),
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+    ) {
+        use sp_model::config::Config;
+        use sp_sim::shard::{ScaleOptions, ShardedSimulation};
+        let mut cfg = Config::scale_preset(1_000);
+        cfg.query_rate = 0.05;
+        let opts = ScaleOptions {
+            duration_secs: 200.0,
+            seed,
+            fault_seed,
+            shards: 1,
+            overload: policy,
+            ..Default::default()
+        };
+        let base = ShardedSimulation::with_faults(&cfg, opts, &plan).run();
+        prop_assert!(base.overload_conserved(),
+            "scale overload ledger broke under policy {:?}: {:?}", &policy, &base);
+        if policy.queue_capacity > 0 {
+            prop_assert!(
+                base.ov_peak_depth <= u64::from(policy.queue_capacity),
+                "scale queue bound violated: peak depth {} > capacity {}",
+                base.ov_peak_depth, policy.queue_capacity
+            );
+        }
+        for shards in [2usize, 4] {
+            let sharded = ShardedSimulation::with_faults(
+                &cfg,
+                ScaleOptions { shards, ..opts },
+                &plan,
+            )
+            .run();
+            prop_assert_eq!(
+                &base, &sharded,
+                "overload ledger diverged at {} shards under policy {:?}",
+                shards, &policy
+            );
+        }
+    }
 }
 
 proptest! {
@@ -526,6 +680,74 @@ proptest! {
             ReferenceSimulation::restore(&snap),
             Err(SnapshotError::WrongEngine { .. })
         ), "a fast snapshot must not restore into the reference engine");
+    }
+
+    /// Resume invariance in the middle of an overloaded flash crowd:
+    /// checkpoint either churn engine while a 10× crowd is saturating
+    /// bounded queues (mid-shed, mid-brownout, mid-re-home), restore,
+    /// and the finished run is bitwise identical to the uninterrupted
+    /// one — the overload runtime state round-trips exactly.
+    #[test]
+    fn overload_resume_mid_flash_crowd_is_bitwise_invariant(
+        policy in arb_overload_policy(),
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        scenario_seed in any::<u64>(),
+        frac in 0.0f64..1.0,
+    ) {
+        use sp_model::config::Config;
+        use sp_sim::engine::{SimOptions, Simulation};
+        use sp_sim::reference::ReferenceSimulation;
+        let mut plan = ScenarioPlan::default();
+        plan.phases.push(PhaseSpec {
+            rate_mult: 1.0,
+            from_secs: 60.0,
+            until_secs: 240.0,
+            kind: PhaseKind::FlashCrowd {
+                query_rate_mult: 10.0,
+                hot_shift: 16,
+            },
+        });
+        plan.overload = policy;
+        prop_assert!(plan.validate().is_ok());
+        let cfg = Config {
+            graph_size: 100,
+            cluster_size: 10,
+            query_rate: 0.2,
+            ..Config::default()
+        };
+        let opts = SimOptions {
+            duration_secs: 300.0,
+            seed,
+            fault_seed,
+            scenario_seed,
+            ..Default::default()
+        };
+        // Checkpoint *inside* the crowd window.
+        let at = 60.0 + 180.0 * frac;
+
+        let full = Simulation::with_scenario(&cfg, opts, &plan).run();
+        let mut paused = Simulation::with_scenario(&cfg, opts, &plan);
+        paused.run_to(at);
+        let resumed = Simulation::restore(&paused.snapshot())
+            .expect("own snapshot restores")
+            .run();
+        prop_assert_eq!(&full, &resumed,
+            "fast resume at t={} mid-crowd diverged under policy {:?}",
+            at, &plan.overload);
+        prop_assert!(
+            full.overload.conserved(full.faults.queries_issued, full.faults.queries_lost),
+            "extended conservation broken mid-crowd: {:?}", &full.overload
+        );
+
+        let full = ReferenceSimulation::with_scenario(&cfg, opts, &plan).run();
+        let mut paused = ReferenceSimulation::with_scenario(&cfg, opts, &plan);
+        paused.run_to(at);
+        let resumed = ReferenceSimulation::restore(&paused.snapshot())
+            .expect("own snapshot restores")
+            .run();
+        prop_assert_eq!(&full, &resumed,
+            "reference resume at t={} mid-crowd diverged", at);
     }
 
     /// Scale-engine checkpoints are canonical: produced at any shard

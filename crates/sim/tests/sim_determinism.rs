@@ -76,6 +76,7 @@ fn rich_scenario_plan() -> ScenarioPlan {
     let plan = ScenarioPlan {
         phases: vec![
             PhaseSpec {
+                rate_mult: 1.0,
                 from_secs: 100.0,
                 until_secs: 400.0,
                 kind: PhaseKind::FlashCrowd {
@@ -84,16 +85,19 @@ fn rich_scenario_plan() -> ScenarioPlan {
                 },
             },
             PhaseSpec {
+                rate_mult: 1.0,
                 from_secs: 150.0,
                 until_secs: 600.0,
                 kind: PhaseKind::ChurnBurst { lifespan_mult: 0.4 },
             },
             PhaseSpec {
+                rate_mult: 1.0,
                 from_secs: 450.0,
                 until_secs: 470.0,
                 kind: PhaseKind::MassLeave { fraction: 0.25 },
             },
             PhaseSpec {
+                rate_mult: 1.0,
                 from_secs: 500.0,
                 until_secs: 800.0,
                 kind: PhaseKind::Split { fraction: 0.3 },
@@ -120,6 +124,7 @@ fn rich_scenario_plan() -> ScenarioPlan {
             ..Default::default()
         },
         repair: RepairPolicy::Promote,
+        overload: sp_model::overload::OverloadPolicy::default(),
     };
     plan.validate().expect("rich scenario must validate");
     plan
@@ -154,6 +159,126 @@ fn engines_agree_under_scenario_plans() {
             );
         }
     }
+}
+
+/// A flash-crowd scenario paired with an active overload policy: the
+/// bounded queues, token budgets, brownout hysteresis, and re-homing
+/// are all draw-free, so both engines must stay bitwise identical
+/// even while shedding load.
+fn overload_scenario_plan(config: &Config) -> ScenarioPlan {
+    let plan = ScenarioPlan {
+        phases: vec![PhaseSpec {
+            rate_mult: 1.0,
+            from_secs: 200.0,
+            until_secs: 600.0,
+            kind: PhaseKind::FlashCrowd {
+                query_rate_mult: 10.0,
+                hot_shift: 7,
+            },
+        }],
+        overload: sp_model::overload::OverloadPolicy::sized_for(config),
+        ..Default::default()
+    };
+    plan.validate().expect("overload scenario must validate");
+    plan
+}
+
+#[test]
+fn engines_agree_under_overload_control() {
+    let config = Config {
+        graph_size: 120,
+        cluster_size: 12,
+        population: PopulationModel {
+            lifespan_mean_secs: 500.0,
+            ..Default::default()
+        },
+        ..Config::default()
+    };
+    let plan = overload_scenario_plan(&config);
+    for seed in [3, 11] {
+        assert_engines_agree_with_scenario(
+            "overload under flash crowd",
+            &config,
+            SimOptions {
+                duration_secs: 900.0,
+                seed,
+                fault_seed: seed,
+                scenario_seed: 5,
+                ..Default::default()
+            },
+            &plan,
+        );
+    }
+
+    // Reject-at-admission with a hair-trigger re-home threshold: every
+    // full-queue arrival is a strike, so clients actually migrate —
+    // exercising the Table 2 re-join path in both engines.
+    let mut rehoming = plan;
+    rehoming.overload.discipline = sp_model::overload::ShedDiscipline::RejectAtAdmission;
+    rehoming.overload.rehome_strikes = 2;
+    assert_engines_agree_with_scenario(
+        "overload with client re-homing",
+        &config,
+        SimOptions {
+            duration_secs: 900.0,
+            seed: 3,
+            fault_seed: 3,
+            scenario_seed: 5,
+            ..Default::default()
+        },
+        &rehoming,
+    );
+}
+
+#[test]
+fn engines_agree_under_uncontrolled_overload_measurement() {
+    // queue_capacity = 0: latency and depth are measured but nothing
+    // is shed — the uncontrolled baseline must also be engine-exact.
+    let config = Config {
+        graph_size: 100,
+        cluster_size: 10,
+        ..Config::default()
+    };
+    let mut plan = overload_scenario_plan(&config);
+    plan.overload = sp_model::overload::OverloadPolicy::uncontrolled_for(&config);
+    assert_engines_agree_with_scenario(
+        "uncontrolled overload measurement",
+        &config,
+        SimOptions {
+            duration_secs: 900.0,
+            seed: 21,
+            scenario_seed: 2,
+            ..Default::default()
+        },
+        &plan,
+    );
+}
+
+#[test]
+fn empty_overload_policy_is_bitwise_inert() {
+    let config = Config {
+        graph_size: 100,
+        cluster_size: 10,
+        ..Config::default()
+    };
+    let opts = SimOptions {
+        duration_secs: 900.0,
+        seed: 17,
+        ..Default::default()
+    };
+    let plain = Simulation::new(&config, opts).run();
+    let with_empty = Simulation::new(
+        &config,
+        SimOptions {
+            overload: sp_model::overload::OverloadPolicy::default(),
+            ..opts
+        },
+    )
+    .run();
+    assert_eq!(
+        plain, with_empty,
+        "the empty overload policy must change nothing"
+    );
 }
 
 #[test]
